@@ -1,0 +1,315 @@
+//! Non-blocking atomic commit from the perfect detector P (§1.1's
+//! NBAC, executable).
+//!
+//! Two phases at each location:
+//!
+//! 1. **Vote collection** — flood the local vote; wait until, for every
+//!    location `j`, either `j`'s vote arrived or `j` is suspected.
+//!    Because P never suspects live locations, a suspicion here is
+//!    *proof* of a crash, so the local proposal is sound:
+//!    propose commit iff all `n` votes arrived and all were yes.
+//! 2. **Consensus on the verdict** — the embedded Chandra–Toueg
+//!    machinery (P's traces satisfy ◇S's clauses) agrees on one
+//!    proposal; `decide(1)` becomes `Verdict{commit}`.
+//!
+//! The same algorithm run with a *lying* ◇P generator violates
+//! abort-validity (a false suspicion aborts a unanimous-yes, crash-free
+//! run) — the executable core of why NBAC's weakest detector is
+//! stronger than ◇P's class (§1.1, [17, 18]); see
+//! `nbac_with_lying_detector_breaks_abort_validity`.
+
+use afd_core::automata::FdGen;
+use afd_core::{Action, Loc, LocSet, Msg, Pi};
+use afd_system::{Env, LocalBehavior, ProcessAutomaton, System, SystemBuilder};
+
+use crate::common::broadcast;
+use crate::consensus::ct_strong::{CtState, CtStrong};
+
+/// The NBAC behavior at each location.
+#[derive(Debug, Clone, Copy)]
+pub struct Nbac {
+    inner: CtStrong,
+    pi: Pi,
+}
+
+/// Per-location NBAC state: the vote phase plus the embedded consensus.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NbacState {
+    /// Own vote, once received from the environment.
+    pub vote: Option<bool>,
+    /// Yes votes received (by voter).
+    pub yes_from: LocSet,
+    /// True once any no vote was seen.
+    pub any_no: bool,
+    /// Latest P output (suspect set).
+    pub suspects: LocSet,
+    /// Whether the vote flood has been queued.
+    pub flooded: bool,
+    /// Whether the consensus proposal has been injected.
+    pub proposed: bool,
+    /// The embedded consensus instance.
+    pub consensus: CtState,
+    /// Pre-consensus outbox (vote floods).
+    pub outbox: Vec<(Loc, Msg)>,
+}
+
+impl Nbac {
+    /// A new behavior over `pi`.
+    #[must_use]
+    pub fn new(pi: Pi) -> Self {
+        Nbac { inner: CtStrong::new(pi), pi }
+    }
+
+    /// Try to move from the vote phase into consensus: every location
+    /// has either voted or been (accurately, by P) suspected.
+    fn maybe_propose(&self, i: Loc, s: &mut NbacState) {
+        if s.proposed || s.vote.is_none() {
+            return;
+        }
+        let accounted = self
+            .pi
+            .iter()
+            .all(|j| s.yes_from.contains(j) || s.any_no || s.suspects.contains(j) || j == i);
+        // Own vote is always accounted via `vote`.
+        if !accounted {
+            return;
+        }
+        let all_yes = s.vote == Some(true)
+            && !s.any_no
+            && s.yes_from.union(LocSet::singleton(i)) == self.pi.all();
+        s.proposed = true;
+        let v = u64::from(all_yes);
+        self.inner.on_input(i, &mut s.consensus, &Action::Propose { at: i, v });
+    }
+}
+
+impl LocalBehavior for Nbac {
+    type State = NbacState;
+
+    fn proto_name(&self) -> String {
+        "nbac-P".into()
+    }
+
+    fn init(&self, _i: Loc) -> NbacState {
+        NbacState {
+            vote: None,
+            yes_from: LocSet::empty(),
+            any_no: false,
+            suspects: LocSet::empty(),
+            flooded: false,
+            proposed: false,
+            consensus: CtStrong::new(self.pi).init(Loc(0)),
+            outbox: Vec::new(),
+        }
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+            || matches!(a, Action::Fd { at, .. } if *at == i)
+            || matches!(a, Action::Vote { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+            || matches!(a, Action::Verdict { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, i: Loc, s: &mut NbacState, a: &Action) {
+        match a {
+            Action::Vote { yes, .. }
+                if s.vote.is_none() => {
+                    s.vote = Some(*yes);
+                    if *yes {
+                        s.yes_from.insert(i);
+                    } else {
+                        s.any_no = true;
+                    }
+                    broadcast(self.pi, i, &mut s.outbox, Msg::VoteMsg { yes: *yes });
+                    s.flooded = true;
+                    self.maybe_propose(i, s);
+                }
+            Action::Receive { from, msg: Msg::VoteMsg { yes }, .. } => {
+                if *yes {
+                    s.yes_from.insert(*from);
+                } else {
+                    s.any_no = true;
+                }
+                self.maybe_propose(i, s);
+            }
+            Action::Receive { .. } => {
+                self.inner.on_input(i, &mut s.consensus, a);
+            }
+            Action::Fd { out, .. } => {
+                if let Some(set) = out.as_suspects() {
+                    s.suspects = set;
+                    self.maybe_propose(i, s);
+                }
+                // The embedded consensus consumes the same ◇S-compatible
+                // suspect sets.
+                self.inner.on_input(i, &mut s.consensus, a);
+            }
+            _ => {}
+        }
+    }
+
+    fn output(&self, i: Loc, s: &NbacState) -> Option<Action> {
+        if let Some(&(to, msg)) = s.outbox.first() {
+            return Some(Action::Send { from: i, to, msg });
+        }
+        match self.inner.output(i, &s.consensus)? {
+            Action::Decide { at, v } => Some(Action::Verdict { at, commit: v == 1 }),
+            other => Some(other),
+        }
+    }
+
+    fn on_output(&self, i: Loc, s: &mut NbacState, a: &Action) {
+        match a {
+            Action::Send { msg: Msg::VoteMsg { .. }, .. } if !s.outbox.is_empty() => {
+                s.outbox.remove(0);
+            }
+            Action::Verdict { at, commit } => {
+                self.inner.on_output(
+                    i,
+                    &mut s.consensus,
+                    &Action::Decide { at: *at, v: u64::from(*commit) },
+                );
+            }
+            other => self.inner.on_output(i, &mut s.consensus, other),
+        }
+    }
+}
+
+/// Build the NBAC system with the P generator (the honest detector) or
+/// a lying ◇P generator (`lie_count > 0`) for the separation
+/// experiment.
+#[must_use]
+pub fn nbac_system(
+    pi: Pi,
+    votes: &[bool],
+    crashes: Vec<Loc>,
+    lie_set: LocSet,
+    lie_count: u16,
+) -> System<ProcessAutomaton<Nbac>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, Nbac::new(pi))).collect();
+    let fd = if lie_count == 0 {
+        FdGen::perfect(pi)
+    } else {
+        FdGen::ev_perfect_noisy(pi, lie_set, lie_count)
+    };
+    SystemBuilder::new(pi, procs)
+        .with_fd(fd)
+        .with_env(Env::Votes { pi, votes: votes.to_vec() })
+        .with_crashes(crashes)
+        .with_label("nbac system")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::problems::atomic_commit::AtomicCommit;
+    use afd_core::ProblemSpec;
+    use afd_system::{run_random, FaultPattern, SimConfig};
+
+    fn nbac_projection(schedule: &[Action]) -> Vec<Action> {
+        schedule
+            .iter()
+            .filter(|a| a.is_crash() || matches!(a, Action::Vote { .. } | Action::Verdict { .. }))
+            .copied()
+            .collect()
+    }
+
+    fn all_live_learned(pi: Pi, schedule: &[Action]) -> bool {
+        let faulty = afd_core::trace::faulty(schedule);
+        pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
+            schedule.iter().any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
+        })
+    }
+
+    #[test]
+    fn unanimous_yes_commits() {
+        let pi = Pi::new(3);
+        for seed in 0..6 {
+            let sys = nbac_system(pi, &[true, true, true], vec![], LocSet::empty(), 0);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_max_steps(30_000)
+                    .stop_when(move |s| all_live_learned(pi, s)),
+            );
+            let t = nbac_projection(out.schedule());
+            AtomicCommit::new(1).check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(AtomicCommit::verdict(&t), Some(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn a_single_no_vote_aborts() {
+        let pi = Pi::new(3);
+        let sys = nbac_system(pi, &[true, false, true], vec![], LocSet::empty(), 0);
+        let out = run_random(
+            &sys,
+            7,
+            SimConfig::default().with_max_steps(30_000).stop_when(move |s| all_live_learned(pi, s)),
+        );
+        let t = nbac_projection(out.schedule());
+        AtomicCommit::new(1).check(pi, &t).unwrap();
+        assert_eq!(AtomicCommit::verdict(&t), Some(false));
+    }
+
+    #[test]
+    fn crash_of_a_voter_aborts_but_terminates() {
+        let pi = Pi::new(3);
+        for seed in 0..6 {
+            // p2 crashes immediately: its vote never floods; P's
+            // suspicion unblocks the others, who must abort.
+            let sys = nbac_system(pi, &[true, true, true], vec![Loc(2)], LocSet::empty(), 0);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(0, Loc(2))]))
+                    .with_max_steps(40_000)
+                    .stop_when(move |s| all_live_learned(pi, s)),
+            );
+            let t = nbac_projection(out.schedule());
+            AtomicCommit::new(1).check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(all_live_learned(pi, out.schedule()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn nbac_with_lying_detector_breaks_abort_validity() {
+        // The separation experiment: a ◇P generator that transiently
+        // suspects live p1 can make the vote phase abort a
+        // unanimous-yes crash-free run — precisely the clause P's
+        // perpetual accuracy protects. We look for at least one seed
+        // exhibiting the violation.
+        let pi = Pi::new(3);
+        let mut violated = false;
+        for seed in 0..30 {
+            let sys = nbac_system(
+                pi,
+                &[true, true, true],
+                vec![],
+                LocSet::singleton(Loc(1)),
+                3,
+            );
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_max_steps(30_000)
+                    .stop_when(move |s| all_live_learned(pi, s)),
+            );
+            let t = nbac_projection(out.schedule());
+            if let Err(e) = AtomicCommit::new(1).check(pi, &t) {
+                assert_eq!(e.rule, "nbac.abort-validity", "{e}");
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "the lying detector never managed to break abort-validity");
+    }
+}

@@ -1,0 +1,220 @@
+//! Uniform reliable broadcast over reliable FIFO channels.
+//!
+//! Algorithm (no failure detector needed in this model, because the
+//! paper's channels never lose messages — §4.3): on a `Broadcast`
+//! input, relay the payload to every other location; on first receipt
+//! of a relayed payload, relay it too. A location *delivers* a payload
+//! only after it has finished queueing its own relays of it; since a
+//! queued send eventually drains into a reliable channel even if the
+//! sender later crashes (the channel automaton keeps delivering), any
+//! delivery anywhere implies every live location eventually receives,
+//! relays, and delivers — uniform agreement with any number of
+//! crashes.
+
+use std::collections::BTreeSet;
+
+use afd_core::{Action, Loc, Msg, Pi};
+use afd_system::{Env, LocalBehavior, ProcessAutomaton, System, SystemBuilder};
+
+use crate::common::broadcast as bcast;
+
+/// The URB behavior at each location.
+#[derive(Debug, Clone, Copy)]
+pub struct Urb {
+    /// The universe.
+    pub pi: Pi,
+}
+
+/// Per-location URB state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct UrbState {
+    /// Next sequence number for own broadcasts.
+    pub seq: u32,
+    /// Message identities already relayed.
+    pub relayed: BTreeSet<(Loc, u32)>,
+    /// Deliveries pending emission: `(origin, payload)`.
+    pub to_deliver: Vec<(Loc, u64)>,
+    /// Message identities already delivered.
+    pub delivered: BTreeSet<(Loc, u32)>,
+    /// Outgoing messages.
+    pub outbox: Vec<(Loc, Msg)>,
+}
+
+impl Urb {
+    /// A new URB behavior over `pi`.
+    #[must_use]
+    pub fn new(pi: Pi) -> Self {
+        Urb { pi }
+    }
+
+    fn relay(&self, me: Loc, s: &mut UrbState, origin: Loc, seq: u32, payload: u64) {
+        if !s.relayed.insert((origin, seq)) {
+            return;
+        }
+        bcast(self.pi, me, &mut s.outbox, Msg::RbRelay { origin, seq, payload });
+        // Delivery is queued *behind* the relays: the deliver action is
+        // emitted only after the outbox entries above have drained.
+        s.to_deliver.push((origin, payload));
+        s.delivered.insert((origin, seq));
+    }
+}
+
+impl LocalBehavior for Urb {
+    type State = UrbState;
+
+    fn proto_name(&self) -> String {
+        "urb".into()
+    }
+
+    fn init(&self, _i: Loc) -> UrbState {
+        UrbState::default()
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+            || matches!(a, Action::Broadcast { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+            || matches!(a, Action::Deliver { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, i: Loc, s: &mut UrbState, a: &Action) {
+        match a {
+            Action::Broadcast { payload, .. } => {
+                let seq = s.seq;
+                s.seq += 1;
+                self.relay(i, s, i, seq, *payload);
+            }
+            Action::Receive { msg: Msg::RbRelay { origin, seq, payload }, .. } => {
+                self.relay(i, s, *origin, *seq, *payload);
+            }
+            _ => {}
+        }
+    }
+
+    fn output(&self, i: Loc, s: &UrbState) -> Option<Action> {
+        if let Some(&(to, msg)) = s.outbox.first() {
+            return Some(Action::Send { from: i, to, msg });
+        }
+        s.to_deliver.first().map(|&(origin, payload)| Action::Deliver { at: i, origin, payload })
+    }
+
+    fn on_output(&self, _i: Loc, s: &mut UrbState, a: &Action) {
+        match a {
+            Action::Send { .. } => {
+                s.outbox.remove(0);
+            }
+            Action::Deliver { .. } => {
+                s.to_deliver.remove(0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Build the URB system with scripted broadcasts.
+#[must_use]
+pub fn urb_system(
+    pi: Pi,
+    script: Vec<(Loc, u64)>,
+    crashes: Vec<Loc>,
+) -> System<ProcessAutomaton<Urb>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, Urb::new(pi))).collect();
+    SystemBuilder::new(pi, procs)
+        .with_env(Env::Broadcast { script })
+        .with_crashes(crashes)
+        .with_label("urb system")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::problems::broadcast::ReliableBroadcast;
+    use afd_core::ProblemSpec;
+    use afd_system::{run_random, FaultPattern, SimConfig};
+
+    fn rb_projection(schedule: &[Action]) -> Vec<Action> {
+        schedule
+            .iter()
+            .filter(|a| {
+                a.is_crash() || matches!(a, Action::Broadcast { .. } | Action::Deliver { .. })
+            })
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn failure_free_dissemination() {
+        let pi = Pi::new(3);
+        let sys = urb_system(pi, vec![(Loc(0), 7), (Loc(2), 9)], vec![]);
+        let out = run_random(&sys, 5, SimConfig::default().with_max_steps(3000));
+        let t = rb_projection(out.schedule());
+        ReliableBroadcast.check(pi, &t).unwrap();
+        let delivers = t.iter().filter(|a| matches!(a, Action::Deliver { .. })).count();
+        assert_eq!(delivers, 6, "2 payloads × 3 locations");
+    }
+
+    #[test]
+    fn uniformity_despite_originator_crash() {
+        let pi = Pi::new(3);
+        for seed in 0..10 {
+            // p0 broadcasts and crashes shortly after.
+            let sys = urb_system(pi, vec![(Loc(0), 42)], vec![Loc(0)]);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(4, Loc(0))]))
+                    .with_max_steps(4000),
+            );
+            let t = rb_projection(out.schedule());
+            ReliableBroadcast
+                .check(pi, &t)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{t:?}"));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_deliveries() {
+        let pi = Pi::new(4);
+        let sys = urb_system(pi, vec![(Loc(1), 5), (Loc(1), 5)], vec![]);
+        let out = run_random(&sys, 11, SimConfig::default().with_max_steps(6000));
+        let t = rb_projection(out.schedule());
+        // Two broadcasts of the same payload get distinct sequence
+        // numbers; the spec's (origin, payload) identity treats them as
+        // one, so deliveries are deduplicated per location by the
+        // algorithm's `relayed` set per seq — the projection must still
+        // satisfy integrity per (origin, payload) when payloads are
+        // distinct. Use distinct payloads for the strict check:
+        let sys2 = urb_system(pi, vec![(Loc(1), 5), (Loc(1), 6)], vec![]);
+        let out2 = run_random(&sys2, 11, SimConfig::default().with_max_steps(6000));
+        let t2 = rb_projection(out2.schedule());
+        ReliableBroadcast.check(pi, &t2).unwrap();
+        // And the duplicate-payload run delivers at most twice per loc.
+        for i in pi.iter() {
+            let n = t
+                .iter()
+                .filter(|a| matches!(a, Action::Deliver { at, .. } if *at == i))
+                .count();
+            assert!(n <= 2);
+        }
+    }
+
+    #[test]
+    fn delivery_waits_for_relays() {
+        // A process's Deliver is only enabled once its outbox is empty.
+        let pi = Pi::new(2);
+        let urb = Urb::new(pi);
+        let p = ProcessAutomaton::new(Loc(0), urb);
+        let mut s = ioa::Automaton::initial_state(&p);
+        s = ioa::Automaton::step(&p, &s, &Action::Broadcast { at: Loc(0), payload: 3 }).unwrap();
+        let first = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
+        assert!(matches!(first, Action::Send { .. }), "relay precedes delivery");
+        s = ioa::Automaton::step(&p, &s, &first).unwrap();
+        let second = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
+        assert_eq!(second, Action::Deliver { at: Loc(0), origin: Loc(0), payload: 3 });
+    }
+}

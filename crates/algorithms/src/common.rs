@@ -1,0 +1,42 @@
+//! Shared helpers for distributed-algorithm behaviors.
+
+use afd_core::{Loc, Msg, Pi};
+
+/// Queue `m` for every location other than `me` (a broadcast via the
+/// point-to-point channels; there are no self-channels, so the caller
+/// handles its own copy inline).
+pub fn broadcast(pi: Pi, me: Loc, outbox: &mut Vec<(Loc, Msg)>, m: Msg) {
+    for j in pi.iter() {
+        if j != me {
+            outbox.push((j, m));
+        }
+    }
+}
+
+/// Majority threshold: `⌊n/2⌋ + 1`.
+#[must_use]
+pub fn majority(pi: Pi) -> usize {
+    pi.len() / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_skips_self() {
+        let pi = Pi::new(3);
+        let mut out = Vec::new();
+        broadcast(pi, Loc(1), &mut out, Msg::Token(5));
+        assert_eq!(out, vec![(Loc(0), Msg::Token(5)), (Loc(2), Msg::Token(5))]);
+    }
+
+    #[test]
+    fn majority_thresholds() {
+        assert_eq!(majority(Pi::new(1)), 1);
+        assert_eq!(majority(Pi::new(2)), 2);
+        assert_eq!(majority(Pi::new(3)), 2);
+        assert_eq!(majority(Pi::new(4)), 3);
+        assert_eq!(majority(Pi::new(5)), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Lemma 16 / Theorem 15's composition, as a behavior combinator: run a
+//! [`Transform`]-style reduction *underneath* an existing algorithm at
+//! each location, hiding the intermediate detector outputs.
+//!
+//! `A^P` solves problem `P` using detector `D′`, and `A^{D′}` solves
+//! `D′` using `D`; the paper composes them per location and hides the
+//! `D′` actions. [`WithReduction`] is that construction for the local
+//! (message-free) reductions of [`crate::reductions`]: each incoming
+//! `D` output is transformed and fed to the upper behavior as if it
+//! were a `D′` output, with the intermediate event hidden entirely
+//! (a legal zero-delay schedule of the paper's composition).
+
+use afd_core::{Action, Loc, Pi};
+use afd_system::LocalBehavior;
+
+use crate::reductions::Transform;
+
+/// An algorithm stacked on top of a local detector reduction.
+#[derive(Debug, Clone, Copy)]
+pub struct WithReduction<U> {
+    /// The universe (transforms need Π).
+    pub pi: Pi,
+    /// The detector transformation applied to incoming `Fd` outputs.
+    pub transform: Transform,
+    /// The upper algorithm, which sees only transformed outputs.
+    pub upper: U,
+}
+
+impl<U> WithReduction<U> {
+    /// Stack `upper` on top of `transform`.
+    #[must_use]
+    pub fn new(pi: Pi, transform: Transform, upper: U) -> Self {
+        WithReduction { pi, transform, upper }
+    }
+}
+
+impl<U: LocalBehavior> LocalBehavior for WithReduction<U> {
+    type State = U::State;
+
+    fn proto_name(&self) -> String {
+        format!("{}∘{:?}", self.upper.proto_name(), self.transform)
+    }
+
+    fn init(&self, i: Loc) -> U::State {
+        self.upper.init(i)
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        // Raw detector outputs are ours; everything else is the upper
+        // algorithm's business.
+        matches!(a, Action::Fd { at, .. } if *at == i) || self.upper.is_input(i, a)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        self.upper.is_output(i, a)
+    }
+
+    fn on_input(&self, i: Loc, s: &mut U::State, a: &Action) {
+        if let Action::Fd { at, out } = a {
+            if *at == i {
+                if let Some(mapped) = self.transform.apply(self.pi, *out) {
+                    self.upper.on_input(i, s, &Action::Fd { at: i, out: mapped });
+                }
+                return;
+            }
+        }
+        self.upper.on_input(i, s, a);
+    }
+
+    fn output(&self, i: Loc, s: &U::State) -> Option<Action> {
+        self.upper.output(i, s)
+    }
+
+    fn on_output(&self, i: Loc, s: &mut U::State, a: &Action) {
+        self.upper.on_output(i, s, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::paxos_omega::PaxosOmega;
+    use crate::consensus::{all_live_decided, check_consensus_run};
+    use afd_core::automata::FdGen;
+    use afd_core::{LocSet, Pi};
+    use afd_system::{run_random, Env, FaultPattern, ProcessAutomaton, SimConfig, SystemBuilder};
+
+    /// Lemma 16, executable: P ⪰ Ω and Ω solves consensus, so P solves
+    /// consensus — the Paxos-over-Ω algorithm runs unchanged on top of
+    /// the *perfect* detector via the stacked reduction.
+    #[test]
+    fn consensus_from_p_via_stacked_reduction() {
+        let pi = Pi::new(3);
+        for seed in 0..8 {
+            let procs = pi
+                .iter()
+                .map(|i| {
+                    ProcessAutomaton::new(
+                        i,
+                        WithReduction::new(pi, Transform::SuspectsToLeader, PaxosOmega::new(pi)),
+                    )
+                })
+                .collect();
+            let sys = SystemBuilder::new(pi, procs)
+                .with_fd(FdGen::perfect(pi))
+                .with_env(Env::consensus_with_inputs(pi, &[0, 1, 1]))
+                .with_crashes(vec![afd_core::Loc(0)])
+                .build();
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(14, afd_core::Loc(0))]))
+                    .with_max_steps(20_000)
+                    .stop_when(move |s| all_live_decided(pi, s)),
+            );
+            let v = check_consensus_run(pi, 1, out.schedule())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(v.is_some(), "seed {seed}: P-driven consensus undecided");
+        }
+    }
+
+    /// The same stacking works with a lying ◇P source: ◇P ⪰ Ω, so the
+    /// algorithm still terminates once the lies stop.
+    #[test]
+    fn consensus_from_lying_evp_via_stacked_reduction() {
+        let pi = Pi::new(3);
+        let procs = pi
+            .iter()
+            .map(|i| {
+                ProcessAutomaton::new(
+                    i,
+                    WithReduction::new(pi, Transform::SuspectsToLeader, PaxosOmega::new(pi)),
+                )
+            })
+            .collect();
+        let sys = SystemBuilder::new(pi, procs)
+            .with_fd(FdGen::ev_perfect_noisy(pi, LocSet::singleton(afd_core::Loc(0)), 3))
+            .with_env(Env::consensus_with_inputs(pi, &[1, 0, 1]))
+            .build();
+        let out = run_random(
+            &sys,
+            3,
+            SimConfig::default().with_max_steps(30_000).stop_when(move |s| all_live_decided(pi, s)),
+        );
+        let v = check_consensus_run(pi, 0, out.schedule()).unwrap();
+        assert!(v.is_some());
+    }
+
+    /// Shape mismatches are dropped, not misdelivered: a Leader output
+    /// fed through SuspectsToLeader reaches nobody.
+    #[test]
+    fn mismatched_shapes_are_hidden() {
+        use afd_core::FdOutput;
+        let pi = Pi::new(2);
+        let b = WithReduction::new(pi, Transform::SuspectsToLeader, PaxosOmega::new(pi));
+        let mut s = b.init(afd_core::Loc(0));
+        // A Leader-shaped "D output" does not match the Suspects-shaped
+        // transform: the upper algorithm must never see a leader view.
+        b.on_input(
+            afd_core::Loc(0),
+            &mut s,
+            &Action::Fd { at: afd_core::Loc(0), out: FdOutput::Leader(afd_core::Loc(0)) },
+        );
+        assert_eq!(s.leader_view, None);
+        // A Suspects-shaped output gets through, transformed.
+        b.on_input(
+            afd_core::Loc(0),
+            &mut s,
+            &Action::Fd { at: afd_core::Loc(0), out: FdOutput::Suspects(LocSet::empty()) },
+        );
+        assert_eq!(s.leader_view, Some(afd_core::Loc(0)));
+    }
+}

@@ -1,0 +1,432 @@
+//! The Chandra–Toueg rotating-coordinator consensus algorithm, driven
+//! by the ◇S AFD (majority of correct processes, `f < n/2`).
+//!
+//! Asynchronous rounds `r = 0, 1, 2, …` with coordinator
+//! `c(r) = p_{r mod n}`:
+//!
+//! 1. every participant sends its `(estimate, timestamp)` to `c(r)`;
+//! 2. `c(r)` collects a majority of estimates, adopts the one with the
+//!    highest timestamp, and broadcasts it as the round's proposal;
+//! 3. a participant either receives the proposal (adopts it, stamps it
+//!    with `r`, acks) or comes to suspect `c(r)` via ◇S (nacks); either
+//!    way it moves to round `r+1`;
+//! 4. `c(r)` collects a majority of acks/nacks; all-ack majorities
+//!    decide and broadcast `DecideMsg` (relayed once by everyone).
+//!
+//! The timestamp ("lock") mechanism gives agreement: once a majority
+//! acks a proposal in round `r`, every later coordinator's majority
+//! intersects it and inherits that value. ◇S's strong completeness
+//! unblocks participants waiting on a crashed coordinator; eventual
+//! weak accuracy yields a round whose live coordinator nobody suspects
+//! — that round decides.
+
+use std::collections::BTreeMap;
+
+use afd_core::automata::FdGen;
+use afd_core::{Action, Loc, LocSet, Msg, Pi, Val};
+use afd_system::{Env, LocalBehavior, ProcessAutomaton, System, SystemBuilder};
+
+use crate::common::{broadcast, majority};
+
+/// Per-location protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CtState {
+    /// Current round.
+    pub round: u32,
+    /// Current estimate (`None` until the environment proposes).
+    pub est: Option<Val>,
+    /// Round in which `est` was last adopted from a coordinator.
+    pub ts: u32,
+    /// Latest ◇S output.
+    pub suspects: LocSet,
+    /// Coordinator bookkeeping: estimates received per round.
+    pub estimates: BTreeMap<u32, BTreeMap<Loc, (Val, u32)>>,
+    /// Proposals received per round.
+    pub proposals: BTreeMap<u32, Val>,
+    /// Coordinator bookkeeping: (acks, nacks) per round.
+    pub replies: BTreeMap<u32, (u32, u32)>,
+    /// Whether this process has broadcast its proposal for `round`
+    /// (coordinator only).
+    pub proposed: BTreeMap<u32, bool>,
+    /// Decided value, once known.
+    pub decided: Option<Val>,
+    /// Whether `decide(v)_i` has been emitted.
+    pub announced: bool,
+    /// Whether `DecideMsg` has been relayed.
+    pub relayed: bool,
+    /// Outgoing messages, FIFO.
+    pub outbox: Vec<(Loc, Msg)>,
+}
+
+impl CtState {
+    fn new() -> Self {
+        CtState {
+            round: 0,
+            est: None,
+            ts: 0,
+            suspects: LocSet::empty(),
+            estimates: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            replies: BTreeMap::new(),
+            proposed: BTreeMap::new(),
+            decided: None,
+            announced: false,
+            relayed: false,
+            outbox: Vec::new(),
+        }
+    }
+}
+
+/// The CT-◇S behavior at each location.
+#[derive(Debug, Clone, Copy)]
+pub struct CtStrong {
+    /// The universe.
+    pub pi: Pi,
+}
+
+impl CtStrong {
+    /// A new behavior over `pi`.
+    #[must_use]
+    pub fn new(pi: Pi) -> Self {
+        CtStrong { pi }
+    }
+
+    /// Coordinator of round `r`.
+    #[must_use]
+    pub fn coordinator(&self, r: u32) -> Loc {
+        Loc((r % self.pi.len() as u32) as u8)
+    }
+
+    /// Send this round's estimate to the coordinator (or record it
+    /// locally when we are the coordinator).
+    fn enter_round(&self, me: Loc, s: &mut CtState) {
+        let Some(est) = s.est else { return };
+        if s.decided.is_some() {
+            return;
+        }
+        let r = s.round;
+        let c = self.coordinator(r);
+        if c == me {
+            s.estimates.entry(r).or_default().insert(me, (est, s.ts));
+        } else {
+            s.outbox.push((c, Msg::CtEstimate { round: r, est, ts: s.ts }));
+        }
+    }
+
+    /// Re-evaluate every wait condition: coordinator duties for *every*
+    /// round this process coordinates (it may already have moved on as
+    /// a participant), plus the participant step for the current round.
+    /// Loops until no condition fires.
+    fn progress(&self, me: Loc, s: &mut CtState) {
+        if s.est.is_none() {
+            return;
+        }
+        loop {
+            if s.decided.is_some() {
+                return;
+            }
+            let mut advanced = false;
+            // Coordinator: propose in any coordinated round that has
+            // gathered a majority of estimates.
+            let to_propose: Vec<u32> = s
+                .estimates
+                .iter()
+                .filter(|(&r, ests)| {
+                    self.coordinator(r) == me
+                        && !s.proposed.get(&r).copied().unwrap_or(false)
+                        && ests.len() >= majority(self.pi)
+                })
+                .map(|(&r, _)| r)
+                .collect();
+            for r in to_propose {
+                // Adopt the estimate with the highest timestamp (ties
+                // broken by value, deterministically; equal non-zero
+                // timestamps imply equal values).
+                let &(v, _) = s.estimates[&r]
+                    .values()
+                    .max_by_key(|&&(v, ts)| (ts, v))
+                    .expect("majority is nonempty");
+                s.proposed.insert(r, true);
+                broadcast(self.pi, me, &mut s.outbox, Msg::CtPropose { round: r, est: v });
+                // Self-delivery of the proposal.
+                s.proposals.insert(r, v);
+                advanced = true;
+            }
+            // Coordinator: tally replies of any proposed round.
+            let to_tally: Vec<u32> = s
+                .proposed
+                .iter()
+                .filter(|(_, &p)| p)
+                .map(|(&r, _)| r)
+                .filter(|r| {
+                    let (oks, nacks) = s.replies.get(r).copied().unwrap_or((0, 0));
+                    nacks != u32::MAX && (oks + nacks) as usize >= majority(self.pi)
+                })
+                .collect();
+            for r in to_tally {
+                let (_, nacks) = s.replies[&r];
+                if nacks == 0 {
+                    let v = s.proposals[&r];
+                    self.learn_decision(me, s, v);
+                    return;
+                }
+                // Consume the tally so it is not re-evaluated forever.
+                s.replies.insert(r, (0, u32::MAX));
+            }
+            // Participant step for the current round.
+            let r = s.round;
+            let c = self.coordinator(r);
+            if let Some(&v) = s.proposals.get(&r) {
+                s.est = Some(v);
+                s.ts = r;
+                self.deliver_reply(me, s, c, r, true);
+                s.round = r + 1;
+                self.enter_round(me, s);
+                advanced = true;
+            } else if s.suspects.contains(c) {
+                self.deliver_reply(me, s, c, r, false);
+                s.round = r + 1;
+                self.enter_round(me, s);
+                advanced = true;
+            }
+            if !advanced {
+                return;
+            }
+        }
+    }
+
+    fn deliver_reply(&self, me: Loc, s: &mut CtState, c: Loc, r: u32, ok: bool) {
+        if c == me {
+            let e = s.replies.entry(r).or_insert((0, 0));
+            if ok {
+                e.0 += 1;
+            } else {
+                e.1 = e.1.saturating_add(1);
+            }
+        } else {
+            s.outbox.push((c, Msg::CtAck { round: r, ok }));
+        }
+    }
+
+    fn learn_decision(&self, me: Loc, s: &mut CtState, v: Val) {
+        if s.decided.is_none() {
+            s.decided = Some(v);
+        }
+        if !s.relayed {
+            s.relayed = true;
+            broadcast(self.pi, me, &mut s.outbox, Msg::DecideMsg { value: v });
+        }
+    }
+
+    fn on_message(&self, me: Loc, s: &mut CtState, from: Loc, m: Msg) {
+        match m {
+            Msg::CtEstimate { round, est, ts } => {
+                s.estimates.entry(round).or_default().insert(from, (est, ts));
+            }
+            Msg::CtPropose { round, est } => {
+                s.proposals.insert(round, est);
+            }
+            Msg::CtAck { round, ok } => {
+                let e = s.replies.entry(round).or_insert((0, 0));
+                if ok {
+                    e.0 += 1;
+                } else {
+                    e.1 = e.1.saturating_add(1);
+                }
+            }
+            Msg::DecideMsg { value } => self.learn_decision(me, s, value),
+            _ => {}
+        }
+        self.progress(me, s);
+    }
+}
+
+impl LocalBehavior for CtStrong {
+    type State = CtState;
+
+    fn proto_name(&self) -> String {
+        "ct-◇S".into()
+    }
+
+    fn init(&self, _i: Loc) -> CtState {
+        CtState::new()
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+            || matches!(a, Action::Fd { at, .. } if *at == i)
+            || matches!(a, Action::Propose { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+            || matches!(a, Action::Decide { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, i: Loc, s: &mut CtState, a: &Action) {
+        match a {
+            Action::Propose { v, .. }
+                if s.est.is_none() => {
+                    s.est = Some(*v);
+                    self.enter_round(i, s);
+                    self.progress(i, s);
+                }
+            Action::Fd { out, .. } => {
+                if let Some(set) = out.as_suspects() {
+                    s.suspects = set;
+                    self.progress(i, s);
+                }
+            }
+            Action::Receive { from, msg, .. } => self.on_message(i, s, *from, *msg),
+            _ => {}
+        }
+    }
+
+    fn output(&self, i: Loc, s: &CtState) -> Option<Action> {
+        if let Some(&(to, msg)) = s.outbox.first() {
+            return Some(Action::Send { from: i, to, msg });
+        }
+        match (s.decided, s.announced) {
+            (Some(v), false) => Some(Action::Decide { at: i, v }),
+            _ => None,
+        }
+    }
+
+    fn on_output(&self, _i: Loc, s: &mut CtState, a: &Action) {
+        match a {
+            Action::Send { .. } => {
+                s.outbox.remove(0);
+            }
+            Action::Decide { .. } => s.announced = true,
+            _ => {}
+        }
+    }
+}
+
+/// Build the CT system: processes + channels + crash automaton + `E_C`
+/// plus a ◇S-satisfying generator (the noisy ◇P generator, whose traces
+/// lie in `T_◇P ⊆ T_◇S`).
+#[must_use]
+pub fn ct_system(
+    pi: Pi,
+    inputs: &[Val],
+    crashes: Vec<Loc>,
+    lie_set: LocSet,
+    lie_count: u16,
+) -> System<ProcessAutomaton<CtStrong>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, CtStrong::new(pi))).collect();
+    SystemBuilder::new(pi, procs)
+        .with_fd(FdGen::ev_perfect_noisy(pi, lie_set, lie_count))
+        .with_env(Env::consensus_with_inputs(pi, inputs))
+        .with_crashes(crashes)
+        .with_label("ct-◇S system")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{all_live_decided, check_consensus_run};
+    use afd_system::{run_random, FaultPattern, SimConfig};
+
+    fn decided_stop(pi: Pi) -> impl Fn(&[Action]) -> bool {
+        move |sched: &[Action]| all_live_decided(pi, sched)
+    }
+
+    #[test]
+    fn coordinator_rotation() {
+        let ct = CtStrong::new(Pi::new(3));
+        assert_eq!(ct.coordinator(0), Loc(0));
+        assert_eq!(ct.coordinator(1), Loc(1));
+        assert_eq!(ct.coordinator(2), Loc(2));
+        assert_eq!(ct.coordinator(3), Loc(0));
+    }
+
+    #[test]
+    fn failure_free_run_decides() {
+        let pi = Pi::new(3);
+        let sys = ct_system(pi, &[1, 0, 1], vec![], LocSet::empty(), 0);
+        let out = run_random(
+            &sys,
+            3,
+            SimConfig::default().with_max_steps(6000).stop_when(decided_stop(pi)),
+        );
+        let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
+        assert!(v.is_some(), "no decision in {} steps", out.steps);
+        assert!(all_live_decided(pi, out.schedule()));
+    }
+
+    #[test]
+    fn survives_coordinator_crash_with_lying_detector() {
+        let pi = Pi::new(3);
+        for seed in 0..10 {
+            // p0 (round-0 coordinator) crashes; the detector lies about
+            // p1 for a while before converging.
+            let sys = ct_system(pi, &[0, 1, 1], vec![Loc(0)], LocSet::singleton(Loc(1)), 2);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(15, Loc(0))]))
+                    .with_max_steps(20000)
+                    .stop_when(decided_stop(pi)),
+            );
+            let v = check_consensus_run(pi, 1, out.schedule())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(v.is_some(), "seed {seed}: undecided after {} steps", out.steps);
+            assert!(all_live_decided(pi, out.schedule()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agreement_under_many_interleavings() {
+        let pi = Pi::new(3);
+        for seed in 20..40 {
+            let sys = ct_system(pi, &[0, 1, 0], vec![], LocSet::singleton(Loc(0)), 1);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default().with_max_steps(20000).stop_when(decided_stop(pi)),
+            );
+            check_consensus_run(pi, 1, out.schedule())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn five_processes_with_late_crash() {
+        let pi = Pi::new(5);
+        let sys = ct_system(pi, &[1, 1, 0, 0, 1], vec![Loc(1)], LocSet::empty(), 0);
+        let out = run_random(
+            &sys,
+            7,
+            SimConfig::default()
+                .with_faults(FaultPattern::at(vec![(60, Loc(1))]))
+                .with_max_steps(30000)
+                .stop_when(decided_stop(pi)),
+        );
+        let v = check_consensus_run(pi, 2, out.schedule()).unwrap();
+        assert!(v.is_some());
+        assert!(all_live_decided(pi, out.schedule()));
+    }
+
+    #[test]
+    fn locked_value_survives_coordinator_handoff() {
+        // With the round-0 coordinator crashing *after* proposing, any
+        // decision must still be a proposed value and unanimous.
+        let pi = Pi::new(3);
+        for seed in 0..10 {
+            let sys = ct_system(pi, &[1, 0, 0], vec![Loc(0)], LocSet::empty(), 0);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(25, Loc(0))]))
+                    .with_max_steps(20000)
+                    .stop_when(decided_stop(pi)),
+            );
+            check_consensus_run(pi, 1, out.schedule())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

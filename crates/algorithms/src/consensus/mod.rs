@@ -1,0 +1,56 @@
+//! Crash-tolerant binary consensus using AFDs — the §9 setting.
+//!
+//! Two algorithms, both majority-based (`f < n/2`):
+//!
+//! * [`paxos_omega`] — single-decree Paxos driven by Ω: the current Ω
+//!   output acts as the distinguished proposer; ballots serialize
+//!   dueling leaders during the unstable prefix.
+//! * [`ct_strong`] — the Chandra–Toueg rotating-coordinator algorithm
+//!   driven by ◇S: coordinators rotate round-robin; suspicion unblocks
+//!   waiting participants; eventual weak accuracy lets a never-suspected
+//!   coordinator's round succeed.
+//!
+//! Both consume [`afd_core::Action::Propose`] inputs from the
+//! environment `E_C` (Algorithm 4) and emit
+//! [`afd_core::Action::Decide`] outputs, so a run of either system can
+//! be checked directly against the §9.1 trace set.
+
+pub mod ct_strong;
+pub mod paxos_omega;
+
+pub use ct_strong::{ct_system, CtStrong};
+pub use paxos_omega::{paxos_system, PaxosOmega};
+
+use afd_core::problems::consensus::Consensus;
+use afd_core::{Action, Pi, Violation};
+
+/// Check a recorded schedule of a consensus system against `T_P`
+/// (§9.1) and report the decision value, if any.
+///
+/// # Errors
+/// The first violated consensus clause.
+pub fn check_consensus_run(
+    pi: Pi,
+    f: usize,
+    schedule: &[Action],
+) -> Result<Option<afd_core::Val>, Violation> {
+    let spec = Consensus::new(f);
+    let proj: Vec<Action> = schedule
+        .iter()
+        .filter(|a| {
+            a.is_crash() || matches!(a, Action::Propose { .. } | Action::Decide { .. })
+        })
+        .copied()
+        .collect();
+    afd_core::ProblemSpec::check(&spec, pi, &proj)?;
+    Ok(Consensus::decision_value(&proj))
+}
+
+/// True iff every live location has decided in `schedule`.
+#[must_use]
+pub fn all_live_decided(pi: Pi, schedule: &[Action]) -> bool {
+    let faulty = afd_core::trace::faulty(schedule);
+    pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
+        schedule.iter().any(|a| matches!(a, Action::Decide { at, .. } if *at == i))
+    })
+}

@@ -1,0 +1,206 @@
+//! k-set agreement by one-round flooding (`f < k`).
+//!
+//! Every process broadcasts its proposal, waits for `n − f` proposals
+//! (its own included), and decides the minimum it saw. Each view misses
+//! at most `f` proposals, so every decision lies among the `f + 1`
+//! smallest proposals — at most `f + 1 ≤ k` distinct decisions. This is
+//! the classical detector-free corner of the k-set landscape; the
+//! detector-based route (Ω^k / Ψ^k) lives in the reduction catalogue
+//! and the lattice.
+
+use std::collections::BTreeMap;
+
+use afd_core::{Action, Loc, Msg, Pi, Val};
+use afd_system::{Env, LocalBehavior, ProcessAutomaton, System, SystemBuilder};
+
+use crate::common::broadcast;
+
+/// The flooding k-set behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct KSetFlood {
+    /// The universe.
+    pub pi: Pi,
+    /// Crash bound (`f < k` required for k-agreement).
+    pub f: usize,
+}
+
+/// Per-location state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct KSetState {
+    /// Proposals seen so far (by proposer).
+    pub seen: BTreeMap<Loc, Val>,
+    /// Own proposal received from the environment.
+    pub proposed: bool,
+    /// Decision, once the `n − f` threshold is met.
+    pub decided: Option<Val>,
+    /// Whether the decision has been announced.
+    pub announced: bool,
+    /// Outgoing messages.
+    pub outbox: Vec<(Loc, Msg)>,
+}
+
+impl KSetFlood {
+    /// A new behavior over `pi` tolerating `f` crashes.
+    #[must_use]
+    pub fn new(pi: Pi, f: usize) -> Self {
+        KSetFlood { pi, f }
+    }
+
+    fn threshold(&self) -> usize {
+        self.pi.len() - self.f
+    }
+
+    fn check_decide(&self, s: &mut KSetState) {
+        if s.decided.is_none() && s.seen.len() >= self.threshold() {
+            s.decided = s.seen.values().min().copied();
+        }
+    }
+}
+
+impl LocalBehavior for KSetFlood {
+    type State = KSetState;
+
+    fn proto_name(&self) -> String {
+        "kset-flood".into()
+    }
+
+    fn init(&self, _i: Loc) -> KSetState {
+        KSetState::default()
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+            || matches!(a, Action::ProposeK { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+            || matches!(a, Action::DecideK { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, i: Loc, s: &mut KSetState, a: &Action) {
+        match a {
+            Action::ProposeK { v, .. }
+                if !s.proposed => {
+                    s.proposed = true;
+                    s.seen.insert(i, *v);
+                    broadcast(self.pi, i, &mut s.outbox, Msg::KsEstimate { phase: 0, est: *v });
+                    self.check_decide(s);
+                }
+            Action::Receive { from, msg: Msg::KsEstimate { est, .. }, .. } => {
+                s.seen.insert(*from, *est);
+                self.check_decide(s);
+            }
+            _ => {}
+        }
+    }
+
+    fn output(&self, i: Loc, s: &KSetState) -> Option<Action> {
+        if let Some(&(to, msg)) = s.outbox.first() {
+            return Some(Action::Send { from: i, to, msg });
+        }
+        match (s.decided, s.announced) {
+            (Some(v), false) => Some(Action::DecideK { at: i, v }),
+            _ => None,
+        }
+    }
+
+    fn on_output(&self, _i: Loc, s: &mut KSetState, a: &Action) {
+        match a {
+            Action::Send { .. } => {
+                s.outbox.remove(0);
+            }
+            Action::DecideK { .. } => s.announced = true,
+            _ => {}
+        }
+    }
+}
+
+/// Build the flooding k-set system.
+#[must_use]
+pub fn kset_system(
+    pi: Pi,
+    f: usize,
+    inputs: &[Val],
+    crashes: Vec<Loc>,
+) -> System<ProcessAutomaton<KSetFlood>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, KSetFlood::new(pi, f))).collect();
+    SystemBuilder::new(pi, procs)
+        .with_env(Env::KSet { pi, values: inputs.to_vec() })
+        .with_crashes(crashes)
+        .with_label("kset-flood system")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::problems::kset::KSetAgreement;
+    use afd_core::ProblemSpec;
+    use afd_system::{run_random, FaultPattern, SimConfig};
+
+    fn kset_projection(schedule: &[Action]) -> Vec<Action> {
+        schedule
+            .iter()
+            .filter(|a| {
+                a.is_crash() || matches!(a, Action::ProposeK { .. } | Action::DecideK { .. })
+            })
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn failure_free_flood_decides_at_most_k_values() {
+        let pi = Pi::new(4);
+        let spec = KSetAgreement::new(2, 1);
+        let sys = kset_system(pi, 1, &[3, 1, 4, 1], vec![]);
+        let out = run_random(&sys, 3, SimConfig::default().with_max_steps(4000));
+        let t = kset_projection(out.schedule());
+        spec.check(pi, &t).unwrap();
+        let values = KSetAgreement::decision_values(&t);
+        assert!(!values.is_empty() && values.len() <= 2, "{values:?}");
+    }
+
+    #[test]
+    fn crash_during_flood_stays_within_k() {
+        let pi = Pi::new(4);
+        let spec = KSetAgreement::new(2, 1);
+        for seed in 0..15 {
+            let sys = kset_system(pi, 1, &[9, 2, 7, 5], vec![Loc(0)]);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(6, Loc(0))]))
+                    .with_max_steps(5000),
+            );
+            let t = kset_projection(out.schedule());
+            spec.check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_unanimously() {
+        let pi = Pi::new(3);
+        let sys = kset_system(pi, 1, &[6, 6, 6], vec![]);
+        let out = run_random(&sys, 1, SimConfig::default().with_max_steps(3000));
+        let t = kset_projection(out.schedule());
+        assert_eq!(KSetAgreement::decision_values(&t), vec![6]);
+    }
+
+    #[test]
+    fn decision_is_among_f_plus_one_smallest() {
+        let pi = Pi::new(5);
+        for seed in 0..10 {
+            let sys = kset_system(pi, 2, &[50, 10, 40, 30, 20], vec![]);
+            let out = run_random(&sys, seed, SimConfig::default().with_max_steps(8000));
+            let t = kset_projection(out.schedule());
+            for v in KSetAgreement::decision_values(&t) {
+                assert!(
+                    [10, 20, 30].contains(&v),
+                    "seed {seed}: decision {v} outside the f+1 smallest"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The AFD strength lattice: the ⪰ relation assembled from the
+//! reduction catalogue, closed under reflexivity (Corollary 14: every
+//! AFD is self-implementable) and transitivity (Theorem 15: reductions
+//! compose).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::reductions::Transform;
+
+/// Names of the AFDs in the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AfdId {
+    /// The perfect detector P.
+    P,
+    /// The strong detector S.
+    S,
+    /// The eventually perfect detector ◇P.
+    EvP,
+    /// The eventually strong detector ◇S.
+    EvS,
+    /// The weak detector W.
+    W,
+    /// The eventually weak detector ◇W.
+    EvW,
+    /// The leader oracle Ω.
+    Omega,
+    /// The quorum detector Σ.
+    Sigma,
+    /// anti-Ω.
+    AntiOmega,
+    /// Ω^k (k ≥ 2 committees; Ω^1 ≡ Ω).
+    OmegaK,
+    /// Ψ^k (our Σ × Ω^k pairing).
+    PsiK,
+}
+
+impl AfdId {
+    /// All catalogue members.
+    #[must_use]
+    pub fn all() -> Vec<AfdId> {
+        vec![
+            AfdId::P,
+            AfdId::S,
+            AfdId::EvP,
+            AfdId::EvS,
+            AfdId::W,
+            AfdId::EvW,
+            AfdId::Omega,
+            AfdId::Sigma,
+            AfdId::AntiOmega,
+            AfdId::OmegaK,
+            AfdId::PsiK,
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AfdId::P => "P",
+            AfdId::S => "S",
+            AfdId::EvP => "◇P",
+            AfdId::EvS => "◇S",
+            AfdId::W => "W",
+            AfdId::EvW => "◇W",
+            AfdId::Omega => "Ω",
+            AfdId::Sigma => "Σ",
+            AfdId::AntiOmega => "anti-Ω",
+            AfdId::OmegaK => "Ω^k",
+            AfdId::PsiK => "Ψ^k",
+        }
+    }
+}
+
+/// One reduction edge: `stronger ⪰ weaker` via `transform`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The source (stronger) detector.
+    pub stronger: AfdId,
+    /// The target (weaker) detector.
+    pub weaker: AfdId,
+    /// The local transformation realizing the reduction.
+    pub transform: Transform,
+}
+
+/// The strength lattice.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    edges: Vec<Edge>,
+}
+
+impl Default for Lattice {
+    fn default() -> Self {
+        Lattice::standard(2)
+    }
+}
+
+impl Lattice {
+    /// The catalogue of directly implemented reductions, with committee
+    /// parameter `k` for Ω^k / Ψ^k.
+    #[must_use]
+    pub fn standard(k: usize) -> Self {
+        use AfdId::{AntiOmega, EvP, EvS, EvW, Omega, OmegaK, PsiK, Sigma, P, S, W};
+        let edges = vec![
+            Edge { stronger: S, weaker: W, transform: Transform::Identity },
+            Edge { stronger: EvS, weaker: EvW, transform: Transform::Identity },
+            Edge { stronger: W, weaker: EvW, transform: Transform::Identity },
+            Edge { stronger: P, weaker: EvP, transform: Transform::Identity },
+            Edge { stronger: P, weaker: S, transform: Transform::Identity },
+            Edge { stronger: S, weaker: EvS, transform: Transform::Identity },
+            Edge { stronger: EvP, weaker: EvS, transform: Transform::Identity },
+            Edge { stronger: P, weaker: Omega, transform: Transform::SuspectsToLeader },
+            Edge { stronger: EvP, weaker: Omega, transform: Transform::SuspectsToLeader },
+            Edge { stronger: P, weaker: Sigma, transform: Transform::SuspectsToQuorum },
+            Edge { stronger: P, weaker: OmegaK, transform: Transform::SuspectsToLeadersK(k) },
+            Edge { stronger: EvP, weaker: OmegaK, transform: Transform::SuspectsToLeadersK(k) },
+            Edge { stronger: P, weaker: PsiK, transform: Transform::SuspectsToPsiK(k) },
+            Edge { stronger: Omega, weaker: AntiOmega, transform: Transform::LeaderToAntiLeader },
+            Edge { stronger: Omega, weaker: OmegaK, transform: Transform::LeaderToLeaders },
+            Edge { stronger: OmegaK, weaker: AntiOmega, transform: Transform::LeadersToAntiLeader },
+            Edge { stronger: PsiK, weaker: Sigma, transform: Transform::PsiKToQuorum },
+            Edge { stronger: PsiK, weaker: OmegaK, transform: Transform::PsiKToLeaders },
+        ];
+        Lattice { edges }
+    }
+
+    /// The direct edges.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Does `a ⪰ b` hold in the reflexive–transitive closure?
+    /// Reflexivity is Corollary 14 (self-implementability via
+    /// `A_self`); transitivity is Theorem 15 (compose the two
+    /// reductions and hide the intermediate outputs).
+    #[must_use]
+    pub fn stronger_eq(&self, a: AfdId, b: AfdId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![a];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            for e in &self.edges {
+                if e.stronger == x {
+                    if e.weaker == b {
+                        return true;
+                    }
+                    stack.push(e.weaker);
+                }
+            }
+        }
+        false
+    }
+
+    /// A witness chain of transforms realizing `a ⪰ b`, if any
+    /// (Theorem 15's composed algorithm, as data).
+    #[must_use]
+    pub fn reduction_chain(&self, a: AfdId, b: AfdId) -> Option<Vec<Transform>> {
+        if a == b {
+            return Some(vec![Transform::Identity]);
+        }
+        // BFS for the shortest chain.
+        let mut prev: BTreeMap<AfdId, (AfdId, Transform)> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([a]);
+        while let Some(x) = queue.pop_front() {
+            for e in &self.edges {
+                if e.stronger == x && !prev.contains_key(&e.weaker) && e.weaker != a {
+                    prev.insert(e.weaker, (x, e.transform));
+                    if e.weaker == b {
+                        let mut chain = Vec::new();
+                        let mut cur = b;
+                        while cur != a {
+                            let (p, t) = prev[&cur];
+                            chain.push(t);
+                            cur = p;
+                        }
+                        chain.reverse();
+                        return Some(chain);
+                    }
+                    queue.push_back(e.weaker);
+                }
+            }
+        }
+        None
+    }
+
+    /// Everything `a` is (transitively) at least as strong as.
+    #[must_use]
+    pub fn downset(&self, a: AfdId) -> Vec<AfdId> {
+        AfdId::all().into_iter().filter(|&b| self.stronger_eq(a, b)).collect()
+    }
+
+    /// Pairs known to be *strictly* ordered: `a ⪰ b` holds and `b ⪰ a`
+    /// is refuted by the separation experiments (Corollary 19 witnesses
+    /// live in the experiment suite; this is the catalogue's claim).
+    #[must_use]
+    pub fn strict_pairs(&self) -> Vec<(AfdId, AfdId)> {
+        let mut v = Vec::new();
+        for a in AfdId::all() {
+            for b in AfdId::all() {
+                if a != b && self.stronger_eq(a, b) && !self.stronger_eq(b, a) {
+                    v.push((a, b));
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflexivity_everywhere() {
+        let l = Lattice::standard(2);
+        for a in AfdId::all() {
+            assert!(l.stronger_eq(a, a), "{} ⪰ itself (Corollary 14)", a.name());
+        }
+    }
+
+    #[test]
+    fn transitivity_theorem_15() {
+        let l = Lattice::standard(2);
+        // P ⪰ ◇P ⪰ ◇S composes.
+        assert!(l.stronger_eq(AfdId::P, AfdId::EvS));
+        // P ⪰ ◇P ⪰ Ω ⪰ anti-Ω composes.
+        assert!(l.stronger_eq(AfdId::P, AfdId::AntiOmega));
+        let chain = l.reduction_chain(AfdId::P, AfdId::AntiOmega).unwrap();
+        assert!(chain.len() >= 2, "needs composition: {chain:?}");
+    }
+
+    #[test]
+    fn chains_exist_exactly_when_reachable() {
+        let l = Lattice::standard(2);
+        for a in AfdId::all() {
+            for b in AfdId::all() {
+                assert_eq!(
+                    l.reduction_chain(a, b).is_some(),
+                    l.stronger_eq(a, b),
+                    "{} vs {}",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_is_the_top() {
+        let l = Lattice::standard(2);
+        for b in AfdId::all() {
+            assert!(l.stronger_eq(AfdId::P, b), "P ⪰ {}", b.name());
+        }
+        assert_eq!(l.downset(AfdId::P).len(), AfdId::all().len());
+    }
+
+    #[test]
+    fn anti_omega_is_a_bottom() {
+        let l = Lattice::standard(2);
+        let down = l.downset(AfdId::AntiOmega);
+        assert_eq!(down, vec![AfdId::AntiOmega]);
+    }
+
+    #[test]
+    fn no_upward_edges() {
+        let l = Lattice::standard(2);
+        assert!(!l.stronger_eq(AfdId::EvP, AfdId::P));
+        assert!(!l.stronger_eq(AfdId::Omega, AfdId::EvS));
+        assert!(!l.stronger_eq(AfdId::Sigma, AfdId::Omega));
+        assert!(!l.stronger_eq(AfdId::AntiOmega, AfdId::Omega));
+    }
+
+    #[test]
+    fn strict_pairs_include_the_canonical_separations() {
+        let l = Lattice::standard(2);
+        let strict = l.strict_pairs();
+        assert!(strict.contains(&(AfdId::P, AfdId::EvP)));
+        assert!(strict.contains(&(AfdId::EvP, AfdId::EvS)));
+        assert!(strict.contains(&(AfdId::Omega, AfdId::AntiOmega)));
+    }
+
+    #[test]
+    fn default_is_standard_k2() {
+        let l = Lattice::default();
+        assert!(!l.edges().is_empty());
+    }
+}

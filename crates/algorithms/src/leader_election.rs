@@ -1,0 +1,154 @@
+//! Bounded leader agreement, solved by layering an `Elect` interface on
+//! top of the CT-◇S consensus machinery: every process proposes its own
+//! ID; the decided ID is announced as the leader.
+//!
+//! This is "a problem solving a problem" in the paper's sense (§5.2):
+//! the leader-election processes embed the consensus protocol and
+//! translate its I/O — the proposal is injected at initialization, and
+//! `decide(v)_i` becomes `elect(p_v)_i`.
+
+use afd_core::automata::FdGen;
+use afd_core::{Action, Loc, LocSet, Pi};
+use afd_system::{Env, LocalBehavior, ProcessAutomaton, System, SystemBuilder};
+
+use crate::consensus::ct_strong::{CtState, CtStrong};
+
+/// The leader-election behavior: CT consensus on location IDs.
+#[derive(Debug, Clone, Copy)]
+pub struct ElectLeader {
+    inner: CtStrong,
+}
+
+impl ElectLeader {
+    /// A new behavior over `pi`.
+    #[must_use]
+    pub fn new(pi: Pi) -> Self {
+        ElectLeader { inner: CtStrong::new(pi) }
+    }
+}
+
+impl LocalBehavior for ElectLeader {
+    type State = CtState;
+
+    fn proto_name(&self) -> String {
+        "elect-leader".into()
+    }
+
+    fn init(&self, i: Loc) -> CtState {
+        let mut s = self.inner.init(i);
+        // Propose our own ID into the embedded consensus instance.
+        self.inner.on_input(i, &mut s, &Action::Propose { at: i, v: u64::from(i.0) });
+        s
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+            || matches!(a, Action::Fd { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+            || matches!(a, Action::Elect { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, i: Loc, s: &mut CtState, a: &Action) {
+        self.inner.on_input(i, s, a);
+    }
+
+    fn output(&self, i: Loc, s: &CtState) -> Option<Action> {
+        match self.inner.output(i, s)? {
+            Action::Decide { at, v } => {
+                Some(Action::Elect { at, leader: Loc(u8::try_from(v).ok()?) })
+            }
+            other => Some(other),
+        }
+    }
+
+    fn on_output(&self, i: Loc, s: &mut CtState, a: &Action) {
+        match a {
+            Action::Elect { at, leader } => {
+                self.inner.on_output(
+                    i,
+                    s,
+                    &Action::Decide { at: *at, v: u64::from(leader.0) },
+                );
+            }
+            other => self.inner.on_output(i, s, other),
+        }
+    }
+}
+
+/// Build the leader-election system (◇S generator, like the CT system).
+#[must_use]
+pub fn leader_election_system(
+    pi: Pi,
+    crashes: Vec<Loc>,
+    lie_set: LocSet,
+    lie_count: u16,
+) -> System<ProcessAutomaton<ElectLeader>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, ElectLeader::new(pi))).collect();
+    SystemBuilder::new(pi, procs)
+        .with_fd(FdGen::ev_perfect_noisy(pi, lie_set, lie_count))
+        .with_env(Env::None)
+        .with_crashes(crashes)
+        .with_label("leader-election system")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::problems::leader_election::LeaderElection;
+    use afd_core::ProblemSpec;
+    use afd_system::{run_random, FaultPattern, SimConfig};
+
+    fn le_projection(schedule: &[Action]) -> Vec<Action> {
+        schedule
+            .iter()
+            .filter(|a| a.is_crash() || matches!(a, Action::Elect { .. }))
+            .copied()
+            .collect()
+    }
+
+    fn all_live_elected(pi: Pi, schedule: &[Action]) -> bool {
+        let faulty = afd_core::trace::faulty(schedule);
+        pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
+            schedule.iter().any(|a| matches!(a, Action::Elect { at, .. } if *at == i))
+        })
+    }
+
+    #[test]
+    fn failure_free_election_agrees() {
+        let pi = Pi::new(3);
+        let sys = leader_election_system(pi, vec![], LocSet::empty(), 0);
+        let out = run_random(
+            &sys,
+            2,
+            SimConfig::default()
+                .with_max_steps(20000)
+                .stop_when(move |s| all_live_elected(pi, s)),
+        );
+        let t = le_projection(out.schedule());
+        LeaderElection.check(pi, &t).unwrap();
+        let leader = LeaderElection::elected(&t).unwrap();
+        assert!(pi.contains(leader));
+    }
+
+    #[test]
+    fn election_survives_a_crash() {
+        let pi = Pi::new(3);
+        for seed in 0..8 {
+            let sys = leader_election_system(pi, vec![Loc(1)], LocSet::empty(), 0);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(10, Loc(1))]))
+                    .with_max_steps(30000)
+                    .stop_when(move |s| all_live_elected(pi, s)),
+            );
+            let t = le_projection(out.schedule());
+            LeaderElection.check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # afd-algorithms — distributed algorithms over AFDs
+//!
+//! * [`self_impl`] — `A_self` (Algorithm 3): every AFD implements
+//!   itself (§6, Theorem 13 / Corollary 14), checked end to end.
+//! * [`consensus`] — two f-crash-tolerant binary consensus protocols
+//!   (§9): Paxos-style over Ω and Chandra–Toueg over ◇S, both checked
+//!   against the §9.1 trace set in the Algorithm 4 environment.
+//! * [`reductions`] — the `D ⪰ D′` catalogue as executable local
+//!   transformations (P ⪰ ◇P ⪰ ◇S, P/◇P ⪰ Ω, P ⪰ Σ, Ω ⪰ anti-Ω, …).
+//! * [`lattice`] — the strength lattice with reflexive–transitive
+//!   closure (Corollary 14 + Theorem 15) and reduction-chain witnesses.
+//! * [`broadcast`] — uniform reliable broadcast (long-lived contrast
+//!   problem).
+//! * [`kset`] — k-set agreement by flooding (`f < k`).
+//! * [`leader_election`] — bounded leader agreement layered on the CT
+//!   machinery (a problem solving a problem, §5.2).
+//! * [`atomic_commit`] — non-blocking atomic commit from P (§1.1).
+//! * [`query_based`] — the §10.1 participant detector, both directions.
+//!
+//! # Example: consensus with Ω, checked against §9.1
+//!
+//! ```
+//! use afd_algorithms::consensus::{all_live_decided, check_consensus_run, paxos_system};
+//! use afd_core::Pi;
+//! use afd_system::{run_random, SimConfig};
+//!
+//! let pi = Pi::new(3);
+//! let sys = paxos_system(pi, &[0, 1, 1], vec![]);
+//! let out = run_random(
+//!     &sys,
+//!     5,
+//!     SimConfig::default().with_max_steps(5000).stop_when(move |s| all_live_decided(pi, s)),
+//! );
+//! let decided = check_consensus_run(pi, 0, out.schedule()).expect("T_P holds");
+//! assert!(matches!(decided, Some(0 | 1)));
+//! ```
+
+pub mod atomic_commit;
+pub mod broadcast;
+pub mod common;
+pub mod compose;
+pub mod consensus;
+pub mod kset;
+pub mod lattice;
+pub mod leader_election;
+pub mod query_based;
+pub mod reductions;
+pub mod self_impl;
+
+pub use compose::WithReduction;
+pub use consensus::{all_live_decided, check_consensus_run, ct_system, paxos_system};
+pub use lattice::{AfdId, Lattice};
+pub use reductions::{reduction_system, run_reduction, Reduction, Transform};
+pub use self_impl::{check_self_implementation, run_theorem_13, self_impl_system, SelfImpl};

@@ -1,0 +1,318 @@
+//! Reductions between AFDs: distributed algorithms that use one AFD
+//! `D` to solve another AFD `D′` (§5.4), establishing `D ⪰ D′`.
+//!
+//! Every reduction here is a *local transformation*: at each location,
+//! each incoming `D` output is mapped through a [`Transform`] and
+//! re-emitted (FIFO, like `A_self`) as a `D′` output. Locality is
+//! sufficient for this catalogue because the source detectors already
+//! carry enough agreement; the resulting composition is exactly the
+//! `A^{D.D′}` shape used in Theorem 15's transitivity construction.
+
+use afd_core::automata::FdGen;
+use afd_core::{Action, AfdSpec, FdOutput, Loc, Pi, Violation};
+use afd_system::{
+    run_random, Env, FaultPattern, LocalBehavior, ProcessAutomaton, SimConfig, System,
+    SystemBuilder,
+};
+
+use crate::self_impl::unrename_trace;
+
+/// A per-output transformation from one detector's output shape to
+/// another's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transform {
+    /// `D′ = D` up to renaming (weakenings along the same shape:
+    /// P ⪰ ◇P, P ⪰ S, S ⪰ ◇S, ◇P ⪰ ◇S, …).
+    Identity,
+    /// `Suspects(S) ↦ Leader(min(Π \ S))`: P ⪰ Ω and ◇P ⪰ Ω.
+    SuspectsToLeader,
+    /// `Suspects(S) ↦ Quorum(Π \ S)`: P ⪰ Σ.
+    SuspectsToQuorum,
+    /// `Suspects(S) ↦ Leaders(k smallest of Π \ S)`: P ⪰ Ω^k, ◇P ⪰ Ω^k.
+    SuspectsToLeadersK(usize),
+    /// `Suspects(S) ↦ Ψ^k(Π \ S, k smallest of Π \ S)`: P ⪰ Ψ^k.
+    SuspectsToPsiK(usize),
+    /// `Leader(l) ↦ AntiLeader(max(Π \ {l}))`: Ω ⪰ anti-Ω (n ≥ 2).
+    LeaderToAntiLeader,
+    /// `Leader(l) ↦ Leaders({l})`: Ω ⪰ Ω^k for any k ≥ 1.
+    LeaderToLeaders,
+    /// `Leaders(L) ↦ AntiLeader(max(Π \ L))`: Ω^k ⪰ anti-Ω (k < n).
+    LeadersToAntiLeader,
+    /// `Ψ^k(Q, L) ↦ Quorum(Q)`: Ψ^k ⪰ Σ.
+    PsiKToQuorum,
+    /// `Ψ^k(Q, L) ↦ Leaders(L)`: Ψ^k ⪰ Ω^k.
+    PsiKToLeaders,
+}
+
+impl Transform {
+    /// Apply the transformation to one output value. `None` when the
+    /// input shape does not match (the event is skipped).
+    #[must_use]
+    pub fn apply(self, pi: Pi, out: FdOutput) -> Option<FdOutput> {
+        match self {
+            Transform::Identity => Some(out),
+            Transform::SuspectsToLeader => {
+                let s = out.as_suspects()?;
+                Some(FdOutput::Leader(pi.all().difference(s).min()?))
+            }
+            Transform::SuspectsToQuorum => {
+                let s = out.as_suspects()?;
+                Some(FdOutput::Quorum(pi.all().difference(s)))
+            }
+            Transform::SuspectsToLeadersK(k) => {
+                let s = out.as_suspects()?;
+                let up = pi.all().difference(s);
+                (!up.is_empty()).then_some(FdOutput::Leaders(up.take_min(k)))
+            }
+            Transform::SuspectsToPsiK(k) => {
+                let s = out.as_suspects()?;
+                let up = pi.all().difference(s);
+                (!up.is_empty())
+                    .then_some(FdOutput::PsiK { quorum: up, leaders: up.take_min(k) })
+            }
+            Transform::LeaderToAntiLeader => {
+                let l = out.as_leader()?;
+                let rest = pi.all().difference(afd_core::LocSet::singleton(l));
+                Some(FdOutput::AntiLeader(rest.max().unwrap_or(l)))
+            }
+            Transform::LeaderToLeaders => {
+                Some(FdOutput::Leaders(afd_core::LocSet::singleton(out.as_leader()?)))
+            }
+            Transform::LeadersToAntiLeader => {
+                let l = out.as_leaders()?;
+                let rest = pi.all().difference(l);
+                Some(FdOutput::AntiLeader(rest.max()?))
+            }
+            Transform::PsiKToQuorum => Some(FdOutput::Quorum(out.as_psi_k()?.0)),
+            Transform::PsiKToLeaders => Some(FdOutput::Leaders(out.as_psi_k()?.1)),
+        }
+    }
+}
+
+/// The per-location reduction behavior: buffer `D` outputs, re-emit
+/// their transforms as `D′` outputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Reduction {
+    /// The universe (transforms need Π).
+    pub pi: Pi,
+    /// The output transformation.
+    pub transform: Transform,
+}
+
+/// State: FIFO of already-transformed outputs awaiting emission.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ReductionState {
+    /// Pending transformed outputs.
+    pub pending: Vec<FdOutput>,
+}
+
+impl LocalBehavior for Reduction {
+    type State = ReductionState;
+
+    fn proto_name(&self) -> String {
+        format!("reduce[{:?}]", self.transform)
+    }
+
+    fn init(&self, _i: Loc) -> ReductionState {
+        ReductionState::default()
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Fd { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::FdRenamed { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, _i: Loc, s: &mut ReductionState, a: &Action) {
+        if let Some((_, out)) = a.fd_output() {
+            if let Some(mapped) = self.transform.apply(self.pi, out) {
+                s.pending.push(mapped);
+            }
+        }
+    }
+
+    fn output(&self, i: Loc, s: &ReductionState) -> Option<Action> {
+        s.pending.first().map(|&out| Action::FdRenamed { at: i, out })
+    }
+
+    fn on_output(&self, _i: Loc, s: &mut ReductionState, _a: &Action) {
+        s.pending.remove(0);
+    }
+}
+
+/// Build the reduction system: source detector `D` (as a generator) +
+/// the transformation processes.
+#[must_use]
+pub fn reduction_system(
+    pi: Pi,
+    fd: FdGen,
+    transform: Transform,
+    crashes: Vec<Loc>,
+) -> System<ProcessAutomaton<Reduction>> {
+    let procs =
+        pi.iter().map(|i| ProcessAutomaton::new(i, Reduction { pi, transform })).collect();
+    SystemBuilder::new(pi, procs)
+        .with_fd(fd)
+        .with_env(Env::None)
+        .with_crashes(crashes)
+        .with_label("reduction system")
+        .build()
+}
+
+/// Run a reduction end to end and check that the produced (renamed)
+/// trace satisfies the *target* AFD `target_spec`, given that the
+/// source trace satisfied `source_spec`. Returns `Ok(false)` when the
+/// source antecedent failed (vacuous run), `Ok(true)` on verified
+/// success.
+///
+/// # Errors
+/// The target-spec violation, if any.
+#[allow(clippy::too_many_arguments)] // experiment harness entry point: explicit is clearer
+pub fn run_reduction(
+    source_spec: &dyn AfdSpec,
+    target_spec: &dyn AfdSpec,
+    pi: Pi,
+    fd: FdGen,
+    transform: Transform,
+    faults: FaultPattern,
+    seed: u64,
+    steps: usize,
+) -> Result<bool, Violation> {
+    let sys = reduction_system(pi, fd, transform, faults.faulty());
+    let out = run_random(&sys, seed, SimConfig::default().with_faults(faults).with_max_steps(steps));
+    let source_proj: Vec<Action> = out
+        .schedule()
+        .iter()
+        .filter(|a| a.is_crash() || source_spec.output_loc(a).is_some())
+        .copied()
+        .collect();
+    if source_spec.check_complete(pi, &source_proj).is_err() {
+        return Ok(false);
+    }
+    let target_proj: Vec<Action> = out
+        .schedule()
+        .iter()
+        .filter(|a| a.is_crash() || matches!(a, Action::FdRenamed { .. }))
+        .copied()
+        .collect();
+    target_spec.check_complete(pi, &unrename_trace(&target_proj)).map(|()| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::afds::{AntiOmega, EvPerfect, EvStrong, Omega, OmegaK, Perfect, PsiK, Sigma};
+    use afd_core::automata::FdBehavior;
+    use afd_core::LocSet;
+
+    fn fd_p(pi: Pi) -> FdGen {
+        FdGen::perfect(pi)
+    }
+    fn fd_evp(pi: Pi) -> FdGen {
+        FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2)
+    }
+
+    fn check(
+        source: &dyn AfdSpec,
+        target: &dyn AfdSpec,
+        fd: FdGen,
+        transform: Transform,
+        n: usize,
+    ) {
+        let pi = Pi::new(n);
+        let verified = run_reduction(
+            source,
+            target,
+            pi,
+            fd,
+            transform,
+            FaultPattern::at(vec![(25, Loc(u8::try_from(n - 1).unwrap()))]),
+            23,
+            600,
+        )
+        .unwrap_or_else(|v| panic!("{} ⪰ {} failed: {v}", source.name(), target.name()));
+        assert!(verified, "{} ⪰ {}: source antecedent failed", source.name(), target.name());
+    }
+
+    #[test]
+    fn p_is_stronger_than_evp_s_and_evs() {
+        let pi = Pi::new(3);
+        check(&Perfect, &EvPerfect, fd_p(pi), Transform::Identity, 3);
+        check(&Perfect, &afd_core::afds::Strong, fd_p(pi), Transform::Identity, 3);
+        check(&Perfect, &EvStrong, fd_p(pi), Transform::Identity, 3);
+    }
+
+    #[test]
+    fn evp_is_stronger_than_evs() {
+        let pi = Pi::new(3);
+        check(&EvPerfect, &EvStrong, fd_evp(pi), Transform::Identity, 3);
+    }
+
+    #[test]
+    fn p_and_evp_are_stronger_than_omega() {
+        let pi = Pi::new(3);
+        check(&Perfect, &Omega, fd_p(pi), Transform::SuspectsToLeader, 3);
+        check(&EvPerfect, &Omega, fd_evp(pi), Transform::SuspectsToLeader, 3);
+    }
+
+    #[test]
+    fn p_is_stronger_than_sigma_and_psi_k() {
+        let pi = Pi::new(4);
+        check(&Perfect, &Sigma, fd_p(pi), Transform::SuspectsToQuorum, 4);
+        check(&Perfect, &PsiK::new(2), fd_p(pi), Transform::SuspectsToPsiK(2), 4);
+    }
+
+    #[test]
+    fn omega_is_stronger_than_anti_omega_and_omega_k() {
+        let pi = Pi::new(3);
+        check(&Omega, &AntiOmega, FdGen::omega(pi), Transform::LeaderToAntiLeader, 3);
+        check(&Omega, &OmegaK::new(2), FdGen::omega(pi), Transform::LeaderToLeaders, 3);
+    }
+
+    #[test]
+    fn omega_k_is_stronger_than_anti_omega() {
+        let pi = Pi::new(3);
+        check(
+            &OmegaK::new(2),
+            &AntiOmega,
+            FdGen::new(pi, FdBehavior::OmegaK { k: 2 }),
+            Transform::LeadersToAntiLeader,
+            3,
+        );
+    }
+
+    #[test]
+    fn psi_k_projects_to_sigma_and_omega_k() {
+        let pi = Pi::new(4);
+        let gen = FdGen::new(pi, FdBehavior::PsiK { k: 2 });
+        check(&PsiK::new(2), &Sigma, gen.clone(), Transform::PsiKToQuorum, 4);
+        check(&PsiK::new(2), &OmegaK::new(2), gen, Transform::PsiKToLeaders, 4);
+    }
+
+    #[test]
+    fn transform_unit_semantics() {
+        let pi = Pi::new(3);
+        let s = FdOutput::Suspects(LocSet::singleton(Loc(0)));
+        assert_eq!(
+            Transform::SuspectsToLeader.apply(pi, s),
+            Some(FdOutput::Leader(Loc(1)))
+        );
+        assert_eq!(
+            Transform::SuspectsToQuorum.apply(pi, s),
+            Some(FdOutput::Quorum([Loc(1), Loc(2)].into_iter().collect()))
+        );
+        assert_eq!(
+            Transform::SuspectsToLeadersK(1).apply(pi, s),
+            Some(FdOutput::Leaders(LocSet::singleton(Loc(1))))
+        );
+        assert_eq!(
+            Transform::LeaderToAntiLeader.apply(pi, FdOutput::Leader(Loc(1))),
+            Some(FdOutput::AntiLeader(Loc(2)))
+        );
+        // Shape mismatch skips.
+        assert_eq!(Transform::SuspectsToLeader.apply(pi, FdOutput::Leader(Loc(0))), None);
+        assert_eq!(Transform::PsiKToQuorum.apply(pi, s), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! `A_self` — Algorithm 3: self-implementability of every AFD (§6).
+//!
+//! At each location `i`, the process keeps a FIFO queue `fdq` of the
+//! detector outputs it has received (inputs `d ∈ O_D,i`) and re-emits
+//! them, in order, under the renamed actions `d′ = r_IO(d) ∈ O_D′,i`.
+//! Crashes permanently disable the outputs (handled by the
+//! [`afd_system::ProcessAutomaton`] wrapper).
+//!
+//! Theorem 13: for every fair trace `t` of the composition, if
+//! `t|_{Î ∪ O_D} ∈ T_D` then `t|_{Î ∪ O_D′} ∈ T_D′` — checked
+//! executably by [`check_self_implementation`].
+
+use afd_core::automata::FdGen;
+use afd_core::{Action, AfdSpec, FdOutput, Loc, Pi, Violation};
+use afd_system::{
+    run_random, Env, FaultPattern, LocalBehavior, ProcessAutomaton, SimConfig, System,
+    SystemBuilder,
+};
+
+/// The per-location behavior of `A_self` (Algorithm 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfImpl;
+
+/// State of `A_self` at one location: the queue `fdq`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SelfImplState {
+    /// Buffered detector outputs, oldest first.
+    pub fdq: Vec<FdOutput>,
+}
+
+impl LocalBehavior for SelfImpl {
+    type State = SelfImplState;
+
+    fn proto_name(&self) -> String {
+        "A_self".into()
+    }
+
+    fn init(&self, _i: Loc) -> SelfImplState {
+        SelfImplState::default()
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Fd { at, .. } if *at == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::FdRenamed { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, _i: Loc, s: &mut SelfImplState, a: &Action) {
+        if let Some((_, out)) = a.fd_output() {
+            s.fdq.push(out);
+        }
+    }
+
+    fn output(&self, i: Loc, s: &SelfImplState) -> Option<Action> {
+        s.fdq.first().map(|&out| Action::FdRenamed { at: i, out })
+    }
+
+    fn on_output(&self, _i: Loc, s: &mut SelfImplState, _a: &Action) {
+        s.fdq.remove(0);
+    }
+}
+
+/// Build the §6 system: detector automaton `D` + `A_self` at every
+/// location (no environment; the only other inputs are crashes).
+#[must_use]
+pub fn self_impl_system(pi: Pi, fd: FdGen, crashes: Vec<Loc>) -> System<ProcessAutomaton<SelfImpl>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, SelfImpl)).collect();
+    SystemBuilder::new(pi, procs)
+        .with_fd(fd)
+        .with_env(Env::None)
+        .with_crashes(crashes)
+        .with_label("A_self system")
+        .build()
+}
+
+/// The renaming `r_IO^{-1}` applied to a trace: map `O_D′` events back
+/// to `O_D` events (crashes are fixed points), dropping everything
+/// else. The result is what the renamed trace set `T_D′` accepts iff
+/// `T_D` accepts this un-renamed image (§5.3 condition 2e).
+#[must_use]
+pub fn unrename_trace(t: &[Action]) -> Vec<Action> {
+    t.iter().filter_map(Action::unrename_fd).collect()
+}
+
+/// Check Theorem 13 on a recorded schedule: if the `D`-projection is in
+/// `T_D`, the `D′`-projection must be in `T_D′`.
+///
+/// Returns `Ok(true)` when the antecedent held and the consequent was
+/// verified, `Ok(false)` when the antecedent failed (vacuous), and the
+/// violation when `A_self` broke the consequent.
+///
+/// # Errors
+/// The `T_D′` violation, if any.
+pub fn check_self_implementation(
+    spec: &dyn AfdSpec,
+    pi: Pi,
+    schedule: &[Action],
+) -> Result<bool, Violation> {
+    let d_proj: Vec<Action> =
+        schedule.iter().filter(|a| a.is_crash() || spec.output_loc(a).is_some()).copied().collect();
+    if spec.check_complete(pi, &d_proj).is_err() {
+        return Ok(false);
+    }
+    let d_prime_proj: Vec<Action> = schedule
+        .iter()
+        .filter(|a| a.is_crash() || matches!(a, Action::FdRenamed { .. }))
+        .copied()
+        .collect();
+    spec.check_complete(pi, &unrename_trace(&d_prime_proj)).map(|()| true)
+}
+
+/// Run the §6 system end to end and check Theorem 13.
+///
+/// # Errors
+/// The `T_D′` violation, if any.
+pub fn run_theorem_13(
+    spec: &dyn AfdSpec,
+    pi: Pi,
+    fd: FdGen,
+    faults: FaultPattern,
+    seed: u64,
+    steps: usize,
+) -> Result<bool, Violation> {
+    let sys = self_impl_system(pi, fd, faults.faulty());
+    let out = run_random(&sys, seed, SimConfig::default().with_faults(faults).with_max_steps(steps));
+    check_self_implementation(spec, pi, out.schedule())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::afds::{EvPerfect, Omega, Perfect, Sigma};
+    use afd_core::automata::FdBehavior;
+    use afd_core::LocSet;
+
+    #[test]
+    fn fdq_preserves_fifo_order() {
+        use afd_system::ProcState;
+        let p = ProcessAutomaton::new(Loc(0), SelfImpl);
+        let mut s: ProcState<SelfImplState> = ioa::Automaton::initial_state(&p);
+        let o1 = Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(1)) };
+        let o2 = Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(2)) };
+        s = ioa::Automaton::step(&p, &s, &o1).unwrap();
+        s = ioa::Automaton::step(&p, &s, &o2).unwrap();
+        let out1 = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
+        assert_eq!(out1, Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(1)) });
+        s = ioa::Automaton::step(&p, &s, &out1).unwrap();
+        let out2 = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
+        assert_eq!(out2, Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(2)) });
+    }
+
+    #[test]
+    fn theorem_13_for_omega() {
+        let pi = Pi::new(3);
+        let verified = run_theorem_13(
+            &Omega,
+            pi,
+            FdGen::omega(pi),
+            FaultPattern::at(vec![(20, Loc(0))]),
+            7,
+            400,
+        )
+        .unwrap();
+        assert!(verified, "antecedent must hold for the canonical generator");
+    }
+
+    #[test]
+    fn theorem_13_for_p_and_evp() {
+        let pi = Pi::new(3);
+        assert!(run_theorem_13(
+            &Perfect,
+            pi,
+            FdGen::perfect(pi),
+            FaultPattern::at(vec![(15, Loc(2))]),
+            11,
+            400
+        )
+        .unwrap());
+        assert!(run_theorem_13(
+            &EvPerfect,
+            pi,
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2),
+            FaultPattern::at(vec![(25, Loc(2))]),
+            13,
+            500
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn theorem_13_for_sigma() {
+        let pi = Pi::new(4);
+        assert!(run_theorem_13(
+            &Sigma,
+            pi,
+            FdGen::new(pi, FdBehavior::Sigma),
+            FaultPattern::at(vec![(30, Loc(3))]),
+            17,
+            600
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn unrename_maps_back_exactly() {
+        let t = vec![
+            Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(1)) },
+            Action::Crash(Loc(2)),
+            Action::Decide { at: Loc(0), v: 1 }, // dropped: outside Î ∪ O_D′
+        ];
+        let u = unrename_trace(&t);
+        assert_eq!(
+            u,
+            vec![Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(1)) }, Action::Crash(Loc(2))]
+        );
+    }
+
+    #[test]
+    fn crashed_location_emits_no_renamed_outputs_after_crash() {
+        let pi = Pi::new(2);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![Loc(1)]);
+        let out = run_random(
+            &sys,
+            3,
+            SimConfig::default()
+                .with_faults(FaultPattern::at(vec![(6, Loc(1))]))
+                .with_max_steps(200),
+        );
+        let mut crashed = false;
+        for a in out.schedule() {
+            if a.crash_loc() == Some(Loc(1)) {
+                crashed = true;
+            }
+            if crashed {
+                assert_ne!(
+                    a.fd_renamed_output().map(|(l, _)| l),
+                    Some(Loc(1)),
+                    "renamed output after crash"
+                );
+            }
+        }
+        assert!(crashed);
+    }
+}

@@ -1,0 +1,73 @@
+//! Bench E1: events-to-decision for the two consensus algorithms,
+//! across n and fault injection — the repository's headline shape
+//! result (Ω's stable leader vs ◇S's rotating coordinators).
+
+use afd_algorithms::consensus::{all_live_decided, ct_system, paxos_system};
+use afd_core::{Loc, LocSet, Pi};
+use afd_system::{run_random, FaultPattern, SimConfig};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_paxos(pi: Pi, crash: bool, seed: u64) -> usize {
+    let victims = if crash { vec![Loc(0)] } else { vec![] };
+    let sys = paxos_system(pi, &vec![1; pi.len()], victims.clone());
+    let faults =
+        if crash { FaultPattern::at(vec![(15, Loc(0))]) } else { FaultPattern::none() };
+    run_random(
+        &sys,
+        seed,
+        SimConfig::default()
+            .with_faults(faults)
+            .with_max_steps(60_000)
+            .stop_when(move |s| all_live_decided(pi, s)),
+    )
+    .steps
+}
+
+fn run_ct(pi: Pi, crash: bool, seed: u64) -> usize {
+    let victims = if crash { vec![Loc(0)] } else { vec![] };
+    let sys = ct_system(pi, &vec![1; pi.len()], victims, LocSet::empty(), 0);
+    let faults =
+        if crash { FaultPattern::at(vec![(15, Loc(0))]) } else { FaultPattern::none() };
+    run_random(
+        &sys,
+        seed,
+        SimConfig::default()
+            .with_faults(faults)
+            .with_max_steps(90_000)
+            .stop_when(move |s| all_live_decided(pi, s)),
+    )
+    .steps
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for n in [3usize, 5, 7] {
+        let pi = Pi::new(n);
+        for crash in [false, true] {
+            let tag = format!("n{n}_{}", if crash { "crash" } else { "clean" });
+            g.bench_with_input(BenchmarkId::new("paxos_omega", &tag), &pi, |b, &pi| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run_paxos(pi, crash, seed)
+                });
+            });
+            g.bench_with_input(BenchmarkId::new("ct_evs", &tag), &pi, |b, &pi| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run_ct(pi, crash, seed)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

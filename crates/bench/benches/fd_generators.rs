@@ -1,0 +1,55 @@
+//! Bench A1: throughput of the canonical failure-detector generator
+//! automata (Algorithms 1 & 2 and generalizations) — events per second
+//! as a function of the detector and n.
+
+use afd_core::automata::{FdBehavior, FdGen};
+use afd_core::{Action, Loc, LocSet, Pi};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioa::{Automaton, RoundRobin, Scheduler};
+
+fn drive(gen: &FdGen, steps: usize) -> usize {
+    let mut s = gen.initial_state();
+    let mut sched = RoundRobin::new();
+    let mut produced = 0;
+    for step in 0..steps {
+        if step == steps / 2 {
+            // One crash in the middle keeps the state transitions honest.
+            s = gen.step(&s, &Action::Crash(Loc(0))).expect("crash");
+            continue;
+        }
+        let Some(t) = sched.next_task(gen, &s, step) else { break };
+        let a = gen.enabled(&s, t).expect("enabled");
+        s = gen.step(&s, &a).expect("step");
+        produced += 1;
+    }
+    produced
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fd_generators");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for n in [3usize, 8, 16] {
+        let pi = Pi::new(n);
+        let cases = vec![
+            ("omega", FdGen::omega(pi)),
+            ("perfect", FdGen::perfect(pi)),
+            ("evp_noisy", FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 4)),
+            ("sigma", FdGen::new(pi, FdBehavior::Sigma)),
+            ("omega_k2", FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
+            ("psi_k2", FdGen::new(pi, FdBehavior::PsiK { k: 2 })),
+        ];
+        for (name, gen) in cases {
+            g.bench_with_input(BenchmarkId::new(name, n), &gen, |b, gen| {
+                b.iter(|| drive(std::hint::black_box(gen), 512));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

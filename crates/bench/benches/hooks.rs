@@ -1,0 +1,76 @@
+//! Bench T59: cost of the §9 analyses — fair playouts, valence
+//! estimation, and the full hook search (Lemmas 53–55 + Theorem 59
+//! verification).
+
+use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+use afd_core::Pi;
+use afd_system::{Env, ProcessAutomaton, System, SystemBuilder};
+use afd_tree::{
+    estimate_valence, find_hook, random_t_omega, FdSeq, HookSearchOptions, PlayoutOptions,
+    TaggedTree, ValenceOptions,
+};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    SystemBuilder::new(pi, procs)
+        .with_env(Env::consensus(pi))
+        .with_crashes(seq.crash_script())
+        .build()
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    use afd_tree::explore;
+    let mut g = c.benchmark_group("exhaustive");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for n in [2usize, 3] {
+        let pi = Pi::new(n);
+        let seq = random_t_omega(pi, 0, 7);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        for depth in [4usize, 6] {
+            g.bench_with_input(
+                criterion::BenchmarkId::new(format!("bfs_n{n}"), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| explore(&tree, 50_000, depth).len());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hooks");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for n in [3usize, 4] {
+        let pi = Pi::new(n);
+        let seq = random_t_omega(pi, 1, 42);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        g.bench_with_input(BenchmarkId::new("playout", n), &tree, |b, tree| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                tree.playout(&tree.root(), seed, PlayoutOptions::default())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("valence_root", n), &tree, |b, tree| {
+            b.iter(|| estimate_valence(tree, &tree.root(), ValenceOptions::default()));
+        });
+        g.bench_with_input(BenchmarkId::new("find_hook", n), &tree, |b, tree| {
+            b.iter(|| find_hook(tree, HookSearchOptions::default()).expect("hook"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hooks, bench_exhaustive);
+criterion_main!(benches);

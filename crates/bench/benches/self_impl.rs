@@ -1,0 +1,50 @@
+//! Bench T13: the `A_self` pipeline — full system simulation plus the
+//! Theorem 13 check, per AFD.
+
+use afd_algorithms::self_impl::{check_self_implementation, self_impl_system};
+use afd_core::afds::{EvPerfect, Omega, Perfect, Sigma};
+use afd_core::automata::{FdBehavior, FdGen};
+use afd_core::{AfdSpec, Loc, LocSet, Pi};
+use afd_system::{run_random, FaultPattern, SimConfig};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn pipeline(spec: &dyn AfdSpec, gen: FdGen, pi: Pi, steps: usize) -> bool {
+    let sys = self_impl_system(pi, gen, vec![Loc(0)]);
+    let out = run_random(
+        &sys,
+        9,
+        SimConfig::default()
+            .with_faults(FaultPattern::at(vec![(steps / 4, Loc(0))]))
+            .with_max_steps(steps),
+    );
+    check_self_implementation(spec, pi, out.schedule()).unwrap_or(false)
+}
+
+fn bench_self_impl(c: &mut Criterion) {
+    let pi = Pi::new(4);
+    let mut g = c.benchmark_group("self_impl");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    let cases: Vec<(&str, Box<dyn AfdSpec>, FdGen)> = vec![
+        ("omega", Box::new(Omega), FdGen::omega(pi)),
+        ("perfect", Box::new(Perfect), FdGen::perfect(pi)),
+        (
+            "evp",
+            Box::new(EvPerfect),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2),
+        ),
+        ("sigma", Box::new(Sigma), FdGen::new(pi, FdBehavior::Sigma)),
+    ];
+    for (name, spec, gen) in &cases {
+        g.bench_with_input(BenchmarkId::new("theorem13", *name), name, |b, _| {
+            b.iter(|| pipeline(spec.as_ref(), gen.clone(), pi, 600));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_self_impl);
+criterion_main!(benches);

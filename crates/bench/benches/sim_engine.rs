@@ -1,0 +1,43 @@
+//! Bench E3: raw simulation-engine throughput — events per second of
+//! the composed system (processes + channels + crash + env + FD) under
+//! the round-robin and random-fair schedulers, as n grows.
+
+use afd_algorithms::self_impl::self_impl_system;
+use afd_core::automata::FdGen;
+use afd_core::Pi;
+use afd_system::{run_round_robin, run_sim, SimConfig};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    const STEPS: usize = 2_000;
+    g.throughput(Throughput::Elements(STEPS as u64));
+    for n in [3usize, 8, 16] {
+        let pi = Pi::new(n);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
+        g.bench_with_input(BenchmarkId::new("round_robin", n), &sys, |b, sys| {
+            b.iter(|| run_round_robin(sys, SimConfig::default().with_max_steps(STEPS)));
+        });
+        g.bench_with_input(BenchmarkId::new("random_fair", n), &sys, |b, sys| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_sim(sys, &mut ioa::RandomFair::new(seed), SimConfig::default().with_max_steps(STEPS))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("record_states", n), &sys, |b, sys| {
+            b.iter(|| {
+                run_round_robin(sys, SimConfig::default().record_states().with_max_steps(STEPS))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

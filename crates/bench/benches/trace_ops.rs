@@ -1,0 +1,74 @@
+//! Bench E2: costs of the §3.2 trace operations — validity checking,
+//! sampling generation/verification, and constrained-reordering
+//! generation/verification — as a function of trace length.
+
+use afd_core::afds::Omega;
+use afd_core::trace::{
+    check_validity, constrained_reorder_random, is_constrained_reordering, is_sampling,
+    sample_random,
+};
+use afd_core::{Action, AfdSpec, FdOutput, Loc, Pi};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn omega_trace(pi: Pi, len: usize) -> Vec<Action> {
+    let mut t = Vec::with_capacity(len);
+    for k in 0..len {
+        if k == len / 3 {
+            t.push(Action::Crash(Loc(0)));
+        } else {
+            let at = Loc(((k % (pi.len() - 1)) + 1) as u8);
+            t.push(Action::Fd { at, out: FdOutput::Leader(Loc(1)) });
+        }
+    }
+    t
+}
+
+fn bench_trace_ops(c: &mut Criterion) {
+    let pi = Pi::new(4);
+    let out_loc = |a: &Action| a.fd_output().map(|(i, _)| i);
+    let mut g = c.benchmark_group("trace_ops");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    for len in [128usize, 512, 2048] {
+        let t = omega_trace(pi, len);
+        g.bench_with_input(BenchmarkId::new("validity_check", len), &t, |b, t| {
+            b.iter(|| check_validity(pi, std::hint::black_box(t), out_loc, 1));
+        });
+        g.bench_with_input(BenchmarkId::new("spec_check_omega", len), &t, |b, t| {
+            b.iter(|| Omega.check_complete(pi, std::hint::black_box(t)));
+        });
+        g.bench_with_input(BenchmarkId::new("sample_random", len), &t, |b, t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sample_random(pi, std::hint::black_box(t), out_loc, &mut rng));
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let sub = sample_random(pi, &t, out_loc, &mut rng);
+        g.bench_with_input(BenchmarkId::new("is_sampling", len), &(sub, t.clone()), |b, (s, t)| {
+            b.iter(|| is_sampling(pi, std::hint::black_box(s), t, out_loc));
+        });
+        g.bench_with_input(BenchmarkId::new("reorder_random", len), &t, |b, t| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| constrained_reorder_random(std::hint::black_box(t), 1, &mut rng));
+        });
+        // Quadratic verification: only the shorter lengths.
+        if len <= 512 {
+            let r = constrained_reorder_random(&t, 1, &mut rng);
+            g.bench_with_input(
+                BenchmarkId::new("is_constrained_reordering", len),
+                &(r, t.clone()),
+                |b, (r, t)| {
+                    b.iter(|| is_constrained_reordering(std::hint::black_box(r), t));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_ops);
+criterion_main!(benches);

@@ -1,0 +1,327 @@
+//! The concrete action alphabet of the reproduction.
+//!
+//! The paper works with per-problem action names (`crash_i`,
+//! `send(m,j)_i`, `FD-Ω(j)_i`, `propose(v)_i`, …). We realize the whole
+//! universe as one strongly typed enum so that compositions, traces, and
+//! the execution tree are all hashable and cheaply comparable. Every
+//! action *occurs at* a location (`loc(a)`, §3.1): sends occur at the
+//! sender, receives at the receiver.
+
+use crate::fd::FdOutput;
+use crate::loc::Loc;
+use crate::message::{Msg, Val};
+
+/// One action of the system universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Action {
+    /// `crash_i` — output of the crash automaton (the set Î, §3.1).
+    Crash(Loc),
+    /// `send(m, to)_from` — output of the process at `from`, input of
+    /// channel `C_{from,to}` (§4.1).
+    Send {
+        /// Sender (the location the action occurs at).
+        from: Loc,
+        /// Destination.
+        to: Loc,
+        /// Message payload.
+        msg: Msg,
+    },
+    /// `receive(m, from)_to` — output of channel `C_{from,to}`, input of
+    /// the process at `to`.
+    Receive {
+        /// Original sender.
+        from: Loc,
+        /// Receiver (the location the action occurs at).
+        to: Loc,
+        /// Message payload.
+        msg: Msg,
+    },
+    /// An output of the failure detector `D` at location `at` (the set
+    /// `O_D,at`).
+    Fd {
+        /// Location the output occurs at.
+        at: Loc,
+        /// Output value.
+        out: FdOutput,
+    },
+    /// An output of the *renamed* detector `D′` at `at` — produced by the
+    /// self-implementation algorithm `A_self` (§5.3, §6).
+    FdRenamed {
+        /// Location the output occurs at.
+        at: Loc,
+        /// Output value.
+        out: FdOutput,
+    },
+    /// `propose(v)_i` — consensus input from the environment (§9.1).
+    Propose {
+        /// Proposing location.
+        at: Loc,
+        /// Proposed value.
+        v: Val,
+    },
+    /// `decide(v)_i` — consensus output (§9.1).
+    Decide {
+        /// Deciding location.
+        at: Loc,
+        /// Decided value.
+        v: Val,
+    },
+    /// Leader-election output: `at` announces `leader`.
+    Elect {
+        /// Announcing location.
+        at: Loc,
+        /// Elected leader.
+        leader: Loc,
+    },
+    /// Reliable-broadcast input: `at` broadcasts `payload`.
+    Broadcast {
+        /// Broadcasting location.
+        at: Loc,
+        /// Application payload.
+        payload: u64,
+    },
+    /// Reliable-broadcast output: `at` delivers `payload` from `origin`.
+    Deliver {
+        /// Delivering location.
+        at: Loc,
+        /// Originator of the payload.
+        origin: Loc,
+        /// Application payload.
+        payload: u64,
+    },
+    /// k-set-agreement input.
+    ProposeK {
+        /// Proposing location.
+        at: Loc,
+        /// Proposed value.
+        v: Val,
+    },
+    /// k-set-agreement output.
+    DecideK {
+        /// Deciding location.
+        at: Loc,
+        /// Decided value.
+        v: Val,
+    },
+    /// Non-blocking-atomic-commit input: `at` votes yes or no.
+    Vote {
+        /// Voting location.
+        at: Loc,
+        /// The vote.
+        yes: bool,
+    },
+    /// Non-blocking-atomic-commit output: `at` learns the verdict.
+    Verdict {
+        /// Learning location.
+        at: Loc,
+        /// True for commit, false for abort.
+        commit: bool,
+    },
+    /// Query to a query-based failure detector (§10.1 discussion).
+    Query {
+        /// Querying location.
+        at: Loc,
+    },
+    /// Reply from a query-based failure detector (§10.1 discussion).
+    QueryReply {
+        /// Location receiving the reply.
+        at: Loc,
+        /// Reply value.
+        out: FdOutput,
+    },
+    /// An internal step of the process at `at` (tagged for debugging).
+    Internal {
+        /// Location the step occurs at.
+        at: Loc,
+        /// Free-form tag.
+        tag: u16,
+    },
+}
+
+impl Action {
+    /// `loc(a)` — the location the action occurs at (§3.1).
+    #[must_use]
+    pub fn loc(&self) -> Loc {
+        match *self {
+            Action::Crash(l) => l,
+            Action::Send { from, .. } => from,
+            Action::Receive { to, .. } => to,
+            Action::Fd { at, .. }
+            | Action::FdRenamed { at, .. }
+            | Action::Propose { at, .. }
+            | Action::Decide { at, .. }
+            | Action::Elect { at, .. }
+            | Action::Broadcast { at, .. }
+            | Action::Deliver { at, .. }
+            | Action::ProposeK { at, .. }
+            | Action::DecideK { at, .. }
+            | Action::Vote { at, .. }
+            | Action::Verdict { at, .. }
+            | Action::Query { at }
+            | Action::QueryReply { at, .. }
+            | Action::Internal { at, .. } => at,
+        }
+    }
+
+    /// True iff this is a crash action (a member of Î).
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Action::Crash(_))
+    }
+
+    /// The crashed location, if this is a crash action.
+    #[must_use]
+    pub fn crash_loc(&self) -> Option<Loc> {
+        match *self {
+            Action::Crash(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True iff this is an output of the (un-renamed) failure detector.
+    #[must_use]
+    pub fn is_fd_output(&self) -> bool {
+        matches!(self, Action::Fd { .. })
+    }
+
+    /// The FD output value, if this is an (un-renamed) FD output.
+    #[must_use]
+    pub fn fd_output(&self) -> Option<(Loc, FdOutput)> {
+        match *self {
+            Action::Fd { at, out } => Some((at, out)),
+            _ => None,
+        }
+    }
+
+    /// The FD output value, if this is a *renamed* FD output.
+    #[must_use]
+    pub fn fd_renamed_output(&self) -> Option<(Loc, FdOutput)> {
+        match *self {
+            Action::FdRenamed { at, out } => Some((at, out)),
+            _ => None,
+        }
+    }
+
+    /// The renaming bijection `r_IO` of §6: maps `Fd` outputs to
+    /// `FdRenamed` outputs and fixes crash actions, as the definition of
+    /// renaming requires. Returns `None` on actions outside `Î ∪ O_D`.
+    #[must_use]
+    pub fn rename_fd(&self) -> Option<Action> {
+        match *self {
+            Action::Fd { at, out } => Some(Action::FdRenamed { at, out }),
+            Action::Crash(l) => Some(Action::Crash(l)),
+            _ => None,
+        }
+    }
+
+    /// Inverse of [`Action::rename_fd`] (`r_IO^{-1}`).
+    #[must_use]
+    pub fn unrename_fd(&self) -> Option<Action> {
+        match *self {
+            Action::FdRenamed { at, out } => Some(Action::Fd { at, out }),
+            Action::Crash(l) => Some(Action::Crash(l)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Crash(l) => write!(f, "crash_{l}"),
+            Action::Send { from, to, msg } => write!(f, "send({msg:?},{to})_{from}"),
+            Action::Receive { from, to, msg } => write!(f, "receive({msg:?},{from})_{to}"),
+            Action::Fd { at, out } => write!(f, "FD({out})_{at}"),
+            Action::FdRenamed { at, out } => write!(f, "FD'({out})_{at}"),
+            Action::Propose { at, v } => write!(f, "propose({v})_{at}"),
+            Action::Decide { at, v } => write!(f, "decide({v})_{at}"),
+            Action::Elect { at, leader } => write!(f, "elect({leader})_{at}"),
+            Action::Broadcast { at, payload } => write!(f, "bcast({payload})_{at}"),
+            Action::Deliver { at, origin, payload } => {
+                write!(f, "deliver({payload} from {origin})_{at}")
+            }
+            Action::ProposeK { at, v } => write!(f, "proposeK({v})_{at}"),
+            Action::Vote { at, yes } => write!(f, "vote({})_{at}", if *yes { "yes" } else { "no" }),
+            Action::Verdict { at, commit } => {
+                write!(f, "verdict({})_{at}", if *commit { "commit" } else { "abort" })
+            }
+            Action::DecideK { at, v } => write!(f, "decideK({v})_{at}"),
+            Action::Query { at } => write!(f, "query_{at}"),
+            Action::QueryReply { at, out } => write!(f, "reply({out})_{at}"),
+            Action::Internal { at, tag } => write!(f, "internal#{tag}_{at}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::LocSet;
+
+    #[test]
+    fn loc_follows_paper_conventions() {
+        let send = Action::Send { from: Loc(1), to: Loc(2), msg: Msg::Token(0) };
+        assert_eq!(send.loc(), Loc(1), "send occurs at the sender");
+        let recv = Action::Receive { from: Loc(1), to: Loc(2), msg: Msg::Token(0) };
+        assert_eq!(recv.loc(), Loc(2), "receive occurs at the receiver");
+        assert_eq!(Action::Crash(Loc(3)).loc(), Loc(3));
+        assert_eq!(Action::Query { at: Loc(4) }.loc(), Loc(4));
+    }
+
+    #[test]
+    fn crash_predicates() {
+        let c = Action::Crash(Loc(0));
+        assert!(c.is_crash());
+        assert_eq!(c.crash_loc(), Some(Loc(0)));
+        assert!(!Action::Query { at: Loc(0) }.is_crash());
+        assert_eq!(Action::Query { at: Loc(0) }.crash_loc(), None);
+    }
+
+    #[test]
+    fn renaming_is_a_bijection_fixing_crashes() {
+        let out = FdOutput::Suspects(LocSet::singleton(Loc(1)));
+        let a = Action::Fd { at: Loc(0), out };
+        let r = a.rename_fd().unwrap();
+        assert_eq!(r, Action::FdRenamed { at: Loc(0), out });
+        assert_eq!(r.unrename_fd(), Some(a));
+        // Crashes are fixed points (§5.3 condition 2b).
+        let c = Action::Crash(Loc(2));
+        assert_eq!(c.rename_fd(), Some(c));
+        assert_eq!(c.unrename_fd(), Some(c));
+        // Renaming preserves locations (§5.3 condition 2a).
+        assert_eq!(a.loc(), r.loc());
+        // Out-of-domain actions map to None.
+        assert_eq!(Action::Query { at: Loc(0) }.rename_fd(), None);
+    }
+
+    #[test]
+    fn fd_output_accessors() {
+        let out = FdOutput::Leader(Loc(1));
+        let a = Action::Fd { at: Loc(0), out };
+        assert!(a.is_fd_output());
+        assert_eq!(a.fd_output(), Some((Loc(0), out)));
+        assert_eq!(a.fd_renamed_output(), None);
+        let r = a.rename_fd().unwrap();
+        assert_eq!(r.fd_renamed_output(), Some((Loc(0), out)));
+        assert!(!r.is_fd_output());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Action::Crash(Loc(1)).to_string(), "crash_p1");
+        assert_eq!(Action::Decide { at: Loc(0), v: 1 }.to_string(), "decide(1)_p0");
+        assert!(Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(2)) }
+            .to_string()
+            .contains("Ω=p2"));
+    }
+
+    #[test]
+    fn actions_order_and_hash() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Action::Crash(Loc(0)));
+        s.insert(Action::Crash(Loc(0)));
+        s.insert(Action::Crash(Loc(1)));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! The anti-Ω failure detector.
+//!
+//! Our version: anti-Ω outputs a single location ID per output event (a
+//! reported *non-leader*). `T_anti-Ω` is the set of valid sequences over
+//! `Î ∪ O_anti-Ω` such that, if `live(t) ≠ ∅` and `|Π| ≥ 2`, some live
+//! location `k` is output only finitely often — i.e. there is a suffix
+//! in which `k` is never output. anti-Ω is the classical weakest failure
+//! detector for (n−1)-set agreement.
+
+use crate::action::Action;
+use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{live, Violation};
+
+/// The anti-Ω failure detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AntiOmega;
+
+impl AntiOmega {
+    /// A new anti-Ω specification.
+    #[must_use]
+    pub fn new() -> Self {
+        AntiOmega
+    }
+
+    /// A live location that stops being output, with the index after
+    /// which it no longer appears — the witness of the anti-Ω clause.
+    ///
+    /// # Errors
+    /// When every live location keeps being output to the end.
+    pub fn find_witness(&self, pi: Pi, t: &[Action]) -> Result<(Loc, usize), Violation> {
+        let alive = live(pi, t);
+        let mut last_err = None;
+        for k in alive.iter() {
+            match stabilization_point(self, pi, t, "anti-omega.witness", |_, out| {
+                out.as_anti_leader() != Some(k)
+            }) {
+                Ok(p) => return Ok((k, p)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            Violation::new("anti-omega.no-witness", "no live location exists")
+        }))
+    }
+}
+
+impl AfdSpec for AntiOmega {
+    fn name(&self) -> String {
+        "anti-Ω".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::AntiLeader(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        if live(pi, t).is_empty() || pi.len() < 2 {
+            return Ok(());
+        }
+        self.find_witness(pi, t).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anti(at: u8, who: u8) -> Action {
+        Action::Fd { at: Loc(at), out: FdOutput::AntiLeader(Loc(who)) }
+    }
+
+    #[test]
+    fn accepts_one_spared_live_location() {
+        let pi = Pi::new(3);
+        // Everyone reports p2 as non-leader; p0 and p1 are spared.
+        let t = vec![anti(0, 2), anti(1, 2), anti(2, 2), anti(0, 2), anti(1, 2), anti(2, 2)];
+        assert!(AntiOmega.check_complete(pi, &t).is_ok());
+        let (k, _) = AntiOmega.find_witness(pi, &t).unwrap();
+        assert!(k == Loc(0) || k == Loc(1));
+    }
+
+    #[test]
+    fn accepts_rotating_outputs_that_spare_someone_eventually() {
+        let pi = Pi::new(2);
+        let t = vec![anti(0, 0), anti(1, 0), anti(0, 1), anti(1, 1), anti(0, 0), anti(1, 0)];
+        // p1 stops being output after index 3.
+        assert!(AntiOmega.check_complete(pi, &t).is_ok());
+        let (k, p) = AntiOmega.find_witness(pi, &t).unwrap();
+        assert_eq!(k, Loc(1));
+        assert_eq!(p, 4);
+    }
+
+    #[test]
+    fn rejects_everyone_reported_forever() {
+        let pi = Pi::new(2);
+        // Both live locations keep appearing to the very end.
+        let t = vec![anti(0, 0), anti(1, 1), anti(0, 1), anti(1, 0), anti(0, 0), anti(1, 1)];
+        assert!(AntiOmega.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn faulty_locations_do_not_count_as_witnesses() {
+        let pi = Pi::new(2);
+        // p1 crashes; the only live location p0 keeps being output.
+        let t = vec![anti(0, 0), anti(1, 0), Action::Crash(Loc(1)), anti(0, 0), anti(0, 0)];
+        assert!(AntiOmega.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn singleton_universe_is_vacuous() {
+        let pi = Pi::new(1);
+        let t = vec![anti(0, 0), anti(0, 0)];
+        assert!(AntiOmega.check_complete(pi, &t).is_ok(), "n=1 anti-Ω is vacuous");
+    }
+
+    #[test]
+    fn omega_complement_behavior_is_legal() {
+        // Outputting max(live) forever spares min(live): the canonical
+        // generator's behavior.
+        let pi = Pi::new(3);
+        let t = vec![
+            anti(0, 2),
+            anti(1, 2),
+            anti(2, 2),
+            Action::Crash(Loc(2)),
+            anti(0, 1),
+            anti(1, 1),
+        ];
+        assert!(AntiOmega.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            anti(0, 2),
+            anti(1, 2),
+            anti(2, 2),
+            Action::Crash(Loc(2)),
+            anti(0, 1),
+            anti(1, 1),
+            anti(0, 1),
+            anti(1, 1),
+        ];
+        assert!(AntiOmega.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&AntiOmega, pi, &t, 60, 17), None);
+        assert_eq!(closure::reordering_counterexample(&AntiOmega, pi, &t, 60, 17), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! The D_k failure detectors (§3.4) — **not** AFDs.
+//!
+//! `D_k` "provides accurate information only about crashes that occur
+//! after real time k". Its defining clause quantifies over *real time*,
+//! which the I/O-automata model — and hence the AFD framework — does not
+//! contain at all. We make that observation executable: `D_k`'s trace
+//! set is only definable over *timed* traces (`(time, action)` pairs),
+//! and the module offers no way to interpret it over plain [`Action`]
+//! sequences. [`DkTimed::try_as_afd`] returns `None`, and the unit
+//! tests document why no faithful untimed projection exists: two timed
+//! traces with different `T_D_k` membership can project to the *same*
+//! untimed trace.
+
+use crate::action::Action;
+use crate::fd::FdOutput;
+use crate::loc::{Loc, LocSet};
+
+/// A timestamped event: real time plus action. Only used to *state*
+/// D_k; nothing else in the framework consumes timed traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Real time of occurrence (the quantity AFDs deliberately lack).
+    pub time: f64,
+    /// The event.
+    pub action: Action,
+}
+
+/// The D_k detector over *timed* traces.
+#[derive(Debug, Clone, Copy)]
+pub struct DkTimed {
+    /// The real-time horizon `k`: crashes after this time must
+    /// eventually be reported accurately; earlier crashes may be
+    /// reported arbitrarily.
+    pub horizon: f64,
+}
+
+impl DkTimed {
+    /// A D_k specification with horizon `k`.
+    #[must_use]
+    pub fn new(horizon: f64) -> Self {
+        DkTimed { horizon }
+    }
+
+    /// Membership of a timed trace in `T_D_k` (complete-run
+    /// convention): every crash at time > `horizon` must be suspected by
+    /// every later output, and no location that never crashes may be
+    /// suspected after `horizon`... the exact clause matters less than
+    /// the fact that it *requires* the `time` field.
+    #[must_use]
+    pub fn check_timed(&self, t: &[TimedEvent]) -> bool {
+        let late_crashes: LocSet = t
+            .iter()
+            .filter(|e| e.time > self.horizon)
+            .filter_map(|e| e.action.crash_loc())
+            .collect();
+        let all_crashes: LocSet = t.iter().filter_map(|e| e.action.crash_loc()).collect();
+        // Final outputs must contain every late crash and no never-crashed location.
+        let mut per_loc_last: std::collections::HashMap<Loc, LocSet> =
+            std::collections::HashMap::new();
+        for e in t {
+            if let Some((i, FdOutput::Suspects(s))) = e.action.fd_output() {
+                per_loc_last.insert(i, s);
+            }
+        }
+        per_loc_last.values().all(|s| {
+            late_crashes.is_subset(*s) && s.difference(all_crashes).is_empty()
+        })
+    }
+
+    /// D_k cannot be expressed as an AFD: there is no function of the
+    /// *untimed* trace that captures its clause. Always `None`; exists
+    /// so call sites document the impossibility in code.
+    #[must_use]
+    pub fn try_as_afd(&self) -> Option<std::convert::Infallible> {
+        None
+    }
+}
+
+/// Drop the timestamps — the only view of a run the AFD framework has.
+#[must_use]
+pub fn untime(t: &[TimedEvent]) -> Vec<Action> {
+    t.iter().map(|e| e.action).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sus(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Suspects(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    fn ev(time: f64, action: Action) -> TimedEvent {
+        TimedEvent { time, action }
+    }
+
+    #[test]
+    fn timed_membership_depends_on_crash_time() {
+        let dk = DkTimed::new(10.0);
+        // Crash after the horizon: must be suspected.
+        let late = vec![
+            ev(11.0, Action::Crash(Loc(1))),
+            ev(12.0, sus(0, &[1])),
+        ];
+        assert!(dk.check_timed(&late));
+        let late_unsuspected = vec![
+            ev(11.0, Action::Crash(Loc(1))),
+            ev(12.0, sus(0, &[])),
+        ];
+        assert!(!dk.check_timed(&late_unsuspected));
+        // Crash before the horizon: may be ignored.
+        let early_unsuspected = vec![
+            ev(5.0, Action::Crash(Loc(1))),
+            ev(12.0, sus(0, &[])),
+        ];
+        assert!(dk.check_timed(&early_unsuspected));
+    }
+
+    #[test]
+    fn untimed_projection_loses_the_distinction() {
+        // Two timed traces, opposite D_k verdicts, identical untimed
+        // projections: D_k has no faithful untimed (AFD) rendering.
+        let dk = DkTimed::new(10.0);
+        let t_in = vec![ev(5.0, Action::Crash(Loc(1))), ev(12.0, sus(0, &[]))];
+        let t_out = vec![ev(11.0, Action::Crash(Loc(1))), ev(12.0, sus(0, &[]))];
+        assert!(dk.check_timed(&t_in));
+        assert!(!dk.check_timed(&t_out));
+        assert_eq!(untime(&t_in), untime(&t_out));
+    }
+
+    #[test]
+    fn try_as_afd_is_none() {
+        assert!(DkTimed::new(3.0).try_as_afd().is_none());
+    }
+
+    #[test]
+    fn never_crashed_locations_must_not_be_suspected_at_the_end() {
+        let dk = DkTimed::new(0.0);
+        let t = vec![ev(1.0, sus(0, &[1])), ev(2.0, sus(0, &[1]))];
+        assert!(!dk.check_timed(&t), "p1 never crashes");
+    }
+}

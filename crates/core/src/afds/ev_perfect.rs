@@ -1,0 +1,160 @@
+//! The eventually perfect failure detector ◇P (§3.3).
+//!
+//! `T_◇P` is the set of valid sequences `t` over `Î ∪ O_◇P` such that:
+//!
+//! 1. **Eventual strong accuracy** — there is a suffix `t_trust` in
+//!    which no output suspects a live location.
+//! 2. **Strong completeness** — there is a suffix `t_suspect` in which
+//!    every output suspects every faulty location.
+//!
+//! Both clauses are "eventually forever"; the finite check finds a
+//! single stabilization point satisfying both (the intersection of the
+//! paper's two suffixes).
+
+use crate::action::Action;
+use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{faulty, live, Violation};
+
+/// The eventually perfect failure detector ◇P.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvPerfect;
+
+impl EvPerfect {
+    /// A new ◇P specification.
+    #[must_use]
+    pub fn new() -> Self {
+        EvPerfect
+    }
+}
+
+impl AfdSpec for EvPerfect {
+    fn name(&self) -> String {
+        "◇P".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let f = faulty(t);
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        stabilization_point(self, pi, t, "ev-perfect.converged", |_, out| {
+            out.as_suspects().is_some_and(|s| f.is_subset(s) && !s.intersects(alive))
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afds::perfect::Perfect;
+
+    fn sus(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Suspects(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn accepts_initial_lies_that_stop() {
+        let pi = Pi::new(2);
+        // p0 wrongly suspects live p1 at first, then converges.
+        let t = vec![sus(0, &[1]), sus(1, &[]), sus(0, &[]), sus(1, &[])];
+        assert!(EvPerfect.check_complete(pi, &t).is_ok());
+        // The same trace is NOT in T_P: lies are forbidden there.
+        assert!(Perfect.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn rejects_permanent_wrong_suspicion() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[1]), sus(1, &[]), sus(0, &[1])];
+        let err = EvPerfect.check_complete(pi, &t).unwrap_err();
+        assert!(err.rule.starts_with("eventually"), "{err}");
+    }
+
+    #[test]
+    fn requires_eventual_completeness() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[])];
+        assert!(EvPerfect.check_complete(pi, &t).is_err());
+        let good = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[2]), sus(0, &[1])];
+        // [2] wrongly suspects a live loc — allowed finitely; converges after.
+        assert!(EvPerfect.check_complete(Pi::new(3), &good).is_err(), "p2 silent");
+        let good2 = vec![
+            sus(2, &[]),
+            sus(0, &[]),
+            Action::Crash(Loc(1)),
+            sus(0, &[1]),
+            sus(2, &[1]),
+        ];
+        assert!(EvPerfect.check_complete(Pi::new(3), &good2).is_ok());
+    }
+
+    #[test]
+    fn every_p_trace_is_an_ev_p_trace() {
+        // T_P ⊆ T_◇P on a batch of representative traces.
+        let pi = Pi::new(3);
+        let traces = vec![
+            vec![sus(0, &[]), sus(1, &[]), sus(2, &[])],
+            vec![
+                sus(0, &[]),
+                sus(1, &[]),
+                sus(2, &[]),
+                Action::Crash(Loc(2)),
+                sus(0, &[2]),
+                sus(1, &[2]),
+            ],
+        ];
+        for t in traces {
+            assert!(Perfect.check_complete(pi, &t).is_ok());
+            assert!(EvPerfect.check_complete(pi, &t).is_ok());
+        }
+    }
+
+    #[test]
+    fn validity_still_enforced() {
+        let pi = Pi::new(2);
+        let t = vec![Action::Crash(Loc(0)), sus(0, &[]), sus(1, &[0]), sus(1, &[0])];
+        let err = EvPerfect.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "validity.safety");
+    }
+
+    #[test]
+    fn all_crashed_is_vacuous() {
+        let pi = Pi::new(1);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(0))];
+        assert!(EvPerfect.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[1]), // lie
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        assert!(EvPerfect.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&EvPerfect, pi, &t, 60, 5), None);
+        assert_eq!(closure::reordering_counterexample(&EvPerfect, pi, &t, 60, 5), None);
+    }
+}

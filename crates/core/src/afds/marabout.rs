@@ -1,0 +1,114 @@
+//! The Marabout failure detector (§3.4) — **not** an AFD.
+//!
+//! Marabout *always* outputs the set of faulty locations — including
+//! locations that have not crashed yet. As a function of the fault
+//! pattern its trace set is perfectly well defined (and, as the tests
+//! show, it even enjoys the closure axioms), but it fails the
+//! *problem* requirement of §3.1: no automaton's fair traces are
+//! contained in `T_Marabout`, because an automaton would have to
+//! predict future crashes. The executable refutation lives in
+//! `afd-system::refuter`, which defeats *any* candidate generator by
+//! the branch argument of §3.4.
+
+use crate::action::Action;
+use crate::afd::{fd_events, require_validity, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{faulty, Violation};
+
+/// The Marabout detector specification (a crash problem, not an AFD).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Marabout;
+
+impl Marabout {
+    /// A new Marabout specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Marabout
+    }
+}
+
+impl AfdSpec for Marabout {
+    fn name(&self) -> String {
+        "Marabout".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let f = faulty(t);
+        for (idx, i, out) in fd_events(self, t) {
+            if out.as_suspects() != Some(f) {
+                return Err(Violation::new(
+                    "marabout.exact",
+                    format!(
+                        "output {out} at index {idx} (loc {i}) differs from faulty(t) = {f}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sus(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Suspects(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn accepts_omniscient_outputs() {
+        let pi = Pi::new(2);
+        // Output {p1} from the very beginning, before p1 crashes.
+        let t = vec![sus(0, &[1]), Action::Crash(Loc(1)), sus(0, &[1]), sus(0, &[1])];
+        assert!(Marabout.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_honest_ignorance() {
+        let pi = Pi::new(2);
+        // An implementable detector outputs {} before the crash — but
+        // that is exactly what Marabout forbids.
+        let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[1])];
+        let err = Marabout.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "marabout.exact");
+    }
+
+    #[test]
+    fn crash_free_runs_demand_empty_outputs() {
+        let pi = Pi::new(2);
+        assert!(Marabout.check_complete(pi, &[sus(0, &[]), sus(1, &[])]).is_ok());
+        assert!(Marabout.check_complete(pi, &[sus(0, &[1]), sus(1, &[])]).is_err());
+    }
+
+    #[test]
+    fn closure_axioms_hold_yet_marabout_is_not_an_afd() {
+        // Marabout's failure is *solvability*, not the closure axioms:
+        // random samplings and constrained reorderings of member traces
+        // stay members (faulty(t) is preserved by both).
+        use crate::afd::closure;
+        let pi = Pi::new(2);
+        let t = vec![
+            sus(0, &[1]),
+            sus(1, &[1]),
+            Action::Crash(Loc(1)),
+            sus(0, &[1]),
+            sus(0, &[1]),
+        ];
+        assert!(Marabout.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&Marabout, pi, &t, 60, 29), None);
+        assert_eq!(closure::reordering_counterexample(&Marabout, pi, &t, 60, 29), None);
+    }
+}

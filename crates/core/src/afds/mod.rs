@@ -1,0 +1,45 @@
+//! AFD specifications (§3.3) and two non-AFDs (§3.4).
+//!
+//! Every detector here follows the paper's pattern: *"We specify our
+//! version of `D` as follows"* — the trace set `T_D` is defined over
+//! `Î ∪ O_D` by a validity clause plus detector-specific clauses, and is
+//! checked over finite traces under the complete-run convention
+//! documented in [`crate::afd`].
+//!
+//! | Module | Detector | Output shape |
+//! |---|---|---|
+//! | [`omega`] | Ω (leader election oracle) | [`crate::fd::FdOutput::Leader`] |
+//! | [`perfect`] | P (perfect) | [`crate::fd::FdOutput::Suspects`] |
+//! | [`ev_perfect`] | ◇P (eventually perfect) | [`crate::fd::FdOutput::Suspects`] |
+//! | [`strong`] | S and ◇S (strong / eventually strong) | [`crate::fd::FdOutput::Suspects`] |
+//! | [`weak`] | W and ◇W (weak / eventually weak) | [`crate::fd::FdOutput::Suspects`] |
+//! | [`sigma`] | Σ (quorum) | [`crate::fd::FdOutput::Quorum`] |
+//! | [`anti_omega`] | anti-Ω | [`crate::fd::FdOutput::AntiLeader`] |
+//! | [`omega_k`] | Ω^k (k-leader committees) | [`crate::fd::FdOutput::Leaders`] |
+//! | [`psi_k`] | Ψ^k (our version: Σ × Ω^k) | [`crate::fd::FdOutput::PsiK`] |
+//! | [`marabout`] | Marabout — **not** an AFD (§3.4) | [`crate::fd::FdOutput::Suspects`] |
+//! | [`dk`] | D_k — **not** an AFD (§3.4) | (needs real time) |
+
+pub mod anti_omega;
+pub mod dk;
+pub mod ev_perfect;
+pub mod marabout;
+pub mod omega;
+pub mod omega_k;
+pub mod perfect;
+pub mod psi_k;
+pub mod sigma;
+pub mod strong;
+pub mod weak;
+
+pub use anti_omega::AntiOmega;
+pub use dk::DkTimed;
+pub use ev_perfect::EvPerfect;
+pub use marabout::Marabout;
+pub use omega::Omega;
+pub use omega_k::OmegaK;
+pub use perfect::Perfect;
+pub use psi_k::PsiK;
+pub use sigma::Sigma;
+pub use strong::{EvStrong, Strong};
+pub use weak::{EvWeak, Weak};

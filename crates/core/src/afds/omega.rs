@@ -1,0 +1,182 @@
+//! The leader election oracle Ω (§3.3).
+//!
+//! `T_Ω` is the set of all valid sequences `t` over `Î ∪ O_Ω` such that,
+//! if `live(t) ≠ ∅`, there exist a location `l ∈ live(t)` and a suffix
+//! `t_suff` of `t` such that `t_suff | O_Ω` is a sequence over
+//! `{FD-Ω(l)_i | i ∈ live(t)}` — i.e. eventually and permanently, Ω
+//! outputs the ID of one fixed live location, at live locations only.
+
+use crate::action::Action;
+use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{live, Violation};
+
+/// The Ω failure detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Omega;
+
+impl Omega {
+    /// A new Ω specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Omega
+    }
+
+    /// The eventual leader witnessed by a complete trace: the value of
+    /// the last Ω output at a live location, if any.
+    #[must_use]
+    pub fn eventual_leader(&self, pi: Pi, t: &[Action]) -> Option<Loc> {
+        let alive = live(pi, t);
+        t.iter().rev().find_map(|a| match a.fd_output() {
+            Some((i, FdOutput::Leader(l))) if alive.contains(i) => Some(l),
+            _ => None,
+        })
+    }
+}
+
+impl AfdSpec for Omega {
+    fn name(&self) -> String {
+        "Ω".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Leader(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        let Some(l) = self.eventual_leader(pi, t) else {
+            return Err(Violation::new("omega.no-candidate", "no Ω output at a live location"));
+        };
+        if !alive.contains(l) {
+            return Err(Violation::new(
+                "omega.faulty-leader",
+                format!("eventual leader {l} is faulty"),
+            ));
+        }
+        stabilization_point(self, pi, t, "omega.stable-leader", |_, out| {
+            out == FdOutput::Leader(l)
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::LocSet;
+
+    fn fd(at: u8, leader: u8) -> Action {
+        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(leader)) }
+    }
+
+    #[test]
+    fn output_loc_recognizes_leader_shape() {
+        let o = Omega::new();
+        assert_eq!(o.output_loc(&fd(2, 0)), Some(Loc(2)));
+        assert_eq!(
+            o.output_loc(&Action::Fd { at: Loc(0), out: FdOutput::Suspects(LocSet::empty()) }),
+            None
+        );
+        assert_eq!(o.output_loc(&Action::Crash(Loc(0))), None);
+    }
+
+    #[test]
+    fn accepts_stable_live_leader() {
+        let pi = Pi::new(3);
+        let t = vec![fd(0, 0), fd(1, 0), fd(2, 0), fd(0, 0), fd(1, 0), fd(2, 0)];
+        assert!(Omega.check_complete(pi, &t).is_ok());
+        assert_eq!(Omega.eventual_leader(pi, &t), Some(Loc(0)));
+    }
+
+    #[test]
+    fn accepts_leader_change_after_crash() {
+        let pi = Pi::new(2);
+        let t = vec![
+            fd(0, 0),
+            fd(1, 0),
+            Action::Crash(Loc(0)),
+            fd(1, 1),
+            fd(1, 1),
+        ];
+        assert!(Omega.check_complete(pi, &t).is_ok());
+        assert_eq!(Omega.eventual_leader(pi, &t), Some(Loc(1)));
+    }
+
+    #[test]
+    fn rejects_faulty_eventual_leader() {
+        let pi = Pi::new(2);
+        let t = vec![fd(0, 0), fd(1, 0), Action::Crash(Loc(0)), fd(1, 0)];
+        let err = Omega.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "omega.faulty-leader");
+    }
+
+    #[test]
+    fn rejects_unstable_leaders() {
+        let pi = Pi::new(2);
+        // p1's last output disagrees with p0's: no common suffix leader.
+        let t = vec![fd(0, 0), fd(1, 1)];
+        let err = Omega.check_complete(pi, &t).unwrap_err();
+        assert!(err.rule.starts_with("eventually"), "{err}");
+    }
+
+    #[test]
+    fn rejects_output_after_crash() {
+        let pi = Pi::new(2);
+        let t = vec![fd(0, 0), fd(1, 0), Action::Crash(Loc(1)), fd(1, 0), fd(0, 0)];
+        let err = Omega.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "validity.safety");
+    }
+
+    #[test]
+    fn rejects_silent_live_location() {
+        let pi = Pi::new(2);
+        let t = vec![fd(0, 0), fd(0, 0)];
+        let err = Omega.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "validity.liveness");
+    }
+
+    #[test]
+    fn all_crashed_is_vacuously_fine() {
+        let pi = Pi::new(2);
+        let t = vec![fd(0, 0), fd(1, 0), Action::Crash(Loc(0)), Action::Crash(Loc(1))];
+        assert!(Omega.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn prefix_check_only_enforces_safety() {
+        let pi = Pi::new(3);
+        // Unstable leaders are fine in a prefix.
+        let t = vec![fd(0, 0), fd(1, 1), fd(2, 2)];
+        assert!(Omega.check_prefix(pi, &t).is_ok());
+        let bad = vec![Action::Crash(Loc(0)), fd(0, 0)];
+        assert!(Omega.check_prefix(pi, &bad).is_err());
+    }
+
+    #[test]
+    fn closure_probes_hold_on_sample_trace() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            fd(0, 2),
+            fd(1, 2),
+            fd(2, 2),
+            Action::Crash(Loc(2)),
+            fd(0, 0),
+            fd(1, 0),
+            fd(0, 0),
+            fd(1, 0),
+        ];
+        assert!(Omega.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&Omega, pi, &t, 60, 11), None);
+        assert_eq!(closure::reordering_counterexample(&Omega, pi, &t, 60, 11), None);
+    }
+}

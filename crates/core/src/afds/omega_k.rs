@@ -1,0 +1,192 @@
+//! The Ω^k failure detector (k-leader committees).
+//!
+//! Our version: Ω^k outputs committees (subsets of Π of size ≤ k).
+//! `T_Ω^k` is the set of valid sequences over `Î ∪ O_Ω^k` such that:
+//!
+//! 1. **Bounded committees** — every output has size ≤ k and is
+//!    nonempty. Checked exactly.
+//! 2. **Eventual k-leadership** — if `live(t) ≠ ∅`, there is a committee
+//!    `L` with `L ∩ live(t) ≠ ∅` and a suffix in which every output at a
+//!    live location equals `L`.
+//!
+//! Ω^1 coincides with Ω up to output shape (a singleton committee).
+
+use crate::action::Action;
+use crate::afd::{fd_events, require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, LocSet, Pi};
+use crate::trace::{live, Violation};
+
+/// The Ω^k failure detector.
+#[derive(Debug, Clone, Copy)]
+pub struct OmegaK {
+    /// Committee size bound (k ≥ 1).
+    pub k: usize,
+}
+
+impl OmegaK {
+    /// An Ω^k specification.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "Ω^k requires k ≥ 1");
+        OmegaK { k }
+    }
+
+    /// The eventual committee witnessed by the trace: the value of the
+    /// last output at a live location.
+    #[must_use]
+    pub fn eventual_committee(&self, pi: Pi, t: &[Action]) -> Option<LocSet> {
+        let alive = live(pi, t);
+        fd_events(self, t)
+            .into_iter()
+            .rev()
+            .find(|(_, i, _)| alive.contains(*i))
+            .and_then(|(_, _, out)| out.as_leaders())
+    }
+}
+
+impl AfdSpec for OmegaK {
+    fn name(&self) -> String {
+        format!("Ω^{}", self.k)
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Leaders(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        // Bounded committees: exact.
+        for (idx, i, out) in fd_events(self, t) {
+            let l = out.as_leaders().expect("output_loc filtered shape");
+            if l.is_empty() || l.len() > self.k {
+                return Err(Violation::new(
+                    "omega-k.size",
+                    format!("committee {l} at index {idx} (loc {i}) violates 1 ≤ |L| ≤ {}", self.k),
+                ));
+            }
+        }
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        let Some(committee) = self.eventual_committee(pi, t) else {
+            return Err(Violation::new("omega-k.no-candidate", "no output at a live location"));
+        };
+        if !committee.intersects(alive) {
+            return Err(Violation::new(
+                "omega-k.all-faulty",
+                format!("eventual committee {committee} contains no live location"),
+            ));
+        }
+        stabilization_point(self, pi, t, "omega-k.stable", |_, out| {
+            out.as_leaders() == Some(committee)
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lead(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Leaders(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn accepts_stable_committee_with_live_member() {
+        let pi = Pi::new(3);
+        let t = vec![lead(0, &[0, 1]), lead(1, &[0, 1]), lead(2, &[0, 1]), lead(0, &[0, 1]), lead(1, &[0, 1]), lead(2, &[0, 1])];
+        assert!(OmegaK::new(2).check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_committee() {
+        let pi = Pi::new(3);
+        let t = vec![lead(0, &[0, 1, 2]), lead(1, &[0]), lead(2, &[0])];
+        let err = OmegaK::new(2).check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "omega-k.size");
+    }
+
+    #[test]
+    fn rejects_empty_committee() {
+        let pi = Pi::new(1);
+        let t = vec![lead(0, &[])];
+        let err = OmegaK::new(1).check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "omega-k.size");
+    }
+
+    #[test]
+    fn rejects_committee_of_faulty_locations() {
+        let pi = Pi::new(2);
+        let t = vec![lead(0, &[1]), lead(1, &[1]), Action::Crash(Loc(1)), lead(0, &[1]), lead(0, &[1])];
+        let err = OmegaK::new(1).check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "omega-k.all-faulty");
+    }
+
+    #[test]
+    fn rejects_disagreeing_committees() {
+        let pi = Pi::new(2);
+        let t = vec![lead(0, &[0]), lead(1, &[1])];
+        assert!(OmegaK::new(1).check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn committee_may_contain_faulty_plus_live() {
+        let pi = Pi::new(3);
+        // Committee {p1, p2} where p2 crashed: fine, p1 is live.
+        let t = vec![
+            lead(0, &[1, 2]),
+            lead(1, &[1, 2]),
+            lead(2, &[1, 2]),
+            Action::Crash(Loc(2)),
+            lead(0, &[1, 2]),
+            lead(1, &[1, 2]),
+        ];
+        assert!(OmegaK::new(2).check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn omega_1_behaves_like_omega() {
+        let pi = Pi::new(2);
+        let t = vec![lead(0, &[0]), lead(1, &[0]), lead(0, &[0]), lead(1, &[0])];
+        assert!(OmegaK::new(1).check_complete(pi, &t).is_ok());
+        assert_eq!(OmegaK::new(1).eventual_committee(pi, &t), Some(LocSet::singleton(Loc(0))));
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_rejected() {
+        let _ = OmegaK::new(0);
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            lead(0, &[2]),
+            lead(1, &[2]),
+            lead(2, &[2]),
+            Action::Crash(Loc(2)),
+            lead(0, &[0, 1]),
+            lead(1, &[0, 1]),
+            lead(0, &[0, 1]),
+            lead(1, &[0, 1]),
+        ];
+        let spec = OmegaK::new(2);
+        assert!(spec.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&spec, pi, &t, 60, 19), None);
+        assert_eq!(closure::reordering_counterexample(&spec, pi, &t, 60, 19), None);
+    }
+}

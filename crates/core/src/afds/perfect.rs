@@ -1,0 +1,184 @@
+//! The perfect failure detector P (§3.3).
+//!
+//! `T_P` is the set of valid sequences `t` over `Î ∪ O_P` such that:
+//!
+//! 1. **Perpetual strong accuracy** — for every prefix `t_pre`, every
+//!    `i ∈ live(t_pre)`, and every event `FD-P(S)_j` in `t_pre`:
+//!    `i ∉ S`. Equivalently, every suspect set contains only locations
+//!    that have already crashed. Checked *exactly*.
+//! 2. **Strong completeness** — there is a suffix in which every output
+//!    contains every faulty location. Checked under the complete-run
+//!    convention.
+
+use crate::action::Action;
+use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, LocSet, Pi};
+use crate::trace::{faulty, Violation};
+
+/// The perfect failure detector P.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Perfect;
+
+impl Perfect {
+    /// A new P specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Perfect
+    }
+
+    /// Exact check of perpetual strong accuracy: every suspect set at
+    /// index `k` must be a subset of the locations crashed before `k`.
+    ///
+    /// # Errors
+    /// A `perfect.accuracy` violation naming the offending event.
+    pub fn check_accuracy(&self, t: &[Action]) -> Result<(), Violation> {
+        let mut crashed = LocSet::empty();
+        for (k, a) in t.iter().enumerate() {
+            if let Some(l) = a.crash_loc() {
+                crashed.insert(l);
+            } else if let Some((_, FdOutput::Suspects(s))) = a.fd_output() {
+                if !s.is_subset(crashed) {
+                    return Err(Violation::new(
+                        "perfect.accuracy",
+                        format!(
+                            "event {a} at index {k} suspects {} not yet crashed",
+                            s.difference(crashed)
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl AfdSpec for Perfect {
+    fn name(&self) -> String {
+        "P".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        self.check_accuracy(t)?;
+        let f = faulty(t);
+        if !f.is_empty() {
+            stabilization_point(self, pi, t, "perfect.completeness", |_, out| {
+                out.as_suspects().is_some_and(|s| f.is_subset(s))
+            })?;
+        }
+        Ok(())
+    }
+
+    fn check_prefix(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        crate::trace::check_validity(pi, t, |a| self.output_loc(a), 0).safety?;
+        self.check_accuracy(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sus(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Suspects(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn accepts_canonical_behavior() {
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        assert!(Perfect.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_premature_suspicion() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[1]), Action::Crash(Loc(1)), sus(0, &[1])];
+        let err = Perfect.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "perfect.accuracy");
+        assert!(err.detail.contains("p1"));
+    }
+
+    #[test]
+    fn rejects_never_suspecting_a_faulty_location() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[])];
+        let err = Perfect.check_complete(pi, &t).unwrap_err();
+        assert!(err.rule.starts_with("eventually"), "{err}");
+    }
+
+    #[test]
+    fn completeness_requires_permanent_suspicion() {
+        let pi = Pi::new(2);
+        // Suspects p1, then forgets: the last output violates the clause.
+        let t = vec![Action::Crash(Loc(1)), sus(0, &[1]), sus(0, &[])];
+        assert!(Perfect.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn no_crash_trace_with_empty_outputs_is_in_tp() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[]), sus(1, &[]), sus(0, &[]), sus(1, &[])];
+        assert!(Perfect.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn prefix_check_catches_accuracy_only() {
+        let pi = Pi::new(2);
+        // Missing completeness is fine in a prefix.
+        let t = vec![Action::Crash(Loc(1)), sus(0, &[])];
+        assert!(Perfect.check_prefix(pi, &t).is_ok());
+        let bad = vec![sus(0, &[1])];
+        assert!(Perfect.check_prefix(pi, &bad).is_err());
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        assert!(Perfect.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&Perfect, pi, &t, 60, 3), None);
+        assert_eq!(closure::reordering_counterexample(&Perfect, pi, &t, 60, 3), None);
+    }
+
+    #[test]
+    fn suspecting_crashed_location_is_fine_even_before_everyone_knows() {
+        let pi = Pi::new(3);
+        // p0 suspects p2 immediately after the crash, p1 later.
+        let t = vec![
+            sus(1, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        assert!(Perfect.check_complete(pi, &t).is_ok());
+    }
+}

@@ -1,0 +1,207 @@
+//! The Ψ^k failure detector.
+//!
+//! The paper lists ◇Ψ^k among the detectors expressible as AFDs but does
+//! not spell out its clauses. **Our version** (documented per DESIGN.md)
+//! is the natural set-agreement-oriented pairing in the spirit of
+//! Mostefaoui–Rajsbaum–Raynal–Travers: each output carries a *quorum*
+//! component and a *committee* component, and
+//!
+//! 1. the quorum components satisfy Σ's clauses (pairwise intersection,
+//!    eventual liveness), and
+//! 2. the committee components satisfy Ω^k's clauses (size ≤ k,
+//!    eventual agreement on a committee containing a live location).
+//!
+//! Ψ^k is therefore sufficient for k-set agreement with arbitrary
+//! failures (quorums give registers, committees give k leaders).
+
+use crate::action::Action;
+use crate::afd::{fd_events, require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, LocSet, Pi};
+use crate::trace::{live, Violation};
+
+/// The Ψ^k failure detector (our version: Σ × Ω^k).
+#[derive(Debug, Clone, Copy)]
+pub struct PsiK {
+    /// Committee size bound (k ≥ 1).
+    pub k: usize,
+}
+
+impl PsiK {
+    /// A Ψ^k specification.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "Ψ^k requires k ≥ 1");
+        PsiK { k }
+    }
+
+    fn pairs(&self, t: &[Action]) -> Vec<(usize, Loc, LocSet, LocSet)> {
+        fd_events(self, t)
+            .into_iter()
+            .filter_map(|(idx, i, out)| out.as_psi_k().map(|(q, l)| (idx, i, q, l)))
+            .collect()
+    }
+}
+
+impl AfdSpec for PsiK {
+    fn name(&self) -> String {
+        format!("Ψ^{}", self.k)
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::PsiK { .. })) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let pairs = self.pairs(t);
+        // Σ clause 1: pairwise quorum intersection (exact).
+        for (x, (k1, i1, q1, _)) in pairs.iter().enumerate() {
+            for (k2, i2, q2, _) in &pairs[x + 1..] {
+                if !q1.intersects(*q2) {
+                    return Err(Violation::new(
+                        "psi-k.intersection",
+                        format!("quorum {q1} (index {k1} at {i1}) disjoint from {q2} (index {k2} at {i2})"),
+                    ));
+                }
+            }
+        }
+        // Ω^k clause 1: committee sizes (exact).
+        for (idx, i, _, l) in &pairs {
+            if l.is_empty() || l.len() > self.k {
+                return Err(Violation::new(
+                    "psi-k.size",
+                    format!("committee {l} at index {idx} (loc {i}) violates 1 ≤ |L| ≤ {}", self.k),
+                ));
+            }
+        }
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        // Eventual committee agreement.
+        let Some((_, _, _, committee)) = pairs.iter().rev().find(|(_, i, _, _)| alive.contains(*i))
+        else {
+            return Err(Violation::new("psi-k.no-candidate", "no output at a live location"));
+        };
+        let committee = *committee;
+        if !committee.intersects(alive) {
+            return Err(Violation::new(
+                "psi-k.all-faulty",
+                format!("eventual committee {committee} contains no live location"),
+            ));
+        }
+        stabilization_point(self, pi, t, "psi-k.stable", |_, out| {
+            out.as_psi_k()
+                .is_some_and(|(q, l)| l == committee && q.is_subset(alive) && !q.is_empty())
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psi(at: u8, quorum: &[u8], leaders: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::PsiK {
+                quorum: quorum.iter().map(|&l| Loc(l)).collect(),
+                leaders: leaders.iter().map(|&l| Loc(l)).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn accepts_canonical_behavior() {
+        let pi = Pi::new(3);
+        let t = vec![
+            psi(0, &[0, 1, 2], &[0, 1]),
+            psi(1, &[0, 1, 2], &[0, 1]),
+            psi(2, &[0, 1, 2], &[0, 1]),
+            Action::Crash(Loc(2)),
+            psi(0, &[0, 1], &[0, 1]),
+            psi(1, &[0, 1], &[0, 1]),
+        ];
+        assert!(PsiK::new(2).check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_disjoint_quorums() {
+        let pi = Pi::new(4);
+        let t = vec![
+            psi(0, &[0, 1], &[0]),
+            psi(1, &[2, 3], &[0]),
+            psi(2, &[0, 1, 2, 3], &[0]),
+            psi(3, &[0, 1, 2, 3], &[0]),
+        ];
+        let err = PsiK::new(1).check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "psi-k.intersection");
+    }
+
+    #[test]
+    fn rejects_oversized_committee() {
+        let pi = Pi::new(3);
+        let t = vec![
+            psi(0, &[0, 1, 2], &[0, 1, 2]),
+            psi(1, &[0, 1, 2], &[0]),
+            psi(2, &[0, 1, 2], &[0]),
+        ];
+        let err = PsiK::new(2).check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "psi-k.size");
+    }
+
+    #[test]
+    fn rejects_faulty_only_committee() {
+        let pi = Pi::new(2);
+        let t = vec![
+            psi(0, &[0, 1], &[1]),
+            psi(1, &[0, 1], &[1]),
+            Action::Crash(Loc(1)),
+            psi(0, &[0], &[1]),
+            psi(0, &[0], &[1]),
+        ];
+        let err = PsiK::new(1).check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "psi-k.all-faulty");
+    }
+
+    #[test]
+    fn rejects_quorum_stuck_on_faulty() {
+        let pi = Pi::new(2);
+        let t = vec![
+            psi(0, &[0, 1], &[0]),
+            psi(1, &[0, 1], &[0]),
+            Action::Crash(Loc(1)),
+            psi(0, &[0, 1], &[0]),
+            psi(0, &[0, 1], &[0]),
+        ];
+        assert!(PsiK::new(1).check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            psi(0, &[0, 1, 2], &[0, 1]),
+            psi(1, &[0, 1, 2], &[0, 1]),
+            psi(2, &[0, 1, 2], &[0, 1]),
+            Action::Crash(Loc(2)),
+            psi(0, &[0, 1], &[0, 1]),
+            psi(1, &[0, 1], &[0, 1]),
+            psi(0, &[0, 1], &[0, 1]),
+            psi(1, &[0, 1], &[0, 1]),
+        ];
+        let spec = PsiK::new(2);
+        assert!(spec.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&spec, pi, &t, 60, 23), None);
+        assert_eq!(closure::reordering_counterexample(&spec, pi, &t, 60, 23), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! The quorum failure detector Σ.
+//!
+//! Our version: Σ outputs *quorums* (subsets of Π). `T_Σ` is the set of
+//! valid sequences over `Î ∪ O_Σ` such that:
+//!
+//! 1. **Intersection** — every two quorums ever output (at any
+//!    locations, at any times) intersect. Checked exactly.
+//! 2. **Completeness** — there is a suffix in which every output quorum
+//!    contains only live locations. Checked under the complete-run
+//!    convention.
+//!
+//! Σ is the classical "weakest failure detector to implement a
+//! register"; together with Ω it solves consensus for any number of
+//! failures.
+
+use crate::action::Action;
+use crate::afd::{fd_events, require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{live, Violation};
+
+/// The quorum failure detector Σ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sigma;
+
+impl Sigma {
+    /// A new Σ specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Sigma
+    }
+
+    /// Exact pairwise-intersection check over all quorums in `t`.
+    ///
+    /// # Errors
+    /// A `sigma.intersection` violation naming the two disjoint quorums.
+    pub fn check_intersection(&self, t: &[Action]) -> Result<(), Violation> {
+        let quorums: Vec<_> = fd_events(self, t)
+            .into_iter()
+            .filter_map(|(k, i, out)| out.as_quorum().map(|q| (k, i, q)))
+            .collect();
+        for (x, (k1, i1, q1)) in quorums.iter().enumerate() {
+            for (k2, i2, q2) in &quorums[x + 1..] {
+                if !q1.intersects(*q2) {
+                    return Err(Violation::new(
+                        "sigma.intersection",
+                        format!(
+                            "quorum {q1} (index {k1} at {i1}) disjoint from {q2} (index {k2} at {i2})"
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl AfdSpec for Sigma {
+    fn name(&self) -> String {
+        "Σ".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Quorum(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        self.check_intersection(t)?;
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        stabilization_point(self, pi, t, "sigma.completeness", |_, out| {
+            out.as_quorum().is_some_and(|q| q.is_subset(alive) && !q.is_empty())
+        })?;
+        Ok(())
+    }
+
+    fn check_prefix(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        crate::trace::check_validity(pi, t, |a| self.output_loc(a), 0).safety?;
+        self.check_intersection(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Quorum(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn accepts_shrinking_live_quorums() {
+        let pi = Pi::new(3);
+        let t = vec![
+            q(0, &[0, 1, 2]),
+            q(1, &[0, 1, 2]),
+            q(2, &[0, 1, 2]),
+            Action::Crash(Loc(2)),
+            q(0, &[0, 1]),
+            q(1, &[0, 1]),
+        ];
+        assert!(Sigma.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_disjoint_quorums() {
+        let pi = Pi::new(4);
+        let t = vec![q(0, &[0, 1]), q(1, &[2, 3]), q(2, &[0, 1, 2, 3]), q(3, &[0, 1, 2, 3])];
+        let err = Sigma.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "sigma.intersection");
+        assert!(err.detail.contains("disjoint"));
+    }
+
+    #[test]
+    fn rejects_quorums_stuck_on_faulty() {
+        let pi = Pi::new(2);
+        let t = vec![q(0, &[1]), Action::Crash(Loc(1)), q(0, &[1])];
+        let err = Sigma.check_complete(pi, &t).unwrap_err();
+        assert!(err.rule.starts_with("eventually"), "{err}");
+    }
+
+    #[test]
+    fn majority_quorums_always_intersect() {
+        let pi = Pi::new(3);
+        let t = vec![q(0, &[0, 1]), q(1, &[1, 2]), q(2, &[0, 2]), q(0, &[0, 1]), q(1, &[1, 2]), q(2, &[0, 2])];
+        assert!(Sigma.check_intersection(&t).is_ok());
+        assert!(Sigma.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn prefix_check_catches_intersection_early() {
+        let pi = Pi::new(4);
+        let t = vec![q(0, &[0, 1]), q(1, &[2, 3])];
+        assert!(Sigma.check_prefix(pi, &t).is_err());
+    }
+
+    #[test]
+    fn empty_quorum_rejected_eventually() {
+        let pi = Pi::new(1);
+        let t = vec![q(0, &[]), q(0, &[])];
+        // Empty quorums are vacuously "subsets of live" but banned by
+        // the nonemptiness clause of completeness.
+        assert!(Sigma.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            q(0, &[0, 1, 2]),
+            q(1, &[0, 1, 2]),
+            q(2, &[0, 1, 2]),
+            Action::Crash(Loc(2)),
+            q(0, &[0, 1]),
+            q(1, &[0, 1]),
+            q(0, &[0, 1]),
+            q(1, &[0, 1]),
+        ];
+        assert!(Sigma.check_complete(pi, &t).is_ok());
+        assert_eq!(closure::sampling_counterexample(&Sigma, pi, &t, 60, 13), None);
+        assert_eq!(closure::reordering_counterexample(&Sigma, pi, &t, 60, 13), None);
+    }
+}

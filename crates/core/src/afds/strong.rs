@@ -1,0 +1,254 @@
+//! The strong (S) and eventually strong (◇S) failure detectors.
+//!
+//! Both output suspect sets. Our versions (in the spirit of
+//! Chandra–Toueg's classes, specified as AFDs):
+//!
+//! * **S** — *strong completeness*: eventually every output suspects
+//!   every faulty location; *perpetual weak accuracy*: some live
+//!   location is never suspected by anyone.
+//! * **◇S** — strong completeness plus *eventual weak accuracy*: some
+//!   live location is eventually never suspected by anyone.
+//!
+//! ◇S is the classical weakest-class companion of Ω for consensus with
+//! a majority of correct processes; the Chandra–Toueg rotating
+//! coordinator algorithm in `afd-algorithms` consumes it.
+
+use crate::action::Action;
+use crate::afd::{fd_events, require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{faulty, live, Violation};
+
+/// The strong failure detector S.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Strong;
+
+impl Strong {
+    /// A new S specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Strong
+    }
+
+    /// The live locations never suspected anywhere in `t` (witnesses of
+    /// perpetual weak accuracy).
+    #[must_use]
+    pub fn never_suspected(&self, pi: Pi, t: &[Action]) -> Vec<Loc> {
+        let alive = live(pi, t);
+        alive
+            .iter()
+            .filter(|&k| {
+                !fd_events(self, t).iter().any(|(_, _, out)| {
+                    out.as_suspects().is_some_and(|s| s.contains(k))
+                })
+            })
+            .collect()
+    }
+}
+
+impl AfdSpec for Strong {
+    fn name(&self) -> String {
+        "S".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        if self.never_suspected(pi, t).is_empty() {
+            return Err(Violation::new(
+                "strong.weak-accuracy",
+                "every live location is suspected at some point",
+            ));
+        }
+        let f = faulty(t);
+        if !f.is_empty() {
+            stabilization_point(self, pi, t, "strong.completeness", |_, out| {
+                out.as_suspects().is_some_and(|s| f.is_subset(s))
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// The eventually strong failure detector ◇S.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvStrong;
+
+impl EvStrong {
+    /// A new ◇S specification.
+    #[must_use]
+    pub fn new() -> Self {
+        EvStrong
+    }
+
+    /// Try each live location as the eventual-accuracy witness; return
+    /// the first that admits a stabilization point for "completeness and
+    /// never suspect the witness".
+    fn find_witness(&self, pi: Pi, t: &[Action]) -> Result<Loc, Violation> {
+        let alive = live(pi, t);
+        let f = faulty(t);
+        let mut last_err = None;
+        for k in alive.iter() {
+            let r = stabilization_point(self, pi, t, "ev-strong.converged", |_, out| {
+                out.as_suspects().is_some_and(|s| f.is_subset(s) && !s.contains(k))
+            });
+            match r {
+                Ok(_) => return Ok(k),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            Violation::new("ev-strong.no-witness", "no live location to witness accuracy")
+        }))
+    }
+}
+
+impl AfdSpec for EvStrong {
+    fn name(&self) -> String {
+        "◇S".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        if live(pi, t).is_empty() {
+            return Ok(());
+        }
+        self.find_witness(pi, t).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afds::ev_perfect::EvPerfect;
+    use crate::afds::perfect::Perfect;
+
+    fn sus(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Suspects(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn s_accepts_wrong_suspicions_of_non_witnesses() {
+        let pi = Pi::new(3);
+        // p1 is wrongly suspected (it is live) — fine for S as long as
+        // some live location (p0) is never suspected.
+        let t = vec![sus(0, &[1]), sus(1, &[]), sus(2, &[]), sus(0, &[]), sus(1, &[]), sus(2, &[])];
+        assert!(Strong.check_complete(pi, &t).is_ok());
+        assert!(Perfect.check_complete(pi, &t).is_err(), "P forbids the lie");
+        assert_eq!(Strong.never_suspected(pi, &t).len(), 2);
+    }
+
+    #[test]
+    fn s_rejects_when_every_live_loc_suspected() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[1]), sus(1, &[0]), sus(0, &[]), sus(1, &[])];
+        let err = Strong.check_complete(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "strong.weak-accuracy");
+    }
+
+    #[test]
+    fn s_requires_completeness() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[])];
+        assert!(Strong.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn ev_s_accepts_transient_suspicion_of_everyone() {
+        let pi = Pi::new(2);
+        // Everyone suspected at some point, but p0 is clean eventually.
+        let t = vec![sus(0, &[1]), sus(1, &[0]), sus(0, &[]), sus(1, &[])];
+        assert!(Strong.check_complete(pi, &t).is_err());
+        assert!(EvStrong.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn ev_s_rejects_perpetual_universal_suspicion() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[1]), sus(1, &[0]), sus(0, &[1]), sus(1, &[0])];
+        assert!(EvStrong.check_complete(pi, &t).is_err());
+    }
+
+    #[test]
+    fn ev_p_traces_are_ev_s_traces() {
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[1]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        assert!(EvPerfect.check_complete(pi, &t).is_ok());
+        assert!(EvStrong.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn ev_s_allows_permanently_suspecting_one_live_location() {
+        let pi = Pi::new(3);
+        // p1 is live but permanently suspected by p2: ◇P violated, ◇S ok
+        // (witness p0… note p2 must also be clean of suspicion of p0).
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[1]),
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[1]),
+        ];
+        assert!(EvPerfect.check_complete(pi, &t).is_err());
+        assert!(EvStrong.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn closure_probes_hold_for_both() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[1]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        for spec in [&Strong as &dyn AfdSpec, &EvStrong] {
+            if spec.check_complete(pi, &t).is_ok() {
+                assert_eq!(closure::sampling_counterexample(spec, pi, &t, 40, 9), None);
+                assert_eq!(closure::reordering_counterexample(spec, pi, &t, 40, 9), None);
+            }
+        }
+        assert!(EvStrong.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn all_crashed_vacuous_for_both() {
+        let pi = Pi::new(1);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(0))];
+        assert!(Strong.check_complete(pi, &t).is_ok());
+        assert!(EvStrong.check_complete(pi, &t).is_ok());
+    }
+}

@@ -1,0 +1,256 @@
+//! The weak (W) and eventually weak (◇W) failure detectors — the
+//! remaining corners of the Chandra–Toueg eight (§3.3 mentions all
+//! eight detectors of the Chandra–Toueg paper are expressible as AFDs).
+//!
+//! Both output suspect sets. Our versions:
+//!
+//! * **W** — *weak completeness*: every faulty location is eventually
+//!   permanently suspected by **some** live location; *perpetual weak
+//!   accuracy*: some live location is never suspected by anyone.
+//! * **◇W** — weak completeness plus *eventual* weak accuracy.
+//!
+//! Chandra–Toueg showed W is equivalent to S (weak completeness can be
+//! boosted by gossip); here they are distinct trace sets related by
+//! `S ⪰ W` and `◇S ⪰ ◇W` in the reduction lattice.
+
+use crate::action::Action;
+use crate::afd::{fd_events, require_validity, stabilization_point, AfdSpec};
+use crate::fd::FdOutput;
+use crate::loc::{Loc, Pi};
+use crate::trace::{faulty, live, Violation};
+
+/// Check weak completeness under the per-location convergence
+/// convention: for every faulty `j`, some live `i`'s output subsequence
+/// ends with a nonempty all-suspecting-`j` suffix.
+fn check_weak_completeness(
+    spec: &dyn AfdSpec,
+    pi: Pi,
+    t: &[Action],
+) -> Result<(), Violation> {
+    let f = faulty(t);
+    let alive = live(pi, t);
+    let events = fd_events(spec, t);
+    for j in f.iter() {
+        let witness = alive.iter().any(|i| {
+            events
+                .iter().rfind(|(_, at, _)| *at == i)
+                .is_some_and(|(_, _, out)| out.as_suspects().is_some_and(|s| s.contains(j)))
+        });
+        if !witness {
+            return Err(Violation::new(
+                "weak.completeness",
+                format!("no live location ends up suspecting faulty {j}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The weak failure detector W.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Weak;
+
+impl Weak {
+    /// A new W specification.
+    #[must_use]
+    pub fn new() -> Self {
+        Weak
+    }
+}
+
+impl AfdSpec for Weak {
+    fn name(&self) -> String {
+        "W".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        // Perpetual weak accuracy: some live location never suspected.
+        let never_suspected = alive.iter().any(|k| {
+            !fd_events(self, t)
+                .iter()
+                .any(|(_, _, out)| out.as_suspects().is_some_and(|s| s.contains(k)))
+        });
+        if !never_suspected {
+            return Err(Violation::new(
+                "weak.accuracy",
+                "every live location is suspected at some point",
+            ));
+        }
+        check_weak_completeness(self, pi, t)
+    }
+}
+
+/// The eventually weak failure detector ◇W — the weakest of the
+/// Chandra–Toueg eight, equivalent in boosting power to Ω.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvWeak;
+
+impl EvWeak {
+    /// A new ◇W specification.
+    #[must_use]
+    pub fn new() -> Self {
+        EvWeak
+    }
+}
+
+impl AfdSpec for EvWeak {
+    fn name(&self) -> String {
+        "◇W".into()
+    }
+
+    fn output_loc(&self, a: &Action) -> Option<Loc> {
+        match a.fd_output() {
+            Some((i, FdOutput::Suspects(_))) => Some(i),
+            _ => None,
+        }
+    }
+
+    fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        require_validity(self, pi, t)?;
+        let alive = live(pi, t);
+        if alive.is_empty() {
+            return Ok(());
+        }
+        // Eventual weak accuracy: some live k eventually never suspected.
+        let mut last_err = None;
+        let mut found = false;
+        for k in alive.iter() {
+            match stabilization_point(self, pi, t, "ev-weak.accuracy", |_, out| {
+                out.as_suspects().is_some_and(|s| !s.contains(k))
+            }) {
+                Ok(_) => {
+                    found = true;
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !found {
+            return Err(last_err.unwrap_or_else(|| {
+                Violation::new("ev-weak.accuracy", "no live accuracy witness")
+            }));
+        }
+        check_weak_completeness(self, pi, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::afds::strong::{EvStrong, Strong};
+
+    fn sus(at: u8, set: &[u8]) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Suspects(set.iter().map(|&l| Loc(l)).collect()),
+        }
+    }
+
+    #[test]
+    fn w_accepts_single_witness_completeness() {
+        let pi = Pi::new(3);
+        // Only p0 ever suspects the crashed p2 — enough for W, not for S.
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[]),
+        ];
+        assert!(Weak.check_complete(pi, &t).is_ok());
+        assert!(Strong.check_complete(pi, &t).is_err(), "S demands everyone suspects");
+    }
+
+    #[test]
+    fn w_requires_some_witness() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[])];
+        assert_eq!(Weak.check_complete(pi, &t).unwrap_err().rule, "weak.completeness");
+    }
+
+    #[test]
+    fn w_accuracy_is_perpetual() {
+        let pi = Pi::new(2);
+        let t = vec![sus(0, &[1]), sus(1, &[0]), sus(0, &[]), sus(1, &[])];
+        assert_eq!(Weak.check_complete(pi, &t).unwrap_err().rule, "weak.accuracy");
+        // ◇W forgives the transient universal suspicion.
+        assert!(EvWeak.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn ev_w_is_weaker_than_ev_s_on_these_traces() {
+        let pi = Pi::new(3);
+        // p1 permanently suspected by p2 only; faulty p0 suspected by p1
+        // only. ◇S holds (witness p0? p0 is faulty — witness must be
+        // live: p1 is suspected, p2 is clean) — and ◇W holds too.
+        let t = vec![
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(0)),
+            sus(1, &[0]),
+            sus(2, &[1]),
+            sus(1, &[0]),
+            sus(2, &[1]),
+        ];
+        assert!(EvWeak.check_complete(pi, &t).is_ok());
+        assert!(EvStrong.check_complete(pi, &t).is_err(), "p2's last output omits p0");
+    }
+
+    #[test]
+    fn s_traces_are_w_traces() {
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[2]),
+        ];
+        assert!(Strong.check_complete(pi, &t).is_ok());
+        assert!(Weak.check_complete(pi, &t).is_ok());
+        assert!(EvWeak.check_complete(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn closure_probes_hold() {
+        use crate::afd::closure;
+        let pi = Pi::new(3);
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[]),
+            Action::Crash(Loc(2)),
+            sus(0, &[2]),
+            sus(1, &[]),
+            sus(0, &[2]),
+            sus(1, &[]),
+        ];
+        for spec in [&Weak as &dyn AfdSpec, &EvWeak] {
+            assert!(spec.check_complete(pi, &t).is_ok(), "{}", spec.name());
+            assert_eq!(closure::sampling_counterexample(spec, pi, &t, 50, 31), None);
+            assert_eq!(closure::reordering_counterexample(spec, pi, &t, 50, 31), None);
+        }
+    }
+
+    #[test]
+    fn all_crashed_vacuous() {
+        let pi = Pi::new(1);
+        let t = vec![sus(0, &[]), Action::Crash(Loc(0))];
+        assert!(Weak.check_complete(pi, &t).is_ok());
+        assert!(EvWeak.check_complete(pi, &t).is_ok());
+    }
+}

@@ -1,0 +1,145 @@
+//! Failure-detector output values.
+//!
+//! Each AFD family has its own output *shape*; [`FdOutput`] is the union
+//! of the shapes used by the detectors in this repository. In the paper,
+//! each AFD `D` has its own action names `O_D`; here the action
+//! [`crate::action::Action::Fd`] carries an `FdOutput`, and each
+//! [`crate::afd::AfdSpec`] declares which shapes belong to its `O_D`.
+
+use crate::loc::{Loc, LocSet};
+
+/// One failure-detector output value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FdOutput {
+    /// Ω-style output: the current leader candidate (`FD-Ω(j)_i`).
+    Leader(Loc),
+    /// P / ◇P / S / ◇S-style output: the current suspect set
+    /// (`FD-P(S)_i`).
+    Suspects(LocSet),
+    /// Σ-style output: a quorum of locations.
+    Quorum(LocSet),
+    /// anti-Ω-style output: a location reported as a *non*-leader.
+    AntiLeader(Loc),
+    /// Ω^k-style output: a candidate leader committee of size ≤ k.
+    Leaders(LocSet),
+    /// Ψ^k-style output (our version, see `afds::psi_k`): a quorum
+    /// component and a leader-committee component.
+    PsiK {
+        /// Σ component.
+        quorum: LocSet,
+        /// Ω^k component.
+        leaders: LocSet,
+    },
+}
+
+impl FdOutput {
+    /// The leader, if this is an Ω-style output.
+    #[must_use]
+    pub fn as_leader(self) -> Option<Loc> {
+        match self {
+            FdOutput::Leader(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The suspect set, if this is a P-family output.
+    #[must_use]
+    pub fn as_suspects(self) -> Option<LocSet> {
+        match self {
+            FdOutput::Suspects(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The quorum, if this is a Σ-style output.
+    #[must_use]
+    pub fn as_quorum(self) -> Option<LocSet> {
+        match self {
+            FdOutput::Quorum(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The anti-leader, if this is an anti-Ω-style output.
+    #[must_use]
+    pub fn as_anti_leader(self) -> Option<Loc> {
+        match self {
+            FdOutput::AntiLeader(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The leader committee, if this is an Ω^k-style output.
+    #[must_use]
+    pub fn as_leaders(self) -> Option<LocSet> {
+        match self {
+            FdOutput::Leaders(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The (quorum, leaders) pair, if this is a Ψ^k-style output.
+    #[must_use]
+    pub fn as_psi_k(self) -> Option<(LocSet, LocSet)> {
+        match self {
+            FdOutput::PsiK { quorum, leaders } => Some((quorum, leaders)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FdOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdOutput::Leader(l) => write!(f, "Ω={l}"),
+            FdOutput::Suspects(s) => write!(f, "suspects={s}"),
+            FdOutput::Quorum(q) => write!(f, "quorum={q}"),
+            FdOutput::AntiLeader(l) => write!(f, "anti-Ω={l}"),
+            FdOutput::Leaders(s) => write!(f, "leaders={s}"),
+            FdOutput::PsiK { quorum, leaders } => write!(f, "ψ=({quorum},{leaders})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_shapes() {
+        let l = FdOutput::Leader(Loc(1));
+        assert_eq!(l.as_leader(), Some(Loc(1)));
+        assert_eq!(l.as_suspects(), None);
+
+        let s = FdOutput::Suspects(LocSet::singleton(Loc(0)));
+        assert_eq!(s.as_suspects(), Some(LocSet::singleton(Loc(0))));
+        assert_eq!(s.as_quorum(), None);
+
+        let q = FdOutput::Quorum(LocSet::singleton(Loc(2)));
+        assert_eq!(q.as_quorum(), Some(LocSet::singleton(Loc(2))));
+
+        let a = FdOutput::AntiLeader(Loc(3));
+        assert_eq!(a.as_anti_leader(), Some(Loc(3)));
+
+        let k = FdOutput::Leaders(LocSet::singleton(Loc(1)));
+        assert_eq!(k.as_leaders(), Some(LocSet::singleton(Loc(1))));
+
+        let p = FdOutput::PsiK {
+            quorum: LocSet::singleton(Loc(0)),
+            leaders: LocSet::singleton(Loc(1)),
+        };
+        assert_eq!(
+            p.as_psi_k(),
+            Some((LocSet::singleton(Loc(0)), LocSet::singleton(Loc(1))))
+        );
+        assert_eq!(p.as_leader(), None);
+        assert_eq!(p.as_anti_leader(), None);
+        assert_eq!(p.as_leaders(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(FdOutput::Leader(Loc(2)).to_string(), "Ω=p2");
+        assert!(FdOutput::Suspects(LocSet::empty()).to_string().contains("suspects"));
+    }
+}

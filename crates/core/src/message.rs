@@ -1,0 +1,187 @@
+//! The message alphabet M.
+//!
+//! The paper posits an abstract alphabet M of messages (§4). Because the
+//! whole reproduction works over one concrete action type (so that
+//! compositions are strongly typed and hashable), `Msg` enumerates the
+//! payloads used by every distributed algorithm in this repository, plus
+//! a generic [`Msg::Token`] escape hatch for user-defined protocols.
+
+use crate::fd::FdOutput;
+use crate::loc::Loc;
+
+/// A consensus value. Binary consensus uses `0` and `1`.
+pub type Val = u64;
+
+/// A Paxos-style ballot number, totally ordered and owned by a location
+/// (ties broken by location id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ballot {
+    /// Round counter.
+    pub round: u32,
+    /// Owning location (tie-breaker).
+    pub owner: Loc,
+}
+
+impl Ballot {
+    /// The smallest ballot owned by `owner`.
+    #[must_use]
+    pub fn initial(owner: Loc) -> Self {
+        Ballot { round: 0, owner }
+    }
+
+    /// The next ballot owned by `owner` strictly greater than `self`.
+    #[must_use]
+    pub fn next_for(self, owner: Loc) -> Self {
+        Ballot { round: self.round + 1, owner }
+    }
+}
+
+/// Message payloads of the algorithms in this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Msg {
+    // --- Paxos-style consensus using Ω (single decree) ---
+    /// Phase-1a: leader solicits promises for `ballot`.
+    Prepare {
+        /// Ballot being prepared.
+        ballot: Ballot,
+    },
+    /// Phase-1b: promise; carries the highest accepted (ballot, value).
+    Promise {
+        /// Ballot being promised.
+        ballot: Ballot,
+        /// Highest proposal accepted so far, if any.
+        accepted: Option<(Ballot, Val)>,
+    },
+    /// Phase-2a: leader asks acceptors to accept `value` at `ballot`.
+    Accept {
+        /// Ballot of the proposal.
+        ballot: Ballot,
+        /// Proposed value.
+        value: Val,
+    },
+    /// Phase-2b: acknowledgement of acceptance.
+    Accepted {
+        /// Ballot that was accepted.
+        ballot: Ballot,
+        /// Value that was accepted.
+        value: Val,
+    },
+    /// Decision announcement (also used by the CT algorithm).
+    DecideMsg {
+        /// The decided value.
+        value: Val,
+    },
+
+    // --- Chandra–Toueg rotating-coordinator consensus (◇S) ---
+    /// Round `round`: estimate from a participant to the coordinator.
+    CtEstimate {
+        /// Round number.
+        round: u32,
+        /// Current estimate.
+        est: Val,
+        /// Timestamp: round in which the estimate was last updated.
+        ts: u32,
+    },
+    /// Round `round`: coordinator's proposal to everyone.
+    CtPropose {
+        /// Round number.
+        round: u32,
+        /// Proposed estimate.
+        est: Val,
+    },
+    /// Round `round`: ack/nack to the coordinator.
+    CtAck {
+        /// Round number.
+        round: u32,
+        /// True for ack, false for nack (coordinator suspected).
+        ok: bool,
+    },
+
+    // --- Leader election using P ---
+    /// "I am alive and participating" announcement.
+    LeJoin,
+    /// Election result announcement.
+    LeElected {
+        /// The elected leader.
+        leader: Loc,
+    },
+
+    // --- Reliable broadcast ---
+    /// Relay of an application payload.
+    RbRelay {
+        /// Originating location.
+        origin: Loc,
+        /// Per-origin sequence number.
+        seq: u32,
+        /// Application payload.
+        payload: u64,
+    },
+
+    // --- k-set agreement with Ω^k ---
+    /// A location adopts/announces its current estimate.
+    KsEstimate {
+        /// Phase number.
+        phase: u32,
+        /// Current estimate.
+        est: Val,
+    },
+
+    // --- Non-blocking atomic commit ---
+    /// A flooded vote.
+    VoteMsg {
+        /// The vote.
+        yes: bool,
+    },
+
+    // --- AFD reductions (algorithms transforming one AFD into another) ---
+    /// A forwarded failure-detector sample.
+    FdSample {
+        /// Sample sequence number at the sender.
+        epoch: u32,
+        /// The forwarded output.
+        out: FdOutput,
+    },
+    /// A heartbeat used by reductions that count message arrivals.
+    Heartbeat {
+        /// Sender's heartbeat counter.
+        epoch: u32,
+    },
+
+    /// Generic payload for user-defined protocols.
+    Token(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballots_order_by_round_then_owner() {
+        let b0 = Ballot::initial(Loc(2));
+        let b1 = b0.next_for(Loc(0));
+        assert!(b1 > b0);
+        assert!(Ballot { round: 1, owner: Loc(1) } > Ballot { round: 1, owner: Loc(0) });
+        assert_eq!(b1, Ballot { round: 1, owner: Loc(0) });
+    }
+
+    #[test]
+    fn messages_are_hash_and_ord() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Msg::Token(1));
+        s.insert(Msg::Heartbeat { epoch: 0 });
+        s.insert(Msg::Token(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn promise_carries_optional_history() {
+        let b = Ballot::initial(Loc(0));
+        let m = Msg::Promise { ballot: b, accepted: Some((b, 7)) };
+        if let Msg::Promise { accepted: Some((_, v)), .. } = m {
+            assert_eq!(v, 7);
+        } else {
+            panic!("pattern");
+        }
+    }
+}

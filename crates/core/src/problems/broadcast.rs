@@ -1,0 +1,210 @@
+//! The (uniform) reliable broadcast problem — a *long-lived* problem,
+//! serving as the contrast to §7.3's bounded problems.
+//!
+//! Inputs: crash actions and [`crate::action::Action::Broadcast`];
+//! outputs: [`crate::action::Action::Deliver`]. Clauses (complete-run
+//! convention for the liveness parts):
+//!
+//! * **Validity** — if a live location broadcasts `m`, every live
+//!   location delivers `m`.
+//! * **Uniform agreement** — if *any* location delivers `m` (even a
+//!   faulty one), every live location delivers `m`.
+//! * **Integrity** — each location delivers `m` at most once, and only
+//!   if `m` was broadcast.
+//! * **Crash validity** — no deliveries at crashed locations.
+
+use crate::action::Action;
+use crate::loc::{Loc, LocSet, Pi};
+use crate::problem::ProblemSpec;
+use crate::trace::{live, Violation};
+
+/// The uniform reliable broadcast problem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReliableBroadcast;
+
+/// A broadcast message identity: (origin, payload).
+pub type MsgId = (Loc, u64);
+
+impl ReliableBroadcast {
+    /// A new reliable-broadcast specification.
+    #[must_use]
+    pub fn new() -> Self {
+        ReliableBroadcast
+    }
+
+    /// All message identities broadcast in `t`.
+    #[must_use]
+    pub fn broadcast_ids(t: &[Action]) -> Vec<MsgId> {
+        t.iter()
+            .filter_map(|a| match a {
+                Action::Broadcast { at, payload } => Some((*at, *payload)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All message identities delivered anywhere in `t`.
+    #[must_use]
+    pub fn delivered_ids(t: &[Action]) -> Vec<MsgId> {
+        let mut v: Vec<MsgId> = t
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { origin, payload, .. } => Some((*origin, *payload)),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl ProblemSpec for ReliableBroadcast {
+    fn name(&self) -> String {
+        "reliable-broadcast".into()
+    }
+
+    fn is_input(&self, a: &Action) -> bool {
+        matches!(a, Action::Broadcast { .. } | Action::Crash(_))
+    }
+
+    fn is_output(&self, a: &Action) -> bool {
+        matches!(a, Action::Deliver { .. })
+    }
+
+    fn check(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+        let alive = live(pi, t);
+        let broadcasts = Self::broadcast_ids(t);
+        let mut crashed = LocSet::empty();
+        // Integrity + crash validity, with per-(location, message) counts.
+        let mut seen: std::collections::HashSet<(Loc, MsgId)> = std::collections::HashSet::new();
+        let mut live_broadcasts: Vec<MsgId> = Vec::new();
+        for (k, a) in t.iter().enumerate() {
+            match a {
+                Action::Crash(l) => crashed.insert(*l),
+                Action::Broadcast { at, payload }
+                    if !crashed.contains(*at) => {
+                        live_broadcasts.push((*at, *payload));
+                    }
+                Action::Deliver { at, origin, payload } => {
+                    if crashed.contains(*at) {
+                        return Err(Violation::new(
+                            "rb.crash-validity",
+                            format!("deliver at crashed {at} (index {k})"),
+                        ));
+                    }
+                    let id = (*origin, *payload);
+                    if !broadcasts.contains(&id) {
+                        return Err(Violation::new(
+                            "rb.no-creation",
+                            format!("deliver of never-broadcast ({origin},{payload})"),
+                        ));
+                    }
+                    if !seen.insert((*at, id)) {
+                        return Err(Violation::new(
+                            "rb.no-duplication",
+                            format!("{at} delivers ({origin},{payload}) twice"),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Validity: broadcasts by locations live in t reach all live.
+        for (origin, payload) in &live_broadcasts {
+            if alive.contains(*origin) {
+                for i in alive.iter() {
+                    if !seen.contains(&(i, (*origin, *payload))) {
+                        return Err(Violation::new(
+                            "rb.validity",
+                            format!("live {i} never delivers ({origin},{payload}) from live origin"),
+                        ));
+                    }
+                }
+            }
+        }
+        // Uniform agreement: anything delivered anywhere reaches all live.
+        for id in Self::delivered_ids(t) {
+            for i in alive.iter() {
+                if !seen.contains(&(i, id)) {
+                    return Err(Violation::new(
+                        "rb.uniform-agreement",
+                        format!("({},{}) delivered somewhere but not at live {i}", id.0, id.1),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bc(at: u8, p: u64) -> Action {
+        Action::Broadcast { at: Loc(at), payload: p }
+    }
+    fn dl(at: u8, origin: u8, p: u64) -> Action {
+        Action::Deliver { at: Loc(at), origin: Loc(origin), payload: p }
+    }
+
+    #[test]
+    fn accepts_complete_dissemination() {
+        let pi = Pi::new(2);
+        let t = vec![bc(0, 7), dl(0, 0, 7), dl(1, 0, 7)];
+        assert!(ReliableBroadcast.check(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_partial_delivery_of_live_broadcast() {
+        let pi = Pi::new(2);
+        let t = vec![bc(0, 7), dl(0, 0, 7)];
+        assert_eq!(ReliableBroadcast.check(pi, &t).unwrap_err().rule, "rb.validity");
+    }
+
+    #[test]
+    fn uniform_agreement_covers_faulty_deliveries() {
+        let pi = Pi::new(2);
+        // p1 delivers then crashes; p0 never delivers: uniform agreement broken.
+        let t = vec![bc(1, 9), dl(1, 1, 9), Action::Crash(Loc(1))];
+        let err = ReliableBroadcast.check(pi, &t).unwrap_err();
+        assert_eq!(err.rule, "rb.uniform-agreement");
+    }
+
+    #[test]
+    fn faulty_broadcast_may_vanish() {
+        let pi = Pi::new(2);
+        // p1 broadcasts then crashes; nobody delivers: allowed.
+        let t = vec![bc(1, 9), Action::Crash(Loc(1))];
+        assert!(ReliableBroadcast.check(pi, &t).is_ok());
+    }
+
+    #[test]
+    fn rejects_creation_and_duplication() {
+        let pi = Pi::new(1);
+        let created = vec![dl(0, 0, 5)];
+        assert_eq!(ReliableBroadcast.check(pi, &created).unwrap_err().rule, "rb.no-creation");
+        let dup = vec![bc(0, 5), dl(0, 0, 5), dl(0, 0, 5)];
+        assert_eq!(ReliableBroadcast.check(pi, &dup).unwrap_err().rule, "rb.no-duplication");
+    }
+
+    #[test]
+    fn rejects_delivery_after_crash() {
+        let pi = Pi::new(2);
+        let t = vec![bc(0, 1), dl(1, 0, 1), Action::Crash(Loc(1)), dl(1, 0, 1)];
+        assert_eq!(ReliableBroadcast.check(pi, &t).unwrap_err().rule, "rb.crash-validity");
+    }
+
+    #[test]
+    fn is_long_lived_not_bounded() {
+        assert_eq!(ReliableBroadcast.output_bound(Pi::new(4)), None);
+    }
+
+    #[test]
+    fn id_extractors() {
+        let t = vec![bc(0, 1), bc(1, 2), dl(0, 0, 1), dl(1, 0, 1)];
+        assert_eq!(ReliableBroadcast::broadcast_ids(&t).len(), 2);
+        assert_eq!(ReliableBroadcast::delivered_ids(&t), vec![(Loc(0), 1)]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Concrete crash problems: consensus (§9.1), leader election,
+//! reliable broadcast, and k-set agreement.
+//!
+//! Consensus, leader election, and k-set agreement are *bounded*
+//! problems (§7.3) — each ships a canonical centralized solver `U`
+//! witnessing crash independence and bounded length, which the
+//! Theorem 21 experiments build on. Reliable broadcast is long-lived
+//! and serves as the contrast case.
+
+pub mod atomic_commit;
+pub mod broadcast;
+pub mod consensus;
+pub mod kset;
+pub mod leader_election;
+
+pub use atomic_commit::{AtomicCommit, AtomicCommitSolver};
+pub use broadcast::ReliableBroadcast;
+pub use consensus::{Consensus, ConsensusSolver};
+pub use kset::{KSetAgreement, KSetSolver};
+pub use leader_election::{LeaderElection, LeaderElectionSolver};

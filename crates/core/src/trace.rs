@@ -1,0 +1,485 @@
+//! Trace machinery of §3.1–§3.2: faulty/live locations, valid
+//! sequences, samplings, and constrained reorderings.
+//!
+//! Throughout, a *trace* is a finite `&[Action]`. The paper's trace sets
+//! contain infinite sequences; finite traces produced by the simulator
+//! stand in for them under the conventions documented on each checker.
+
+use rand::Rng;
+
+use crate::action::Action;
+use crate::loc::{Loc, LocSet, Pi};
+
+/// A violation of a trace-level rule, with a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short name of the violated rule (e.g. `"validity.safety"`).
+    pub rule: &'static str,
+    /// Human-readable description of the offending evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Construct a violation.
+    #[must_use]
+    pub fn new(rule: &'static str, detail: impl Into<String>) -> Self {
+        Violation { rule, detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.rule, self.detail)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// `faulty(t)`: the locations at which a crash event occurs in `t`.
+#[must_use]
+pub fn faulty(t: &[Action]) -> LocSet {
+    let mut s = LocSet::empty();
+    for a in t {
+        if let Some(l) = a.crash_loc() {
+            s.insert(l);
+        }
+    }
+    s
+}
+
+/// `live(t)`: the locations of Π with no crash event in `t`.
+#[must_use]
+pub fn live(pi: Pi, t: &[Action]) -> LocSet {
+    pi.all().difference(faulty(t))
+}
+
+/// Index of the first `crash_l` event in `t`, if any.
+#[must_use]
+pub fn first_crash_index(t: &[Action], l: Loc) -> Option<usize> {
+    t.iter().position(|a| a.crash_loc() == Some(l))
+}
+
+/// The set of locations crashed strictly before index `k` in `t`.
+#[must_use]
+pub fn crashed_before(t: &[Action], k: usize) -> LocSet {
+    faulty(&t[..k.min(t.len())])
+}
+
+/// Report of a validity check (§3.2 "Valid sequences").
+///
+/// Clause (1) — no outputs at `i` after `crash_i` — is checked exactly.
+/// Clause (2) — infinitely many outputs at each live location — is
+/// finitely approximated: each live location must have at least
+/// `min_live_outputs` outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityReport {
+    /// First safety violation (output after crash), if any.
+    pub safety: Result<(), Violation>,
+    /// Live locations with fewer than the required number of outputs.
+    pub starved_live: Vec<(Loc, usize)>,
+}
+
+impl ValidityReport {
+    /// True iff both clauses hold under the finite-run convention.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.safety.is_ok() && self.starved_live.is_empty()
+    }
+}
+
+/// Check validity of `t` with respect to an output classifier
+/// (`out_loc(a) = Some(i)` iff `a ∈ O_D,i`).
+#[must_use]
+pub fn check_validity<F>(pi: Pi, t: &[Action], out_loc: F, min_live_outputs: usize) -> ValidityReport
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    let mut crashed = LocSet::empty();
+    let mut safety = Ok(());
+    let mut counts = vec![0usize; pi.len()];
+    for (k, a) in t.iter().enumerate() {
+        if let Some(l) = a.crash_loc() {
+            crashed.insert(l);
+        } else if let Some(i) = out_loc(a) {
+            counts[i.index()] += 1;
+            if crashed.contains(i) && safety.is_ok() {
+                safety = Err(Violation::new(
+                    "validity.safety",
+                    format!("output {a} at index {k} after crash of {i}"),
+                ));
+            }
+        }
+    }
+    let live_set = pi.all().difference(crashed);
+    let starved_live = live_set
+        .iter()
+        .filter(|l| counts[l.index()] < min_live_outputs)
+        .map(|l| (l, counts[l.index()]))
+        .collect();
+    ValidityReport { safety, starved_live }
+}
+
+/// Check that `t` only contains crash events and outputs recognized by
+/// `out_loc` — i.e. that `t` is a sequence over `Î ∪ O_D` as the AFD
+/// definitions require.
+#[must_use]
+pub fn is_over_fd_alphabet<F>(t: &[Action], out_loc: F) -> bool
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    t.iter().all(|a| a.is_crash() || out_loc(a).is_some())
+}
+
+/// Is `t_sub` a *sampling* of `t` (§3.2)? Both must be sequences over
+/// `Î ∪ O_D` (checked via `out_loc`).
+///
+/// Conditions: `t_sub` is a subsequence of `t`; for each live `i`, the
+/// `O_D,i` projections agree; for each faulty `i`, `t_sub` contains the
+/// first `crash_i` of `t` and its `O_D,i` projection is a prefix of
+/// `t`'s.
+#[must_use]
+pub fn is_sampling<F>(pi: Pi, t_sub: &[Action], t: &[Action], out_loc: F) -> bool
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    if !ioa::seq::is_subsequence(t_sub, t) {
+        return false;
+    }
+    let f = faulty(t);
+    for i in pi.iter() {
+        let proj_sub: Vec<&Action> =
+            t_sub.iter().filter(|a| out_loc(a) == Some(i)).collect();
+        let proj: Vec<&Action> = t.iter().filter(|a| out_loc(a) == Some(i)).collect();
+        if f.contains(i) {
+            // First crash_i must be retained.
+            let Some(first) = first_crash_index(t, i) else { return false };
+            let target = &t[first];
+            if !t_sub.iter().any(|a| a == target && a.crash_loc() == Some(i)) {
+                return false;
+            }
+            // Output projection must be a prefix.
+            if proj_sub.len() > proj.len()
+                || proj_sub.iter().zip(&proj).any(|(a, b)| a != b)
+            {
+                return false;
+            }
+        } else if proj_sub != proj {
+            return false;
+        }
+    }
+    true
+}
+
+/// Produce a random sampling of `t` (always a legal sampling): for each
+/// faulty location, truncate its output suffix at a random point and
+/// drop a random subset of its non-first crash events.
+pub fn sample_random<F, R>(pi: Pi, t: &[Action], out_loc: F, rng: &mut R) -> Vec<Action>
+where
+    F: Fn(&Action) -> Option<Loc>,
+    R: Rng,
+{
+    let f = faulty(t);
+    // Per faulty location: how many outputs to keep.
+    let mut keep_outputs = vec![usize::MAX; pi.len()];
+    for i in f.iter() {
+        let total = t.iter().filter(|a| out_loc(a) == Some(i)).count();
+        keep_outputs[i.index()] = rng.gen_range(0..=total);
+    }
+    let mut kept = vec![0usize; pi.len()];
+    let mut seen_crash = LocSet::empty();
+    let mut out = Vec::with_capacity(t.len());
+    for a in t {
+        if let Some(l) = a.crash_loc() {
+            if !seen_crash.contains(l) {
+                seen_crash.insert(l);
+                out.push(*a); // first crash must be retained
+            } else if rng.gen_bool(0.5) {
+                out.push(*a); // later crashes may be dropped
+            }
+        } else if let Some(i) = out_loc(a) {
+            if kept[i.index()] < keep_outputs[i.index()] {
+                kept[i.index()] += 1;
+                out.push(*a);
+            }
+            // else: dropped output (suffix at faulty location)
+        } else {
+            out.push(*a);
+        }
+    }
+    out
+}
+
+/// Is `t2` a *constrained reordering* of `t1` (§3.2)?
+///
+/// `t2` must be a permutation of `t1` (matching the k-th occurrence of
+/// each action value to the k-th) such that every pair of events with
+/// the same location, and every pair whose earlier event is a crash,
+/// keeps its relative order.
+#[must_use]
+pub fn is_constrained_reordering(t2: &[Action], t1: &[Action]) -> bool {
+    if t1.len() != t2.len() {
+        return false;
+    }
+    // Position of the k-th occurrence of each action value in t2.
+    use std::collections::HashMap;
+    let mut occ2: HashMap<&Action, Vec<usize>> = HashMap::new();
+    for (q, a) in t2.iter().enumerate() {
+        occ2.entry(a).or_default().push(q);
+    }
+    let mut occ_count: HashMap<&Action, usize> = HashMap::new();
+    let mut pos_in_t2 = Vec::with_capacity(t1.len());
+    for a in t1 {
+        let k = occ_count.entry(a).or_insert(0);
+        let Some(positions) = occ2.get(a) else { return false };
+        let Some(&q) = positions.get(*k) else { return false };
+        *k += 1;
+        pos_in_t2.push(q);
+    }
+    // Permutation check: every t2 position must be used exactly once.
+    {
+        let mut used = vec![false; t2.len()];
+        for &q in &pos_in_t2 {
+            if used[q] {
+                return false;
+            }
+            used[q] = true;
+        }
+    }
+    // Order constraints.
+    for p1 in 0..t1.len() {
+        for p2 in (p1 + 1)..t1.len() {
+            let constrained = t1[p1].loc() == t1[p2].loc() || t1[p1].is_crash();
+            if constrained && pos_in_t2[p1] > pos_in_t2[p2] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Produce a random constrained reordering of `t` by `passes * len`
+/// legal adjacent transpositions: positions `(j, j+1)` may swap iff the
+/// two events occur at different locations and the earlier one is not a
+/// crash.
+pub fn constrained_reorder_random<R: Rng>(t: &[Action], passes: usize, rng: &mut R) -> Vec<Action> {
+    let mut out = t.to_vec();
+    if out.len() < 2 {
+        return out;
+    }
+    for _ in 0..passes.saturating_mul(out.len()) {
+        let j = rng.gen_range(0..out.len() - 1);
+        if out[j].loc() != out[j + 1].loc() && !out[j].is_crash() {
+            out.swap(j, j + 1);
+        }
+    }
+    out
+}
+
+/// Projection of `t` onto the events occurring at location `i`.
+#[must_use]
+pub fn at_loc(t: &[Action], i: Loc) -> Vec<Action> {
+    t.iter().filter(|a| a.loc() == i).copied().collect()
+}
+
+/// Projection of `t` onto `Î ∪ O_D` for the given output classifier.
+#[must_use]
+pub fn fd_projection<F>(t: &[Action], out_loc: F) -> Vec<Action>
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    t.iter().filter(|a| a.is_crash() || out_loc(a).is_some()).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FdOutput;
+
+    fn fd(at: u8, leader: u8) -> Action {
+        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(leader)) }
+    }
+
+    fn out_loc(a: &Action) -> Option<Loc> {
+        a.fd_output().map(|(at, _)| at)
+    }
+
+    #[test]
+    fn faulty_and_live_partition_pi() {
+        let pi = Pi::new(3);
+        let t = vec![fd(0, 0), Action::Crash(Loc(1)), fd(2, 0)];
+        assert_eq!(faulty(&t), LocSet::singleton(Loc(1)));
+        assert_eq!(live(pi, &t), [Loc(0), Loc(2)].into_iter().collect());
+        assert_eq!(faulty(&t).union(live(pi, &t)), pi.all());
+    }
+
+    #[test]
+    fn first_crash_and_crashed_before() {
+        let t = vec![fd(0, 0), Action::Crash(Loc(1)), Action::Crash(Loc(1)), fd(0, 0)];
+        assert_eq!(first_crash_index(&t, Loc(1)), Some(1));
+        assert_eq!(first_crash_index(&t, Loc(0)), None);
+        assert_eq!(crashed_before(&t, 1), LocSet::empty());
+        assert_eq!(crashed_before(&t, 2), LocSet::singleton(Loc(1)));
+        assert_eq!(crashed_before(&t, 99), LocSet::singleton(Loc(1)));
+    }
+
+    #[test]
+    fn validity_detects_output_after_crash() {
+        let pi = Pi::new(2);
+        let t = vec![Action::Crash(Loc(0)), fd(0, 1)];
+        let r = check_validity(pi, &t, out_loc, 0);
+        assert!(r.safety.is_err());
+        assert!(!r.is_valid());
+        let v = r.safety.unwrap_err();
+        assert_eq!(v.rule, "validity.safety");
+        assert!(v.to_string().contains("after crash"));
+    }
+
+    #[test]
+    fn validity_counts_live_outputs() {
+        let pi = Pi::new(2);
+        let t = vec![fd(0, 0), fd(0, 0), fd(1, 0)];
+        let r = check_validity(pi, &t, out_loc, 2);
+        assert!(r.safety.is_ok());
+        assert_eq!(r.starved_live, vec![(Loc(1), 1)]);
+        let r2 = check_validity(pi, &t, out_loc, 1);
+        assert!(r2.is_valid());
+    }
+
+    #[test]
+    fn validity_ignores_faulty_starvation() {
+        let pi = Pi::new(2);
+        let t = vec![Action::Crash(Loc(1)), fd(0, 0)];
+        let r = check_validity(pi, &t, out_loc, 1);
+        assert!(r.is_valid(), "crashed location need not produce outputs");
+    }
+
+    #[test]
+    fn alphabet_check() {
+        let good = vec![Action::Crash(Loc(0)), fd(1, 1)];
+        assert!(is_over_fd_alphabet(&good, out_loc));
+        let bad = vec![Action::Decide { at: Loc(0), v: 1 }];
+        assert!(!is_over_fd_alphabet(&bad, out_loc));
+    }
+
+    #[test]
+    fn sampling_keeps_live_outputs_exactly() {
+        let pi = Pi::new(2);
+        let t = vec![fd(0, 0), fd(1, 0), fd(0, 1)];
+        // Dropping a live location's output is not a sampling.
+        assert!(!is_sampling(pi, &[fd(0, 0), fd(1, 0)], &t, out_loc));
+        // Identity is a sampling.
+        assert!(is_sampling(pi, &t, &t, out_loc));
+    }
+
+    #[test]
+    fn sampling_truncates_faulty_suffix() {
+        let pi = Pi::new(2);
+        let t = vec![fd(1, 0), Action::Crash(Loc(1)), fd(0, 0)];
+        // Drop the faulty location's only output: legal.
+        let sub = vec![Action::Crash(Loc(1)), fd(0, 0)];
+        assert!(is_sampling(pi, &sub, &t, out_loc));
+        // Dropping the first crash: illegal.
+        let bad = vec![fd(1, 0), fd(0, 0)];
+        assert!(!is_sampling(pi, &bad, &t, out_loc));
+    }
+
+    #[test]
+    fn sampling_requires_prefix_not_subsequence_of_outputs() {
+        let pi = Pi::new(2);
+        let t = vec![fd(1, 0), fd(1, 1), Action::Crash(Loc(1)), fd(0, 0)];
+        // Keeping the second output but not the first is not a prefix.
+        let bad = vec![fd(1, 1), Action::Crash(Loc(1)), fd(0, 0)];
+        assert!(!is_sampling(pi, &bad, &t, out_loc));
+        // Keeping only the first is.
+        let good = vec![fd(1, 0), Action::Crash(Loc(1)), fd(0, 0)];
+        assert!(is_sampling(pi, &good, &t, out_loc));
+    }
+
+    #[test]
+    fn random_samplings_are_samplings() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let pi = Pi::new(3);
+        let t = vec![
+            fd(0, 0),
+            fd(1, 0),
+            fd(2, 0),
+            Action::Crash(Loc(2)),
+            Action::Crash(Loc(2)),
+            fd(0, 1),
+            fd(1, 1),
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let s = sample_random(pi, &t, out_loc, &mut rng);
+            assert!(is_sampling(pi, &s, &t, out_loc), "bad sampling: {s:?}");
+        }
+    }
+
+    #[test]
+    fn constrained_reordering_identity_and_swap() {
+        let t = vec![fd(0, 0), fd(1, 0)];
+        assert!(is_constrained_reordering(&t, &t));
+        let swapped = vec![fd(1, 0), fd(0, 0)];
+        assert!(is_constrained_reordering(&swapped, &t), "different locations may swap");
+    }
+
+    #[test]
+    fn constrained_reordering_preserves_same_location_order() {
+        let t = vec![fd(0, 0), fd(0, 1)];
+        let swapped = vec![fd(0, 1), fd(0, 0)];
+        assert!(!is_constrained_reordering(&swapped, &t));
+    }
+
+    #[test]
+    fn constrained_reordering_keeps_events_after_crash() {
+        let t = vec![Action::Crash(Loc(0)), fd(1, 1)];
+        let swapped = vec![fd(1, 1), Action::Crash(Loc(0))];
+        assert!(!is_constrained_reordering(&swapped, &t), "crash precedes, must stay");
+        // The other direction (moving a crash earlier) is allowed.
+        let t2 = vec![fd(1, 1), Action::Crash(Loc(0))];
+        let moved = vec![Action::Crash(Loc(0)), fd(1, 1)];
+        assert!(is_constrained_reordering(&moved, &t2));
+    }
+
+    #[test]
+    fn constrained_reordering_rejects_non_permutations() {
+        let t = vec![fd(0, 0)];
+        assert!(!is_constrained_reordering(&[], &t));
+        assert!(!is_constrained_reordering(&[fd(0, 1)], &t));
+    }
+
+    #[test]
+    fn random_reorderings_are_constrained() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let t = vec![
+            fd(0, 0),
+            fd(1, 0),
+            Action::Crash(Loc(2)),
+            fd(0, 1),
+            fd(1, 1),
+            Action::Crash(Loc(2)),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let r = constrained_reorder_random(&t, 3, &mut rng);
+            assert!(is_constrained_reordering(&r, &t), "bad reordering: {r:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_events_matched_by_occurrence() {
+        let t = vec![fd(0, 0), fd(1, 0), fd(0, 0)];
+        // Moving the *second* p0 output before p1's output is fine…
+        let r = vec![fd(0, 0), fd(0, 0), fd(1, 0)];
+        assert!(is_constrained_reordering(&r, &t));
+    }
+
+    #[test]
+    fn projections() {
+        let t = vec![fd(0, 0), fd(1, 0), Action::Decide { at: Loc(0), v: 1 }];
+        assert_eq!(at_loc(&t, Loc(0)).len(), 2);
+        assert_eq!(fd_projection(&t, out_loc).len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sequence utilities shared by trace manipulation code: projection,
+//! subsequence tests, prefixes, and indexed-subsequence extraction.
+//!
+//! These operate on plain slices so that both schedules and traces (and
+//! the failure-detector sequences of the paper's §3.2) can use them.
+
+/// Projection of `t` onto the elements satisfying `keep` (§2.2, `t|B`).
+#[must_use]
+pub fn project<T: Clone, F: Fn(&T) -> bool>(t: &[T], keep: F) -> Vec<T> {
+    t.iter().filter(|x| keep(x)).cloned().collect()
+}
+
+/// Indices of the elements of `t` satisfying `keep`.
+#[must_use]
+pub fn project_indices<T, F: Fn(&T) -> bool>(t: &[T], keep: F) -> Vec<usize> {
+    t.iter().enumerate().filter(|(_, x)| keep(x)).map(|(i, _)| i).collect()
+}
+
+/// True iff `small` is a (not necessarily contiguous) subsequence of `big`.
+#[must_use]
+pub fn is_subsequence<T: PartialEq>(small: &[T], big: &[T]) -> bool {
+    let mut it = big.iter();
+    small.iter().all(|x| it.any(|y| y == x))
+}
+
+/// True iff `p` is a prefix of `t`.
+#[must_use]
+pub fn is_prefix<T: PartialEq>(p: &[T], t: &[T]) -> bool {
+    p.len() <= t.len() && p.iter().zip(t).all(|(a, b)| a == b)
+}
+
+/// Length of the longest common prefix of `a` and `b`.
+#[must_use]
+pub fn common_prefix_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Extract the subsequence of `t` at the given (strictly increasing)
+/// indices. Returns `None` if any index is out of bounds or the indices
+/// are not strictly increasing.
+#[must_use]
+pub fn subsequence_at<T: Clone>(t: &[T], indices: &[usize]) -> Option<Vec<T>> {
+    let mut last: Option<usize> = None;
+    let mut out = Vec::with_capacity(indices.len());
+    for &i in indices {
+        if i >= t.len() || last.is_some_and(|l| i <= l) {
+            return None;
+        }
+        out.push(t[i].clone());
+        last = Some(i);
+    }
+    Some(out)
+}
+
+/// The paper's `t[x]` convention (§2.2): 1-based indexing returning
+/// `None` (⊥) past the end.
+#[must_use]
+pub fn nth_event<T>(t: &[T], x: usize) -> Option<&T> {
+    if x == 0 {
+        return None;
+    }
+    t.get(x - 1)
+}
+
+/// True iff `t2` is a permutation of `t1` (as multisets).
+#[must_use]
+pub fn is_permutation<T: Ord + Clone>(t1: &[T], t2: &[T]) -> bool {
+    if t1.len() != t2.len() {
+        return false;
+    }
+    let mut a = t1.to_vec();
+    let mut b = t2.to_vec();
+    a.sort();
+    b.sort();
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_keeps_order() {
+        let t = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(project(&t, |x| x % 2 == 0), vec![2, 4, 6]);
+        assert_eq!(project_indices(&t, |x| x % 2 == 0), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn subsequence_tests() {
+        assert!(is_subsequence(&[1, 3], &[1, 2, 3]));
+        assert!(is_subsequence::<u32>(&[], &[1, 2]));
+        assert!(!is_subsequence(&[3, 1], &[1, 2, 3]));
+        assert!(!is_subsequence(&[1, 1], &[1, 2]));
+    }
+
+    #[test]
+    fn prefix_tests() {
+        assert!(is_prefix(&[1, 2], &[1, 2, 3]));
+        assert!(is_prefix::<u32>(&[], &[]));
+        assert!(!is_prefix(&[2], &[1, 2]));
+        assert!(!is_prefix(&[1, 2, 3, 4], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(&[1, 2, 3], &[1, 2, 4]), 2);
+        assert_eq!(common_prefix_len::<u32>(&[], &[1]), 0);
+        assert_eq!(common_prefix_len(&[7], &[7]), 1);
+    }
+
+    #[test]
+    fn subsequence_at_checks_indices() {
+        let t = vec!['a', 'b', 'c', 'd'];
+        assert_eq!(subsequence_at(&t, &[0, 2]), Some(vec!['a', 'c']));
+        assert_eq!(subsequence_at(&t, &[2, 0]), None, "not increasing");
+        assert_eq!(subsequence_at(&t, &[4]), None, "out of bounds");
+        assert_eq!(subsequence_at(&t, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn nth_event_is_one_based_with_bottom() {
+        let t = vec![10, 20];
+        assert_eq!(nth_event(&t, 0), None);
+        assert_eq!(nth_event(&t, 1), Some(&10));
+        assert_eq!(nth_event(&t, 2), Some(&20));
+        assert_eq!(nth_event(&t, 3), None);
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation(&[1, 2, 2], &[2, 1, 2]));
+        assert!(!is_permutation(&[1, 2], &[1, 1]));
+        assert!(!is_permutation(&[1], &[1, 1]));
+    }
+}

@@ -1,0 +1,170 @@
+//! Reliable FIFO channel automata (§4.3).
+//!
+//! For every ordered pair `(i, j)` of distinct locations the system
+//! contains a channel `C_{i,j}` transporting messages from the process
+//! at `i` to the process at `j`. A send may occur at any time (input);
+//! when a message is at the head of the queue, the corresponding
+//! receive is enabled (output). The channel has one task and is
+//! deterministic.
+
+use afd_core::{Action, Loc, Msg};
+use ioa::{ActionClass, Automaton, TaskId};
+
+/// The channel automaton `C_{from,to}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// Sender location.
+    pub from: Loc,
+    /// Receiver location.
+    pub to: Loc,
+}
+
+/// Channel state: the FIFO queue of in-transit messages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ChannelState {
+    /// Queue contents, head first.
+    pub queue: Vec<Msg>,
+}
+
+impl Channel {
+    /// The channel from `from` to `to`.
+    ///
+    /// # Panics
+    /// Panics if `from == to` (the model has no self-channels).
+    #[must_use]
+    pub fn new(from: Loc, to: Loc) -> Self {
+        assert_ne!(from, to, "no self-channels in the model");
+        Channel { from, to }
+    }
+}
+
+impl Automaton for Channel {
+    type Action = Action;
+    type State = ChannelState;
+
+    fn name(&self) -> String {
+        format!("C[{}→{}]", self.from, self.to)
+    }
+
+    fn initial_state(&self) -> ChannelState {
+        ChannelState::default()
+    }
+
+    fn classify(&self, a: &Action) -> Option<ActionClass> {
+        match a {
+            Action::Send { from, to, .. } if *from == self.from && *to == self.to => {
+                Some(ActionClass::Input)
+            }
+            Action::Receive { from, to, .. } if *from == self.from && *to == self.to => {
+                Some(ActionClass::Output)
+            }
+            _ => None,
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+
+    fn enabled(&self, s: &ChannelState, _t: TaskId) -> Option<Action> {
+        s.queue.first().map(|m| Action::Receive { from: self.from, to: self.to, msg: *m })
+    }
+
+    fn step(&self, s: &ChannelState, a: &Action) -> Option<ChannelState> {
+        match a {
+            Action::Send { from, to, msg } if *from == self.from && *to == self.to => {
+                let mut next = s.clone();
+                next.queue.push(*msg);
+                Some(next)
+            }
+            Action::Receive { from, to, msg } if *from == self.from && *to == self.to => {
+                if s.queue.first() == Some(msg) {
+                    let mut next = s.clone();
+                    next.queue.remove(0);
+                    Some(next)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> Channel {
+        Channel::new(Loc(0), Loc(1))
+    }
+    fn send(m: Msg) -> Action {
+        Action::Send { from: Loc(0), to: Loc(1), msg: m }
+    }
+    fn recv(m: Msg) -> Action {
+        Action::Receive { from: Loc(0), to: Loc(1), msg: m }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let c = chan();
+        let mut s = c.initial_state();
+        s = c.step(&s, &send(Msg::Token(1))).unwrap();
+        s = c.step(&s, &send(Msg::Token(2))).unwrap();
+        assert_eq!(c.enabled(&s, TaskId(0)), Some(recv(Msg::Token(1))));
+        s = c.step(&s, &recv(Msg::Token(1))).unwrap();
+        assert_eq!(c.enabled(&s, TaskId(0)), Some(recv(Msg::Token(2))));
+        s = c.step(&s, &recv(Msg::Token(2))).unwrap();
+        assert_eq!(c.enabled(&s, TaskId(0)), None);
+    }
+
+    #[test]
+    fn out_of_order_receive_rejected() {
+        let c = chan();
+        let mut s = c.initial_state();
+        s = c.step(&s, &send(Msg::Token(1))).unwrap();
+        s = c.step(&s, &send(Msg::Token(2))).unwrap();
+        assert_eq!(c.step(&s, &recv(Msg::Token(2))), None);
+    }
+
+    #[test]
+    fn receive_on_empty_rejected() {
+        let c = chan();
+        let s = c.initial_state();
+        assert_eq!(c.step(&s, &recv(Msg::Token(1))), None);
+        assert_eq!(c.enabled(&s, TaskId(0)), None);
+    }
+
+    #[test]
+    fn signature_is_pair_scoped() {
+        let c = chan();
+        assert_eq!(c.classify(&send(Msg::Token(0))), Some(ActionClass::Input));
+        assert_eq!(c.classify(&recv(Msg::Token(0))), Some(ActionClass::Output));
+        let other = Action::Send { from: Loc(1), to: Loc(0), msg: Msg::Token(0) };
+        assert_eq!(c.classify(&other), None);
+        assert_eq!(c.classify(&Action::Crash(Loc(0))), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channels")]
+    fn self_channel_rejected() {
+        let _ = Channel::new(Loc(1), Loc(1));
+    }
+
+    #[test]
+    fn contract_checks() {
+        let c = chan();
+        ioa::check_task_determinism(&c, 20, 1).unwrap();
+        ioa::check_input_enabled(&c, &[send(Msg::Token(7))], 20, 1).unwrap();
+    }
+
+    #[test]
+    fn duplicate_messages_supported() {
+        let c = chan();
+        let mut s = c.initial_state();
+        s = c.step(&s, &send(Msg::Token(5))).unwrap();
+        s = c.step(&s, &send(Msg::Token(5))).unwrap();
+        s = c.step(&s, &recv(Msg::Token(5))).unwrap();
+        assert_eq!(c.enabled(&s, TaskId(0)), Some(recv(Msg::Token(5))));
+    }
+}

@@ -1,0 +1,361 @@
+//! Environment automata (§4.5), including the well-formed consensus
+//! environment `E_C` of §9.2 (Algorithm 4).
+//!
+//! [`Env`] is the closed set of environments this repository's systems
+//! use. Each is task deterministic; `E_C` is the composition of per-
+//! location automata `E_{C,i}` with two tasks each (`Env_{i,0}` =
+//! `propose(0)_i`, `Env_{i,1}` = `propose(1)_i`), exactly as in
+//! Algorithm 4.
+
+use afd_core::{Action, Loc, LocSet, Pi, Val};
+use ioa::{ActionClass, Automaton, TaskId};
+
+/// An environment automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Env {
+    /// No environment actions at all (e.g. leader election,
+    /// self-implementation systems: their only inputs are crashes).
+    None,
+    /// `E_C` (Algorithm 4): binary-consensus environment. `prefs[i]`
+    /// restricts the proposable value at location `i`: `None` leaves
+    /// both `propose(0)_i` and `propose(1)_i` enabled (the full `E_C`),
+    /// `Some(v)` enables only `propose(v)_i` (a sub-environment used to
+    /// steer experiments; still well-formed).
+    Consensus {
+        /// The universe.
+        pi: Pi,
+        /// Per-location value restriction.
+        prefs: Vec<Option<Val>>,
+    },
+    /// k-set-agreement environment: location `i` proposes `values[i]`
+    /// exactly once.
+    KSet {
+        /// The universe.
+        pi: Pi,
+        /// Per-location proposal.
+        values: Vec<Val>,
+    },
+    /// Reliable-broadcast environment: plays scripted `Broadcast`
+    /// inputs in order (skipping crashed originators).
+    Broadcast {
+        /// `(origin, payload)` list, played in order.
+        script: Vec<(Loc, u64)>,
+    },
+    /// Atomic-commit environment: location `i` votes `votes[i]` exactly
+    /// once.
+    Votes {
+        /// The universe.
+        pi: Pi,
+        /// Per-location vote.
+        votes: Vec<bool>,
+    },
+}
+
+/// Environment state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnvState {
+    /// Per-location `stop` flag of Algorithm 4 (proposed or crashed),
+    /// also reused as "proposed" for the k-set environment.
+    pub stopped: LocSet,
+    /// Crashed locations (used to skip scripted broadcasts).
+    pub crashed: LocSet,
+    /// Script position (broadcast environment).
+    pub pos: usize,
+}
+
+impl EnvState {
+    fn new() -> Self {
+        EnvState { stopped: LocSet::empty(), crashed: LocSet::empty(), pos: 0 }
+    }
+}
+
+impl Env {
+    /// The full `E_C` of Algorithm 4 (both values proposable everywhere).
+    #[must_use]
+    pub fn consensus(pi: Pi) -> Self {
+        Env::Consensus { pi, prefs: vec![None; pi.len()] }
+    }
+
+    /// `E_C` restricted so location `i` proposes `prefs[i]`.
+    #[must_use]
+    pub fn consensus_with_inputs(pi: Pi, values: &[Val]) -> Self {
+        Env::Consensus { pi, prefs: values.iter().map(|&v| Some(v)).collect() }
+    }
+
+    /// Number of per-location tasks (2 for consensus: one per value).
+    fn tasks_per_loc(&self) -> usize {
+        match self {
+            Env::Consensus { .. } => 2,
+            Env::KSet { .. } | Env::Votes { .. } => 1,
+            Env::None | Env::Broadcast { .. } => 0,
+        }
+    }
+
+    /// Universe size, if location-structured.
+    fn n(&self) -> usize {
+        match self {
+            Env::Consensus { pi, .. } | Env::KSet { pi, .. } | Env::Votes { pi, .. } => pi.len(),
+            Env::None | Env::Broadcast { .. } => 0,
+        }
+    }
+
+    /// The §8 environment task index set `X_i`: the number of tasks at
+    /// each location (used by the execution-tree labels).
+    #[must_use]
+    pub fn task_index_set_size(&self) -> usize {
+        self.tasks_per_loc()
+    }
+}
+
+impl Automaton for Env {
+    type Action = Action;
+    type State = EnvState;
+
+    fn name(&self) -> String {
+        match self {
+            Env::None => "E-none".into(),
+            Env::Consensus { .. } => "E_C".into(),
+            Env::KSet { .. } => "E-kset".into(),
+            Env::Broadcast { .. } => "E-broadcast".into(),
+            Env::Votes { .. } => "E-votes".into(),
+        }
+    }
+
+    fn initial_state(&self) -> EnvState {
+        EnvState::new()
+    }
+
+    fn classify(&self, a: &Action) -> Option<ActionClass> {
+        match (self, a) {
+            (_, Action::Crash(_)) => Some(ActionClass::Input),
+            (Env::Consensus { .. }, Action::Propose { .. }) => Some(ActionClass::Output),
+            (Env::Consensus { .. }, Action::Decide { .. }) => Some(ActionClass::Input),
+            (Env::KSet { .. }, Action::ProposeK { .. }) => Some(ActionClass::Output),
+            (Env::KSet { .. }, Action::DecideK { .. }) => Some(ActionClass::Input),
+            (Env::Broadcast { .. }, Action::Broadcast { .. }) => Some(ActionClass::Output),
+            (Env::Broadcast { .. }, Action::Deliver { .. }) => Some(ActionClass::Input),
+            (Env::Votes { .. }, Action::Vote { .. }) => Some(ActionClass::Output),
+            (Env::Votes { .. }, Action::Verdict { .. }) => Some(ActionClass::Input),
+            _ => None,
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        match self {
+            Env::Broadcast { .. } => 1,
+            _ => self.n() * self.tasks_per_loc(),
+        }
+    }
+
+    fn enabled(&self, s: &EnvState, t: TaskId) -> Option<Action> {
+        match self {
+            Env::None => None,
+            Env::Consensus { pi, prefs } => {
+                let i = Loc(u8::try_from(t.0 / 2).ok()?);
+                let v = (t.0 % 2) as Val;
+                if !pi.contains(i) || s.stopped.contains(i) {
+                    return None;
+                }
+                match prefs[i.index()] {
+                    Some(p) if p != v => None,
+                    _ => Some(Action::Propose { at: i, v }),
+                }
+            }
+            Env::KSet { pi, values } => {
+                let i = Loc(u8::try_from(t.0).ok()?);
+                if !pi.contains(i) || s.stopped.contains(i) {
+                    return None;
+                }
+                Some(Action::ProposeK { at: i, v: values[i.index()] })
+            }
+            Env::Broadcast { script } => {
+                let mut pos = s.pos;
+                while pos < script.len() {
+                    let (origin, payload) = script[pos];
+                    if !s.crashed.contains(origin) {
+                        return Some(Action::Broadcast { at: origin, payload });
+                    }
+                    pos += 1;
+                }
+                None
+            }
+            Env::Votes { pi, votes } => {
+                let i = Loc(u8::try_from(t.0).ok()?);
+                if !pi.contains(i) || s.stopped.contains(i) {
+                    return None;
+                }
+                Some(Action::Vote { at: i, yes: votes[i.index()] })
+            }
+        }
+    }
+
+    fn step(&self, s: &EnvState, a: &Action) -> Option<EnvState> {
+        let mut next = s.clone();
+        match (self, a) {
+            (_, Action::Crash(l)) => {
+                next.crashed.insert(*l);
+                // Algorithm 4: crash_i sets stop := true at E_{C,i}.
+                next.stopped.insert(*l);
+                Some(next)
+            }
+            (Env::Consensus { pi, prefs }, Action::Propose { at, v }) => {
+                if !pi.contains(*at)
+                    || s.stopped.contains(*at)
+                    || prefs[at.index()].is_some_and(|p| p != *v)
+                {
+                    return None;
+                }
+                next.stopped.insert(*at);
+                Some(next)
+            }
+            (Env::Consensus { .. }, Action::Decide { .. }) => Some(next),
+            (Env::KSet { pi, values }, Action::ProposeK { at, v }) => {
+                if !pi.contains(*at) || s.stopped.contains(*at) || values[at.index()] != *v {
+                    return None;
+                }
+                next.stopped.insert(*at);
+                Some(next)
+            }
+            (Env::KSet { .. }, Action::DecideK { .. }) => Some(next),
+            (Env::Broadcast { script }, Action::Broadcast { at, payload }) => {
+                let mut pos = s.pos;
+                while pos < script.len() {
+                    let (origin, p) = script[pos];
+                    if !s.crashed.contains(origin) {
+                        if origin == *at && p == *payload {
+                            next.pos = pos + 1;
+                            return Some(next);
+                        }
+                        return None;
+                    }
+                    pos += 1;
+                }
+                None
+            }
+            (Env::Broadcast { .. }, Action::Deliver { .. }) => Some(next),
+            (Env::Votes { pi, votes }, Action::Vote { at, yes }) => {
+                if !pi.contains(*at) || s.stopped.contains(*at) || votes[at.index()] != *yes {
+                    return None;
+                }
+                next.stopped.insert(*at);
+                Some(next)
+            }
+            (Env::Votes { .. }, Action::Verdict { .. }) => Some(next),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::problems::consensus::Consensus;
+
+    #[test]
+    fn ec_proposes_at_most_once_per_location() {
+        let env = Env::consensus(Pi::new(2));
+        let mut s = env.initial_state();
+        // Both tasks of p0 enabled initially.
+        assert_eq!(env.enabled(&s, TaskId(0)), Some(Action::Propose { at: Loc(0), v: 0 }));
+        assert_eq!(env.enabled(&s, TaskId(1)), Some(Action::Propose { at: Loc(0), v: 1 }));
+        s = env.step(&s, &Action::Propose { at: Loc(0), v: 1 }).unwrap();
+        // Algorithm 4: both propose tasks at p0 now disabled.
+        assert_eq!(env.enabled(&s, TaskId(0)), None);
+        assert_eq!(env.enabled(&s, TaskId(1)), None);
+        assert!(env.enabled(&s, TaskId(2)).is_some(), "p1 unaffected");
+    }
+
+    #[test]
+    fn ec_crash_disables_proposals() {
+        let env = Env::consensus(Pi::new(2));
+        let mut s = env.initial_state();
+        s = env.step(&s, &Action::Crash(Loc(1))).unwrap();
+        assert_eq!(env.enabled(&s, TaskId(2)), None);
+        assert_eq!(env.enabled(&s, TaskId(3)), None);
+    }
+
+    #[test]
+    fn ec_fair_traces_are_well_formed_theorem_44() {
+        // Drive E_C alone with a fair scheduler plus injected crashes;
+        // the resulting trace must satisfy environment well-formedness.
+        let pi = Pi::new(3);
+        let env = Env::consensus(pi);
+        let mut s = env.initial_state();
+        let mut trace = Vec::new();
+        let mut sched = ioa::RoundRobin::new();
+        for step in 0..40 {
+            if step == 1 {
+                s = env.step(&s, &Action::Crash(Loc(2))).unwrap();
+                trace.push(Action::Crash(Loc(2)));
+                continue;
+            }
+            let Some(t) = ioa::Scheduler::<Env>::next_task(&mut sched, &env, &s, step) else {
+                break;
+            };
+            let a = env.enabled(&s, t).unwrap();
+            s = env.step(&s, &a).unwrap();
+            trace.push(a);
+        }
+        assert!(Consensus::env_well_formed(pi, &trace).is_ok());
+        assert!(!env.any_task_enabled(&s), "E_C quiesces after all propose/crash");
+    }
+
+    #[test]
+    fn restricted_ec_proposes_the_scripted_value() {
+        let pi = Pi::new(2);
+        let env = Env::consensus_with_inputs(pi, &[1, 0]);
+        let s = env.initial_state();
+        assert_eq!(env.enabled(&s, TaskId(0)), None, "propose(0)_p0 disabled");
+        assert_eq!(env.enabled(&s, TaskId(1)), Some(Action::Propose { at: Loc(0), v: 1 }));
+        assert_eq!(env.enabled(&s, TaskId(2)), Some(Action::Propose { at: Loc(1), v: 0 }));
+        assert_eq!(env.enabled(&s, TaskId(3)), None);
+    }
+
+    #[test]
+    fn decide_inputs_are_accepted_noop() {
+        let env = Env::consensus(Pi::new(1));
+        let s = env.initial_state();
+        let s2 = env.step(&s, &Action::Decide { at: Loc(0), v: 1 }).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn kset_env_proposes_assigned_values() {
+        let pi = Pi::new(2);
+        let env = Env::KSet { pi, values: vec![7, 9] };
+        let mut s = env.initial_state();
+        assert_eq!(env.enabled(&s, TaskId(0)), Some(Action::ProposeK { at: Loc(0), v: 7 }));
+        s = env.step(&s, &Action::ProposeK { at: Loc(0), v: 7 }).unwrap();
+        assert_eq!(env.enabled(&s, TaskId(0)), None);
+        assert_eq!(env.step(&s, &Action::ProposeK { at: Loc(1), v: 3 }), None, "wrong value");
+    }
+
+    #[test]
+    fn broadcast_env_plays_script_skipping_crashed() {
+        let env = Env::Broadcast { script: vec![(Loc(0), 5), (Loc(1), 6)] };
+        let mut s = env.initial_state();
+        s = env.step(&s, &Action::Crash(Loc(0))).unwrap();
+        assert_eq!(
+            env.enabled(&s, TaskId(0)),
+            Some(Action::Broadcast { at: Loc(1), payload: 6 })
+        );
+        s = env.step(&s, &Action::Broadcast { at: Loc(1), payload: 6 }).unwrap();
+        assert_eq!(env.enabled(&s, TaskId(0)), None);
+    }
+
+    #[test]
+    fn none_env_has_no_tasks() {
+        let env = Env::None;
+        assert_eq!(env.task_count(), 0);
+        assert_eq!(env.classify(&Action::Propose { at: Loc(0), v: 0 }), None);
+        assert_eq!(env.classify(&Action::Crash(Loc(0))), Some(ActionClass::Input));
+    }
+
+    #[test]
+    fn contract_checks() {
+        let env = Env::consensus(Pi::new(2));
+        ioa::check_task_determinism(&env, 50, 6).unwrap();
+        ioa::check_input_enabled(&env, &[Action::Crash(Loc(0)), Action::Crash(Loc(1))], 50, 6)
+            .unwrap();
+    }
+}

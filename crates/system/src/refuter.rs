@@ -1,0 +1,147 @@
+//! Executable §3.4: no automaton implements the Marabout detector.
+//!
+//! Marabout must output `faulty(t)` from the very first output, but an
+//! automaton's output can depend only on the crash events received *so
+//! far*. The refuter runs any candidate FD automaton crash-free until
+//! its first output and then branches:
+//!
+//! * if that first output is a non-empty suspect set `S`, continue
+//!   crash-free — `faulty(t) = ∅ ≠ S`;
+//! * if it is empty, crash some location right after — the recorded
+//!   prefix already contains an output `∅ ≠ faulty(t)`.
+//!
+//! Either branch is a fair trace of the candidate outside
+//! `T_Marabout`. Because the argument only uses input enabling and
+//! task fairness, it defeats **every** candidate, including the
+//! "cheating" generator whose oracle guessed the other pattern.
+
+use afd_core::afds::Marabout;
+use afd_core::{Action, AfdSpec, FdOutput, Loc, Pi, Violation};
+use ioa::{Automaton, RoundRobin, Scheduler};
+
+/// A refutation witness: a fair trace of the candidate that violates
+/// `T_Marabout`, plus the violated clause.
+#[derive(Debug, Clone)]
+pub struct RefutationWitness {
+    /// The offending trace (over `Î ∪ O_D`).
+    pub trace: Vec<Action>,
+    /// Why the trace is outside `T_Marabout`.
+    pub violation: Violation,
+}
+
+/// Defeat a candidate Marabout implementation.
+///
+/// `fd` is any task-deterministic automaton whose outputs are
+/// `Fd { Suspects(_) }` actions and whose inputs are crashes. Returns
+/// `Some(witness)` when a violating fair trace is found (which the
+/// §3.4 argument guarantees for every real implementation), or `None`
+/// if the candidate produced no output within `budget` steps — which
+/// itself violates validity's liveness clause, so such a candidate is
+/// no implementation either.
+#[must_use]
+pub fn refute_marabout<M>(fd: &M, pi: Pi, budget: usize) -> Option<RefutationWitness>
+where
+    M: Automaton<Action = Action>,
+{
+    // Phase 1: crash-free until the first output.
+    let mut sched = RoundRobin::new();
+    let mut s = fd.initial_state();
+    let mut trace: Vec<Action> = Vec::new();
+    let mut first_output: Option<FdOutput> = None;
+    for step in 0..budget {
+        let t = sched.next_task(fd, &s, step)?;
+        let a = fd.enabled(&s, t)?;
+        s = fd.step(&s, &a)?;
+        trace.push(a);
+        if let Some((_, out)) = a.fd_output() {
+            first_output = Some(out);
+            break;
+        }
+    }
+    let out = first_output?;
+    match out {
+        FdOutput::Suspects(set) if !set.is_empty() => {
+            // Branch A: nobody ever crashes. Extend crash-free so every
+            // live location keeps outputting (fairness), then check.
+            extend_crash_free(fd, &mut s, &mut trace, budget);
+            let violation = Marabout.check_complete(pi, &trace).err()?;
+            Some(RefutationWitness { trace, violation })
+        }
+        _ => {
+            // Branch B: crash a location that the empty output failed to
+            // anticipate. Prefer a location other than where the output
+            // occurred so the victim's own outputs are not implicated.
+            let out_loc = trace.iter().rev().find_map(Action::fd_output).map(|(i, _)| i);
+            let victim = pi.iter().find(|&l| Some(l) != out_loc).unwrap_or(Loc(0));
+            let crash = Action::Crash(victim);
+            s = fd.step(&s, &crash)?;
+            trace.push(crash);
+            extend_crash_free(fd, &mut s, &mut trace, budget);
+            let violation = Marabout.check_complete(pi, &trace).err()?;
+            Some(RefutationWitness { trace, violation })
+        }
+    }
+}
+
+fn extend_crash_free<M>(fd: &M, s: &mut M::State, trace: &mut Vec<Action>, budget: usize)
+where
+    M: Automaton<Action = Action>,
+{
+    let mut sched = RoundRobin::new();
+    for step in 0..budget {
+        let Some(t) = sched.next_task(fd, s, step) else { break };
+        let Some(a) = fd.enabled(s, t) else { break };
+        let Some(next) = fd.step(s, &a) else { break };
+        *s = next;
+        trace.push(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::automata::{FdBehavior, FdGen};
+    use afd_core::LocSet;
+
+    #[test]
+    fn refutes_the_honest_empty_guesser() {
+        // Algorithm 2's P automaton outputs ∅ initially: branch B wins.
+        let pi = Pi::new(2);
+        let fd = FdGen::perfect(pi);
+        let w = refute_marabout(&fd, pi, 50).expect("refutation must exist");
+        assert_eq!(w.violation.rule, "marabout.exact");
+        assert!(w.trace.iter().any(Action::is_crash), "branch B crashed someone");
+    }
+
+    #[test]
+    fn refutes_the_cheater_whose_guess_missed() {
+        // A cheater that guessed {p1} will crash: run it in the world
+        // where nobody crashes (branch A).
+        let pi = Pi::new(2);
+        let fd = FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(1)) });
+        let w = refute_marabout(&fd, pi, 50).expect("refutation must exist");
+        assert_eq!(w.violation.rule, "marabout.exact");
+        assert!(w.trace.iter().all(|a| !a.is_crash()), "branch A stays crash-free");
+    }
+
+    #[test]
+    fn refutes_the_cheater_whose_guess_was_empty() {
+        // A cheater that guessed ∅: branch B crashes a location.
+        let pi = Pi::new(2);
+        let fd = FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::empty() });
+        let w = refute_marabout(&fd, pi, 50).expect("refutation must exist");
+        assert_eq!(w.violation.rule, "marabout.exact");
+    }
+
+    #[test]
+    fn witness_trace_is_nonempty_and_fd_only() {
+        let pi = Pi::new(3);
+        let fd = FdGen::perfect(pi);
+        let w = refute_marabout(&fd, pi, 60).unwrap();
+        assert!(!w.trace.is_empty());
+        assert!(w
+            .trace
+            .iter()
+            .all(|a| a.is_crash() || Marabout.output_loc(a).is_some()));
+    }
+}

@@ -1,0 +1,170 @@
+//! Run statistics: per-kind and per-location event counts, message
+//! traffic, and decision latencies — shared by the experiment tables,
+//! the benches, and assertions in tests.
+
+use std::collections::BTreeMap;
+
+use afd_core::{Action, Loc, Pi};
+
+/// Aggregate statistics of a schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total events.
+    pub events: usize,
+    /// Crash events.
+    pub crashes: usize,
+    /// Send events.
+    pub sends: usize,
+    /// Receive events.
+    pub receives: usize,
+    /// Failure-detector output events (unilateral `Fd`).
+    pub fd_outputs: usize,
+    /// Renamed (`FdRenamed`) output events.
+    pub fd_renamed: usize,
+    /// Problem inputs (propose/broadcast/query variants).
+    pub problem_inputs: usize,
+    /// Problem outputs (decide/deliver/elect/reply variants).
+    pub problem_outputs: usize,
+    /// Events per location.
+    pub per_loc: BTreeMap<Loc, usize>,
+    /// Index of the first decide-style event, if any.
+    pub first_decision_at: Option<usize>,
+    /// Index of the last decide-style event, if any.
+    pub last_decision_at: Option<usize>,
+}
+
+impl RunStats {
+    /// Compute statistics over a schedule.
+    #[must_use]
+    pub fn of(schedule: &[Action]) -> Self {
+        let mut st = RunStats::default();
+        for (k, a) in schedule.iter().enumerate() {
+            st.events += 1;
+            *st.per_loc.entry(a.loc()).or_insert(0) += 1;
+            match a {
+                Action::Crash(_) => st.crashes += 1,
+                Action::Send { .. } => st.sends += 1,
+                Action::Receive { .. } => st.receives += 1,
+                Action::Fd { .. } => st.fd_outputs += 1,
+                Action::FdRenamed { .. } => st.fd_renamed += 1,
+                Action::Propose { .. }
+                | Action::ProposeK { .. }
+                | Action::Broadcast { .. }
+                | Action::Vote { .. }
+                | Action::Query { .. } => st.problem_inputs += 1,
+                Action::Decide { .. }
+                | Action::DecideK { .. }
+                | Action::Deliver { .. }
+                | Action::Elect { .. }
+                | Action::Verdict { .. }
+                | Action::QueryReply { .. } => {
+                    st.problem_outputs += 1;
+                    if matches!(a, Action::Decide { .. } | Action::DecideK { .. }) {
+                        st.first_decision_at.get_or_insert(k);
+                        st.last_decision_at = Some(k);
+                    }
+                }
+                Action::Internal { .. } => {}
+            }
+        }
+        st
+    }
+
+    /// Messages still in flight at the end: sends minus receives.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.sends.saturating_sub(self.receives)
+    }
+
+    /// Fraction of events that are message traffic.
+    #[must_use]
+    pub fn message_fraction(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        (self.sends + self.receives) as f64 / self.events as f64
+    }
+
+    /// Events at locations that never appear (sanity helper): locations
+    /// of `pi` with zero recorded events.
+    #[must_use]
+    pub fn silent_locations(&self, pi: Pi) -> Vec<Loc> {
+        pi.iter().filter(|l| !self.per_loc.contains_key(l)).collect()
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events: {} send / {} recv / {} fd / {} crash / {} in / {} out",
+            self.events,
+            self.sends,
+            self.receives,
+            self.fd_outputs,
+            self.crashes,
+            self.problem_inputs,
+            self.problem_outputs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::{FdOutput, Msg};
+
+    fn sample() -> Vec<Action> {
+        vec![
+            Action::Propose { at: Loc(0), v: 1 },
+            Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
+            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
+            Action::Receive { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
+            Action::Crash(Loc(2)),
+            Action::Decide { at: Loc(0), v: 1 },
+            Action::Decide { at: Loc(1), v: 1 },
+        ]
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let st = RunStats::of(&sample());
+        assert_eq!(st.events, 7);
+        assert_eq!(st.sends, 1);
+        assert_eq!(st.receives, 1);
+        assert_eq!(st.fd_outputs, 1);
+        assert_eq!(st.crashes, 1);
+        assert_eq!(st.problem_inputs, 1);
+        assert_eq!(st.problem_outputs, 2);
+        assert_eq!(st.in_flight(), 0);
+    }
+
+    #[test]
+    fn per_location_and_decisions() {
+        let st = RunStats::of(&sample());
+        assert_eq!(st.per_loc[&Loc(0)], 4, "propose, fd, send, decide");
+        assert_eq!(st.per_loc[&Loc(1)], 2, "receive, decide");
+        assert_eq!(st.first_decision_at, Some(5));
+        assert_eq!(st.last_decision_at, Some(6));
+        assert!(st.silent_locations(Pi::new(4)).contains(&Loc(3)));
+    }
+
+    #[test]
+    fn fractions_and_display() {
+        let st = RunStats::of(&sample());
+        assert!((st.message_fraction() - 2.0 / 7.0).abs() < 1e-9);
+        let s = st.to_string();
+        assert!(s.contains("7 events"));
+        assert_eq!(RunStats::of(&[]).message_fraction(), 0.0);
+    }
+
+    #[test]
+    fn in_flight_counts_undelivered() {
+        let t = vec![
+            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
+            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(2) },
+            Action::Receive { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
+        ];
+        assert_eq!(RunStats::of(&t).in_flight(), 1);
+    }
+}

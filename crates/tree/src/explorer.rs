@@ -1,0 +1,389 @@
+//! The tagged tree `R^{t_D}` (§8.1–§8.2), explored lazily.
+//!
+//! A node is a pair (config tag, FD-sequence tag): the composite state
+//! of the system plus the canonical position in `t_D`. Outgoing edges
+//! carry the §8 labels: `FD` (perform `head(t_N)`, advancing the
+//! FD-sequence tag) and one edge per task of the composition
+//! (`Proc_i`, `Chan_{i,j}`, `Env_{i,x}`). An edge whose action tag is
+//! ⊥ leaves the config unchanged (§8.2).
+//!
+//! The systems analysed here are built **without** a failure-detector
+//! component: the FD edge injects `t_D`'s events (outputs *and*
+//! crashes) directly, exactly as the paper's tagging does.
+
+use afd_core::{Action, Val};
+use afd_system::{ComponentState, Label, LocalBehavior, ProcState, ProcessAutomaton, System};
+use ioa::{Automaton, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fdseq::{FdPos, FdSeq};
+
+/// The composite state type of a tree system.
+pub type Config<B> = Vec<ComponentState<ProcState<<B as LocalBehavior>::State>>>;
+
+/// A node of `R^{t_D}`: config tag + FD-sequence tag.
+pub struct Node<B: LocalBehavior> {
+    /// The config tag `c_N`.
+    pub config: Config<B>,
+    /// The FD-sequence tag `t_N`, canonically.
+    pub pos: FdPos,
+}
+
+// Manual impls: deriving would demand `B: Clone`/`B: Eq`/… although
+// only `B::State` appears in the fields.
+impl<B: LocalBehavior> Clone for Node<B> {
+    fn clone(&self) -> Self {
+        Node { config: self.config.clone(), pos: self.pos }
+    }
+}
+
+impl<B: LocalBehavior> PartialEq for Node<B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.pos == other.pos && self.config == other.config
+    }
+}
+
+impl<B: LocalBehavior> Eq for Node<B> {}
+
+impl<B: LocalBehavior> std::hash::Hash for Node<B> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.config.hash(state);
+        self.pos.hash(state);
+    }
+}
+
+impl<B: LocalBehavior> std::fmt::Debug for Node<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node").field("pos", &self.pos).field("config", &self.config).finish()
+    }
+}
+
+/// An edge label of the tagged tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeLabel {
+    /// The FD edge.
+    Fd,
+    /// A task edge, carrying the §8 label and the global task index.
+    Task(Label, TaskId),
+}
+
+impl std::fmt::Display for TreeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeLabel::Fd => write!(f, "FD"),
+            TreeLabel::Task(l, _) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// The tagged tree for one system and one `t_D`.
+#[derive(Debug)]
+pub struct TaggedTree<'a, B: LocalBehavior> {
+    /// The system (composition without an FD component).
+    pub sys: &'a System<ProcessAutomaton<B>>,
+    /// The FD sequence `t_D`.
+    pub seq: FdSeq,
+}
+
+impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
+    /// Build the tree view. The system must have been built without an
+    /// FD component (the FD edge supplies `t_D` instead) and with a
+    /// crash script matching `seq`'s crash order.
+    ///
+    /// # Panics
+    /// Panics if the system contains an FD component.
+    #[must_use]
+    pub fn new(sys: &'a System<ProcessAutomaton<B>>, seq: FdSeq) -> Self {
+        assert!(!sys.has_fd(), "tree systems take t_D via the FD edge, not an FD automaton");
+        TaggedTree { sys, seq }
+    }
+
+    /// The root node ⊤ (unique initial config, `t_⊤ = t_D`).
+    #[must_use]
+    pub fn root(&self) -> Node<B> {
+        Node { config: self.sys.composition.initial_state(), pos: self.seq.start() }
+    }
+
+    /// All edge labels of the tree, FD first then tasks in global-task
+    /// order.
+    #[must_use]
+    pub fn labels(&self) -> Vec<TreeLabel> {
+        let mut v = vec![TreeLabel::Fd];
+        for t in 0..self.sys.composition.task_count() {
+            v.push(TreeLabel::Task(self.sys.label(TaskId(t)), TaskId(t)));
+        }
+        v
+    }
+
+    /// The action tag of `label` at `node` (⊥ = `None`, §8.2).
+    #[must_use]
+    pub fn action_tag(&self, node: &Node<B>, label: TreeLabel) -> Option<Action> {
+        match label {
+            TreeLabel::Fd => Some(self.seq.at(node.pos)),
+            TreeLabel::Task(_, t) => self.sys.composition.enabled(&node.config, t),
+        }
+    }
+
+    /// The `label`-child of `node` with its action tag. A ⊥ tag leaves
+    /// the config unchanged; the FD edge advances the FD-sequence tag.
+    #[must_use]
+    pub fn child(&self, node: &Node<B>, label: TreeLabel) -> (Option<Action>, Node<B>) {
+        match label {
+            TreeLabel::Fd => {
+                let a = self.seq.at(node.pos);
+                let config = self
+                    .sys
+                    .composition
+                    .step(&node.config, &a)
+                    .unwrap_or_else(|| node.config.clone());
+                (Some(a), Node { config, pos: self.seq.advance(node.pos) })
+            }
+            TreeLabel::Task(_, t) => match self.sys.composition.enabled(&node.config, t) {
+                Some(a) => {
+                    let config = self
+                        .sys
+                        .composition
+                        .step(&node.config, &a)
+                        .expect("enabled action applies");
+                    (Some(a), Node { config, pos: node.pos })
+                }
+                None => (None, node.clone()),
+            },
+        }
+    }
+
+    /// Labels with non-⊥ action tags at `node`.
+    #[must_use]
+    pub fn active_labels(&self, node: &Node<B>) -> Vec<TreeLabel> {
+        self.labels().into_iter().filter(|&l| self.action_tag(node, l).is_some()).collect()
+    }
+}
+
+/// Options for a fair playout (a finite prefix of a fair branch, §8.3).
+#[derive(Debug, Clone, Copy)]
+pub struct PlayoutOptions {
+    /// Step budget.
+    pub max_steps: usize,
+    /// Restrict environment edges to the task index (= proposal value)
+    /// given, steering proposals (legal: the sibling task is disabled
+    /// after one fires, so fairness is preserved).
+    pub steer_env: Option<Val>,
+}
+
+impl Default for PlayoutOptions {
+    fn default() -> Self {
+        PlayoutOptions { max_steps: 20_000, steer_env: None }
+    }
+}
+
+/// The observable outcome of a playout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlayoutOutcome {
+    /// The decision value observed, if the run reached one.
+    pub decision: Option<Val>,
+    /// Events performed.
+    pub steps: usize,
+}
+
+impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
+    /// Run a seeded fair playout from `node` until a `decide` event or
+    /// the step budget. Fair branches of `R^{t_D}` carry every label
+    /// infinitely often (§8.3); the playout approximates one with a
+    /// randomized anti-starvation schedule over all labels including
+    /// the FD edge. For a fixed `(seed, opts)` the run is
+    /// deterministic, so a decision observed here is a *replayable
+    /// witness*.
+    #[must_use]
+    pub fn playout(&self, node: &Node<B>, seed: u64, opts: PlayoutOptions) -> PlayoutOutcome {
+        self.playout_impl(node, seed, opts, None)
+    }
+
+    /// Like [`TaggedTree::playout`], but records the walk: every step's
+    /// label and post-node. Replaying a witness seed reproduces the
+    /// same path.
+    #[must_use]
+    pub fn playout_with_path(
+        &self,
+        node: &Node<B>,
+        seed: u64,
+        opts: PlayoutOptions,
+    ) -> (PlayoutOutcome, Vec<(TreeLabel, Node<B>)>) {
+        let mut path = Vec::new();
+        let outcome = self.playout_impl(node, seed, opts, Some(&mut path));
+        (outcome, path)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn playout_impl(
+        &self,
+        node: &Node<B>,
+        seed: u64,
+        opts: PlayoutOptions,
+        mut path: Option<&mut Vec<(TreeLabel, Node<B>)>>,
+    ) -> PlayoutOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels = self.labels();
+        let mut debt = vec![0u64; labels.len()];
+        let mut cur = node.clone();
+        for step in 0..opts.max_steps {
+            // Gather active labels (steered).
+            let active: Vec<usize> = (0..labels.len())
+                .filter(|&k| self.steer_allows(labels[k], opts.steer_env))
+                .filter(|&k| self.action_tag(&cur, labels[k]).is_some())
+                .collect();
+            if active.is_empty() {
+                return PlayoutOutcome { decision: None, steps: step };
+            }
+            let pick = if let Some(&k) = active.iter().find(|&&k| debt[k] >= 48) {
+                k
+            } else {
+                let total: u64 = active.iter().map(|&k| 1 + debt[k]).sum();
+                let mut roll = rng.gen_range(0..total);
+                let mut chosen = active[0];
+                for &k in &active {
+                    let w = 1 + debt[k];
+                    if roll < w {
+                        chosen = k;
+                        break;
+                    }
+                    roll -= w;
+                }
+                chosen
+            };
+            for &k in &active {
+                if k == pick {
+                    debt[k] = 0;
+                } else {
+                    debt[k] += 1;
+                }
+            }
+            let (tag, next) = self.child(&cur, labels[pick]);
+            if let Some(p) = path.as_deref_mut() {
+                p.push((labels[pick], next.clone()));
+            }
+            if let Some(Action::Decide { v, .. }) = tag {
+                return PlayoutOutcome { decision: Some(v), steps: step + 1 };
+            }
+            cur = next;
+        }
+        PlayoutOutcome { decision: None, steps: opts.max_steps }
+    }
+
+    fn steer_allows(&self, label: TreeLabel, steer: Option<Val>) -> bool {
+        match (label, steer) {
+            (TreeLabel::Task(Label::Env(_, x), _), Some(v)) => x as Val == v,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+    use afd_core::{Loc, Pi};
+    use afd_system::{Env, SystemBuilder};
+
+    use crate::fdseq::random_t_omega;
+
+    fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
+        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        SystemBuilder::new(pi, procs)
+            .with_env(Env::consensus(pi))
+            .with_crashes(seq.crash_script())
+            .with_label("tree system")
+            .build()
+    }
+
+    #[test]
+    fn root_has_full_sequence_and_initial_config() {
+        let pi = Pi::new(3);
+        let seq = random_t_omega(pi, 1, 1);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        let root = tree.root();
+        assert_eq!(root.pos, FdPos(0));
+        // Labels: FD + 3 proc + 6 chan + 6 env tasks.
+        assert_eq!(tree.labels().len(), 1 + 3 + 6 + 6);
+    }
+
+    #[test]
+    fn fd_edge_consumes_the_sequence() {
+        let pi = Pi::new(3);
+        let seq = random_t_omega(pi, 0, 2);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq.clone());
+        let root = tree.root();
+        let (tag, child) = tree.child(&root, TreeLabel::Fd);
+        assert_eq!(tag, Some(seq.at(FdPos(0))));
+        assert_eq!(child.pos, seq.advance(FdPos(0)));
+    }
+
+    #[test]
+    fn bottom_edges_leave_config_unchanged() {
+        let pi = Pi::new(3);
+        let seq = random_t_omega(pi, 0, 3);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        let root = tree.root();
+        // Channel tasks are empty initially: their edges are ⊥.
+        let chan_label = tree
+            .labels()
+            .into_iter()
+            .find(|l| matches!(l, TreeLabel::Task(Label::Chan(_, _), _)))
+            .unwrap();
+        let (tag, child) = tree.child(&root, chan_label);
+        assert_eq!(tag, None);
+        assert_eq!(child, root);
+    }
+
+    #[test]
+    fn steered_playouts_decide_the_steered_value() {
+        let pi = Pi::new(3);
+        let seq = random_t_omega(pi, 0, 4);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        let root = tree.root();
+        for v in [0u64, 1] {
+            let out = tree.playout(
+                &root,
+                17,
+                PlayoutOptions { steer_env: Some(v), ..PlayoutOptions::default() },
+            );
+            assert_eq!(out.decision, Some(v), "steer {v}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn playouts_respect_crashes_in_the_sequence() {
+        let pi = Pi::new(3);
+        // Crash p0 early in t_D.
+        let seq = FdSeq::new(
+            vec![
+                Action::Fd { at: Loc(0), out: afd_core::FdOutput::Leader(Loc(0)) },
+                Action::Crash(Loc(0)),
+            ],
+            vec![
+                Action::Fd { at: Loc(1), out: afd_core::FdOutput::Leader(Loc(1)) },
+                Action::Fd { at: Loc(2), out: afd_core::FdOutput::Leader(Loc(1)) },
+            ],
+        );
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        let out = tree.playout(&tree.root(), 23, PlayoutOptions::default());
+        assert!(out.decision.is_some(), "{out:?}");
+    }
+
+    #[test]
+    fn display_of_labels() {
+        let pi = Pi::new(2);
+        let seq = random_t_omega(pi, 0, 5);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        let rendered: Vec<String> = tree.labels().iter().map(ToString::to_string).collect();
+        assert_eq!(rendered[0], "FD");
+        assert!(rendered.iter().any(|s| s.starts_with("Proc")));
+        assert!(rendered.iter().any(|s| s.starts_with("Chan")));
+    }
+}

@@ -1,0 +1,281 @@
+//! Ultimately periodic FD sequences `t_D` (§8).
+//!
+//! The tagged tree `R^{t_D}` is built for a fixed infinite sequence
+//! `t_D ∈ T_D` over `Î ∪ O_D`. We represent the infinite sequences the
+//! analysis needs as *ultimately periodic* words `prefix · cycle^ω`,
+//! which keeps the FD-sequence tag of a node finite (a canonical
+//! position), so configurations can be memoized.
+
+use afd_core::afds::{EvPerfect, Omega};
+use afd_core::{Action, AfdSpec, FdOutput, Loc, LocSet, Pi};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An ultimately periodic sequence over `Î ∪ O_D`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdSeq {
+    /// The finite prefix (may contain crash events).
+    pub prefix: Vec<Action>,
+    /// The repeated cycle (crash-free by construction here).
+    pub cycle: Vec<Action>,
+}
+
+/// A canonical position within an [`FdSeq`]: positions inside the
+/// cycle are reduced modulo the cycle length, so equality of positions
+/// means equality of futures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FdPos(pub usize);
+
+impl FdSeq {
+    /// Build from explicit parts.
+    ///
+    /// # Panics
+    /// Panics if `cycle` is empty (the analysis needs infinite `t_D`)
+    /// or if `cycle` contains crash events (crashes must be finite so
+    /// the crash adversary's script is finite).
+    #[must_use]
+    pub fn new(prefix: Vec<Action>, cycle: Vec<Action>) -> Self {
+        assert!(!cycle.is_empty(), "t_D must be infinite: cycle may not be empty");
+        assert!(cycle.iter().all(|a| !a.is_crash()), "crash events belong in the prefix");
+        FdSeq { prefix, cycle }
+    }
+
+    /// The element at canonical position `p`.
+    #[must_use]
+    pub fn at(&self, p: FdPos) -> Action {
+        if p.0 < self.prefix.len() {
+            self.prefix[p.0]
+        } else {
+            self.cycle[(p.0 - self.prefix.len()) % self.cycle.len()]
+        }
+    }
+
+    /// The canonical successor position of `p`.
+    #[must_use]
+    pub fn advance(&self, p: FdPos) -> FdPos {
+        let next = p.0 + 1;
+        FdPos(self.canonicalize(next))
+    }
+
+    /// Reduce an absolute index to its canonical representative.
+    #[must_use]
+    pub fn canonicalize(&self, idx: usize) -> usize {
+        if idx < self.prefix.len() {
+            idx
+        } else {
+            self.prefix.len() + (idx - self.prefix.len()) % self.cycle.len()
+        }
+    }
+
+    /// The initial position.
+    #[must_use]
+    pub fn start(&self) -> FdPos {
+        FdPos(0)
+    }
+
+    /// Number of distinct canonical positions.
+    #[must_use]
+    pub fn canonical_len(&self) -> usize {
+        self.prefix.len() + self.cycle.len()
+    }
+
+    /// The locations that crash in the sequence.
+    #[must_use]
+    pub fn faulty(&self) -> LocSet {
+        afd_core::trace::faulty(&self.prefix)
+    }
+
+    /// The crash script (locations in prefix order), for the crash
+    /// adversary.
+    #[must_use]
+    pub fn crash_script(&self) -> Vec<Loc> {
+        self.prefix.iter().filter_map(Action::crash_loc).collect()
+    }
+
+    /// Materialize the first `n` elements (for spec checking).
+    #[must_use]
+    pub fn window(&self, n: usize) -> Vec<Action> {
+        (0..n)
+            .map(|k| {
+                if k < self.prefix.len() {
+                    self.prefix[k]
+                } else {
+                    self.cycle[(k - self.prefix.len()) % self.cycle.len()]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generate a random `t_D ∈ T_Ω` with at most `f` crashes: a noisy
+/// prefix (random leader reports, interleaved crashes) followed by a
+/// stable cycle in which every live location reports one fixed live
+/// leader.
+#[must_use]
+pub fn random_t_omega(pi: Pi, f: usize, seed: u64) -> FdSeq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = pi.len();
+    let crash_count = rng.gen_range(0..=f.min(n - 1));
+    let mut pool: Vec<Loc> = pi.iter().collect();
+    let mut crashed = LocSet::empty();
+    let mut crash_order = Vec::new();
+    for _ in 0..crash_count {
+        let k = rng.gen_range(0..pool.len());
+        let l = pool.swap_remove(k);
+        crash_order.push(l);
+        crashed.insert(l);
+    }
+    let live = pi.all().difference(crashed);
+    let leaders: Vec<Loc> = pi.iter().collect();
+    let mut prefix = Vec::new();
+    // Noisy reports before each crash, at not-yet-crashed locations.
+    let mut down = LocSet::empty();
+    for &victim in &crash_order {
+        for _ in 0..rng.gen_range(1..4) {
+            let up: Vec<Loc> = pi.iter().filter(|&l| !down.contains(l)).collect();
+            let at = up[rng.gen_range(0..up.len())];
+            let lead = leaders[rng.gen_range(0..leaders.len())];
+            prefix.push(Action::Fd { at, out: FdOutput::Leader(lead) });
+        }
+        prefix.push(Action::Crash(victim));
+        down.insert(victim);
+    }
+    // Stable cycle: every live location reports the fixed live leader.
+    let live_vec: Vec<Loc> = live.iter().collect();
+    let stable = live_vec[rng.gen_range(0..live_vec.len())];
+    let cycle: Vec<Action> =
+        live_vec.iter().map(|&i| Action::Fd { at: i, out: FdOutput::Leader(stable) }).collect();
+    FdSeq::new(prefix, cycle)
+}
+
+/// Verify that an [`FdSeq`] lies in `T_Ω` (checked on a finite window
+/// long enough to include the stabilized cycle twice).
+#[must_use]
+pub fn is_in_t_omega(pi: Pi, seq: &FdSeq) -> bool {
+    let w = seq.window(seq.prefix.len() + 2 * seq.cycle.len());
+    Omega.check_complete(pi, &w).is_ok()
+}
+
+/// Generate a random `t_D ∈ T_◇P` with at most `f` crashes: a noisy
+/// prefix (arbitrary suspect sets, interleaved crashes) followed by a
+/// converged cycle in which every live location reports exactly the
+/// faulty set. Drives the §9 analysis for ◇S-based algorithms (the
+/// Chandra–Toueg system): `T_◇P ⊆ T_◇S`.
+#[must_use]
+pub fn random_t_evp(pi: Pi, f: usize, seed: u64) -> FdSeq {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = pi.len();
+    let crash_count = rng.gen_range(0..=f.min(n - 1));
+    let mut pool: Vec<Loc> = pi.iter().collect();
+    let mut crash_order = Vec::new();
+    let mut crashed = LocSet::empty();
+    for _ in 0..crash_count {
+        let k = rng.gen_range(0..pool.len());
+        let l = pool.swap_remove(k);
+        crash_order.push(l);
+        crashed.insert(l);
+    }
+    let mut prefix = Vec::new();
+    let mut down = LocSet::empty();
+    for &victim in &crash_order {
+        for _ in 0..rng.gen_range(1..4) {
+            let up: Vec<Loc> = pi.iter().filter(|&l| !down.contains(l)).collect();
+            let at = up[rng.gen_range(0..up.len())];
+            // Arbitrary (possibly wrong) suspicion: legal finitely.
+            let mut lie = LocSet::empty();
+            for l in pi.iter() {
+                if rng.gen_bool(0.3) {
+                    lie.insert(l);
+                }
+            }
+            prefix.push(Action::Fd { at, out: FdOutput::Suspects(lie) });
+        }
+        prefix.push(Action::Crash(victim));
+        down.insert(victim);
+    }
+    let live = pi.all().difference(crashed);
+    let cycle: Vec<Action> =
+        live.iter().map(|i| Action::Fd { at: i, out: FdOutput::Suspects(crashed) }).collect();
+    FdSeq::new(prefix, cycle)
+}
+
+/// Verify that an [`FdSeq`] lies in `T_◇P`.
+#[must_use]
+pub fn is_in_t_evp(pi: Pi, seq: &FdSeq) -> bool {
+    let w = seq.window(seq.prefix.len() + 2 * seq.cycle.len());
+    EvPerfect.check_complete(pi, &w).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(at: u8, l: u8) -> Action {
+        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(l)) }
+    }
+
+    #[test]
+    fn positions_canonicalize_into_the_cycle() {
+        let seq = FdSeq::new(vec![fd(0, 0)], vec![fd(0, 1), fd(1, 1)]);
+        assert_eq!(seq.at(FdPos(0)), fd(0, 0));
+        assert_eq!(seq.at(FdPos(1)), fd(0, 1));
+        assert_eq!(seq.at(FdPos(2)), fd(1, 1));
+        let p3 = seq.advance(FdPos(2));
+        assert_eq!(p3, FdPos(1), "wraps to cycle start");
+        assert_eq!(seq.canonical_len(), 3);
+        assert_eq!(seq.canonicalize(5), 1);
+    }
+
+    #[test]
+    fn window_materializes_the_unrolling() {
+        let seq = FdSeq::new(vec![fd(0, 0)], vec![fd(1, 1)]);
+        assert_eq!(seq.window(4), vec![fd(0, 0), fd(1, 1), fd(1, 1), fd(1, 1)]);
+    }
+
+    #[test]
+    fn crash_metadata() {
+        let seq = FdSeq::new(vec![fd(0, 0), Action::Crash(Loc(1))], vec![fd(0, 0)]);
+        assert_eq!(seq.faulty(), LocSet::singleton(Loc(1)));
+        assert_eq!(seq.crash_script(), vec![Loc(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle may not be empty")]
+    fn empty_cycle_rejected() {
+        let _ = FdSeq::new(vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash events belong in the prefix")]
+    fn crash_in_cycle_rejected() {
+        let _ = FdSeq::new(vec![], vec![Action::Crash(Loc(0))]);
+    }
+
+    #[test]
+    fn random_sequences_are_in_t_omega() {
+        let pi = Pi::new(3);
+        for seed in 0..50 {
+            let seq = random_t_omega(pi, 1, seed);
+            assert!(is_in_t_omega(pi, &seq), "seed {seed}: {seq:?}");
+            assert!(seq.faulty().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn random_evp_sequences_are_in_t_evp() {
+        let pi = Pi::new(3);
+        for seed in 0..50 {
+            let seq = random_t_evp(pi, 1, seed);
+            assert!(is_in_t_evp(pi, &seq), "seed {seed}: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn random_sequences_respect_f_zero() {
+        let pi = Pi::new(2);
+        for seed in 0..20 {
+            let seq = random_t_omega(pi, 0, seed);
+            assert!(seq.faulty().is_empty());
+        }
+    }
+}

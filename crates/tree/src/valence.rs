@@ -1,0 +1,217 @@
+//! Valence of nodes (§9.5), estimated soundly from fair playouts.
+//!
+//! A node is *v-valent* if some descendant decides `v` and none decides
+//! `1−v`; *bivalent* if both values are reachable. Exhaustive valence
+//! over `R^{t_D}` is infeasible (the tree is infinite and wide), but
+//! playouts give one-sided certainty:
+//!
+//! * every playout that decides `v` **proves** a `v`-deciding
+//!   descendant — so observing both values proves bivalence;
+//! * univalence is reported after `samples` diverse playouts (seeded
+//!   and steered) observe only one value — an empirical verdict, which
+//!   the hook experiments then cross-check against Theorem 59's
+//!   predictions.
+
+use afd_core::Val;
+use afd_system::LocalBehavior;
+
+use crate::explorer::{Node, PlayoutOptions, TaggedTree};
+
+/// The verdict of a valence estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Valence {
+    /// Both decision values observed: proven bivalent (Prop. 49).
+    Bivalent,
+    /// Only `0` observed.
+    ZeroValent,
+    /// Only `1` observed.
+    OneValent,
+    /// No playout reached a decision (budget too small or the node is
+    /// past every decision... which cannot happen for consensus runs
+    /// that satisfy termination).
+    Unknown,
+}
+
+impl Valence {
+    /// The single decision value, for univalent verdicts.
+    #[must_use]
+    pub fn value(self) -> Option<Val> {
+        match self {
+            Valence::ZeroValent => Some(0),
+            Valence::OneValent => Some(1),
+            _ => None,
+        }
+    }
+
+    /// The univalent verdict for value `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not binary.
+    #[must_use]
+    pub fn univalent(v: Val) -> Self {
+        match v {
+            0 => Valence::ZeroValent,
+            1 => Valence::OneValent,
+            _ => panic!("binary consensus values only"),
+        }
+    }
+}
+
+/// Configuration for valence estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct ValenceOptions {
+    /// Number of random playouts per steering mode.
+    pub samples: usize,
+    /// Base seed (playouts use `seed_base + k`).
+    pub seed_base: u64,
+    /// Per-playout step budget.
+    pub max_steps: usize,
+}
+
+impl Default for ValenceOptions {
+    fn default() -> Self {
+        ValenceOptions { samples: 4, seed_base: 1000, max_steps: 20_000 }
+    }
+}
+
+/// A valence estimate together with playout *witnesses*: the (seed,
+/// steering) pair of a playout that decided each observed value. The
+/// hook search replays witnesses to walk along deciding paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValenceEstimate {
+    /// The verdict.
+    pub valence: Valence,
+    /// Witness playout for a 0-decision, if observed.
+    pub witness0: Option<(u64, Option<Val>)>,
+    /// Witness playout for a 1-decision, if observed.
+    pub witness1: Option<(u64, Option<Val>)>,
+}
+
+impl ValenceEstimate {
+    /// Witness for deciding `v`.
+    #[must_use]
+    pub fn witness(&self, v: Val) -> Option<(u64, Option<Val>)> {
+        if v == 0 {
+            self.witness0
+        } else {
+            self.witness1
+        }
+    }
+}
+
+/// Estimate the valence of `node` with witnesses: random playouts plus
+/// steered playouts per value (steering only matters while environment
+/// inputs are still open; afterwards it is a regular fair playout).
+#[must_use]
+pub fn estimate_valence_witnessed<B: LocalBehavior>(
+    tree: &TaggedTree<'_, B>,
+    node: &Node<B>,
+    opts: ValenceOptions,
+) -> ValenceEstimate {
+    let mut w: [Option<(u64, Option<Val>)>; 2] = [None, None];
+    'outer: for steer in [Some(0), Some(1), None] {
+        for k in 0..opts.samples {
+            if w[0].is_some() && w[1].is_some() {
+                break 'outer;
+            }
+            let seed = opts.seed_base.wrapping_add(k as u64).wrapping_mul(2).wrapping_add(
+                match steer {
+                    Some(0) => 0,
+                    Some(_) => 1,
+                    None => 7,
+                },
+            );
+            let out = tree.playout(
+                node,
+                seed,
+                PlayoutOptions { steer_env: steer, max_steps: opts.max_steps },
+            );
+            if let Some(v) = out.decision {
+                if v < 2 && w[v as usize].is_none() {
+                    w[v as usize] = Some((seed, steer));
+                }
+            }
+        }
+    }
+    let valence = match (w[0].is_some(), w[1].is_some()) {
+        (true, true) => Valence::Bivalent,
+        (true, false) => Valence::ZeroValent,
+        (false, true) => Valence::OneValent,
+        (false, false) => Valence::Unknown,
+    };
+    ValenceEstimate { valence, witness0: w[0], witness1: w[1] }
+}
+
+/// Estimate the valence of `node` (see
+/// [`estimate_valence_witnessed`] for the witnessing variant).
+#[must_use]
+pub fn estimate_valence<B: LocalBehavior>(
+    tree: &TaggedTree<'_, B>,
+    node: &Node<B>,
+    opts: ValenceOptions,
+) -> Valence {
+    estimate_valence_witnessed(tree, node, opts).valence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+    use afd_core::Pi;
+    use afd_system::{Env, ProcessAutomaton, System, SystemBuilder};
+
+    use crate::explorer::TreeLabel;
+    use crate::fdseq::{random_t_omega, FdSeq};
+
+    fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
+        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        SystemBuilder::new(pi, procs)
+            .with_env(Env::consensus(pi))
+            .with_crashes(seq.crash_script())
+            .build()
+    }
+
+    #[test]
+    fn root_is_bivalent_proposition_51() {
+        let pi = Pi::new(3);
+        let seq = random_t_omega(pi, 1, 9);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        let v = estimate_valence(&tree, &tree.root(), ValenceOptions::default());
+        assert_eq!(v, Valence::Bivalent);
+    }
+
+    #[test]
+    fn after_unanimous_proposals_node_is_univalent() {
+        let pi = Pi::new(3);
+        let seq = random_t_omega(pi, 0, 10);
+        let sys = tree_system(pi, &seq);
+        let tree = TaggedTree::new(&sys, seq);
+        // Fire all propose(1) env edges.
+        let mut node = tree.root();
+        for label in tree.labels() {
+            if let TreeLabel::Task(afd_system::Label::Env(_, 1), _) = label {
+                let (tag, next) = tree.child(&node, label);
+                assert!(tag.is_some());
+                node = next;
+            }
+        }
+        let v = estimate_valence(&tree, &node, ValenceOptions::default());
+        assert_eq!(v, Valence::OneValent, "all-1 proposals lock the decision");
+    }
+
+    #[test]
+    fn valence_accessors() {
+        assert_eq!(Valence::ZeroValent.value(), Some(0));
+        assert_eq!(Valence::OneValent.value(), Some(1));
+        assert_eq!(Valence::Bivalent.value(), None);
+        assert_eq!(Valence::univalent(0), Valence::ZeroValent);
+        assert_eq!(Valence::univalent(1), Valence::OneValent);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn univalent_rejects_non_binary() {
+        let _ = Valence::univalent(3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Non-blocking atomic commit (§1.1): votes flood, the perfect
+//! detector's accuracy justifies aborting on suspicion, and an embedded
+//! consensus instance fixes the verdict. Three scenarios: unanimous
+//! yes (commit), one no vote (abort), and a crashed voter (abort, but
+//! everyone live still learns the verdict).
+//!
+//! Run with: `cargo run --example atomic_commit`
+
+use afd_algorithms::atomic_commit::nbac_system;
+use afd_core::problems::atomic_commit::AtomicCommit;
+use afd_core::{Action, Loc, LocSet, Pi, ProblemSpec};
+use afd_system::{run_random, FaultPattern, SimConfig};
+
+fn all_live_learned(pi: Pi, schedule: &[Action]) -> bool {
+    let faulty = afd_core::trace::faulty(schedule);
+    pi.iter()
+        .filter(|&i| !faulty.contains(i))
+        .all(|i| schedule.iter().any(|a| matches!(a, Action::Verdict { at, .. } if *at == i)))
+}
+
+fn run_case(name: &str, votes: &[bool], crash: Option<Loc>) {
+    let pi = Pi::new(3);
+    let victims: Vec<Loc> = crash.into_iter().collect();
+    let sys = nbac_system(pi, votes, victims.clone(), LocSet::empty(), 0);
+    let faults = FaultPattern::at(victims.iter().map(|&l| (0, l)).collect());
+    let out = run_random(
+        &sys,
+        11,
+        SimConfig::default()
+            .with_faults(faults)
+            .with_max_steps(40_000)
+            .stop_when(move |s| all_live_learned(pi, s)),
+    );
+    let t: Vec<Action> = out
+        .schedule()
+        .iter()
+        .filter(|a| a.is_crash() || matches!(a, Action::Vote { .. } | Action::Verdict { .. }))
+        .copied()
+        .collect();
+    let spec = AtomicCommit::new(1);
+    let verdict = match AtomicCommit::verdict(&t) {
+        Some(true) => "COMMIT",
+        Some(false) => "ABORT",
+        None => "(undecided)",
+    };
+    let check = match spec.check(pi, &t) {
+        Ok(()) => "all NBAC clauses hold ✓".to_string(),
+        Err(e) => format!("VIOLATION: {e}"),
+    };
+    println!("{name}: verdict {verdict}, {check}");
+    for a in &t {
+        println!("    {a}");
+    }
+}
+
+fn main() {
+    run_case("unanimous yes        ", &[true, true, true], None);
+    run_case("one no vote          ", &[true, false, true], None);
+    run_case("voter crashes at once", &[true, true, true], Some(Loc(2)));
+    println!("\n(the lying-◇P variant breaks abort-validity — see the");
+    println!(" `nbac_with_lying_detector_breaks_abort_validity` test)");
+}

@@ -1,0 +1,50 @@
+//! The §9 tree analysis (Figures 2 & 3, Theorem 59): for seeded
+//! sequences `t_D ∈ T_Ω`, build the tagged tree of the Paxos-over-Ω
+//! consensus system, find a hook by the Lemma 53–55 walk, and verify
+//! the Theorem 59 properties — non-⊥ action tags, a single critical
+//! location, and the critical location's liveness in `t_D`.
+//!
+//! Run with: `cargo run --release --example hook_analysis`
+
+use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+use afd_core::Pi;
+use afd_system::{Env, ProcessAutomaton, SystemBuilder};
+use afd_tree::{find_hook, random_t_omega, HookSearchOptions, TaggedTree};
+
+fn main() {
+    let pi = Pi::new(3);
+    println!("hooks in R^tD for paxos-Ω, n = 3, f = 1 (Theorem 59)");
+    println!(
+        "{:<6} {:<9} {:<12} {:<28} {:<10} {:<6} {:<5}",
+        "seed", "crashes", "l-label", "action tags (l / r)", "critical", "live", "T59"
+    );
+    let mut found = 0;
+    for seed in 0..12u64 {
+        let seq = random_t_omega(pi, 1, seed);
+        let crashes = seq.faulty();
+        let procs =
+            pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let sys = SystemBuilder::new(pi, procs)
+            .with_env(Env::consensus(pi))
+            .with_crashes(seq.crash_script())
+            .build();
+        let tree = TaggedTree::new(&sys, seq);
+        match find_hook(&tree, HookSearchOptions::default()) {
+            Ok(hook) => {
+                found += 1;
+                println!(
+                    "{:<6} {:<9} {:<12} {:<28} {:<10} {:<6} {:<5}",
+                    seed,
+                    crashes.to_string(),
+                    hook.l.to_string(),
+                    format!("{} / {}", hook.action_l, hook.action_r),
+                    hook.critical.to_string(),
+                    hook.critical_live,
+                    hook.satisfies_theorem_59()
+                );
+            }
+            Err(e) => println!("{seed:<6} {crashes:<9} search failed: {e}"),
+        }
+    }
+    println!("\nhooks found: {found}/12 — every hook's critical location is live (Lemma 58)");
+}

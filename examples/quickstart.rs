@@ -1,0 +1,63 @@
+//! Quickstart: build the paper's system (Figure 1) for three
+//! locations, attach the canonical Ω automaton (Algorithm 1), run the
+//! Paxos-over-Ω consensus algorithm in the `E_C` environment
+//! (Algorithm 4), crash the initial leader mid-run, and check the
+//! resulting trace against the §9.1 consensus trace set and the Ω AFD
+//! axioms.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use afd_algorithms::consensus::{all_live_decided, check_consensus_run, paxos_system};
+use afd_core::afds::Omega;
+use afd_core::{AfdSpec, Loc, Pi};
+use afd_system::{run_random, FaultPattern, SimConfig};
+
+fn main() {
+    let pi = Pi::new(3);
+    println!("Π = {{p0, p1, p2}}, f = 1, inputs: p0↦0, p1↦1, p2↦1");
+
+    // One process per location, 6 FIFO channels, crash automaton, E_C,
+    // and the Ω generator — wired per Figure 1 by the builder.
+    let sys = paxos_system(pi, &[0, 1, 1], vec![Loc(0)]);
+
+    // Crash the initial Ω leader (p0) after 12 events.
+    let out = run_random(
+        &sys,
+        42,
+        SimConfig::default()
+            .with_faults(FaultPattern::at(vec![(12, Loc(0))]))
+            .with_max_steps(8000)
+            .stop_when(move |sched| all_live_decided(pi, sched)),
+    );
+
+    println!("run finished after {} events", out.steps);
+
+    // Check the consensus projection against T_P (§9.1).
+    match check_consensus_run(pi, 1, out.schedule()) {
+        Ok(Some(v)) => println!("consensus: every live location decided {v} ✓"),
+        Ok(None) => println!("consensus: vacuous run (no decision)"),
+        Err(e) => println!("consensus VIOLATED: {e}"),
+    }
+
+    // Check the FD projection against T_Ω.
+    let fd_trace: Vec<_> = out
+        .schedule()
+        .iter()
+        .filter(|a| a.is_crash() || a.is_fd_output())
+        .copied()
+        .collect();
+    match Omega.check_complete(pi, &fd_trace) {
+        Ok(()) => println!(
+            "Ω: trace in T_Ω, eventual leader {} ✓",
+            Omega.eventual_leader(pi, &fd_trace).expect("leader exists")
+        ),
+        Err(e) => println!("Ω VIOLATED: {e}"),
+    }
+
+    // Show the decision events.
+    for a in out.schedule() {
+        if matches!(a, afd_core::Action::Decide { .. } | afd_core::Action::Crash(_)) {
+            println!("  event: {a}");
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release --bin experiments [table...]`
+//! where `table` ∈ {a1, t13, t18, t21, t44, t59, flp, perf, misc};
+//! with no arguments, all tables are printed.
+
+use afd_algorithms::consensus::{all_live_decided, check_consensus_run, ct_system, paxos_system};
+use afd_algorithms::lattice::{AfdId, Lattice};
+use afd_algorithms::self_impl::run_theorem_13;
+use afd_core::afds::{AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak};
+use afd_core::automata::{FdBehavior, FdGen};
+use afd_core::problems::consensus::{Consensus, ConsensusSolver};
+use afd_core::{Action, AfdSpec, Loc, LocSet, Pi};
+use afd_system::{refute_marabout, run_random, FaultPattern, SimConfig};
+use afd_tree::{
+    estimate_valence, find_hook, random_t_omega, HookSearchOptions, HookSurvey, TaggedTree,
+    Valence, ValenceOptions,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
+    if want("a1") {
+        table_a1_generators();
+    }
+    if want("t13") {
+        table_t13_self_implementation();
+    }
+    if want("t18") {
+        table_t18_hierarchy();
+    }
+    if want("t21") {
+        table_t21_bounded();
+    }
+    if want("t44") {
+        table_t44_environment();
+    }
+    if want("flp") {
+        table_flp_valence();
+    }
+    if want("t59") {
+        table_t59_hooks();
+    }
+    if want("perf") {
+        table_perf_consensus();
+    }
+    if want("misc") {
+        table_misc();
+    }
+}
+
+fn catalogue(pi: Pi) -> Vec<(Box<dyn AfdSpec>, FdGen)> {
+    vec![
+        (Box::new(Omega), FdGen::omega(pi)),
+        (Box::new(Perfect), FdGen::perfect(pi)),
+        (Box::new(EvPerfect), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 2)),
+        (Box::new(Strong), FdGen::perfect(pi)),
+        (Box::new(EvStrong), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1)),
+        (Box::new(Weak), FdGen::perfect(pi)),
+        (Box::new(EvWeak), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1)),
+        (Box::new(Sigma), FdGen::new(pi, FdBehavior::Sigma)),
+        (Box::new(AntiOmega), FdGen::new(pi, FdBehavior::AntiOmega)),
+        (Box::new(OmegaK::new(2)), FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
+        (Box::new(PsiK::new(2)), FdGen::new(pi, FdBehavior::PsiK { k: 2 })),
+    ]
+}
+
+/// A1/A2: canonical generator conformance (Algorithms 1 & 2 and their
+/// generalizations) under three fault patterns.
+fn table_a1_generators() {
+    println!("\n## Table A1 — generator automata vs. their trace sets (n = 4)\n");
+    println!("| AFD | no crash | 1 crash | 2 crashes |");
+    println!("|---|---|---|---|");
+    let pi = Pi::new(4);
+    for (spec, gen) in catalogue(pi) {
+        let mut cells = Vec::new();
+        for faults in [
+            FaultPattern::none(),
+            FaultPattern::at(vec![(15, Loc(3))]),
+            FaultPattern::at(vec![(10, Loc(0)), (30, Loc(3))]),
+        ] {
+            let sys = afd_algorithms::self_impl::self_impl_system(pi, gen.clone(), faults.faulty());
+            let out =
+                run_random(&sys, 5, SimConfig::default().with_faults(faults).with_max_steps(400));
+            let t: Vec<Action> = out
+                .schedule()
+                .iter()
+                .filter(|a| a.is_crash() || a.is_fd_output())
+                .copied()
+                .collect();
+            cells.push(if spec.check_complete(pi, &t).is_ok() { "∈ T_D ✓" } else { "✗" });
+        }
+        println!("| {} | {} | {} | {} |", spec.name(), cells[0], cells[1], cells[2]);
+    }
+}
+
+/// T13: self-implementability across the catalogue.
+fn table_t13_self_implementation() {
+    println!("\n## Table T13 — A_self (Algorithm 3): D ⪰ D for every AFD (n = 4)\n");
+    println!("| AFD | fault pattern | t|D ∈ T_D ⇒ t|D′ ∈ T_D′ |");
+    println!("|---|---|---|");
+    let pi = Pi::new(4);
+    for (spec, gen) in catalogue(pi) {
+        for (label, faults) in [
+            ("none", FaultPattern::none()),
+            ("crash p3@20", FaultPattern::at(vec![(20, Loc(3))])),
+        ] {
+            let r = run_theorem_13(spec.as_ref(), pi, gen.clone(), faults, 7, 700);
+            let cell = match r {
+                Ok(true) => "verified ✓",
+                Ok(false) => "vacuous",
+                Err(_) => "VIOLATED",
+            };
+            println!("| {} | {label} | {cell} |", spec.name());
+        }
+    }
+}
+
+/// T18: the strength hierarchy (⪰ closure) and its strict pairs.
+fn table_t18_hierarchy() {
+    println!("\n## Table T18 — the ⪰ hierarchy (reflexive–transitive closure)\n");
+    let lattice = Lattice::standard(2);
+    print!("| |");
+    for b in AfdId::all() {
+        print!(" {} |", b.name());
+    }
+    println!();
+    print!("|---|");
+    for _ in AfdId::all() {
+        print!("---|");
+    }
+    println!();
+    for a in AfdId::all() {
+        print!("| **{}** |", a.name());
+        for b in AfdId::all() {
+            print!(" {} |", if lattice.stronger_eq(a, b) { "⪰" } else { "·" });
+        }
+        println!();
+    }
+    println!("\nstrict pairs (Corollary 19 candidates): {}", lattice.strict_pairs().len());
+    let chain = lattice.reduction_chain(AfdId::P, AfdId::AntiOmega).unwrap();
+    println!("example composed reduction (Theorem 15): P → anti-Ω via {chain:?}");
+}
+
+/// T21: bounded problems and the Marabout/D_k refutations.
+fn table_t21_bounded() {
+    println!("\n## Table T21 — bounded problems and non-AFDs\n");
+    println!("| problem | output bound (n=4) | crash independent | quiesces |");
+    println!("|---|---|---|---|");
+    let pi = Pi::new(4);
+    println!(
+        "| consensus | {} | ✓ (replay check) | ✓ (Lemma 23) |",
+        afd_core::ProblemSpec::output_bound(&Consensus::new(1), pi).unwrap()
+    );
+    println!(
+        "| leader election | {} | ✓ | ✓ |",
+        afd_core::ProblemSpec::output_bound(&afd_core::problems::LeaderElection, pi).unwrap()
+    );
+    println!(
+        "| k-set agreement | {} | ✓ | ✓ |",
+        afd_core::ProblemSpec::output_bound(&afd_core::problems::KSetAgreement::new(2, 1), pi)
+            .unwrap()
+    );
+    println!("| reliable broadcast | — (long-lived) | n/a | n/a |");
+    println!("\nMarabout refutations (§3.4): every candidate defeated —");
+    for (name, gen) in [
+        ("Algorithm-2 honest P", FdGen::perfect(pi)),
+        (
+            "cheater guessing ∅",
+            FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::empty() }),
+        ),
+        (
+            "cheater guessing {p0}",
+            FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(0)) }),
+        ),
+    ] {
+        match refute_marabout(&gen, pi, 80) {
+            Some(w) => println!("  {name}: refuted ({})", w.violation.rule),
+            None => println!("  {name}: NOT refuted (?)"),
+        }
+    }
+    // The quiescence probe (Lemma 23) on the canonical solver.
+    let u = ConsensusSolver::new(Pi::new(3));
+    use ioa::Automaton;
+    let mut s = u.initial_state();
+    for a in [
+        Action::Propose { at: Loc(0), v: 1 },
+        Action::Propose { at: Loc(1), v: 0 },
+        Action::Propose { at: Loc(2), v: 0 },
+    ] {
+        s = u.step(&s, &a).unwrap();
+    }
+    let mut outputs = 0;
+    while let Some(a) = (0..3).find_map(|k| u.enabled(&s, ioa::TaskId(k))) {
+        s = u.step(&s, &a).unwrap();
+        outputs += 1;
+    }
+    println!("\ncanonical solver U: {outputs} outputs then quiescent (maxlen = n) ✓");
+}
+
+/// T44: E_C well-formedness.
+fn table_t44_environment() {
+    println!("\n## Table T44 — E_C (Algorithm 4) is well formed\n");
+    println!("| n | schedules tried | all well-formed |");
+    println!("|---|---|---|");
+    for n in [2usize, 3, 5, 8] {
+        let pi = Pi::new(n);
+        let mut ok = true;
+        for seed in 0..20u64 {
+            let env = afd_system::Env::consensus(pi);
+            use ioa::Automaton;
+            let mut s = env.initial_state();
+            let mut trace = Vec::new();
+            let mut sched = ioa::RandomFair::new(seed);
+            for step in 0..(4 * n + 10) {
+                if step == (seed as usize % n) + 1 {
+                    let victim = Loc((seed % n as u64) as u8);
+                    s = env.step(&s, &Action::Crash(victim)).unwrap();
+                    trace.push(Action::Crash(victim));
+                    continue;
+                }
+                let Some(t) =
+                    ioa::Scheduler::<afd_system::Env>::next_task(&mut sched, &env, &s, step)
+                else {
+                    break;
+                };
+                let a = ioa::Automaton::enabled(&env, &s, t).unwrap();
+                s = env.step(&s, &a).unwrap();
+                trace.push(a);
+            }
+            ok &= Consensus::env_well_formed(pi, &trace).is_ok();
+        }
+        println!("| {n} | 20 | {} |", if ok { "✓" } else { "✗" });
+    }
+}
+
+/// FLP context: root bivalence (Prop. 51) and the no-detector contrast.
+fn table_flp_valence() {
+    println!("\n## Table FLP — Proposition 51 and the no-detector contrast\n");
+    println!("| t_D seed | crashes in t_D | root valence |");
+    println!("|---|---|---|");
+    let pi = Pi::new(3);
+    for seed in 0..6u64 {
+        let seq = random_t_omega(pi, 1, seed);
+        let crashes = seq.faulty();
+        let procs = pi
+            .iter()
+            .map(|i| {
+                afd_system::ProcessAutomaton::new(
+                    i,
+                    afd_algorithms::consensus::paxos_omega::PaxosOmega::new(pi),
+                )
+            })
+            .collect();
+        let sys = afd_system::SystemBuilder::new(pi, procs)
+            .with_env(afd_system::Env::consensus(pi))
+            .with_crashes(seq.crash_script())
+            .build();
+        let tree = TaggedTree::new(&sys, seq);
+        let v = estimate_valence(&tree, &tree.root(), ValenceOptions::default());
+        println!(
+            "| {seed} | {crashes} | {} |",
+            match v {
+                Valence::Bivalent => "bivalent ✓ (Prop. 51)",
+                _ => "NOT bivalent (?)",
+            }
+        );
+    }
+    println!("\nno-detector contrast: the same processes without Ω reach no decision");
+    println!("(see integration test `flp_contrast_no_detector_no_decision`).");
+}
+
+/// T59: hooks and critical locations (Figures 2 & 3).
+fn table_t59_hooks() {
+    println!("\n## Table T59 — hooks: critical locations are live (n = 3, f = 1)\n");
+    println!("| seed | crashes in t_D | l-label | kind | critical loc | live | Theorem 59 |");
+    println!("|---|---|---|---|---|---|---|");
+    let pi = Pi::new(3);
+    let mut satisfied = 0;
+    let mut survey = HookSurvey::default();
+    let total = 16u64;
+    for seed in 0..total {
+        let seq = random_t_omega(pi, 1, seed);
+        let crashes = seq.faulty();
+        let procs = pi
+            .iter()
+            .map(|i| {
+                afd_system::ProcessAutomaton::new(
+                    i,
+                    afd_algorithms::consensus::paxos_omega::PaxosOmega::new(pi),
+                )
+            })
+            .collect();
+        let sys = afd_system::SystemBuilder::new(pi, procs)
+            .with_env(afd_system::Env::consensus(pi))
+            .with_crashes(seq.crash_script())
+            .build();
+        let tree = TaggedTree::new(&sys, seq);
+        let result = find_hook(&tree, HookSearchOptions::default());
+        survey.record(&result);
+        match result {
+            Ok(h) => {
+                if h.satisfies_theorem_59() {
+                    satisfied += 1;
+                }
+                println!(
+                    "| {seed} | {crashes} | {} | {:?} | {} | {} | {} |",
+                    h.l,
+                    h.kind(),
+                    h.critical,
+                    h.critical_live,
+                    if h.satisfies_theorem_59() { "✓" } else { "✗" }
+                );
+            }
+            Err(e) => println!("| {seed} | {crashes} | — | — | — | — | search failed: {e} |"),
+        }
+    }
+    println!("\nTheorem 59 satisfied on {satisfied}/{total} discovered hooks.");
+    println!("survey: {survey}");
+}
+
+/// Extension E1: consensus performance shape (events to decision).
+fn table_perf_consensus() {
+    println!("\n## Table E1 — events to all-live-decided (10 seeds each)\n");
+    println!("| n | fault | paxos-Ω avg | ct-◇S avg | winner |");
+    println!("|---|---|---|---|---|");
+    for (n, crash) in
+        [(3usize, None), (3, Some((15usize, Loc(0)))), (5, None), (5, Some((15, Loc(0))))]
+    {
+        let pi = Pi::new(n);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        let victims: Vec<Loc> = crash.iter().map(|&(_, l)| l).collect();
+        let faults = FaultPattern::at(crash.into_iter().collect());
+        let mut px = Vec::new();
+        let mut ct = Vec::new();
+        for seed in 0..10u64 {
+            let sys = paxos_system(pi, &inputs, victims.clone());
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(faults.clone())
+                    .with_max_steps(60_000)
+                    .stop_when(move |s| all_live_decided(pi, s)),
+            );
+            check_consensus_run(pi, victims.len(), out.schedule()).expect("safety");
+            px.push(out.steps);
+            let sys = ct_system(pi, &inputs, victims.clone(), LocSet::empty(), 0);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(faults.clone())
+                    .with_max_steps(90_000)
+                    .stop_when(move |s| all_live_decided(pi, s)),
+            );
+            check_consensus_run(pi, victims.len(), out.schedule()).expect("safety");
+            ct.push(out.steps);
+        }
+        let avg = |v: &[usize]| v.iter().sum::<usize>() / v.len();
+        let (pa, ca) = (avg(&px), avg(&ct));
+        println!(
+            "| {n} | {} | {pa} | {ca} | {} |",
+            if victims.is_empty() { "none" } else { "crash p0@15" },
+            if pa <= ca { "paxos-Ω" } else { "ct-◇S" }
+        );
+    }
+}
+
+/// Remaining demonstrations: URB, k-set, query-based consensus.
+fn table_misc() {
+    println!("\n## Table M — remaining systems\n");
+    println!("| system | scenario | verdict |");
+    println!("|---|---|---|");
+    // URB with originator crash.
+    {
+        let pi = Pi::new(4);
+        let sys = afd_algorithms::broadcast::urb_system(pi, vec![(Loc(0), 42)], vec![Loc(0)]);
+        let out = run_random(
+            &sys,
+            9,
+            SimConfig::default()
+                .with_faults(FaultPattern::at(vec![(4, Loc(0))]))
+                .with_max_steps(5000),
+        );
+        let t: Vec<Action> = out
+            .schedule()
+            .iter()
+            .filter(|a| {
+                a.is_crash() || matches!(a, Action::Broadcast { .. } | Action::Deliver { .. })
+            })
+            .copied()
+            .collect();
+        let ok =
+            afd_core::ProblemSpec::check(&afd_core::problems::ReliableBroadcast, pi, &t).is_ok();
+        println!("| URB | originator crashes mid-relay | {} |", if ok { "uniform ✓" } else { "✗" });
+    }
+    // k-set flood.
+    {
+        let pi = Pi::new(5);
+        let sys = afd_algorithms::kset::kset_system(pi, 2, &[50, 10, 40, 30, 20], vec![]);
+        let out = run_random(&sys, 3, SimConfig::default().with_max_steps(8000));
+        let t: Vec<Action> = out
+            .schedule()
+            .iter()
+            .filter(|a| {
+                a.is_crash() || matches!(a, Action::ProposeK { .. } | Action::DecideK { .. })
+            })
+            .copied()
+            .collect();
+        let vals = afd_core::problems::KSetAgreement::decision_values(&t);
+        println!("| k-set (k=3,f=2) | 5 procs flood | {} distinct decisions ≤ 3 ✓ |", vals.len());
+    }
+    // Lemma 16 live: P ⪰ Ω + (Ω solves consensus) ⇒ P solves consensus,
+    // via the stacked per-location reduction (Theorem 15's composition).
+    {
+        use afd_algorithms::compose::WithReduction;
+        use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+        use afd_algorithms::reductions::Transform;
+        use afd_system::{Env, ProcessAutomaton, SystemBuilder};
+        let pi = Pi::new(3);
+        let procs = pi
+            .iter()
+            .map(|i| {
+                ProcessAutomaton::new(
+                    i,
+                    WithReduction::new(pi, Transform::SuspectsToLeader, PaxosOmega::new(pi)),
+                )
+            })
+            .collect();
+        let sys = SystemBuilder::new(pi, procs)
+            .with_fd(FdGen::perfect(pi))
+            .with_env(Env::consensus_with_inputs(pi, &[0, 1, 1]))
+            .build();
+        let out = run_random(
+            &sys,
+            3,
+            SimConfig::default().with_max_steps(20_000).stop_when(move |s| all_live_decided(pi, s)),
+        );
+        let ok = check_consensus_run(pi, 0, out.schedule()).map(|v| v.is_some()).unwrap_or(false);
+        println!(
+            "| consensus from P via stacked reduction (Lemma 16) | P ⪰ Ω ∘ paxos-Ω | {} |",
+            if ok { "decided ✓" } else { "✗" }
+        );
+    }
+    // NBAC with P (honest) — commits on unanimous yes.
+    {
+        let pi = Pi::new(3);
+        let sys = afd_algorithms::atomic_commit::nbac_system(
+            pi,
+            &[true, true, true],
+            vec![],
+            LocSet::empty(),
+            0,
+        );
+        let out = run_random(&sys, 5, SimConfig::default().with_max_steps(30_000).stop_when(
+            move |s: &[Action]| {
+                pi.iter().all(|i| {
+                    s.iter().any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
+                })
+            },
+        ));
+        let t: Vec<Action> = out
+            .schedule()
+            .iter()
+            .filter(|a| a.is_crash() || matches!(a, Action::Vote { .. } | Action::Verdict { .. }))
+            .copied()
+            .collect();
+        let ok = afd_core::ProblemSpec::check(
+            &afd_core::problems::AtomicCommit::new(1),
+            pi,
+            &t,
+        )
+        .is_ok();
+        let verdict = afd_core::problems::AtomicCommit::verdict(&t);
+        println!(
+            "| NBAC from P (§1.1) | unanimous yes, honest P | {} |",
+            if ok && verdict == Some(true) { "commit ✓" } else { "✗" }
+        );
+    }
+    // Query-based consensus (§10.1).
+    {
+        let pi = Pi::new(3);
+        let sys = afd_algorithms::query_based::query_consensus_system(pi, &[0, 1, 0], vec![]);
+        let out = run_random(
+            &sys,
+            4,
+            SimConfig::default().with_max_steps(5000).stop_when(move |s| all_live_decided(pi, s)),
+        );
+        let ok = check_consensus_run(pi, 0, out.schedule()).is_ok()
+            && afd_algorithms::query_based::participant_property(out.schedule());
+        println!(
+            "| consensus from participant FD (§10.1) | 3 procs, query-based | {} |",
+            if ok { "decided ✓" } else { "✗" }
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the AFD reproduction workspace.
+pub use afd_algorithms as algorithms;
+pub use afd_core as core;
+pub use afd_system as system;
+pub use afd_tree as tree;
+pub use ioa;

@@ -1,0 +1,149 @@
+//! Property-based tests of the AFD axioms (§3.2) across the detector
+//! catalogue: traces produced by each canonical generator satisfy the
+//! corresponding `T_D`, and membership is closed under random
+//! samplings and constrained reorderings.
+
+use afd_core::afd::{closure, AfdSpec};
+use afd_core::afds::{AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak};
+use afd_core::automata::{FdBehavior, FdGen};
+use afd_core::trace::{
+    constrained_reorder_random, is_constrained_reordering, is_sampling, sample_random,
+};
+use afd_core::{Action, Loc, LocSet, Pi};
+use proptest::prelude::*;
+
+/// Drive a generator with a fair schedule, injecting one optional crash.
+fn generator_trace(gen: &FdGen, crash: Option<(usize, Loc)>, steps: usize) -> Vec<Action> {
+    use ioa::{Automaton, RoundRobin, Scheduler, TaskId};
+    let mut s = gen.initial_state();
+    let mut sched = RoundRobin::new();
+    let mut out = Vec::new();
+    for step in 0..steps {
+        if let Some((k, l)) = crash {
+            if step == k {
+                s = gen.step(&s, &Action::Crash(l)).expect("crash accepted");
+                out.push(Action::Crash(l));
+                continue;
+            }
+        }
+        let Some(t): Option<TaskId> = sched.next_task(gen, &s, step) else { break };
+        let a = gen.enabled(&s, t).expect("enabled");
+        s = gen.step(&s, &a).expect("step");
+        out.push(a);
+    }
+    out
+}
+
+fn catalogue(pi: Pi) -> Vec<(Box<dyn AfdSpec>, FdGen)> {
+    vec![
+        (Box::new(Omega), FdGen::omega(pi)),
+        (Box::new(Perfect), FdGen::perfect(pi)),
+        (Box::new(EvPerfect), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 2)),
+        (Box::new(Strong), FdGen::perfect(pi)),
+        (Box::new(EvStrong), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1)),
+        (Box::new(Weak), FdGen::perfect(pi)),
+        (Box::new(EvWeak), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1)),
+        (Box::new(Sigma), FdGen::new(pi, FdBehavior::Sigma)),
+        (Box::new(AntiOmega), FdGen::new(pi, FdBehavior::AntiOmega)),
+        (Box::new(OmegaK::new(2)), FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
+        (Box::new(PsiK::new(2)), FdGen::new(pi, FdBehavior::PsiK { k: 2 })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every canonical generator's fair traces are in its spec's T_D,
+    /// for arbitrary single-crash fault patterns and window sizes.
+    #[test]
+    fn generator_traces_satisfy_specs(
+        crash_step in 0usize..30,
+        victim in 0u8..4,
+        steps in 40usize..90,
+    ) {
+        let pi = Pi::new(4);
+        for (spec, gen) in catalogue(pi) {
+            let t = generator_trace(&gen, Some((crash_step, Loc(victim))), steps);
+            prop_assert!(
+                spec.check_complete(pi, &t).is_ok(),
+                "{} rejected its generator: {:?}",
+                spec.name(),
+                spec.check_complete(pi, &t)
+            );
+        }
+    }
+
+    /// Closure under sampling (axiom 2): random samplings of member
+    /// traces stay members.
+    #[test]
+    fn closure_under_sampling(seed in 0u64..5000, crash_step in 0usize..25) {
+        let pi = Pi::new(3);
+        for (spec, gen) in catalogue(pi) {
+            let t = generator_trace(&gen, Some((crash_step, Loc(2))), 60);
+            prop_assert!(spec.check_complete(pi, &t).is_ok(), "{}", spec.name());
+            let cex = closure::sampling_counterexample(spec.as_ref(), pi, &t, 10, seed);
+            prop_assert!(cex.is_none(), "{}: sampling cex {:?}", spec.name(), cex);
+        }
+    }
+
+    /// Closure under constrained reordering (axiom 3): random
+    /// constrained reorderings of member traces stay members.
+    #[test]
+    fn closure_under_reordering(seed in 0u64..5000, crash_step in 0usize..25) {
+        let pi = Pi::new(3);
+        for (spec, gen) in catalogue(pi) {
+            let t = generator_trace(&gen, Some((crash_step, Loc(1))), 60);
+            prop_assert!(spec.check_complete(pi, &t).is_ok(), "{}", spec.name());
+            let cex = closure::reordering_counterexample(spec.as_ref(), pi, &t, 10, seed);
+            prop_assert!(cex.is_none(), "{}: reordering cex {:?}", spec.name(), cex);
+        }
+    }
+
+    /// The sampling generator only produces legal samplings, and the
+    /// reordering generator only legal constrained reorderings — for
+    /// arbitrary Ω traces.
+    #[test]
+    fn trace_op_generators_are_sound(seed in 0u64..5000) {
+        let pi = Pi::new(3);
+        let gen = FdGen::omega(pi);
+        let t = generator_trace(&gen, Some((7, Loc(0))), 50);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let out_loc = |a: &Action| a.fd_output().map(|(i, _)| i);
+        let s = sample_random(pi, &t, out_loc, &mut rng);
+        prop_assert!(is_sampling(pi, &s, &t, out_loc));
+        let r = constrained_reorder_random(&t, 2, &mut rng);
+        prop_assert!(is_constrained_reordering(&r, &t));
+    }
+
+    /// Samplings compose: a sampling of a sampling is a sampling.
+    #[test]
+    fn sampling_composes(seed in 0u64..5000) {
+        let pi = Pi::new(3);
+        let gen = FdGen::perfect(pi);
+        let t = generator_trace(&gen, Some((5, Loc(2))), 40);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let out_loc = |a: &Action| a.fd_output().map(|(i, _)| i);
+        let s1 = sample_random(pi, &t, out_loc, &mut rng);
+        let s2 = sample_random(pi, &s1, out_loc, &mut rng);
+        prop_assert!(is_sampling(pi, &s2, &t, out_loc));
+    }
+}
+
+#[test]
+fn crash_exclusivity_of_every_afd() {
+    // The only non-output actions an AFD spec recognizes are crashes:
+    // problem inputs never classify as FD outputs.
+    let pi = Pi::new(3);
+    let foreign = [
+        Action::Propose { at: Loc(0), v: 1 },
+        Action::Decide { at: Loc(0), v: 1 },
+        Action::Query { at: Loc(1) },
+        Action::Send { from: Loc(0), to: Loc(1), msg: afd_core::Msg::Token(0) },
+        Action::Crash(Loc(2)),
+    ];
+    for (spec, _) in catalogue(pi) {
+        for a in &foreign {
+            assert!(spec.output_loc(a).is_none(), "{} claims {a}", spec.name());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! §7.3 / Theorem 21 machinery: consensus, leader election, and k-set
+//! agreement are *bounded problems* (crash-independent bounded-length
+//! solvers exist), the quiescence construction of Lemmas 23–25 is
+//! executable, and the §10.1 contrast holds: the representative
+//! detector for consensus is query-based, not an AFD.
+
+use afd_core::problem::{check_crash_independence, strip_crashes, BoundedWitness};
+use afd_core::problems::consensus::{Consensus, ConsensusSolver};
+use afd_core::problems::kset::KSetSolver;
+use afd_core::problems::leader_election::{LeaderElection, LeaderElectionSolver};
+use afd_core::{Action, Loc, Pi, ProblemSpec};
+use ioa::{Automaton, RandomFair, RunOptions, Runner, TaskId};
+
+fn prop(at: u8, v: u64) -> Action {
+    Action::Propose { at: Loc(at), v }
+}
+
+/// Drive the canonical consensus solver with inputs and crashes into a
+/// quiescent execution, returning its trace.
+fn run_solver_to_quiescence(pi: Pi, inputs: &[(usize, Action)], steps: usize) -> Vec<Action> {
+    let u = ConsensusSolver::new(pi);
+    let mut s = u.initial_state();
+    let mut trace = Vec::new();
+    let mut sched = RandomFair::new(7);
+    let mut pending: Vec<(usize, Action)> = inputs.to_vec();
+    for step in 0..steps {
+        if let Some(pos) = pending.iter().position(|&(k, _)| k <= step) {
+            let (_, a) = pending.remove(pos);
+            s = u.step(&s, &a).expect("inputs always accepted");
+            trace.push(a);
+            continue;
+        }
+        let Some(t) = ioa::Scheduler::<ConsensusSolver>::next_task(&mut sched, &u, &s, step)
+        else {
+            break;
+        };
+        let a = u.enabled(&s, t).expect("enabled");
+        s = u.step(&s, &a).expect("step");
+        trace.push(a);
+    }
+    assert!(!u.any_task_enabled(&s), "must quiesce");
+    trace
+}
+
+#[test]
+fn lemma_23_quiescence_no_further_outputs() {
+    // α_q: a finite execution after which no extension produces OP
+    // events — the canonical solver quiesces once everyone decided.
+    let pi = Pi::new(3);
+    let t = run_solver_to_quiescence(
+        pi,
+        &[(0, prop(0, 1)), (2, prop(1, 0)), (4, prop(2, 0))],
+        100,
+    );
+    let decides = t.iter().filter(|a| matches!(a, Action::Decide { .. })).count();
+    assert_eq!(decides, 3, "maxlen outputs reached");
+    assert!(Consensus::new(0).check(pi, &t).is_ok());
+}
+
+#[test]
+fn lemma_24_crash_free_variant_of_quiescent_execution() {
+    // α_0: delete the crash events from a quiescent execution with
+    // crashes; crash independence makes the result a trace of U again.
+    let pi = Pi::new(3);
+    let u = ConsensusSolver::new(pi);
+    let t = run_solver_to_quiescence(
+        pi,
+        &[(0, prop(0, 1)), (2, Action::Crash(Loc(2))), (4, prop(1, 0))],
+        100,
+    );
+    // Crash independence: the crash-free replay is accepted.
+    check_crash_independence(&u, &t).expect("U is crash independent");
+    // And the crash-free trace has no *fewer* outputs available: the
+    // crashed location's decide was suppressed only by the crash.
+    let t0 = strip_crashes(&t);
+    let mut s = u.initial_state();
+    for a in &t0 {
+        s = u.step(&s, a).unwrap();
+    }
+    // p2 never decided in t (crashed); in the crash-free world its
+    // decide task is enabled again — "crashed" was indistinguishable
+    // from "slow".
+    assert!(
+        u.enabled(&s, TaskId(2)).is_some(),
+        "the deleted crash re-enables the suppressed output"
+    );
+}
+
+#[test]
+fn bounded_witnesses_for_all_three_problems() {
+    let pi = Pi::new(3);
+    // Consensus.
+    let u = ConsensusSolver::new(pi);
+    let traces = vec![
+        run_solver_to_quiescence(pi, &[(0, prop(0, 1)), (1, prop(1, 0)), (2, prop(2, 1))], 100),
+        run_solver_to_quiescence(pi, &[(0, prop(0, 0)), (3, Action::Crash(Loc(1)))], 100),
+    ];
+    BoundedWitness { spec: &Consensus::new(2), solver: &u, bound: pi.len() }
+        .verify(&traces)
+        .expect("consensus is bounded");
+    // Leader election.
+    let le = LeaderElectionSolver::new(pi);
+    let exec = Runner::new(&le).run(&mut RandomFair::new(3), RunOptions::default());
+    BoundedWitness { spec: &LeaderElection, solver: &le, bound: pi.len() }
+        .verify(&[exec.actions])
+        .expect("leader election is bounded");
+    // k-set agreement.
+    let ks = KSetSolver::new(pi);
+    let mut s = ks.initial_state();
+    let mut t = Vec::new();
+    for a in [Action::ProposeK { at: Loc(0), v: 5 }, Action::Crash(Loc(2))] {
+        s = ks.step(&s, &a).unwrap();
+        t.push(a);
+    }
+    while let Some(a) = (0..3).find_map(|k| ks.enabled(&s, TaskId(k))) {
+        s = ks.step(&s, &a).unwrap();
+        t.push(a);
+    }
+    check_crash_independence(&ks, &t).expect("k-set solver crash independent");
+    assert!(t.iter().filter(|a| matches!(a, Action::DecideK { .. })).count() <= pi.len());
+}
+
+#[test]
+fn long_lived_problems_have_no_bound() {
+    assert_eq!(
+        afd_core::problems::broadcast::ReliableBroadcast.output_bound(Pi::new(4)),
+        None
+    );
+    assert_eq!(Consensus::new(1).output_bound(Pi::new(4)), Some(4));
+    assert_eq!(LeaderElection.output_bound(Pi::new(4)), Some(4));
+}
+
+#[test]
+fn theorem_21_contrast_with_query_based_representative() {
+    // Theorem 21: consensus (bounded, unsolvable without detectors)
+    // has no representative AFD. §10.1: it *does* have a representative
+    // query-based detector. The executable contrast: the participant
+    // detector's signature takes non-crash inputs — which crash
+    // exclusivity forbids any AFD.
+    use afd_core::automata::{FdBehavior, FdGen};
+    use ioa::ActionClass;
+    let pi = Pi::new(3);
+    let participant = FdGen::new(pi, FdBehavior::Participant);
+    assert_eq!(
+        participant.classify(&Action::Query { at: Loc(0) }),
+        Some(ActionClass::Input),
+        "participant consumes Query inputs"
+    );
+    // Every AFD spec in the catalogue refuses to classify Query as an
+    // output, and AFDs take no inputs besides crashes by construction
+    // (their output_loc is their whole non-crash signature).
+    let specs: Vec<Box<dyn afd_core::AfdSpec>> = vec![
+        Box::new(afd_core::afds::Omega),
+        Box::new(afd_core::afds::Perfect),
+        Box::new(afd_core::afds::Sigma),
+    ];
+    for spec in specs {
+        assert!(spec.output_loc(&Action::Query { at: Loc(0) }).is_none());
+        assert!(spec.output_loc(&Action::QueryReply {
+            at: Loc(0),
+            out: afd_core::FdOutput::Leader(Loc(0))
+        })
+        .is_none());
+    }
+}
+
+#[test]
+fn extraction_attempt_from_quiescent_consensus_yields_nothing() {
+    // The heart of Theorem 21's proof: after the bounded problem has
+    // quiesced (Lemma 24), an extraction algorithm would have to keep
+    // producing failure-detector outputs with NO further information
+    // from the black box. We exhibit the operational fact: from the
+    // quiescent state, the solver enables no output in any extension.
+    let pi = Pi::new(3);
+    let u = ConsensusSolver::new(pi);
+    let t = run_solver_to_quiescence(
+        pi,
+        &[(0, prop(0, 1)), (1, prop(1, 0)), (2, prop(2, 1))],
+        100,
+    );
+    let mut s = u.initial_state();
+    for a in &t {
+        s = u.step(&s, a).unwrap();
+    }
+    // Extensions by crash inputs only — the only events left in the
+    // world — never re-enable an output.
+    for l in pi.iter() {
+        s = u.step(&s, &Action::Crash(l)).unwrap();
+        assert!(!u.any_task_enabled(&s));
+    }
+}

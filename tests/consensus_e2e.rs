@@ -1,0 +1,115 @@
+//! End-to-end consensus sweeps: both algorithms across n, f, seeds,
+//! and fault timings, checked against the §9.1 trace set; plus the FLP
+//! contrast — without failure-detector input, the Ω-driven algorithm
+//! produces no decision at all.
+
+use afd_algorithms::consensus::{all_live_decided, check_consensus_run, ct_system, paxos_system};
+use afd_core::{Loc, LocSet, Pi};
+use afd_system::{run_random, Env, FaultPattern, SimConfig, SystemBuilder};
+
+#[test]
+fn paxos_sweep_n3_to_n5() {
+    for (n, f, crash_at) in [(3usize, 1usize, 12usize), (4, 1, 20), (5, 2, 15)] {
+        let pi = Pi::new(n);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        let victims: Vec<Loc> = (0..f).map(|k| Loc(k as u8)).collect();
+        for seed in 0..6u64 {
+            let sys = paxos_system(pi, &inputs, victims.clone());
+            let faults = FaultPattern::at(
+                victims.iter().enumerate().map(|(k, &l)| (crash_at + 17 * k, l)).collect(),
+            );
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(faults)
+                    .with_max_steps(40_000)
+                    .stop_when(move |s| all_live_decided(pi, s)),
+            );
+            let v = check_consensus_run(pi, f, out.schedule())
+                .unwrap_or_else(|e| panic!("paxos n={n} f={f} seed={seed}: {e}"));
+            assert!(v.is_some(), "paxos n={n} f={f} seed={seed}: no decision");
+            assert!(all_live_decided(pi, out.schedule()));
+        }
+    }
+}
+
+#[test]
+fn ct_sweep_with_lying_detectors() {
+    for (n, f) in [(3usize, 1usize), (5, 2)] {
+        let pi = Pi::new(n);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| (i + 1) % 2).collect();
+        for seed in 0..4u64 {
+            let lie: LocSet = LocSet::singleton(Loc(((seed % n as u64) + 1) as u8 % n as u8));
+            let sys = ct_system(pi, &inputs, vec![Loc(0)], lie, 2);
+            let out = run_random(
+                &sys,
+                seed,
+                SimConfig::default()
+                    .with_faults(FaultPattern::at(vec![(18, Loc(0))]))
+                    .with_max_steps(60_000)
+                    .stop_when(move |s| all_live_decided(pi, s)),
+            );
+            let v = check_consensus_run(pi, f, out.schedule())
+                .unwrap_or_else(|e| panic!("ct n={n} seed={seed}: {e}"));
+            assert!(v.is_some(), "ct n={n} seed={seed}: no decision after {} steps", out.steps);
+        }
+    }
+}
+
+#[test]
+fn decisions_are_always_proposed_values() {
+    let pi = Pi::new(3);
+    for seed in 0..8u64 {
+        let sys = paxos_system(pi, &[0, 0, 1], vec![]);
+        let out = run_random(
+            &sys,
+            seed,
+            SimConfig::default().with_max_steps(20_000).stop_when(move |s| all_live_decided(pi, s)),
+        );
+        let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
+        assert!(matches!(v, Some(0 | 1)));
+    }
+}
+
+#[test]
+fn flp_contrast_no_detector_no_decision() {
+    // The same Paxos processes wired WITHOUT the Ω automaton: nobody
+    // ever sees a leader output, so no ballot starts and no decision is
+    // reached — the executable face of the FLP impossibility that the
+    // AFD circumvents (§9 / [11]).
+    use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+    use afd_system::ProcessAutomaton;
+    let pi = Pi::new(3);
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    let sys = SystemBuilder::<ProcessAutomaton<PaxosOmega>>::new(pi, procs)
+        .with_env(Env::consensus_with_inputs(pi, &[0, 1, 1]))
+        .build();
+    let out = run_random(&sys, 1, SimConfig::default().with_max_steps(5_000));
+    assert!(
+        !out.schedule().iter().any(|a| matches!(a, afd_core::Action::Decide { .. })),
+        "no FD input must mean no decision for this algorithm"
+    );
+}
+
+#[test]
+fn unanimity_is_decided_even_with_adversarial_scheduling() {
+    use afd_algorithms::consensus::paxos_omega::PaxosOmega;
+    use afd_system::run_sim;
+    let pi = Pi::new(3);
+    let sys = paxos_system(pi, &[1, 1, 1], vec![]);
+    // Starve the channel tasks for long stretches: decisions still come.
+    let victims: Vec<usize> = { use ioa::Automaton as _; 0..sys.composition.task_count() }
+        .filter(|&t| matches!(sys.label(ioa::TaskId(t)), afd_system::Label::Chan(_, _)))
+        .collect();
+    let mut sched = ioa::Adversarial::new(victims, 25);
+    let out = run_sim(
+        &sys,
+        &mut sched,
+        SimConfig::<afd_system::ProcessAutomaton<PaxosOmega>>::default()
+            .with_max_steps(40_000)
+            .stop_when(move |s| all_live_decided(pi, s)),
+    );
+    let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
+    assert_eq!(v, Some(1));
+}

@@ -1,0 +1,132 @@
+//! The trace-level face of the hierarchy: run every canonical generator
+//! and check its fair traces against *every* suspect-shaped spec. The
+//! resulting acceptance matrix must match the semantic inclusions:
+//! `T_P ⊆ T_S ⊆ T_W`, `T_P ⊆ T_◇P ⊆ T_◇S ⊆ T_◇W`, lies break exactly
+//! the perpetual-accuracy specs, and Marabout rejects every honest
+//! generator.
+
+use afd_core::afd::AfdSpec;
+use afd_core::afds::{EvPerfect, EvStrong, EvWeak, Marabout, Perfect, Strong, Weak};
+use afd_core::automata::FdGen;
+use afd_core::{Action, Loc, LocSet, Pi};
+use ioa::{Automaton, RoundRobin, Scheduler};
+
+fn generator_trace(gen: &FdGen, crash: Option<(usize, Loc)>, steps: usize) -> Vec<Action> {
+    let mut s = gen.initial_state();
+    let mut sched = RoundRobin::new();
+    let mut out = Vec::new();
+    for step in 0..steps {
+        if let Some((k, l)) = crash {
+            if step == k {
+                s = gen.step(&s, &Action::Crash(l)).unwrap();
+                out.push(Action::Crash(l));
+                continue;
+            }
+        }
+        let Some(t) = sched.next_task(gen, &s, step) else { break };
+        let a = gen.enabled(&s, t).unwrap();
+        s = gen.step(&s, &a).unwrap();
+        out.push(a);
+    }
+    out
+}
+
+/// The suspect-shaped spec battery, in hierarchy order.
+fn specs() -> Vec<Box<dyn AfdSpec>> {
+    vec![
+        Box::new(Perfect),
+        Box::new(Strong),
+        Box::new(Weak),
+        Box::new(EvPerfect),
+        Box::new(EvStrong),
+        Box::new(EvWeak),
+        Box::new(Marabout),
+    ]
+}
+
+fn acceptance_row(t: &[Action], pi: Pi) -> Vec<bool> {
+    specs().iter().map(|s| s.check_complete(pi, t).is_ok()).collect()
+}
+
+#[test]
+fn honest_p_generator_accepted_by_everything_but_marabout() {
+    let pi = Pi::new(3);
+    let t = generator_trace(&FdGen::perfect(pi), Some((7, Loc(2))), 60);
+    let row = acceptance_row(&t, pi);
+    //                 P     S     W     ◇P    ◇S    ◇W    Marabout
+    assert_eq!(row, [true, true, true, true, true, true, false]);
+}
+
+#[test]
+fn lying_generator_breaks_exactly_the_perpetual_accuracy_specs() {
+    let pi = Pi::new(3);
+    // Lies wrongly suspect BOTH other live locations, so even W's
+    // "someone never suspected" perpetual clause fails.
+    let lie: LocSet = [Loc(0), Loc(1), Loc(2)].into_iter().collect();
+    let t = generator_trace(&FdGen::ev_perfect_noisy(pi, lie, 2), Some((9, Loc(2))), 70);
+    let row = acceptance_row(&t, pi);
+    //                 P      S      W      ◇P    ◇S    ◇W    Marabout
+    assert_eq!(row, [false, false, false, true, true, true, false]);
+}
+
+#[test]
+fn single_target_lies_spare_the_weak_accuracy_specs() {
+    let pi = Pi::new(3);
+    // Lies suspect only p1: p0 is never suspected, so S's and W's weak
+    // accuracy survive even though P's strong accuracy does not.
+    let t = generator_trace(
+        &FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2),
+        Some((9, Loc(2))),
+        70,
+    );
+    let row = acceptance_row(&t, pi);
+    //                 P      S     W     ◇P    ◇S    ◇W    Marabout
+    assert_eq!(row, [false, true, true, true, true, true, false]);
+}
+
+#[test]
+fn cheating_marabout_is_accepted_only_when_its_guess_comes_true() {
+    use afd_core::automata::FdBehavior;
+    let pi = Pi::new(2);
+    let cheater =
+        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(1)) });
+    // World A: the guess comes true (p1 crashes): Marabout accepts.
+    let t_match = generator_trace(&cheater, Some((5, Loc(1))), 40);
+    assert!(Marabout.check_complete(pi, &t_match).is_ok());
+    // …but P rejects (it suspected p1 before the crash).
+    assert!(Perfect.check_complete(pi, &t_match).is_err());
+    // World B: nobody crashes: Marabout rejects the very same automaton.
+    let t_miss = generator_trace(&cheater, None, 40);
+    assert!(Marabout.check_complete(pi, &t_miss).is_err());
+}
+
+#[test]
+fn inclusion_chains_hold_on_bulk_random_runs() {
+    // T_P ⊆ T_S ⊆ T_W and T_P ⊆ T_◇P ⊆ T_◇S ⊆ T_◇W, witnessed over
+    // many seeds/fault patterns: whenever the stronger spec accepts,
+    // every weaker spec must too.
+    let pi = Pi::new(4);
+    let chains: [&[usize]; 2] = [&[0, 1, 2], &[3, 4, 5]]; // indices into specs()
+    for seed in 0..12u64 {
+        let crash = Some(((seed as usize % 10) + 2, Loc((seed % 4) as u8)));
+        let lies = LocSet::singleton(Loc(((seed + 1) % 4) as u8));
+        for gen in [FdGen::perfect(pi), FdGen::ev_perfect_noisy(pi, lies, (seed % 3) as u16)] {
+            let t = generator_trace(&gen, crash, 80);
+            let row = acceptance_row(&t, pi);
+            for chain in chains {
+                for w in chain.windows(2) {
+                    assert!(
+                        !row[w[0]] || row[w[1]],
+                        "seed {seed}: spec {} accepted but weaker {} rejected",
+                        specs()[w[0]].name(),
+                        specs()[w[1]].name()
+                    );
+                }
+            }
+            // The perpetual → eventual direction also holds pointwise.
+            for (strong, ev) in [(0usize, 3usize), (1, 4), (2, 5)] {
+                assert!(!row[strong] || row[ev], "seed {seed}");
+            }
+        }
+    }
+}

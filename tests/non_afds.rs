@@ -1,0 +1,73 @@
+//! §3.4 end-to-end: Marabout is refuted for every candidate generator
+//! (including the oracle-fed cheater), and D_k's defining clause is
+//! unstatable over untimed traces.
+
+use afd_core::afds::dk::{untime, DkTimed, TimedEvent};
+use afd_core::afds::Marabout;
+use afd_core::automata::{FdBehavior, FdGen};
+use afd_core::{Action, AfdSpec, FdOutput, Loc, LocSet, Pi};
+use afd_system::refute_marabout;
+
+#[test]
+fn marabout_refuted_for_all_candidates() {
+    let pi = Pi::new(3);
+    let candidates: Vec<FdGen> = vec![
+        FdGen::perfect(pi),
+        FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1),
+        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::empty() }),
+        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(0)) }),
+        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: pi.all() }),
+    ];
+    for gen in candidates {
+        let w = refute_marabout(&gen, pi, 80)
+            .unwrap_or_else(|| panic!("no refutation for {:?}", gen.behavior()));
+        assert_eq!(w.violation.rule, "marabout.exact", "{:?}", gen.behavior());
+        // The witness is genuinely outside T_Marabout.
+        assert!(Marabout.check_complete(pi, &w.trace).is_err());
+    }
+}
+
+#[test]
+fn marabout_spec_itself_is_well_defined_as_a_function_of_the_pattern() {
+    // The point of §3.4 is that Marabout fails *solvability*, not
+    // well-definedness: omniscient traces are accepted.
+    let pi = Pi::new(2);
+    let sus = |at: u8, set: LocSet| Action::Fd { at: Loc(at), out: FdOutput::Suspects(set) };
+    let t = vec![
+        sus(0, LocSet::singleton(Loc(1))),
+        Action::Crash(Loc(1)),
+        sus(0, LocSet::singleton(Loc(1))),
+    ];
+    assert!(Marabout.check_complete(pi, &t).is_ok());
+}
+
+#[test]
+fn dk_untimed_projection_collapses_membership() {
+    let dk = DkTimed::new(10.0);
+    let sus0 = Action::Fd { at: Loc(0), out: FdOutput::Suspects(LocSet::empty()) };
+    let early = vec![
+        TimedEvent { time: 5.0, action: Action::Crash(Loc(1)) },
+        TimedEvent { time: 12.0, action: sus0 },
+    ];
+    let late = vec![
+        TimedEvent { time: 11.0, action: Action::Crash(Loc(1)) },
+        TimedEvent { time: 12.0, action: sus0 },
+    ];
+    assert!(dk.check_timed(&early), "pre-horizon crash may be ignored");
+    assert!(!dk.check_timed(&late), "post-horizon crash must be reported");
+    assert_eq!(untime(&early), untime(&late), "the AFD framework cannot tell them apart");
+    assert!(dk.try_as_afd().is_none());
+}
+
+#[test]
+fn refutation_traces_are_fair_fd_behaviors() {
+    // The refuter constructs traces the candidate actually produces
+    // under a fair schedule — every event is crash or suspect-output.
+    let pi = Pi::new(2);
+    let w = refute_marabout(&FdGen::perfect(pi), pi, 60).unwrap();
+    assert!(w.trace.len() > 2);
+    assert!(w
+        .trace
+        .iter()
+        .all(|a| a.is_crash() || matches!(a, Action::Fd { out: FdOutput::Suspects(_), .. })));
+}

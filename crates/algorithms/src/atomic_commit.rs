@@ -57,7 +57,10 @@ impl Nbac {
     /// A new behavior over `pi`.
     #[must_use]
     pub fn new(pi: Pi) -> Self {
-        Nbac { inner: CtStrong::new(pi), pi }
+        Nbac {
+            inner: CtStrong::new(pi),
+            pi,
+        }
     }
 
     /// Try to move from the vote phase into consensus: every location
@@ -79,7 +82,8 @@ impl Nbac {
             && s.yes_from.union(LocSet::singleton(i)) == self.pi.all();
         s.proposed = true;
         let v = u64::from(all_yes);
-        self.inner.on_input(i, &mut s.consensus, &Action::Propose { at: i, v });
+        self.inner
+            .on_input(i, &mut s.consensus, &Action::Propose { at: i, v });
     }
 }
 
@@ -116,19 +120,22 @@ impl LocalBehavior for Nbac {
 
     fn on_input(&self, i: Loc, s: &mut NbacState, a: &Action) {
         match a {
-            Action::Vote { yes, .. }
-                if s.vote.is_none() => {
-                    s.vote = Some(*yes);
-                    if *yes {
-                        s.yes_from.insert(i);
-                    } else {
-                        s.any_no = true;
-                    }
-                    broadcast(self.pi, i, &mut s.outbox, Msg::VoteMsg { yes: *yes });
-                    s.flooded = true;
-                    self.maybe_propose(i, s);
+            Action::Vote { yes, .. } if s.vote.is_none() => {
+                s.vote = Some(*yes);
+                if *yes {
+                    s.yes_from.insert(i);
+                } else {
+                    s.any_no = true;
                 }
-            Action::Receive { from, msg: Msg::VoteMsg { yes }, .. } => {
+                broadcast(self.pi, i, &mut s.outbox, Msg::VoteMsg { yes: *yes });
+                s.flooded = true;
+                self.maybe_propose(i, s);
+            }
+            Action::Receive {
+                from,
+                msg: Msg::VoteMsg { yes },
+                ..
+            } => {
                 if *yes {
                     s.yes_from.insert(*from);
                 } else {
@@ -164,14 +171,20 @@ impl LocalBehavior for Nbac {
 
     fn on_output(&self, i: Loc, s: &mut NbacState, a: &Action) {
         match a {
-            Action::Send { msg: Msg::VoteMsg { .. }, .. } if !s.outbox.is_empty() => {
+            Action::Send {
+                msg: Msg::VoteMsg { .. },
+                ..
+            } if !s.outbox.is_empty() => {
                 s.outbox.remove(0);
             }
             Action::Verdict { at, commit } => {
                 self.inner.on_output(
                     i,
                     &mut s.consensus,
-                    &Action::Decide { at: *at, v: u64::from(*commit) },
+                    &Action::Decide {
+                        at: *at,
+                        v: u64::from(*commit),
+                    },
                 );
             }
             other => self.inner.on_output(i, &mut s.consensus, other),
@@ -190,7 +203,10 @@ pub fn nbac_system(
     lie_set: LocSet,
     lie_count: u16,
 ) -> System<ProcessAutomaton<Nbac>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, Nbac::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, Nbac::new(pi)))
+        .collect();
     let fd = if lie_count == 0 {
         FdGen::perfect(pi)
     } else {
@@ -198,7 +214,10 @@ pub fn nbac_system(
     };
     SystemBuilder::new(pi, procs)
         .with_fd(fd)
-        .with_env(Env::Votes { pi, votes: votes.to_vec() })
+        .with_env(Env::Votes {
+            pi,
+            votes: votes.to_vec(),
+        })
         .with_crashes(crashes)
         .with_label("nbac system")
         .build()
@@ -222,7 +241,9 @@ mod tests {
     fn all_live_learned(pi: Pi, schedule: &[Action]) -> bool {
         let faulty = afd_core::trace::faulty(schedule);
         pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
-            schedule.iter().any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
+            schedule
+                .iter()
+                .any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
         })
     }
 
@@ -239,7 +260,9 @@ mod tests {
                     .stop_when(move |s| all_live_learned(pi, s)),
             );
             let t = nbac_projection(out.schedule());
-            AtomicCommit::new(1).check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            AtomicCommit::new(1)
+                .check(pi, &t)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(AtomicCommit::verdict(&t), Some(true), "seed {seed}");
         }
     }
@@ -251,7 +274,9 @@ mod tests {
         let out = run_random(
             &sys,
             7,
-            SimConfig::default().with_max_steps(30_000).stop_when(move |s| all_live_learned(pi, s)),
+            SimConfig::default()
+                .with_max_steps(30_000)
+                .stop_when(move |s| all_live_learned(pi, s)),
         );
         let t = nbac_projection(out.schedule());
         AtomicCommit::new(1).check(pi, &t).unwrap();
@@ -274,7 +299,9 @@ mod tests {
                     .stop_when(move |s| all_live_learned(pi, s)),
             );
             let t = nbac_projection(out.schedule());
-            AtomicCommit::new(1).check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            AtomicCommit::new(1)
+                .check(pi, &t)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(all_live_learned(pi, out.schedule()), "seed {seed}");
         }
     }
@@ -310,6 +337,9 @@ mod tests {
                 break;
             }
         }
-        assert!(violated, "the lying detector never managed to break abort-validity");
+        assert!(
+            violated,
+            "the lying detector never managed to break abort-validity"
+        );
     }
 }

@@ -51,7 +51,16 @@ impl Urb {
         if !s.relayed.insert((origin, seq)) {
             return;
         }
-        bcast(self.pi, me, &mut s.outbox, Msg::RbRelay { origin, seq, payload });
+        bcast(
+            self.pi,
+            me,
+            &mut s.outbox,
+            Msg::RbRelay {
+                origin,
+                seq,
+                payload,
+            },
+        );
         // Delivery is queued *behind* the relays: the deliver action is
         // emitted only after the outbox entries above have drained.
         s.to_deliver.push((origin, payload));
@@ -87,7 +96,15 @@ impl LocalBehavior for Urb {
                 s.seq += 1;
                 self.relay(i, s, i, seq, *payload);
             }
-            Action::Receive { msg: Msg::RbRelay { origin, seq, payload }, .. } => {
+            Action::Receive {
+                msg:
+                    Msg::RbRelay {
+                        origin,
+                        seq,
+                        payload,
+                    },
+                ..
+            } => {
                 self.relay(i, s, *origin, *seq, *payload);
             }
             _ => {}
@@ -98,7 +115,13 @@ impl LocalBehavior for Urb {
         if let Some(&(to, msg)) = s.outbox.first() {
             return Some(Action::Send { from: i, to, msg });
         }
-        s.to_deliver.first().map(|&(origin, payload)| Action::Deliver { at: i, origin, payload })
+        s.to_deliver
+            .first()
+            .map(|&(origin, payload)| Action::Deliver {
+                at: i,
+                origin,
+                payload,
+            })
     }
 
     fn on_output(&self, _i: Loc, s: &mut UrbState, a: &Action) {
@@ -121,7 +144,10 @@ pub fn urb_system(
     script: Vec<(Loc, u64)>,
     crashes: Vec<Loc>,
 ) -> System<ProcessAutomaton<Urb>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, Urb::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, Urb::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_env(Env::Broadcast { script })
         .with_crashes(crashes)
@@ -153,7 +179,10 @@ mod tests {
         let out = run_random(&sys, 5, SimConfig::default().with_max_steps(3000));
         let t = rb_projection(out.schedule());
         ReliableBroadcast.check(pi, &t).unwrap();
-        let delivers = t.iter().filter(|a| matches!(a, Action::Deliver { .. })).count();
+        let delivers = t
+            .iter()
+            .filter(|a| matches!(a, Action::Deliver { .. }))
+            .count();
         assert_eq!(delivers, 6, "2 payloads × 3 locations");
     }
 
@@ -210,11 +239,29 @@ mod tests {
         let urb = Urb::new(pi);
         let p = ProcessAutomaton::new(Loc(0), urb);
         let mut s = ioa::Automaton::initial_state(&p);
-        s = ioa::Automaton::step(&p, &s, &Action::Broadcast { at: Loc(0), payload: 3 }).unwrap();
+        s = ioa::Automaton::step(
+            &p,
+            &s,
+            &Action::Broadcast {
+                at: Loc(0),
+                payload: 3,
+            },
+        )
+        .unwrap();
         let first = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
-        assert!(matches!(first, Action::Send { .. }), "relay precedes delivery");
+        assert!(
+            matches!(first, Action::Send { .. }),
+            "relay precedes delivery"
+        );
         s = ioa::Automaton::step(&p, &s, &first).unwrap();
         let second = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
-        assert_eq!(second, Action::Deliver { at: Loc(0), origin: Loc(0), payload: 3 });
+        assert_eq!(
+            second,
+            Action::Deliver {
+                at: Loc(0),
+                origin: Loc(0),
+                payload: 3
+            }
+        );
     }
 }

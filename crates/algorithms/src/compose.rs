@@ -30,7 +30,11 @@ impl<U> WithReduction<U> {
     /// Stack `upper` on top of `transform`.
     #[must_use]
     pub fn new(pi: Pi, transform: Transform, upper: U) -> Self {
-        WithReduction { pi, transform, upper }
+        WithReduction {
+            pi,
+            transform,
+            upper,
+        }
     }
 }
 
@@ -59,7 +63,8 @@ impl<U: LocalBehavior> LocalBehavior for WithReduction<U> {
         if let Action::Fd { at, out } = a {
             if *at == i {
                 if let Some(mapped) = self.transform.apply(self.pi, *out) {
-                    self.upper.on_input(i, s, &Action::Fd { at: i, out: mapped });
+                    self.upper
+                        .on_input(i, s, &Action::Fd { at: i, out: mapped });
                 }
                 return;
             }
@@ -135,13 +140,19 @@ mod tests {
             })
             .collect();
         let sys = SystemBuilder::new(pi, procs)
-            .with_fd(FdGen::ev_perfect_noisy(pi, LocSet::singleton(afd_core::Loc(0)), 3))
+            .with_fd(FdGen::ev_perfect_noisy(
+                pi,
+                LocSet::singleton(afd_core::Loc(0)),
+                3,
+            ))
             .with_env(Env::consensus_with_inputs(pi, &[1, 0, 1]))
             .build();
         let out = run_random(
             &sys,
             3,
-            SimConfig::default().with_max_steps(30_000).stop_when(move |s| all_live_decided(pi, s)),
+            SimConfig::default()
+                .with_max_steps(30_000)
+                .stop_when(move |s| all_live_decided(pi, s)),
         );
         let v = check_consensus_run(pi, 0, out.schedule()).unwrap();
         assert!(v.is_some());
@@ -160,14 +171,20 @@ mod tests {
         b.on_input(
             afd_core::Loc(0),
             &mut s,
-            &Action::Fd { at: afd_core::Loc(0), out: FdOutput::Leader(afd_core::Loc(0)) },
+            &Action::Fd {
+                at: afd_core::Loc(0),
+                out: FdOutput::Leader(afd_core::Loc(0)),
+            },
         );
         assert_eq!(s.leader_view, None);
         // A Suspects-shaped output gets through, transformed.
         b.on_input(
             afd_core::Loc(0),
             &mut s,
-            &Action::Fd { at: afd_core::Loc(0), out: FdOutput::Suspects(LocSet::empty()) },
+            &Action::Fd {
+                at: afd_core::Loc(0),
+                out: FdOutput::Suspects(LocSet::empty()),
+            },
         );
         assert_eq!(s.leader_view, Some(afd_core::Loc(0)));
     }

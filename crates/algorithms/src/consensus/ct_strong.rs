@@ -109,7 +109,14 @@ impl CtStrong {
         if c == me {
             s.estimates.entry(r).or_default().insert(me, (est, s.ts));
         } else {
-            s.outbox.push((c, Msg::CtEstimate { round: r, est, ts: s.ts }));
+            s.outbox.push((
+                c,
+                Msg::CtEstimate {
+                    round: r,
+                    est,
+                    ts: s.ts,
+                },
+            ));
         }
     }
 
@@ -147,7 +154,12 @@ impl CtStrong {
                     .max_by_key(|&&(v, ts)| (ts, v))
                     .expect("majority is nonempty");
                 s.proposed.insert(r, true);
-                broadcast(self.pi, me, &mut s.outbox, Msg::CtPropose { round: r, est: v });
+                broadcast(
+                    self.pi,
+                    me,
+                    &mut s.outbox,
+                    Msg::CtPropose { round: r, est: v },
+                );
                 // Self-delivery of the proposal.
                 s.proposals.insert(r, v);
                 advanced = true;
@@ -221,7 +233,10 @@ impl CtStrong {
     fn on_message(&self, me: Loc, s: &mut CtState, from: Loc, m: Msg) {
         match m {
             Msg::CtEstimate { round, est, ts } => {
-                s.estimates.entry(round).or_default().insert(from, (est, ts));
+                s.estimates
+                    .entry(round)
+                    .or_default()
+                    .insert(from, (est, ts));
             }
             Msg::CtPropose { round, est } => {
                 s.proposals.insert(round, est);
@@ -265,12 +280,11 @@ impl LocalBehavior for CtStrong {
 
     fn on_input(&self, i: Loc, s: &mut CtState, a: &Action) {
         match a {
-            Action::Propose { v, .. }
-                if s.est.is_none() => {
-                    s.est = Some(*v);
-                    self.enter_round(i, s);
-                    self.progress(i, s);
-                }
+            Action::Propose { v, .. } if s.est.is_none() => {
+                s.est = Some(*v);
+                self.enter_round(i, s);
+                self.progress(i, s);
+            }
             Action::Fd { out, .. } => {
                 if let Some(set) = out.as_suspects() {
                     s.suspects = set;
@@ -314,7 +328,10 @@ pub fn ct_system(
     lie_set: LocSet,
     lie_count: u16,
 ) -> System<ProcessAutomaton<CtStrong>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, CtStrong::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, CtStrong::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_fd(FdGen::ev_perfect_noisy(pi, lie_set, lie_count))
         .with_env(Env::consensus_with_inputs(pi, inputs))
@@ -349,7 +366,9 @@ mod tests {
         let out = run_random(
             &sys,
             3,
-            SimConfig::default().with_max_steps(6000).stop_when(decided_stop(pi)),
+            SimConfig::default()
+                .with_max_steps(6000)
+                .stop_when(decided_stop(pi)),
         );
         let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
         assert!(v.is_some(), "no decision in {} steps", out.steps);
@@ -373,7 +392,11 @@ mod tests {
             );
             let v = check_consensus_run(pi, 1, out.schedule())
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert!(v.is_some(), "seed {seed}: undecided after {} steps", out.steps);
+            assert!(
+                v.is_some(),
+                "seed {seed}: undecided after {} steps",
+                out.steps
+            );
             assert!(all_live_decided(pi, out.schedule()), "seed {seed}");
         }
     }
@@ -386,7 +409,9 @@ mod tests {
             let out = run_random(
                 &sys,
                 seed,
-                SimConfig::default().with_max_steps(20000).stop_when(decided_stop(pi)),
+                SimConfig::default()
+                    .with_max_steps(20000)
+                    .stop_when(decided_stop(pi)),
             );
             check_consensus_run(pi, 1, out.schedule())
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));

@@ -37,9 +37,7 @@ pub fn check_consensus_run(
     let spec = Consensus::new(f);
     let proj: Vec<Action> = schedule
         .iter()
-        .filter(|a| {
-            a.is_crash() || matches!(a, Action::Propose { .. } | Action::Decide { .. })
-        })
+        .filter(|a| a.is_crash() || matches!(a, Action::Propose { .. } | Action::Decide { .. }))
         .copied()
         .collect();
     afd_core::ProblemSpec::check(&spec, pi, &proj)?;
@@ -51,6 +49,8 @@ pub fn check_consensus_run(
 pub fn all_live_decided(pi: Pi, schedule: &[Action]) -> bool {
     let faulty = afd_core::trace::faulty(schedule);
     pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
-        schedule.iter().any(|a| matches!(a, Action::Decide { at, .. } if *at == i))
+        schedule
+            .iter()
+            .any(|a| matches!(a, Action::Decide { at, .. } if *at == i))
     })
 }

@@ -115,7 +115,10 @@ impl PaxosOmega {
     /// A new behavior over `pi` (nack-driven restarts only).
     #[must_use]
     pub fn new(pi: Pi) -> Self {
-        PaxosOmega { pi, timer_restart: None }
+        PaxosOmega {
+            pi,
+            timer_restart: None,
+        }
     }
 
     /// Enable the timer-restart ablation.
@@ -151,12 +154,27 @@ impl PaxosOmega {
             return;
         }
         // Choose the value of the highest accepted pair, else our own.
-        let inherited = s.promises.values().flatten().max_by_key(|(bb, _)| *bb).map(|&(_, v)| v);
-        let Some(v) = inherited.or(s.proposal) else { return };
+        let inherited = s
+            .promises
+            .values()
+            .flatten()
+            .max_by_key(|(bb, _)| *bb)
+            .map(|&(_, v)| v);
+        let Some(v) = inherited.or(s.proposal) else {
+            return;
+        };
         s.pushing = Some(v);
         s.phase = Phase::Accepting;
         s.acks = afd_core::LocSet::empty();
-        broadcast(self.pi, me, &mut s.outbox, Msg::Accept { ballot: b, value: v });
+        broadcast(
+            self.pi,
+            me,
+            &mut s.outbox,
+            Msg::Accept {
+                ballot: b,
+                value: v,
+            },
+        );
         // Self-accept.
         if s.promised.is_none_or(|p| b >= p) {
             s.promised = Some(b);
@@ -193,10 +211,22 @@ impl PaxosOmega {
                 s.highest_round = s.highest_round.max(ballot.round);
                 if s.promised.is_none_or(|p| ballot > p) {
                     s.promised = Some(ballot);
-                    s.outbox.push((from, Msg::Promise { ballot, accepted: s.accepted }));
+                    s.outbox.push((
+                        from,
+                        Msg::Promise {
+                            ballot,
+                            accepted: s.accepted,
+                        },
+                    ));
                 } else if let Some(p) = s.promised {
                     // Nack: tell the stale proposer what is blocking it.
-                    s.outbox.push((from, Msg::Promise { ballot: p, accepted: s.accepted }));
+                    s.outbox.push((
+                        from,
+                        Msg::Promise {
+                            ballot: p,
+                            accepted: s.accepted,
+                        },
+                    ));
                 }
             }
             Msg::Promise { ballot, accepted } => {
@@ -219,14 +249,21 @@ impl PaxosOmega {
                     s.accepted = Some((ballot, value));
                     s.outbox.push((from, Msg::Accepted { ballot, value }));
                 } else if let Some(p) = s.promised {
-                    s.outbox.push((from, Msg::Promise { ballot: p, accepted: s.accepted }));
+                    s.outbox.push((
+                        from,
+                        Msg::Promise {
+                            ballot: p,
+                            accepted: s.accepted,
+                        },
+                    ));
                 }
             }
             Msg::Accepted { ballot, .. }
-                if s.ballot == Some(ballot) && s.phase == Phase::Accepting => {
-                    s.acks.insert(from);
-                    self.check_accept_majority(me, s);
-                }
+                if s.ballot == Some(ballot) && s.phase == Phase::Accepting =>
+            {
+                s.acks.insert(from);
+                self.check_accept_majority(me, s);
+            }
             Msg::DecideMsg { value } => self.learn_decision(me, s, value),
             _ => {}
         }
@@ -275,13 +312,12 @@ impl LocalBehavior for PaxosOmega {
 
     fn on_input(&self, i: Loc, s: &mut PaxosState, a: &Action) {
         match a {
-            Action::Propose { v, .. }
-                if s.proposal.is_none() => {
-                    s.proposal = Some(*v);
-                    if s.leader_view == Some(i) && s.decided.is_none() && s.phase == Phase::Idle {
-                        self.start_ballot(i, s);
-                    }
+            Action::Propose { v, .. } if s.proposal.is_none() => {
+                s.proposal = Some(*v);
+                if s.leader_view == Some(i) && s.decided.is_none() && s.phase == Phase::Idle {
+                    self.start_ballot(i, s);
                 }
+            }
             Action::Fd { out, .. } => {
                 if let Some(l) = out.as_leader() {
                     self.on_leader(i, s, l);
@@ -321,7 +357,10 @@ pub fn paxos_system(
     inputs: &[Val],
     crashes: Vec<Loc>,
 ) -> System<ProcessAutomaton<PaxosOmega>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_fd(FdGen::omega(pi))
         .with_env(Env::consensus_with_inputs(pi, inputs))
@@ -347,11 +386,17 @@ mod tests {
         let out = run_random(
             &sys,
             5,
-            SimConfig::default().with_max_steps(4000).stop_when(decided_stop(pi)),
+            SimConfig::default()
+                .with_max_steps(4000)
+                .stop_when(decided_stop(pi)),
         );
         let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
         assert_eq!(v, Some(1));
-        assert!(all_live_decided(pi, out.schedule()), "run: {} steps", out.steps);
+        assert!(
+            all_live_decided(pi, out.schedule()),
+            "run: {} steps",
+            out.steps
+        );
     }
 
     #[test]
@@ -362,7 +407,9 @@ mod tests {
             let out = run_random(
                 &sys,
                 seed,
-                SimConfig::default().with_max_steps(4000).stop_when(decided_stop(pi)),
+                SimConfig::default()
+                    .with_max_steps(4000)
+                    .stop_when(decided_stop(pi)),
             );
             let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
             assert!(v == Some(0) || v == Some(1), "seed {seed}: no decision");
@@ -465,16 +512,24 @@ mod tests {
             &mut starve(&timered),
             afd_system::SimConfig::default().with_max_steps(budget),
         );
-        let timered_decided =
-            out.schedule().iter().any(|a| matches!(a, Action::Decide { .. }));
+        let timered_decided = out
+            .schedule()
+            .iter()
+            .any(|a| matches!(a, Action::Decide { .. }));
         let nacked = build(None);
         let out = afd_system::run_sim(
             &nacked,
             &mut starve(&nacked),
             afd_system::SimConfig::default().with_max_steps(budget),
         );
-        let nacked_decided = out.schedule().iter().any(|a| matches!(a, Action::Decide { .. }));
-        assert!(nacked_decided, "nack-driven design decides within the budget");
+        let nacked_decided = out
+            .schedule()
+            .iter()
+            .any(|a| matches!(a, Action::Decide { .. }));
+        assert!(
+            nacked_decided,
+            "nack-driven design decides within the budget"
+        );
         assert!(
             !timered_decided,
             "timer restarts livelock under channel starvation (the ablation's point)"
@@ -490,8 +545,10 @@ mod tests {
         use afd_system::{Env, SystemBuilder};
         let pi = Pi::new(3);
         for seed in 0..8 {
-            let procs =
-                pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+            let procs = pi
+                .iter()
+                .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+                .collect();
             let sys = SystemBuilder::new(pi, procs)
                 .with_fd(FdGen::new(pi, FdBehavior::OmegaUnstable { flips: 4 }))
                 .with_env(Env::consensus_with_inputs(pi, &[0, 1, 0]))
@@ -520,8 +577,7 @@ mod tests {
         let out = run_random(
             &sys,
             1,
-            SimConfig::<ProcessAutomaton<PaxosOmega>>::default()
-                .with_max_steps(0),
+            SimConfig::<ProcessAutomaton<PaxosOmega>>::default().with_max_steps(0),
         );
         assert!(out.schedule().is_empty());
     }

@@ -80,14 +80,22 @@ impl LocalBehavior for KSetFlood {
 
     fn on_input(&self, i: Loc, s: &mut KSetState, a: &Action) {
         match a {
-            Action::ProposeK { v, .. }
-                if !s.proposed => {
-                    s.proposed = true;
-                    s.seen.insert(i, *v);
-                    broadcast(self.pi, i, &mut s.outbox, Msg::KsEstimate { phase: 0, est: *v });
-                    self.check_decide(s);
-                }
-            Action::Receive { from, msg: Msg::KsEstimate { est, .. }, .. } => {
+            Action::ProposeK { v, .. } if !s.proposed => {
+                s.proposed = true;
+                s.seen.insert(i, *v);
+                broadcast(
+                    self.pi,
+                    i,
+                    &mut s.outbox,
+                    Msg::KsEstimate { phase: 0, est: *v },
+                );
+                self.check_decide(s);
+            }
+            Action::Receive {
+                from,
+                msg: Msg::KsEstimate { est, .. },
+                ..
+            } => {
                 s.seen.insert(*from, *est);
                 self.check_decide(s);
             }
@@ -124,9 +132,15 @@ pub fn kset_system(
     inputs: &[Val],
     crashes: Vec<Loc>,
 ) -> System<ProcessAutomaton<KSetFlood>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, KSetFlood::new(pi, f))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, KSetFlood::new(pi, f)))
+        .collect();
     SystemBuilder::new(pi, procs)
-        .with_env(Env::KSet { pi, values: inputs.to_vec() })
+        .with_env(Env::KSet {
+            pi,
+            values: inputs.to_vec(),
+        })
         .with_crashes(crashes)
         .with_label("kset-flood system")
         .build()
@@ -175,7 +189,8 @@ mod tests {
                     .with_max_steps(5000),
             );
             let t = kset_projection(out.schedule());
-            spec.check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            spec.check(pi, &t)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

@@ -102,24 +102,96 @@ impl Lattice {
     pub fn standard(k: usize) -> Self {
         use AfdId::{AntiOmega, EvP, EvS, EvW, Omega, OmegaK, PsiK, Sigma, P, S, W};
         let edges = vec![
-            Edge { stronger: S, weaker: W, transform: Transform::Identity },
-            Edge { stronger: EvS, weaker: EvW, transform: Transform::Identity },
-            Edge { stronger: W, weaker: EvW, transform: Transform::Identity },
-            Edge { stronger: P, weaker: EvP, transform: Transform::Identity },
-            Edge { stronger: P, weaker: S, transform: Transform::Identity },
-            Edge { stronger: S, weaker: EvS, transform: Transform::Identity },
-            Edge { stronger: EvP, weaker: EvS, transform: Transform::Identity },
-            Edge { stronger: P, weaker: Omega, transform: Transform::SuspectsToLeader },
-            Edge { stronger: EvP, weaker: Omega, transform: Transform::SuspectsToLeader },
-            Edge { stronger: P, weaker: Sigma, transform: Transform::SuspectsToQuorum },
-            Edge { stronger: P, weaker: OmegaK, transform: Transform::SuspectsToLeadersK(k) },
-            Edge { stronger: EvP, weaker: OmegaK, transform: Transform::SuspectsToLeadersK(k) },
-            Edge { stronger: P, weaker: PsiK, transform: Transform::SuspectsToPsiK(k) },
-            Edge { stronger: Omega, weaker: AntiOmega, transform: Transform::LeaderToAntiLeader },
-            Edge { stronger: Omega, weaker: OmegaK, transform: Transform::LeaderToLeaders },
-            Edge { stronger: OmegaK, weaker: AntiOmega, transform: Transform::LeadersToAntiLeader },
-            Edge { stronger: PsiK, weaker: Sigma, transform: Transform::PsiKToQuorum },
-            Edge { stronger: PsiK, weaker: OmegaK, transform: Transform::PsiKToLeaders },
+            Edge {
+                stronger: S,
+                weaker: W,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: EvS,
+                weaker: EvW,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: W,
+                weaker: EvW,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: P,
+                weaker: EvP,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: P,
+                weaker: S,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: S,
+                weaker: EvS,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: EvP,
+                weaker: EvS,
+                transform: Transform::Identity,
+            },
+            Edge {
+                stronger: P,
+                weaker: Omega,
+                transform: Transform::SuspectsToLeader,
+            },
+            Edge {
+                stronger: EvP,
+                weaker: Omega,
+                transform: Transform::SuspectsToLeader,
+            },
+            Edge {
+                stronger: P,
+                weaker: Sigma,
+                transform: Transform::SuspectsToQuorum,
+            },
+            Edge {
+                stronger: P,
+                weaker: OmegaK,
+                transform: Transform::SuspectsToLeadersK(k),
+            },
+            Edge {
+                stronger: EvP,
+                weaker: OmegaK,
+                transform: Transform::SuspectsToLeadersK(k),
+            },
+            Edge {
+                stronger: P,
+                weaker: PsiK,
+                transform: Transform::SuspectsToPsiK(k),
+            },
+            Edge {
+                stronger: Omega,
+                weaker: AntiOmega,
+                transform: Transform::LeaderToAntiLeader,
+            },
+            Edge {
+                stronger: Omega,
+                weaker: OmegaK,
+                transform: Transform::LeaderToLeaders,
+            },
+            Edge {
+                stronger: OmegaK,
+                weaker: AntiOmega,
+                transform: Transform::LeadersToAntiLeader,
+            },
+            Edge {
+                stronger: PsiK,
+                weaker: Sigma,
+                transform: Transform::PsiKToQuorum,
+            },
+            Edge {
+                stronger: PsiK,
+                weaker: OmegaK,
+                transform: Transform::PsiKToLeaders,
+            },
         ];
         Lattice { edges }
     }
@@ -192,7 +264,10 @@ impl Lattice {
     /// Everything `a` is (transitively) at least as strong as.
     #[must_use]
     pub fn downset(&self, a: AfdId) -> Vec<AfdId> {
-        AfdId::all().into_iter().filter(|&b| self.stronger_eq(a, b)).collect()
+        AfdId::all()
+            .into_iter()
+            .filter(|&b| self.stronger_eq(a, b))
+            .collect()
     }
 
     /// Pairs known to be *strictly* ordered: `a ⪰ b` holds and `b ⪰ a`

@@ -23,7 +23,9 @@ impl ElectLeader {
     /// A new behavior over `pi`.
     #[must_use]
     pub fn new(pi: Pi) -> Self {
-        ElectLeader { inner: CtStrong::new(pi) }
+        ElectLeader {
+            inner: CtStrong::new(pi),
+        }
     }
 }
 
@@ -37,7 +39,14 @@ impl LocalBehavior for ElectLeader {
     fn init(&self, i: Loc) -> CtState {
         let mut s = self.inner.init(i);
         // Propose our own ID into the embedded consensus instance.
-        self.inner.on_input(i, &mut s, &Action::Propose { at: i, v: u64::from(i.0) });
+        self.inner.on_input(
+            i,
+            &mut s,
+            &Action::Propose {
+                at: i,
+                v: u64::from(i.0),
+            },
+        );
         s
     }
 
@@ -57,9 +66,10 @@ impl LocalBehavior for ElectLeader {
 
     fn output(&self, i: Loc, s: &CtState) -> Option<Action> {
         match self.inner.output(i, s)? {
-            Action::Decide { at, v } => {
-                Some(Action::Elect { at, leader: Loc(u8::try_from(v).ok()?) })
-            }
+            Action::Decide { at, v } => Some(Action::Elect {
+                at,
+                leader: Loc(u8::try_from(v).ok()?),
+            }),
             other => Some(other),
         }
     }
@@ -70,7 +80,10 @@ impl LocalBehavior for ElectLeader {
                 self.inner.on_output(
                     i,
                     s,
-                    &Action::Decide { at: *at, v: u64::from(leader.0) },
+                    &Action::Decide {
+                        at: *at,
+                        v: u64::from(leader.0),
+                    },
                 );
             }
             other => self.inner.on_output(i, s, other),
@@ -86,7 +99,10 @@ pub fn leader_election_system(
     lie_set: LocSet,
     lie_count: u16,
 ) -> System<ProcessAutomaton<ElectLeader>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, ElectLeader::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, ElectLeader::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_fd(FdGen::ev_perfect_noisy(pi, lie_set, lie_count))
         .with_env(Env::None)
@@ -113,7 +129,9 @@ mod tests {
     fn all_live_elected(pi: Pi, schedule: &[Action]) -> bool {
         let faulty = afd_core::trace::faulty(schedule);
         pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
-            schedule.iter().any(|a| matches!(a, Action::Elect { at, .. } if *at == i))
+            schedule
+                .iter()
+                .any(|a| matches!(a, Action::Elect { at, .. } if *at == i))
         })
     }
 
@@ -148,7 +166,9 @@ mod tests {
                     .stop_when(move |s| all_live_elected(pi, s)),
             );
             let t = le_projection(out.schedule());
-            LeaderElection.check(pi, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            LeaderElection
+                .check(pi, &t)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 }

@@ -89,17 +89,23 @@ impl LocalBehavior for QueryConsensus {
 
     fn on_input(&self, i: Loc, s: &mut QueryConsensusState, a: &Action) {
         match a {
-            Action::Propose { v, .. }
-                if s.proposal.is_none() => {
-                    s.proposal = Some(*v);
-                    s.seen.insert(i, *v);
-                    broadcast(self.pi, i, &mut s.outbox, Msg::Token(*v));
-                    s.flooded = true;
-                }
-            Action::Receive { from, msg: Msg::Token(v), .. } => {
+            Action::Propose { v, .. } if s.proposal.is_none() => {
+                s.proposal = Some(*v);
+                s.seen.insert(i, *v);
+                broadcast(self.pi, i, &mut s.outbox, Msg::Token(*v));
+                s.flooded = true;
+            }
+            Action::Receive {
+                from,
+                msg: Msg::Token(v),
+                ..
+            } => {
                 s.seen.insert(*from, *v);
             }
-            Action::QueryReply { out: FdOutput::Leader(l), .. } => {
+            Action::QueryReply {
+                out: FdOutput::Leader(l),
+                ..
+            } => {
                 s.reply = Some(*l);
             }
             _ => {}
@@ -117,9 +123,7 @@ impl LocalBehavior for QueryConsensus {
             return Some(Action::Query { at: i });
         }
         match (s.reply, s.announced) {
-            (Some(l), false) => {
-                s.seen.get(&l).map(|&v| Action::Decide { at: i, v })
-            }
+            (Some(l), false) => s.seen.get(&l).map(|&v| Action::Decide { at: i, v }),
             _ => None,
         }
     }
@@ -144,7 +148,10 @@ pub fn query_consensus_system(
     inputs: &[Val],
     crashes: Vec<Loc>,
 ) -> System<ProcessAutomaton<QueryConsensus>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, QueryConsensus::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, QueryConsensus::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_fd(FdGen::new(pi, FdBehavior::Participant))
         .with_env(Env::consensus_with_inputs(pi, inputs))
@@ -179,7 +186,10 @@ impl ParticipantFromConsensus {
     /// A new implementation over `pi`.
     #[must_use]
     pub fn new(pi: Pi) -> Self {
-        ParticipantFromConsensus { pi, solver: ConsensusSolver::new(pi) }
+        ParticipantFromConsensus {
+            pi,
+            solver: ConsensusSolver::new(pi),
+        }
     }
 }
 
@@ -218,7 +228,10 @@ impl Automaton for ParticipantFromConsensus {
         }
         let v = s.consensus.chosen?;
         // The black box decides a *proposed* value — i.e. a querier ID.
-        Some(Action::QueryReply { at: i, out: FdOutput::Leader(Loc(u8::try_from(v).ok()?)) })
+        Some(Action::QueryReply {
+            at: i,
+            out: FdOutput::Leader(Loc(u8::try_from(v).ok()?)),
+        })
     }
 
     fn step(&self, s: &PfcState, a: &Action) -> Option<PfcState> {
@@ -231,13 +244,21 @@ impl Automaton for ParticipantFromConsensus {
             }
             Action::Query { at } => {
                 next.pending.insert(*at);
-                next.consensus = self
-                    .solver
-                    .step(&s.consensus, &Action::Propose { at: *at, v: u64::from(at.0) })?;
+                next.consensus = self.solver.step(
+                    &s.consensus,
+                    &Action::Propose {
+                        at: *at,
+                        v: u64::from(at.0),
+                    },
+                )?;
                 Some(next)
             }
             Action::QueryReply { at, out } => {
-                let expected = s.consensus.chosen.and_then(|v| u8::try_from(v).ok()).map(Loc);
+                let expected = s
+                    .consensus
+                    .chosen
+                    .and_then(|v| u8::try_from(v).ok())
+                    .map(Loc);
                 if !s.pending.contains(*at)
                     || s.crashed.contains(*at)
                     || out.as_leader() != expected
@@ -260,7 +281,10 @@ pub fn participant_property(t: &[Action]) -> bool {
     for a in t {
         match a {
             Action::Query { at } => queried.insert(*at),
-            Action::QueryReply { out: FdOutput::Leader(l), .. } if !queried.contains(*l) => {
+            Action::QueryReply {
+                out: FdOutput::Leader(l),
+                ..
+            } if !queried.contains(*l) => {
                 return false;
             }
             _ => {}
@@ -323,9 +347,21 @@ mod tests {
         s = fd.step(&s, &Action::Query { at: Loc(0) }).unwrap();
         // Both replies name the first querier (the black box decided it).
         let r1 = fd.enabled(&s, TaskId(1)).unwrap();
-        assert_eq!(r1, Action::QueryReply { at: Loc(1), out: FdOutput::Leader(Loc(1)) });
+        assert_eq!(
+            r1,
+            Action::QueryReply {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(1))
+            }
+        );
         let r0 = fd.enabled(&s, TaskId(0)).unwrap();
-        assert_eq!(r0, Action::QueryReply { at: Loc(0), out: FdOutput::Leader(Loc(1)) });
+        assert_eq!(
+            r0,
+            Action::QueryReply {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(1))
+            }
+        );
         s = fd.step(&s, &r0).unwrap();
         s = fd.step(&s, &r1).unwrap();
         assert!(!fd.any_task_enabled(&s));
@@ -335,12 +371,18 @@ mod tests {
     fn participant_property_checker() {
         let good = vec![
             Action::Query { at: Loc(0) },
-            Action::QueryReply { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
+            Action::QueryReply {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0)),
+            },
         ];
         assert!(participant_property(&good));
         let bad = vec![
             Action::Query { at: Loc(0) },
-            Action::QueryReply { at: Loc(0), out: FdOutput::Leader(Loc(1)) },
+            Action::QueryReply {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(1)),
+            },
         ];
         assert!(!participant_property(&bad));
     }
@@ -350,8 +392,10 @@ mod tests {
         let pi = Pi::new(2);
         let fd = ParticipantFromConsensus::new(pi);
         ioa::check_task_determinism(&fd, 50, 9).unwrap();
-        let inputs: Vec<Action> =
-            pi.iter().flat_map(|i| [Action::Crash(i), Action::Query { at: i }]).collect();
+        let inputs: Vec<Action> = pi
+            .iter()
+            .flat_map(|i| [Action::Crash(i), Action::Query { at: i }])
+            .collect();
         ioa::check_input_enabled(&fd, &inputs, 50, 9).unwrap();
     }
 }

@@ -67,17 +67,19 @@ impl Transform {
             Transform::SuspectsToPsiK(k) => {
                 let s = out.as_suspects()?;
                 let up = pi.all().difference(s);
-                (!up.is_empty())
-                    .then_some(FdOutput::PsiK { quorum: up, leaders: up.take_min(k) })
+                (!up.is_empty()).then_some(FdOutput::PsiK {
+                    quorum: up,
+                    leaders: up.take_min(k),
+                })
             }
             Transform::LeaderToAntiLeader => {
                 let l = out.as_leader()?;
                 let rest = pi.all().difference(afd_core::LocSet::singleton(l));
                 Some(FdOutput::AntiLeader(rest.max().unwrap_or(l)))
             }
-            Transform::LeaderToLeaders => {
-                Some(FdOutput::Leaders(afd_core::LocSet::singleton(out.as_leader()?)))
-            }
+            Transform::LeaderToLeaders => Some(FdOutput::Leaders(afd_core::LocSet::singleton(
+                out.as_leader()?,
+            ))),
             Transform::LeadersToAntiLeader => {
                 let l = out.as_leaders()?;
                 let rest = pi.all().difference(l);
@@ -134,7 +136,9 @@ impl LocalBehavior for Reduction {
     }
 
     fn output(&self, i: Loc, s: &ReductionState) -> Option<Action> {
-        s.pending.first().map(|&out| Action::FdRenamed { at: i, out })
+        s.pending
+            .first()
+            .map(|&out| Action::FdRenamed { at: i, out })
     }
 
     fn on_output(&self, _i: Loc, s: &mut ReductionState, _a: &Action) {
@@ -151,8 +155,10 @@ pub fn reduction_system(
     transform: Transform,
     crashes: Vec<Loc>,
 ) -> System<ProcessAutomaton<Reduction>> {
-    let procs =
-        pi.iter().map(|i| ProcessAutomaton::new(i, Reduction { pi, transform })).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, Reduction { pi, transform }))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_fd(fd)
         .with_env(Env::None)
@@ -181,7 +187,13 @@ pub fn run_reduction(
     steps: usize,
 ) -> Result<bool, Violation> {
     let sys = reduction_system(pi, fd, transform, faults.faulty());
-    let out = run_random(&sys, seed, SimConfig::default().with_faults(faults).with_max_steps(steps));
+    let out = run_random(
+        &sys,
+        seed,
+        SimConfig::default()
+            .with_faults(faults)
+            .with_max_steps(steps),
+    );
     let source_proj: Vec<Action> = out
         .schedule()
         .iter()
@@ -197,7 +209,9 @@ pub fn run_reduction(
         .filter(|a| a.is_crash() || matches!(a, Action::FdRenamed { .. }))
         .copied()
         .collect();
-    target_spec.check_complete(pi, &unrename_trace(&target_proj)).map(|()| true)
+    target_spec
+        .check_complete(pi, &unrename_trace(&target_proj))
+        .map(|()| true)
 }
 
 #[cfg(test)]
@@ -233,14 +247,25 @@ mod tests {
             600,
         )
         .unwrap_or_else(|v| panic!("{} ⪰ {} failed: {v}", source.name(), target.name()));
-        assert!(verified, "{} ⪰ {}: source antecedent failed", source.name(), target.name());
+        assert!(
+            verified,
+            "{} ⪰ {}: source antecedent failed",
+            source.name(),
+            target.name()
+        );
     }
 
     #[test]
     fn p_is_stronger_than_evp_s_and_evs() {
         let pi = Pi::new(3);
         check(&Perfect, &EvPerfect, fd_p(pi), Transform::Identity, 3);
-        check(&Perfect, &afd_core::afds::Strong, fd_p(pi), Transform::Identity, 3);
+        check(
+            &Perfect,
+            &afd_core::afds::Strong,
+            fd_p(pi),
+            Transform::Identity,
+            3,
+        );
         check(&Perfect, &EvStrong, fd_p(pi), Transform::Identity, 3);
     }
 
@@ -254,21 +279,45 @@ mod tests {
     fn p_and_evp_are_stronger_than_omega() {
         let pi = Pi::new(3);
         check(&Perfect, &Omega, fd_p(pi), Transform::SuspectsToLeader, 3);
-        check(&EvPerfect, &Omega, fd_evp(pi), Transform::SuspectsToLeader, 3);
+        check(
+            &EvPerfect,
+            &Omega,
+            fd_evp(pi),
+            Transform::SuspectsToLeader,
+            3,
+        );
     }
 
     #[test]
     fn p_is_stronger_than_sigma_and_psi_k() {
         let pi = Pi::new(4);
         check(&Perfect, &Sigma, fd_p(pi), Transform::SuspectsToQuorum, 4);
-        check(&Perfect, &PsiK::new(2), fd_p(pi), Transform::SuspectsToPsiK(2), 4);
+        check(
+            &Perfect,
+            &PsiK::new(2),
+            fd_p(pi),
+            Transform::SuspectsToPsiK(2),
+            4,
+        );
     }
 
     #[test]
     fn omega_is_stronger_than_anti_omega_and_omega_k() {
         let pi = Pi::new(3);
-        check(&Omega, &AntiOmega, FdGen::omega(pi), Transform::LeaderToAntiLeader, 3);
-        check(&Omega, &OmegaK::new(2), FdGen::omega(pi), Transform::LeaderToLeaders, 3);
+        check(
+            &Omega,
+            &AntiOmega,
+            FdGen::omega(pi),
+            Transform::LeaderToAntiLeader,
+            3,
+        );
+        check(
+            &Omega,
+            &OmegaK::new(2),
+            FdGen::omega(pi),
+            Transform::LeaderToLeaders,
+            3,
+        );
     }
 
     #[test]
@@ -287,8 +336,20 @@ mod tests {
     fn psi_k_projects_to_sigma_and_omega_k() {
         let pi = Pi::new(4);
         let gen = FdGen::new(pi, FdBehavior::PsiK { k: 2 });
-        check(&PsiK::new(2), &Sigma, gen.clone(), Transform::PsiKToQuorum, 4);
-        check(&PsiK::new(2), &OmegaK::new(2), gen, Transform::PsiKToLeaders, 4);
+        check(
+            &PsiK::new(2),
+            &Sigma,
+            gen.clone(),
+            Transform::PsiKToQuorum,
+            4,
+        );
+        check(
+            &PsiK::new(2),
+            &OmegaK::new(2),
+            gen,
+            Transform::PsiKToLeaders,
+            4,
+        );
     }
 
     #[test]
@@ -312,7 +373,10 @@ mod tests {
             Some(FdOutput::AntiLeader(Loc(2)))
         );
         // Shape mismatch skips.
-        assert_eq!(Transform::SuspectsToLeader.apply(pi, FdOutput::Leader(Loc(0))), None);
+        assert_eq!(
+            Transform::SuspectsToLeader.apply(pi, FdOutput::Leader(Loc(0))),
+            None
+        );
         assert_eq!(Transform::PsiKToQuorum.apply(pi, s), None);
     }
 }

@@ -65,8 +65,15 @@ impl LocalBehavior for SelfImpl {
 /// Build the §6 system: detector automaton `D` + `A_self` at every
 /// location (no environment; the only other inputs are crashes).
 #[must_use]
-pub fn self_impl_system(pi: Pi, fd: FdGen, crashes: Vec<Loc>) -> System<ProcessAutomaton<SelfImpl>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, SelfImpl)).collect();
+pub fn self_impl_system(
+    pi: Pi,
+    fd: FdGen,
+    crashes: Vec<Loc>,
+) -> System<ProcessAutomaton<SelfImpl>> {
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, SelfImpl))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_fd(fd)
         .with_env(Env::None)
@@ -98,8 +105,11 @@ pub fn check_self_implementation(
     pi: Pi,
     schedule: &[Action],
 ) -> Result<bool, Violation> {
-    let d_proj: Vec<Action> =
-        schedule.iter().filter(|a| a.is_crash() || spec.output_loc(a).is_some()).copied().collect();
+    let d_proj: Vec<Action> = schedule
+        .iter()
+        .filter(|a| a.is_crash() || spec.output_loc(a).is_some())
+        .copied()
+        .collect();
     if spec.check_complete(pi, &d_proj).is_err() {
         return Ok(false);
     }
@@ -108,7 +118,8 @@ pub fn check_self_implementation(
         .filter(|a| a.is_crash() || matches!(a, Action::FdRenamed { .. }))
         .copied()
         .collect();
-    spec.check_complete(pi, &unrename_trace(&d_prime_proj)).map(|()| true)
+    spec.check_complete(pi, &unrename_trace(&d_prime_proj))
+        .map(|()| true)
 }
 
 /// Run the §6 system end to end and check Theorem 13.
@@ -124,7 +135,13 @@ pub fn run_theorem_13(
     steps: usize,
 ) -> Result<bool, Violation> {
     let sys = self_impl_system(pi, fd, faults.faulty());
-    let out = run_random(&sys, seed, SimConfig::default().with_faults(faults).with_max_steps(steps));
+    let out = run_random(
+        &sys,
+        seed,
+        SimConfig::default()
+            .with_faults(faults)
+            .with_max_steps(steps),
+    );
     check_self_implementation(spec, pi, out.schedule())
 }
 
@@ -140,15 +157,33 @@ mod tests {
         use afd_system::ProcState;
         let p = ProcessAutomaton::new(Loc(0), SelfImpl);
         let mut s: ProcState<SelfImplState> = ioa::Automaton::initial_state(&p);
-        let o1 = Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(1)) };
-        let o2 = Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(2)) };
+        let o1 = Action::Fd {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(1)),
+        };
+        let o2 = Action::Fd {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(2)),
+        };
         s = ioa::Automaton::step(&p, &s, &o1).unwrap();
         s = ioa::Automaton::step(&p, &s, &o2).unwrap();
         let out1 = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
-        assert_eq!(out1, Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(1)) });
+        assert_eq!(
+            out1,
+            Action::FdRenamed {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(1))
+            }
+        );
         s = ioa::Automaton::step(&p, &s, &out1).unwrap();
         let out2 = ioa::Automaton::enabled(&p, &s, ioa::TaskId(0)).unwrap();
-        assert_eq!(out2, Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(2)) });
+        assert_eq!(
+            out2,
+            Action::FdRenamed {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(2))
+            }
+        );
     }
 
     #[test]
@@ -206,14 +241,23 @@ mod tests {
     #[test]
     fn unrename_maps_back_exactly() {
         let t = vec![
-            Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(1)) },
+            Action::FdRenamed {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(1)),
+            },
             Action::Crash(Loc(2)),
             Action::Decide { at: Loc(0), v: 1 }, // dropped: outside Î ∪ O_D′
         ];
         let u = unrename_trace(&t);
         assert_eq!(
             u,
-            vec![Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(1)) }, Action::Crash(Loc(2))]
+            vec![
+                Action::Fd {
+                    at: Loc(0),
+                    out: FdOutput::Leader(Loc(1))
+                },
+                Action::Crash(Loc(2))
+            ]
         );
     }
 

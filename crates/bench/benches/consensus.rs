@@ -12,8 +12,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn run_paxos(pi: Pi, crash: bool, seed: u64) -> usize {
     let victims = if crash { vec![Loc(0)] } else { vec![] };
     let sys = paxos_system(pi, &vec![1; pi.len()], victims.clone());
-    let faults =
-        if crash { FaultPattern::at(vec![(15, Loc(0))]) } else { FaultPattern::none() };
+    let faults = if crash {
+        FaultPattern::at(vec![(15, Loc(0))])
+    } else {
+        FaultPattern::none()
+    };
     run_random(
         &sys,
         seed,
@@ -28,8 +31,11 @@ fn run_paxos(pi: Pi, crash: bool, seed: u64) -> usize {
 fn run_ct(pi: Pi, crash: bool, seed: u64) -> usize {
     let victims = if crash { vec![Loc(0)] } else { vec![] };
     let sys = ct_system(pi, &vec![1; pi.len()], victims, LocSet::empty(), 0);
-    let faults =
-        if crash { FaultPattern::at(vec![(15, Loc(0))]) } else { FaultPattern::none() };
+    let faults = if crash {
+        FaultPattern::at(vec![(15, Loc(0))])
+    } else {
+        FaultPattern::none()
+    };
     run_random(
         &sys,
         seed,

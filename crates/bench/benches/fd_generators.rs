@@ -19,7 +19,9 @@ fn drive(gen: &FdGen, steps: usize) -> usize {
             s = gen.step(&s, &Action::Crash(Loc(0))).expect("crash");
             continue;
         }
-        let Some(t) = sched.next_task(gen, &s, step) else { break };
+        let Some(t) = sched.next_task(gen, &s, step) else {
+            break;
+        };
         let a = gen.enabled(&s, t).expect("enabled");
         s = gen.step(&s, &a).expect("step");
         produced += 1;
@@ -37,7 +39,10 @@ fn bench_generators(c: &mut Criterion) {
         let cases = vec![
             ("omega", FdGen::omega(pi)),
             ("perfect", FdGen::perfect(pi)),
-            ("evp_noisy", FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 4)),
+            (
+                "evp_noisy",
+                FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 4),
+            ),
             ("sigma", FdGen::new(pi, FdBehavior::Sigma)),
             ("omega_k2", FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
             ("psi_k2", FdGen::new(pi, FdBehavior::PsiK { k: 2 })),

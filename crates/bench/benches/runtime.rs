@@ -1,0 +1,42 @@
+//! Bench E4: threaded runtime vs simulator — events per second of the
+//! same composed system executed by `afd_runtime::run_threaded` (one
+//! OS thread per component, mutex-sequenced event sink) and by the
+//! single-threaded simulator, as n grows. FD pacing is disabled so the
+//! threaded engine runs flat out; the comparison isolates the cost of
+//! real synchronization (lock + routing) against cooperative
+//! scheduling.
+
+use afd_algorithms::self_impl::self_impl_system;
+use afd_core::automata::FdGen;
+use afd_core::Pi;
+use afd_runtime::{run_threaded, RuntimeConfig};
+use afd_system::{run_round_robin, SimConfig};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    const EVENTS: usize = 2_000;
+    g.throughput(Throughput::Elements(EVENTS as u64));
+    for n in [3usize, 8, 16] {
+        let pi = Pi::new(n);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
+        g.bench_with_input(BenchmarkId::new("threaded", n), &sys, |b, sys| {
+            let cfg = RuntimeConfig::default()
+                .with_max_events(EVENTS)
+                .with_fd_pacing(Duration::ZERO);
+            b.iter(|| run_threaded(sys, &cfg));
+        });
+        g.bench_with_input(BenchmarkId::new("simulator", n), &sys, |b, sys| {
+            b.iter(|| run_round_robin(sys, SimConfig::default().with_max_steps(EVENTS)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -27,12 +27,19 @@ fn bench_engine(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                run_sim(sys, &mut ioa::RandomFair::new(seed), SimConfig::default().with_max_steps(STEPS))
+                run_sim(
+                    sys,
+                    &mut ioa::RandomFair::new(seed),
+                    SimConfig::default().with_max_steps(STEPS),
+                )
             });
         });
         g.bench_with_input(BenchmarkId::new("record_states", n), &sys, |b, sys| {
             b.iter(|| {
-                run_round_robin(sys, SimConfig::default().record_states().with_max_steps(STEPS))
+                run_round_robin(
+                    sys,
+                    SimConfig::default().record_states().with_max_steps(STEPS),
+                )
             });
         });
     }

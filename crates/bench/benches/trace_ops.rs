@@ -21,7 +21,10 @@ fn omega_trace(pi: Pi, len: usize) -> Vec<Action> {
             t.push(Action::Crash(Loc(0)));
         } else {
             let at = Loc(((k % (pi.len() - 1)) + 1) as u8);
-            t.push(Action::Fd { at, out: FdOutput::Leader(Loc(1)) });
+            t.push(Action::Fd {
+                at,
+                out: FdOutput::Leader(Loc(1)),
+            });
         }
     }
     t
@@ -48,9 +51,13 @@ fn bench_trace_ops(c: &mut Criterion) {
         });
         let mut rng = StdRng::seed_from_u64(2);
         let sub = sample_random(pi, &t, out_loc, &mut rng);
-        g.bench_with_input(BenchmarkId::new("is_sampling", len), &(sub, t.clone()), |b, (s, t)| {
-            b.iter(|| is_sampling(pi, std::hint::black_box(s), t, out_loc));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("is_sampling", len),
+            &(sub, t.clone()),
+            |b, (s, t)| {
+                b.iter(|| is_sampling(pi, std::hint::black_box(s), t, out_loc));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("reorder_random", len), &t, |b, t| {
             let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| constrained_reorder_random(std::hint::black_box(t), 1, &mut rng));

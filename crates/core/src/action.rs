@@ -237,13 +237,21 @@ impl std::fmt::Display for Action {
             Action::Decide { at, v } => write!(f, "decide({v})_{at}"),
             Action::Elect { at, leader } => write!(f, "elect({leader})_{at}"),
             Action::Broadcast { at, payload } => write!(f, "bcast({payload})_{at}"),
-            Action::Deliver { at, origin, payload } => {
+            Action::Deliver {
+                at,
+                origin,
+                payload,
+            } => {
                 write!(f, "deliver({payload} from {origin})_{at}")
             }
             Action::ProposeK { at, v } => write!(f, "proposeK({v})_{at}"),
             Action::Vote { at, yes } => write!(f, "vote({})_{at}", if *yes { "yes" } else { "no" }),
             Action::Verdict { at, commit } => {
-                write!(f, "verdict({})_{at}", if *commit { "commit" } else { "abort" })
+                write!(
+                    f,
+                    "verdict({})_{at}",
+                    if *commit { "commit" } else { "abort" }
+                )
             }
             Action::DecideK { at, v } => write!(f, "decideK({v})_{at}"),
             Action::Query { at } => write!(f, "query_{at}"),
@@ -260,9 +268,17 @@ mod tests {
 
     #[test]
     fn loc_follows_paper_conventions() {
-        let send = Action::Send { from: Loc(1), to: Loc(2), msg: Msg::Token(0) };
+        let send = Action::Send {
+            from: Loc(1),
+            to: Loc(2),
+            msg: Msg::Token(0),
+        };
         assert_eq!(send.loc(), Loc(1), "send occurs at the sender");
-        let recv = Action::Receive { from: Loc(1), to: Loc(2), msg: Msg::Token(0) };
+        let recv = Action::Receive {
+            from: Loc(1),
+            to: Loc(2),
+            msg: Msg::Token(0),
+        };
         assert_eq!(recv.loc(), Loc(2), "receive occurs at the receiver");
         assert_eq!(Action::Crash(Loc(3)).loc(), Loc(3));
         assert_eq!(Action::Query { at: Loc(4) }.loc(), Loc(4));
@@ -309,10 +325,16 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(Action::Crash(Loc(1)).to_string(), "crash_p1");
-        assert_eq!(Action::Decide { at: Loc(0), v: 1 }.to_string(), "decide(1)_p0");
-        assert!(Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(2)) }
-            .to_string()
-            .contains("Ω=p2"));
+        assert_eq!(
+            Action::Decide { at: Loc(0), v: 1 }.to_string(),
+            "decide(1)_p0"
+        );
+        assert!(Action::Fd {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(2))
+        }
+        .to_string()
+        .contains("Ω=p2"));
     }
 
     #[test]

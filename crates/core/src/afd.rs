@@ -53,17 +53,16 @@ pub trait AfdSpec: std::fmt::Debug {
 ///
 /// # Errors
 /// A `validity.safety` or `validity.liveness` violation.
-pub fn require_validity(
-    spec: &dyn AfdSpec,
-    pi: Pi,
-    t: &[Action],
-) -> Result<(), Violation> {
+pub fn require_validity(spec: &dyn AfdSpec, pi: Pi, t: &[Action]) -> Result<(), Violation> {
     let rep = check_validity(pi, t, |a| spec.output_loc(a), spec.min_live_outputs());
     rep.safety?;
     if let Some((l, c)) = rep.starved_live.first() {
         return Err(Violation::new(
             "validity.liveness",
-            format!("live location {l} produced only {c} outputs (need ≥ {})", spec.min_live_outputs()),
+            format!(
+                "live location {l} produced only {c} outputs (need ≥ {})",
+                spec.min_live_outputs()
+            ),
         ));
     }
     Ok(())
@@ -216,7 +215,10 @@ mod tests {
         }
         fn output_loc(&self, a: &Action) -> Option<Loc> {
             match a {
-                Action::Fd { at, out: FdOutput::Leader(_) } => Some(*at),
+                Action::Fd {
+                    at,
+                    out: FdOutput::Leader(_),
+                } => Some(*at),
                 _ => None,
             }
         }
@@ -230,7 +232,10 @@ mod tests {
     }
 
     fn fd(at: u8, leader: u8) -> Action {
-        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(leader)) }
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Leader(Loc(leader)),
+        }
     }
 
     #[test]
@@ -322,8 +327,14 @@ mod tests {
         assert!(ConstLeader.check_complete(pi, &t).is_ok());
         // Samplings may cut p1's outputs (p1 is faulty) — still accepted?
         // Note: sampling can starve nothing live, so closure holds.
-        assert_eq!(closure::sampling_counterexample(&ConstLeader, pi, &t, 40, 1), None);
-        assert_eq!(closure::reordering_counterexample(&ConstLeader, pi, &t, 40, 1), None);
+        assert_eq!(
+            closure::sampling_counterexample(&ConstLeader, pi, &t, 40, 1),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&ConstLeader, pi, &t, 40, 1),
+            None
+        );
     }
 
     #[test]

@@ -40,9 +40,8 @@ impl AntiOmega {
                 Err(e) => last_err = Some(e),
             }
         }
-        Err(last_err.unwrap_or_else(|| {
-            Violation::new("anti-omega.no-witness", "no live location exists")
-        }))
+        Err(last_err
+            .unwrap_or_else(|| Violation::new("anti-omega.no-witness", "no live location exists")))
     }
 }
 
@@ -72,14 +71,24 @@ mod tests {
     use super::*;
 
     fn anti(at: u8, who: u8) -> Action {
-        Action::Fd { at: Loc(at), out: FdOutput::AntiLeader(Loc(who)) }
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::AntiLeader(Loc(who)),
+        }
     }
 
     #[test]
     fn accepts_one_spared_live_location() {
         let pi = Pi::new(3);
         // Everyone reports p2 as non-leader; p0 and p1 are spared.
-        let t = vec![anti(0, 2), anti(1, 2), anti(2, 2), anti(0, 2), anti(1, 2), anti(2, 2)];
+        let t = vec![
+            anti(0, 2),
+            anti(1, 2),
+            anti(2, 2),
+            anti(0, 2),
+            anti(1, 2),
+            anti(2, 2),
+        ];
         assert!(AntiOmega.check_complete(pi, &t).is_ok());
         let (k, _) = AntiOmega.find_witness(pi, &t).unwrap();
         assert!(k == Loc(0) || k == Loc(1));
@@ -88,7 +97,14 @@ mod tests {
     #[test]
     fn accepts_rotating_outputs_that_spare_someone_eventually() {
         let pi = Pi::new(2);
-        let t = vec![anti(0, 0), anti(1, 0), anti(0, 1), anti(1, 1), anti(0, 0), anti(1, 0)];
+        let t = vec![
+            anti(0, 0),
+            anti(1, 0),
+            anti(0, 1),
+            anti(1, 1),
+            anti(0, 0),
+            anti(1, 0),
+        ];
         // p1 stops being output after index 3.
         assert!(AntiOmega.check_complete(pi, &t).is_ok());
         let (k, p) = AntiOmega.find_witness(pi, &t).unwrap();
@@ -100,7 +116,14 @@ mod tests {
     fn rejects_everyone_reported_forever() {
         let pi = Pi::new(2);
         // Both live locations keep appearing to the very end.
-        let t = vec![anti(0, 0), anti(1, 1), anti(0, 1), anti(1, 0), anti(0, 0), anti(1, 1)];
+        let t = vec![
+            anti(0, 0),
+            anti(1, 1),
+            anti(0, 1),
+            anti(1, 0),
+            anti(0, 0),
+            anti(1, 1),
+        ];
         assert!(AntiOmega.check_complete(pi, &t).is_err());
     }
 
@@ -108,7 +131,13 @@ mod tests {
     fn faulty_locations_do_not_count_as_witnesses() {
         let pi = Pi::new(2);
         // p1 crashes; the only live location p0 keeps being output.
-        let t = vec![anti(0, 0), anti(1, 0), Action::Crash(Loc(1)), anti(0, 0), anti(0, 0)];
+        let t = vec![
+            anti(0, 0),
+            anti(1, 0),
+            Action::Crash(Loc(1)),
+            anti(0, 0),
+            anti(0, 0),
+        ];
         assert!(AntiOmega.check_complete(pi, &t).is_err());
     }
 
@@ -116,7 +145,10 @@ mod tests {
     fn singleton_universe_is_vacuous() {
         let pi = Pi::new(1);
         let t = vec![anti(0, 0), anti(0, 0)];
-        assert!(AntiOmega.check_complete(pi, &t).is_ok(), "n=1 anti-Ω is vacuous");
+        assert!(
+            AntiOmega.check_complete(pi, &t).is_ok(),
+            "n=1 anti-Ω is vacuous"
+        );
     }
 
     #[test]
@@ -150,7 +182,13 @@ mod tests {
             anti(1, 1),
         ];
         assert!(AntiOmega.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&AntiOmega, pi, &t, 60, 17), None);
-        assert_eq!(closure::reordering_counterexample(&AntiOmega, pi, &t, 60, 17), None);
+        assert_eq!(
+            closure::sampling_counterexample(&AntiOmega, pi, &t, 60, 17),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&AntiOmega, pi, &t, 60, 17),
+            None
+        );
     }
 }

@@ -62,9 +62,9 @@ impl DkTimed {
                 per_loc_last.insert(i, s);
             }
         }
-        per_loc_last.values().all(|s| {
-            late_crashes.is_subset(*s) && s.difference(all_crashes).is_empty()
-        })
+        per_loc_last
+            .values()
+            .all(|s| late_crashes.is_subset(*s) && s.difference(all_crashes).is_empty())
     }
 
     /// D_k cannot be expressed as an AFD: there is no function of the
@@ -101,21 +101,12 @@ mod tests {
     fn timed_membership_depends_on_crash_time() {
         let dk = DkTimed::new(10.0);
         // Crash after the horizon: must be suspected.
-        let late = vec![
-            ev(11.0, Action::Crash(Loc(1))),
-            ev(12.0, sus(0, &[1])),
-        ];
+        let late = vec![ev(11.0, Action::Crash(Loc(1))), ev(12.0, sus(0, &[1]))];
         assert!(dk.check_timed(&late));
-        let late_unsuspected = vec![
-            ev(11.0, Action::Crash(Loc(1))),
-            ev(12.0, sus(0, &[])),
-        ];
+        let late_unsuspected = vec![ev(11.0, Action::Crash(Loc(1))), ev(12.0, sus(0, &[]))];
         assert!(!dk.check_timed(&late_unsuspected));
         // Crash before the horizon: may be ignored.
-        let early_unsuspected = vec![
-            ev(5.0, Action::Crash(Loc(1))),
-            ev(12.0, sus(0, &[])),
-        ];
+        let early_unsuspected = vec![ev(5.0, Action::Crash(Loc(1))), ev(12.0, sus(0, &[]))];
         assert!(dk.check_timed(&early_unsuspected));
     }
 

@@ -49,7 +49,8 @@ impl AfdSpec for EvPerfect {
             return Ok(());
         }
         stabilization_point(self, pi, t, "ev-perfect.converged", |_, out| {
-            out.as_suspects().is_some_and(|s| f.is_subset(s) && !s.intersects(alive))
+            out.as_suspects()
+                .is_some_and(|s| f.is_subset(s) && !s.intersects(alive))
         })?;
         Ok(())
     }
@@ -90,9 +91,17 @@ mod tests {
         let pi = Pi::new(2);
         let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[])];
         assert!(EvPerfect.check_complete(pi, &t).is_err());
-        let good = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[2]), sus(0, &[1])];
+        let good = vec![
+            sus(0, &[]),
+            Action::Crash(Loc(1)),
+            sus(0, &[2]),
+            sus(0, &[1]),
+        ];
         // [2] wrongly suspects a live loc — allowed finitely; converges after.
-        assert!(EvPerfect.check_complete(Pi::new(3), &good).is_err(), "p2 silent");
+        assert!(
+            EvPerfect.check_complete(Pi::new(3), &good).is_err(),
+            "p2 silent"
+        );
         let good2 = vec![
             sus(2, &[]),
             sus(0, &[]),
@@ -127,7 +136,12 @@ mod tests {
     #[test]
     fn validity_still_enforced() {
         let pi = Pi::new(2);
-        let t = vec![Action::Crash(Loc(0)), sus(0, &[]), sus(1, &[0]), sus(1, &[0])];
+        let t = vec![
+            Action::Crash(Loc(0)),
+            sus(0, &[]),
+            sus(1, &[0]),
+            sus(1, &[0]),
+        ];
         let err = EvPerfect.check_complete(pi, &t).unwrap_err();
         assert_eq!(err.rule, "validity.safety");
     }
@@ -154,7 +168,13 @@ mod tests {
             sus(1, &[2]),
         ];
         assert!(EvPerfect.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&EvPerfect, pi, &t, 60, 5), None);
-        assert_eq!(closure::reordering_counterexample(&EvPerfect, pi, &t, 60, 5), None);
+        assert_eq!(
+            closure::sampling_counterexample(&EvPerfect, pi, &t, 60, 5),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&EvPerfect, pi, &t, 60, 5),
+            None
+        );
     }
 }

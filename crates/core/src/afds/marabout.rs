@@ -47,9 +47,7 @@ impl AfdSpec for Marabout {
             if out.as_suspects() != Some(f) {
                 return Err(Violation::new(
                     "marabout.exact",
-                    format!(
-                        "output {out} at index {idx} (loc {i}) differs from faulty(t) = {f}"
-                    ),
+                    format!("output {out} at index {idx} (loc {i}) differs from faulty(t) = {f}"),
                 ));
             }
         }
@@ -72,7 +70,12 @@ mod tests {
     fn accepts_omniscient_outputs() {
         let pi = Pi::new(2);
         // Output {p1} from the very beginning, before p1 crashes.
-        let t = vec![sus(0, &[1]), Action::Crash(Loc(1)), sus(0, &[1]), sus(0, &[1])];
+        let t = vec![
+            sus(0, &[1]),
+            Action::Crash(Loc(1)),
+            sus(0, &[1]),
+            sus(0, &[1]),
+        ];
         assert!(Marabout.check_complete(pi, &t).is_ok());
     }
 
@@ -89,8 +92,12 @@ mod tests {
     #[test]
     fn crash_free_runs_demand_empty_outputs() {
         let pi = Pi::new(2);
-        assert!(Marabout.check_complete(pi, &[sus(0, &[]), sus(1, &[])]).is_ok());
-        assert!(Marabout.check_complete(pi, &[sus(0, &[1]), sus(1, &[])]).is_err());
+        assert!(Marabout
+            .check_complete(pi, &[sus(0, &[]), sus(1, &[])])
+            .is_ok());
+        assert!(Marabout
+            .check_complete(pi, &[sus(0, &[1]), sus(1, &[])])
+            .is_err());
     }
 
     #[test]
@@ -108,7 +115,13 @@ mod tests {
             sus(0, &[1]),
         ];
         assert!(Marabout.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&Marabout, pi, &t, 60, 29), None);
-        assert_eq!(closure::reordering_counterexample(&Marabout, pi, &t, 60, 29), None);
+        assert_eq!(
+            closure::sampling_counterexample(&Marabout, pi, &t, 60, 29),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&Marabout, pi, &t, 60, 29),
+            None
+        );
     }
 }

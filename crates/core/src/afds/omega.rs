@@ -54,7 +54,10 @@ impl AfdSpec for Omega {
             return Ok(());
         }
         let Some(l) = self.eventual_leader(pi, t) else {
-            return Err(Violation::new("omega.no-candidate", "no Ω output at a live location"));
+            return Err(Violation::new(
+                "omega.no-candidate",
+                "no Ω output at a live location",
+            ));
         };
         if !alive.contains(l) {
             return Err(Violation::new(
@@ -75,7 +78,10 @@ mod tests {
     use crate::loc::LocSet;
 
     fn fd(at: u8, leader: u8) -> Action {
-        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(leader)) }
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Leader(Loc(leader)),
+        }
     }
 
     #[test]
@@ -83,7 +89,10 @@ mod tests {
         let o = Omega::new();
         assert_eq!(o.output_loc(&fd(2, 0)), Some(Loc(2)));
         assert_eq!(
-            o.output_loc(&Action::Fd { at: Loc(0), out: FdOutput::Suspects(LocSet::empty()) }),
+            o.output_loc(&Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Suspects(LocSet::empty())
+            }),
             None
         );
         assert_eq!(o.output_loc(&Action::Crash(Loc(0))), None);
@@ -131,7 +140,13 @@ mod tests {
     #[test]
     fn rejects_output_after_crash() {
         let pi = Pi::new(2);
-        let t = vec![fd(0, 0), fd(1, 0), Action::Crash(Loc(1)), fd(1, 0), fd(0, 0)];
+        let t = vec![
+            fd(0, 0),
+            fd(1, 0),
+            Action::Crash(Loc(1)),
+            fd(1, 0),
+            fd(0, 0),
+        ];
         let err = Omega.check_complete(pi, &t).unwrap_err();
         assert_eq!(err.rule, "validity.safety");
     }
@@ -147,7 +162,12 @@ mod tests {
     #[test]
     fn all_crashed_is_vacuously_fine() {
         let pi = Pi::new(2);
-        let t = vec![fd(0, 0), fd(1, 0), Action::Crash(Loc(0)), Action::Crash(Loc(1))];
+        let t = vec![
+            fd(0, 0),
+            fd(1, 0),
+            Action::Crash(Loc(0)),
+            Action::Crash(Loc(1)),
+        ];
         assert!(Omega.check_complete(pi, &t).is_ok());
     }
 
@@ -176,7 +196,13 @@ mod tests {
             fd(1, 0),
         ];
         assert!(Omega.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&Omega, pi, &t, 60, 11), None);
-        assert_eq!(closure::reordering_counterexample(&Omega, pi, &t, 60, 11), None);
+        assert_eq!(
+            closure::sampling_counterexample(&Omega, pi, &t, 60, 11),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&Omega, pi, &t, 60, 11),
+            None
+        );
     }
 }

@@ -68,7 +68,10 @@ impl AfdSpec for OmegaK {
             if l.is_empty() || l.len() > self.k {
                 return Err(Violation::new(
                     "omega-k.size",
-                    format!("committee {l} at index {idx} (loc {i}) violates 1 ≤ |L| ≤ {}", self.k),
+                    format!(
+                        "committee {l} at index {idx} (loc {i}) violates 1 ≤ |L| ≤ {}",
+                        self.k
+                    ),
                 ));
             }
         }
@@ -77,7 +80,10 @@ impl AfdSpec for OmegaK {
             return Ok(());
         }
         let Some(committee) = self.eventual_committee(pi, t) else {
-            return Err(Violation::new("omega-k.no-candidate", "no output at a live location"));
+            return Err(Violation::new(
+                "omega-k.no-candidate",
+                "no output at a live location",
+            ));
         };
         if !committee.intersects(alive) {
             return Err(Violation::new(
@@ -106,7 +112,14 @@ mod tests {
     #[test]
     fn accepts_stable_committee_with_live_member() {
         let pi = Pi::new(3);
-        let t = vec![lead(0, &[0, 1]), lead(1, &[0, 1]), lead(2, &[0, 1]), lead(0, &[0, 1]), lead(1, &[0, 1]), lead(2, &[0, 1])];
+        let t = vec![
+            lead(0, &[0, 1]),
+            lead(1, &[0, 1]),
+            lead(2, &[0, 1]),
+            lead(0, &[0, 1]),
+            lead(1, &[0, 1]),
+            lead(2, &[0, 1]),
+        ];
         assert!(OmegaK::new(2).check_complete(pi, &t).is_ok());
     }
 
@@ -129,7 +142,13 @@ mod tests {
     #[test]
     fn rejects_committee_of_faulty_locations() {
         let pi = Pi::new(2);
-        let t = vec![lead(0, &[1]), lead(1, &[1]), Action::Crash(Loc(1)), lead(0, &[1]), lead(0, &[1])];
+        let t = vec![
+            lead(0, &[1]),
+            lead(1, &[1]),
+            Action::Crash(Loc(1)),
+            lead(0, &[1]),
+            lead(0, &[1]),
+        ];
         let err = OmegaK::new(1).check_complete(pi, &t).unwrap_err();
         assert_eq!(err.rule, "omega-k.all-faulty");
     }
@@ -161,7 +180,10 @@ mod tests {
         let pi = Pi::new(2);
         let t = vec![lead(0, &[0]), lead(1, &[0]), lead(0, &[0]), lead(1, &[0])];
         assert!(OmegaK::new(1).check_complete(pi, &t).is_ok());
-        assert_eq!(OmegaK::new(1).eventual_committee(pi, &t), Some(LocSet::singleton(Loc(0))));
+        assert_eq!(
+            OmegaK::new(1).eventual_committee(pi, &t),
+            Some(LocSet::singleton(Loc(0)))
+        );
     }
 
     #[test]
@@ -186,7 +208,13 @@ mod tests {
         ];
         let spec = OmegaK::new(2);
         assert!(spec.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&spec, pi, &t, 60, 19), None);
-        assert_eq!(closure::reordering_counterexample(&spec, pi, &t, 60, 19), None);
+        assert_eq!(
+            closure::sampling_counterexample(&spec, pi, &t, 60, 19),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&spec, pi, &t, 60, 19),
+            None
+        );
     }
 }

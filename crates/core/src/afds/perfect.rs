@@ -165,8 +165,14 @@ mod tests {
             sus(1, &[2]),
         ];
         assert!(Perfect.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&Perfect, pi, &t, 60, 3), None);
-        assert_eq!(closure::reordering_counterexample(&Perfect, pi, &t, 60, 3), None);
+        assert_eq!(
+            closure::sampling_counterexample(&Perfect, pi, &t, 60, 3),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&Perfect, pi, &t, 60, 3),
+            None
+        );
     }
 
     #[test]

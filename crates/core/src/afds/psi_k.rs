@@ -77,7 +77,10 @@ impl AfdSpec for PsiK {
             if l.is_empty() || l.len() > self.k {
                 return Err(Violation::new(
                     "psi-k.size",
-                    format!("committee {l} at index {idx} (loc {i}) violates 1 ≤ |L| ≤ {}", self.k),
+                    format!(
+                        "committee {l} at index {idx} (loc {i}) violates 1 ≤ |L| ≤ {}",
+                        self.k
+                    ),
                 ));
             }
         }
@@ -88,7 +91,10 @@ impl AfdSpec for PsiK {
         // Eventual committee agreement.
         let Some((_, _, _, committee)) = pairs.iter().rev().find(|(_, i, _, _)| alive.contains(*i))
         else {
-            return Err(Violation::new("psi-k.no-candidate", "no output at a live location"));
+            return Err(Violation::new(
+                "psi-k.no-candidate",
+                "no output at a live location",
+            ));
         };
         let committee = *committee;
         if !committee.intersects(alive) {
@@ -201,7 +207,13 @@ mod tests {
         ];
         let spec = PsiK::new(2);
         assert!(spec.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&spec, pi, &t, 60, 23), None);
-        assert_eq!(closure::reordering_counterexample(&spec, pi, &t, 60, 23), None);
+        assert_eq!(
+            closure::sampling_counterexample(&spec, pi, &t, 60, 23),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&spec, pi, &t, 60, 23),
+            None
+        );
     }
 }

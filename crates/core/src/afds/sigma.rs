@@ -75,7 +75,8 @@ impl AfdSpec for Sigma {
             return Ok(());
         }
         stabilization_point(self, pi, t, "sigma.completeness", |_, out| {
-            out.as_quorum().is_some_and(|q| q.is_subset(alive) && !q.is_empty())
+            out.as_quorum()
+                .is_some_and(|q| q.is_subset(alive) && !q.is_empty())
         })?;
         Ok(())
     }
@@ -114,7 +115,12 @@ mod tests {
     #[test]
     fn rejects_disjoint_quorums() {
         let pi = Pi::new(4);
-        let t = vec![q(0, &[0, 1]), q(1, &[2, 3]), q(2, &[0, 1, 2, 3]), q(3, &[0, 1, 2, 3])];
+        let t = vec![
+            q(0, &[0, 1]),
+            q(1, &[2, 3]),
+            q(2, &[0, 1, 2, 3]),
+            q(3, &[0, 1, 2, 3]),
+        ];
         let err = Sigma.check_complete(pi, &t).unwrap_err();
         assert_eq!(err.rule, "sigma.intersection");
         assert!(err.detail.contains("disjoint"));
@@ -131,7 +137,14 @@ mod tests {
     #[test]
     fn majority_quorums_always_intersect() {
         let pi = Pi::new(3);
-        let t = vec![q(0, &[0, 1]), q(1, &[1, 2]), q(2, &[0, 2]), q(0, &[0, 1]), q(1, &[1, 2]), q(2, &[0, 2])];
+        let t = vec![
+            q(0, &[0, 1]),
+            q(1, &[1, 2]),
+            q(2, &[0, 2]),
+            q(0, &[0, 1]),
+            q(1, &[1, 2]),
+            q(2, &[0, 2]),
+        ];
         assert!(Sigma.check_intersection(&t).is_ok());
         assert!(Sigma.check_complete(pi, &t).is_ok());
     }
@@ -167,7 +180,13 @@ mod tests {
             q(1, &[0, 1]),
         ];
         assert!(Sigma.check_complete(pi, &t).is_ok());
-        assert_eq!(closure::sampling_counterexample(&Sigma, pi, &t, 60, 13), None);
-        assert_eq!(closure::reordering_counterexample(&Sigma, pi, &t, 60, 13), None);
+        assert_eq!(
+            closure::sampling_counterexample(&Sigma, pi, &t, 60, 13),
+            None
+        );
+        assert_eq!(
+            closure::reordering_counterexample(&Sigma, pi, &t, 60, 13),
+            None
+        );
     }
 }

@@ -38,9 +38,9 @@ impl Strong {
         alive
             .iter()
             .filter(|&k| {
-                !fd_events(self, t).iter().any(|(_, _, out)| {
-                    out.as_suspects().is_some_and(|s| s.contains(k))
-                })
+                !fd_events(self, t)
+                    .iter()
+                    .any(|(_, _, out)| out.as_suspects().is_some_and(|s| s.contains(k)))
             })
             .collect()
     }
@@ -100,7 +100,8 @@ impl EvStrong {
         let mut last_err = None;
         for k in alive.iter() {
             let r = stabilization_point(self, pi, t, "ev-strong.converged", |_, out| {
-                out.as_suspects().is_some_and(|s| f.is_subset(s) && !s.contains(k))
+                out.as_suspects()
+                    .is_some_and(|s| f.is_subset(s) && !s.contains(k))
             });
             match r {
                 Ok(_) => return Ok(k),
@@ -108,7 +109,10 @@ impl EvStrong {
             }
         }
         Err(last_err.unwrap_or_else(|| {
-            Violation::new("ev-strong.no-witness", "no live location to witness accuracy")
+            Violation::new(
+                "ev-strong.no-witness",
+                "no live location to witness accuracy",
+            )
         }))
     }
 }
@@ -152,7 +156,14 @@ mod tests {
         let pi = Pi::new(3);
         // p1 is wrongly suspected (it is live) — fine for S as long as
         // some live location (p0) is never suspected.
-        let t = vec![sus(0, &[1]), sus(1, &[]), sus(2, &[]), sus(0, &[]), sus(1, &[]), sus(2, &[])];
+        let t = vec![
+            sus(0, &[1]),
+            sus(1, &[]),
+            sus(2, &[]),
+            sus(0, &[]),
+            sus(1, &[]),
+            sus(2, &[]),
+        ];
         assert!(Strong.check_complete(pi, &t).is_ok());
         assert!(Perfect.check_complete(pi, &t).is_err(), "P forbids the lie");
         assert_eq!(Strong.never_suspected(pi, &t).len(), 2);
@@ -238,7 +249,10 @@ mod tests {
         for spec in [&Strong as &dyn AfdSpec, &EvStrong] {
             if spec.check_complete(pi, &t).is_ok() {
                 assert_eq!(closure::sampling_counterexample(spec, pi, &t, 40, 9), None);
-                assert_eq!(closure::reordering_counterexample(spec, pi, &t, 40, 9), None);
+                assert_eq!(
+                    closure::reordering_counterexample(spec, pi, &t, 40, 9),
+                    None
+                );
             }
         }
         assert!(EvStrong.check_complete(pi, &t).is_ok());

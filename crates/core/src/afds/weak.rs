@@ -22,18 +22,15 @@ use crate::trace::{faulty, live, Violation};
 /// Check weak completeness under the per-location convergence
 /// convention: for every faulty `j`, some live `i`'s output subsequence
 /// ends with a nonempty all-suspecting-`j` suffix.
-fn check_weak_completeness(
-    spec: &dyn AfdSpec,
-    pi: Pi,
-    t: &[Action],
-) -> Result<(), Violation> {
+fn check_weak_completeness(spec: &dyn AfdSpec, pi: Pi, t: &[Action]) -> Result<(), Violation> {
     let f = faulty(t);
     let alive = live(pi, t);
     let events = fd_events(spec, t);
     for j in f.iter() {
         let witness = alive.iter().any(|i| {
             events
-                .iter().rfind(|(_, at, _)| *at == i)
+                .iter()
+                .rfind(|(_, at, _)| *at == i)
                 .is_some_and(|(_, _, out)| out.as_suspects().is_some_and(|s| s.contains(j)))
         });
         if !witness {
@@ -171,21 +168,30 @@ mod tests {
             sus(1, &[]),
         ];
         assert!(Weak.check_complete(pi, &t).is_ok());
-        assert!(Strong.check_complete(pi, &t).is_err(), "S demands everyone suspects");
+        assert!(
+            Strong.check_complete(pi, &t).is_err(),
+            "S demands everyone suspects"
+        );
     }
 
     #[test]
     fn w_requires_some_witness() {
         let pi = Pi::new(2);
         let t = vec![sus(0, &[]), Action::Crash(Loc(1)), sus(0, &[])];
-        assert_eq!(Weak.check_complete(pi, &t).unwrap_err().rule, "weak.completeness");
+        assert_eq!(
+            Weak.check_complete(pi, &t).unwrap_err().rule,
+            "weak.completeness"
+        );
     }
 
     #[test]
     fn w_accuracy_is_perpetual() {
         let pi = Pi::new(2);
         let t = vec![sus(0, &[1]), sus(1, &[0]), sus(0, &[]), sus(1, &[])];
-        assert_eq!(Weak.check_complete(pi, &t).unwrap_err().rule, "weak.accuracy");
+        assert_eq!(
+            Weak.check_complete(pi, &t).unwrap_err().rule,
+            "weak.accuracy"
+        );
         // ◇W forgives the transient universal suspicion.
         assert!(EvWeak.check_complete(pi, &t).is_ok());
     }
@@ -206,7 +212,10 @@ mod tests {
             sus(2, &[1]),
         ];
         assert!(EvWeak.check_complete(pi, &t).is_ok());
-        assert!(EvStrong.check_complete(pi, &t).is_err(), "p2's last output omits p0");
+        assert!(
+            EvStrong.check_complete(pi, &t).is_err(),
+            "p2's last output omits p0"
+        );
     }
 
     #[test]
@@ -242,7 +251,10 @@ mod tests {
         for spec in [&Weak as &dyn AfdSpec, &EvWeak] {
             assert!(spec.check_complete(pi, &t).is_ok(), "{}", spec.name());
             assert_eq!(closure::sampling_counterexample(spec, pi, &t, 50, 31), None);
-            assert_eq!(closure::reordering_counterexample(spec, pi, &t, 50, 31), None);
+            assert_eq!(
+                closure::reordering_counterexample(spec, pi, &t, 50, 31),
+                None
+            );
         }
     }
 

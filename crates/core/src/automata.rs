@@ -183,9 +183,10 @@ impl FdGen {
             FdBehavior::Sigma => Some(FdOutput::Quorum(up)),
             FdBehavior::AntiOmega => Some(FdOutput::AntiLeader(up.max()?)),
             FdBehavior::OmegaK { k } => Some(FdOutput::Leaders(up.take_min(*k))),
-            FdBehavior::PsiK { k } => {
-                Some(FdOutput::PsiK { quorum: up, leaders: up.take_min(*k) })
-            }
+            FdBehavior::PsiK { k } => Some(FdOutput::PsiK {
+                quorum: up,
+                leaders: up.take_min(*k),
+            }),
             FdBehavior::CheatingMarabout { faulty } => Some(FdOutput::Suspects(*faulty)),
             FdBehavior::Scripted { .. } => {
                 let (loc, out) = self.script_head(s)?;
@@ -402,7 +403,11 @@ mod tests {
         let pi = Pi::new(3);
         let gen = FdGen::omega(pi);
         let t = run_with_crash(&gen, Some((7, Loc(0))), 40);
-        assert!(OmegaSpec.check_complete(pi, &t).is_ok(), "{:?}", OmegaSpec.check_complete(pi, &t));
+        assert!(
+            OmegaSpec.check_complete(pi, &t).is_ok(),
+            "{:?}",
+            OmegaSpec.check_complete(pi, &t)
+        );
         assert_eq!(OmegaSpec.eventual_leader(pi, &t), Some(Loc(1)));
     }
 
@@ -420,7 +425,10 @@ mod tests {
         let gen = FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2);
         let t = run_with_crash(&gen, None, 40);
         assert!(EvPerfect.check_complete(pi, &t).is_ok());
-        assert!(PerfectSpec.check_complete(pi, &t).is_err(), "the lies violate P");
+        assert!(
+            PerfectSpec.check_complete(pi, &t).is_err(),
+            "the lies violate P"
+        );
     }
 
     #[test]
@@ -439,8 +447,14 @@ mod tests {
         let cases: Vec<(FdGen, Box<dyn AfdSpec>)> = vec![
             (FdGen::new(pi, FdBehavior::Sigma), Box::new(Sigma)),
             (FdGen::new(pi, FdBehavior::AntiOmega), Box::new(AntiOmega)),
-            (FdGen::new(pi, FdBehavior::OmegaK { k: 2 }), Box::new(OmegaK::new(2))),
-            (FdGen::new(pi, FdBehavior::PsiK { k: 2 }), Box::new(PsiK::new(2))),
+            (
+                FdGen::new(pi, FdBehavior::OmegaK { k: 2 }),
+                Box::new(OmegaK::new(2)),
+            ),
+            (
+                FdGen::new(pi, FdBehavior::PsiK { k: 2 }),
+                Box::new(PsiK::new(2)),
+            ),
         ];
         for (gen, spec) in cases {
             let t = run_with_crash(&gen, Some((9, Loc(3))), 60);
@@ -469,15 +483,22 @@ mod tests {
         let pi = Pi::new(2);
         let gen = FdGen::omega(pi);
         let s = gen.initial_state();
-        let wrong = Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(1)) };
+        let wrong = Action::Fd {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(1)),
+        };
         assert_eq!(gen.step(&s, &wrong), None);
     }
 
     #[test]
     fn cheating_marabout_outputs_its_oracle() {
         let pi = Pi::new(2);
-        let gen =
-            FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(1)) });
+        let gen = FdGen::new(
+            pi,
+            FdBehavior::CheatingMarabout {
+                faulty: LocSet::singleton(Loc(1)),
+            },
+        );
         let s = gen.initial_state();
         assert_eq!(
             gen.output_at(&s, Loc(0)),
@@ -492,7 +513,13 @@ mod tests {
             (Loc(0), FdOutput::Leader(Loc(0))),
             (Loc(1), FdOutput::Leader(Loc(0))),
         ];
-        let gen = FdGen::new(pi, FdBehavior::Scripted { script, cycle_from: Some(0) });
+        let gen = FdGen::new(
+            pi,
+            FdBehavior::Scripted {
+                script,
+                cycle_from: Some(0),
+            },
+        );
         let mut s = gen.initial_state();
         // Only the head's location is enabled.
         assert!(gen.enabled(&s, TaskId(0)).is_some());
@@ -513,7 +540,13 @@ mod tests {
             (Loc(0), FdOutput::Leader(Loc(0))),
             (Loc(1), FdOutput::Leader(Loc(0))),
         ];
-        let gen = FdGen::new(pi, FdBehavior::Scripted { script, cycle_from: None });
+        let gen = FdGen::new(
+            pi,
+            FdBehavior::Scripted {
+                script,
+                cycle_from: None,
+            },
+        );
         let mut s = gen.initial_state();
         s = gen.step(&s, &Action::Crash(Loc(0))).unwrap();
         // Head skips p0's entry; p1 is playable.
@@ -532,10 +565,10 @@ mod tests {
         assert!(OmegaSpec.check_complete(pi, &t).is_ok());
         assert_eq!(OmegaSpec.eventual_leader(pi, &t), Some(Loc(0)));
         // The flapping prefix really reported the other leader.
-        assert!(t.iter().take(6).any(|a| matches!(
-            a.fd_output(),
-            Some((_, FdOutput::Leader(Loc(2))))
-        )));
+        assert!(t
+            .iter()
+            .take(6)
+            .any(|a| matches!(a.fd_output(), Some((_, FdOutput::Leader(Loc(2)))))));
     }
 
     #[test]
@@ -549,8 +582,20 @@ mod tests {
         // Both pending queries get the same answer: the first querier.
         let r0 = gen.enabled(&s, TaskId(0)).unwrap();
         let r2 = gen.enabled(&s, TaskId(2)).unwrap();
-        assert_eq!(r0, Action::QueryReply { at: Loc(0), out: FdOutput::Leader(Loc(2)) });
-        assert_eq!(r2, Action::QueryReply { at: Loc(2), out: FdOutput::Leader(Loc(2)) });
+        assert_eq!(
+            r0,
+            Action::QueryReply {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(2))
+            }
+        );
+        assert_eq!(
+            r2,
+            Action::QueryReply {
+                at: Loc(2),
+                out: FdOutput::Leader(Loc(2))
+            }
+        );
         s = gen.step(&s, &r0).unwrap();
         assert_eq!(gen.enabled(&s, TaskId(0)), None, "answered");
         assert!(gen.enabled(&s, TaskId(2)).is_some(), "still pending");
@@ -561,14 +606,26 @@ mod tests {
         let pi = Pi::new(2);
         let gen = FdGen::new(pi, FdBehavior::Participant);
         use ioa::ActionClass;
-        assert_eq!(gen.classify(&Action::Query { at: Loc(0) }), Some(ActionClass::Input));
         assert_eq!(
-            gen.classify(&Action::QueryReply { at: Loc(0), out: FdOutput::Leader(Loc(0)) }),
+            gen.classify(&Action::Query { at: Loc(0) }),
+            Some(ActionClass::Input)
+        );
+        assert_eq!(
+            gen.classify(&Action::QueryReply {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0))
+            }),
             Some(ActionClass::Output)
         );
         // Unilateral Fd outputs are NOT part of its signature: this is
         // the §10.1 interaction-model contrast.
-        assert_eq!(gen.classify(&Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) }), None);
+        assert_eq!(
+            gen.classify(&Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0))
+            }),
+            None
+        );
     }
 
     #[test]
@@ -584,7 +641,11 @@ mod tests {
     #[test]
     fn generator_passes_contract_checks() {
         let pi = Pi::new(3);
-        for gen in [FdGen::omega(pi), FdGen::perfect(pi), FdGen::new(pi, FdBehavior::Sigma)] {
+        for gen in [
+            FdGen::omega(pi),
+            FdGen::perfect(pi),
+            FdGen::new(pi, FdBehavior::Sigma),
+        ] {
             ioa::check_task_determinism(&gen, 200, 5).unwrap();
             let inputs: Vec<Action> = pi.iter().map(Action::Crash).collect();
             ioa::check_input_enabled(&gen, &inputs, 100, 5).unwrap();
@@ -595,8 +656,10 @@ mod tests {
     fn runner_drives_generator_fairly() {
         let pi = Pi::new(2);
         let gen = FdGen::omega(pi);
-        let exec = Runner::new(&gen)
-            .run(&mut RoundRobin::new(), RunOptions::default().with_max_steps(10));
+        let exec = Runner::new(&gen).run(
+            &mut RoundRobin::new(),
+            RunOptions::default().with_max_steps(10),
+        );
         assert_eq!(exec.len(), 10);
         let at0 = exec.actions.iter().filter(|a| a.loc() == Loc(0)).count();
         assert_eq!(at0, 5, "round robin alternates locations");

@@ -140,6 +140,8 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(FdOutput::Leader(Loc(2)).to_string(), "Ω=p2");
-        assert!(FdOutput::Suspects(LocSet::empty()).to_string().contains("suspects"));
+        assert!(FdOutput::Suspects(LocSet::empty())
+            .to_string()
+            .contains("suspects"));
     }
 }

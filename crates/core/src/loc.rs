@@ -44,7 +44,10 @@ impl Pi {
     /// Panics if `n == 0` or `n > 64`.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!((1..=64).contains(&n), "Pi supports 1..=64 locations, got {n}");
+        assert!(
+            (1..=64).contains(&n),
+            "Pi supports 1..=64 locations, got {n}"
+        );
         Pi { n: n as u8 }
     }
 

@@ -32,7 +32,10 @@ impl Ballot {
     /// The next ballot owned by `owner` strictly greater than `self`.
     #[must_use]
     pub fn next_for(self, owner: Loc) -> Self {
-        Ballot { round: self.round + 1, owner }
+        Ballot {
+            round: self.round + 1,
+            owner,
+        }
     }
 }
 
@@ -160,8 +163,22 @@ mod tests {
         let b0 = Ballot::initial(Loc(2));
         let b1 = b0.next_for(Loc(0));
         assert!(b1 > b0);
-        assert!(Ballot { round: 1, owner: Loc(1) } > Ballot { round: 1, owner: Loc(0) });
-        assert_eq!(b1, Ballot { round: 1, owner: Loc(0) });
+        assert!(
+            Ballot {
+                round: 1,
+                owner: Loc(1)
+            } > Ballot {
+                round: 1,
+                owner: Loc(0)
+            }
+        );
+        assert_eq!(
+            b1,
+            Ballot {
+                round: 1,
+                owner: Loc(0)
+            }
+        );
     }
 
     #[test]
@@ -177,8 +194,15 @@ mod tests {
     #[test]
     fn promise_carries_optional_history() {
         let b = Ballot::initial(Loc(0));
-        let m = Msg::Promise { ballot: b, accepted: Some((b, 7)) };
-        if let Msg::Promise { accepted: Some((_, v)), .. } = m {
+        let m = Msg::Promise {
+            ballot: b,
+            accepted: Some((b, 7)),
+        };
+        if let Msg::Promise {
+            accepted: Some((_, v)),
+            ..
+        } = m
+        {
             assert_eq!(v, 7);
         } else {
             panic!("pattern");

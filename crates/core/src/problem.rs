@@ -43,7 +43,10 @@ pub trait ProblemSpec: std::fmt::Debug {
 /// Projection of `t` onto `I_P ∪ O_P`.
 #[must_use]
 pub fn problem_projection(spec: &dyn ProblemSpec, t: &[Action]) -> Vec<Action> {
-    t.iter().filter(|a| spec.is_input(a) || spec.is_output(a)).copied().collect()
+    t.iter()
+        .filter(|a| spec.is_input(a) || spec.is_output(a))
+        .copied()
+        .collect()
 }
 
 /// Remove the crash events from `t` — the transformation crash
@@ -186,7 +189,10 @@ mod tests {
             "solver".into()
         }
         fn initial_state(&self) -> SolverState {
-            SolverState { decided: false, crashed: false }
+            SolverState {
+                decided: false,
+                crashed: false,
+            }
         }
         fn classify(&self, a: &Action) -> Option<ActionClass> {
             match a {
@@ -207,10 +213,11 @@ mod tests {
                     decided: s.decided,
                     crashed: s.crashed || *l == Loc(0),
                 }),
-                Action::Decide { at, v } if *at == Loc(0) && *v == 0 => {
-                    (!s.decided && !s.crashed)
-                        .then_some(SolverState { decided: true, crashed: s.crashed })
-                }
+                Action::Decide { at, v } if *at == Loc(0) && *v == 0 => (!s.decided && !s.crashed)
+                    .then_some(SolverState {
+                        decided: true,
+                        crashed: s.crashed,
+                    }),
                 _ => None,
             }
         }
@@ -231,8 +238,10 @@ mod tests {
     fn bounded_length_check() {
         let ok = vec![vec![Action::Decide { at: Loc(0), v: 0 }]];
         assert!(check_bounded_length(&OneShot, &ok, 1).is_ok());
-        let bad =
-            vec![vec![Action::Decide { at: Loc(0), v: 0 }, Action::Decide { at: Loc(0), v: 0 }]];
+        let bad = vec![vec![
+            Action::Decide { at: Loc(0), v: 0 },
+            Action::Decide { at: Loc(0), v: 0 },
+        ]];
         let err = check_bounded_length(&OneShot, &bad, 1).unwrap_err();
         assert_eq!(err.rule, "bounded.length");
     }
@@ -297,7 +306,11 @@ mod tests {
             vec![Action::Decide { at: Loc(0), v: 0 }],
             vec![Action::Crash(Loc(1)), Action::Decide { at: Loc(0), v: 0 }],
         ];
-        let w = BoundedWitness { spec: &OneShot, solver: &Solver, bound: 1 };
+        let w = BoundedWitness {
+            spec: &OneShot,
+            solver: &Solver,
+            bound: 1,
+        };
         assert!(w.verify(&traces).is_ok());
     }
 }

@@ -124,7 +124,10 @@ impl ProblemSpec for AtomicCommit {
         }
         // Agreement.
         if verdicts.iter().any(|&v| v != verdicts[0]) {
-            return Err(Violation::new("nbac.agreement", "mixed commit/abort verdicts"));
+            return Err(Violation::new(
+                "nbac.agreement",
+                "mixed commit/abort verdicts",
+            ));
         }
         if let Some(&commit) = verdicts.first() {
             if commit {
@@ -148,7 +151,10 @@ impl ProblemSpec for AtomicCommit {
         // Termination for live locations.
         for i in live(pi, t).iter() {
             if learned[i.index()] == 0 {
-                return Err(Violation::new("nbac.termination", format!("{i} never learns")));
+                return Err(Violation::new(
+                    "nbac.termination",
+                    format!("{i} never learns"),
+                ));
             }
         }
         Ok(())
@@ -233,7 +239,8 @@ impl Automaton for AtomicCommitSolver {
         if !self.pi.contains(i) || s.learned.contains(i) || s.crashed.contains(i) {
             return None;
         }
-        self.outcome(s).map(|commit| Action::Verdict { at: i, commit })
+        self.outcome(s)
+            .map(|commit| Action::Verdict { at: i, commit })
     }
 
     fn step(&self, s: &AtomicCommitSolverState, a: &Action) -> Option<AtomicCommitSolverState> {
@@ -275,13 +282,21 @@ mod tests {
         Action::Vote { at: Loc(at), yes }
     }
     fn verdict(at: u8, commit: bool) -> Action {
-        Action::Verdict { at: Loc(at), commit }
+        Action::Verdict {
+            at: Loc(at),
+            commit,
+        }
     }
 
     #[test]
     fn unanimous_yes_commits() {
         let pi = Pi::new(2);
-        let t = vec![vote(0, true), vote(1, true), verdict(0, true), verdict(1, true)];
+        let t = vec![
+            vote(0, true),
+            vote(1, true),
+            verdict(0, true),
+            verdict(1, true),
+        ];
         assert!(AtomicCommit::new(0).check(pi, &t).is_ok());
         assert_eq!(AtomicCommit::verdict(&t), Some(true));
     }
@@ -289,7 +304,12 @@ mod tests {
     #[test]
     fn commit_without_unanimity_rejected() {
         let pi = Pi::new(2);
-        let t = vec![vote(0, true), vote(1, false), verdict(0, true), verdict(1, true)];
+        let t = vec![
+            vote(0, true),
+            vote(1, false),
+            verdict(0, true),
+            verdict(1, true),
+        ];
         assert_eq!(
             AtomicCommit::new(0).check(pi, &t).unwrap_err().rule,
             "nbac.commit-validity"
@@ -299,13 +319,26 @@ mod tests {
     #[test]
     fn abort_needs_a_reason() {
         let pi = Pi::new(2);
-        let clean_abort = vec![vote(0, true), vote(1, true), verdict(0, false), verdict(1, false)];
+        let clean_abort = vec![
+            vote(0, true),
+            vote(1, true),
+            verdict(0, false),
+            verdict(1, false),
+        ];
         assert_eq!(
-            AtomicCommit::new(0).check(pi, &clean_abort).unwrap_err().rule,
+            AtomicCommit::new(0)
+                .check(pi, &clean_abort)
+                .unwrap_err()
+                .rule,
             "nbac.abort-validity"
         );
         // With a no vote: fine.
-        let with_no = vec![vote(0, true), vote(1, false), verdict(0, false), verdict(1, false)];
+        let with_no = vec![
+            vote(0, true),
+            vote(1, false),
+            verdict(0, false),
+            verdict(1, false),
+        ];
         assert!(AtomicCommit::new(0).check(pi, &with_no).is_ok());
         // With a crash (and f ≥ 1): fine.
         let with_crash = vec![vote(0, true), Action::Crash(Loc(1)), verdict(0, false)];
@@ -315,17 +348,33 @@ mod tests {
     #[test]
     fn agreement_and_termination() {
         let pi = Pi::new(2);
-        let mixed = vec![vote(0, true), vote(1, false), verdict(0, false), verdict(1, true)];
-        assert_eq!(AtomicCommit::new(0).check(pi, &mixed).unwrap_err().rule, "nbac.agreement");
+        let mixed = vec![
+            vote(0, true),
+            vote(1, false),
+            verdict(0, false),
+            verdict(1, true),
+        ];
+        assert_eq!(
+            AtomicCommit::new(0).check(pi, &mixed).unwrap_err().rule,
+            "nbac.agreement"
+        );
         let silent = vec![vote(0, true), vote(1, false), verdict(0, false)];
-        assert_eq!(AtomicCommit::new(0).check(pi, &silent).unwrap_err().rule, "nbac.termination");
+        assert_eq!(
+            AtomicCommit::new(0).check(pi, &silent).unwrap_err().rule,
+            "nbac.termination"
+        );
     }
 
     #[test]
     fn conditional_antecedent() {
         let pi = Pi::new(2);
         // Too many crashes for f = 0: vacuous, even with nonsense verdicts.
-        let t = vec![vote(0, true), Action::Crash(Loc(1)), verdict(0, true), verdict(0, false)];
+        let t = vec![
+            vote(0, true),
+            Action::Crash(Loc(1)),
+            verdict(0, true),
+            verdict(0, false),
+        ];
         assert!(AtomicCommit::new(0).check(pi, &t).is_ok());
     }
 
@@ -350,7 +399,10 @@ mod tests {
         let u = AtomicCommitSolver::new(pi);
         let t = vec![vote(0, false), Action::Crash(Loc(1)), verdict(0, false)];
         assert!(check_crash_independence(&u, &t).is_ok());
-        assert_eq!(ProblemSpec::output_bound(&AtomicCommit::new(0), pi), Some(2));
+        assert_eq!(
+            ProblemSpec::output_bound(&AtomicCommit::new(0), pi),
+            Some(2)
+        );
     }
 
     #[test]

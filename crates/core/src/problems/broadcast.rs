@@ -49,7 +49,9 @@ impl ReliableBroadcast {
         let mut v: Vec<MsgId> = t
             .iter()
             .filter_map(|a| match a {
-                Action::Deliver { origin, payload, .. } => Some((*origin, *payload)),
+                Action::Deliver {
+                    origin, payload, ..
+                } => Some((*origin, *payload)),
                 _ => None,
             })
             .collect();
@@ -82,11 +84,14 @@ impl ProblemSpec for ReliableBroadcast {
         for (k, a) in t.iter().enumerate() {
             match a {
                 Action::Crash(l) => crashed.insert(*l),
-                Action::Broadcast { at, payload }
-                    if !crashed.contains(*at) => {
-                        live_broadcasts.push((*at, *payload));
-                    }
-                Action::Deliver { at, origin, payload } => {
+                Action::Broadcast { at, payload } if !crashed.contains(*at) => {
+                    live_broadcasts.push((*at, *payload));
+                }
+                Action::Deliver {
+                    at,
+                    origin,
+                    payload,
+                } => {
                     if crashed.contains(*at) {
                         return Err(Violation::new(
                             "rb.crash-validity",
@@ -117,7 +122,9 @@ impl ProblemSpec for ReliableBroadcast {
                     if !seen.contains(&(i, (*origin, *payload))) {
                         return Err(Violation::new(
                             "rb.validity",
-                            format!("live {i} never delivers ({origin},{payload}) from live origin"),
+                            format!(
+                                "live {i} never delivers ({origin},{payload}) from live origin"
+                            ),
                         ));
                     }
                 }
@@ -129,7 +136,10 @@ impl ProblemSpec for ReliableBroadcast {
                 if !seen.contains(&(i, id)) {
                     return Err(Violation::new(
                         "rb.uniform-agreement",
-                        format!("({},{}) delivered somewhere but not at live {i}", id.0, id.1),
+                        format!(
+                            "({},{}) delivered somewhere but not at live {i}",
+                            id.0, id.1
+                        ),
                     ));
                 }
             }
@@ -143,10 +153,17 @@ mod tests {
     use super::*;
 
     fn bc(at: u8, p: u64) -> Action {
-        Action::Broadcast { at: Loc(at), payload: p }
+        Action::Broadcast {
+            at: Loc(at),
+            payload: p,
+        }
     }
     fn dl(at: u8, origin: u8, p: u64) -> Action {
-        Action::Deliver { at: Loc(at), origin: Loc(origin), payload: p }
+        Action::Deliver {
+            at: Loc(at),
+            origin: Loc(origin),
+            payload: p,
+        }
     }
 
     #[test]
@@ -160,7 +177,10 @@ mod tests {
     fn rejects_partial_delivery_of_live_broadcast() {
         let pi = Pi::new(2);
         let t = vec![bc(0, 7), dl(0, 0, 7)];
-        assert_eq!(ReliableBroadcast.check(pi, &t).unwrap_err().rule, "rb.validity");
+        assert_eq!(
+            ReliableBroadcast.check(pi, &t).unwrap_err().rule,
+            "rb.validity"
+        );
     }
 
     #[test]
@@ -184,16 +204,25 @@ mod tests {
     fn rejects_creation_and_duplication() {
         let pi = Pi::new(1);
         let created = vec![dl(0, 0, 5)];
-        assert_eq!(ReliableBroadcast.check(pi, &created).unwrap_err().rule, "rb.no-creation");
+        assert_eq!(
+            ReliableBroadcast.check(pi, &created).unwrap_err().rule,
+            "rb.no-creation"
+        );
         let dup = vec![bc(0, 5), dl(0, 0, 5), dl(0, 0, 5)];
-        assert_eq!(ReliableBroadcast.check(pi, &dup).unwrap_err().rule, "rb.no-duplication");
+        assert_eq!(
+            ReliableBroadcast.check(pi, &dup).unwrap_err().rule,
+            "rb.no-duplication"
+        );
     }
 
     #[test]
     fn rejects_delivery_after_crash() {
         let pi = Pi::new(2);
         let t = vec![bc(0, 1), dl(1, 0, 1), Action::Crash(Loc(1)), dl(1, 0, 1)];
-        assert_eq!(ReliableBroadcast.check(pi, &t).unwrap_err().rule, "rb.crash-validity");
+        assert_eq!(
+            ReliableBroadcast.check(pi, &t).unwrap_err().rule,
+            "rb.crash-validity"
+        );
     }
 
     #[test]

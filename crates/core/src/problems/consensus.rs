@@ -337,7 +337,9 @@ mod tests {
         );
         let after_crash = [Action::Crash(Loc(0)), prop(0, 0), prop(1, 0)];
         assert_eq!(
-            Consensus::env_well_formed(pi, &after_crash).unwrap_err().rule,
+            Consensus::env_well_formed(pi, &after_crash)
+                .unwrap_err()
+                .rule,
             "env.propose-after-crash"
         );
         let silent = [prop(0, 0)];
@@ -355,12 +357,16 @@ mod tests {
         let pi = Pi::new(2);
         assert!(Consensus::agreement(&[dec(0, 1), dec(1, 1)]).is_ok());
         assert_eq!(
-            Consensus::agreement(&[dec(0, 1), dec(1, 0)]).unwrap_err().rule,
+            Consensus::agreement(&[dec(0, 1), dec(1, 0)])
+                .unwrap_err()
+                .rule,
             "consensus.agreement"
         );
         assert!(Consensus::validity(&[prop(0, 1), dec(0, 1)]).is_ok());
         assert_eq!(
-            Consensus::validity(&[prop(0, 1), dec(0, 0)]).unwrap_err().rule,
+            Consensus::validity(&[prop(0, 1), dec(0, 0)])
+                .unwrap_err()
+                .rule,
             "consensus.validity"
         );
         assert!(Consensus::termination(pi, &[prop(0, 0), dec(0, 0), dec(1, 0)]).is_ok());
@@ -422,7 +428,11 @@ mod tests {
             t.push(a);
         }
         assert!(Consensus::new(2).check(pi, &t).is_ok());
-        assert_eq!(Consensus::decision_value(&t), Some(1), "first proposal wins");
+        assert_eq!(
+            Consensus::decision_value(&t),
+            Some(1),
+            "first proposal wins"
+        );
         assert!(!u.any_task_enabled(&s), "quiescent after all decide");
     }
 
@@ -433,7 +443,10 @@ mod tests {
         let mut s = u.initial_state();
         assert_eq!(u.enabled(&s, TaskId(0)), None, "nothing proposed yet");
         s = u.step(&s, &prop(0, 1)).unwrap();
-        assert!(u.enabled(&s, TaskId(0)).is_some(), "first proposal suffices");
+        assert!(
+            u.enabled(&s, TaskId(0)).is_some(),
+            "first proposal suffices"
+        );
         s = u.step(&s, &Action::Crash(Loc(1))).unwrap();
         assert_eq!(u.enabled(&s, TaskId(1)), None, "crashed p1 cannot decide");
     }
@@ -444,7 +457,13 @@ mod tests {
         let u = ConsensusSolver::new(pi);
         let traces = vec![
             vec![prop(0, 1), prop(1, 0), dec(0, 1), dec(1, 1)],
-            vec![prop(0, 1), prop(1, 0), dec(0, 1), Action::Crash(Loc(1)), dec(0, 1)],
+            vec![
+                prop(0, 1),
+                prop(1, 0),
+                dec(0, 1),
+                Action::Crash(Loc(1)),
+                dec(0, 1),
+            ],
         ];
         // (Second trace's trailing dec(0,1) is illegal — build real ones.)
         let traces: Vec<Vec<Action>> = traces
@@ -461,7 +480,11 @@ mod tests {
                 out
             })
             .collect();
-        let w = BoundedWitness { spec: &Consensus::new(1), solver: &u, bound: pi.len() };
+        let w = BoundedWitness {
+            spec: &Consensus::new(1),
+            solver: &u,
+            bound: pi.len(),
+        };
         assert!(w.verify(&traces).is_ok());
         // Crash independence on a trace with an interleaved crash: the
         // crash-free replay must be accepted.
@@ -474,8 +497,10 @@ mod tests {
         let pi = Pi::new(3);
         let u = ConsensusSolver::new(pi);
         ioa::check_task_determinism(&u, 100, 2).unwrap();
-        let inputs: Vec<Action> =
-            pi.iter().flat_map(|i| [Action::Crash(i), Action::Propose { at: i, v: 0 }]).collect();
+        let inputs: Vec<Action> = pi
+            .iter()
+            .flat_map(|i| [Action::Crash(i), Action::Propose { at: i, v: 0 }])
+            .collect();
         ioa::check_input_enabled(&u, &inputs, 100, 2).unwrap();
     }
 }

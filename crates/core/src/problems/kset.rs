@@ -138,13 +138,19 @@ impl ProblemSpec for KSetAgreement {
             .collect();
         for v in &values {
             if !proposed.contains(v) {
-                return Err(Violation::new("kset.validity", format!("{v} never proposed")));
+                return Err(Violation::new(
+                    "kset.validity",
+                    format!("{v} never proposed"),
+                ));
             }
         }
         // Termination for live locations.
         for i in live(pi, t).iter() {
             if decided[i.index()] == 0 {
-                return Err(Violation::new("kset.termination", format!("{i} never decides")));
+                return Err(Violation::new(
+                    "kset.termination",
+                    format!("{i} never decides"),
+                ));
             }
         }
         Ok(())
@@ -194,7 +200,11 @@ impl Automaton for KSetSolver {
     }
 
     fn initial_state(&self) -> KSetSolverState {
-        KSetSolverState { chosen: None, decided: LocSet::empty(), crashed: LocSet::empty() }
+        KSetSolverState {
+            chosen: None,
+            decided: LocSet::empty(),
+            crashed: LocSet::empty(),
+        }
     }
 
     fn classify(&self, a: &Action) -> Option<ActionClass> {
@@ -258,7 +268,14 @@ mod tests {
     fn accepts_up_to_k_values() {
         let pi = Pi::new(3);
         let spec = KSetAgreement::new(2, 1);
-        let t = vec![prop(0, 0), prop(1, 1), prop(2, 2), dec(0, 0), dec(1, 1), dec(2, 1)];
+        let t = vec![
+            prop(0, 0),
+            prop(1, 1),
+            prop(2, 2),
+            dec(0, 0),
+            dec(1, 1),
+            dec(2, 1),
+        ];
         assert!(spec.check(pi, &t).is_ok());
         assert_eq!(KSetAgreement::decision_values(&t), vec![0, 1]);
     }
@@ -267,7 +284,14 @@ mod tests {
     fn rejects_more_than_k_values() {
         let pi = Pi::new(3);
         let spec = KSetAgreement::new(2, 1);
-        let t = vec![prop(0, 0), prop(1, 1), prop(2, 2), dec(0, 0), dec(1, 1), dec(2, 2)];
+        let t = vec![
+            prop(0, 0),
+            prop(1, 1),
+            prop(2, 2),
+            dec(0, 0),
+            dec(1, 1),
+            dec(2, 2),
+        ];
         assert_eq!(spec.check(pi, &t).unwrap_err().rule, "kset.agreement");
     }
 
@@ -293,9 +317,15 @@ mod tests {
         let pi = Pi::new(2);
         let spec = KSetAgreement::new(2, 1);
         let unproposed = vec![prop(0, 0), prop(1, 0), dec(0, 5), dec(1, 0)];
-        assert_eq!(spec.check(pi, &unproposed).unwrap_err().rule, "kset.validity");
+        assert_eq!(
+            spec.check(pi, &unproposed).unwrap_err().rule,
+            "kset.validity"
+        );
         let silent = vec![prop(0, 0), prop(1, 0), dec(0, 0)];
-        assert_eq!(spec.check(pi, &silent).unwrap_err().rule, "kset.termination");
+        assert_eq!(
+            spec.check(pi, &silent).unwrap_err().rule,
+            "kset.termination"
+        );
     }
 
     #[test]
@@ -311,8 +341,10 @@ mod tests {
         let pi = Pi::new(2);
         let u = KSetSolver::new(pi);
         ioa::check_task_determinism(&u, 50, 4).unwrap();
-        let inputs: Vec<Action> =
-            pi.iter().flat_map(|i| [Action::Crash(i), Action::ProposeK { at: i, v: 1 }]).collect();
+        let inputs: Vec<Action> = pi
+            .iter()
+            .flat_map(|i| [Action::Crash(i), Action::ProposeK { at: i, v: 1 }])
+            .collect();
         ioa::check_input_enabled(&u, &inputs, 50, 4).unwrap();
     }
 }

@@ -144,7 +144,10 @@ impl Automaton for LeaderElectionSolver {
     }
 
     fn initial_state(&self) -> LeaderElectionSolverState {
-        LeaderElectionSolverState { announced: LocSet::empty(), crashed: LocSet::empty() }
+        LeaderElectionSolverState {
+            announced: LocSet::empty(),
+            crashed: LocSet::empty(),
+        }
     }
 
     fn classify(&self, a: &Action) -> Option<ActionClass> {
@@ -164,7 +167,10 @@ impl Automaton for LeaderElectionSolver {
         if !self.pi.contains(i) || s.announced.contains(i) || s.crashed.contains(i) {
             return None;
         }
-        Some(Action::Elect { at: i, leader: Loc(0) })
+        Some(Action::Elect {
+            at: i,
+            leader: Loc(0),
+        })
     }
 
     fn step(&self, s: &LeaderElectionSolverState, a: &Action) -> Option<LeaderElectionSolverState> {
@@ -192,7 +198,10 @@ mod tests {
     use crate::problem::{check_crash_independence, BoundedWitness};
 
     fn el(at: u8, leader: u8) -> Action {
-        Action::Elect { at: Loc(at), leader: Loc(leader) }
+        Action::Elect {
+            at: Loc(at),
+            leader: Loc(leader),
+        }
     }
 
     #[test]
@@ -207,7 +216,10 @@ mod tests {
     fn rejects_disagreement() {
         let pi = Pi::new(2);
         let t = vec![el(0, 0), el(1, 1)];
-        assert_eq!(LeaderElection.check(pi, &t).unwrap_err().rule, "le.agreement");
+        assert_eq!(
+            LeaderElection.check(pi, &t).unwrap_err().rule,
+            "le.agreement"
+        );
     }
 
     #[test]
@@ -228,14 +240,20 @@ mod tests {
             "le.single-announcement"
         );
         let silent = vec![el(0, 0)];
-        assert_eq!(LeaderElection.check(pi, &silent).unwrap_err().rule, "le.termination");
+        assert_eq!(
+            LeaderElection.check(pi, &silent).unwrap_err().rule,
+            "le.termination"
+        );
     }
 
     #[test]
     fn rejects_announcement_after_crash() {
         let pi = Pi::new(2);
         let t = vec![Action::Crash(Loc(0)), el(0, 1), el(1, 1)];
-        assert_eq!(LeaderElection.check(pi, &t).unwrap_err().rule, "le.crash-validity");
+        assert_eq!(
+            LeaderElection.check(pi, &t).unwrap_err().rule,
+            "le.crash-validity"
+        );
     }
 
     #[test]
@@ -244,7 +262,11 @@ mod tests {
         let u = LeaderElectionSolver::new(pi);
         let t = vec![el(0, 0), Action::Crash(Loc(2)), el(1, 0)];
         assert!(check_crash_independence(&u, &t).is_ok());
-        let w = BoundedWitness { spec: &LeaderElection, solver: &u, bound: pi.len() };
+        let w = BoundedWitness {
+            spec: &LeaderElection,
+            solver: &u,
+            bound: pi.len(),
+        };
         assert!(w.verify(&[t]).is_ok());
     }
 

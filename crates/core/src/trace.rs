@@ -23,7 +23,10 @@ impl Violation {
     /// Construct a violation.
     #[must_use]
     pub fn new(rule: &'static str, detail: impl Into<String>) -> Self {
-        Violation { rule, detail: detail.into() }
+        Violation {
+            rule,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -90,7 +93,12 @@ impl ValidityReport {
 /// Check validity of `t` with respect to an output classifier
 /// (`out_loc(a) = Some(i)` iff `a ∈ O_D,i`).
 #[must_use]
-pub fn check_validity<F>(pi: Pi, t: &[Action], out_loc: F, min_live_outputs: usize) -> ValidityReport
+pub fn check_validity<F>(
+    pi: Pi,
+    t: &[Action],
+    out_loc: F,
+    min_live_outputs: usize,
+) -> ValidityReport
 where
     F: Fn(&Action) -> Option<Loc>,
 {
@@ -116,7 +124,10 @@ where
         .filter(|l| counts[l.index()] < min_live_outputs)
         .map(|l| (l, counts[l.index()]))
         .collect();
-    ValidityReport { safety, starved_live }
+    ValidityReport {
+        safety,
+        starved_live,
+    }
 }
 
 /// Check that `t` only contains crash events and outputs recognized by
@@ -147,20 +158,22 @@ where
     }
     let f = faulty(t);
     for i in pi.iter() {
-        let proj_sub: Vec<&Action> =
-            t_sub.iter().filter(|a| out_loc(a) == Some(i)).collect();
+        let proj_sub: Vec<&Action> = t_sub.iter().filter(|a| out_loc(a) == Some(i)).collect();
         let proj: Vec<&Action> = t.iter().filter(|a| out_loc(a) == Some(i)).collect();
         if f.contains(i) {
             // First crash_i must be retained.
-            let Some(first) = first_crash_index(t, i) else { return false };
+            let Some(first) = first_crash_index(t, i) else {
+                return false;
+            };
             let target = &t[first];
-            if !t_sub.iter().any(|a| a == target && a.crash_loc() == Some(i)) {
+            if !t_sub
+                .iter()
+                .any(|a| a == target && a.crash_loc() == Some(i))
+            {
                 return false;
             }
             // Output projection must be a prefix.
-            if proj_sub.len() > proj.len()
-                || proj_sub.iter().zip(&proj).any(|(a, b)| a != b)
-            {
+            if proj_sub.len() > proj.len() || proj_sub.iter().zip(&proj).any(|(a, b)| a != b) {
                 return false;
             }
         } else if proj_sub != proj {
@@ -230,8 +243,12 @@ pub fn is_constrained_reordering(t2: &[Action], t1: &[Action]) -> bool {
     let mut pos_in_t2 = Vec::with_capacity(t1.len());
     for a in t1 {
         let k = occ_count.entry(a).or_insert(0);
-        let Some(positions) = occ2.get(a) else { return false };
-        let Some(&q) = positions.get(*k) else { return false };
+        let Some(positions) = occ2.get(a) else {
+            return false;
+        };
+        let Some(&q) = positions.get(*k) else {
+            return false;
+        };
         *k += 1;
         pos_in_t2.push(q);
     }
@@ -287,7 +304,10 @@ pub fn fd_projection<F>(t: &[Action], out_loc: F) -> Vec<Action>
 where
     F: Fn(&Action) -> Option<Loc>,
 {
-    t.iter().filter(|a| a.is_crash() || out_loc(a).is_some()).copied().collect()
+    t.iter()
+        .filter(|a| a.is_crash() || out_loc(a).is_some())
+        .copied()
+        .collect()
 }
 
 #[cfg(test)]
@@ -296,7 +316,10 @@ mod tests {
     use crate::fd::FdOutput;
 
     fn fd(at: u8, leader: u8) -> Action {
-        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(leader)) }
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Leader(Loc(leader)),
+        }
     }
 
     fn out_loc(a: &Action) -> Option<Loc> {
@@ -314,7 +337,12 @@ mod tests {
 
     #[test]
     fn first_crash_and_crashed_before() {
-        let t = vec![fd(0, 0), Action::Crash(Loc(1)), Action::Crash(Loc(1)), fd(0, 0)];
+        let t = vec![
+            fd(0, 0),
+            Action::Crash(Loc(1)),
+            Action::Crash(Loc(1)),
+            fd(0, 0),
+        ];
         assert_eq!(first_crash_index(&t, Loc(1)), Some(1));
         assert_eq!(first_crash_index(&t, Loc(0)), None);
         assert_eq!(crashed_before(&t, 1), LocSet::empty());
@@ -421,7 +449,10 @@ mod tests {
         let t = vec![fd(0, 0), fd(1, 0)];
         assert!(is_constrained_reordering(&t, &t));
         let swapped = vec![fd(1, 0), fd(0, 0)];
-        assert!(is_constrained_reordering(&swapped, &t), "different locations may swap");
+        assert!(
+            is_constrained_reordering(&swapped, &t),
+            "different locations may swap"
+        );
     }
 
     #[test]
@@ -435,7 +466,10 @@ mod tests {
     fn constrained_reordering_keeps_events_after_crash() {
         let t = vec![Action::Crash(Loc(0)), fd(1, 1)];
         let swapped = vec![fd(1, 1), Action::Crash(Loc(0))];
-        assert!(!is_constrained_reordering(&swapped, &t), "crash precedes, must stay");
+        assert!(
+            !is_constrained_reordering(&swapped, &t),
+            "crash precedes, must stay"
+        );
         // The other direction (moving a crash earlier) is allowed.
         let t2 = vec![fd(1, 1), Action::Crash(Loc(0))];
         let moved = vec![Action::Crash(Loc(0)), fd(1, 1)];

@@ -81,7 +81,10 @@ impl<C: Automaton> std::fmt::Debug for Composition<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Composition")
             .field("label", &self.label)
-            .field("components", &self.components.iter().map(C::name).collect::<Vec<_>>())
+            .field(
+                "components",
+                &self.components.iter().map(C::name).collect::<Vec<_>>(),
+            )
             .field("task_count", &self.tasks.len())
             .field("hiding", &self.hide.is_some())
             .finish()
@@ -96,10 +99,18 @@ impl<C: Automaton> Composition<C> {
         let mut tasks = Vec::new();
         for (ci, c) in components.iter().enumerate() {
             for t in 0..c.task_count() {
-                tasks.push(GlobalTask { component: ci, task: TaskId(t) });
+                tasks.push(GlobalTask {
+                    component: ci,
+                    task: TaskId(t),
+                });
             }
         }
-        Composition { components, tasks, hide: None, label: "composition".into() }
+        Composition {
+            components,
+            tasks,
+            hide: None,
+            label: "composition".into(),
+        }
     }
 
     /// Set a diagnostic label.
@@ -209,9 +220,10 @@ impl<C: Automaton> Composition<C> {
     /// if any.
     #[must_use]
     pub fn controller(&self, a: &C::Action) -> Option<usize> {
-        self.components
-            .iter()
-            .position(|c| c.classify(a).is_some_and(ActionClass::is_locally_controlled))
+        self.components.iter().position(|c| {
+            c.classify(a)
+                .is_some_and(ActionClass::is_locally_controlled)
+        })
     }
 
     /// Projection of an execution's state onto component `ci` (§2.3):
@@ -229,7 +241,11 @@ impl<C: Automaton> Composition<C> {
     /// composition is an execution of the component).
     #[must_use]
     pub fn project_schedule(&self, schedule: &[C::Action], ci: usize) -> Vec<C::Action> {
-        schedule.iter().filter(|a| self.components[ci].classify(a).is_some()).cloned().collect()
+        schedule
+            .iter()
+            .filter(|a| self.components[ci].classify(a).is_some())
+            .cloned()
+            .collect()
     }
 
     /// Count, per component, how many events of the schedule it
@@ -370,11 +386,15 @@ mod tests {
                 (Comp::Sender { budget }, St::Sender { sent }, Act::Msg) => {
                     (sent < budget).then_some(St::Sender { sent: sent + 1 })
                 }
-                (Comp::Sink, St::Sink { got, ticks }, Act::Msg) => {
-                    Some(St::Sink { got: got + 1, ticks: *ticks })
-                }
+                (Comp::Sink, St::Sink { got, ticks }, Act::Msg) => Some(St::Sink {
+                    got: got + 1,
+                    ticks: *ticks,
+                }),
                 (Comp::Sink, St::Sink { got, ticks }, Act::Tick) => {
-                    (ticks < got).then_some(St::Sink { got: *got, ticks: ticks + 1 })
+                    (ticks < got).then_some(St::Sink {
+                        got: *got,
+                        ticks: ticks + 1,
+                    })
                 }
                 _ => None,
             }
@@ -399,7 +419,10 @@ mod tests {
         let c = comp();
         let s0 = c.initial_state();
         let s1 = c.step(&s0, &Act::Msg).unwrap();
-        assert_eq!(s1, vec![St::Sender { sent: 1 }, St::Sink { got: 1, ticks: 0 }]);
+        assert_eq!(
+            s1,
+            vec![St::Sender { sent: 1 }, St::Sink { got: 1, ticks: 0 }]
+        );
     }
 
     #[test]
@@ -419,8 +442,20 @@ mod tests {
     fn tasks_are_flattened_in_component_order() {
         let c = comp();
         assert_eq!(c.task_count(), 2);
-        assert_eq!(c.global_task(TaskId(0)), GlobalTask { component: 0, task: TaskId(0) });
-        assert_eq!(c.global_task(TaskId(1)), GlobalTask { component: 1, task: TaskId(0) });
+        assert_eq!(
+            c.global_task(TaskId(0)),
+            GlobalTask {
+                component: 0,
+                task: TaskId(0)
+            }
+        );
+        assert_eq!(
+            c.global_task(TaskId(1)),
+            GlobalTask {
+                component: 1,
+                task: TaskId(0)
+            }
+        );
         assert_eq!(c.task_index(1, TaskId(0)), Some(TaskId(1)));
         assert_eq!(c.tasks_of(1), vec![TaskId(1)]);
     }
@@ -452,10 +487,7 @@ mod tests {
 
     #[test]
     fn validate_signature_rejects_shared_control() {
-        let c = Composition::new(vec![
-            Comp::Sender { budget: 1 },
-            Comp::Sender { budget: 1 },
-        ]);
+        let c = Composition::new(vec![Comp::Sender { budget: 1 }, Comp::Sender { budget: 1 }]);
         let err = c.validate_signature(&[Act::Msg]).unwrap_err();
         assert!(matches!(err, SignatureError::SharedControl { .. }));
         assert!(err.to_string().contains("locally controlled"));

@@ -44,11 +44,21 @@ pub enum DeterminismError {
 impl std::fmt::Display for DeterminismError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DeterminismError::EnabledButNotApplicable { task, state, action } => {
-                write!(f, "{task} reported {action} enabled in {state} but step rejected it")
+            DeterminismError::EnabledButNotApplicable {
+                task,
+                state,
+                action,
+            } => {
+                write!(
+                    f,
+                    "{task} reported {action} enabled in {state} but step rejected it"
+                )
             }
             DeterminismError::EnabledNotLocallyControlled { task, action } => {
-                write!(f, "{task} reported non-locally-controlled action {action} as enabled")
+                write!(
+                    f,
+                    "{task} reported non-locally-controlled action {action} as enabled"
+                )
             }
             DeterminismError::InputRefused { state, action } => {
                 write!(f, "input action {action} refused in state {state}")
@@ -76,7 +86,10 @@ pub fn check_task_determinism<M: Automaton>(
         let mut choices = Vec::new();
         for t in 0..m.task_count() {
             if let Some(a) = m.enabled(&s, TaskId(t)) {
-                if !m.classify(&a).is_some_and(ActionClass::is_locally_controlled) {
+                if !m
+                    .classify(&a)
+                    .is_some_and(ActionClass::is_locally_controlled)
+                {
                     return Err(DeterminismError::EnabledNotLocallyControlled {
                         task: TaskId(t),
                         action: format!("{a:?}"),
@@ -220,22 +233,37 @@ mod tests {
 
     #[test]
     fn enabled_but_inapplicable_detected() {
-        let g = Gadget { broken_step: true, ..Gadget::default() };
+        let g = Gadget {
+            broken_step: true,
+            ..Gadget::default()
+        };
         let err = check_task_determinism(&g, 100, 1).unwrap_err();
-        assert!(matches!(err, DeterminismError::EnabledButNotApplicable { .. }));
+        assert!(matches!(
+            err,
+            DeterminismError::EnabledButNotApplicable { .. }
+        ));
         assert!(err.to_string().contains("step rejected"));
     }
 
     #[test]
     fn non_local_enabled_detected() {
-        let g = Gadget { broken_class: true, ..Gadget::default() };
+        let g = Gadget {
+            broken_class: true,
+            ..Gadget::default()
+        };
         let err = check_task_determinism(&g, 100, 1).unwrap_err();
-        assert!(matches!(err, DeterminismError::EnabledNotLocallyControlled { .. }));
+        assert!(matches!(
+            err,
+            DeterminismError::EnabledNotLocallyControlled { .. }
+        ));
     }
 
     #[test]
     fn refused_input_detected() {
-        let g = Gadget { broken_input: true, ..Gadget::default() };
+        let g = Gadget {
+            broken_input: true,
+            ..Gadget::default()
+        };
         let err = check_input_enabled(&g, &[Act::In], 100, 1).unwrap_err();
         assert!(matches!(err, DeterminismError::InputRefused { .. }));
         assert!(err.to_string().contains("refused"));

@@ -34,7 +34,11 @@ impl<M: Automaton> Execution<M> {
     /// A null execution from `s0`.
     #[must_use]
     pub fn null(s0: M::State) -> Self {
-        Execution { states: vec![s0], actions: Vec::new(), policy: StatePolicy::Full }
+        Execution {
+            states: vec![s0],
+            actions: Vec::new(),
+            policy: StatePolicy::Full,
+        }
     }
 
     /// Number of events.
@@ -55,7 +59,9 @@ impl<M: Automaton> Execution<M> {
     /// Never: an execution always contains at least the initial state.
     #[must_use]
     pub fn last_state(&self) -> &M::State {
-        self.states.last().expect("execution has at least one state")
+        self.states
+            .last()
+            .expect("execution has at least one state")
     }
 
     /// The schedule of the execution: all events (§2.2). Identical to
@@ -69,7 +75,11 @@ impl<M: Automaton> Execution<M> {
     /// of `m` (§2.2).
     #[must_use]
     pub fn trace(&self, m: &M) -> Vec<M::Action> {
-        self.actions.iter().filter(|a| m.is_external(a)).cloned().collect()
+        self.actions
+            .iter()
+            .filter(|a| m.is_external(a))
+            .cloned()
+            .collect()
     }
 
     /// Projection of the schedule onto an arbitrary action predicate.
@@ -134,7 +144,11 @@ impl<M: Automaton> Execution<M> {
 /// Extract the trace (external actions of `m`) from a schedule.
 #[must_use]
 pub fn trace_of<M: Automaton>(m: &M, schedule: &[M::Action]) -> Vec<M::Action> {
-    schedule.iter().filter(|a| m.is_external(a)).cloned().collect()
+    schedule
+        .iter()
+        .filter(|a| m.is_external(a))
+        .cloned()
+        .collect()
 }
 
 /// Extract the output events of `m` from a schedule.

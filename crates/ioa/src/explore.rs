@@ -70,7 +70,10 @@ where
 {
     let s0 = m.initial_state();
     if !invariant(&s0) {
-        return SweepOutcome::Violated(CounterExample { path: Vec::new(), state: s0 });
+        return SweepOutcome::Violated(CounterExample {
+            path: Vec::new(),
+            state: s0,
+        });
     }
     let mut seen: HashMap<M::State, usize> = HashMap::new();
     let mut parents: Vec<Option<(usize, M::Action)>> = vec![None];
@@ -119,7 +122,10 @@ where
             queue.push_back(nid);
         }
     }
-    SweepOutcome::Holds { states: states.len(), complete }
+    SweepOutcome::Holds {
+        states: states.len(),
+        complete,
+    }
 }
 
 /// Count the distinct reachable states within `max_states` (a trivial
@@ -200,7 +206,11 @@ mod tests {
         let out = check_invariant(&m, &[Act::Reset], 1000, |s| *s < 3);
         let cex = out.counterexample().expect("violated");
         assert_eq!(cex.state, 3);
-        assert_eq!(cex.path, vec![Act::Inc, Act::Inc, Act::Inc], "BFS finds the shortest");
+        assert_eq!(
+            cex.path,
+            vec![Act::Inc, Act::Inc, Act::Inc],
+            "BFS finds the shortest"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl FairnessReport {
     /// state information was available.
     #[must_use]
     pub fn worst_gap(&self) -> Option<usize> {
-        self.max_gap.as_ref().map(|g| g.iter().copied().max().unwrap_or(0))
+        self.max_gap
+            .as_ref()
+            .map(|g| g.iter().copied().max().unwrap_or(0))
     }
 }
 
@@ -48,11 +50,12 @@ impl FairnessReport {
 pub fn fairness_report<M: Automaton>(m: &M, exec: &Execution<M>) -> FairnessReport {
     let n = m.task_count();
     let final_state = exec.last_state();
-    let enabled_at_end: Vec<TaskId> =
-        (0..n).map(TaskId).filter(|&t| m.enabled(final_state, t).is_some()).collect();
+    let enabled_at_end: Vec<TaskId> = (0..n)
+        .map(TaskId)
+        .filter(|&t| m.enabled(final_state, t).is_some())
+        .collect();
     let mut events_per_task = vec![0usize; n];
-    let max_gap = if exec.policy == StatePolicy::Full
-        && exec.states.len() == exec.actions.len() + 1
+    let max_gap = if exec.policy == StatePolicy::Full && exec.states.len() == exec.actions.len() + 1
     {
         let mut gap = vec![0usize; n];
         let mut cur = vec![0usize; n];
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn quiescent_execution_is_fair() {
-        let m = Two { limit_a: 1, limit_b: 1 };
+        let m = Two {
+            limit_a: 1,
+            limit_b: 1,
+        };
         let e = apply_schedule(&m, (0, 0), &[Act::A, Act::B]).unwrap();
         let r = fairness_report(&m, &e);
         assert!(r.is_fair_finite());
@@ -152,7 +158,10 @@ mod tests {
 
     #[test]
     fn unfinished_task_breaks_finite_fairness() {
-        let m = Two { limit_a: 1, limit_b: 1 };
+        let m = Two {
+            limit_a: 1,
+            limit_b: 1,
+        };
         let e = apply_schedule(&m, (0, 0), &[Act::A]).unwrap();
         let r = fairness_report(&m, &e);
         assert!(!r.is_fair_finite());
@@ -161,7 +170,10 @@ mod tests {
 
     #[test]
     fn gap_measures_starvation() {
-        let m = Two { limit_a: 3, limit_b: 1 };
+        let m = Two {
+            limit_a: 3,
+            limit_b: 1,
+        };
         // B is enabled from the start but performed last.
         let e = apply_schedule(&m, (0, 0), &[Act::A, Act::A, Act::A, Act::B]).unwrap();
         let r = fairness_report(&m, &e);
@@ -171,7 +183,10 @@ mod tests {
 
     #[test]
     fn gap_resets_when_disabled() {
-        let m = Two { limit_a: 2, limit_b: 2 };
+        let m = Two {
+            limit_a: 2,
+            limit_b: 2,
+        };
         let e = apply_schedule(&m, (0, 0), &[Act::B, Act::A, Act::B, Act::A]).unwrap();
         let r = fairness_report(&m, &e);
         assert_eq!(r.worst_gap(), Some(1));
@@ -179,7 +194,10 @@ mod tests {
 
     #[test]
     fn endpoints_policy_yields_no_gap_info() {
-        let m = Two { limit_a: 1, limit_b: 1 };
+        let m = Two {
+            limit_a: 1,
+            limit_b: 1,
+        };
         let mut e = apply_schedule(&m, (0, 0), &[Act::A, Act::B]).unwrap();
         e.policy = StatePolicy::Endpoints;
         e.states = vec![(0, 0), (1, 1)];

@@ -31,7 +31,11 @@ pub struct RunOptions<M: Automaton> {
 
 impl<M: Automaton> Default for RunOptions<M> {
     fn default() -> Self {
-        RunOptions { max_steps: 100_000, policy: StatePolicy::Full, stop_when: None }
+        RunOptions {
+            max_steps: 100_000,
+            policy: StatePolicy::Full,
+            stop_when: None,
+        }
     }
 }
 
@@ -142,7 +146,9 @@ impl<'m, M: Automaton> Runner<'m, M> {
                     break;
                 }
             };
-            let next = m.step(exec.last_state(), &a).expect("enabled action must apply");
+            let next = m
+                .step(exec.last_state(), &a)
+                .expect("enabled action must apply");
             exec.push(a, next);
         }
         // Final predicate check so `Predicate` is reported even when the
@@ -154,7 +160,10 @@ impl<'m, M: Automaton> Runner<'m, M> {
                 }
             }
         }
-        RunOutcome { execution: exec, reason }
+        RunOutcome {
+            execution: exec,
+            reason,
+        }
     }
 }
 

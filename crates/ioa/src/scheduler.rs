@@ -81,7 +81,11 @@ impl RandomFair {
     /// Seeded randomized fair scheduler (deterministic per seed).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        RandomFair { rng: StdRng::seed_from_u64(seed), debt: Vec::new(), max_debt: 64 }
+        RandomFair {
+            rng: StdRng::seed_from_u64(seed),
+            debt: Vec::new(),
+            max_debt: 64,
+        }
     }
 
     /// Override the anti-starvation cap.
@@ -96,8 +100,9 @@ impl<M: Automaton> Scheduler<M> for RandomFair {
     fn next_task(&mut self, m: &M, s: &M::State, _step: usize) -> Option<TaskId> {
         let n = m.task_count();
         self.debt.resize(n, 0);
-        let enabled: Vec<usize> =
-            (0..n).filter(|&t| m.enabled(s, TaskId(t)).is_some()).collect();
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&t| m.enabled(s, TaskId(t)).is_some())
+            .collect();
         if enabled.is_empty() {
             return None;
         }
@@ -153,7 +158,12 @@ impl Adversarial {
     /// opportunities at a time.
     #[must_use]
     pub fn new(victims: Vec<usize>, delay: u64) -> Self {
-        Adversarial { victims, delay, withheld: Vec::new(), rr: RoundRobin::new() }
+        Adversarial {
+            victims,
+            delay,
+            withheld: Vec::new(),
+            rr: RoundRobin::new(),
+        }
     }
 }
 
@@ -240,7 +250,9 @@ mod tests {
         let mut s = m.initial_state();
         let mut out = Vec::new();
         for step in 0..max {
-            let Some(t) = sched.next_task(m, &s, step) else { break };
+            let Some(t) = sched.next_task(m, &s, step) else {
+                break;
+            };
             let a = m.enabled(&s, t).expect("scheduler returned enabled task");
             s = m.step(&s, &a).expect("enabled action applies");
             out.push(a);
@@ -294,8 +306,12 @@ mod tests {
         let mut sched = RandomFair::new(3).with_max_debt(4);
         let acts = run(&m, &mut sched, 200);
         // No gap between consecutive B's may exceed max_debt + 1 slots.
-        let positions: Vec<usize> =
-            acts.iter().enumerate().filter(|(_, a)| **a == Act::B).map(|(i, _)| i).collect();
+        let positions: Vec<usize> = acts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Act::B)
+            .map(|(i, _)| i)
+            .collect();
         for w in positions.windows(2) {
             assert!(w[1] - w[0] <= 6, "starved beyond cap: {positions:?}");
         }
@@ -309,7 +325,11 @@ mod tests {
         // Task B is withheld while A is available, but still completes.
         assert_eq!(acts.iter().filter(|a| **a == Act::B).count(), 3);
         assert_eq!(acts.iter().filter(|a| **a == Act::A).count(), 3);
-        assert_eq!(&acts[..3], &[Act::A, Act::A, Act::A], "victim starved first");
+        assert_eq!(
+            &acts[..3],
+            &[Act::A, Act::A, Act::A],
+            "victim starved first"
+        );
     }
 
     #[test]

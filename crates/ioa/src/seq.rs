@@ -13,7 +13,11 @@ pub fn project<T: Clone, F: Fn(&T) -> bool>(t: &[T], keep: F) -> Vec<T> {
 /// Indices of the elements of `t` satisfying `keep`.
 #[must_use]
 pub fn project_indices<T, F: Fn(&T) -> bool>(t: &[T], keep: F) -> Vec<usize> {
-    t.iter().enumerate().filter(|(_, x)| keep(x)).map(|(i, _)| i).collect()
+    t.iter()
+        .enumerate()
+        .filter(|(_, x)| keep(x))
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// True iff `small` is a (not necessarily contiguous) subsequence of `big`.

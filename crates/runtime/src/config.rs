@@ -1,0 +1,273 @@
+//! Runtime configuration: event budget, fault injection, link faults,
+//! pacing, and shutdown policy.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use afd_core::{Action, Loc};
+use afd_system::FaultPattern;
+
+/// What happens to a process's worker thread when its location crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashMode {
+    /// The thread keeps running; the process automaton's own crash
+    /// semantics silence it (outputs disabled, inputs absorbed). This
+    /// mirrors the paper's model exactly: a crashed automaton still
+    /// *exists*, it just stops producing locally controlled actions.
+    #[default]
+    Halt,
+    /// The worker thread exits as soon as it observes its own crash:
+    /// the OS-level analogue of `kill -9`. Messages routed to it are
+    /// dropped on the floor (its channel receiver is gone), which is
+    /// indistinguishable from crash-stop for every other component.
+    Kill,
+}
+
+/// Delay profile of one channel: each delivery waits `delay` plus a
+/// uniform draw from `0..jitter` before committing. The channel stays
+/// reliable FIFO — head-of-line blocking preserves order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkProfile {
+    /// Fixed delivery delay.
+    pub delay: Duration,
+    /// Upper bound of the uniform extra delay.
+    pub jitter: Duration,
+}
+
+impl LinkProfile {
+    /// A profile with fixed `delay` and no jitter.
+    #[must_use]
+    pub fn delay(delay: Duration) -> Self {
+        LinkProfile {
+            delay,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// A profile with fixed `delay` plus uniform `jitter`.
+    #[must_use]
+    pub fn jittered(delay: Duration, jitter: Duration) -> Self {
+        LinkProfile { delay, jitter }
+    }
+
+    /// True iff this profile never sleeps.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.delay.is_zero() && self.jitter.is_zero()
+    }
+}
+
+/// Per-channel delivery delays: a default profile plus `(from, to)`
+/// overrides.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFaults {
+    default: LinkProfile,
+    overrides: BTreeMap<(Loc, Loc), LinkProfile>,
+}
+
+impl LinkFaults {
+    /// No delays anywhere.
+    #[must_use]
+    pub fn none() -> Self {
+        LinkFaults::default()
+    }
+
+    /// Apply `profile` to every channel.
+    #[must_use]
+    pub fn uniform(profile: LinkProfile) -> Self {
+        LinkFaults {
+            default: profile,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Override the profile of channel `(from, to)`.
+    #[must_use]
+    pub fn with_override(mut self, from: Loc, to: Loc, profile: LinkProfile) -> Self {
+        self.overrides.insert((from, to), profile);
+        self
+    }
+
+    /// The profile of channel `(from, to)`.
+    #[must_use]
+    pub fn profile(&self, from: Loc, to: Loc) -> LinkProfile {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// True iff no channel ever sleeps.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.default.is_zero() && self.overrides.values().all(LinkProfile::is_zero)
+    }
+}
+
+/// Early-stop predicate over the committed schedule prefix.
+pub type StopPredicate = Arc<dyn Fn(&[Action]) -> bool + Send + Sync>;
+
+/// Configuration of a threaded run.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    /// Hard cap on committed events.
+    pub max_events: usize,
+    /// Crash injection schedule: `(global event index, location)`.
+    pub faults: FaultPattern,
+    /// Thread fate on crash.
+    pub crash_mode: CrashMode,
+    /// Per-channel delivery delays.
+    pub links: LinkFaults,
+    /// Minimum spacing between failure-detector output commits. FD
+    /// generators are perpetually enabled; without pacing they flood
+    /// the log and starve algorithm progress within `max_events`.
+    pub fd_pacing: Duration,
+    /// How often (in committed events) the stop predicate is evaluated.
+    pub stop_check_interval: usize,
+    /// Declare the run quiescent after this long without a commit.
+    pub idle_shutdown: Duration,
+    /// Wall-clock safety net.
+    pub wall_timeout: Duration,
+    /// Seed for link-fault jitter.
+    pub seed: u64,
+    /// Early-stop predicate, checked every `stop_check_interval` commits.
+    pub stop_when: Option<StopPredicate>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_events: 4_000,
+            faults: FaultPattern::none(),
+            crash_mode: CrashMode::Halt,
+            links: LinkFaults::none(),
+            fd_pacing: Duration::from_micros(50),
+            stop_check_interval: 16,
+            idle_shutdown: Duration::from_millis(25),
+            wall_timeout: Duration::from_secs(10),
+            seed: 0,
+            stop_when: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeConfig")
+            .field("max_events", &self.max_events)
+            .field("faults", &self.faults)
+            .field("crash_mode", &self.crash_mode)
+            .field("links", &self.links)
+            .field("fd_pacing", &self.fd_pacing)
+            .field("stop_check_interval", &self.stop_check_interval)
+            .field("idle_shutdown", &self.idle_shutdown)
+            .field("wall_timeout", &self.wall_timeout)
+            .field("seed", &self.seed)
+            .field("stop_when", &self.stop_when.is_some())
+            .finish()
+    }
+}
+
+impl RuntimeConfig {
+    /// Set the event budget.
+    #[must_use]
+    pub fn with_max_events(mut self, n: usize) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Set the crash injection schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPattern) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the thread fate on crash.
+    #[must_use]
+    pub fn with_crash_mode(mut self, mode: CrashMode) -> Self {
+        self.crash_mode = mode;
+        self
+    }
+
+    /// Set the link-fault layer.
+    #[must_use]
+    pub fn with_links(mut self, links: LinkFaults) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// Set FD-output pacing (zero disables pacing).
+    #[must_use]
+    pub fn with_fd_pacing(mut self, pacing: Duration) -> Self {
+        self.fd_pacing = pacing;
+        self
+    }
+
+    /// Set the idle-shutdown window.
+    #[must_use]
+    pub fn with_idle_shutdown(mut self, window: Duration) -> Self {
+        self.idle_shutdown = window;
+        self
+    }
+
+    /// Set the wall-clock safety net.
+    #[must_use]
+    pub fn with_wall_timeout(mut self, timeout: Duration) -> Self {
+        self.wall_timeout = timeout;
+        self
+    }
+
+    /// Set the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Stop once `pred(schedule)` holds (checked every
+    /// `stop_check_interval` commits).
+    #[must_use]
+    pub fn stop_when<F>(mut self, pred: F) -> Self
+    where
+        F: Fn(&[Action]) -> bool + Send + Sync + 'static,
+    {
+        self.stop_when = Some(Arc::new(pred));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_faults_resolve_overrides() {
+        let lf = LinkFaults::uniform(LinkProfile::delay(Duration::from_micros(100))).with_override(
+            Loc(0),
+            Loc(1),
+            LinkProfile::jittered(Duration::ZERO, Duration::from_micros(50)),
+        );
+        assert_eq!(lf.profile(Loc(1), Loc(0)).delay, Duration::from_micros(100));
+        assert_eq!(lf.profile(Loc(0), Loc(1)).delay, Duration::ZERO);
+        assert_eq!(lf.profile(Loc(0), Loc(1)).jitter, Duration::from_micros(50));
+        assert!(!lf.is_zero());
+        assert!(LinkFaults::none().is_zero());
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = RuntimeConfig::default()
+            .with_max_events(99)
+            .with_crash_mode(CrashMode::Kill)
+            .with_fd_pacing(Duration::ZERO)
+            .with_seed(7)
+            .stop_when(|s| s.len() > 3);
+        assert_eq!(cfg.max_events, 99);
+        assert_eq!(cfg.crash_mode, CrashMode::Kill);
+        assert!(cfg.stop_when.is_some());
+        let dbg = format!("{cfg:?}");
+        assert!(dbg.contains("max_events: 99"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-validation helpers: checks applied to threaded schedules so
+//! they can be fed to the same trace machinery as simulated ones.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use afd_core::{Action, AfdSpec, Msg, Pi, Violation};
+
+/// A reliable-FIFO violation found in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoViolation {
+    /// Sender of the offending channel.
+    pub from: afd_core::Loc,
+    /// Receiver of the offending channel.
+    pub to: afd_core::Loc,
+    /// Index of the offending `Receive` in the schedule.
+    pub index: usize,
+    /// The message that was delivered.
+    pub got: Msg,
+    /// The message FIFO order required (`None`: nothing was in flight).
+    pub expected: Option<Msg>,
+}
+
+/// Check that every channel in `schedule` behaved as a reliable FIFO
+/// link: each `Receive` on `(from, to)` must deliver the oldest
+/// undelivered `Send` on that channel. Returns the first violation.
+#[must_use]
+pub fn fifo_violation(schedule: &[Action]) -> Option<FifoViolation> {
+    let mut in_flight: BTreeMap<(afd_core::Loc, afd_core::Loc), VecDeque<Msg>> = BTreeMap::new();
+    for (index, a) in schedule.iter().enumerate() {
+        match *a {
+            Action::Send { from, to, msg } => {
+                in_flight.entry((from, to)).or_default().push_back(msg);
+            }
+            Action::Receive { from, to, msg } => {
+                let expected = in_flight.entry((from, to)).or_default().pop_front();
+                if expected != Some(msg) {
+                    return Some(FifoViolation {
+                        from,
+                        to,
+                        index,
+                        got: msg,
+                        expected,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Project `schedule` onto the failure-detector alphabet — crashes and
+/// FD outputs — the sub-trace the `T_D` membership checkers consume.
+#[must_use]
+pub fn fd_projection(schedule: &[Action]) -> Vec<Action> {
+    schedule
+        .iter()
+        .filter(|a| a.is_crash() || a.is_fd_output())
+        .copied()
+        .collect()
+}
+
+/// Check a threaded schedule's FD behaviour against `spec`: project
+/// onto the FD alphabet and run the full `T_D` membership check.
+///
+/// # Errors
+/// Returns the violation if the projected trace is not in `T_D`.
+pub fn check_fd_trace(spec: &dyn AfdSpec, pi: Pi, schedule: &[Action]) -> Result<(), Violation> {
+    spec.check_complete(pi, &fd_projection(schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::{FdOutput, Loc};
+
+    fn send(from: u8, to: u8, k: u64) -> Action {
+        Action::Send {
+            from: Loc(from),
+            to: Loc(to),
+            msg: Msg::Token(k),
+        }
+    }
+
+    fn recv(from: u8, to: u8, k: u64) -> Action {
+        Action::Receive {
+            from: Loc(from),
+            to: Loc(to),
+            msg: Msg::Token(k),
+        }
+    }
+
+    #[test]
+    fn in_order_interleaved_channels_pass() {
+        let s = [
+            send(0, 1, 1),
+            send(1, 0, 9),
+            send(0, 1, 2),
+            recv(0, 1, 1),
+            recv(1, 0, 9),
+            recv(0, 1, 2),
+        ];
+        assert_eq!(fifo_violation(&s), None);
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_flagged() {
+        let s = [send(0, 1, 1), send(0, 1, 2), recv(0, 1, 2)];
+        let v = fifo_violation(&s).expect("violation");
+        assert_eq!(v.index, 2);
+        assert_eq!(v.got, Msg::Token(2));
+        assert_eq!(v.expected, Some(Msg::Token(1)));
+    }
+
+    #[test]
+    fn delivery_without_send_is_flagged() {
+        let v = fifo_violation(&[recv(0, 1, 7)]).expect("violation");
+        assert_eq!(v.expected, None);
+    }
+
+    #[test]
+    fn projection_keeps_only_fd_alphabet() {
+        let s = [
+            send(0, 1, 1),
+            Action::Crash(Loc(2)),
+            Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0)),
+            },
+            recv(0, 1, 1),
+        ];
+        let p = fd_projection(&s);
+        assert_eq!(p.len(), 2);
+        assert!(p[0].is_crash());
+        assert!(p[1].is_fd_output());
+    }
+}

@@ -1,0 +1,41 @@
+//! `afd-runtime`: a concurrent, multi-threaded execution runtime for
+//! AFD systems, with fault injection.
+//!
+//! Where `afd-system`'s simulator picks one interleaving with a
+//! scheduling policy, this crate runs the *same* `System<P>`
+//! composition on real OS threads — one per component automaton — and
+//! lets the operating system's scheduler produce the interleaving.
+//! Nondeterminism is real, not sampled.
+//!
+//! The bridge back to the theory is the [`sink::EventSink`]: every
+//! action is committed through one mutex, and the mutex order *is* the
+//! schedule (commit happens before the local `step` and before
+//! routing, so causes always precede effects in the log). The
+//! resulting `Vec<Action>` is a legal schedule of the composition and
+//! feeds directly into `RunStats`, the `T_D` membership checkers, and
+//! the consensus problem specs — which is how threaded runs are
+//! cross-validated against the simulator (see
+//! `tests/threaded_cross_validation.rs` at the workspace root).
+//!
+//! Fault injection:
+//! - a crash injector fires the configured `FaultPattern` at global
+//!   event-count thresholds, with [`CrashMode::Halt`] (the paper's
+//!   model: the automaton survives, silenced) or [`CrashMode::Kill`]
+//!   (the worker thread exits, dropping its input queue);
+//! - a link-fault layer ([`LinkFaults`]) delays channel deliveries
+//!   with per-channel fixed delay plus seeded uniform jitter, while
+//!   head-of-line blocking keeps every channel reliable FIFO.
+//!
+//! The crate is deliberately std-only: threads, `mpsc`, atomics — no
+//! async runtime.
+
+pub mod config;
+pub mod harness;
+pub mod rng;
+pub mod runtime;
+pub mod sink;
+
+pub use config::{CrashMode, LinkFaults, LinkProfile, RuntimeConfig, StopPredicate};
+pub use harness::{check_fd_trace, fd_projection, fifo_violation, FifoViolation};
+pub use runtime::{run_threaded, RuntimeOutcome};
+pub use sink::{Commit, EventSink, StopReason};

@@ -1,0 +1,318 @@
+//! The threaded executor: one OS thread per component automaton,
+//! `std::sync::mpsc` channels as the transport between them, a crash
+//! injector, and a monitor enforcing idle/wall-clock shutdown.
+//!
+//! Every worker runs the same loop against its component's `Automaton`
+//! implementation: drain routed inputs (applying `step`), sweep local
+//! tasks for enabled actions, commit each through the shared
+//! [`EventSink`], and on acceptance apply the local `step` and route
+//! the action to every component that classifies it as an input. The
+//! commit-then-step-then-route order is what makes the sink's log a
+//! legal schedule (see the linearization convention in [`crate::sink`]).
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::thread;
+use std::time::Duration;
+
+use afd_core::Action;
+use afd_system::{Component, ComponentKind, RunStats, System};
+use ioa::{ActionClass, Automaton, TaskId};
+
+use crate::config::{CrashMode, LinkProfile, RuntimeConfig};
+use crate::rng::SplitMix64;
+use crate::sink::{Commit, EventSink, StopReason};
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct RuntimeOutcome {
+    /// The linearized event log (see [`crate::sink`] for the
+    /// convention making this a legal schedule).
+    pub schedule: Vec<Action>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl RuntimeOutcome {
+    /// Committed event count.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Aggregate statistics of the schedule.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        RunStats::of(&self.schedule)
+    }
+
+    /// Events satisfying `keep`.
+    #[must_use]
+    pub fn project<F: Fn(&Action) -> bool>(&self, keep: F) -> Vec<Action> {
+        self.schedule.iter().filter(|a| keep(a)).copied().collect()
+    }
+
+    /// Commit throughput of the run.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.schedule.len() as f64 / secs
+    }
+}
+
+/// Route `a` to every component (except `from_idx`) that classifies it
+/// as an input. Send errors mean the receiver was killed — exactly the
+/// crash-stop semantics `CrashMode::Kill` asks for — so they are
+/// deliberately ignored.
+fn route<P>(comps: &[Component<P>], senders: &[Sender<Action>], from_idx: usize, a: Action)
+where
+    P: Automaton<Action = Action>,
+{
+    for (idx, c) in comps.iter().enumerate() {
+        if idx != from_idx && c.classify(&a) == Some(ActionClass::Input) {
+            let _ = senders[idx].send(a);
+        }
+    }
+}
+
+/// How long an idle worker blocks on its input queue per wait.
+const IDLE_WAIT: Duration = Duration::from_micros(500);
+/// How long a worker backs off after a suppressed commit (waiting for
+/// its own crash event to arrive on the input queue).
+const SUPPRESSED_WAIT: Duration = Duration::from_micros(200);
+/// Crash-injector polling period while waiting for a threshold.
+const INJECTOR_POLL: Duration = Duration::from_micros(100);
+/// Monitor polling period.
+const MONITOR_POLL: Duration = Duration::from_micros(500);
+
+#[allow(clippy::too_many_arguments)]
+fn worker<P>(
+    comps: &[Component<P>],
+    senders: &[Sender<Action>],
+    idx: usize,
+    kind: ComponentKind,
+    rx: &Receiver<Action>,
+    sink: &EventSink,
+    cfg: &RuntimeConfig,
+    profile: LinkProfile,
+) where
+    P: Automaton<Action = Action>,
+{
+    let comp = &comps[idx];
+    let mut state = comp.initial_state();
+    let mut rng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    loop {
+        if sink.is_stopped() {
+            return;
+        }
+        if cfg.crash_mode == CrashMode::Kill {
+            if let ComponentKind::Process(l) = kind {
+                if sink.is_crashed(l) {
+                    // kill -9: drop the receiver, losing queued inputs.
+                    return;
+                }
+            }
+        }
+        // Drain routed inputs (inputs are always enabled; a `None`
+        // step would be a signature bug, tolerated as a no-op).
+        while let Ok(a) = rx.try_recv() {
+            if let Some(next) = comp.step(&state, &a) {
+                state = next;
+            }
+        }
+        // Sweep local tasks.
+        let mut progressed = false;
+        for t in 0..comp.task_count() {
+            if sink.is_stopped() {
+                return;
+            }
+            let Some(a) = comp.enabled(&state, TaskId(t)) else {
+                continue;
+            };
+            // Pacing and link faults happen before the commit, so the
+            // linearization point itself stays instantaneous.
+            match kind {
+                ComponentKind::Fd if !cfg.fd_pacing.is_zero() => thread::sleep(cfg.fd_pacing),
+                ComponentKind::Channel(_, _) if !profile.is_zero() => {
+                    let jitter_ns =
+                        rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
+                    thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
+                }
+                _ => {}
+            }
+            match sink.try_commit(a) {
+                Commit::Accepted => {
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                    route(comps, senders, idx, a);
+                    progressed = true;
+                }
+                Commit::Suppressed => {
+                    // Our location is dead but the Crash input hasn't
+                    // reached us yet: absorb it instead of spinning.
+                    if let Ok(a) = rx.recv_timeout(SUPPRESSED_WAIT) {
+                        if let Some(next) = comp.step(&state, &a) {
+                            state = next;
+                        }
+                    }
+                }
+                Commit::Stopped => return,
+            }
+        }
+        if !progressed {
+            match rx.recv_timeout(IDLE_WAIT) {
+                Ok(a) => {
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every other worker is gone; without inputs no new
+                    // task can become enabled.
+                    if !comp.any_task_enabled(&state) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The crash injector: owns the crash-automaton component, fires the
+/// fault pattern's `(step, loc)` entries when the global event count
+/// reaches each threshold, validating the adversary's script order
+/// (entries the script rejects are dropped, mirroring the simulator).
+fn injector<P>(
+    comps: &[Component<P>],
+    senders: &[Sender<Action>],
+    crash_idx: usize,
+    cfg: &RuntimeConfig,
+    sink: &EventSink,
+) where
+    P: Automaton<Action = Action>,
+{
+    let comp = &comps[crash_idx];
+    let mut state = comp.initial_state();
+    let mut pending = cfg.faults.crashes.clone();
+    while !pending.is_empty() {
+        if sink.is_stopped() {
+            return;
+        }
+        let (when, loc) = pending[0];
+        if sink.len() < when {
+            thread::sleep(INJECTOR_POLL);
+            continue;
+        }
+        pending.remove(0);
+        let a = Action::Crash(loc);
+        let Some(next) = comp.step(&state, &a) else {
+            continue; // script mismatch: drop, like `run_sim`
+        };
+        match sink.try_commit(a) {
+            Commit::Accepted => {
+                state = next;
+                route(comps, senders, crash_idx, a);
+            }
+            Commit::Suppressed => unreachable!("crash events are never suppressed"),
+            Commit::Stopped => return,
+        }
+    }
+}
+
+/// The monitor: stops the run on quiescence (no commit for the idle
+/// window) or when the wall-clock safety net fires.
+fn monitor(sink: &EventSink, idle: Duration, wall: Duration) {
+    let idle_ns = u64::try_from(idle.as_nanos()).unwrap_or(u64::MAX);
+    while !sink.is_stopped() {
+        thread::sleep(MONITOR_POLL);
+        if sink.elapsed() >= wall {
+            sink.stop(StopReason::WallClock);
+            return;
+        }
+        if sink.ns_since_last_commit() >= idle_ns {
+            sink.stop(StopReason::Idle);
+            return;
+        }
+    }
+}
+
+/// Execute `sys` on real OS threads under `cfg`.
+///
+/// One worker thread per component (the crash automaton's place is
+/// taken by the injector), plus the monitor. Returns once every thread
+/// has joined; the returned schedule is the sink's linearized log.
+#[must_use]
+pub fn run_threaded<P>(sys: &System<P>, cfg: &RuntimeConfig) -> RuntimeOutcome
+where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    let comps = sys.composition.components();
+    let kinds = sys.component_kinds();
+    // Keep the idle window above the longest configured link sleep, or
+    // delayed deliveries would read as quiescence.
+    let max_link_sleep = sys
+        .pi
+        .iter()
+        .flat_map(|i| sys.pi.iter().map(move |j| (i, j)))
+        .filter(|(i, j)| i != j)
+        .map(|(i, j)| {
+            let p = cfg.links.profile(i, j);
+            p.delay + p.jitter
+        })
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let idle = cfg.idle_shutdown.max(4 * max_link_sleep);
+
+    let sink = EventSink::new(
+        cfg.max_events,
+        cfg.stop_check_interval,
+        cfg.stop_when.clone(),
+    );
+    let mut senders: Vec<Sender<Action>> = Vec::with_capacity(comps.len());
+    let mut receivers: Vec<Option<Receiver<Action>>> = Vec::with_capacity(comps.len());
+    for _ in 0..comps.len() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    thread::scope(|s| {
+        for (idx, kind) in kinds.iter().copied().enumerate() {
+            if matches!(kind, ComponentKind::Crash) {
+                continue; // the injector owns the crash automaton
+            }
+            let rx = receivers[idx].take().expect("receiver taken once");
+            let senders = senders.clone();
+            let sink = &sink;
+            let profile = match kind {
+                ComponentKind::Channel(i, j) => cfg.links.profile(i, j),
+                _ => LinkProfile::default(),
+            };
+            s.spawn(move || worker(comps, &senders, idx, kind, &rx, sink, cfg, profile));
+        }
+        if let Some(crash_idx) = kinds.iter().position(|k| matches!(k, ComponentKind::Crash)) {
+            let senders = senders.clone();
+            let sink = &sink;
+            s.spawn(move || injector(comps, &senders, crash_idx, cfg, sink));
+        }
+        {
+            let sink = &sink;
+            s.spawn(move || monitor(sink, idle, cfg.wall_timeout));
+        }
+    });
+
+    let elapsed = sink.elapsed();
+    let (schedule, stop) = sink.into_log();
+    RuntimeOutcome {
+        schedule,
+        stop: stop.unwrap_or(StopReason::Idle),
+        elapsed,
+    }
+}

@@ -1,0 +1,296 @@
+//! The sequenced event sink: the single point every worker thread
+//! commits through, producing the totally-ordered event log.
+//!
+//! **Linearization convention.** The mutex-ordered append IS the
+//! schedule: an action happened at the instant its append took the
+//! lock. Workers commit *before* applying their local `step` and
+//! *before* routing the action to input-takers, so every causal
+//! successor (a `Receive` of a `Send`, a state change downstream of a
+//! `Crash`) can only be committed after its cause is already in the
+//! log. The recorded `Vec<Action>` is therefore a legal schedule of
+//! the composition, directly consumable by `RunStats::of`, the
+//! `AfdSpec` membership checkers, and the consensus/problem specs.
+//!
+//! **Crash suppression.** The sink tracks crashed locations. A commit
+//! of any action `a` with `loc(a)` crashed is rejected
+//! ([`Commit::Suppressed`]) unless `a` is itself a `Crash` or a
+//! `Receive` — channels may deliver to dead processes (the process
+//! absorbs inputs silently), but a dead location produces nothing.
+//! Because the check happens under the same lock as the append, no
+//! output of a crashed location can race past its crash into the log,
+//! which is exactly the AFD validity safety clause.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use afd_core::{Action, Loc};
+
+use crate::config::StopPredicate;
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event budget was exhausted.
+    MaxEvents,
+    /// The stop predicate held.
+    Predicate,
+    /// Nothing committed for the idle-shutdown window (quiescence).
+    Idle,
+    /// The wall-clock safety net fired.
+    WallClock,
+}
+
+/// Outcome of one commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Commit {
+    /// Appended to the log; the committer must now apply its local
+    /// `step` and route the action.
+    Accepted,
+    /// Rejected: the action's location is crashed. The committer must
+    /// NOT step — the action never happened.
+    Suppressed,
+    /// The run is over; the worker should exit.
+    Stopped,
+}
+
+struct Inner {
+    log: Vec<Action>,
+    stop: Option<StopReason>,
+}
+
+/// The sequenced sink shared by all workers of one run.
+pub struct EventSink {
+    inner: Mutex<Inner>,
+    /// Mirror of `inner.log.len()` for lock-free progress checks.
+    len: AtomicUsize,
+    /// Mirror of the crashed-location bitset (bit `i` = `Loc(i)`).
+    crashed: AtomicU64,
+    /// Lock-free stop flag mirroring `inner.stop.is_some()`.
+    stopped: AtomicBool,
+    /// Nanoseconds (since `start`) of the latest commit.
+    last_commit_ns: AtomicU64,
+    start: Instant,
+    max_events: usize,
+    stop_check_interval: usize,
+    stop_when: Option<StopPredicate>,
+}
+
+impl EventSink {
+    /// A sink enforcing the given budget and stop predicate.
+    #[must_use]
+    pub fn new(
+        max_events: usize,
+        stop_check_interval: usize,
+        stop_when: Option<StopPredicate>,
+    ) -> Self {
+        EventSink {
+            inner: Mutex::new(Inner {
+                log: Vec::with_capacity(max_events.min(1 << 16)),
+                stop: None,
+            }),
+            len: AtomicUsize::new(0),
+            crashed: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+            last_commit_ns: AtomicU64::new(0),
+            start: Instant::now(),
+            max_events,
+            stop_check_interval: stop_check_interval.max(1),
+            stop_when,
+        }
+    }
+
+    /// Attempt to append `a` to the log.
+    pub fn try_commit(&self, a: Action) -> Commit {
+        let mut g = self.inner.lock().expect("sink poisoned");
+        if g.stop.is_some() {
+            return Commit::Stopped;
+        }
+        let crashed = self.crashed.load(Ordering::Relaxed);
+        if !a.is_crash() && !matches!(a, Action::Receive { .. }) && crashed >> a.loc().0 & 1 == 1 {
+            return Commit::Suppressed;
+        }
+        if let Action::Crash(l) = a {
+            self.crashed.store(crashed | 1 << l.0, Ordering::Relaxed);
+        }
+        g.log.push(a);
+        let k = g.log.len();
+        self.len.store(k, Ordering::Relaxed);
+        self.last_commit_ns.store(
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        if k >= self.max_events {
+            g.stop = Some(StopReason::MaxEvents);
+            self.stopped.store(true, Ordering::Release);
+        } else if let Some(pred) = &self.stop_when {
+            if k.is_multiple_of(self.stop_check_interval) && pred(&g.log) {
+                g.stop = Some(StopReason::Predicate);
+                self.stopped.store(true, Ordering::Release);
+            }
+        }
+        Commit::Accepted
+    }
+
+    /// Stop the run with `reason` (first stop wins).
+    pub fn stop(&self, reason: StopReason) {
+        let mut g = self.inner.lock().expect("sink poisoned");
+        if g.stop.is_none() {
+            g.stop = Some(reason);
+        }
+        self.stopped.store(true, Ordering::Release);
+    }
+
+    /// Lock-free: has the run stopped?
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    /// Lock-free: committed event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free: is the log empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lock-free: has `l` crashed?
+    #[must_use]
+    pub fn is_crashed(&self, l: Loc) -> bool {
+        self.crashed.load(Ordering::Relaxed) >> l.0 & 1 == 1
+    }
+
+    /// Nanoseconds since the last commit (since start, if none yet).
+    #[must_use]
+    pub fn ns_since_last_commit(&self) -> u64 {
+        let now = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        now.saturating_sub(self.last_commit_ns.load(Ordering::Relaxed))
+    }
+
+    /// Wall-clock time since the sink was created.
+    #[must_use]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Consume the sink, returning the log and the stop reason.
+    ///
+    /// # Panics
+    /// Panics if workers still hold the sink (call after joining).
+    #[must_use]
+    pub fn into_log(self) -> (Vec<Action>, Option<StopReason>) {
+        let inner = self.inner.into_inner().expect("sink poisoned");
+        (inner.log, inner.stop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::{FdOutput, Msg};
+
+    fn send01() -> Action {
+        Action::Send {
+            from: Loc(0),
+            to: Loc(1),
+            msg: Msg::Token(1),
+        }
+    }
+
+    #[test]
+    fn commits_append_in_order() {
+        let sink = EventSink::new(100, 16, None);
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+        assert_eq!(sink.len(), 2);
+        let (log, stop) = sink.into_log();
+        assert_eq!(log, vec![send01(), Action::Crash(Loc(0))]);
+        assert_eq!(stop, None);
+    }
+
+    #[test]
+    fn suppresses_outputs_of_crashed_locations() {
+        let sink = EventSink::new(100, 16, None);
+        assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+        assert!(sink.is_crashed(Loc(0)));
+        // Own outputs: suppressed.
+        assert_eq!(sink.try_commit(send01()), Commit::Suppressed);
+        assert_eq!(
+            sink.try_commit(Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(1))
+            }),
+            Commit::Suppressed
+        );
+        // Deliveries TO the dead location: allowed.
+        assert_eq!(
+            sink.try_commit(Action::Receive {
+                from: Loc(1),
+                to: Loc(0),
+                msg: Msg::Token(9)
+            }),
+            Commit::Accepted
+        );
+        // Other locations: unaffected.
+        assert_eq!(
+            sink.try_commit(Action::Fd {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(1))
+            }),
+            Commit::Accepted
+        );
+        let (log, _) = sink.into_log();
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn max_events_stops_the_run() {
+        let sink = EventSink::new(2, 16, None);
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        assert!(!sink.is_stopped());
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        assert!(sink.is_stopped());
+        assert_eq!(sink.try_commit(send01()), Commit::Stopped);
+        let (log, stop) = sink.into_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(stop, Some(StopReason::MaxEvents));
+    }
+
+    #[test]
+    fn predicate_checked_at_interval() {
+        let sink = EventSink::new(
+            100,
+            4,
+            Some(std::sync::Arc::new(|s: &[Action]| s.len() >= 2)),
+        );
+        for _ in 0..3 {
+            assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        }
+        // Holds at len 2 but only checked at multiples of 4.
+        assert!(!sink.is_stopped());
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        assert!(sink.is_stopped());
+        let (_, stop) = sink.into_log();
+        assert_eq!(stop, Some(StopReason::Predicate));
+    }
+
+    #[test]
+    fn external_stop_first_wins() {
+        let sink = EventSink::new(100, 16, None);
+        sink.stop(StopReason::Idle);
+        sink.stop(StopReason::WallClock);
+        assert_eq!(sink.try_commit(send01()), Commit::Stopped);
+        let (log, stop) = sink.into_log();
+        assert!(log.is_empty());
+        assert!(sink_is(stop, StopReason::Idle));
+    }
+
+    fn sink_is(stop: Option<StopReason>, want: StopReason) -> bool {
+        stop == Some(want)
+    }
+}

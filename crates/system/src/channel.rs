@@ -67,7 +67,11 @@ impl Automaton for Channel {
     }
 
     fn enabled(&self, s: &ChannelState, _t: TaskId) -> Option<Action> {
-        s.queue.first().map(|m| Action::Receive { from: self.from, to: self.to, msg: *m })
+        s.queue.first().map(|m| Action::Receive {
+            from: self.from,
+            to: self.to,
+            msg: *m,
+        })
     }
 
     fn step(&self, s: &ChannelState, a: &Action) -> Option<ChannelState> {
@@ -99,10 +103,18 @@ mod tests {
         Channel::new(Loc(0), Loc(1))
     }
     fn send(m: Msg) -> Action {
-        Action::Send { from: Loc(0), to: Loc(1), msg: m }
+        Action::Send {
+            from: Loc(0),
+            to: Loc(1),
+            msg: m,
+        }
     }
     fn recv(m: Msg) -> Action {
-        Action::Receive { from: Loc(0), to: Loc(1), msg: m }
+        Action::Receive {
+            from: Loc(0),
+            to: Loc(1),
+            msg: m,
+        }
     }
 
     #[test]
@@ -140,7 +152,11 @@ mod tests {
         let c = chan();
         assert_eq!(c.classify(&send(Msg::Token(0))), Some(ActionClass::Input));
         assert_eq!(c.classify(&recv(Msg::Token(0))), Some(ActionClass::Output));
-        let other = Action::Send { from: Loc(1), to: Loc(0), msg: Msg::Token(0) };
+        let other = Action::Send {
+            from: Loc(1),
+            to: Loc(0),
+            msg: Msg::Token(0),
+        };
         assert_eq!(c.classify(&other), None);
         assert_eq!(c.classify(&Action::Crash(Loc(0))), None);
     }

@@ -162,6 +162,28 @@ where
     }
 }
 
+/// The structural kind of a component, with its wiring metadata.
+///
+/// External drivers (the threaded runtime in `afd-runtime`, diagnostic
+/// tooling) need to know *what* each component of a composition is —
+/// which location a process serves, which ordered pair a channel
+/// transports — without inspecting the generic process type `P`.
+/// [`crate::system::System::component_kinds`] recovers this from the
+/// builder's documented component order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// The process automaton at a location.
+    Process(Loc),
+    /// The channel `C_{from,to}`.
+    Channel(Loc, Loc),
+    /// The crash automaton.
+    Crash,
+    /// The environment automaton.
+    Env,
+    /// The failure-detector automaton.
+    Fd,
+}
+
 /// The §8 edge labels `L = {FD} ∪ {Proc_i} ∪ {Chan_{i,j}} ∪ {Env_{i,x}}`,
 /// identifying which component/task an edge of the execution tree
 /// exercises.

@@ -156,7 +156,11 @@ mod tests {
         let s1 = adv.step(&s0, &Action::Crash(Loc(1))).unwrap();
         let s2 = adv.step(&s1, &Action::Crash(Loc(0))).unwrap();
         assert_eq!(adv.pending(&s2), None);
-        assert_eq!(adv.step(&s2, &Action::Crash(Loc(0))), None, "script exhausted");
+        assert_eq!(
+            adv.step(&s2, &Action::Crash(Loc(0))),
+            None,
+            "script exhausted"
+        );
     }
 
     #[test]
@@ -169,7 +173,10 @@ mod tests {
     #[test]
     fn crash_actions_are_outputs() {
         let adv = CrashAdversary::new(vec![]);
-        assert_eq!(adv.classify(&Action::Crash(Loc(3))), Some(ActionClass::Output));
+        assert_eq!(
+            adv.classify(&Action::Crash(Loc(3))),
+            Some(ActionClass::Output)
+        );
         assert_eq!(adv.classify(&Action::Query { at: Loc(0) }), None);
     }
 }

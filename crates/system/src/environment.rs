@@ -65,7 +65,11 @@ pub struct EnvState {
 
 impl EnvState {
     fn new() -> Self {
-        EnvState { stopped: LocSet::empty(), crashed: LocSet::empty(), pos: 0 }
+        EnvState {
+            stopped: LocSet::empty(),
+            crashed: LocSet::empty(),
+            pos: 0,
+        }
     }
 }
 
@@ -73,13 +77,19 @@ impl Env {
     /// The full `E_C` of Algorithm 4 (both values proposable everywhere).
     #[must_use]
     pub fn consensus(pi: Pi) -> Self {
-        Env::Consensus { pi, prefs: vec![None; pi.len()] }
+        Env::Consensus {
+            pi,
+            prefs: vec![None; pi.len()],
+        }
     }
 
     /// `E_C` restricted so location `i` proposes `prefs[i]`.
     #[must_use]
     pub fn consensus_with_inputs(pi: Pi, values: &[Val]) -> Self {
-        Env::Consensus { pi, prefs: values.iter().map(|&v| Some(v)).collect() }
+        Env::Consensus {
+            pi,
+            prefs: values.iter().map(|&v| Some(v)).collect(),
+        }
     }
 
     /// Number of per-location tasks (2 for consensus: one per value).
@@ -166,14 +176,20 @@ impl Automaton for Env {
                 if !pi.contains(i) || s.stopped.contains(i) {
                     return None;
                 }
-                Some(Action::ProposeK { at: i, v: values[i.index()] })
+                Some(Action::ProposeK {
+                    at: i,
+                    v: values[i.index()],
+                })
             }
             Env::Broadcast { script } => {
                 let mut pos = s.pos;
                 while pos < script.len() {
                     let (origin, payload) = script[pos];
                     if !s.crashed.contains(origin) {
-                        return Some(Action::Broadcast { at: origin, payload });
+                        return Some(Action::Broadcast {
+                            at: origin,
+                            payload,
+                        });
                     }
                     pos += 1;
                 }
@@ -184,7 +200,10 @@ impl Automaton for Env {
                 if !pi.contains(i) || s.stopped.contains(i) {
                     return None;
                 }
-                Some(Action::Vote { at: i, yes: votes[i.index()] })
+                Some(Action::Vote {
+                    at: i,
+                    yes: votes[i.index()],
+                })
             }
         }
     }
@@ -256,8 +275,14 @@ mod tests {
         let env = Env::consensus(Pi::new(2));
         let mut s = env.initial_state();
         // Both tasks of p0 enabled initially.
-        assert_eq!(env.enabled(&s, TaskId(0)), Some(Action::Propose { at: Loc(0), v: 0 }));
-        assert_eq!(env.enabled(&s, TaskId(1)), Some(Action::Propose { at: Loc(0), v: 1 }));
+        assert_eq!(
+            env.enabled(&s, TaskId(0)),
+            Some(Action::Propose { at: Loc(0), v: 0 })
+        );
+        assert_eq!(
+            env.enabled(&s, TaskId(1)),
+            Some(Action::Propose { at: Loc(0), v: 1 })
+        );
         s = env.step(&s, &Action::Propose { at: Loc(0), v: 1 }).unwrap();
         // Algorithm 4: both propose tasks at p0 now disabled.
         assert_eq!(env.enabled(&s, TaskId(0)), None);
@@ -297,7 +322,10 @@ mod tests {
             trace.push(a);
         }
         assert!(Consensus::env_well_formed(pi, &trace).is_ok());
-        assert!(!env.any_task_enabled(&s), "E_C quiesces after all propose/crash");
+        assert!(
+            !env.any_task_enabled(&s),
+            "E_C quiesces after all propose/crash"
+        );
     }
 
     #[test]
@@ -306,8 +334,14 @@ mod tests {
         let env = Env::consensus_with_inputs(pi, &[1, 0]);
         let s = env.initial_state();
         assert_eq!(env.enabled(&s, TaskId(0)), None, "propose(0)_p0 disabled");
-        assert_eq!(env.enabled(&s, TaskId(1)), Some(Action::Propose { at: Loc(0), v: 1 }));
-        assert_eq!(env.enabled(&s, TaskId(2)), Some(Action::Propose { at: Loc(1), v: 0 }));
+        assert_eq!(
+            env.enabled(&s, TaskId(1)),
+            Some(Action::Propose { at: Loc(0), v: 1 })
+        );
+        assert_eq!(
+            env.enabled(&s, TaskId(2)),
+            Some(Action::Propose { at: Loc(1), v: 0 })
+        );
         assert_eq!(env.enabled(&s, TaskId(3)), None);
     }
 
@@ -322,24 +356,49 @@ mod tests {
     #[test]
     fn kset_env_proposes_assigned_values() {
         let pi = Pi::new(2);
-        let env = Env::KSet { pi, values: vec![7, 9] };
+        let env = Env::KSet {
+            pi,
+            values: vec![7, 9],
+        };
         let mut s = env.initial_state();
-        assert_eq!(env.enabled(&s, TaskId(0)), Some(Action::ProposeK { at: Loc(0), v: 7 }));
-        s = env.step(&s, &Action::ProposeK { at: Loc(0), v: 7 }).unwrap();
+        assert_eq!(
+            env.enabled(&s, TaskId(0)),
+            Some(Action::ProposeK { at: Loc(0), v: 7 })
+        );
+        s = env
+            .step(&s, &Action::ProposeK { at: Loc(0), v: 7 })
+            .unwrap();
         assert_eq!(env.enabled(&s, TaskId(0)), None);
-        assert_eq!(env.step(&s, &Action::ProposeK { at: Loc(1), v: 3 }), None, "wrong value");
+        assert_eq!(
+            env.step(&s, &Action::ProposeK { at: Loc(1), v: 3 }),
+            None,
+            "wrong value"
+        );
     }
 
     #[test]
     fn broadcast_env_plays_script_skipping_crashed() {
-        let env = Env::Broadcast { script: vec![(Loc(0), 5), (Loc(1), 6)] };
+        let env = Env::Broadcast {
+            script: vec![(Loc(0), 5), (Loc(1), 6)],
+        };
         let mut s = env.initial_state();
         s = env.step(&s, &Action::Crash(Loc(0))).unwrap();
         assert_eq!(
             env.enabled(&s, TaskId(0)),
-            Some(Action::Broadcast { at: Loc(1), payload: 6 })
+            Some(Action::Broadcast {
+                at: Loc(1),
+                payload: 6
+            })
         );
-        s = env.step(&s, &Action::Broadcast { at: Loc(1), payload: 6 }).unwrap();
+        s = env
+            .step(
+                &s,
+                &Action::Broadcast {
+                    at: Loc(1),
+                    payload: 6,
+                },
+            )
+            .unwrap();
         assert_eq!(env.enabled(&s, TaskId(0)), None);
     }
 
@@ -348,7 +407,10 @@ mod tests {
         let env = Env::None;
         assert_eq!(env.task_count(), 0);
         assert_eq!(env.classify(&Action::Propose { at: Loc(0), v: 0 }), None);
-        assert_eq!(env.classify(&Action::Crash(Loc(0))), Some(ActionClass::Input));
+        assert_eq!(
+            env.classify(&Action::Crash(Loc(0))),
+            Some(ActionClass::Input)
+        );
     }
 
     #[test]

@@ -71,11 +71,11 @@ pub mod stats;
 pub mod system;
 
 pub use channel::{Channel, ChannelState};
-pub use component::{Component, ComponentState, Label};
+pub use component::{Component, ComponentKind, ComponentState, Label};
 pub use crash::{CrashAdversary, FaultPattern};
 pub use environment::{Env, EnvState};
 pub use process::{LocalBehavior, ProcState, ProcessAutomaton};
 pub use refuter::{refute_marabout, RefutationWitness};
-pub use stats::RunStats;
 pub use sim::{crash_midway, run_random, run_round_robin, run_sim, SimConfig, SimOutcome};
+pub use stats::RunStats;
 pub use system::{System, SystemBuilder};

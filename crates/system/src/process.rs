@@ -86,7 +86,10 @@ impl<B: LocalBehavior> Automaton for ProcessAutomaton<B> {
     }
 
     fn initial_state(&self) -> Self::State {
-        ProcState { inner: self.behavior.init(self.loc), crashed: false }
+        ProcState {
+            inner: self.behavior.init(self.loc),
+            crashed: false,
+        }
     }
 
     fn classify(&self, a: &Action) -> Option<ActionClass> {
@@ -169,12 +172,21 @@ mod tests {
             matches!(a, Action::Send { from, .. } if *from == i)
         }
         fn on_input(&self, _i: Loc, s: &mut EchoState, a: &Action) {
-            if let Action::Receive { from, msg: Msg::Token(v), .. } = a {
+            if let Action::Receive {
+                from,
+                msg: Msg::Token(v),
+                ..
+            } = a
+            {
                 s.outbox.push((*from, *v));
             }
         }
         fn output(&self, i: Loc, s: &EchoState) -> Option<Action> {
-            s.outbox.first().map(|&(to, v)| Action::Send { from: i, to, msg: Msg::Token(v) })
+            s.outbox.first().map(|&(to, v)| Action::Send {
+                from: i,
+                to,
+                msg: Msg::Token(v),
+            })
         }
         fn on_output(&self, _i: Loc, s: &mut EchoState, _a: &Action) {
             s.outbox.remove(0);
@@ -182,7 +194,11 @@ mod tests {
     }
 
     fn recv(v: u64) -> Action {
-        Action::Receive { from: Loc(1), to: Loc(0), msg: Msg::Token(v) }
+        Action::Receive {
+            from: Loc(1),
+            to: Loc(0),
+            msg: Msg::Token(v),
+        }
     }
 
     #[test]
@@ -192,7 +208,14 @@ mod tests {
         assert_eq!(p.enabled(&s, TaskId(0)), None);
         s = p.step(&s, &recv(7)).unwrap();
         let out = p.enabled(&s, TaskId(0)).unwrap();
-        assert_eq!(out, Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(7) });
+        assert_eq!(
+            out,
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(7)
+            }
+        );
         s = p.step(&s, &out).unwrap();
         assert_eq!(p.enabled(&s, TaskId(0)), None);
     }
@@ -207,7 +230,11 @@ mod tests {
         // Inputs still accepted (absorbed), outputs rejected.
         let s2 = p.step(&s, &recv(9)).unwrap();
         assert_eq!(s2.inner.outbox.len(), 1, "input after crash absorbed");
-        let send = Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(7) };
+        let send = Action::Send {
+            from: Loc(0),
+            to: Loc(1),
+            msg: Msg::Token(7),
+        };
         assert_eq!(p.step(&s, &send), None);
     }
 
@@ -222,9 +249,17 @@ mod tests {
     fn signature_is_location_scoped() {
         let p = ProcessAutomaton::new(Loc(0), Echo);
         assert_eq!(p.classify(&recv(1)), Some(ActionClass::Input));
-        let foreign = Action::Receive { from: Loc(0), to: Loc(1), msg: Msg::Token(1) };
+        let foreign = Action::Receive {
+            from: Loc(0),
+            to: Loc(1),
+            msg: Msg::Token(1),
+        };
         assert_eq!(p.classify(&foreign), None);
-        let send = Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(1) };
+        let send = Action::Send {
+            from: Loc(0),
+            to: Loc(1),
+            msg: Msg::Token(1),
+        };
         assert_eq!(p.classify(&send), Some(ActionClass::Output));
     }
 
@@ -232,7 +267,11 @@ mod tests {
     fn out_of_turn_output_rejected() {
         let p = ProcessAutomaton::new(Loc(0), Echo);
         let s = p.initial_state();
-        let send = Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(3) };
+        let send = Action::Send {
+            from: Loc(0),
+            to: Loc(1),
+            msg: Msg::Token(3),
+        };
         assert_eq!(p.step(&s, &send), None);
     }
 

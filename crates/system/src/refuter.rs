@@ -71,7 +71,11 @@ where
             // Branch B: crash a location that the empty output failed to
             // anticipate. Prefer a location other than where the output
             // occurred so the victim's own outputs are not implicated.
-            let out_loc = trace.iter().rev().find_map(Action::fd_output).map(|(i, _)| i);
+            let out_loc = trace
+                .iter()
+                .rev()
+                .find_map(Action::fd_output)
+                .map(|(i, _)| i);
             let victim = pi.iter().find(|&l| Some(l) != out_loc).unwrap_or(Loc(0));
             let crash = Action::Crash(victim);
             s = fd.step(&s, &crash)?;
@@ -89,7 +93,9 @@ where
 {
     let mut sched = RoundRobin::new();
     for step in 0..budget {
-        let Some(t) = sched.next_task(fd, s, step) else { break };
+        let Some(t) = sched.next_task(fd, s, step) else {
+            break;
+        };
         let Some(a) = fd.enabled(s, t) else { break };
         let Some(next) = fd.step(s, &a) else { break };
         *s = next;
@@ -110,7 +116,10 @@ mod tests {
         let fd = FdGen::perfect(pi);
         let w = refute_marabout(&fd, pi, 50).expect("refutation must exist");
         assert_eq!(w.violation.rule, "marabout.exact");
-        assert!(w.trace.iter().any(Action::is_crash), "branch B crashed someone");
+        assert!(
+            w.trace.iter().any(Action::is_crash),
+            "branch B crashed someone"
+        );
     }
 
     #[test]
@@ -118,17 +127,30 @@ mod tests {
         // A cheater that guessed {p1} will crash: run it in the world
         // where nobody crashes (branch A).
         let pi = Pi::new(2);
-        let fd = FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(1)) });
+        let fd = FdGen::new(
+            pi,
+            FdBehavior::CheatingMarabout {
+                faulty: LocSet::singleton(Loc(1)),
+            },
+        );
         let w = refute_marabout(&fd, pi, 50).expect("refutation must exist");
         assert_eq!(w.violation.rule, "marabout.exact");
-        assert!(w.trace.iter().all(|a| !a.is_crash()), "branch A stays crash-free");
+        assert!(
+            w.trace.iter().all(|a| !a.is_crash()),
+            "branch A stays crash-free"
+        );
     }
 
     #[test]
     fn refutes_the_cheater_whose_guess_was_empty() {
         // A cheater that guessed ∅: branch B crashes a location.
         let pi = Pi::new(2);
-        let fd = FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::empty() });
+        let fd = FdGen::new(
+            pi,
+            FdBehavior::CheatingMarabout {
+                faulty: LocSet::empty(),
+            },
+        );
         let w = refute_marabout(&fd, pi, 50).expect("refutation must exist");
         assert_eq!(w.violation.rule, "marabout.exact");
     }

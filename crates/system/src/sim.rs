@@ -41,7 +41,12 @@ where
     /// Projection helpers: events satisfying `keep`.
     #[must_use]
     pub fn project<F: Fn(&Action) -> bool>(&self, keep: F) -> Vec<Action> {
-        self.execution.actions.iter().filter(|a| keep(a)).copied().collect()
+        self.execution
+            .actions
+            .iter()
+            .filter(|a| keep(a))
+            .copied()
+            .collect()
     }
 
     /// Fairness report of the run.
@@ -180,14 +185,20 @@ where
         let Some(a) = m.enabled(exec.last_state(), t) else {
             break;
         };
-        let next = m.step(exec.last_state(), &a).expect("enabled action applies");
+        let next = m
+            .step(exec.last_state(), &a)
+            .expect("enabled action applies");
         exec.push(a, next);
         steps += 1;
     }
     if steps >= config.max_steps || config.stop_when.is_some() {
         quiescent = !m.any_task_enabled(exec.last_state());
     }
-    SimOutcome { execution: exec, steps, quiescent }
+    SimOutcome {
+        execution: exec,
+        steps,
+        quiescent,
+    }
 }
 
 /// Convenience: run with a seeded random-fair scheduler.
@@ -212,7 +223,10 @@ where
 #[must_use]
 pub fn crash_midway(locs: &[Loc], spacing: usize) -> FaultPattern {
     FaultPattern::at(
-        locs.iter().enumerate().map(|(k, &l)| (spacing * (k + 1), l)).collect(),
+        locs.iter()
+            .enumerate()
+            .map(|(k, &l)| (spacing * (k + 1), l))
+            .collect(),
     )
 }
 
@@ -255,7 +269,10 @@ mod tests {
 
     fn fd_system(n: usize) -> crate::system::System<crate::process::ProcessAutomaton<Idle>> {
         let pi = Pi::new(n);
-        let procs = pi.iter().map(|i| crate::process::ProcessAutomaton::new(i, Idle)).collect();
+        let procs = pi
+            .iter()
+            .map(|i| crate::process::ProcessAutomaton::new(i, Idle))
+            .collect();
         SystemBuilder::new(pi, procs)
             .with_fd(FdGen::omega(pi))
             .with_env(Env::None)
@@ -317,14 +334,19 @@ mod tests {
     fn unmatched_crash_is_dropped() {
         // Fault pattern names a location the adversary script lacks.
         let pi = Pi::new(2);
-        let procs = pi.iter().map(|i| crate::process::ProcessAutomaton::new(i, Idle)).collect();
+        let procs = pi
+            .iter()
+            .map(|i| crate::process::ProcessAutomaton::new(i, Idle))
+            .collect();
         let sys = SystemBuilder::<crate::process::ProcessAutomaton<Idle>>::new(pi, procs)
             .with_fd(FdGen::omega(pi))
             .with_crashes(vec![]) // adversary allows no crashes
             .build();
         let out = run_round_robin(
             &sys,
-            SimConfig::default().with_faults(FaultPattern::at(vec![(2, Loc(0))])).with_max_steps(20),
+            SimConfig::default()
+                .with_faults(FaultPattern::at(vec![(2, Loc(0))]))
+                .with_max_steps(20),
         );
         assert!(out.schedule().iter().all(|a| !a.is_crash()));
         assert_eq!(out.schedule().len(), 20);

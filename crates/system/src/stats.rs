@@ -31,6 +31,9 @@ pub struct RunStats {
     pub first_decision_at: Option<usize>,
     /// Index of the last decide-style event, if any.
     pub last_decision_at: Option<usize>,
+    /// Peak number of undelivered sends on any single channel `(i, j)`
+    /// at any prefix of the schedule — the worst per-channel backlog.
+    pub max_in_flight: usize,
 }
 
 impl RunStats {
@@ -38,13 +41,24 @@ impl RunStats {
     #[must_use]
     pub fn of(schedule: &[Action]) -> Self {
         let mut st = RunStats::default();
+        let mut backlog: BTreeMap<(Loc, Loc), usize> = BTreeMap::new();
         for (k, a) in schedule.iter().enumerate() {
             st.events += 1;
             *st.per_loc.entry(a.loc()).or_insert(0) += 1;
             match a {
                 Action::Crash(_) => st.crashes += 1,
-                Action::Send { .. } => st.sends += 1,
-                Action::Receive { .. } => st.receives += 1,
+                Action::Send { from, to, .. } => {
+                    st.sends += 1;
+                    let q = backlog.entry((*from, *to)).or_insert(0);
+                    *q += 1;
+                    st.max_in_flight = st.max_in_flight.max(*q);
+                }
+                Action::Receive { from, to, .. } => {
+                    st.receives += 1;
+                    if let Some(q) = backlog.get_mut(&(*from, *to)) {
+                        *q = q.saturating_sub(1);
+                    }
+                }
                 Action::Fd { .. } => st.fd_outputs += 1,
                 Action::FdRenamed { .. } => st.fd_renamed += 1,
                 Action::Propose { .. }
@@ -76,6 +90,18 @@ impl RunStats {
         self.sends.saturating_sub(self.receives)
     }
 
+    /// Schedule-index distance between the first and the last
+    /// decide-style event — how long the decision wave took to sweep
+    /// all locations. `None` if nothing decided; `Some(0)` if exactly
+    /// one location decided.
+    #[must_use]
+    pub fn decision_latency(&self) -> Option<usize> {
+        match (self.first_decision_at, self.last_decision_at) {
+            (Some(first), Some(last)) => Some(last - first),
+            _ => None,
+        }
+    }
+
     /// Fraction of events that are message traffic.
     #[must_use]
     pub fn message_fraction(&self) -> f64 {
@@ -89,7 +115,9 @@ impl RunStats {
     /// of `pi` with zero recorded events.
     #[must_use]
     pub fn silent_locations(&self, pi: Pi) -> Vec<Loc> {
-        pi.iter().filter(|l| !self.per_loc.contains_key(l)).collect()
+        pi.iter()
+            .filter(|l| !self.per_loc.contains_key(l))
+            .collect()
     }
 }
 
@@ -117,9 +145,20 @@ mod tests {
     fn sample() -> Vec<Action> {
         vec![
             Action::Propose { at: Loc(0), v: 1 },
-            Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
-            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
-            Action::Receive { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
+            Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0)),
+            },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
+            Action::Receive {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
             Action::Crash(Loc(2)),
             Action::Decide { at: Loc(0), v: 1 },
             Action::Decide { at: Loc(1), v: 1 },
@@ -161,10 +200,72 @@ mod tests {
     #[test]
     fn in_flight_counts_undelivered() {
         let t = vec![
-            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
-            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(2) },
-            Action::Receive { from: Loc(0), to: Loc(1), msg: Msg::Token(1) },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(2),
+            },
+            Action::Receive {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
         ];
         assert_eq!(RunStats::of(&t).in_flight(), 1);
+    }
+
+    #[test]
+    fn max_in_flight_is_per_channel_peak() {
+        // Channel (0,1) peaks at 2; channel (1,0) holds 1 concurrently.
+        // Aggregate in-flight hits 3, but no single channel exceeds 2.
+        let t = vec![
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
+            Action::Send {
+                from: Loc(1),
+                to: Loc(0),
+                msg: Msg::Token(9),
+            },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(2),
+            },
+            Action::Receive {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
+            Action::Receive {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(2),
+            },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(3),
+            },
+        ];
+        let st = RunStats::of(&t);
+        assert_eq!(st.max_in_flight, 2);
+        assert_eq!(st.in_flight(), 2);
+    }
+
+    #[test]
+    fn decision_latency_spans_first_to_last_decide() {
+        let st = RunStats::of(&sample());
+        assert_eq!(st.decision_latency(), Some(1));
+        assert_eq!(RunStats::of(&[]).decision_latency(), None);
+        let solo = vec![Action::Decide { at: Loc(0), v: 7 }];
+        assert_eq!(RunStats::of(&solo).decision_latency(), Some(0));
     }
 }

@@ -7,7 +7,7 @@ use afd_core::automata::FdGen;
 use afd_core::{Action, Loc, Pi};
 use ioa::{Automaton, Composition, TaskId};
 
-use crate::component::{Component, Label};
+use crate::component::{Component, ComponentKind, Label};
 use crate::crash::CrashAdversary;
 use crate::environment::Env;
 
@@ -51,7 +51,11 @@ where
     /// Panics if `processes.len() != pi.len()`.
     #[must_use]
     pub fn new(pi: Pi, processes: Vec<P>) -> Self {
-        assert_eq!(processes.len(), pi.len(), "one process automaton per location");
+        assert_eq!(
+            processes.len(),
+            pi.len(),
+            "one process automaton per location"
+        );
         SystemBuilder {
             pi,
             processes,
@@ -137,8 +141,17 @@ where
             components.push(Component::Fd(fd));
         }
         let composition = Composition::new(components).with_label(self.label);
-        debug_assert_eq!(labels.len(), composition.task_count(), "label/task alignment");
-        System { pi, composition, labels, fd_present }
+        debug_assert_eq!(
+            labels.len(),
+            composition.task_count(),
+            "label/task alignment"
+        );
+        System {
+            pi,
+            composition,
+            labels,
+            fd_present,
+        }
     }
 }
 
@@ -171,6 +184,35 @@ where
     #[must_use]
     pub fn has_fd(&self) -> bool {
         self.fd_present
+    }
+
+    /// The structural kind of every component, aligned with
+    /// `composition.components()` indices.
+    ///
+    /// Process locations are recovered from the builder's documented
+    /// wiring order (processes appear first, in location order);
+    /// channel endpoints come from the channel automata themselves.
+    /// External drivers — notably the threaded runtime in
+    /// `afd-runtime` — use this to give each component a concrete
+    /// identity without inspecting the generic process type `P`.
+    #[must_use]
+    pub fn component_kinds(&self) -> Vec<ComponentKind> {
+        let mut next_proc: u8 = 0;
+        self.composition
+            .components()
+            .iter()
+            .map(|c| match c {
+                Component::Process(_) => {
+                    let i = Loc(next_proc);
+                    next_proc += 1;
+                    ComponentKind::Process(i)
+                }
+                Component::Channel(ch) => ComponentKind::Channel(ch.from, ch.to),
+                Component::Crash(_) => ComponentKind::Crash,
+                Component::Env(_) => ComponentKind::Env,
+                Component::Fd(_) => ComponentKind::Fd,
+            })
+            .collect()
     }
 
     /// Verify the Figure 1 wiring: no action is controlled twice, and
@@ -211,7 +253,11 @@ mod tests {
             "ring".into()
         }
         fn init(&self, _i: Loc) -> RingState {
-            RingState { sent: false, got: None, decided: false }
+            RingState {
+                sent: false,
+                got: None,
+                decided: false,
+            }
         }
         fn is_input(&self, i: Loc, a: &Action) -> bool {
             matches!(a, Action::Receive { to, .. } if *to == i)
@@ -221,14 +267,21 @@ mod tests {
                 || matches!(a, Action::Decide { at, .. } if *at == i)
         }
         fn on_input(&self, _i: Loc, s: &mut RingState, a: &Action) {
-            if let Action::Receive { msg: Msg::Token(v), .. } = a {
+            if let Action::Receive {
+                msg: Msg::Token(v), ..
+            } = a
+            {
                 s.got = Some(*v);
             }
         }
         fn output(&self, i: Loc, s: &RingState) -> Option<Action> {
             if !s.sent {
                 let to = Loc((i.0 + 1) % self.n);
-                return Some(Action::Send { from: i, to, msg: Msg::Token(u64::from(i.0)) });
+                return Some(Action::Send {
+                    from: i,
+                    to,
+                    msg: Msg::Token(u64::from(i.0)),
+                });
             }
             match (s.got, s.decided) {
                 (Some(v), false) => Some(Action::Decide { at: i, v }),
@@ -280,13 +333,42 @@ mod tests {
     }
 
     #[test]
+    fn component_kinds_follow_wiring_order() {
+        use crate::component::ComponentKind;
+        let sys = build(2);
+        assert_eq!(
+            sys.component_kinds(),
+            vec![
+                ComponentKind::Process(Loc(0)),
+                ComponentKind::Process(Loc(1)),
+                ComponentKind::Channel(Loc(0), Loc(1)),
+                ComponentKind::Channel(Loc(1), Loc(0)),
+                ComponentKind::Crash,
+                ComponentKind::Env,
+                ComponentKind::Fd,
+            ]
+        );
+    }
+
+    #[test]
     fn signature_validates_on_probe_actions() {
         let sys = build(3);
         let probe = vec![
             Action::Crash(Loc(0)),
-            Action::Send { from: Loc(0), to: Loc(1), msg: Msg::Token(0) },
-            Action::Receive { from: Loc(0), to: Loc(1), msg: Msg::Token(0) },
-            Action::Fd { at: Loc(2), out: afd_core::FdOutput::Leader(Loc(0)) },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(0),
+            },
+            Action::Receive {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(0),
+            },
+            Action::Fd {
+                at: Loc(2),
+                out: afd_core::FdOutput::Leader(Loc(0)),
+            },
             Action::Decide { at: Loc(1), v: 0 },
         ];
         assert!(sys.validate(&probe).is_ok());
@@ -296,8 +378,10 @@ mod tests {
     fn composite_run_delivers_messages() {
         use ioa::{RoundRobin, RunOptions, Runner};
         let sys = build(3);
-        let exec = Runner::new(&sys.composition)
-            .run(&mut RoundRobin::new(), RunOptions::default().with_max_steps(200));
+        let exec = Runner::new(&sys.composition).run(
+            &mut RoundRobin::new(),
+            RunOptions::default().with_max_steps(200),
+        );
         let decides: Vec<_> = exec
             .actions
             .iter()
@@ -315,9 +399,13 @@ mod tests {
     #[test]
     fn env_consensus_labels() {
         let pi = Pi::new(2);
-        let procs =
-            pi.iter().map(|i| ProcessAutomaton::new(i, Ring { n: 2 })).collect::<Vec<_>>();
-        let sys = SystemBuilder::new(pi, procs).with_env(Env::consensus(pi)).build();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, Ring { n: 2 }))
+            .collect::<Vec<_>>();
+        let sys = SystemBuilder::new(pi, procs)
+            .with_env(Env::consensus(pi))
+            .build();
         // 2 proc + 2 chan + 4 env tasks.
         assert_eq!(sys.composition.task_count(), 8);
         assert_eq!(sys.label(TaskId(4)), Label::Env(Loc(0), 0));

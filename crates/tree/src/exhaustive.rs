@@ -64,7 +64,11 @@ impl Exploration {
     /// The number of FD events consumed on each node's discovery path.
     #[must_use]
     pub fn fd_events_consumed(&self, k: usize) -> usize {
-        self.nodes[k].path.iter().filter(|(l, _)| *l == TreeLabel::Fd).count()
+        self.nodes[k]
+            .path
+            .iter()
+            .filter(|(l, _)| *l == TreeLabel::Fd)
+            .count()
     }
 }
 
@@ -81,7 +85,11 @@ pub fn explore<B: LocalBehavior>(
     let mut queue: std::collections::VecDeque<Node<B>> = std::collections::VecDeque::new();
     let root = tree.root();
     index.insert(root.clone(), 0);
-    nodes.push(ExploredNode { pos: root.pos, depth: 0, path: Vec::new() });
+    nodes.push(ExploredNode {
+        pos: root.pos,
+        depth: 0,
+        path: Vec::new(),
+    });
     queue.push_back(root);
     let mut bottom_edges = 0;
     let mut live_edges = 0;
@@ -117,7 +125,12 @@ pub fn explore<B: LocalBehavior>(
             }
         }
     }
-    Exploration { nodes, bottom_edges, live_edges, complete }
+    Exploration {
+        nodes,
+        bottom_edges,
+        live_edges,
+        complete,
+    }
 }
 
 /// Proposition 29's reconstruction invariant, checked for every
@@ -145,8 +158,12 @@ pub fn check_proposition_29<B: LocalBehavior>(
             return Err(format!("node {k}: FD tag mismatch after replay"));
         }
         // FD-projection of exe(N) equals the consumed prefix of t_D.
-        let consumed: Vec<Action> =
-            node.path.iter().filter(|(l, _)| *l == TreeLabel::Fd).map(|(_, a)| *a).collect();
+        let consumed: Vec<Action> = node
+            .path
+            .iter()
+            .filter(|(l, _)| *l == TreeLabel::Fd)
+            .map(|(_, a)| *a)
+            .collect();
         let expected = tree.seq.window(consumed.len());
         if consumed != expected {
             return Err(format!("node {k}: exe(N)|FD ≠ consumed prefix of t_D"));
@@ -196,12 +213,20 @@ mod tests {
     fn small_seq(pi: Pi) -> FdSeq {
         FdSeq::new(
             vec![],
-            pi.iter().map(|i| Action::Fd { at: i, out: FdOutput::Leader(Loc(0)) }).collect(),
+            pi.iter()
+                .map(|i| Action::Fd {
+                    at: i,
+                    out: FdOutput::Leader(Loc(0)),
+                })
+                .collect(),
         )
     }
 
     fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+            .collect();
         SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())
@@ -248,13 +273,22 @@ mod tests {
         let pi = Pi::new(2);
         // Two sequences sharing the first 2 events, diverging afterwards.
         let shared = vec![
-            Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
-            Action::Fd { at: Loc(1), out: FdOutput::Leader(Loc(0)) },
+            Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0)),
+            },
+            Action::Fd {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(0)),
+            },
         ];
         let s1 = FdSeq::new(shared.clone(), vec![shared[0]]);
         let s2 = FdSeq::new(
             shared.clone(),
-            vec![Action::Fd { at: Loc(1), out: FdOutput::Leader(Loc(1)) }],
+            vec![Action::Fd {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(1)),
+            }],
         );
         let sys1 = tree_system(pi, &s1);
         let sys2 = tree_system(pi, &s2);

@@ -34,7 +34,10 @@ pub struct Node<B: LocalBehavior> {
 // only `B::State` appears in the fields.
 impl<B: LocalBehavior> Clone for Node<B> {
     fn clone(&self) -> Self {
-        Node { config: self.config.clone(), pos: self.pos }
+        Node {
+            config: self.config.clone(),
+            pos: self.pos,
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl<B: LocalBehavior> std::hash::Hash for Node<B> {
 
 impl<B: LocalBehavior> std::fmt::Debug for Node<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node").field("pos", &self.pos).field("config", &self.config).finish()
+        f.debug_struct("Node")
+            .field("pos", &self.pos)
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -95,14 +101,20 @@ impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
     /// Panics if the system contains an FD component.
     #[must_use]
     pub fn new(sys: &'a System<ProcessAutomaton<B>>, seq: FdSeq) -> Self {
-        assert!(!sys.has_fd(), "tree systems take t_D via the FD edge, not an FD automaton");
+        assert!(
+            !sys.has_fd(),
+            "tree systems take t_D via the FD edge, not an FD automaton"
+        );
         TaggedTree { sys, seq }
     }
 
     /// The root node ⊤ (unique initial config, `t_⊤ = t_D`).
     #[must_use]
     pub fn root(&self) -> Node<B> {
-        Node { config: self.sys.composition.initial_state(), pos: self.seq.start() }
+        Node {
+            config: self.sys.composition.initial_state(),
+            pos: self.seq.start(),
+        }
     }
 
     /// All edge labels of the tree, FD first then tasks in global-task
@@ -137,7 +149,13 @@ impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
                     .composition
                     .step(&node.config, &a)
                     .unwrap_or_else(|| node.config.clone());
-                (Some(a), Node { config, pos: self.seq.advance(node.pos) })
+                (
+                    Some(a),
+                    Node {
+                        config,
+                        pos: self.seq.advance(node.pos),
+                    },
+                )
             }
             TreeLabel::Task(_, t) => match self.sys.composition.enabled(&node.config, t) {
                 Some(a) => {
@@ -146,7 +164,13 @@ impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
                         .composition
                         .step(&node.config, &a)
                         .expect("enabled action applies");
-                    (Some(a), Node { config, pos: node.pos })
+                    (
+                        Some(a),
+                        Node {
+                            config,
+                            pos: node.pos,
+                        },
+                    )
                 }
                 None => (None, node.clone()),
             },
@@ -156,7 +180,10 @@ impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
     /// Labels with non-⊥ action tags at `node`.
     #[must_use]
     pub fn active_labels(&self, node: &Node<B>) -> Vec<TreeLabel> {
-        self.labels().into_iter().filter(|&l| self.action_tag(node, l).is_some()).collect()
+        self.labels()
+            .into_iter()
+            .filter(|&l| self.action_tag(node, l).is_some())
+            .collect()
     }
 }
 
@@ -173,7 +200,10 @@ pub struct PlayoutOptions {
 
 impl Default for PlayoutOptions {
     fn default() -> Self {
-        PlayoutOptions { max_steps: 20_000, steer_env: None }
+        PlayoutOptions {
+            max_steps: 20_000,
+            steer_env: None,
+        }
     }
 }
 
@@ -233,7 +263,10 @@ impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
                 .filter(|&k| self.action_tag(&cur, labels[k]).is_some())
                 .collect();
             if active.is_empty() {
-                return PlayoutOutcome { decision: None, steps: step };
+                return PlayoutOutcome {
+                    decision: None,
+                    steps: step,
+                };
             }
             let pick = if let Some(&k) = active.iter().find(|&&k| debt[k] >= 48) {
                 k
@@ -263,11 +296,17 @@ impl<'a, B: LocalBehavior> TaggedTree<'a, B> {
                 p.push((labels[pick], next.clone()));
             }
             if let Some(Action::Decide { v, .. }) = tag {
-                return PlayoutOutcome { decision: Some(v), steps: step + 1 };
+                return PlayoutOutcome {
+                    decision: Some(v),
+                    steps: step + 1,
+                };
             }
             cur = next;
         }
-        PlayoutOutcome { decision: None, steps: opts.max_steps }
+        PlayoutOutcome {
+            decision: None,
+            steps: opts.max_steps,
+        }
     }
 
     fn steer_allows(&self, label: TreeLabel, steer: Option<Val>) -> bool {
@@ -288,7 +327,10 @@ mod tests {
     use crate::fdseq::random_t_omega;
 
     fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+            .collect();
         SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())
@@ -349,7 +391,10 @@ mod tests {
             let out = tree.playout(
                 &root,
                 17,
-                PlayoutOptions { steer_env: Some(v), ..PlayoutOptions::default() },
+                PlayoutOptions {
+                    steer_env: Some(v),
+                    ..PlayoutOptions::default()
+                },
             );
             assert_eq!(out.decision, Some(v), "steer {v}: {out:?}");
         }
@@ -361,12 +406,21 @@ mod tests {
         // Crash p0 early in t_D.
         let seq = FdSeq::new(
             vec![
-                Action::Fd { at: Loc(0), out: afd_core::FdOutput::Leader(Loc(0)) },
+                Action::Fd {
+                    at: Loc(0),
+                    out: afd_core::FdOutput::Leader(Loc(0)),
+                },
                 Action::Crash(Loc(0)),
             ],
             vec![
-                Action::Fd { at: Loc(1), out: afd_core::FdOutput::Leader(Loc(1)) },
-                Action::Fd { at: Loc(2), out: afd_core::FdOutput::Leader(Loc(1)) },
+                Action::Fd {
+                    at: Loc(1),
+                    out: afd_core::FdOutput::Leader(Loc(1)),
+                },
+                Action::Fd {
+                    at: Loc(2),
+                    out: afd_core::FdOutput::Leader(Loc(1)),
+                },
             ],
         );
         let sys = tree_system(pi, &seq);

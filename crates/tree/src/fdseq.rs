@@ -35,8 +35,14 @@ impl FdSeq {
     /// the crash adversary's script is finite).
     #[must_use]
     pub fn new(prefix: Vec<Action>, cycle: Vec<Action>) -> Self {
-        assert!(!cycle.is_empty(), "t_D must be infinite: cycle may not be empty");
-        assert!(cycle.iter().all(|a| !a.is_crash()), "crash events belong in the prefix");
+        assert!(
+            !cycle.is_empty(),
+            "t_D must be infinite: cycle may not be empty"
+        );
+        assert!(
+            cycle.iter().all(|a| !a.is_crash()),
+            "crash events belong in the prefix"
+        );
         FdSeq { prefix, cycle }
     }
 
@@ -135,7 +141,10 @@ pub fn random_t_omega(pi: Pi, f: usize, seed: u64) -> FdSeq {
             let up: Vec<Loc> = pi.iter().filter(|&l| !down.contains(l)).collect();
             let at = up[rng.gen_range(0..up.len())];
             let lead = leaders[rng.gen_range(0..leaders.len())];
-            prefix.push(Action::Fd { at, out: FdOutput::Leader(lead) });
+            prefix.push(Action::Fd {
+                at,
+                out: FdOutput::Leader(lead),
+            });
         }
         prefix.push(Action::Crash(victim));
         down.insert(victim);
@@ -143,8 +152,13 @@ pub fn random_t_omega(pi: Pi, f: usize, seed: u64) -> FdSeq {
     // Stable cycle: every live location reports the fixed live leader.
     let live_vec: Vec<Loc> = live.iter().collect();
     let stable = live_vec[rng.gen_range(0..live_vec.len())];
-    let cycle: Vec<Action> =
-        live_vec.iter().map(|&i| Action::Fd { at: i, out: FdOutput::Leader(stable) }).collect();
+    let cycle: Vec<Action> = live_vec
+        .iter()
+        .map(|&i| Action::Fd {
+            at: i,
+            out: FdOutput::Leader(stable),
+        })
+        .collect();
     FdSeq::new(prefix, cycle)
 }
 
@@ -188,14 +202,22 @@ pub fn random_t_evp(pi: Pi, f: usize, seed: u64) -> FdSeq {
                     lie.insert(l);
                 }
             }
-            prefix.push(Action::Fd { at, out: FdOutput::Suspects(lie) });
+            prefix.push(Action::Fd {
+                at,
+                out: FdOutput::Suspects(lie),
+            });
         }
         prefix.push(Action::Crash(victim));
         down.insert(victim);
     }
     let live = pi.all().difference(crashed);
-    let cycle: Vec<Action> =
-        live.iter().map(|i| Action::Fd { at: i, out: FdOutput::Suspects(crashed) }).collect();
+    let cycle: Vec<Action> = live
+        .iter()
+        .map(|i| Action::Fd {
+            at: i,
+            out: FdOutput::Suspects(crashed),
+        })
+        .collect();
     FdSeq::new(prefix, cycle)
 }
 
@@ -211,7 +233,10 @@ mod tests {
     use super::*;
 
     fn fd(at: u8, l: u8) -> Action {
-        Action::Fd { at: Loc(at), out: FdOutput::Leader(Loc(l)) }
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Leader(Loc(l)),
+        }
     }
 
     #[test]

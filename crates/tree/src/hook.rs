@@ -151,7 +151,11 @@ pub struct HookSearchOptions {
 impl Default for HookSearchOptions {
     fn default() -> Self {
         HookSearchOptions {
-            valence: ValenceOptions { samples: 3, seed_base: 5000, max_steps: 8000 },
+            valence: ValenceOptions {
+                samples: 3,
+                seed_base: 5000,
+                max_steps: 8000,
+            },
             max_iterations: 600,
         }
     }
@@ -164,13 +168,13 @@ fn l_child_valence<B: LocalBehavior>(
     p: &Node<B>,
     l: TreeLabel,
     opts: ValenceOptions,
-) -> (Valence, Node<B>) {
+) -> (crate::valence::ValenceEstimate, Node<B>) {
     match tree.action_tag(p, l) {
         Some(_) => {
             let (_, c) = tree.child(p, l);
-            (estimate_valence_witnessed(tree, &c, opts).valence, c)
+            (estimate_valence_witnessed(tree, &c, opts), c)
         }
-        None => (estimate_valence_witnessed(tree, p, opts).valence, p.clone()),
+        None => (estimate_valence_witnessed(tree, p, opts), p.clone()),
     }
 }
 
@@ -186,9 +190,13 @@ pub fn find_hook<B: LocalBehavior>(
     let labels = tree.labels();
     let faulty = tree.seq.faulty();
     let mut node = tree.root();
-    let root_est = estimate_valence_witnessed(tree, &node, opts.valence);
-    if root_est.valence != Valence::Bivalent {
-        return Err(HookSearchError::RootNotBivalent(root_est.valence));
+    // The walk's invariant: `node` is *proven* bivalent and `node_est`
+    // carries the deciding-playout witnesses for both values. Keeping
+    // the proving estimate (instead of re-estimating later) means the
+    // witness replay below can never miss.
+    let mut node_est = estimate_valence_witnessed(tree, &node, opts.valence);
+    if node_est.valence != Valence::Bivalent {
+        return Err(HookSearchError::RootNotBivalent(node_est.valence));
     }
     // `queue` is a rotating cursor into `labels`, advanced independently
     // of the iteration count when path-scans jump the walk forward.
@@ -205,33 +213,43 @@ pub fn find_hook<B: LocalBehavior>(
         let v = match l_est.valence {
             Valence::Bivalent => {
                 node = l_child;
+                node_est = l_est;
                 continue;
             }
             Valence::Unknown => continue,
             Valence::ZeroValent => 0,
             Valence::OneValent => 1,
         };
-        // l-child is v-valent: replay a (1−v)-deciding witness from node.
+        // l-child is v-valent: replay a (1−v)-deciding witness from
+        // node. The witness exists by the walk invariant.
         let nv = 1 - v;
-        let node_est = estimate_valence_witnessed(tree, &node, opts.valence);
         let Some((seed, steer)) = node_est.witness(nv) else {
             return Err(HookSearchError::BivalenceLost { iteration });
         };
         let (outcome, path) = tree.playout_with_path(
             &node,
             seed,
-            PlayoutOptions { steer_env: steer, max_steps: opts.valence.max_steps },
+            PlayoutOptions {
+                steer_env: steer,
+                max_steps: opts.valence.max_steps,
+            },
         );
-        debug_assert_eq!(outcome.decision, Some(nv), "witness replays deterministically");
+        debug_assert_eq!(
+            outcome.decision,
+            Some(nv),
+            "witness replays deterministically"
+        );
         // Scan l-child valences along the deciding path.
         let mut prev = node.clone();
         let mut prev_lval = Some(v);
         for (r_label, p_node) in path {
-            let (val_here, l_child_here) = l_child_valence(tree, &p_node, l, opts.valence);
+            let (est_here, l_child_here) = l_child_valence(tree, &p_node, l, opts.valence);
+            let val_here = est_here.valence;
             match val_here {
                 Valence::Bivalent => {
                     // Take l from here: serves l fairly, stays bivalent.
                     node = l_child_here;
+                    node_est = est_here;
                     continue 'outer;
                 }
                 Valence::Unknown => {
@@ -243,21 +261,47 @@ pub fn find_hook<B: LocalBehavior>(
                     if val == nv {
                         if prev_lval == Some(v) {
                             if let Some(action_l) = tree.action_tag(&prev, l) {
-                                let action_r = tree
-                                    .action_tag(&prev, r_label)
-                                    .expect("path edges are non-⊥");
-                                let critical = action_l.loc();
-                                return Ok(HookReport {
-                                    iterations: iteration,
-                                    l,
-                                    r: r_label,
-                                    action_l,
-                                    action_r,
-                                    v,
-                                    critical,
-                                    critical_live: !faulty.contains(critical),
-                                    cross_check: val_here,
-                                });
+                                // Univalence is an empirical verdict, so a
+                                // candidate flip can be sampling noise. Before
+                                // certifying, re-estimate both endpoints with a
+                                // boosted playout budget: bivalence is proven
+                                // by witnesses, so extra samples only ever
+                                // overturn a false univalent label.
+                                let boosted = ValenceOptions {
+                                    samples: opts.valence.samples * 5,
+                                    seed_base: opts.valence.seed_base ^ 0x9E37,
+                                    max_steps: opts.valence.max_steps,
+                                };
+                                let (p_est, p_biv) = l_child_valence(tree, &prev, l, boosted);
+                                if p_est.valence == Valence::Bivalent {
+                                    node = p_biv;
+                                    node_est = p_est;
+                                    continue 'outer;
+                                }
+                                let (c_est, c_biv) = l_child_valence(tree, &p_node, l, boosted);
+                                if c_est.valence == Valence::Bivalent {
+                                    node = c_biv;
+                                    node_est = c_est;
+                                    continue 'outer;
+                                }
+                                let (pv, cv) = (p_est.valence, c_est.valence);
+                                if pv.value() == Some(v) && cv.value() == Some(nv) {
+                                    let action_r = tree
+                                        .action_tag(&prev, r_label)
+                                        .expect("path edges are non-⊥");
+                                    let critical = action_l.loc();
+                                    return Ok(HookReport {
+                                        iterations: iteration,
+                                        l,
+                                        r: r_label,
+                                        action_l,
+                                        action_r,
+                                        v,
+                                        critical,
+                                        critical_live: !faulty.contains(critical),
+                                        cross_check: cv,
+                                    });
+                                }
                             }
                         }
                         // Can't certify this flip; keep scanning from here.
@@ -272,7 +316,9 @@ pub fn find_hook<B: LocalBehavior>(
         }
         return Err(HookSearchError::NoFlipFound { iteration });
     }
-    Err(HookSearchError::BudgetExceeded { iterations: opts.max_iterations })
+    Err(HookSearchError::BudgetExceeded {
+        iterations: opts.max_iterations,
+    })
 }
 
 /// Aggregate results of running the hook search over many `t_D`s.
@@ -343,7 +389,10 @@ mod tests {
     use crate::fdseq::{random_t_omega, FdSeq};
 
     fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+            .collect();
         SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())
@@ -371,7 +420,10 @@ mod tests {
             let tree = TaggedTree::new(&sys, seq);
             match find_hook(&tree, HookSearchOptions::default()) {
                 Ok(hook) => {
-                    assert!(hook.critical_live, "seed {seed}: critical at faulty loc: {hook:?}");
+                    assert!(
+                        hook.critical_live,
+                        "seed {seed}: critical at faulty loc: {hook:?}"
+                    );
                     assert!(hook.tags_share_location(), "seed {seed}: {hook:?}");
                 }
                 Err(e) => panic!("seed {seed}: {e}"),

@@ -23,7 +23,11 @@ pub fn proc_index(i: Loc) -> usize {
 #[must_use]
 pub fn chan_index(pi: Pi, from: Loc, to: Loc) -> usize {
     let n = pi.len();
-    let j = if to.index() > from.index() { to.index() - 1 } else { to.index() };
+    let j = if to.index() > from.index() {
+        to.index() - 1
+    } else {
+        to.index()
+    };
     n + from.index() * (n - 1) + j
 }
 
@@ -118,13 +122,19 @@ mod tests {
             vec![Action::Crash(Loc(0))],
             pi.iter()
                 .skip(1)
-                .map(|i| Action::Fd { at: i, out: afd_core::FdOutput::Leader(Loc(1)) })
+                .map(|i| Action::Fd {
+                    at: i,
+                    out: afd_core::FdOutput::Leader(Loc(1)),
+                })
                 .collect(),
         )
     }
 
     fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+            .collect();
         SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())
@@ -150,7 +160,10 @@ mod tests {
         let tree = TaggedTree::new(&sys, seq);
         // Perform the crash via the FD edge.
         let (_, node) = tree.child(&tree.root(), TreeLabel::Fd);
-        assert!(similar_modulo_i(pi, Loc(0), &node, &node), "∼_i is reflexive");
+        assert!(
+            similar_modulo_i(pi, Loc(0), &node, &node),
+            "∼_i is reflexive"
+        );
     }
 
     #[test]
@@ -160,7 +173,10 @@ mod tests {
         let sys = tree_system(pi, &seq);
         let tree = TaggedTree::new(&sys, seq.clone());
         let root = tree.root();
-        assert!(!similar_modulo_i(pi, Loc(0), &root, &root), "crash_i must have occurred");
+        assert!(
+            !similar_modulo_i(pi, Loc(0), &root, &root),
+            "crash_i must have occurred"
+        );
     }
 
     #[test]

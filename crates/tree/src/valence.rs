@@ -70,7 +70,11 @@ pub struct ValenceOptions {
 
 impl Default for ValenceOptions {
     fn default() -> Self {
-        ValenceOptions { samples: 4, seed_base: 1000, max_steps: 20_000 }
+        ValenceOptions {
+            samples: 4,
+            seed_base: 1000,
+            max_steps: 20_000,
+        }
     }
 }
 
@@ -114,17 +118,22 @@ pub fn estimate_valence_witnessed<B: LocalBehavior>(
             if w[0].is_some() && w[1].is_some() {
                 break 'outer;
             }
-            let seed = opts.seed_base.wrapping_add(k as u64).wrapping_mul(2).wrapping_add(
-                match steer {
+            let seed = opts
+                .seed_base
+                .wrapping_add(k as u64)
+                .wrapping_mul(2)
+                .wrapping_add(match steer {
                     Some(0) => 0,
                     Some(_) => 1,
                     None => 7,
-                },
-            );
+                });
             let out = tree.playout(
                 node,
                 seed,
-                PlayoutOptions { steer_env: steer, max_steps: opts.max_steps },
+                PlayoutOptions {
+                    steer_env: steer,
+                    max_steps: opts.max_steps,
+                },
             );
             if let Some(v) = out.decision {
                 if v < 2 && w[v as usize].is_none() {
@@ -139,7 +148,11 @@ pub fn estimate_valence_witnessed<B: LocalBehavior>(
         (false, true) => Valence::OneValent,
         (false, false) => Valence::Unknown,
     };
-    ValenceEstimate { valence, witness0: w[0], witness1: w[1] }
+    ValenceEstimate {
+        valence,
+        witness0: w[0],
+        witness1: w[1],
+    }
 }
 
 /// Estimate the valence of `node` (see
@@ -164,7 +177,10 @@ mod tests {
     use crate::fdseq::{random_t_omega, FdSeq};
 
     fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+            .collect();
         SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())

@@ -23,13 +23,22 @@ fn main() {
     for a in AfdId::all() {
         print!("{:<8}", a.name());
         for b in AfdId::all() {
-            print!("{:<8}", if lattice.stronger_eq(a, b) { "⪰" } else { "·" });
+            print!(
+                "{:<8}",
+                if lattice.stronger_eq(a, b) {
+                    "⪰"
+                } else {
+                    "·"
+                }
+            );
         }
         println!();
     }
 
     println!("\nstrict pairs (a ≻ b): {}", lattice.strict_pairs().len());
-    let chain = lattice.reduction_chain(AfdId::P, AfdId::AntiOmega).expect("P ⪰ anti-Ω");
+    let chain = lattice
+        .reduction_chain(AfdId::P, AfdId::AntiOmega)
+        .expect("P ⪰ anti-Ω");
     println!("P ⪰ anti-Ω via composed reductions (Theorem 15): {chain:?}");
 
     println!("\nlive verification of three reductions (n = 3, one crash):");

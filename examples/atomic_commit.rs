@@ -13,9 +13,11 @@ use afd_system::{run_random, FaultPattern, SimConfig};
 
 fn all_live_learned(pi: Pi, schedule: &[Action]) -> bool {
     let faulty = afd_core::trace::faulty(schedule);
-    pi.iter()
-        .filter(|&i| !faulty.contains(i))
-        .all(|i| schedule.iter().any(|a| matches!(a, Action::Verdict { at, .. } if *at == i)))
+    pi.iter().filter(|&i| !faulty.contains(i)).all(|i| {
+        schedule
+            .iter()
+            .any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
+    })
 }
 
 fn run_case(name: &str, votes: &[bool], crash: Option<Loc>) {

@@ -22,8 +22,10 @@ fn main() {
     for seed in 0..12u64 {
         let seq = random_t_omega(pi, 1, seed);
         let crashes = seq.faulty();
-        let procs =
-            pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+            .collect();
         let sys = SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())

@@ -16,16 +16,21 @@ fn main() {
     // (1) Full-space agreement check.
     let pi = Pi::new(2);
     let sys = paxos_system(pi, &[0, 1], vec![]);
-    let out = check_invariant(&sys.composition, &[], 600_000, |s: &Vec<ComponentState<ProcState<afd_algorithms::consensus::paxos_omega::PaxosState>>>| {
-        let decided: Vec<u64> = s
-            .iter()
-            .filter_map(|c| match c {
-                ComponentState::Process(p) => p.inner.decided,
-                _ => None,
-            })
-            .collect();
-        decided.windows(2).all(|w| w[0] == w[1])
-    });
+    let out = check_invariant(
+        &sys.composition,
+        &[],
+        600_000,
+        |s: &Vec<ComponentState<ProcState<afd_algorithms::consensus::paxos_omega::PaxosState>>>| {
+            let decided: Vec<u64> = s
+                .iter()
+                .filter_map(|c| match c {
+                    ComponentState::Process(p) => p.inner.decided,
+                    _ => None,
+                })
+                .collect();
+            decided.windows(2).all(|w| w[0] == w[1])
+        },
+    );
     match out {
         SweepOutcome::Holds { states, complete } => println!(
             "paxos n=2: agreement holds on all {states} reachable states (complete: {complete})"
@@ -36,9 +41,17 @@ fn main() {
     // (2) Tagged-tree prefix + Proposition 29.
     let seq = FdSeq::new(
         vec![],
-        pi.iter().map(|i| Action::Fd { at: i, out: FdOutput::Leader(Loc(0)) }).collect(),
+        pi.iter()
+            .map(|i| Action::Fd {
+                at: i,
+                out: FdOutput::Leader(Loc(0)),
+            })
+            .collect(),
     );
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
     let tsys = SystemBuilder::new(pi, procs)
         .with_env(Env::consensus(pi))
         .with_crashes(seq.crash_script())
@@ -58,22 +71,45 @@ fn main() {
 
     // (3) Theorem 41 on a shared-prefix pair.
     let shared = vec![
-        Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
-        Action::Fd { at: Loc(1), out: FdOutput::Leader(Loc(0)) },
+        Action::Fd {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(0)),
+        },
+        Action::Fd {
+            at: Loc(1),
+            out: FdOutput::Leader(Loc(0)),
+        },
     ];
     let s1 = FdSeq::new(shared.clone(), vec![shared[0]]);
     let s2 = FdSeq::new(
         shared.clone(),
-        vec![Action::Fd { at: Loc(1), out: FdOutput::Leader(Loc(1)) }],
+        vec![Action::Fd {
+            at: Loc(1),
+            out: FdOutput::Leader(Loc(1)),
+        }],
     );
-    let procs1 = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
-    let procs2 = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
-    let sys1 = SystemBuilder::new(pi, procs1).with_env(Env::consensus(pi)).build();
-    let sys2 = SystemBuilder::new(pi, procs2).with_env(Env::consensus(pi)).build();
+    let procs1 = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
+    let procs2 = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
+    let sys1 = SystemBuilder::new(pi, procs1)
+        .with_env(Env::consensus(pi))
+        .build();
+    let sys2 = SystemBuilder::new(pi, procs2)
+        .with_env(Env::consensus(pi))
+        .build();
     let t1 = TaggedTree::new(&sys1, s1);
     let t2 = TaggedTree::new(&sys2, s2);
     println!(
         "Theorem 41 (shared 2-event prefix ⇒ equal explored regions): {}",
-        if check_theorem_41(&t1, &t2, 2, 4_000) { "holds ✓" } else { "VIOLATED" }
+        if check_theorem_41(&t1, &t2, 2, 4_000) {
+            "holds ✓"
+        } else {
+            "VIOLATED"
+        }
     );
 }

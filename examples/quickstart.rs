@@ -56,7 +56,10 @@ fn main() {
 
     // Show the decision events.
     for a in out.schedule() {
-        if matches!(a, afd_core::Action::Decide { .. } | afd_core::Action::Crash(_)) {
+        if matches!(
+            a,
+            afd_core::Action::Decide { .. } | afd_core::Action::Crash(_)
+        ) {
             println!("  event: {a}");
         }
     }

@@ -38,6 +38,9 @@ fn main() {
         Err(e) => println!("VIOLATION: {e}"),
     }
 
-    let delivered = rb_trace.iter().filter(|a| matches!(a, Action::Deliver { .. })).count();
+    let delivered = rb_trace
+        .iter()
+        .filter(|a| matches!(a, Action::Deliver { .. }))
+        .count();
     println!("deliveries: {delivered} (live locations: 3, plus p0 if it beat the crash)");
 }

@@ -18,20 +18,19 @@ fn main() {
     let cases: Vec<(&dyn AfdSpec, FdGen)> = vec![
         (&Omega, FdGen::omega(pi)),
         (&Perfect, FdGen::perfect(pi)),
-        (&EvPerfect, FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 3)),
+        (
+            &EvPerfect,
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 3),
+        ),
     ];
     for (spec, gen) in cases {
-        let verified = run_theorem_13(
-            spec,
-            pi,
-            gen,
-            FaultPattern::at(vec![(25, Loc(2))]),
-            7,
-            600,
-        );
+        let verified = run_theorem_13(spec, pi, gen, FaultPattern::at(vec![(25, Loc(2))]), 7, 600);
         match verified {
             Ok(true) => println!("  D = {:<3} t|D ∈ T_D  ⇒  t|D′ ∈ T_D′ ✓", spec.name()),
-            Ok(false) => println!("  D = {:<3} antecedent failed (window too small)", spec.name()),
+            Ok(false) => println!(
+                "  D = {:<3} antecedent failed (window too small)",
+                spec.name()
+            ),
             Err(e) => println!("  D = {:<3} VIOLATION: {e}", spec.name()),
         }
     }

@@ -1,0 +1,73 @@
+//! Consensus on real OS threads: run Paxos-over-Ω through
+//! `afd-runtime` — one thread per automaton, mpsc channels as links, a
+//! crash injected mid-run — and feed the linearized schedule to the
+//! exact same checkers the simulator uses: the `Consensus` problem
+//! spec for agreement/validity and the `T_Ω` membership checker for
+//! the failure-detector trace.
+//!
+//! Run with: `cargo run --example threaded_consensus`
+
+use afd_algorithms::consensus::{all_live_decided, check_consensus_run, paxos_system};
+use afd_core::afds::Omega;
+use afd_core::{Loc, Pi};
+use afd_runtime::{check_fd_trace, fifo_violation, run_threaded, RuntimeConfig};
+use afd_system::FaultPattern;
+
+fn main() {
+    let pi = Pi::new(3);
+    // E_C (Algorithm 4) is a binary-consensus environment: the inputs
+    // restrict which of propose(0)/propose(1) each location's
+    // environment task may fire.
+    let inputs = [0u64, 0, 1];
+    // Crash the initial Ω leader a few events in: the detector must
+    // stabilize on a new leader, and that leader must finish the job.
+    let pattern = FaultPattern::at(vec![(5, Loc(0))]);
+    let sys = paxos_system(pi, &inputs, pattern.faulty());
+
+    // A fixed event budget rather than a decision predicate: the run
+    // keeps going after everyone decided, so the Ω projection has a
+    // long post-crash tail to stabilize in — that lets T_Ω's
+    // "eventually forever" clauses be checked meaningfully.
+    let cfg = RuntimeConfig::default()
+        .with_max_events(1_500)
+        .with_faults(pattern)
+        .with_seed(42);
+
+    println!("running paxos-Ω (n = 3, inputs {inputs:?}) on OS threads, crashing p0@5 …\n");
+    let out = run_threaded(&sys, &cfg);
+
+    let st = out.stats();
+    println!("stop reason        : {:?}", out.stop);
+    println!("wall clock         : {:?}", out.elapsed);
+    println!(
+        "throughput         : {:.0} events/sec",
+        out.events_per_sec()
+    );
+    println!("schedule           : {st}");
+    println!(
+        "peak in-flight     : {} messages on one channel",
+        st.max_in_flight
+    );
+    match st.decision_latency() {
+        Some(d) => println!("decision spread    : {d} events (first decide → last decide)"),
+        None => println!("decision spread    : no decisions (!)"),
+    }
+
+    println!();
+    match fifo_violation(&out.schedule) {
+        None => println!("FIFO check         : every channel delivered in order ✓"),
+        Some(v) => println!("FIFO check         : VIOLATED {v:?}"),
+    }
+    match check_consensus_run(pi, 1, &out.schedule) {
+        Ok(Some(v)) => println!("consensus check    : agreement + validity ✓ (decided {v})"),
+        Ok(None) => println!("consensus check    : no decisions"),
+        Err(e) => println!("consensus check    : VIOLATED {e:?}"),
+    }
+    if all_live_decided(pi, &out.schedule) {
+        println!("termination        : every live location decided ✓");
+    }
+    match check_fd_trace(&Omega, pi, &out.schedule) {
+        Ok(()) => println!("T_Ω membership     : the threaded Ω trace is in T_Ω ✓"),
+        Err(e) => println!("T_Ω membership     : VIOLATED {e:?}"),
+    }
+}

@@ -1,13 +1,16 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release --bin experiments [table...]`
-//! where `table` ∈ {a1, t13, t18, t21, t44, t59, flp, perf, misc};
-//! with no arguments, all tables are printed.
+//! where `table` ∈ {a1, t13, t18, t21, t44, t59, flp, perf, runtime,
+//! misc}; with no arguments, all tables are printed. Unrecognized
+//! table names abort with a non-zero exit and the list of valid names.
 
 use afd_algorithms::consensus::{all_live_decided, check_consensus_run, ct_system, paxos_system};
 use afd_algorithms::lattice::{AfdId, Lattice};
 use afd_algorithms::self_impl::run_theorem_13;
-use afd_core::afds::{AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak};
+use afd_core::afds::{
+    AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak,
+};
 use afd_core::automata::{FdBehavior, FdGen};
 use afd_core::problems::consensus::{Consensus, ConsensusSolver};
 use afd_core::{Action, AfdSpec, Loc, LocSet, Pi};
@@ -17,8 +20,23 @@ use afd_tree::{
     Valence, ValenceOptions,
 };
 
+/// Every table this binary can print, in print order.
+const TABLES: [&str; 10] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "misc",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let unknown: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !TABLES.contains(a))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unrecognized table(s): {}", unknown.join(", "));
+        eprintln!("valid tables: {}", TABLES.join(", "));
+        std::process::exit(2);
+    }
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
     if want("a1") {
         table_a1_generators();
@@ -44,6 +62,9 @@ fn main() {
     if want("perf") {
         table_perf_consensus();
     }
+    if want("runtime") {
+        table_runtime();
+    }
     if want("misc") {
         table_misc();
     }
@@ -53,15 +74,30 @@ fn catalogue(pi: Pi) -> Vec<(Box<dyn AfdSpec>, FdGen)> {
     vec![
         (Box::new(Omega), FdGen::omega(pi)),
         (Box::new(Perfect), FdGen::perfect(pi)),
-        (Box::new(EvPerfect), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 2)),
+        (
+            Box::new(EvPerfect),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 2),
+        ),
         (Box::new(Strong), FdGen::perfect(pi)),
-        (Box::new(EvStrong), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1)),
+        (
+            Box::new(EvStrong),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1),
+        ),
         (Box::new(Weak), FdGen::perfect(pi)),
-        (Box::new(EvWeak), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1)),
+        (
+            Box::new(EvWeak),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1),
+        ),
         (Box::new(Sigma), FdGen::new(pi, FdBehavior::Sigma)),
         (Box::new(AntiOmega), FdGen::new(pi, FdBehavior::AntiOmega)),
-        (Box::new(OmegaK::new(2)), FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
-        (Box::new(PsiK::new(2)), FdGen::new(pi, FdBehavior::PsiK { k: 2 })),
+        (
+            Box::new(OmegaK::new(2)),
+            FdGen::new(pi, FdBehavior::OmegaK { k: 2 }),
+        ),
+        (
+            Box::new(PsiK::new(2)),
+            FdGen::new(pi, FdBehavior::PsiK { k: 2 }),
+        ),
     ]
 }
 
@@ -80,17 +116,30 @@ fn table_a1_generators() {
             FaultPattern::at(vec![(10, Loc(0)), (30, Loc(3))]),
         ] {
             let sys = afd_algorithms::self_impl::self_impl_system(pi, gen.clone(), faults.faulty());
-            let out =
-                run_random(&sys, 5, SimConfig::default().with_faults(faults).with_max_steps(400));
+            let out = run_random(
+                &sys,
+                5,
+                SimConfig::default().with_faults(faults).with_max_steps(400),
+            );
             let t: Vec<Action> = out
                 .schedule()
                 .iter()
                 .filter(|a| a.is_crash() || a.is_fd_output())
                 .copied()
                 .collect();
-            cells.push(if spec.check_complete(pi, &t).is_ok() { "∈ T_D ✓" } else { "✗" });
+            cells.push(if spec.check_complete(pi, &t).is_ok() {
+                "∈ T_D ✓"
+            } else {
+                "✗"
+            });
         }
-        println!("| {} | {} | {} | {} |", spec.name(), cells[0], cells[1], cells[2]);
+        println!(
+            "| {} | {} | {} | {} |",
+            spec.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
 }
 
@@ -133,11 +182,21 @@ fn table_t18_hierarchy() {
     for a in AfdId::all() {
         print!("| **{}** |", a.name());
         for b in AfdId::all() {
-            print!(" {} |", if lattice.stronger_eq(a, b) { "⪰" } else { "·" });
+            print!(
+                " {} |",
+                if lattice.stronger_eq(a, b) {
+                    "⪰"
+                } else {
+                    "·"
+                }
+            );
         }
         println!();
     }
-    println!("\nstrict pairs (Corollary 19 candidates): {}", lattice.strict_pairs().len());
+    println!(
+        "\nstrict pairs (Corollary 19 candidates): {}",
+        lattice.strict_pairs().len()
+    );
     let chain = lattice.reduction_chain(AfdId::P, AfdId::AntiOmega).unwrap();
     println!("example composed reduction (Theorem 15): P → anti-Ω via {chain:?}");
 }
@@ -167,11 +226,21 @@ fn table_t21_bounded() {
         ("Algorithm-2 honest P", FdGen::perfect(pi)),
         (
             "cheater guessing ∅",
-            FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::empty() }),
+            FdGen::new(
+                pi,
+                FdBehavior::CheatingMarabout {
+                    faulty: LocSet::empty(),
+                },
+            ),
         ),
         (
             "cheater guessing {p0}",
-            FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(0)) }),
+            FdGen::new(
+                pi,
+                FdBehavior::CheatingMarabout {
+                    faulty: LocSet::singleton(Loc(0)),
+                },
+            ),
         ),
     ] {
         match refute_marabout(&gen, pi, 80) {
@@ -309,7 +378,11 @@ fn table_t59_hooks() {
                     h.kind(),
                     h.critical,
                     h.critical_live,
-                    if h.satisfies_theorem_59() { "✓" } else { "✗" }
+                    if h.satisfies_theorem_59() {
+                        "✓"
+                    } else {
+                        "✗"
+                    }
                 );
             }
             Err(e) => println!("| {seed} | {crashes} | — | — | — | — | search failed: {e} |"),
@@ -324,9 +397,12 @@ fn table_perf_consensus() {
     println!("\n## Table E1 — events to all-live-decided (10 seeds each)\n");
     println!("| n | fault | paxos-Ω avg | ct-◇S avg | winner |");
     println!("|---|---|---|---|---|");
-    for (n, crash) in
-        [(3usize, None), (3, Some((15usize, Loc(0)))), (5, None), (5, Some((15, Loc(0))))]
-    {
+    for (n, crash) in [
+        (3usize, None),
+        (3, Some((15usize, Loc(0)))),
+        (5, None),
+        (5, Some((15, Loc(0)))),
+    ] {
         let pi = Pi::new(n);
         let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
         let victims: Vec<Loc> = crash.iter().map(|&(_, l)| l).collect();
@@ -361,8 +437,120 @@ fn table_perf_consensus() {
         let (pa, ca) = (avg(&px), avg(&ct));
         println!(
             "| {n} | {} | {pa} | {ca} | {} |",
-            if victims.is_empty() { "none" } else { "crash p0@15" },
+            if victims.is_empty() {
+                "none"
+            } else {
+                "crash p0@15"
+            },
             if pa <= ca { "paxos-Ω" } else { "ct-◇S" }
+        );
+    }
+}
+
+/// Extension E2: the threaded runtime (afd-runtime) — consensus under
+/// injected crashes and link faults on real OS threads, checked by the
+/// same trace machinery, plus a throughput comparison against the
+/// simulator on an identical system.
+fn table_runtime() {
+    use afd_runtime::{
+        check_fd_trace, fifo_violation, run_threaded, LinkFaults, LinkProfile, RuntimeConfig,
+    };
+    use std::time::Duration;
+
+    println!("\n## Table R — threaded runtime: consensus on OS threads (afd-runtime)\n");
+    println!(
+        "| system | faults | links | stop | events | max in-flight | decision latency | verdict |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    let pi = Pi::new(3);
+    let inputs = [0u64, 1, 1];
+    let slow = LinkFaults::uniform(LinkProfile::jittered(
+        Duration::from_micros(200),
+        Duration::from_micros(300),
+    ));
+    for (fault_label, pattern) in [
+        ("none", FaultPattern::none()),
+        ("crash p0@20", FaultPattern::at(vec![(20, Loc(0))])),
+    ] {
+        for (link_label, links) in [
+            ("ideal", LinkFaults::none()),
+            ("200µs+jitter", slow.clone()),
+        ] {
+            let sys = paxos_system(pi, &inputs, pattern.faulty());
+            let cfg = RuntimeConfig::default()
+                .with_max_events(2_000)
+                .with_faults(pattern.clone())
+                .with_links(links)
+                .with_seed(11)
+                .stop_when(move |s| all_live_decided(pi, s));
+            let out = run_threaded(&sys, &cfg);
+            let st = out.stats();
+            let safe = check_consensus_run(pi, pattern.len(), &out.schedule).is_ok();
+            let fifo = fifo_violation(&out.schedule).is_none();
+            let latency = st
+                .decision_latency()
+                .map_or_else(|| "—".to_string(), |d| format!("{d} ev"));
+            println!(
+                "| paxos-Ω n=3 | {fault_label} | {link_label} | {:?} | {} | {} | {latency} | {} |",
+                out.stop,
+                st.events,
+                st.max_in_flight,
+                if safe && fifo {
+                    "agreement + FIFO ✓"
+                } else {
+                    "✗"
+                }
+            );
+        }
+    }
+    // Conformance on threads: the Ω generator's trace stays in T_Ω.
+    {
+        let pi = Pi::new(4);
+        let pattern = FaultPattern::at(vec![(40, Loc(3))]);
+        let sys =
+            afd_algorithms::self_impl::self_impl_system(pi, FdGen::omega(pi), pattern.faulty());
+        let cfg = RuntimeConfig::default()
+            .with_max_events(600)
+            .with_faults(pattern)
+            .with_seed(3);
+        let out = run_threaded(&sys, &cfg);
+        let st = out.stats();
+        let ok = check_fd_trace(&Omega, pi, &out.schedule).is_ok();
+        println!(
+            "| A_self(Ω) n=4 | crash p3@40 | ideal | {:?} | {} | {} | — | {} |",
+            out.stop,
+            st.events,
+            st.max_in_flight,
+            if ok { "∈ T_Ω ✓" } else { "✗" }
+        );
+    }
+    // Throughput: same A_self(Ω) system, simulator vs threads.
+    println!("\n| engine | system | events | events/sec |");
+    println!("|---|---|---|---|");
+    let pi = Pi::new(4);
+    let budget = 20_000usize;
+    {
+        let sys = afd_algorithms::self_impl::self_impl_system(pi, FdGen::omega(pi), vec![]);
+        let t0 = std::time::Instant::now();
+        let out = run_random(&sys, 7, SimConfig::default().with_max_steps(budget));
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "| simulator (run_random) | A_self(Ω) n=4 | {} | {:.0} |",
+            out.steps,
+            out.steps as f64 / dt
+        );
+    }
+    {
+        let sys = afd_algorithms::self_impl::self_impl_system(pi, FdGen::omega(pi), vec![]);
+        let cfg = RuntimeConfig::default()
+            .with_max_events(budget)
+            .with_fd_pacing(Duration::ZERO)
+            .with_seed(7);
+        let out = run_threaded(&sys, &cfg);
+        println!(
+            "| threaded (fd_pacing=0) | A_self(Ω) n=4 | {} | {:.0} |",
+            out.events(),
+            out.events_per_sec()
         );
     }
 }
@@ -393,7 +581,10 @@ fn table_misc() {
             .collect();
         let ok =
             afd_core::ProblemSpec::check(&afd_core::problems::ReliableBroadcast, pi, &t).is_ok();
-        println!("| URB | originator crashes mid-relay | {} |", if ok { "uniform ✓" } else { "✗" });
+        println!(
+            "| URB | originator crashes mid-relay | {} |",
+            if ok { "uniform ✓" } else { "✗" }
+        );
     }
     // k-set flood.
     {
@@ -409,7 +600,10 @@ fn table_misc() {
             .copied()
             .collect();
         let vals = afd_core::problems::KSetAgreement::decision_values(&t);
-        println!("| k-set (k=3,f=2) | 5 procs flood | {} distinct decisions ≤ 3 ✓ |", vals.len());
+        println!(
+            "| k-set (k=3,f=2) | 5 procs flood | {} distinct decisions ≤ 3 ✓ |",
+            vals.len()
+        );
     }
     // Lemma 16 live: P ⪰ Ω + (Ω solves consensus) ⇒ P solves consensus,
     // via the stacked per-location reduction (Theorem 15's composition).
@@ -435,9 +629,13 @@ fn table_misc() {
         let out = run_random(
             &sys,
             3,
-            SimConfig::default().with_max_steps(20_000).stop_when(move |s| all_live_decided(pi, s)),
+            SimConfig::default()
+                .with_max_steps(20_000)
+                .stop_when(move |s| all_live_decided(pi, s)),
         );
-        let ok = check_consensus_run(pi, 0, out.schedule()).map(|v| v.is_some()).unwrap_or(false);
+        let ok = check_consensus_run(pi, 0, out.schedule())
+            .map(|v| v.is_some())
+            .unwrap_or(false);
         println!(
             "| consensus from P via stacked reduction (Lemma 16) | P ⪰ Ω ∘ paxos-Ω | {} |",
             if ok { "decided ✓" } else { "✗" }
@@ -453,29 +651,34 @@ fn table_misc() {
             LocSet::empty(),
             0,
         );
-        let out = run_random(&sys, 5, SimConfig::default().with_max_steps(30_000).stop_when(
-            move |s: &[Action]| {
-                pi.iter().all(|i| {
-                    s.iter().any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
-                })
-            },
-        ));
+        let out = run_random(
+            &sys,
+            5,
+            SimConfig::default()
+                .with_max_steps(30_000)
+                .stop_when(move |s: &[Action]| {
+                    pi.iter().all(|i| {
+                        s.iter()
+                            .any(|a| matches!(a, Action::Verdict { at, .. } if *at == i))
+                    })
+                }),
+        );
         let t: Vec<Action> = out
             .schedule()
             .iter()
             .filter(|a| a.is_crash() || matches!(a, Action::Vote { .. } | Action::Verdict { .. }))
             .copied()
             .collect();
-        let ok = afd_core::ProblemSpec::check(
-            &afd_core::problems::AtomicCommit::new(1),
-            pi,
-            &t,
-        )
-        .is_ok();
+        let ok =
+            afd_core::ProblemSpec::check(&afd_core::problems::AtomicCommit::new(1), pi, &t).is_ok();
         let verdict = afd_core::problems::AtomicCommit::verdict(&t);
         println!(
             "| NBAC from P (§1.1) | unanimous yes, honest P | {} |",
-            if ok && verdict == Some(true) { "commit ✓" } else { "✗" }
+            if ok && verdict == Some(true) {
+                "commit ✓"
+            } else {
+                "✗"
+            }
         );
     }
     // Query-based consensus (§10.1).
@@ -485,7 +688,9 @@ fn table_misc() {
         let out = run_random(
             &sys,
             4,
-            SimConfig::default().with_max_steps(5000).stop_when(move |s| all_live_decided(pi, s)),
+            SimConfig::default()
+                .with_max_steps(5000)
+                .stop_when(move |s| all_live_decided(pi, s)),
         );
         let ok = check_consensus_run(pi, 0, out.schedule()).is_ok()
             && afd_algorithms::query_based::participant_property(out.schedule());

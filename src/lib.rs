@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the AFD reproduction workspace.
 pub use afd_algorithms as algorithms;
 pub use afd_core as core;
+pub use afd_runtime as runtime;
 pub use afd_system as system;
 pub use afd_tree as tree;
 pub use ioa;

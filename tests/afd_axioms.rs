@@ -4,7 +4,9 @@
 //! samplings and constrained reorderings.
 
 use afd_core::afd::{closure, AfdSpec};
-use afd_core::afds::{AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak};
+use afd_core::afds::{
+    AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak,
+};
 use afd_core::automata::{FdBehavior, FdGen};
 use afd_core::trace::{
     constrained_reorder_random, is_constrained_reordering, is_sampling, sample_random,
@@ -26,7 +28,9 @@ fn generator_trace(gen: &FdGen, crash: Option<(usize, Loc)>, steps: usize) -> Ve
                 continue;
             }
         }
-        let Some(t): Option<TaskId> = sched.next_task(gen, &s, step) else { break };
+        let Some(t): Option<TaskId> = sched.next_task(gen, &s, step) else {
+            break;
+        };
         let a = gen.enabled(&s, t).expect("enabled");
         s = gen.step(&s, &a).expect("step");
         out.push(a);
@@ -38,15 +42,30 @@ fn catalogue(pi: Pi) -> Vec<(Box<dyn AfdSpec>, FdGen)> {
     vec![
         (Box::new(Omega), FdGen::omega(pi)),
         (Box::new(Perfect), FdGen::perfect(pi)),
-        (Box::new(EvPerfect), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 2)),
+        (
+            Box::new(EvPerfect),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 2),
+        ),
         (Box::new(Strong), FdGen::perfect(pi)),
-        (Box::new(EvStrong), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1)),
+        (
+            Box::new(EvStrong),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1),
+        ),
         (Box::new(Weak), FdGen::perfect(pi)),
-        (Box::new(EvWeak), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1)),
+        (
+            Box::new(EvWeak),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1),
+        ),
         (Box::new(Sigma), FdGen::new(pi, FdBehavior::Sigma)),
         (Box::new(AntiOmega), FdGen::new(pi, FdBehavior::AntiOmega)),
-        (Box::new(OmegaK::new(2)), FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
-        (Box::new(PsiK::new(2)), FdGen::new(pi, FdBehavior::PsiK { k: 2 })),
+        (
+            Box::new(OmegaK::new(2)),
+            FdGen::new(pi, FdBehavior::OmegaK { k: 2 }),
+        ),
+        (
+            Box::new(PsiK::new(2)),
+            FdGen::new(pi, FdBehavior::PsiK { k: 2 }),
+        ),
     ]
 }
 
@@ -138,7 +157,11 @@ fn crash_exclusivity_of_every_afd() {
         Action::Propose { at: Loc(0), v: 1 },
         Action::Decide { at: Loc(0), v: 1 },
         Action::Query { at: Loc(1) },
-        Action::Send { from: Loc(0), to: Loc(1), msg: afd_core::Msg::Token(0) },
+        Action::Send {
+            from: Loc(0),
+            to: Loc(1),
+            msg: afd_core::Msg::Token(0),
+        },
         Action::Crash(Loc(2)),
     ];
     for (spec, _) in catalogue(pi) {

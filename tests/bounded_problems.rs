@@ -30,8 +30,7 @@ fn run_solver_to_quiescence(pi: Pi, inputs: &[(usize, Action)], steps: usize) ->
             trace.push(a);
             continue;
         }
-        let Some(t) = ioa::Scheduler::<ConsensusSolver>::next_task(&mut sched, &u, &s, step)
-        else {
+        let Some(t) = ioa::Scheduler::<ConsensusSolver>::next_task(&mut sched, &u, &s, step) else {
             break;
         };
         let a = u.enabled(&s, t).expect("enabled");
@@ -52,7 +51,10 @@ fn lemma_23_quiescence_no_further_outputs() {
         &[(0, prop(0, 1)), (2, prop(1, 0)), (4, prop(2, 0))],
         100,
     );
-    let decides = t.iter().filter(|a| matches!(a, Action::Decide { .. })).count();
+    let decides = t
+        .iter()
+        .filter(|a| matches!(a, Action::Decide { .. }))
+        .count();
     assert_eq!(decides, 3, "maxlen outputs reached");
     assert!(Consensus::new(0).check(pi, &t).is_ok());
 }
@@ -92,18 +94,30 @@ fn bounded_witnesses_for_all_three_problems() {
     // Consensus.
     let u = ConsensusSolver::new(pi);
     let traces = vec![
-        run_solver_to_quiescence(pi, &[(0, prop(0, 1)), (1, prop(1, 0)), (2, prop(2, 1))], 100),
+        run_solver_to_quiescence(
+            pi,
+            &[(0, prop(0, 1)), (1, prop(1, 0)), (2, prop(2, 1))],
+            100,
+        ),
         run_solver_to_quiescence(pi, &[(0, prop(0, 0)), (3, Action::Crash(Loc(1)))], 100),
     ];
-    BoundedWitness { spec: &Consensus::new(2), solver: &u, bound: pi.len() }
-        .verify(&traces)
-        .expect("consensus is bounded");
+    BoundedWitness {
+        spec: &Consensus::new(2),
+        solver: &u,
+        bound: pi.len(),
+    }
+    .verify(&traces)
+    .expect("consensus is bounded");
     // Leader election.
     let le = LeaderElectionSolver::new(pi);
     let exec = Runner::new(&le).run(&mut RandomFair::new(3), RunOptions::default());
-    BoundedWitness { spec: &LeaderElection, solver: &le, bound: pi.len() }
-        .verify(&[exec.actions])
-        .expect("leader election is bounded");
+    BoundedWitness {
+        spec: &LeaderElection,
+        solver: &le,
+        bound: pi.len(),
+    }
+    .verify(&[exec.actions])
+    .expect("leader election is bounded");
     // k-set agreement.
     let ks = KSetSolver::new(pi);
     let mut s = ks.initial_state();
@@ -117,7 +131,12 @@ fn bounded_witnesses_for_all_three_problems() {
         t.push(a);
     }
     check_crash_independence(&ks, &t).expect("k-set solver crash independent");
-    assert!(t.iter().filter(|a| matches!(a, Action::DecideK { .. })).count() <= pi.len());
+    assert!(
+        t.iter()
+            .filter(|a| matches!(a, Action::DecideK { .. }))
+            .count()
+            <= pi.len()
+    );
 }
 
 #[test]
@@ -156,11 +175,12 @@ fn theorem_21_contrast_with_query_based_representative() {
     ];
     for spec in specs {
         assert!(spec.output_loc(&Action::Query { at: Loc(0) }).is_none());
-        assert!(spec.output_loc(&Action::QueryReply {
-            at: Loc(0),
-            out: afd_core::FdOutput::Leader(Loc(0))
-        })
-        .is_none());
+        assert!(spec
+            .output_loc(&Action::QueryReply {
+                at: Loc(0),
+                out: afd_core::FdOutput::Leader(Loc(0))
+            })
+            .is_none());
     }
 }
 

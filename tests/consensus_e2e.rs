@@ -16,7 +16,11 @@ fn paxos_sweep_n3_to_n5() {
         for seed in 0..6u64 {
             let sys = paxos_system(pi, &inputs, victims.clone());
             let faults = FaultPattern::at(
-                victims.iter().enumerate().map(|(k, &l)| (crash_at + 17 * k, l)).collect(),
+                victims
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &l)| (crash_at + 17 * k, l))
+                    .collect(),
             );
             let out = run_random(
                 &sys,
@@ -52,7 +56,11 @@ fn ct_sweep_with_lying_detectors() {
             );
             let v = check_consensus_run(pi, f, out.schedule())
                 .unwrap_or_else(|e| panic!("ct n={n} seed={seed}: {e}"));
-            assert!(v.is_some(), "ct n={n} seed={seed}: no decision after {} steps", out.steps);
+            assert!(
+                v.is_some(),
+                "ct n={n} seed={seed}: no decision after {} steps",
+                out.steps
+            );
         }
     }
 }
@@ -65,7 +73,9 @@ fn decisions_are_always_proposed_values() {
         let out = run_random(
             &sys,
             seed,
-            SimConfig::default().with_max_steps(20_000).stop_when(move |s| all_live_decided(pi, s)),
+            SimConfig::default()
+                .with_max_steps(20_000)
+                .stop_when(move |s| all_live_decided(pi, s)),
         );
         let v = check_consensus_run(pi, 1, out.schedule()).unwrap();
         assert!(matches!(v, Some(0 | 1)));
@@ -81,13 +91,18 @@ fn flp_contrast_no_detector_no_decision() {
     use afd_algorithms::consensus::paxos_omega::PaxosOmega;
     use afd_system::ProcessAutomaton;
     let pi = Pi::new(3);
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
     let sys = SystemBuilder::<ProcessAutomaton<PaxosOmega>>::new(pi, procs)
         .with_env(Env::consensus_with_inputs(pi, &[0, 1, 1]))
         .build();
     let out = run_random(&sys, 1, SimConfig::default().with_max_steps(5_000));
     assert!(
-        !out.schedule().iter().any(|a| matches!(a, afd_core::Action::Decide { .. })),
+        !out.schedule()
+            .iter()
+            .any(|a| matches!(a, afd_core::Action::Decide { .. })),
         "no FD input must mean no decision for this algorithm"
     );
 }
@@ -99,9 +114,12 @@ fn unanimity_is_decided_even_with_adversarial_scheduling() {
     let pi = Pi::new(3);
     let sys = paxos_system(pi, &[1, 1, 1], vec![]);
     // Starve the channel tasks for long stretches: decisions still come.
-    let victims: Vec<usize> = { use ioa::Automaton as _; 0..sys.composition.task_count() }
-        .filter(|&t| matches!(sys.label(ioa::TaskId(t)), afd_system::Label::Chan(_, _)))
-        .collect();
+    let victims: Vec<usize> = {
+        use ioa::Automaton as _;
+        0..sys.composition.task_count()
+    }
+    .filter(|&t| matches!(sys.label(ioa::TaskId(t)), afd_system::Label::Chan(_, _)))
+    .collect();
     let mut sched = ioa::Adversarial::new(victims, 25);
     let out = run_sim(
         &sys,

@@ -23,7 +23,9 @@ fn generator_trace(gen: &FdGen, crash: Option<(usize, Loc)>, steps: usize) -> Ve
                 continue;
             }
         }
-        let Some(t) = sched.next_task(gen, &s, step) else { break };
+        let Some(t) = sched.next_task(gen, &s, step) else {
+            break;
+        };
         let a = gen.enabled(&s, t).unwrap();
         s = gen.step(&s, &a).unwrap();
         out.push(a);
@@ -45,7 +47,10 @@ fn specs() -> Vec<Box<dyn AfdSpec>> {
 }
 
 fn acceptance_row(t: &[Action], pi: Pi) -> Vec<bool> {
-    specs().iter().map(|s| s.check_complete(pi, t).is_ok()).collect()
+    specs()
+        .iter()
+        .map(|s| s.check_complete(pi, t).is_ok())
+        .collect()
 }
 
 #[test]
@@ -88,8 +93,12 @@ fn single_target_lies_spare_the_weak_accuracy_specs() {
 fn cheating_marabout_is_accepted_only_when_its_guess_comes_true() {
     use afd_core::automata::FdBehavior;
     let pi = Pi::new(2);
-    let cheater =
-        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(1)) });
+    let cheater = FdGen::new(
+        pi,
+        FdBehavior::CheatingMarabout {
+            faulty: LocSet::singleton(Loc(1)),
+        },
+    );
     // World A: the guess comes true (p1 crashes): Marabout accepts.
     let t_match = generator_trace(&cheater, Some((5, Loc(1))), 40);
     assert!(Marabout.check_complete(pi, &t_match).is_ok());
@@ -110,7 +119,10 @@ fn inclusion_chains_hold_on_bulk_random_runs() {
     for seed in 0..12u64 {
         let crash = Some(((seed as usize % 10) + 2, Loc((seed % 4) as u8)));
         let lies = LocSet::singleton(Loc(((seed + 1) % 4) as u8));
-        for gen in [FdGen::perfect(pi), FdGen::ev_perfect_noisy(pi, lies, (seed % 3) as u16)] {
+        for gen in [
+            FdGen::perfect(pi),
+            FdGen::ev_perfect_noisy(pi, lies, (seed % 3) as u16),
+        ] {
             let t = generator_trace(&gen, crash, 80);
             let row = acceptance_row(&t, pi);
             for chain in chains {

@@ -10,10 +10,13 @@ use afd_core::{Action, Loc, Pi};
 use afd_system::{ComponentState, ProcState, ProcessAutomaton};
 use ioa::{check_invariant, reachable_states, Automaton, SweepOutcome};
 
-type PaxosCompState = Vec<ComponentState<ProcState<afd_algorithms::consensus::paxos_omega::PaxosState>>>;
+type PaxosCompState =
+    Vec<ComponentState<ProcState<afd_algorithms::consensus::paxos_omega::PaxosState>>>;
 
 /// Extract the per-process Paxos states from a composite state.
-fn paxos_procs(s: &PaxosCompState) -> Vec<&ProcState<afd_algorithms::consensus::paxos_omega::PaxosState>> {
+fn paxos_procs(
+    s: &PaxosCompState,
+) -> Vec<&ProcState<afd_algorithms::consensus::paxos_omega::PaxosState>> {
     s.iter()
         .filter_map(|c| match c {
             ComponentState::Process(p) => Some(p),
@@ -44,8 +47,14 @@ fn paxos_agreement_exhaustive_n2() {
     });
     match out {
         SweepOutcome::Holds { states, complete } => {
-            assert!(complete, "state space unexpectedly exceeded the budget ({states} states)");
-            assert!(states > 50, "the sweep actually explored the protocol: {states}");
+            assert!(
+                complete,
+                "state space unexpectedly exceeded the budget ({states} states)"
+            );
+            assert!(
+                states > 50,
+                "the sweep actually explored the protocol: {states}"
+            );
             println!("paxos n=2 exhaustive: {states} states, agreement holds everywhere");
         }
         SweepOutcome::Violated(cex) => {
@@ -73,7 +82,11 @@ fn paxos_decided_states_are_reachable_in_the_sweep() {
         }
     };
     // The shortest path to full decision announces both decides.
-    let decides = cex.path.iter().filter(|a| matches!(a, Action::Decide { .. })).count();
+    let decides = cex
+        .path
+        .iter()
+        .filter(|a| matches!(a, Action::Decide { .. }))
+        .count();
     assert_eq!(decides, 2);
     // And by validity the decided value is the unanimous input.
     assert!(cex
@@ -118,15 +131,14 @@ fn urb_safety_exhaustive_n2_with_crash_interleavings() {
         // A process has *performed* a Deliver event iff its bookkeeping
         // says delivered and nothing is still pending emission
         // (`delivered` is set at relay time; the event fires later).
-        let emitted =
-            |p: &&ProcState<afd_algorithms::broadcast::UrbState>| {
-                !p.inner.delivered.is_empty() && p.inner.to_deliver.is_empty()
-            };
+        let emitted = |p: &ProcState<afd_algorithms::broadcast::UrbState>| {
+            !p.inner.delivered.is_empty() && p.inner.to_deliver.is_empty()
+        };
         if !m_is_active(m, s) {
             let anyone = procs.iter().any(|p| emitted(p));
             if anyone {
                 for p in &procs {
-                    if !p.crashed && !emitted(&p) {
+                    if !p.crashed && !emitted(p) {
                         return false;
                     }
                 }

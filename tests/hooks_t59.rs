@@ -13,7 +13,10 @@ use afd_tree::{
 };
 
 fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_env(Env::consensus(pi))
         .with_crashes(seq.crash_script())
@@ -46,8 +49,14 @@ fn theorem_59_sweep() {
             Err(e) => panic!("seed {seed}: {e}"),
         };
         found += 1;
-        assert!(hook.tags_share_location(), "seed {seed}: Theorem 57 violated: {hook:?}");
-        assert!(hook.critical_live, "seed {seed}: Theorem 58 violated: {hook:?}");
+        assert!(
+            hook.tags_share_location(),
+            "seed {seed}: Theorem 57 violated: {hook:?}"
+        );
+        assert!(
+            hook.critical_live,
+            "seed {seed}: Theorem 58 violated: {hook:?}"
+        );
         assert!(hook.satisfies_theorem_59(), "seed {seed}: {hook:?}");
     }
     assert_eq!(found, 10);
@@ -72,14 +81,24 @@ fn hooks_on_a_handcrafted_sequence() {
     let seq = FdSeq::new(
         vec![Action::Crash(Loc(0))],
         vec![
-            Action::Fd { at: Loc(1), out: FdOutput::Leader(Loc(1)) },
-            Action::Fd { at: Loc(2), out: FdOutput::Leader(Loc(1)) },
+            Action::Fd {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(1)),
+            },
+            Action::Fd {
+                at: Loc(2),
+                out: FdOutput::Leader(Loc(1)),
+            },
         ],
     );
     let sys = tree_system(pi, &seq);
     let tree = TaggedTree::new(&sys, seq);
     let hook = find_hook(&tree, HookSearchOptions::default()).expect("hook exists");
-    assert_ne!(hook.critical, Loc(0), "crashed location cannot be critical: {hook:?}");
+    assert_ne!(
+        hook.critical,
+        Loc(0),
+        "crashed location cannot be critical: {hook:?}"
+    );
     assert!(hook.satisfies_theorem_59(), "{hook:?}");
 }
 
@@ -92,7 +111,10 @@ fn theorem_59_holds_for_the_ct_system_too() {
     for seed in 0..6u64 {
         let seq = random_t_evp(pi, 1, seed);
         assert!(is_in_t_evp(pi, &seq), "seed {seed}");
-        let procs = pi.iter().map(|i| ProcessAutomaton::new(i, CtStrong::new(pi))).collect();
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, CtStrong::new(pi)))
+            .collect();
         let sys = SystemBuilder::new(pi, procs)
             .with_env(Env::consensus(pi))
             .with_crashes(seq.crash_script())

@@ -14,8 +14,18 @@ fn marabout_refuted_for_all_candidates() {
     let candidates: Vec<FdGen> = vec![
         FdGen::perfect(pi),
         FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 1),
-        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::empty() }),
-        FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: LocSet::singleton(Loc(0)) }),
+        FdGen::new(
+            pi,
+            FdBehavior::CheatingMarabout {
+                faulty: LocSet::empty(),
+            },
+        ),
+        FdGen::new(
+            pi,
+            FdBehavior::CheatingMarabout {
+                faulty: LocSet::singleton(Loc(0)),
+            },
+        ),
         FdGen::new(pi, FdBehavior::CheatingMarabout { faulty: pi.all() }),
     ];
     for gen in candidates {
@@ -32,7 +42,10 @@ fn marabout_spec_itself_is_well_defined_as_a_function_of_the_pattern() {
     // The point of §3.4 is that Marabout fails *solvability*, not
     // well-definedness: omniscient traces are accepted.
     let pi = Pi::new(2);
-    let sus = |at: u8, set: LocSet| Action::Fd { at: Loc(at), out: FdOutput::Suspects(set) };
+    let sus = |at: u8, set: LocSet| Action::Fd {
+        at: Loc(at),
+        out: FdOutput::Suspects(set),
+    };
     let t = vec![
         sus(0, LocSet::singleton(Loc(1))),
         Action::Crash(Loc(1)),
@@ -44,18 +57,40 @@ fn marabout_spec_itself_is_well_defined_as_a_function_of_the_pattern() {
 #[test]
 fn dk_untimed_projection_collapses_membership() {
     let dk = DkTimed::new(10.0);
-    let sus0 = Action::Fd { at: Loc(0), out: FdOutput::Suspects(LocSet::empty()) };
+    let sus0 = Action::Fd {
+        at: Loc(0),
+        out: FdOutput::Suspects(LocSet::empty()),
+    };
     let early = vec![
-        TimedEvent { time: 5.0, action: Action::Crash(Loc(1)) },
-        TimedEvent { time: 12.0, action: sus0 },
+        TimedEvent {
+            time: 5.0,
+            action: Action::Crash(Loc(1)),
+        },
+        TimedEvent {
+            time: 12.0,
+            action: sus0,
+        },
     ];
     let late = vec![
-        TimedEvent { time: 11.0, action: Action::Crash(Loc(1)) },
-        TimedEvent { time: 12.0, action: sus0 },
+        TimedEvent {
+            time: 11.0,
+            action: Action::Crash(Loc(1)),
+        },
+        TimedEvent {
+            time: 12.0,
+            action: sus0,
+        },
     ];
     assert!(dk.check_timed(&early), "pre-horizon crash may be ignored");
-    assert!(!dk.check_timed(&late), "post-horizon crash must be reported");
-    assert_eq!(untime(&early), untime(&late), "the AFD framework cannot tell them apart");
+    assert!(
+        !dk.check_timed(&late),
+        "post-horizon crash must be reported"
+    );
+    assert_eq!(
+        untime(&early),
+        untime(&late),
+        "the AFD framework cannot tell them apart"
+    );
     assert!(dk.try_as_afd().is_none());
 }
 
@@ -66,8 +101,12 @@ fn refutation_traces_are_fair_fd_behaviors() {
     let pi = Pi::new(2);
     let w = refute_marabout(&FdGen::perfect(pi), pi, 60).unwrap();
     assert!(w.trace.len() > 2);
-    assert!(w
-        .trace
-        .iter()
-        .all(|a| a.is_crash() || matches!(a, Action::Fd { out: FdOutput::Suspects(_), .. })));
+    assert!(w.trace.iter().all(|a| a.is_crash()
+        || matches!(
+            a,
+            Action::Fd {
+                out: FdOutput::Suspects(_),
+                ..
+            }
+        )));
 }

@@ -8,26 +8,58 @@ use afd_algorithms::kset::kset_system;
 use afd_algorithms::self_impl::self_impl_system;
 use afd_core::automata::FdGen;
 use afd_core::{Action, FdOutput, Loc, LocSet, Msg, Pi};
+use afd_runtime::{fifo_violation, run_threaded, LinkFaults, LinkProfile, RuntimeConfig};
 use afd_system::{run_random, run_sim, FaultPattern, RunStats, SimConfig};
+use proptest::prelude::*;
 
 fn probe_actions(pi: Pi) -> Vec<Action> {
     let mut v = vec![
         Action::Crash(Loc(0)),
         Action::Propose { at: Loc(0), v: 0 },
         Action::Decide { at: Loc(1), v: 1 },
-        Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
-        Action::Fd { at: Loc(1), out: FdOutput::Suspects(LocSet::empty()) },
-        Action::FdRenamed { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
-        Action::Broadcast { at: Loc(0), payload: 1 },
-        Action::Deliver { at: Loc(1), origin: Loc(0), payload: 1 },
-        Action::Vote { at: Loc(0), yes: true },
-        Action::Verdict { at: Loc(1), commit: true },
+        Action::Fd {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(0)),
+        },
+        Action::Fd {
+            at: Loc(1),
+            out: FdOutput::Suspects(LocSet::empty()),
+        },
+        Action::FdRenamed {
+            at: Loc(0),
+            out: FdOutput::Leader(Loc(0)),
+        },
+        Action::Broadcast {
+            at: Loc(0),
+            payload: 1,
+        },
+        Action::Deliver {
+            at: Loc(1),
+            origin: Loc(0),
+            payload: 1,
+        },
+        Action::Vote {
+            at: Loc(0),
+            yes: true,
+        },
+        Action::Verdict {
+            at: Loc(1),
+            commit: true,
+        },
     ];
     for i in pi.iter() {
         for j in pi.iter() {
             if i != j {
-                v.push(Action::Send { from: i, to: j, msg: Msg::Token(9) });
-                v.push(Action::Receive { from: i, to: j, msg: Msg::Token(9) });
+                v.push(Action::Send {
+                    from: i,
+                    to: j,
+                    msg: Msg::Token(9),
+                });
+                v.push(Action::Receive {
+                    from: i,
+                    to: j,
+                    msg: Msg::Token(9),
+                });
             }
         }
     }
@@ -38,20 +70,24 @@ fn probe_actions(pi: Pi) -> Vec<Action> {
 fn every_system_has_a_legal_figure1_signature() {
     let pi = Pi::new(3);
     let probe = probe_actions(pi);
-    paxos_system(pi, &[0, 1, 1], vec![]).validate(&probe).unwrap();
-    ct_system(pi, &[0, 1, 1], vec![], LocSet::empty(), 0).validate(&probe).unwrap();
-    urb_system(pi, vec![(Loc(0), 1)], vec![]).validate(&probe).unwrap();
-    kset_system(pi, 1, &[1, 2, 3], vec![]).validate(&probe).unwrap();
-    self_impl_system(pi, FdGen::omega(pi), vec![]).validate(&probe).unwrap();
-    afd_algorithms::atomic_commit::nbac_system(
-        pi,
-        &[true, true, true],
-        vec![],
-        LocSet::empty(),
-        0,
-    )
-    .validate(&probe)
-    .unwrap();
+    paxos_system(pi, &[0, 1, 1], vec![])
+        .validate(&probe)
+        .unwrap();
+    ct_system(pi, &[0, 1, 1], vec![], LocSet::empty(), 0)
+        .validate(&probe)
+        .unwrap();
+    urb_system(pi, vec![(Loc(0), 1)], vec![])
+        .validate(&probe)
+        .unwrap();
+    kset_system(pi, 1, &[1, 2, 3], vec![])
+        .validate(&probe)
+        .unwrap();
+    self_impl_system(pi, FdGen::omega(pi), vec![])
+        .validate(&probe)
+        .unwrap();
+    afd_algorithms::atomic_commit::nbac_system(pi, &[true, true, true], vec![], LocSet::empty(), 0)
+        .validate(&probe)
+        .unwrap();
     afd_algorithms::query_based::query_consensus_system(pi, &[0, 1, 1], vec![])
         .validate(&probe)
         .unwrap();
@@ -72,13 +108,19 @@ fn consensus_run_statistics_are_sane() {
     let st = RunStats::of(out.schedule());
     assert_eq!(st.events, out.steps);
     assert_eq!(st.crashes, 1);
-    assert!(st.receives <= st.sends, "cannot deliver what was never sent");
+    assert!(
+        st.receives <= st.sends,
+        "cannot deliver what was never sent"
+    );
     assert!(st.fd_outputs > 0, "Ω drives the protocol");
     assert_eq!(st.problem_inputs, 3, "three proposals");
     assert!(st.problem_outputs >= 2, "live locations decide");
     assert!(st.first_decision_at.is_some());
     assert!(st.first_decision_at <= st.last_decision_at);
-    assert!(st.silent_locations(pi).is_empty(), "every location participates");
+    assert!(
+        st.silent_locations(pi).is_empty(),
+        "every location participates"
+    );
     assert!(st.message_fraction() > 0.1, "consensus is message-driven");
 }
 
@@ -119,8 +161,44 @@ fn adversarial_scheduling_still_serves_victims() {
         SimConfig::default().with_max_steps(800),
     );
     let st = RunStats::of(out.schedule());
-    assert!(st.fd_renamed > 0, "starved emitters still emit eventually: {st}");
-    assert!(st.fd_outputs > st.fd_renamed, "emission lags behind the detector");
+    assert!(
+        st.fd_renamed > 0,
+        "starved emitters still emit eventually: {st}"
+    );
+    assert!(
+        st.fd_outputs > st.fd_renamed,
+        "emission lags behind the detector"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// Reliable-FIFO order survives real thread interleavings: under a
+    /// random universe size, crash point and link delay, no channel in
+    /// a threaded schedule ever reorders, drops, duplicates or invents
+    /// a delivery.
+    #[test]
+    fn threaded_channels_are_reliable_fifo(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        crash_at in 10usize..60,
+        delay_us in 0u64..300,
+    ) {
+        let pi = Pi::new(n);
+        let victim = Loc(u8::try_from(n).unwrap() - 1);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![victim]);
+        let cfg = RuntimeConfig::default()
+            .with_max_events(400)
+            .with_faults(FaultPattern::at(vec![(crash_at, victim)]))
+            .with_links(LinkFaults::uniform(LinkProfile::jittered(
+                std::time::Duration::from_micros(delay_us),
+                std::time::Duration::from_micros(delay_us / 2),
+            )))
+            .with_seed(seed);
+        let out = run_threaded(&sys, &cfg);
+        prop_assert!(!out.schedule.is_empty());
+        prop_assert_eq!(fifo_violation(&out.schedule), None);
+    }
 }
 
 #[test]

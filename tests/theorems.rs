@@ -7,7 +7,9 @@
 use afd_algorithms::lattice::{AfdId, Lattice};
 use afd_algorithms::reductions::{run_reduction, Transform};
 use afd_algorithms::self_impl::run_theorem_13;
-use afd_core::afds::{AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak};
+use afd_core::afds::{
+    AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak,
+};
 use afd_core::automata::{FdBehavior, FdGen};
 use afd_core::problems::consensus::Consensus;
 use afd_core::{Action, AfdSpec, Loc, LocSet, Pi};
@@ -20,15 +22,30 @@ fn theorem_13_self_implementability_across_the_catalogue() {
     let cases: Vec<(Box<dyn AfdSpec>, FdGen)> = vec![
         (Box::new(Omega), FdGen::omega(pi)),
         (Box::new(Perfect), FdGen::perfect(pi)),
-        (Box::new(EvPerfect), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 2)),
+        (
+            Box::new(EvPerfect),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 2),
+        ),
         (Box::new(Strong), FdGen::perfect(pi)),
-        (Box::new(EvStrong), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 1)),
+        (
+            Box::new(EvStrong),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(0)), 1),
+        ),
         (Box::new(Weak), FdGen::perfect(pi)),
-        (Box::new(EvWeak), FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1)),
+        (
+            Box::new(EvWeak),
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(2)), 1),
+        ),
         (Box::new(Sigma), FdGen::new(pi, FdBehavior::Sigma)),
         (Box::new(AntiOmega), FdGen::new(pi, FdBehavior::AntiOmega)),
-        (Box::new(OmegaK::new(2)), FdGen::new(pi, FdBehavior::OmegaK { k: 2 })),
-        (Box::new(PsiK::new(2)), FdGen::new(pi, FdBehavior::PsiK { k: 2 })),
+        (
+            Box::new(OmegaK::new(2)),
+            FdGen::new(pi, FdBehavior::OmegaK { k: 2 }),
+        ),
+        (
+            Box::new(PsiK::new(2)),
+            FdGen::new(pi, FdBehavior::PsiK { k: 2 }),
+        ),
     ];
     for (spec, gen) in cases {
         for (seed, faults) in [
@@ -48,8 +65,13 @@ fn theorem_15_transitivity_composed_reduction_runs_live() {
     // P ⪰ Ω ⪰ anti-Ω composed: run P→Ω, feed its outputs (as a spec
     // check) — here verified piecewise plus via the lattice chain.
     let lattice = Lattice::standard(2);
-    let chain = lattice.reduction_chain(AfdId::P, AfdId::AntiOmega).expect("chain exists");
-    assert_eq!(chain, vec![Transform::SuspectsToLeader, Transform::LeaderToAntiLeader]);
+    let chain = lattice
+        .reduction_chain(AfdId::P, AfdId::AntiOmega)
+        .expect("chain exists");
+    assert_eq!(
+        chain,
+        vec![Transform::SuspectsToLeader, Transform::LeaderToAntiLeader]
+    );
     // Each link verified on a live system.
     let pi = Pi::new(3);
     assert!(run_reduction(
@@ -85,10 +107,17 @@ fn theorem_18_evidence_separations() {
     let gen = FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2);
     let sys = afd_algorithms::self_impl::self_impl_system(pi, gen, vec![]);
     let out = run_random(&sys, 11, SimConfig::default().with_max_steps(300));
-    let fd_trace: Vec<Action> =
-        out.schedule().iter().filter(|a| a.is_crash() || a.is_fd_output()).copied().collect();
+    let fd_trace: Vec<Action> = out
+        .schedule()
+        .iter()
+        .filter(|a| a.is_crash() || a.is_fd_output())
+        .copied()
+        .collect();
     assert!(EvPerfect.check_complete(pi, &fd_trace).is_ok());
-    assert!(Perfect.check_complete(pi, &fd_trace).is_err(), "the lie separates P from ◇P");
+    assert!(
+        Perfect.check_complete(pi, &fd_trace).is_err(),
+        "the lie separates P from ◇P"
+    );
     assert!(EvStrong.check_complete(pi, &fd_trace).is_ok());
 }
 

@@ -1,0 +1,257 @@
+//! Cross-validation of the threaded runtime against the trace theory:
+//! schedules produced by `afd_runtime::run_threaded` — real OS
+//! threads, real nondeterminism, injected crashes, delayed links —
+//! must satisfy exactly the same checkers as simulated schedules:
+//! FIFO channel order, `T_D` membership of the FD projection,
+//! Theorem 13 self-implementation, and consensus agreement/validity.
+//!
+//! Run counts per test (grand total 232, spanning 0-, 1- and 2-crash
+//! patterns, Halt and Kill crash modes, with and without link delay):
+//!   omega conformance        60
+//!   perfect conformance      30
+//!   noisy ◇P conformance     20
+//!   theorem 13 (Ω and P)     40
+//!   paxos n=3                42
+//!   paxos n=5, 2 crashes     20
+//!   CT over noisy ◇P n=3     20
+
+use std::time::Duration;
+
+use afd_algorithms::{
+    all_live_decided, check_consensus_run, check_self_implementation, ct_system, paxos_system,
+    self_impl_system,
+};
+use afd_core::afds::{EvPerfect, Omega, Perfect};
+use afd_core::automata::FdGen;
+use afd_core::{AfdSpec, Loc, LocSet, Pi};
+use afd_runtime::{
+    check_fd_trace, fifo_violation, run_threaded, CrashMode, LinkFaults, LinkProfile,
+    RuntimeConfig, StopReason,
+};
+use afd_system::FaultPattern;
+
+/// The link-fault layer used by the "slow network" half of every grid:
+/// every channel delays each delivery 150µs plus up to 250µs jitter.
+fn slow_links() -> LinkFaults {
+    LinkFaults::uniform(LinkProfile::jittered(
+        Duration::from_micros(150),
+        Duration::from_micros(250),
+    ))
+}
+
+fn link_grid() -> [LinkFaults; 2] {
+    [LinkFaults::none(), slow_links()]
+}
+
+/// Alternate Halt/Kill by seed so both thread fates are exercised.
+fn mode_for(seed: u64) -> CrashMode {
+    if seed.is_multiple_of(2) {
+        CrashMode::Halt
+    } else {
+        CrashMode::Kill
+    }
+}
+
+/// Conformance grid: run the `A_self` system around `gen` under every
+/// (crash pattern × link profile × seed) combination and hand each
+/// schedule to `check`. Crashes are injected early (≤10% of the event
+/// budget) so "eventually forever" clauses have a long tail to
+/// stabilize in. Returns the number of runs performed.
+fn conformance_grid(
+    pi: Pi,
+    gen: &FdGen,
+    patterns: &[FaultPattern],
+    seeds: std::ops::Range<u64>,
+    check: impl Fn(&[afd_core::Action]),
+) -> usize {
+    let mut runs = 0;
+    for pattern in patterns {
+        for links in link_grid() {
+            for seed in seeds.clone() {
+                let sys = self_impl_system(pi, gen.clone(), pattern.faulty());
+                let cfg = RuntimeConfig::default()
+                    .with_max_events(600)
+                    .with_faults(pattern.clone())
+                    .with_crash_mode(mode_for(seed))
+                    .with_links(links.clone())
+                    .with_seed(seed);
+                let out = run_threaded(&sys, &cfg);
+                assert_eq!(out.stop, StopReason::MaxEvents, "FD systems never quiesce");
+                assert_eq!(
+                    fifo_violation(&out.schedule),
+                    None,
+                    "seed {seed}: FIFO broken"
+                );
+                check(&out.schedule);
+                runs += 1;
+            }
+        }
+    }
+    runs
+}
+
+fn one_crash(pi: Pi) -> FaultPattern {
+    FaultPattern::at(vec![(40, Loc(pi.len() as u8 - 1))])
+}
+
+fn two_crashes() -> FaultPattern {
+    FaultPattern::at(vec![(25, Loc(1)), (55, Loc(3))])
+}
+
+#[test]
+fn threaded_omega_generator_stays_in_t_omega() {
+    let pi = Pi::new(4);
+    let patterns = [FaultPattern::none(), one_crash(pi), two_crashes()];
+    let runs = conformance_grid(pi, &FdGen::omega(pi), &patterns, 0..10, |schedule| {
+        check_fd_trace(&Omega, pi, schedule).expect("Ω trace left T_Ω");
+    });
+    assert_eq!(runs, 60);
+}
+
+#[test]
+fn threaded_perfect_generator_stays_in_t_p_and_t_ev_p() {
+    let pi = Pi::new(4);
+    let patterns = [FaultPattern::none(), one_crash(pi), two_crashes()];
+    let runs = conformance_grid(pi, &FdGen::perfect(pi), &patterns, 0..5, |schedule| {
+        check_fd_trace(&Perfect, pi, schedule).expect("P trace left T_P");
+        check_fd_trace(&EvPerfect, pi, schedule).expect("T_P ⊆ T_◇P must hold");
+    });
+    assert_eq!(runs, 30);
+}
+
+#[test]
+fn threaded_noisy_generator_stays_in_t_ev_p() {
+    let pi = Pi::new(4);
+    let gen = FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 3);
+    let patterns = [FaultPattern::none(), one_crash(pi)];
+    let runs = conformance_grid(pi, &gen, &patterns, 0..5, |schedule| {
+        check_fd_trace(&EvPerfect, pi, schedule).expect("noisy ◇P trace left T_◇P");
+    });
+    assert_eq!(runs, 20);
+}
+
+#[test]
+fn threaded_self_implementation_satisfies_theorem_13() {
+    let pi = Pi::new(3);
+    let gens: [(&dyn AfdSpec, FdGen); 2] =
+        [(&Omega, FdGen::omega(pi)), (&Perfect, FdGen::perfect(pi))];
+    let patterns = [FaultPattern::none(), FaultPattern::at(vec![(30, Loc(2))])];
+    let mut runs = 0;
+    for (spec, gen) in &gens {
+        runs += conformance_grid(pi, gen, &patterns, 0..5, |schedule| {
+            let verdict = check_self_implementation(*spec, pi, schedule)
+                .expect("A_self broke T_D′ on a threaded schedule");
+            assert!(verdict, "antecedent (D-trace ∈ T_D) unexpectedly failed");
+        });
+    }
+    assert_eq!(runs, 40);
+}
+
+/// Shared body of the consensus cross-validation runs: execute the
+/// system threaded, then check FIFO order plus agreement/validity AND
+/// termination via the same `Consensus` problem spec the simulator
+/// uses. Termination is asserted for real — the run must stop because
+/// every live location decided, not because the budget ran out — so a
+/// vacuous run (nobody ever proposed) fails loudly.
+fn consensus_run<P>(
+    sys: &afd_system::System<P>,
+    pi: Pi,
+    f: usize,
+    pattern: &FaultPattern,
+    links: LinkFaults,
+    seed: u64,
+) where
+    P: ioa::Automaton<Action = afd_core::Action> + Sync,
+    P::State: Send,
+{
+    let cfg = RuntimeConfig::default()
+        .with_max_events(4_000)
+        .with_faults(pattern.clone())
+        .with_crash_mode(mode_for(seed))
+        .with_links(links)
+        .with_seed(seed)
+        .stop_when(move |s| all_live_decided(pi, s));
+    let out = run_threaded(sys, &cfg);
+    assert_eq!(
+        fifo_violation(&out.schedule),
+        None,
+        "seed {seed}: FIFO broken"
+    );
+    let decided = check_consensus_run(pi, f, &out.schedule)
+        .unwrap_or_else(|v| panic!("seed {seed}: consensus violated: {v:?}"));
+    assert_eq!(
+        out.stop,
+        StopReason::Predicate,
+        "seed {seed}: no termination in budget"
+    );
+    assert!(
+        all_live_decided(pi, &out.schedule),
+        "predicate stop without decisions"
+    );
+    assert!(
+        decided.is_some(),
+        "seed {seed}: all live decided yet no decision value"
+    );
+}
+
+#[test]
+fn threaded_paxos_over_omega_agrees() {
+    let pi = Pi::new(3);
+    // E_C is the binary-consensus environment of Algorithm 4: only
+    // values 0 and 1 are proposable.
+    let inputs = [0, 1, 1];
+    let patterns = [
+        FaultPattern::none(),
+        // Crash the initial Ω leader early: forces a leader change.
+        FaultPattern::at(vec![(5, Loc(0))]),
+        FaultPattern::at(vec![(5, Loc(2))]),
+    ];
+    let mut runs = 0;
+    for pattern in &patterns {
+        for links in link_grid() {
+            for seed in 0..7 {
+                let sys = paxos_system(pi, &inputs, pattern.faulty());
+                consensus_run(&sys, pi, 1, pattern, links.clone(), seed);
+                runs += 1;
+            }
+        }
+    }
+    assert_eq!(runs, 42);
+}
+
+#[test]
+fn threaded_paxos_n5_survives_two_crashes() {
+    let pi = Pi::new(5);
+    let inputs = [0, 1, 0, 1, 1];
+    let patterns = [FaultPattern::at(vec![(5, Loc(1)), (12, Loc(4))])];
+    let mut runs = 0;
+    for pattern in &patterns {
+        for links in link_grid() {
+            for seed in 0..10 {
+                let sys = paxos_system(pi, &inputs, pattern.faulty());
+                consensus_run(&sys, pi, 2, pattern, links.clone(), seed);
+                runs += 1;
+            }
+        }
+    }
+    assert_eq!(runs, 20);
+}
+
+#[test]
+fn threaded_ct_over_noisy_ev_strong_agrees() {
+    let pi = Pi::new(3);
+    let inputs = [1, 0, 1];
+    let lie = LocSet::singleton(Loc(1));
+    let patterns = [FaultPattern::none(), FaultPattern::at(vec![(5, Loc(2))])];
+    let mut runs = 0;
+    for pattern in &patterns {
+        for links in link_grid() {
+            for seed in 0..5 {
+                let sys = ct_system(pi, &inputs, pattern.faulty(), lie, 2);
+                consensus_run(&sys, pi, 1, pattern, links.clone(), seed);
+                runs += 1;
+            }
+        }
+    }
+    assert_eq!(runs, 20);
+}

@@ -10,7 +10,10 @@ use afd_tree::{explore, random_t_omega, similar_modulo_i, FdPos, FdSeq, TaggedTr
 use proptest::prelude::*;
 
 fn tree_system(pi: Pi, seq: &FdSeq) -> System<ProcessAutomaton<PaxosOmega>> {
-    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi))).collect();
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
     SystemBuilder::new(pi, procs)
         .with_env(Env::consensus(pi))
         .with_crashes(seq.crash_script())
@@ -58,12 +61,21 @@ fn theorem_40_similarity_preserved_along_matched_steps() {
     let i = Loc(0);
     let seq = FdSeq::new(
         vec![
-            Action::Fd { at: Loc(0), out: FdOutput::Leader(Loc(0)) },
+            Action::Fd {
+                at: Loc(0),
+                out: FdOutput::Leader(Loc(0)),
+            },
             Action::Crash(Loc(0)),
         ],
         vec![
-            Action::Fd { at: Loc(1), out: FdOutput::Leader(Loc(1)) },
-            Action::Fd { at: Loc(2), out: FdOutput::Leader(Loc(1)) },
+            Action::Fd {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(1)),
+            },
+            Action::Fd {
+                at: Loc(2),
+                out: FdOutput::Leader(Loc(1)),
+            },
         ],
     );
     let sys = tree_system(pi, &seq);
@@ -82,7 +94,7 @@ fn theorem_40_similarity_preserved_along_matched_steps() {
     }
     let (_, n) = tree.child(&n, TreeLabel::Fd); // FD output at p0
     let (_, n) = tree.child(&n, TreeLabel::Fd); // crash_p0
-    // N ∼_i N (reflexive post-crash).
+                                                // N ∼_i N (reflexive post-crash).
     assert!(similar_modulo_i(pi, i, &n, &n));
     // A second node N′: same point but with p0's proposal having gone
     // out *further* (deliver one of p0's queued sends at p1). Channels

@@ -1,0 +1,253 @@
+//! Vendored minimal shim of the `criterion` API surface used by the
+//! bench crate: [`Criterion::benchmark_group`], group configuration
+//! (`measurement_time`, `sample_size`, `throughput`),
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short warm-up sizes the batch,
+//! then `sample_size` batches run under `std::time::Instant`; the
+//! report prints the mean ns/iter (and elements/sec when a
+//! [`Throughput`] is set). No statistics beyond the mean, no plots, no
+//! baselines — enough to compare orders of magnitude hermetically.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer — re-export convenience mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus a displayed parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for per-element rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called in a batch sized by the caller.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters_done += 1;
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility: `run_samples` always performs
+    /// one untimed warm-up call regardless of the requested duration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let (time, sample_size) = (self.measurement_time, self.sample_size);
+        let report = run_samples(time, sample_size, |b| f(b, input));
+        self.criterion.report(&label, report, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with no separate input.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let (time, sample_size) = (self.measurement_time, self.sample_size);
+        let report = run_samples(time, sample_size, &mut f);
+        self.criterion.report(&label, report, self.throughput);
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(budget: Duration, samples: usize, mut f: F) -> Duration {
+    // Warm-up: one untimed call, then size the per-sample batch so all
+    // samples together roughly fill the measurement budget.
+    let mut warm = Bencher::default();
+    f(&mut warm);
+    let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = budget / u32::try_from(samples.max(1)).unwrap_or(1);
+    let batch = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as usize;
+    let mut total = Duration::ZERO;
+    let mut iters: u64 = 0;
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        for _ in 0..batch {
+            f(&mut b);
+        }
+        total += b.elapsed;
+        iters += b.iters_done;
+    }
+    if iters == 0 {
+        return Duration::ZERO;
+    }
+    total / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(1)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_samples(Duration::from_secs(1), 10, &mut f);
+        self.report(name, report, None);
+        self
+    }
+
+    fn report(&mut self, label: &str, mean: Duration, throughput: Option<Throughput>) {
+        let ns = mean.as_nanos();
+        match throughput {
+            Some(Throughput::Elements(n)) if ns > 0 => {
+                let rate = n as f64 * 1e9 / ns as f64;
+                println!("{label:<50} {ns:>12} ns/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if ns > 0 => {
+                let rate = n as f64 * 1e9 / ns as f64;
+                println!("{label:<50} {ns:>12} ns/iter  {rate:>14.0} B/s");
+            }
+            _ => println!("{label:<50} {ns:>12} ns/iter"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The bench-harness entry point (used with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.measurement_time(Duration::from_millis(20));
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(4));
+        let mut hits = 0u32;
+        g.bench_with_input(BenchmarkId::new("count", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                hits += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        g.finish();
+        assert!(hits > 0, "benchmark closure ran");
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

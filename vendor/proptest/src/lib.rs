@@ -1,0 +1,182 @@
+//! Vendored minimal shim of the `proptest` API surface used by this
+//! workspace: the [`proptest!`] macro over integer-range strategies,
+//! [`prop_assert!`] / [`prop_assert_eq!`], and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Cases are generated deterministically (splitmix64 keyed on the test
+//! name), so failures reproduce without a persistence file. There is
+//! no shrinking: a failing case reports its inputs via the standard
+//! panic message, which the deterministic generator makes re-runnable.
+//! The macro grammar accepted is exactly the subset the workspace's
+//! tests use: `#![proptest_config(..)]` followed by `#[test]` functions
+//! whose arguments are `name in <integer range>` bindings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of values for one property argument. Implemented for the
+/// integer range expressions the tests bind with `x in 0..n`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Build the deterministic per-test RNG: splitmix64 keyed on an FNV-1a
+/// hash of the test's name, so distinct properties see distinct but
+/// reproducible streams.
+#[must_use]
+pub fn runner_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Assert inside a property; failure reports the generated inputs via
+/// the panic message (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// The property-test macro: each contained `#[test] fn` runs its body
+/// for `config.cases` deterministically generated argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one zero-argument test
+/// function per property, looping over generated cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(concat!("case {} of {}: ", $(stringify!($arg), " = {:?} "),+),
+                    __case, __config.cases, $(&$arg),+);
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(e) = __result {
+                    eprintln!("proptest shim: property {} failed at {}", stringify!($name), __inputs);
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Generated values respect their range strategies.
+        #[test]
+        fn ranges_respected(x in 3usize..9, y in 0u64..=4, z in -2i32..3) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-2..3).contains(&z), "z = {}", z);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    proptest! {
+        /// Default config path also compiles and runs.
+        #[test]
+        fn default_config_runs(x in 0u8..4) {
+            prop_assert!(x < 4);
+        }
+    }
+
+    #[test]
+    fn runner_rng_is_keyed_by_name() {
+        use rand::RngCore;
+        let a = crate::runner_rng("alpha").next_u64();
+        let b = crate::runner_rng("alpha").next_u64();
+        let c = crate::runner_rng("beta").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

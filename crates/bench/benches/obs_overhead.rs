@@ -1,0 +1,70 @@
+//! Bench O1: observability overhead — the simulation engine with no
+//! observer (the default), with the zero-cost [`NullObserver`], with a
+//! full metrics registry, and with a trace recorder. The no-observer
+//! and null-observer rows should be indistinguishable; metrics and
+//! recording quantify the per-commit price of live instrumentation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use afd_algorithms::self_impl::self_impl_system;
+use afd_core::automata::FdGen;
+use afd_core::Pi;
+use afd_obs::{Metrics, MetricsObserver, NullObserver, Observer, TraceRecorder};
+use afd_system::{run_round_robin, SimConfig};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(15);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(400));
+    const STEPS: usize = 2_000;
+    g.throughput(Throughput::Elements(STEPS as u64));
+    let pi = Pi::new(8);
+    let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
+
+    g.bench_with_input(BenchmarkId::new("no_observer", 8), &sys, |b, sys| {
+        b.iter(|| run_round_robin(sys, SimConfig::default().with_max_steps(STEPS)));
+    });
+    g.bench_with_input(BenchmarkId::new("null_observer", 8), &sys, |b, sys| {
+        b.iter(|| {
+            run_round_robin(
+                sys,
+                SimConfig::default()
+                    .with_max_steps(STEPS)
+                    .with_observer(Arc::new(NullObserver)),
+            )
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("metrics", 8), &sys, |b, sys| {
+        b.iter(|| {
+            let metrics = Arc::new(Metrics::new());
+            let obs: Arc<dyn Observer> = Arc::new(MetricsObserver::new(metrics));
+            run_round_robin(
+                sys,
+                SimConfig::default()
+                    .with_max_steps(STEPS)
+                    .with_observer(obs),
+            )
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("trace_recorder", 8), &sys, |b, sys| {
+        b.iter(|| {
+            let rec = Arc::new(TraceRecorder::new());
+            let out = run_round_robin(
+                sys,
+                SimConfig::default()
+                    .with_max_steps(STEPS)
+                    .with_observer(rec.clone()),
+            );
+            assert_eq!(rec.len(), out.steps);
+            out
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

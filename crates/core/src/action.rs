@@ -223,6 +223,48 @@ impl Action {
             _ => None,
         }
     }
+
+    /// A stable machine-readable tag for the action's variant — the
+    /// `kind` field of exported traces and the key of per-kind metrics.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Action::Crash(_) => "crash",
+            Action::Send { .. } => "send",
+            Action::Receive { .. } => "receive",
+            Action::Fd { .. } => "fd",
+            Action::FdRenamed { .. } => "fd_renamed",
+            Action::Propose { .. } => "propose",
+            Action::Decide { .. } => "decide",
+            Action::Elect { .. } => "elect",
+            Action::Broadcast { .. } => "broadcast",
+            Action::Deliver { .. } => "deliver",
+            Action::ProposeK { .. } => "propose_k",
+            Action::DecideK { .. } => "decide_k",
+            Action::Vote { .. } => "vote",
+            Action::Verdict { .. } => "verdict",
+            Action::Query { .. } => "query",
+            Action::QueryReply { .. } => "query_reply",
+            Action::Internal { .. } => "internal",
+        }
+    }
+
+    /// True iff this is a decide-style problem output (`decide` or
+    /// `decide_k`) — the events the decision-latency statistics track.
+    #[must_use]
+    pub fn is_decision(&self) -> bool {
+        matches!(self, Action::Decide { .. } | Action::DecideK { .. })
+    }
+
+    /// The channel `(from, to)` this action is traffic on, if it is a
+    /// `Send` or `Receive`.
+    #[must_use]
+    pub fn channel(&self) -> Option<(Loc, Loc)> {
+        match *self {
+            Action::Send { from, to, .. } | Action::Receive { from, to, .. } => Some((from, to)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Action {
@@ -335,6 +377,26 @@ mod tests {
         }
         .to_string()
         .contains("Ω=p2"));
+    }
+
+    #[test]
+    fn kind_names_and_channel_helpers() {
+        assert_eq!(Action::Crash(Loc(0)).kind_name(), "crash");
+        let send = Action::Send {
+            from: Loc(1),
+            to: Loc(2),
+            msg: Msg::Token(0),
+        };
+        assert_eq!(send.kind_name(), "send");
+        assert_eq!(send.channel(), Some((Loc(1), Loc(2))));
+        assert_eq!(Action::Crash(Loc(0)).channel(), None);
+        assert!(Action::Decide { at: Loc(0), v: 1 }.is_decision());
+        assert!(Action::DecideK { at: Loc(0), v: 1 }.is_decision());
+        assert!(!Action::Elect {
+            at: Loc(0),
+            leader: Loc(1)
+        }
+        .is_decision());
     }
 
     #[test]

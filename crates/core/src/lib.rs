@@ -46,6 +46,7 @@ pub mod loc;
 pub mod message;
 pub mod problem;
 pub mod problems;
+pub mod stamp;
 pub mod trace;
 
 pub use action::Action;
@@ -54,4 +55,5 @@ pub use fd::FdOutput;
 pub use loc::{Loc, LocSet, Pi};
 pub use message::{Ballot, Msg, Val};
 pub use problem::ProblemSpec;
+pub use stamp::Stamped;
 pub use trace::Violation;

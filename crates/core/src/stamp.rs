@@ -1,0 +1,98 @@
+//! Timestamped actions.
+//!
+//! The paper's schedules are pure sequences — position in the sequence
+//! *is* the (logical) time. Execution engines that also know wall-clock
+//! time (the threaded runtime) can attach it. [`Stamped`] pairs an
+//! [`Action`] with both notions of time and is the unit the
+//! observability layer (`afd-obs`) records and exports: `seq` is the
+//! global schedule index (logical time) and `wall_ns` is the optional
+//! wall-clock offset in nanoseconds since the run started.
+//!
+//! Simulator-produced stamps carry `wall_ns = None`, which keeps every
+//! simulator trace export a pure function of the schedule (and
+//! therefore byte-identical across runs of the same seed).
+
+use crate::action::Action;
+
+/// An action with its commit timestamps: the global schedule index
+/// (logical time) and, when the engine knows it, the wall-clock offset
+/// since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Stamped {
+    /// Global schedule index of the commit (logical time).
+    pub seq: u64,
+    /// Nanoseconds since the run started, if the engine tracks wall
+    /// time (`None` for the deterministic simulator).
+    pub wall_ns: Option<u64>,
+    /// The committed action.
+    pub action: Action,
+}
+
+impl Stamped {
+    /// A stamp with logical time only (simulator convention).
+    #[must_use]
+    pub fn logical(seq: u64, action: Action) -> Self {
+        Stamped {
+            seq,
+            wall_ns: None,
+            action,
+        }
+    }
+
+    /// A stamp with both logical and wall-clock time (threaded-runtime
+    /// convention).
+    #[must_use]
+    pub fn walled(seq: u64, wall_ns: u64, action: Action) -> Self {
+        Stamped {
+            seq,
+            wall_ns: Some(wall_ns),
+            action,
+        }
+    }
+
+    /// Stamp a whole schedule with logical time (index = `seq`).
+    #[must_use]
+    pub fn schedule(schedule: &[Action]) -> Vec<Stamped> {
+        schedule
+            .iter()
+            .enumerate()
+            .map(|(k, &a)| Stamped::logical(k as u64, a))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Stamped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.wall_ns {
+            Some(ns) => write!(f, "[{} @{}ns] {}", self.seq, ns, self.action),
+            None => write!(f, "[{}] {}", self.seq, self.action),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+
+    #[test]
+    fn constructors_and_display() {
+        let a = Action::Crash(Loc(1));
+        let s = Stamped::logical(4, a);
+        assert_eq!(s.wall_ns, None);
+        assert_eq!(s.to_string(), "[4] crash_p1");
+        let w = Stamped::walled(4, 1_000, a);
+        assert_eq!(w.wall_ns, Some(1_000));
+        assert!(w.to_string().contains("@1000ns"));
+    }
+
+    #[test]
+    fn schedule_stamps_by_index() {
+        let sched = vec![Action::Crash(Loc(0)), Action::Query { at: Loc(1) }];
+        let st = Stamped::schedule(&sched);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].seq, 0);
+        assert_eq!(st[1].seq, 1);
+        assert_eq!(st[1].action, sched[1]);
+    }
+}

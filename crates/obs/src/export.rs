@@ -1,0 +1,296 @@
+//! Trace exporters: the JSONL schedule writer (one action per line)
+//! and the Chrome `chrome://tracing` JSON exporter.
+//!
+//! # JSONL schema
+//!
+//! One object per line, in commit order:
+//!
+//! ```json
+//! {"seq":12,"wall_ns":48211,"loc":1,"kind":"send","action":"send(Token(1),p2)_p1","from":1,"to":2}
+//! ```
+//!
+//! Required keys (always present): `seq` (number, the schedule index —
+//! logical time), `wall_ns` (number or `null` — simulator traces carry
+//! `null`), `loc` (number, `loc(a)`), `kind` (string, see
+//! [`Action::kind_name`]), `action` (string, human-readable render).
+//! Kind-specific keys: `from`/`to` for sends and receives, `v` for
+//! propose/decide variants, `out` for FD outputs. Because the required
+//! keys are a pure function of the schedule when `wall_ns` is `null`,
+//! simulator exports are byte-identical across runs of the same seed.
+//!
+//! # Chrome trace format
+//!
+//! [`chrome_trace`] emits the JSON-object flavour understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: a `traceEvents`
+//! array of complete (`"ph":"X"`) events, one per action, on one track
+//! (`tid`) per location, timestamped in microseconds of wall time when
+//! available and in schedule indices otherwise.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use afd_core::{Action, Stamped};
+
+use crate::json::{escape_into, write_num, Json};
+
+/// Render one stamped action as its JSONL line (no trailing newline).
+#[must_use]
+pub fn jsonl_line(ev: &Stamped) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"seq\":");
+    write_num(ev.seq as f64, &mut s);
+    s.push_str(",\"wall_ns\":");
+    match ev.wall_ns {
+        Some(ns) => write_num(ns as f64, &mut s),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"loc\":");
+    write_num(f64::from(ev.action.loc().0), &mut s);
+    s.push_str(",\"kind\":\"");
+    s.push_str(ev.action.kind_name());
+    s.push_str("\",\"action\":\"");
+    escape_into(&ev.action.to_string(), &mut s);
+    s.push('"');
+    match ev.action {
+        Action::Send { from, to, .. } | Action::Receive { from, to, .. } => {
+            s.push_str(",\"from\":");
+            write_num(f64::from(from.0), &mut s);
+            s.push_str(",\"to\":");
+            write_num(f64::from(to.0), &mut s);
+        }
+        Action::Propose { v, .. }
+        | Action::Decide { v, .. }
+        | Action::ProposeK { v, .. }
+        | Action::DecideK { v, .. } => {
+            s.push_str(",\"v\":");
+            write_num(v as f64, &mut s);
+        }
+        Action::Fd { out, .. } | Action::FdRenamed { out, .. } | Action::QueryReply { out, .. } => {
+            s.push_str(",\"out\":\"");
+            escape_into(&out.to_string(), &mut s);
+            s.push('"');
+        }
+        _ => {}
+    }
+    s.push('}');
+    s
+}
+
+/// Render a whole stamped trace as JSONL (one line per event, trailing
+/// newline included when nonempty).
+#[must_use]
+pub fn write_jsonl(events: &[Stamped]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        out.push_str(&jsonl_line(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Validate one JSONL line against the schema above.
+///
+/// # Errors
+/// Returns a description of the first missing or mistyped field.
+pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    for key in ["seq", "loc"] {
+        v.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+    }
+    let wall = v
+        .get("wall_ns")
+        .ok_or_else(|| "missing field \"wall_ns\"".to_string())?;
+    if !wall.is_null() && wall.as_num().is_none() {
+        return Err("\"wall_ns\" must be a number or null".into());
+    }
+    for key in ["kind", "action"] {
+        v.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string field {key:?}"))?;
+    }
+    Ok(())
+}
+
+/// Render a stamped trace in Chrome trace-event JSON (see module docs).
+/// `trace_name` labels the process track.
+#[must_use]
+pub fn chrome_trace(trace_name: &str, events: &[Stamped]) -> String {
+    let mut track_locs: Vec<u8> = events.iter().map(|ev| ev.action.loc().0).collect();
+    track_locs.sort_unstable();
+    track_locs.dedup();
+
+    let mut trace_events = Vec::with_capacity(events.len() + track_locs.len() + 1);
+    trace_events.push(Json::Obj(vec![
+        ("name".into(), Json::Str("process_name".into())),
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::Num(0.0)),
+        ("tid".into(), Json::Num(0.0)),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::Str(trace_name.into()))]),
+        ),
+    ]));
+    for l in &track_locs {
+        trace_events.push(Json::Obj(vec![
+            ("name".into(), Json::Str("thread_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::Num(0.0)),
+            ("tid".into(), Json::Num(f64::from(*l))),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::Str(format!("p{l}")))]),
+            ),
+        ]));
+    }
+    for ev in events {
+        // Microseconds of wall time, or the schedule index when the
+        // engine (the simulator) has no clock.
+        let ts = ev.wall_ns.map_or(ev.seq as f64, |ns| ns as f64 / 1_000.0);
+        trace_events.push(Json::Obj(vec![
+            ("name".into(), Json::Str(ev.action.kind_name().into())),
+            ("cat".into(), Json::Str(ev.action.kind_name().into())),
+            ("ph".into(), Json::Str("X".into())),
+            ("ts".into(), Json::Num(ts)),
+            ("dur".into(), Json::Num(1.0)),
+            ("pid".into(), Json::Num(0.0)),
+            ("tid".into(), Json::Num(f64::from(ev.action.loc().0))),
+            (
+                "args".into(),
+                Json::Obj(vec![
+                    ("seq".into(), Json::Num(ev.seq as f64)),
+                    ("action".into(), Json::Str(ev.action.to_string())),
+                ]),
+            ),
+        ]));
+    }
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(trace_events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+    .render()
+}
+
+/// Write a JSONL trace to `path`, creating parent directories.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn jsonl_to_file(path: &Path, events: &[Stamped]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(write_jsonl(events).as_bytes())
+}
+
+/// Write a chrome trace to `path`, creating parent directories.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn chrome_to_file(path: &Path, trace_name: &str, events: &[Stamped]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace(trace_name, events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::{FdOutput, Loc, Msg};
+
+    fn sample() -> Vec<Stamped> {
+        vec![
+            Stamped::logical(
+                0,
+                Action::Send {
+                    from: Loc(0),
+                    to: Loc(1),
+                    msg: Msg::Token(1),
+                },
+            ),
+            Stamped::walled(
+                1,
+                2_500,
+                Action::Fd {
+                    at: Loc(2),
+                    out: FdOutput::Leader(Loc(0)),
+                },
+            ),
+            Stamped::walled(2, 3_000, Action::Decide { at: Loc(1), v: 7 }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_are_schema_valid() {
+        let doc = write_jsonl(&sample());
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            validate_jsonl_line(line).unwrap();
+        }
+        let v = Json::parse(lines[0]).unwrap();
+        assert!(v.get("wall_ns").unwrap().is_null());
+        assert_eq!(v.get("from").unwrap().as_num(), Some(0.0));
+        assert_eq!(v.get("to").unwrap().as_num(), Some(1.0));
+        let fd = Json::parse(lines[1]).unwrap();
+        assert_eq!(fd.get("wall_ns").unwrap().as_num(), Some(2_500.0));
+        assert_eq!(fd.get("out").unwrap().as_str(), Some("Ω=p0"));
+        let dec = Json::parse(lines[2]).unwrap();
+        assert_eq!(dec.get("v").unwrap().as_num(), Some(7.0));
+        assert_eq!(dec.get("kind").unwrap().as_str(), Some("decide"));
+    }
+
+    #[test]
+    fn validation_rejects_broken_lines() {
+        assert!(validate_jsonl_line("not json").is_err());
+        assert!(validate_jsonl_line("{\"seq\":1}").is_err());
+        assert!(validate_jsonl_line(
+            "{\"seq\":1,\"wall_ns\":\"x\",\"loc\":0,\"kind\":\"k\",\"action\":\"a\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_json() {
+        let doc = chrome_trace("sample", &sample());
+        let v = Json::parse(&doc).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 3 distinct locations + 3 action events.
+        assert_eq!(evs.len(), 7);
+        let meta = &evs[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        let action_evs: Vec<&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(action_evs.len(), 3);
+        // Wall-stamped events convert ns → µs.
+        assert_eq!(action_evs[1].get("ts").unwrap().as_num(), Some(2.5));
+        // Logical-only events use the schedule index.
+        assert_eq!(action_evs[0].get("ts").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let dir = std::env::temp_dir().join("afd-obs-export-test");
+        let jsonl = dir.join("t.trace.jsonl");
+        let chrome = dir.join("t.chrome.json");
+        jsonl_to_file(&jsonl, &sample()).unwrap();
+        chrome_to_file(&chrome, "t", &sample()).unwrap();
+        let body = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(body, write_jsonl(&sample()));
+        let chrome_body = std::fs::read_to_string(&chrome).unwrap();
+        assert!(Json::parse(&chrome_body).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        assert_eq!(write_jsonl(&[]), "");
+        let v = Json::parse(&chrome_trace("empty", &[])).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,542 @@
+//! The metrics registry: monotonic [`Counter`]s, [`Gauge`]s with peak
+//! tracking, and fixed-bucket [`Histogram`]s, addressed by name, plus
+//! the [`MetricsObserver`] that populates the registry's well-known
+//! metric families from observer callbacks:
+//!
+//! * `events.total` and `events.<kind>` — per-kind event counters;
+//! * `loc.<p>.events` — per-location event rates;
+//! * `chan.<from>-><to>.in_flight` — per-channel in-flight depth over
+//!   time (current value + peak);
+//! * `fd.query_latency_events` / `fd.query_latency_ns` — query→reply
+//!   latency of query-based detectors, in schedule events and (when
+//!   wall time is available) nanoseconds;
+//! * `crashes` — crash counter.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-shared and
+//! lock-free to update; the registry map itself is mutex-protected but
+//! only touched on first use of a name (the observer caches per-kind
+//! handles where it matters).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use afd_core::{Action, Loc, Stamped};
+
+use crate::json::Json;
+use crate::observer::Observer;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `by`.
+    pub fn inc_by(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value with an all-time peak.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    cur: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl Gauge {
+    /// Add `delta` (may be negative) and update the peak.
+    pub fn add(&self, delta: i64) {
+        let now = self.cur.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Set the value outright and update the peak.
+    pub fn set(&self, v: i64) {
+        self.cur.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever held.
+    #[must_use]
+    pub fn peak(&self) -> i64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram: bucket `k` counts observations
+/// `<= bounds[k]`, with an implicit overflow bucket, plus count / sum /
+/// max for mean and upper-bound queries.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds (an overflow
+    /// bucket is added implicitly).
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Power-of-two buckets from 1 to 2^16 — suits event-count
+    /// latencies.
+    #[must_use]
+    pub fn latency_events() -> Self {
+        Histogram::new((0..=16).map(|k| 1u64 << k).collect())
+    }
+
+    /// Power-of-ten buckets from 1µs to 10s (in ns) — suits wall-clock
+    /// latencies.
+    #[must_use]
+    pub fn latency_ns() -> Self {
+        Histogram::new((3..=10).map(|k| 10u64.pow(k)).collect())
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum.load(Ordering::Relaxed) as f64 / n as f64)
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs; the overflow bucket
+    /// reports `u64::MAX` as its bound.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// The registry: named counters, gauges, and histograms, created on
+/// first use.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter named `name`, created zeroed on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.counters.lock().expect("metrics poisoned");
+        g.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created zeroed on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.gauges.lock().expect("metrics poisoned");
+        g.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created with `make` on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str, make: impl FnOnce() -> Histogram) -> Arc<Histogram> {
+        let mut g = self.histograms.lock().expect("metrics poisoned");
+        g.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), (v.get(), v.peak())))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: v.count(),
+                            mean: v.mean(),
+                            max: v.max(),
+                            buckets: v.buckets(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen histogram: count, mean, max, and per-bucket counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation (`None` if empty).
+    pub mean: Option<f64>,
+    /// Largest observation.
+    pub max: u64,
+    /// `(upper_bound, count)` per bucket; overflow bound is `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge `(current, peak)` by name.
+    pub gauges: BTreeMap<String, (i64, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as a JSON document:
+    /// `{"counters":{..},"gauges":{..:{"value":..,"peak":..}},"histograms":{..}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &(cur, peak))| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("value".into(), Json::Num(cur as f64)),
+                        ("peak".into(), Json::Num(peak as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Num(h.count as f64)),
+                        ("mean".into(), h.mean.map_or(Json::Null, Json::Num)),
+                        ("max".into(), Json::Num(h.max as f64)),
+                        (
+                            "buckets".into(),
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(bound, count)| {
+                                        Json::Obj(vec![
+                                            (
+                                                "le".into(),
+                                                if bound == u64::MAX {
+                                                    Json::Str("inf".into())
+                                                } else {
+                                                    Json::Num(bound as f64)
+                                                },
+                                            ),
+                                            ("count".into(), Json::Num(count as f64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// Populates a [`Metrics`] registry from observer callbacks (see the
+/// module docs for the metric families).
+pub struct MetricsObserver {
+    metrics: Arc<Metrics>,
+    total: Arc<Counter>,
+    crashes: Arc<Counter>,
+    query_latency_events: Arc<Histogram>,
+    query_latency_ns: Arc<Histogram>,
+    /// Outstanding `Query` per location: `(seq, wall_ns)` of the query.
+    pending_queries: Mutex<BTreeMap<Loc, (u64, Option<u64>)>>,
+}
+
+impl MetricsObserver {
+    /// An observer feeding `metrics`.
+    #[must_use]
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        MetricsObserver {
+            total: metrics.counter("events.total"),
+            crashes: metrics.counter("crashes"),
+            query_latency_events: metrics
+                .histogram("fd.query_latency_events", Histogram::latency_events),
+            query_latency_ns: metrics.histogram("fd.query_latency_ns", Histogram::latency_ns),
+            pending_queries: Mutex::new(BTreeMap::new()),
+            metrics,
+        }
+    }
+
+    /// The registry this observer feeds.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn on_commit(&self, ev: Stamped) {
+        self.total.inc();
+        self.metrics
+            .counter(&format!("events.{}", ev.action.kind_name()))
+            .inc();
+        self.metrics
+            .counter(&format!("loc.{}.events", ev.action.loc()))
+            .inc();
+        match ev.action {
+            Action::Send { from, to, .. } => {
+                self.metrics
+                    .gauge(&format!("chan.{from}->{to}.in_flight"))
+                    .add(1);
+            }
+            Action::Receive { from, to, .. } => {
+                self.metrics
+                    .gauge(&format!("chan.{from}->{to}.in_flight"))
+                    .add(-1);
+            }
+            Action::Query { at } => {
+                self.pending_queries
+                    .lock()
+                    .expect("metrics poisoned")
+                    .insert(at, (ev.seq, ev.wall_ns));
+            }
+            Action::QueryReply { at, .. } => {
+                let pending = self
+                    .pending_queries
+                    .lock()
+                    .expect("metrics poisoned")
+                    .remove(&at);
+                if let Some((q_seq, q_ns)) = pending {
+                    self.query_latency_events
+                        .observe(ev.seq.saturating_sub(q_seq));
+                    if let (Some(t0), Some(t1)) = (q_ns, ev.wall_ns) {
+                        self.query_latency_ns.observe(t1.saturating_sub(t0));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&self, _ev: Stamped, _loc: Loc) {
+        self.crashes.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::dispatch;
+    use afd_core::{FdOutput, Msg};
+
+    #[test]
+    fn counter_gauge_histogram_primitives() {
+        let c = Counter::default();
+        c.inc();
+        c.inc_by(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::default();
+        g.add(3);
+        g.add(-2);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 3);
+        g.set(7);
+        assert_eq!(g.peak(), 7);
+
+        let h = Histogram::new(vec![1, 10, 100]);
+        for v in [0, 1, 5, 50, 500] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 500);
+        assert!((h.mean().unwrap() - 111.2).abs() < 1e-9);
+        assert_eq!(h.buckets(), vec![(1, 2), (10, 1), (100, 1), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![10, 5]);
+    }
+
+    #[test]
+    fn registry_reuses_handles_by_name() {
+        let m = Metrics::new();
+        m.counter("x").inc();
+        m.counter("x").inc();
+        assert_eq!(m.counter("x").get(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["x"], 2);
+    }
+
+    #[test]
+    fn observer_populates_well_known_families() {
+        let metrics = Arc::new(Metrics::new());
+        let obs = MetricsObserver::new(metrics.clone());
+        let trace = [
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(2),
+            },
+            Action::Receive {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(1),
+            },
+            Action::Crash(Loc(2)),
+            Action::Query { at: Loc(1) },
+            Action::QueryReply {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(0)),
+            },
+        ];
+        for (k, a) in trace.into_iter().enumerate() {
+            dispatch(&obs, Stamped::walled(k as u64, 100 * k as u64, a));
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["events.total"], 6);
+        assert_eq!(snap.counters["events.send"], 2);
+        assert_eq!(snap.counters["crashes"], 1);
+        assert_eq!(snap.counters["loc.p0.events"], 2);
+        assert_eq!(snap.gauges["chan.p0->p1.in_flight"], (1, 2));
+        let h = &snap.histograms["fd.query_latency_events"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 1);
+        assert_eq!(snap.histograms["fd.query_latency_ns"].max, 100);
+    }
+
+    #[test]
+    fn snapshot_to_json_parses() {
+        let metrics = Arc::new(Metrics::new());
+        let obs = MetricsObserver::new(metrics.clone());
+        dispatch(&obs, Stamped::logical(0, Action::Crash(Loc(0))));
+        let doc = metrics.snapshot().to_json().render();
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("events.total")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
+        assert!(v
+            .get("histograms")
+            .unwrap()
+            .get("fd.query_latency_events")
+            .unwrap()
+            .get("mean")
+            .unwrap()
+            .is_null());
+    }
+}

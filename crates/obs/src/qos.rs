@@ -1,0 +1,494 @@
+//! Detector quality-of-service analysis, after Reis & Vieira's QoS lens
+//! for leader-election detectors: post-crash detection latency,
+//! convergence (first stable output), and inaccuracy durations
+//! (false-suspicion and wrong-leader intervals), all measured in
+//! logical time (schedule indices) over a recorded schedule.
+//!
+//! The analysis is post hoc and deterministic: it scans a schedule once
+//! and works for every output shape in [`FdOutput`] — Ω-style leaders,
+//! P/◇P/S/◇S-style suspect sets, Σ quorums, anti-Ω, Ω^k committees,
+//! and Ψ^k pairs. Only un-renamed [`Action::Fd`] outputs are analysed
+//! (the same projection the `T_D` membership checkers consume).
+
+use std::collections::BTreeMap;
+
+use afd_core::{Action, FdOutput, Loc, LocSet, Pi};
+
+use crate::json::Json;
+
+/// One crash and when the detector reflected it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashDetection {
+    /// The crashed location.
+    pub crashed: Loc,
+    /// Schedule index of the crash.
+    pub crash_at: u64,
+    /// Schedule index of the FD output that completed detection — the
+    /// first point where *every* live location's latest output reflects
+    /// the crash. `None` if the run ended first.
+    pub detected_at: Option<u64>,
+}
+
+impl CrashDetection {
+    /// Detection latency in schedule events, if detection completed.
+    #[must_use]
+    pub fn latency(&self) -> Option<u64> {
+        self.detected_at.map(|d| d - self.crash_at)
+    }
+}
+
+/// A maximal interval during which `observer`'s output was inaccurate
+/// about `subject`: a live location held in a suspect set
+/// (false suspicion), or a crashed location still reported as leader
+/// (wrong leader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InaccuracyInterval {
+    /// The location whose output was inaccurate.
+    pub observer: Loc,
+    /// The location the output was wrong about.
+    pub subject: Loc,
+    /// Schedule index where the inaccuracy began.
+    pub start: u64,
+    /// Schedule index where it ended (exclusive; the schedule length if
+    /// it never ended).
+    pub end: u64,
+}
+
+impl InaccuracyInterval {
+    /// Interval length in schedule events.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True iff the interval is empty (never the case for recorded
+    /// intervals; provided for the usual pairing with `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The QoS report of one schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QosReport {
+    /// Number of (un-renamed) FD outputs seen.
+    pub fd_outputs: u64,
+    /// Schedule index from which every live location's FD output stayed
+    /// constant to the end of the run — the convergence point. `None`
+    /// if no live location produced an output.
+    pub first_stable_output: Option<u64>,
+    /// One entry per injected crash, in schedule order.
+    pub detections: Vec<CrashDetection>,
+    /// Intervals where a live location was suspected (P-family shapes).
+    pub false_suspicions: Vec<InaccuracyInterval>,
+    /// Intervals where a crashed location was still reported as leader
+    /// (Ω-family shapes).
+    pub wrong_leader: Vec<InaccuracyInterval>,
+}
+
+impl QosReport {
+    /// The worst (largest) completed detection latency, or `None` if
+    /// there were no crashes or some crash was never detected.
+    #[must_use]
+    pub fn worst_detection_latency(&self) -> Option<u64> {
+        if self.detections.is_empty() {
+            return None;
+        }
+        self.detections
+            .iter()
+            .map(CrashDetection::latency)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+
+    /// Total false-suspicion duration in schedule events.
+    #[must_use]
+    pub fn false_suspicion_events(&self) -> u64 {
+        self.false_suspicions
+            .iter()
+            .map(InaccuracyInterval::len)
+            .sum()
+    }
+
+    /// Total wrong-leader duration in schedule events.
+    #[must_use]
+    pub fn wrong_leader_events(&self) -> u64 {
+        self.wrong_leader.iter().map(InaccuracyInterval::len).sum()
+    }
+
+    /// The report as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let interval = |iv: &InaccuracyInterval| {
+            Json::Obj(vec![
+                ("observer".into(), Json::Num(f64::from(iv.observer.0))),
+                ("subject".into(), Json::Num(f64::from(iv.subject.0))),
+                ("start".into(), Json::Num(iv.start as f64)),
+                ("end".into(), Json::Num(iv.end as f64)),
+            ])
+        };
+        Json::Obj(vec![
+            ("fd_outputs".into(), Json::Num(self.fd_outputs as f64)),
+            (
+                "first_stable_output".into(),
+                self.first_stable_output
+                    .map_or(Json::Null, |v| Json::Num(v as f64)),
+            ),
+            (
+                "detections".into(),
+                Json::Arr(
+                    self.detections
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("crashed".into(), Json::Num(f64::from(d.crashed.0))),
+                                ("crash_at".into(), Json::Num(d.crash_at as f64)),
+                                (
+                                    "detected_at".into(),
+                                    d.detected_at.map_or(Json::Null, |v| Json::Num(v as f64)),
+                                ),
+                                (
+                                    "latency".into(),
+                                    d.latency().map_or(Json::Null, |v| Json::Num(v as f64)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "false_suspicions".into(),
+                Json::Arr(self.false_suspicions.iter().map(interval).collect()),
+            ),
+            (
+                "wrong_leader".into(),
+                Json::Arr(self.wrong_leader.iter().map(interval).collect()),
+            ),
+        ])
+    }
+}
+
+/// Does `out` reflect the crash of `target`? (The per-shape detection
+/// criterion: suspect sets must contain the victim, leader-style
+/// outputs must stop naming it, quorums and committees must exclude
+/// it.)
+fn reflects(out: FdOutput, target: Loc) -> bool {
+    match out {
+        FdOutput::Leader(l) => l != target,
+        FdOutput::Suspects(s) => s.contains(target),
+        FdOutput::Quorum(q) => !q.contains(target),
+        FdOutput::AntiLeader(l) => l == target,
+        FdOutput::Leaders(s) => !s.contains(target),
+        FdOutput::PsiK { leaders, .. } => !leaders.contains(target),
+    }
+}
+
+struct OpenDetection {
+    crashed: Loc,
+    crash_at: u64,
+    confirmed: LocSet,
+}
+
+/// Compute the QoS report of `schedule` (any mix of actions; only
+/// crashes and `Fd` outputs are consulted).
+#[must_use]
+pub fn detector_qos(pi: Pi, schedule: &[Action]) -> QosReport {
+    // Pass 1: who stays live for the whole run (detection quorum).
+    let mut ever_crashed = LocSet::empty();
+    for a in schedule {
+        if let Some(l) = a.crash_loc() {
+            ever_crashed.insert(l);
+        }
+    }
+    let live = pi.all().difference(ever_crashed);
+
+    let mut report = QosReport::default();
+    let mut crashed_now = LocSet::empty();
+    let mut open: Vec<OpenDetection> = Vec::new();
+    // Per-location convergence tracking: (last output value, index of
+    // the output starting its current constant streak).
+    let mut streak: BTreeMap<Loc, (FdOutput, u64)> = BTreeMap::new();
+    // Open inaccuracy intervals.
+    let mut suspicion_open: BTreeMap<(Loc, Loc), u64> = BTreeMap::new();
+    let mut leader_open: BTreeMap<Loc, (Loc, u64)> = BTreeMap::new();
+
+    for (idx, a) in schedule.iter().enumerate() {
+        let idx = idx as u64;
+        match *a {
+            Action::Crash(l) => {
+                crashed_now.insert(l);
+                report.detections.push(CrashDetection {
+                    crashed: l,
+                    crash_at: idx,
+                    detected_at: None,
+                });
+                open.push(OpenDetection {
+                    crashed: l,
+                    crash_at: idx,
+                    confirmed: LocSet::empty(),
+                });
+                // Suspecting `l` stops being false the instant it
+                // crashes: close its open intervals here.
+                let stale: Vec<(Loc, Loc)> = suspicion_open
+                    .keys()
+                    .filter(|(_, subject)| *subject == l)
+                    .copied()
+                    .collect();
+                for key in stale {
+                    let start = suspicion_open.remove(&key).expect("key just listed");
+                    report.false_suspicions.push(InaccuracyInterval {
+                        observer: key.0,
+                        subject: key.1,
+                        start,
+                        end: idx,
+                    });
+                }
+            }
+            Action::Fd { at, out } => {
+                report.fd_outputs += 1;
+
+                // Convergence streaks.
+                match streak.get_mut(&at) {
+                    Some((prev, since)) if *prev != out => {
+                        *prev = out;
+                        *since = idx;
+                    }
+                    Some(_) => {}
+                    None => {
+                        streak.insert(at, (out, idx));
+                    }
+                }
+
+                // Detection confirmations.
+                if live.contains(at) {
+                    let mut k = 0;
+                    while k < open.len() {
+                        let d = &mut open[k];
+                        if reflects(out, d.crashed) {
+                            d.confirmed.insert(at);
+                        }
+                        if live.difference(d.confirmed).is_empty() {
+                            let done = open.remove(k);
+                            let slot = report
+                                .detections
+                                .iter_mut()
+                                .rfind(|c| c.crashed == done.crashed && c.crash_at == done.crash_at)
+                                .expect("detection was registered at its crash");
+                            slot.detected_at = Some(idx);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                }
+
+                // False suspicions (suspect-shaped outputs).
+                if let FdOutput::Suspects(s) = out {
+                    for j in pi.iter() {
+                        let key = (at, j);
+                        let suspected = s.contains(j);
+                        match (suspicion_open.get(&key), suspected) {
+                            (None, true) if !crashed_now.contains(j) => {
+                                suspicion_open.insert(key, idx);
+                            }
+                            (Some(&start), false) => {
+                                suspicion_open.remove(&key);
+                                report.false_suspicions.push(InaccuracyInterval {
+                                    observer: at,
+                                    subject: j,
+                                    start,
+                                    end: idx,
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+
+                // Wrong leaders (Ω-shaped outputs).
+                if let FdOutput::Leader(l) = out {
+                    match (leader_open.get(&at), crashed_now.contains(l)) {
+                        (None, true) => {
+                            leader_open.insert(at, (l, idx));
+                        }
+                        (Some(&(subject, start)), false) => {
+                            leader_open.remove(&at);
+                            report.wrong_leader.push(InaccuracyInterval {
+                                observer: at,
+                                subject,
+                                start,
+                                end: idx,
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Close everything still open at the end of the schedule.
+    let end = schedule.len() as u64;
+    for ((observer, subject), start) in suspicion_open {
+        report.false_suspicions.push(InaccuracyInterval {
+            observer,
+            subject,
+            start,
+            end,
+        });
+    }
+    for (observer, (subject, start)) in leader_open {
+        report.wrong_leader.push(InaccuracyInterval {
+            observer,
+            subject,
+            start,
+            end,
+        });
+    }
+    report
+        .false_suspicions
+        .sort_by_key(|iv| (iv.start, iv.observer, iv.subject));
+    report
+        .wrong_leader
+        .sort_by_key(|iv| (iv.start, iv.observer, iv.subject));
+
+    report.first_stable_output = streak
+        .iter()
+        .filter(|(l, _)| live.contains(**l))
+        .map(|(_, &(_, since))| since)
+        .max();
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(at: u8, out: FdOutput) -> Action {
+        Action::Fd { at: Loc(at), out }
+    }
+
+    fn leader(at: u8, l: u8) -> Action {
+        fd(at, FdOutput::Leader(Loc(l)))
+    }
+
+    #[test]
+    fn omega_detection_latency_and_wrong_leader() {
+        let pi = Pi::new(3);
+        let t = vec![
+            leader(0, 0),
+            leader(1, 0),
+            leader(2, 0),
+            Action::Crash(Loc(0)), // idx 3
+            leader(1, 0),          // idx 4: wrong leader opens at p1
+            leader(2, 1),          // idx 5: p2 reflects
+            leader(1, 1),          // idx 6: p1 reflects → detection done
+            leader(2, 1),
+        ];
+        let q = detector_qos(pi, &t);
+        assert_eq!(q.fd_outputs, 7);
+        assert_eq!(q.detections.len(), 1);
+        let d = q.detections[0];
+        assert_eq!(d.crashed, Loc(0));
+        assert_eq!(d.crash_at, 3);
+        assert_eq!(d.detected_at, Some(6));
+        assert_eq!(d.latency(), Some(3));
+        assert_eq!(q.worst_detection_latency(), Some(3));
+        // p1 reported the dead p0 as leader from idx 4 to idx 6.
+        assert_eq!(
+            q.wrong_leader,
+            vec![InaccuracyInterval {
+                observer: Loc(1),
+                subject: Loc(0),
+                start: 4,
+                end: 6,
+            }]
+        );
+        assert_eq!(q.wrong_leader_events(), 2);
+        // Both live locations settled on p1: stable from idx 5 (p2's
+        // switch) vs idx 6 (p1's switch) → 6.
+        assert_eq!(q.first_stable_output, Some(6));
+    }
+
+    #[test]
+    fn undetected_crash_reports_none() {
+        let pi = Pi::new(2);
+        let t = vec![leader(1, 0), Action::Crash(Loc(0)), leader(1, 0)];
+        let q = detector_qos(pi, &t);
+        assert_eq!(q.detections[0].detected_at, None);
+        assert_eq!(q.worst_detection_latency(), None);
+        // The wrong-leader interval runs to the end of the schedule.
+        assert_eq!(q.wrong_leader[0].end, 3);
+    }
+
+    #[test]
+    fn false_suspicion_intervals_open_and_close() {
+        let pi = Pi::new(2);
+        let s01 = FdOutput::Suspects(LocSet::singleton(Loc(1)));
+        let s_empty = FdOutput::Suspects(LocSet::empty());
+        let t = vec![
+            fd(0, s01),            // idx 0: p0 falsely suspects live p1
+            fd(0, s01),            // still suspected
+            fd(0, s_empty),        // idx 2: retracted
+            fd(0, s01),            // idx 3: suspected again…
+            Action::Crash(Loc(1)), // idx 4: …until p1 actually crashes
+            fd(0, s01),            // accurate now: no new interval
+        ];
+        let q = detector_qos(pi, &t);
+        assert_eq!(
+            q.false_suspicions,
+            vec![
+                InaccuracyInterval {
+                    observer: Loc(0),
+                    subject: Loc(1),
+                    start: 0,
+                    end: 2,
+                },
+                InaccuracyInterval {
+                    observer: Loc(0),
+                    subject: Loc(1),
+                    start: 3,
+                    end: 4,
+                },
+            ]
+        );
+        assert_eq!(q.false_suspicion_events(), 3);
+        // The suspect-shaped output also completes detection of p1's
+        // crash (p0 is the only remaining live loc and suspects it).
+        assert_eq!(q.detections[0].detected_at, Some(5));
+    }
+
+    #[test]
+    fn perfect_suspects_never_false() {
+        let pi = Pi::new(2);
+        let t = vec![
+            fd(0, FdOutput::Suspects(LocSet::empty())),
+            Action::Crash(Loc(1)),
+            fd(0, FdOutput::Suspects(LocSet::singleton(Loc(1)))),
+        ];
+        let q = detector_qos(pi, &t);
+        assert!(q.false_suspicions.is_empty());
+        assert_eq!(q.detections[0].latency(), Some(1));
+    }
+
+    #[test]
+    fn empty_schedule_yields_empty_report() {
+        let q = detector_qos(Pi::new(3), &[]);
+        assert_eq!(q, QosReport::default());
+        assert_eq!(q.first_stable_output, None);
+        assert_eq!(q.worst_detection_latency(), None);
+    }
+
+    #[test]
+    fn report_json_parses() {
+        let pi = Pi::new(2);
+        let t = vec![leader(1, 0), Action::Crash(Loc(0)), leader(1, 1)];
+        let doc = detector_qos(pi, &t).to_json().render();
+        let v = crate::json::Json::parse(&doc).unwrap();
+        assert_eq!(v.get("fd_outputs").unwrap().as_num(), Some(2.0));
+        let det = v.get("detections").unwrap().as_arr().unwrap();
+        assert_eq!(det[0].get("latency").unwrap().as_num(), Some(1.0));
+    }
+}

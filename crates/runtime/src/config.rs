@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use afd_core::{Action, Loc};
+use afd_obs::Observer;
 use afd_system::FaultPattern;
 
 /// What happens to a process's worker thread when its location crashes.
@@ -133,6 +134,10 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Early-stop predicate, checked every `stop_check_interval` commits.
     pub stop_when: Option<StopPredicate>,
+    /// Optional observer notified at every commit, under the sink lock
+    /// (so callbacks see commits in schedule order), and once at stop.
+    /// `None` — the default — costs nothing on the commit path.
+    pub observer: Option<Arc<dyn Observer>>,
 }
 
 impl Default for RuntimeConfig {
@@ -148,6 +153,7 @@ impl Default for RuntimeConfig {
             wall_timeout: Duration::from_secs(10),
             seed: 0,
             stop_when: None,
+            observer: None,
         }
     }
 }
@@ -165,6 +171,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("wall_timeout", &self.wall_timeout)
             .field("seed", &self.seed)
             .field("stop_when", &self.stop_when.is_some())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -234,6 +241,13 @@ impl RuntimeConfig {
         F: Fn(&[Action]) -> bool + Send + Sync + 'static,
     {
         self.stop_when = Some(Arc::new(pred));
+        self
+    }
+
+    /// Attach an observer, notified at every commit under the sink lock.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Arc<dyn Observer>) -> Self {
+        self.observer = Some(obs);
         self
     }
 }

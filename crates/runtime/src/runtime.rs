@@ -270,10 +270,11 @@ where
         .unwrap_or(Duration::ZERO);
     let idle = cfg.idle_shutdown.max(4 * max_link_sleep);
 
-    let sink = EventSink::new(
+    let sink = EventSink::with_observer(
         cfg.max_events,
         cfg.stop_check_interval,
         cfg.stop_when.clone(),
+        cfg.observer.clone(),
     );
     let mut senders: Vec<Sender<Action>> = Vec::with_capacity(comps.len());
     let mut receivers: Vec<Option<Receiver<Action>>> = Vec::with_capacity(comps.len());
@@ -310,9 +311,13 @@ where
 
     let elapsed = sink.elapsed();
     let (schedule, stop) = sink.into_log();
+    let stop = stop.unwrap_or(StopReason::Idle);
+    if let Some(obs) = &cfg.observer {
+        obs.on_stop(schedule.len() as u64, stop.name());
+    }
     RuntimeOutcome {
         schedule,
-        stop: stop.unwrap_or(StopReason::Idle),
+        stop,
         elapsed,
     }
 }

@@ -21,10 +21,11 @@
 //! which is exactly the AFD validity safety clause.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use afd_core::{Action, Loc};
+use afd_core::{Action, Loc, Stamped};
+use afd_obs::Observer;
 
 use crate::config::StopPredicate;
 
@@ -39,6 +40,20 @@ pub enum StopReason {
     Idle,
     /// The wall-clock safety net fired.
     WallClock,
+}
+
+impl StopReason {
+    /// Short machine-readable name (used in observer `on_stop` calls
+    /// and JSON output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::MaxEvents => "max_events",
+            StopReason::Predicate => "predicate",
+            StopReason::Idle => "idle",
+            StopReason::WallClock => "wall_clock",
+        }
+    }
 }
 
 /// Outcome of one commit attempt.
@@ -74,6 +89,7 @@ pub struct EventSink {
     max_events: usize,
     stop_check_interval: usize,
     stop_when: Option<StopPredicate>,
+    observer: Option<Arc<dyn Observer>>,
 }
 
 impl EventSink {
@@ -83,6 +99,20 @@ impl EventSink {
         max_events: usize,
         stop_check_interval: usize,
         stop_when: Option<StopPredicate>,
+    ) -> Self {
+        EventSink::with_observer(max_events, stop_check_interval, stop_when, None)
+    }
+
+    /// A sink that additionally notifies `observer` at every accepted
+    /// commit, under the sink lock — callbacks see commits in schedule
+    /// order with strictly increasing sequence numbers, stamped with
+    /// nanoseconds of wall time since the sink was created.
+    #[must_use]
+    pub fn with_observer(
+        max_events: usize,
+        stop_check_interval: usize,
+        stop_when: Option<StopPredicate>,
+        observer: Option<Arc<dyn Observer>>,
     ) -> Self {
         EventSink {
             inner: Mutex::new(Inner {
@@ -97,6 +127,7 @@ impl EventSink {
             max_events,
             stop_check_interval: stop_check_interval.max(1),
             stop_when,
+            observer,
         }
     }
 
@@ -116,10 +147,11 @@ impl EventSink {
         g.log.push(a);
         let k = g.log.len();
         self.len.store(k, Ordering::Relaxed);
-        self.last_commit_ns.store(
-            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            Ordering::Relaxed,
-        );
+        let now_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.last_commit_ns.store(now_ns, Ordering::Relaxed);
+        if let Some(obs) = &self.observer {
+            afd_obs::dispatch(obs.as_ref(), Stamped::walled(k as u64 - 1, now_ns, a));
+        }
         if k >= self.max_events {
             g.stop = Some(StopReason::MaxEvents);
             self.stopped.store(true, Ordering::Release);
@@ -292,5 +324,37 @@ mod tests {
 
     fn sink_is(stop: Option<StopReason>, want: StopReason) -> bool {
         stop == Some(want)
+    }
+
+    #[test]
+    fn observer_sees_accepted_commits_only() {
+        let rec = Arc::new(afd_obs::TraceRecorder::new());
+        let sink = EventSink::with_observer(100, 16, None, Some(rec.clone()));
+        assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+        // Suppressed: never reaches the observer.
+        assert_eq!(sink.try_commit(send01()), Commit::Suppressed);
+        assert_eq!(
+            sink.try_commit(Action::Fd {
+                at: Loc(1),
+                out: FdOutput::Leader(Loc(1))
+            }),
+            Commit::Accepted
+        );
+        let trace = rec.snapshot();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].seq, 0);
+        assert_eq!(trace[0].action, Action::Crash(Loc(0)));
+        assert_eq!(trace[1].seq, 1);
+        assert!(trace.iter().all(|ev| ev.wall_ns.is_some()));
+        let (log, _) = sink.into_log();
+        assert_eq!(log.len(), trace.len());
+    }
+
+    #[test]
+    fn stop_reason_names() {
+        assert_eq!(StopReason::MaxEvents.name(), "max_events");
+        assert_eq!(StopReason::Predicate.name(), "predicate");
+        assert_eq!(StopReason::Idle.name(), "idle");
+        assert_eq!(StopReason::WallClock.name(), "wall_clock");
     }
 }

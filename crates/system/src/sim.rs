@@ -8,7 +8,10 @@
 //! from the scheduler, so the produced executions are fair modulo the
 //! finite cutoff.
 
-use afd_core::{Action, Loc};
+use std::sync::Arc;
+
+use afd_core::{Action, Loc, Stamped};
+use afd_obs::Observer;
 use ioa::{fairness_report, Automaton, Execution, FairnessReport, Scheduler, StatePolicy};
 
 use crate::crash::FaultPattern;
@@ -70,6 +73,13 @@ where
     /// Early-stop predicate over the schedule so far.
     #[allow(clippy::type_complexity)]
     pub stop_when: Option<Box<dyn Fn(&[Action]) -> bool>>,
+    /// Optional observer notified at every committed action (and once at
+    /// stop). `None` — the default — costs nothing on the hot path.
+    ///
+    /// Simulator commits are stamped with [`Stamped::logical`] (no wall
+    /// clock), so anything exported from an observer here is a pure
+    /// function of the schedule.
+    pub observer: Option<Arc<dyn Observer>>,
     _marker: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -83,6 +93,7 @@ where
             max_steps: 50_000,
             policy: StatePolicy::Endpoints,
             stop_when: None,
+            observer: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -98,6 +109,7 @@ where
             .field("max_steps", &self.max_steps)
             .field("policy", &self.policy)
             .field("stop_when", &self.stop_when.is_some())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -137,6 +149,13 @@ where
         self.stop_when = Some(Box::new(pred));
         self
     }
+
+    /// Attach an observer, notified synchronously at every commit.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Arc<dyn Observer>) -> Self {
+        self.observer = Some(obs);
+        self
+    }
 }
 
 /// Run `sys` under `scheduler` and `config`.
@@ -169,6 +188,12 @@ where
                 let a = Action::Crash(loc);
                 if let Some(next) = m.step(exec.last_state(), &a) {
                     exec.push(a, next);
+                    if let Some(obs) = &config.observer {
+                        afd_obs::dispatch(
+                            obs.as_ref(),
+                            Stamped::logical(exec.actions.len() as u64 - 1, a),
+                        );
+                    }
                     pending.remove(0);
                     steps += 1;
                     continue;
@@ -189,10 +214,26 @@ where
             .step(exec.last_state(), &a)
             .expect("enabled action applies");
         exec.push(a, next);
+        if let Some(obs) = &config.observer {
+            afd_obs::dispatch(
+                obs.as_ref(),
+                Stamped::logical(exec.actions.len() as u64 - 1, a),
+            );
+        }
         steps += 1;
     }
     if steps >= config.max_steps || config.stop_when.is_some() {
         quiescent = !m.any_task_enabled(exec.last_state());
+    }
+    if let Some(obs) = &config.observer {
+        let reason = if quiescent {
+            "quiescent"
+        } else if steps >= config.max_steps {
+            "max_steps"
+        } else {
+            "stopped"
+        };
+        obs.on_stop(exec.actions.len() as u64, reason);
     }
     SimOutcome {
         execution: exec,

@@ -34,6 +34,10 @@ pub struct RunStats {
     /// Peak number of undelivered sends on any single channel `(i, j)`
     /// at any prefix of the schedule — the worst per-channel backlog.
     pub max_in_flight: usize,
+    /// Peak undelivered-send depth per channel `(from, to)`, over all
+    /// prefixes of the schedule. Channels that never carried a message
+    /// are absent; `max_in_flight` is the maximum of the values.
+    pub per_channel_in_flight: BTreeMap<(Loc, Loc), usize>,
 }
 
 impl RunStats {
@@ -52,6 +56,8 @@ impl RunStats {
                     let q = backlog.entry((*from, *to)).or_insert(0);
                     *q += 1;
                     st.max_in_flight = st.max_in_flight.max(*q);
+                    let peak = st.per_channel_in_flight.entry((*from, *to)).or_insert(0);
+                    *peak = (*peak).max(*q);
                 }
                 Action::Receive { from, to, .. } => {
                     st.receives += 1;
@@ -88,6 +94,17 @@ impl RunStats {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.sends.saturating_sub(self.receives)
+    }
+
+    /// The channel with the deepest backlog peak, with that peak.
+    /// Ties break toward the `BTreeMap`-smallest `(from, to)` pair.
+    /// `None` if nothing was ever sent.
+    #[must_use]
+    pub fn busiest_channel(&self) -> Option<((Loc, Loc), usize)> {
+        self.per_channel_in_flight
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&ch, &peak)| (ch, peak))
     }
 
     /// Schedule-index distance between the first and the last
@@ -258,6 +275,10 @@ mod tests {
         let st = RunStats::of(&t);
         assert_eq!(st.max_in_flight, 2);
         assert_eq!(st.in_flight(), 2);
+        assert_eq!(st.per_channel_in_flight[&(Loc(0), Loc(1))], 2);
+        assert_eq!(st.per_channel_in_flight[&(Loc(1), Loc(0))], 1);
+        assert_eq!(st.busiest_channel(), Some(((Loc(0), Loc(1)), 2)));
+        assert_eq!(RunStats::of(&[]).busiest_channel(), None);
     }
 
     #[test]

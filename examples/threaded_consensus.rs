@@ -5,11 +5,21 @@
 //! spec for agreement/validity and the `T_Ω` membership checker for
 //! the failure-detector trace.
 //!
+//! The run is instrumented through `afd-obs`: a metrics registry and a
+//! trace recorder ride along as observers, the detector's QoS (how fast
+//! Ω reflected the crash) is computed from the schedule, and the full
+//! stamped trace is exported as JSONL and as a Chrome trace you can
+//! load in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
 //! Run with: `cargo run --example threaded_consensus`
+
+use std::path::Path;
+use std::sync::Arc;
 
 use afd_algorithms::consensus::{all_live_decided, check_consensus_run, paxos_system};
 use afd_core::afds::Omega;
 use afd_core::{Loc, Pi};
+use afd_obs::{detector_qos, export, Fanout, Metrics, MetricsObserver, Observer, TraceRecorder};
 use afd_runtime::{check_fd_trace, fifo_violation, run_threaded, RuntimeConfig};
 use afd_system::FaultPattern;
 
@@ -28,10 +38,20 @@ fn main() {
     // keeps going after everyone decided, so the Ω projection has a
     // long post-crash tail to stabilize in — that lets T_Ω's
     // "eventually forever" clauses be checked meaningfully.
+    // Observability: a metrics registry and a trace recorder, fanned
+    // out so both see every commit.
+    let metrics = Arc::new(Metrics::new());
+    let trace = Arc::new(TraceRecorder::new());
+    let observer: Arc<dyn Observer> = Arc::new(Fanout::new(vec![
+        Arc::new(MetricsObserver::new(metrics.clone())),
+        trace.clone(),
+    ]));
+
     let cfg = RuntimeConfig::default()
         .with_max_events(1_500)
         .with_faults(pattern)
-        .with_seed(42);
+        .with_seed(42)
+        .with_observer(observer);
 
     println!("running paxos-Ω (n = 3, inputs {inputs:?}) on OS threads, crashing p0@5 …\n");
     let out = run_threaded(&sys, &cfg);
@@ -70,4 +90,41 @@ fn main() {
         Ok(()) => println!("T_Ω membership     : the threaded Ω trace is in T_Ω ✓"),
         Err(e) => println!("T_Ω membership     : VIOLATED {e:?}"),
     }
+
+    // Detector QoS, computed post hoc from the committed schedule.
+    println!();
+    let qos = detector_qos(pi, &out.schedule);
+    match qos.detections.first().and_then(|d| d.latency()) {
+        Some(l) => println!("Ω detection latency: {l} events after the crash of p0"),
+        None => println!("Ω detection latency: crash never detected (!)"),
+    }
+    println!(
+        "wrong-leader time  : {} events naming the dead leader",
+        qos.wrong_leader_events()
+    );
+    match qos.first_stable_output {
+        Some(k) => println!("Ω converged        : stable from schedule index {k}"),
+        None => println!("Ω converged        : never"),
+    }
+
+    // Metrics recorded live by the observer.
+    let snap = metrics.snapshot();
+    println!();
+    println!("observer metrics   :");
+    for (name, value) in &snap.counters {
+        println!("  {name} = {value}");
+    }
+
+    // Export the stamped trace for offline inspection.
+    let events = trace.snapshot();
+    let jsonl = Path::new("target/obs/threaded_consensus.trace.jsonl");
+    let chrome = Path::new("target/obs/threaded_consensus.chrome.json");
+    export::jsonl_to_file(jsonl, &events).expect("write jsonl trace");
+    export::chrome_to_file(chrome, "threaded paxos-Ω n=3", &events).expect("write chrome trace");
+    println!();
+    println!("trace exported     : {}", jsonl.display());
+    println!(
+        "chrome trace       : {} (load in chrome://tracing)",
+        chrome.display()
+    );
 }

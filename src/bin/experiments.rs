@@ -1,33 +1,137 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release --bin experiments [table...]`
-//! where `table` ∈ {a1, t13, t18, t21, t44, t59, flp, perf, runtime,
-//! misc}; with no arguments, all tables are printed. Unrecognized
-//! table names abort with a non-zero exit and the list of valid names.
+//! Usage: `cargo run --release --bin experiments [--json] [table...]`
+//! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
+//! q, misc}; with no table arguments, all tables are produced.
+//!
+//! - Default output is the markdown used in EXPERIMENTS.md.
+//! - `--json` emits the same tables as one machine-readable JSON
+//!   document (schema: `{"tables": [{"id", "title", "columns",
+//!   "rows", "notes", "failures"}], "failure_count"}`).
+//! - Unrecognized table names abort with exit code 2.
+//! - If any table's internal check fails, the failure is recorded in
+//!   that table's `failures` list and the process exits with code 1.
+
+use std::path::Path;
+use std::sync::Arc;
 
 use afd_algorithms::consensus::{all_live_decided, check_consensus_run, ct_system, paxos_system};
 use afd_algorithms::lattice::{AfdId, Lattice};
-use afd_algorithms::self_impl::run_theorem_13;
+use afd_algorithms::self_impl::{run_theorem_13, self_impl_system};
 use afd_core::afds::{
     AntiOmega, EvPerfect, EvStrong, EvWeak, Omega, OmegaK, Perfect, PsiK, Sigma, Strong, Weak,
 };
 use afd_core::automata::{FdBehavior, FdGen};
 use afd_core::problems::consensus::{Consensus, ConsensusSolver};
 use afd_core::{Action, AfdSpec, Loc, LocSet, Pi};
+use afd_obs::{detector_qos, export, Json, Metrics, MetricsObserver, Observer, TraceRecorder};
 use afd_system::{refute_marabout, run_random, FaultPattern, SimConfig};
 use afd_tree::{
     estimate_valence, find_hook, random_t_omega, HookSearchOptions, HookSurvey, TaggedTree,
     Valence, ValenceOptions,
 };
 
-/// Every table this binary can print, in print order.
-const TABLES: [&str; 10] = [
-    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "misc",
+/// Every table this binary can produce, in print order.
+const TABLES: [&str; 11] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "q", "misc",
 ];
 
+/// One experiment table: a grid of rendered cells plus free-form notes
+/// and the list of failed internal checks. Renders as markdown or JSON.
+struct Table {
+    id: &'static str,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+    failures: Vec<String>,
+}
+
+impl Table {
+    fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    fn columns(&mut self, cols: &[&str]) {
+        self.columns = cols.iter().map(|c| (*c).to_string()).collect();
+    }
+
+    fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len(), "ragged row in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    fn fail(&mut self, what: impl Into<String>) {
+        self.failures.push(what.into());
+    }
+
+    /// Record `ok` as a pass/fail cell, logging a failure when it does
+    /// not hold.
+    fn check(&mut self, ok: bool, pass: &str, what: impl Into<String>) -> String {
+        if ok {
+            pass.to_string()
+        } else {
+            let what = what.into();
+            self.fail(what);
+            "✗".to_string()
+        }
+    }
+
+    fn print_markdown(&self) {
+        println!("\n## {}\n", self.title);
+        if !self.columns.is_empty() {
+            println!("| {} |", self.columns.join(" | "));
+            println!("|{}", "---|".repeat(self.columns.len()));
+            for r in &self.rows {
+                println!("| {} |", r.join(" | "));
+            }
+        }
+        for n in &self.notes {
+            println!("\n{n}");
+        }
+        for f in &self.failures {
+            println!("\n**FAILED**: {f}");
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.into())),
+            ("title".into(), Json::Str(self.title.clone())),
+            ("columns".into(), strs(&self.columns)),
+            (
+                "rows".into(),
+                Json::Arr(self.rows.iter().map(|r| strs(r)).collect()),
+            ),
+            ("notes".into(), strs(&self.notes)),
+            ("failures".into(), strs(&self.failures)),
+        ])
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let unknown: Vec<&str> = args
+    let mut json_mode = false;
+    let mut names: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--json" {
+            json_mode = true;
+        } else {
+            names.push(a);
+        }
+    }
+    let unknown: Vec<&str> = names
         .iter()
         .map(String::as_str)
         .filter(|a| !TABLES.contains(a))
@@ -37,36 +141,47 @@ fn main() {
         eprintln!("valid tables: {}", TABLES.join(", "));
         std::process::exit(2);
     }
-    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
-    if want("a1") {
-        table_a1_generators();
+    let want = |k: &str| names.is_empty() || names.iter().any(|a| a == k);
+
+    let mut tables: Vec<Table> = Vec::new();
+    for id in TABLES {
+        if !want(id) {
+            continue;
+        }
+        match id {
+            "a1" => tables.push(table_a1_generators()),
+            "t13" => tables.push(table_t13_self_implementation()),
+            "t18" => tables.push(table_t18_hierarchy()),
+            "t21" => tables.push(table_t21_bounded()),
+            "t44" => tables.push(table_t44_environment()),
+            "flp" => tables.push(table_flp_valence()),
+            "t59" => tables.push(table_t59_hooks()),
+            "perf" => tables.push(table_perf_consensus()),
+            "runtime" => tables.extend(table_runtime()),
+            "q" => tables.extend(table_q_qos()),
+            "misc" => tables.push(table_misc()),
+            _ => unreachable!("TABLES is exhaustive"),
+        }
     }
-    if want("t13") {
-        table_t13_self_implementation();
+
+    let failure_count: usize = tables.iter().map(|t| t.failures.len()).sum();
+    if json_mode {
+        let doc = Json::Obj(vec![
+            (
+                "tables".into(),
+                Json::Arr(tables.iter().map(Table::to_json).collect()),
+            ),
+            ("failure_count".into(), Json::Num(failure_count as f64)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        for t in &tables {
+            t.print_markdown();
+        }
     }
-    if want("t18") {
-        table_t18_hierarchy();
-    }
-    if want("t21") {
-        table_t21_bounded();
-    }
-    if want("t44") {
-        table_t44_environment();
-    }
-    if want("flp") {
-        table_flp_valence();
-    }
-    if want("t59") {
-        table_t59_hooks();
-    }
-    if want("perf") {
-        table_perf_consensus();
-    }
-    if want("runtime") {
-        table_runtime();
-    }
-    if want("misc") {
-        table_misc();
+    if failure_count > 0 {
+        eprintln!("{failure_count} table check(s) FAILED");
+        std::process::exit(1);
     }
 }
 
@@ -103,51 +218,55 @@ fn catalogue(pi: Pi) -> Vec<(Box<dyn AfdSpec>, FdGen)> {
 
 /// A1/A2: canonical generator conformance (Algorithms 1 & 2 and their
 /// generalizations) under three fault patterns.
-fn table_a1_generators() {
-    println!("\n## Table A1 — generator automata vs. their trace sets (n = 4)\n");
-    println!("| AFD | no crash | 1 crash | 2 crashes |");
-    println!("|---|---|---|---|");
+fn table_a1_generators() -> Table {
+    let mut t = Table::new(
+        "a1",
+        "Table A1 — generator automata vs. their trace sets (n = 4)",
+    );
+    t.columns(&["AFD", "no crash", "1 crash", "2 crashes"]);
     let pi = Pi::new(4);
     for (spec, gen) in catalogue(pi) {
-        let mut cells = Vec::new();
-        for faults in [
-            FaultPattern::none(),
-            FaultPattern::at(vec![(15, Loc(3))]),
-            FaultPattern::at(vec![(10, Loc(0)), (30, Loc(3))]),
+        let mut cells = vec![spec.name().to_string()];
+        for (label, faults) in [
+            ("no crash", FaultPattern::none()),
+            ("1 crash", FaultPattern::at(vec![(15, Loc(3))])),
+            (
+                "2 crashes",
+                FaultPattern::at(vec![(10, Loc(0)), (30, Loc(3))]),
+            ),
         ] {
-            let sys = afd_algorithms::self_impl::self_impl_system(pi, gen.clone(), faults.faulty());
+            let sys = self_impl_system(pi, gen.clone(), faults.faulty());
             let out = run_random(
                 &sys,
                 5,
                 SimConfig::default().with_faults(faults).with_max_steps(400),
             );
-            let t: Vec<Action> = out
+            let tr: Vec<Action> = out
                 .schedule()
                 .iter()
                 .filter(|a| a.is_crash() || a.is_fd_output())
                 .copied()
                 .collect();
-            cells.push(if spec.check_complete(pi, &t).is_ok() {
-                "∈ T_D ✓"
-            } else {
-                "✗"
-            });
+            let ok = spec.check_complete(pi, &tr).is_ok();
+            let cell = t.check(
+                ok,
+                "∈ T_D ✓",
+                format!("a1: {} trace left T_D under {label}", spec.name()),
+            );
+            cells.push(cell);
         }
-        println!(
-            "| {} | {} | {} | {} |",
-            spec.name(),
-            cells[0],
-            cells[1],
-            cells[2]
-        );
+        t.row(cells);
     }
+    t
 }
 
 /// T13: self-implementability across the catalogue.
-fn table_t13_self_implementation() {
-    println!("\n## Table T13 — A_self (Algorithm 3): D ⪰ D for every AFD (n = 4)\n");
-    println!("| AFD | fault pattern | t|D ∈ T_D ⇒ t|D′ ∈ T_D′ |");
-    println!("|---|---|---|");
+fn table_t13_self_implementation() -> Table {
+    let mut t = Table::new(
+        "t13",
+        "Table T13 — A_self (Algorithm 3): D ⪰ D for every AFD (n = 4)",
+    );
+    t.columns(&["AFD", "fault pattern", "t|D ∈ T_D ⇒ t|D′ ∈ T_D′"]);
     let pi = Pi::new(4);
     for (spec, gen) in catalogue(pi) {
         for (label, faults) in [
@@ -156,72 +275,104 @@ fn table_t13_self_implementation() {
         ] {
             let r = run_theorem_13(spec.as_ref(), pi, gen.clone(), faults, 7, 700);
             let cell = match r {
-                Ok(true) => "verified ✓",
-                Ok(false) => "vacuous",
-                Err(_) => "VIOLATED",
+                Ok(true) => "verified ✓".to_string(),
+                Ok(false) => "vacuous".to_string(),
+                Err(e) => {
+                    t.fail(format!(
+                        "t13: A_self violated for {} under {label}: {e}",
+                        spec.name()
+                    ));
+                    "VIOLATED".to_string()
+                }
             };
-            println!("| {} | {label} | {cell} |", spec.name());
+            t.row(vec![spec.name().to_string(), label.to_string(), cell]);
         }
     }
+    t
 }
 
 /// T18: the strength hierarchy (⪰ closure) and its strict pairs.
-fn table_t18_hierarchy() {
-    println!("\n## Table T18 — the ⪰ hierarchy (reflexive–transitive closure)\n");
+fn table_t18_hierarchy() -> Table {
+    let mut t = Table::new(
+        "t18",
+        "Table T18 — the ⪰ hierarchy (reflexive–transitive closure)",
+    );
     let lattice = Lattice::standard(2);
-    print!("| |");
-    for b in AfdId::all() {
-        print!(" {} |", b.name());
-    }
-    println!();
-    print!("|---|");
-    for _ in AfdId::all() {
-        print!("---|");
-    }
-    println!();
+    let mut cols = vec![""];
+    let names: Vec<&str> = AfdId::all().iter().map(|b| b.name()).collect();
+    cols.extend(names.iter().copied());
+    t.columns(&cols);
     for a in AfdId::all() {
-        print!("| **{}** |", a.name());
+        let mut cells = vec![format!("**{}**", a.name())];
         for b in AfdId::all() {
-            print!(
-                " {} |",
+            cells.push(
                 if lattice.stronger_eq(a, b) {
                     "⪰"
                 } else {
                     "·"
                 }
+                .to_string(),
             );
         }
-        println!();
+        t.row(cells);
     }
-    println!(
-        "\nstrict pairs (Corollary 19 candidates): {}",
+    t.note(format!(
+        "strict pairs (Corollary 19 candidates): {}",
         lattice.strict_pairs().len()
-    );
-    let chain = lattice.reduction_chain(AfdId::P, AfdId::AntiOmega).unwrap();
-    println!("example composed reduction (Theorem 15): P → anti-Ω via {chain:?}");
+    ));
+    match lattice.reduction_chain(AfdId::P, AfdId::AntiOmega) {
+        Some(chain) => t.note(format!(
+            "example composed reduction (Theorem 15): P → anti-Ω via {chain:?}"
+        )),
+        None => {
+            t.fail("t18: no composed reduction P → anti-Ω (Theorem 15 chain missing)".to_string())
+        }
+    }
+    t
 }
 
 /// T21: bounded problems and the Marabout/D_k refutations.
-fn table_t21_bounded() {
-    println!("\n## Table T21 — bounded problems and non-AFDs\n");
-    println!("| problem | output bound (n=4) | crash independent | quiesces |");
-    println!("|---|---|---|---|");
+fn table_t21_bounded() -> Table {
+    let mut t = Table::new("t21", "Table T21 — bounded problems and non-AFDs");
+    t.columns(&[
+        "problem",
+        "output bound (n=4)",
+        "crash independent",
+        "quiesces",
+    ]);
     let pi = Pi::new(4);
-    println!(
-        "| consensus | {} | ✓ (replay check) | ✓ (Lemma 23) |",
-        afd_core::ProblemSpec::output_bound(&Consensus::new(1), pi).unwrap()
-    );
-    println!(
-        "| leader election | {} | ✓ | ✓ |",
-        afd_core::ProblemSpec::output_bound(&afd_core::problems::LeaderElection, pi).unwrap()
-    );
-    println!(
-        "| k-set agreement | {} | ✓ | ✓ |",
+    t.row(vec![
+        "consensus".into(),
+        afd_core::ProblemSpec::output_bound(&Consensus::new(1), pi)
+            .unwrap()
+            .to_string(),
+        "✓ (replay check)".into(),
+        "✓ (Lemma 23)".into(),
+    ]);
+    t.row(vec![
+        "leader election".into(),
+        afd_core::ProblemSpec::output_bound(&afd_core::problems::LeaderElection, pi)
+            .unwrap()
+            .to_string(),
+        "✓".into(),
+        "✓".into(),
+    ]);
+    t.row(vec![
+        "k-set agreement".into(),
         afd_core::ProblemSpec::output_bound(&afd_core::problems::KSetAgreement::new(2, 1), pi)
             .unwrap()
-    );
-    println!("| reliable broadcast | — (long-lived) | n/a | n/a |");
-    println!("\nMarabout refutations (§3.4): every candidate defeated —");
+            .to_string(),
+        "✓".into(),
+        "✓".into(),
+    ]);
+    t.row(vec![
+        "reliable broadcast".into(),
+        "— (long-lived)".into(),
+        "n/a".into(),
+        "n/a".into(),
+    ]);
+    let mut refutations =
+        vec!["Marabout refutations (§3.4): every candidate defeated —".to_string()];
     for (name, gen) in [
         ("Algorithm-2 honest P", FdGen::perfect(pi)),
         (
@@ -244,10 +395,14 @@ fn table_t21_bounded() {
         ),
     ] {
         match refute_marabout(&gen, pi, 80) {
-            Some(w) => println!("  {name}: refuted ({})", w.violation.rule),
-            None => println!("  {name}: NOT refuted (?)"),
+            Some(w) => refutations.push(format!("  {name}: refuted ({})", w.violation.rule)),
+            None => {
+                refutations.push(format!("  {name}: NOT refuted (?)"));
+                t.fail(format!("t21: Marabout candidate {name} was not refuted"));
+            }
         }
     }
+    t.note(refutations.join("\n"));
     // The quiescence probe (Lemma 23) on the canonical solver.
     let u = ConsensusSolver::new(Pi::new(3));
     use ioa::Automaton;
@@ -264,14 +419,22 @@ fn table_t21_bounded() {
         s = u.step(&s, &a).unwrap();
         outputs += 1;
     }
-    println!("\ncanonical solver U: {outputs} outputs then quiescent (maxlen = n) ✓");
+    if outputs == 3 {
+        t.note(format!(
+            "canonical solver U: {outputs} outputs then quiescent (maxlen = n) ✓"
+        ));
+    } else {
+        t.fail(format!(
+            "t21: canonical solver produced {outputs} outputs, expected n = 3"
+        ));
+    }
+    t
 }
 
 /// T44: E_C well-formedness.
-fn table_t44_environment() {
-    println!("\n## Table T44 — E_C (Algorithm 4) is well formed\n");
-    println!("| n | schedules tried | all well-formed |");
-    println!("|---|---|---|");
+fn table_t44_environment() -> Table {
+    let mut t = Table::new("t44", "Table T44 — E_C (Algorithm 4) is well formed");
+    t.columns(&["n", "schedules tried", "all well-formed"]);
     for n in [2usize, 3, 5, 8] {
         let pi = Pi::new(n);
         let mut ok = true;
@@ -288,26 +451,34 @@ fn table_t44_environment() {
                     trace.push(Action::Crash(victim));
                     continue;
                 }
-                let Some(t) =
+                let Some(task) =
                     ioa::Scheduler::<afd_system::Env>::next_task(&mut sched, &env, &s, step)
                 else {
                     break;
                 };
-                let a = ioa::Automaton::enabled(&env, &s, t).unwrap();
+                let a = ioa::Automaton::enabled(&env, &s, task).unwrap();
                 s = env.step(&s, &a).unwrap();
                 trace.push(a);
             }
             ok &= Consensus::env_well_formed(pi, &trace).is_ok();
         }
-        println!("| {n} | 20 | {} |", if ok { "✓" } else { "✗" });
+        let cell = t.check(
+            ok,
+            "✓",
+            format!("t44: E_C produced an ill-formed schedule at n={n}"),
+        );
+        t.row(vec![n.to_string(), "20".into(), cell]);
     }
+    t
 }
 
 /// FLP context: root bivalence (Prop. 51) and the no-detector contrast.
-fn table_flp_valence() {
-    println!("\n## Table FLP — Proposition 51 and the no-detector contrast\n");
-    println!("| t_D seed | crashes in t_D | root valence |");
-    println!("|---|---|---|");
+fn table_flp_valence() -> Table {
+    let mut t = Table::new(
+        "flp",
+        "Table FLP — Proposition 51 and the no-detector contrast",
+    );
+    t.columns(&["t_D seed", "crashes in t_D", "root valence"]);
     let pi = Pi::new(3);
     for seed in 0..6u64 {
         let seq = random_t_omega(pi, 1, seed);
@@ -327,23 +498,35 @@ fn table_flp_valence() {
             .build();
         let tree = TaggedTree::new(&sys, seq);
         let v = estimate_valence(&tree, &tree.root(), ValenceOptions::default());
-        println!(
-            "| {seed} | {crashes} | {} |",
-            match v {
-                Valence::Bivalent => "bivalent ✓ (Prop. 51)",
-                _ => "NOT bivalent (?)",
-            }
+        let cell = t.check(
+            v == Valence::Bivalent,
+            "bivalent ✓ (Prop. 51)",
+            format!("flp: root of seed {seed} not bivalent (got {v:?})"),
         );
+        t.row(vec![seed.to_string(), format!("{crashes}"), cell]);
     }
-    println!("\nno-detector contrast: the same processes without Ω reach no decision");
-    println!("(see integration test `flp_contrast_no_detector_no_decision`).");
+    t.note(
+        "no-detector contrast: the same processes without Ω reach no decision\n\
+         (see integration test `flp_contrast_no_detector_no_decision`).",
+    );
+    t
 }
 
 /// T59: hooks and critical locations (Figures 2 & 3).
-fn table_t59_hooks() {
-    println!("\n## Table T59 — hooks: critical locations are live (n = 3, f = 1)\n");
-    println!("| seed | crashes in t_D | l-label | kind | critical loc | live | Theorem 59 |");
-    println!("|---|---|---|---|---|---|---|");
+fn table_t59_hooks() -> Table {
+    let mut t = Table::new(
+        "t59",
+        "Table T59 — hooks: critical locations are live (n = 3, f = 1)",
+    );
+    t.columns(&[
+        "seed",
+        "crashes in t_D",
+        "l-label",
+        "kind",
+        "critical loc",
+        "live",
+        "Theorem 59",
+    ]);
     let pi = Pi::new(3);
     let mut satisfied = 0;
     let mut survey = HookSurvey::default();
@@ -372,31 +555,46 @@ fn table_t59_hooks() {
                 if h.satisfies_theorem_59() {
                     satisfied += 1;
                 }
-                println!(
-                    "| {seed} | {crashes} | {} | {:?} | {} | {} | {} |",
-                    h.l,
-                    h.kind(),
-                    h.critical,
-                    h.critical_live,
-                    if h.satisfies_theorem_59() {
-                        "✓"
-                    } else {
-                        "✗"
-                    }
+                let verdict = t.check(
+                    h.satisfies_theorem_59(),
+                    "✓",
+                    format!("t59: hook at seed {seed} violates Theorem 59 (critical loc not live)"),
                 );
+                t.row(vec![
+                    seed.to_string(),
+                    format!("{crashes}"),
+                    h.l.to_string(),
+                    format!("{:?}", h.kind()),
+                    h.critical.to_string(),
+                    h.critical_live.to_string(),
+                    verdict,
+                ]);
             }
-            Err(e) => println!("| {seed} | {crashes} | — | — | — | — | search failed: {e} |"),
+            Err(e) => t.row(vec![
+                seed.to_string(),
+                format!("{crashes}"),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                format!("search failed: {e}"),
+            ]),
         }
     }
-    println!("\nTheorem 59 satisfied on {satisfied}/{total} discovered hooks.");
-    println!("survey: {survey}");
+    t.note(format!(
+        "Theorem 59 satisfied on {satisfied}/{total} discovered hooks."
+    ));
+    t.note(format!("survey: {survey}"));
+    t
 }
 
 /// Extension E1: consensus performance shape (events to decision).
-fn table_perf_consensus() {
-    println!("\n## Table E1 — events to all-live-decided (10 seeds each)\n");
-    println!("| n | fault | paxos-Ω avg | ct-◇S avg | winner |");
-    println!("|---|---|---|---|---|");
+fn table_perf_consensus() -> Table {
+    let mut t = Table::new(
+        "perf",
+        "Table E1 — events to all-live-decided (10 seeds each)",
+    );
+    t.columns(&["n", "fault", "paxos-Ω avg", "ct-◇S avg", "winner"]);
     for (n, crash) in [
         (3usize, None),
         (3, Some((15usize, Loc(0)))),
@@ -419,7 +617,9 @@ fn table_perf_consensus() {
                     .with_max_steps(60_000)
                     .stop_when(move |s| all_live_decided(pi, s)),
             );
-            check_consensus_run(pi, victims.len(), out.schedule()).expect("safety");
+            if let Err(e) = check_consensus_run(pi, victims.len(), out.schedule()) {
+                t.fail(format!("perf: paxos-Ω n={n} seed={seed} safety: {e}"));
+            }
             px.push(out.steps);
             let sys = ct_system(pi, &inputs, victims.clone(), LocSet::empty(), 0);
             let out = run_random(
@@ -430,38 +630,53 @@ fn table_perf_consensus() {
                     .with_max_steps(90_000)
                     .stop_when(move |s| all_live_decided(pi, s)),
             );
-            check_consensus_run(pi, victims.len(), out.schedule()).expect("safety");
+            if let Err(e) = check_consensus_run(pi, victims.len(), out.schedule()) {
+                t.fail(format!("perf: ct-◇S n={n} seed={seed} safety: {e}"));
+            }
             ct.push(out.steps);
         }
         let avg = |v: &[usize]| v.iter().sum::<usize>() / v.len();
         let (pa, ca) = (avg(&px), avg(&ct));
-        println!(
-            "| {n} | {} | {pa} | {ca} | {} |",
+        t.row(vec![
+            n.to_string(),
             if victims.is_empty() {
-                "none"
+                "none".into()
             } else {
-                "crash p0@15"
+                "crash p0@15".into()
             },
-            if pa <= ca { "paxos-Ω" } else { "ct-◇S" }
-        );
+            pa.to_string(),
+            ca.to_string(),
+            if pa <= ca { "paxos-Ω" } else { "ct-◇S" }.to_string(),
+        ]);
     }
+    t
 }
 
 /// Extension E2: the threaded runtime (afd-runtime) — consensus under
 /// injected crashes and link faults on real OS threads, checked by the
 /// same trace machinery, plus a throughput comparison against the
 /// simulator on an identical system.
-fn table_runtime() {
+fn table_runtime() -> Vec<Table> {
     use afd_runtime::{
         check_fd_trace, fifo_violation, run_threaded, LinkFaults, LinkProfile, RuntimeConfig,
     };
     use std::time::Duration;
 
-    println!("\n## Table R — threaded runtime: consensus on OS threads (afd-runtime)\n");
-    println!(
-        "| system | faults | links | stop | events | max in-flight | decision latency | verdict |"
+    let mut t = Table::new(
+        "runtime",
+        "Table R — threaded runtime: consensus on OS threads (afd-runtime)",
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    t.columns(&[
+        "system",
+        "faults",
+        "links",
+        "stop",
+        "events",
+        "max in-flight",
+        "busiest channel",
+        "decision latency",
+        "verdict",
+    ]);
     let pi = Pi::new(3);
     let inputs = [0u64, 1, 1];
     let slow = LinkFaults::uniform(LinkProfile::jittered(
@@ -490,25 +705,35 @@ fn table_runtime() {
             let latency = st
                 .decision_latency()
                 .map_or_else(|| "—".to_string(), |d| format!("{d} ev"));
-            println!(
-                "| paxos-Ω n=3 | {fault_label} | {link_label} | {:?} | {} | {} | {latency} | {} |",
-                out.stop,
-                st.events,
-                st.max_in_flight,
-                if safe && fifo {
-                    "agreement + FIFO ✓"
-                } else {
-                    "✗"
-                }
+            let busiest = st.busiest_channel().map_or_else(
+                || "—".to_string(),
+                |((i, j), peak)| format!("{i}→{j} ({peak})"),
             );
+            let verdict = t.check(
+                safe && fifo,
+                "agreement + FIFO ✓",
+                format!(
+                    "runtime: paxos-Ω n=3 {fault_label}/{link_label} violated agreement or FIFO"
+                ),
+            );
+            t.row(vec![
+                "paxos-Ω n=3".into(),
+                fault_label.into(),
+                link_label.into(),
+                format!("{:?}", out.stop),
+                st.events.to_string(),
+                st.max_in_flight.to_string(),
+                busiest,
+                latency,
+                verdict,
+            ]);
         }
     }
     // Conformance on threads: the Ω generator's trace stays in T_Ω.
     {
         let pi = Pi::new(4);
         let pattern = FaultPattern::at(vec![(40, Loc(3))]);
-        let sys =
-            afd_algorithms::self_impl::self_impl_system(pi, FdGen::omega(pi), pattern.faulty());
+        let sys = self_impl_system(pi, FdGen::omega(pi), pattern.faulty());
         let cfg = RuntimeConfig::default()
             .with_max_events(600)
             .with_faults(pattern)
@@ -516,50 +741,232 @@ fn table_runtime() {
         let out = run_threaded(&sys, &cfg);
         let st = out.stats();
         let ok = check_fd_trace(&Omega, pi, &out.schedule).is_ok();
-        println!(
-            "| A_self(Ω) n=4 | crash p3@40 | ideal | {:?} | {} | {} | — | {} |",
-            out.stop,
-            st.events,
-            st.max_in_flight,
-            if ok { "∈ T_Ω ✓" } else { "✗" }
+        let busiest = st.busiest_channel().map_or_else(
+            || "—".to_string(),
+            |((i, j), peak)| format!("{i}→{j} ({peak})"),
         );
+        let verdict = t.check(ok, "∈ T_Ω ✓", "runtime: threaded A_self(Ω) trace left T_Ω");
+        t.row(vec![
+            "A_self(Ω) n=4".into(),
+            "crash p3@40".into(),
+            "ideal".into(),
+            format!("{:?}", out.stop),
+            st.events.to_string(),
+            st.max_in_flight.to_string(),
+            busiest,
+            "—".into(),
+            verdict,
+        ]);
     }
     // Throughput: same A_self(Ω) system, simulator vs threads.
-    println!("\n| engine | system | events | events/sec |");
-    println!("|---|---|---|---|");
+    let mut tp = Table::new("runtime.throughput", "Table R2 — engine throughput");
+    tp.columns(&["engine", "system", "events", "events/sec"]);
     let pi = Pi::new(4);
     let budget = 20_000usize;
     {
-        let sys = afd_algorithms::self_impl::self_impl_system(pi, FdGen::omega(pi), vec![]);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
         let t0 = std::time::Instant::now();
         let out = run_random(&sys, 7, SimConfig::default().with_max_steps(budget));
         let dt = t0.elapsed().as_secs_f64();
-        println!(
-            "| simulator (run_random) | A_self(Ω) n=4 | {} | {:.0} |",
-            out.steps,
-            out.steps as f64 / dt
-        );
+        tp.row(vec![
+            "simulator (run_random)".into(),
+            "A_self(Ω) n=4".into(),
+            out.steps.to_string(),
+            format!("{:.0}", out.steps as f64 / dt),
+        ]);
     }
     {
-        let sys = afd_algorithms::self_impl::self_impl_system(pi, FdGen::omega(pi), vec![]);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
         let cfg = RuntimeConfig::default()
             .with_max_events(budget)
             .with_fd_pacing(Duration::ZERO)
             .with_seed(7);
         let out = run_threaded(&sys, &cfg);
-        println!(
-            "| threaded (fd_pacing=0) | A_self(Ω) n=4 | {} | {:.0} |",
-            out.events(),
-            out.events_per_sec()
-        );
+        tp.row(vec![
+            "threaded (fd_pacing=0)".into(),
+            "A_self(Ω) n=4".into(),
+            out.events().to_string(),
+            format!("{:.0}", out.events_per_sec()),
+        ]);
     }
+    vec![t, tp]
+}
+
+/// Table Q: detector quality of service, measured through the observer
+/// layer — post-crash leader-detection latency for Ω on the threaded
+/// runtime (with trace exports), and false-suspicion QoS for honest P
+/// vs noisy ◇P on the simulator.
+fn table_q_qos() -> Vec<Table> {
+    use afd_obs::Fanout;
+    use afd_runtime::{run_threaded, RuntimeConfig};
+
+    let mut t = Table::new(
+        "q",
+        "Table Q — detector QoS: Ω leader-detection latency after a mid-run leader crash (threaded paxos-Ω)",
+    );
+    t.columns(&[
+        "n",
+        "crash",
+        "stop",
+        "events",
+        "fd outputs",
+        "detection latency (ev)",
+        "wrong-leader (ev)",
+        "first stable output",
+        "trace",
+    ]);
+    for n in [3usize, 8] {
+        let pi = Pi::new(n);
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        // Crash the initial Ω leader (p0) once the protocol is underway.
+        let pattern = FaultPattern::at(vec![(40, Loc(0))]);
+        let sys = paxos_system(pi, &inputs, pattern.faulty());
+        let metrics = Arc::new(Metrics::new());
+        let trace = Arc::new(TraceRecorder::new());
+        let obs: Arc<dyn Observer> = Arc::new(Fanout::new(vec![
+            Arc::new(MetricsObserver::new(metrics.clone())),
+            trace.clone(),
+        ]));
+        let cfg = RuntimeConfig::default()
+            .with_max_events(2_500)
+            .with_faults(pattern)
+            .with_seed(11)
+            .with_observer(obs);
+        let out = run_threaded(&sys, &cfg);
+        let q = detector_qos(pi, &out.schedule);
+
+        // The observer saw exactly the committed schedule.
+        let stamped = trace.snapshot();
+        if stamped.len() != out.schedule.len()
+            || metrics.counter("events.total").get() != out.schedule.len() as u64
+        {
+            t.fail(format!(
+                "q: n={n} observer saw {} events, metrics {}, schedule has {}",
+                stamped.len(),
+                metrics.counter("events.total").get(),
+                out.schedule.len()
+            ));
+        }
+
+        let base = Path::new("target/obs");
+        let jsonl = base.join(format!("paxos_omega_n{n}.trace.jsonl"));
+        let chrome = base.join(format!("paxos_omega_n{n}.chrome.json"));
+        if let Err(e) = export::jsonl_to_file(&jsonl, &stamped) {
+            t.fail(format!("q: writing {} failed: {e}", jsonl.display()));
+        }
+        if let Err(e) =
+            export::chrome_to_file(&chrome, &format!("paxos-Ω n={n} leader crash"), &stamped)
+        {
+            t.fail(format!("q: writing {} failed: {e}", chrome.display()));
+        }
+
+        let latency = match q.detections.first().and_then(|d| d.latency()) {
+            Some(l) => l.to_string(),
+            None => {
+                t.fail(format!(
+                    "q: n={n}: Ω never detected the leader crash (no post-crash convergence)"
+                ));
+                "—".to_string()
+            }
+        };
+        t.row(vec![
+            n.to_string(),
+            "p0 (leader) @40".into(),
+            format!("{:?}", out.stop),
+            out.schedule.len().to_string(),
+            q.fd_outputs.to_string(),
+            latency,
+            q.wrong_leader_events().to_string(),
+            q.first_stable_output
+                .map_or_else(|| "—".to_string(), |v| v.to_string()),
+            format!("target/obs/paxos_omega_n{n}.trace.jsonl"),
+        ]);
+    }
+    t.note(
+        "Latencies are logical (committed events between the crash and the first point \
+         where every live location's Ω output stops naming the victim). The JSONL and \
+         chrome-trace files are written to `target/obs/`; load the `.chrome.json` file \
+         in `chrome://tracing` or <https://ui.perfetto.dev>.",
+    );
+
+    // Simulator contrast: honest P never falsely suspects; noisy ◇P does.
+    let mut t2 = Table::new(
+        "q.suspicions",
+        "Table Q2 — false-suspicion QoS: honest P vs noisy ◇P (simulator, n = 4, crash p3@15)",
+    );
+    t2.columns(&[
+        "generator",
+        "fd outputs",
+        "false-suspicion intervals",
+        "false-suspicion (ev)",
+        "detection latency (ev)",
+        "verdict",
+    ]);
+    let pi = Pi::new(4);
+    for (label, gen, expect_clean) in [
+        ("P (honest, Algorithm 2)", FdGen::perfect(pi), true),
+        (
+            "◇P noisy (suspects live p1 for 2 rounds)",
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 2),
+            false,
+        ),
+    ] {
+        let faults = FaultPattern::at(vec![(15, Loc(3))]);
+        let sys = self_impl_system(pi, gen, faults.faulty());
+        let rec = Arc::new(TraceRecorder::new());
+        let out = run_random(
+            &sys,
+            5,
+            SimConfig::default()
+                .with_faults(faults)
+                .with_max_steps(400)
+                .with_observer(rec.clone()),
+        );
+        if rec
+            .snapshot()
+            .iter()
+            .map(|ev| ev.action)
+            .collect::<Vec<_>>()
+            != out.schedule()
+        {
+            t2.fail(format!(
+                "q: simulator observer trace diverged from the schedule for {label}"
+            ));
+        }
+        let q = detector_qos(pi, out.schedule());
+        let clean = q.false_suspicion_events() == 0;
+        let verdict = t2.check(
+            clean == expect_clean,
+            if expect_clean {
+                "never false ✓"
+            } else {
+                "falsely suspects, then retracts ✓"
+            },
+            format!(
+                "q: {label} false-suspicion events = {} (expected {})",
+                q.false_suspicion_events(),
+                if expect_clean { "0" } else { "> 0" }
+            ),
+        );
+        t2.row(vec![
+            label.into(),
+            q.fd_outputs.to_string(),
+            q.false_suspicions.len().to_string(),
+            q.false_suspicion_events().to_string(),
+            q.detections
+                .first()
+                .and_then(|d| d.latency())
+                .map_or_else(|| "—".to_string(), |l| l.to_string()),
+            verdict,
+        ]);
+    }
+    vec![t, t2]
 }
 
 /// Remaining demonstrations: URB, k-set, query-based consensus.
-fn table_misc() {
-    println!("\n## Table M — remaining systems\n");
-    println!("| system | scenario | verdict |");
-    println!("|---|---|---|");
+fn table_misc() -> Table {
+    let mut t = Table::new("misc", "Table M — remaining systems");
+    t.columns(&["system", "scenario", "verdict"]);
     // URB with originator crash.
     {
         let pi = Pi::new(4);
@@ -571,7 +978,7 @@ fn table_misc() {
                 .with_faults(FaultPattern::at(vec![(4, Loc(0))]))
                 .with_max_steps(5000),
         );
-        let t: Vec<Action> = out
+        let tr: Vec<Action> = out
             .schedule()
             .iter()
             .filter(|a| {
@@ -580,18 +987,20 @@ fn table_misc() {
             .copied()
             .collect();
         let ok =
-            afd_core::ProblemSpec::check(&afd_core::problems::ReliableBroadcast, pi, &t).is_ok();
-        println!(
-            "| URB | originator crashes mid-relay | {} |",
-            if ok { "uniform ✓" } else { "✗" }
-        );
+            afd_core::ProblemSpec::check(&afd_core::problems::ReliableBroadcast, pi, &tr).is_ok();
+        let verdict = t.check(ok, "uniform ✓", "misc: URB uniformity violated");
+        t.row(vec![
+            "URB".into(),
+            "originator crashes mid-relay".into(),
+            verdict,
+        ]);
     }
     // k-set flood.
     {
         let pi = Pi::new(5);
         let sys = afd_algorithms::kset::kset_system(pi, 2, &[50, 10, 40, 30, 20], vec![]);
         let out = run_random(&sys, 3, SimConfig::default().with_max_steps(8000));
-        let t: Vec<Action> = out
+        let tr: Vec<Action> = out
             .schedule()
             .iter()
             .filter(|a| {
@@ -599,11 +1008,17 @@ fn table_misc() {
             })
             .copied()
             .collect();
-        let vals = afd_core::problems::KSetAgreement::decision_values(&t);
-        println!(
-            "| k-set (k=3,f=2) | 5 procs flood | {} distinct decisions ≤ 3 ✓ |",
-            vals.len()
+        let vals = afd_core::problems::KSetAgreement::decision_values(&tr);
+        let verdict = t.check(
+            vals.len() <= 3,
+            &format!("{} distinct decisions ≤ 3 ✓", vals.len()),
+            format!("misc: k-set produced {} > 3 distinct decisions", vals.len()),
         );
+        t.row(vec![
+            "k-set (k=3,f=2)".into(),
+            "5 procs flood".into(),
+            verdict,
+        ]);
     }
     // Lemma 16 live: P ⪰ Ω + (Ω solves consensus) ⇒ P solves consensus,
     // via the stacked per-location reduction (Theorem 15's composition).
@@ -636,10 +1051,16 @@ fn table_misc() {
         let ok = check_consensus_run(pi, 0, out.schedule())
             .map(|v| v.is_some())
             .unwrap_or(false);
-        println!(
-            "| consensus from P via stacked reduction (Lemma 16) | P ⪰ Ω ∘ paxos-Ω | {} |",
-            if ok { "decided ✓" } else { "✗" }
+        let verdict = t.check(
+            ok,
+            "decided ✓",
+            "misc: stacked reduction (Lemma 16) did not decide",
         );
+        t.row(vec![
+            "consensus from P via stacked reduction (Lemma 16)".into(),
+            "P ⪰ Ω ∘ paxos-Ω".into(),
+            verdict,
+        ]);
     }
     // NBAC with P (honest) — commits on unanimous yes.
     {
@@ -663,23 +1084,25 @@ fn table_misc() {
                     })
                 }),
         );
-        let t: Vec<Action> = out
+        let tr: Vec<Action> = out
             .schedule()
             .iter()
             .filter(|a| a.is_crash() || matches!(a, Action::Vote { .. } | Action::Verdict { .. }))
             .copied()
             .collect();
-        let ok =
-            afd_core::ProblemSpec::check(&afd_core::problems::AtomicCommit::new(1), pi, &t).is_ok();
-        let verdict = afd_core::problems::AtomicCommit::verdict(&t);
-        println!(
-            "| NBAC from P (§1.1) | unanimous yes, honest P | {} |",
-            if ok && verdict == Some(true) {
-                "commit ✓"
-            } else {
-                "✗"
-            }
+        let ok = afd_core::ProblemSpec::check(&afd_core::problems::AtomicCommit::new(1), pi, &tr)
+            .is_ok();
+        let verdict_val = afd_core::problems::AtomicCommit::verdict(&tr);
+        let verdict = t.check(
+            ok && verdict_val == Some(true),
+            "commit ✓",
+            "misc: NBAC with honest P did not commit on unanimous yes",
         );
+        t.row(vec![
+            "NBAC from P (§1.1)".into(),
+            "unanimous yes, honest P".into(),
+            verdict,
+        ]);
     }
     // Query-based consensus (§10.1).
     {
@@ -694,9 +1117,16 @@ fn table_misc() {
         );
         let ok = check_consensus_run(pi, 0, out.schedule()).is_ok()
             && afd_algorithms::query_based::participant_property(out.schedule());
-        println!(
-            "| consensus from participant FD (§10.1) | 3 procs, query-based | {} |",
-            if ok { "decided ✓" } else { "✗" }
+        let verdict = t.check(
+            ok,
+            "decided ✓",
+            "misc: query-based consensus failed to decide safely",
         );
+        t.row(vec![
+            "consensus from participant FD (§10.1)".into(),
+            "3 procs, query-based".into(),
+            verdict,
+        ]);
     }
+    t
 }

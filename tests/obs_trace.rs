@@ -1,0 +1,178 @@
+//! Observability end-to-end: the observer layer sees exactly the
+//! committed schedule in both engines, simulator JSONL exports are
+//! byte-identical across runs of the same seed, the exporters stay
+//! schema-valid on random threaded runs, and the QoS analysis reports
+//! a finite post-crash detection latency for Ω.
+
+use std::sync::Arc;
+
+use afd_algorithms::consensus::paxos_system;
+use afd_algorithms::self_impl::self_impl_system;
+use afd_core::automata::FdGen;
+use afd_core::{Loc, Pi, Stamped};
+use afd_obs::export::{chrome_trace, validate_jsonl_line, write_jsonl};
+use afd_obs::{detector_qos, Fanout, Json, Metrics, MetricsObserver, Observer, TraceRecorder};
+use afd_runtime::{run_threaded, RuntimeConfig};
+use afd_system::{run_random, FaultPattern, RunStats, SimConfig};
+use proptest::prelude::*;
+
+/// One simulated A_self(Ω) run with an observer attached; returns the
+/// recorded stamped trace.
+fn sim_trace(seed: u64, max_steps: usize) -> Vec<Stamped> {
+    let pi = Pi::new(3);
+    let faults = FaultPattern::at(vec![(12, Loc(2))]);
+    let sys = self_impl_system(pi, FdGen::omega(pi), faults.faulty());
+    let rec = Arc::new(TraceRecorder::new());
+    let out = run_random(
+        &sys,
+        seed,
+        SimConfig::default()
+            .with_faults(faults)
+            .with_max_steps(max_steps)
+            .with_observer(rec.clone()),
+    );
+    let trace = rec.snapshot();
+    // The observer saw the schedule, verbatim and in order.
+    let replayed: Vec<_> = trace.iter().map(|ev| ev.action).collect();
+    assert_eq!(replayed, out.schedule());
+    assert!(trace.iter().enumerate().all(|(k, ev)| ev.seq == k as u64));
+    trace
+}
+
+#[test]
+fn simulator_jsonl_export_is_byte_identical_across_runs() {
+    let a = write_jsonl(&sim_trace(42, 200));
+    let b = write_jsonl(&sim_trace(42, 200));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed + config must export identical bytes");
+    // Different seed ⇒ different schedule ⇒ different bytes.
+    let c = write_jsonl(&sim_trace(43, 200));
+    assert_ne!(a, c);
+    // Simulator stamps carry no wall clock — that's what makes the
+    // export deterministic by construction.
+    for line in a.lines() {
+        validate_jsonl_line(line).unwrap();
+        let v = Json::parse(line).unwrap();
+        assert!(v.get("wall_ns").unwrap().is_null());
+    }
+}
+
+#[test]
+fn threaded_observer_sees_the_committed_schedule() {
+    let pi = Pi::new(3);
+    let pattern = FaultPattern::at(vec![(20, Loc(0))]);
+    let sys = paxos_system(pi, &[0, 1, 1], pattern.faulty());
+    let metrics = Arc::new(Metrics::new());
+    let trace = Arc::new(TraceRecorder::new());
+    let obs: Arc<dyn Observer> = Arc::new(Fanout::new(vec![
+        Arc::new(MetricsObserver::new(metrics.clone())),
+        trace.clone(),
+    ]));
+    let cfg = RuntimeConfig::default()
+        .with_max_events(400)
+        .with_faults(pattern)
+        .with_seed(7)
+        .with_observer(obs);
+    let out = run_threaded(&sys, &cfg);
+
+    let stamped = trace.snapshot();
+    let replayed: Vec<_> = stamped.iter().map(|ev| ev.action).collect();
+    assert_eq!(replayed, out.schedule, "observer trace == sink log");
+    // Threaded stamps are wall-clocked and seq mirrors the log index.
+    assert!(stamped.iter().all(|ev| ev.wall_ns.is_some()));
+    assert!(stamped.iter().enumerate().all(|(k, ev)| ev.seq == k as u64));
+
+    // Live metrics agree with the post-hoc RunStats of the same log.
+    let st = RunStats::of(&out.schedule);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["events.total"], st.events as u64);
+    assert_eq!(snap.counters["crashes"], st.crashes as u64);
+    assert_eq!(
+        snap.counters.get("events.send").copied().unwrap_or(0),
+        st.sends as u64
+    );
+    assert_eq!(
+        snap.counters.get("events.receive").copied().unwrap_or(0),
+        st.receives as u64
+    );
+    // Per-channel gauge peaks match RunStats' per-channel backlog peaks.
+    for (&(i, j), &peak) in &st.per_channel_in_flight {
+        let name = format!("chan.{i}->{j}.in_flight");
+        let &(_, gauge_peak) = snap
+            .gauges
+            .get(&name)
+            .unwrap_or_else(|| panic!("missing gauge {name}"));
+        assert_eq!(gauge_peak, peak as i64, "gauge peak for {name}");
+    }
+}
+
+#[test]
+fn qos_reports_finite_omega_detection_latency() {
+    let pi = Pi::new(3);
+    let pattern = FaultPattern::at(vec![(25, Loc(0))]);
+    let sys = paxos_system(pi, &[0, 1, 1], pattern.faulty());
+    let cfg = RuntimeConfig::default()
+        .with_max_events(1_200)
+        .with_faults(pattern)
+        .with_seed(5);
+    let out = run_threaded(&sys, &cfg);
+    let q = detector_qos(pi, &out.schedule);
+    assert_eq!(q.detections.len(), 1);
+    let d = q.detections[0];
+    assert_eq!(d.crashed, Loc(0));
+    let latency = d.latency().expect("crash of the Ω leader is detected");
+    assert!(latency > 0);
+    assert!(
+        q.first_stable_output.is_some(),
+        "live locations converge on a post-crash leader"
+    );
+    // The QoS report round-trips through the JSON kernel.
+    let doc = q.to_json().render();
+    let v = Json::parse(&doc).unwrap();
+    assert_eq!(
+        v.get("fd_outputs").unwrap().as_num(),
+        Some(q.fd_outputs as f64)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Schema validity is not an artifact of one lucky schedule: on
+    /// random threaded runs (random seed, universe size, and crash
+    /// point), every exported JSONL line parses and carries the
+    /// required fields, and the chrome trace is loadable JSON whose
+    /// event count matches the schedule.
+    #[test]
+    fn exports_stay_schema_valid_on_random_threaded_runs(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        crash_at in 5usize..40,
+    ) {
+        let pi = Pi::new(n);
+        let pattern = FaultPattern::at(vec![(crash_at, Loc(0))]);
+        let sys = self_impl_system(pi, FdGen::omega(pi), pattern.faulty());
+        let rec = Arc::new(TraceRecorder::new());
+        let cfg = RuntimeConfig::default()
+            .with_max_events(150)
+            .with_faults(pattern)
+            .with_seed(seed)
+            .with_observer(rec.clone());
+        let out = run_threaded(&sys, &cfg);
+        let stamped = rec.snapshot();
+        prop_assert_eq!(stamped.len(), out.schedule.len());
+
+        let jsonl = write_jsonl(&stamped);
+        for line in jsonl.lines() {
+            prop_assert!(validate_jsonl_line(line).is_ok(), "bad line: {line}");
+        }
+
+        let chrome = chrome_trace("proptest", &stamped);
+        let doc = Json::parse(&chrome).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let complete = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        prop_assert_eq!(complete, stamped.len());
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::fd::FdOutput;
 use crate::loc::Loc;
-use crate::message::{Msg, Val};
+use crate::message::{Frame, Msg, Val};
 
 /// One action of the system universe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -136,6 +136,28 @@ pub enum Action {
         /// Free-form tag.
         tag: u16,
     },
+    /// `wsend(f, to)_from` — a frame put on the *adversarial* wire by
+    /// the reliable-channel layer at `from`: output of the process at
+    /// `from`, input of the wire channel `W_{from,to}`.
+    WireSend {
+        /// Sender (the location the action occurs at).
+        from: Loc,
+        /// Destination.
+        to: Loc,
+        /// The frame.
+        frame: Frame,
+    },
+    /// `wrecv(f, from)_to` — a frame coming off the adversarial wire:
+    /// output of the wire channel `W_{from,to}`, input of the reliable
+    /// layer at `to`.
+    WireRecv {
+        /// Original sender.
+        from: Loc,
+        /// Receiver (the location the action occurs at).
+        to: Loc,
+        /// The frame.
+        frame: Frame,
+    },
 }
 
 impl Action {
@@ -144,8 +166,8 @@ impl Action {
     pub fn loc(&self) -> Loc {
         match *self {
             Action::Crash(l) => l,
-            Action::Send { from, .. } => from,
-            Action::Receive { to, .. } => to,
+            Action::Send { from, .. } | Action::WireSend { from, .. } => from,
+            Action::Receive { to, .. } | Action::WireRecv { to, .. } => to,
             Action::Fd { at, .. }
             | Action::FdRenamed { at, .. }
             | Action::Propose { at, .. }
@@ -246,6 +268,8 @@ impl Action {
             Action::Query { .. } => "query",
             Action::QueryReply { .. } => "query_reply",
             Action::Internal { .. } => "internal",
+            Action::WireSend { .. } => "wire_send",
+            Action::WireRecv { .. } => "wire_recv",
         }
     }
 
@@ -257,11 +281,32 @@ impl Action {
     }
 
     /// The channel `(from, to)` this action is traffic on, if it is a
-    /// `Send` or `Receive`.
+    /// `Send` or `Receive` (application-level traffic).
     #[must_use]
     pub fn channel(&self) -> Option<(Loc, Loc)> {
         match *self {
             Action::Send { from, to, .. } | Action::Receive { from, to, .. } => Some((from, to)),
+            _ => None,
+        }
+    }
+
+    /// The wire channel `(from, to)` this action is frame traffic on,
+    /// if it is a `WireSend` or `WireRecv`.
+    #[must_use]
+    pub fn wire_channel(&self) -> Option<(Loc, Loc)> {
+        match *self {
+            Action::WireSend { from, to, .. } | Action::WireRecv { from, to, .. } => {
+                Some((from, to))
+            }
+            _ => None,
+        }
+    }
+
+    /// The frame, if this is wire traffic.
+    #[must_use]
+    pub fn frame(&self) -> Option<Frame> {
+        match *self {
+            Action::WireSend { frame, .. } | Action::WireRecv { frame, .. } => Some(frame),
             _ => None,
         }
     }
@@ -299,6 +344,8 @@ impl std::fmt::Display for Action {
             Action::Query { at } => write!(f, "query_{at}"),
             Action::QueryReply { at, out } => write!(f, "reply({out})_{at}"),
             Action::Internal { at, tag } => write!(f, "internal#{tag}_{at}"),
+            Action::WireSend { from, to, frame } => write!(f, "wsend({frame},{to})_{from}"),
+            Action::WireRecv { from, to, frame } => write!(f, "wrecv({frame},{from})_{to}"),
         }
     }
 }
@@ -397,6 +444,32 @@ mod tests {
             leader: Loc(1)
         }
         .is_decision());
+    }
+
+    #[test]
+    fn wire_actions_follow_send_receive_conventions() {
+        use crate::message::Frame;
+        let ws = Action::WireSend {
+            from: Loc(1),
+            to: Loc(2),
+            frame: Frame::Data {
+                seq: 3,
+                msg: Msg::Token(7),
+            },
+        };
+        assert_eq!(ws.loc(), Loc(1), "wire send occurs at the sender");
+        assert_eq!(ws.kind_name(), "wire_send");
+        assert_eq!(ws.wire_channel(), Some((Loc(1), Loc(2))));
+        assert_eq!(ws.channel(), None, "wire traffic is not app traffic");
+        assert!(ws.to_string().contains("D#3"));
+        let wr = Action::WireRecv {
+            from: Loc(1),
+            to: Loc(2),
+            frame: Frame::Ack { cum: 4 },
+        };
+        assert_eq!(wr.loc(), Loc(2), "wire receive occurs at the receiver");
+        assert_eq!(wr.frame(), Some(Frame::Ack { cum: 4 }));
+        assert!(wr.to_string().contains("A#4"));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use action::Action;
 pub use afd::AfdSpec;
 pub use fd::FdOutput;
 pub use loc::{Loc, LocSet, Pi};
-pub use message::{Ballot, Msg, Val};
+pub use message::{Ballot, Frame, Msg, Val};
 pub use problem::ProblemSpec;
 pub use stamp::Stamped;
 pub use trace::Violation;

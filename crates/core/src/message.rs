@@ -154,6 +154,41 @@ pub enum Msg {
     Token(u64),
 }
 
+/// A wire frame: what travels on an *adversarial* (lossy, duplicating,
+/// reordering) link when the reliable-channel layer is composed in.
+///
+/// The reliable layer (in `afd-algorithms`) wraps each process with a
+/// stubborn-retransmission sender and a sequence-number
+/// dedup/reassembly receiver; frames are their alphabet. Application
+/// messages ride in [`Frame::Data`] with a per-channel sequence
+/// number; [`Frame::Ack`] carries the receiver's cumulative
+/// acknowledgement (the next sequence number it expects in order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Frame {
+    /// An application message plus its per-channel sequence number.
+    Data {
+        /// Sequence number, assigned per ordered channel, from 0.
+        seq: u32,
+        /// The application payload.
+        msg: Msg,
+    },
+    /// Cumulative acknowledgement: every `Data` frame with
+    /// `seq < cum` has been delivered in order.
+    Ack {
+        /// The next sequence number expected in order.
+        cum: u32,
+    },
+}
+
+impl std::fmt::Display for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Frame::Data { seq, msg } => write!(f, "D#{seq}:{msg:?}"),
+            Frame::Ack { cum } => write!(f, "A#{cum}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,7 +52,10 @@ pub fn jsonl_line(ev: &Stamped) -> String {
     escape_into(&ev.action.to_string(), &mut s);
     s.push('"');
     match ev.action {
-        Action::Send { from, to, .. } | Action::Receive { from, to, .. } => {
+        Action::Send { from, to, .. }
+        | Action::Receive { from, to, .. }
+        | Action::WireSend { from, to, .. }
+        | Action::WireRecv { from, to, .. } => {
             s.push_str(",\"from\":");
             write_num(f64::from(from.0), &mut s);
             s.push_str(",\"to\":");

@@ -7,6 +7,11 @@
 //! * `loc.<p>.events` — per-location event rates;
 //! * `chan.<from>-><to>.in_flight` — per-channel in-flight depth over
 //!   time (current value + peak);
+//! * `wire.<from>-><to>.in_flight` — frame-level in-flight depth of
+//!   adversarial wires (`WireSend`/`WireRecv`);
+//! * `rel.retransmissions` / `rel.dup_frames` — reliable-layer work:
+//!   repeated `Data` frame sends (stubborn retransmission) and repeated
+//!   `Data` frame deliveries (duplicates the receiver must mask);
 //! * `fd.query_latency_events` / `fd.query_latency_ns` — query→reply
 //!   latency of query-based detectors, in schedule events and (when
 //!   wall time is available) nanoseconds;
@@ -17,11 +22,11 @@
 //! only touched on first use of a name (the observer caches per-kind
 //! handles where it matters).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use afd_core::{Action, Loc, Stamped};
+use afd_core::{Action, Frame, Loc, Stamped};
 
 use crate::json::Json;
 use crate::observer::Observer;
@@ -351,8 +356,14 @@ pub struct MetricsObserver {
     crashes: Arc<Counter>,
     query_latency_events: Arc<Histogram>,
     query_latency_ns: Arc<Histogram>,
+    retransmissions: Arc<Counter>,
+    dup_frames: Arc<Counter>,
     /// Outstanding `Query` per location: `(seq, wall_ns)` of the query.
     pending_queries: Mutex<BTreeMap<Loc, (u64, Option<u64>)>>,
+    /// `Data` frames already sent / delivered at least once, keyed
+    /// `(from, to, seq)` — repeats are retransmissions / duplicates.
+    data_sent: Mutex<BTreeSet<(Loc, Loc, u32)>>,
+    data_rcvd: Mutex<BTreeSet<(Loc, Loc, u32)>>,
 }
 
 impl MetricsObserver {
@@ -365,7 +376,11 @@ impl MetricsObserver {
             query_latency_events: metrics
                 .histogram("fd.query_latency_events", Histogram::latency_events),
             query_latency_ns: metrics.histogram("fd.query_latency_ns", Histogram::latency_ns),
+            retransmissions: metrics.counter("rel.retransmissions"),
+            dup_frames: metrics.counter("rel.dup_frames"),
             pending_queries: Mutex::new(BTreeMap::new()),
+            data_sent: Mutex::new(BTreeSet::new()),
+            data_rcvd: Mutex::new(BTreeSet::new()),
             metrics,
         }
     }
@@ -396,6 +411,36 @@ impl Observer for MetricsObserver {
                 self.metrics
                     .gauge(&format!("chan.{from}->{to}.in_flight"))
                     .add(-1);
+            }
+            Action::WireSend { from, to, frame } => {
+                self.metrics
+                    .gauge(&format!("wire.{from}->{to}.in_flight"))
+                    .add(1);
+                if let Frame::Data { seq, .. } = frame {
+                    let fresh = self
+                        .data_sent
+                        .lock()
+                        .expect("metrics poisoned")
+                        .insert((from, to, seq));
+                    if !fresh {
+                        self.retransmissions.inc();
+                    }
+                }
+            }
+            Action::WireRecv { from, to, frame } => {
+                self.metrics
+                    .gauge(&format!("wire.{from}->{to}.in_flight"))
+                    .add(-1);
+                if let Frame::Data { seq, .. } = frame {
+                    let fresh = self
+                        .data_rcvd
+                        .lock()
+                        .expect("metrics poisoned")
+                        .insert((from, to, seq));
+                    if !fresh {
+                        self.dup_frames.inc();
+                    }
+                }
             }
             Action::Query { at } => {
                 self.pending_queries
@@ -513,6 +558,54 @@ mod tests {
         assert_eq!(h.count, 1);
         assert_eq!(h.max, 1);
         assert_eq!(snap.histograms["fd.query_latency_ns"].max, 100);
+    }
+
+    #[test]
+    fn observer_tracks_reliable_layer_work() {
+        let metrics = Arc::new(Metrics::new());
+        let obs = MetricsObserver::new(metrics.clone());
+        let data = Frame::Data {
+            seq: 0,
+            msg: Msg::Token(9),
+        };
+        let trace = [
+            Action::WireSend {
+                from: Loc(0),
+                to: Loc(1),
+                frame: data,
+            },
+            // Stubborn retransmission of the same sequence number.
+            Action::WireSend {
+                from: Loc(0),
+                to: Loc(1),
+                frame: data,
+            },
+            Action::WireRecv {
+                from: Loc(0),
+                to: Loc(1),
+                frame: data,
+            },
+            // The duplicate delivery the receiver must mask.
+            Action::WireRecv {
+                from: Loc(0),
+                to: Loc(1),
+                frame: data,
+            },
+            // Acks never count as retransmissions.
+            Action::WireSend {
+                from: Loc(1),
+                to: Loc(0),
+                frame: Frame::Ack { cum: 1 },
+            },
+        ];
+        for (k, a) in trace.into_iter().enumerate() {
+            dispatch(&obs, Stamped::logical(k as u64, a));
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["rel.retransmissions"], 1);
+        assert_eq!(snap.counters["rel.dup_frames"], 1);
+        assert_eq!(snap.gauges["wire.p0->p1.in_flight"], (0, 2));
+        assert_eq!(snap.gauges["wire.p1->p0.in_flight"], (1, 1));
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Runtime configuration: event budget, fault injection, link faults,
-//! pacing, and shutdown policy.
+//! Runtime configuration: event budget, fault injection, adversarial
+//! link faults (drop/duplicate/reorder/partition), pacing, watchdog,
+//! and shutdown policy — with typed construction-time validation.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use afd_core::{Action, Loc};
+use afd_core::{Action, Loc, LocSet, Pi};
 use afd_obs::Observer;
 use afd_system::FaultPattern;
 
@@ -25,15 +26,30 @@ pub enum CrashMode {
     Kill,
 }
 
-/// Delay profile of one channel: each delivery waits `delay` plus a
-/// uniform draw from `0..jitter` before committing. The channel stays
-/// reliable FIFO — head-of-line blocking preserves order.
+/// Fault profile of one channel.
+///
+/// Timing: each delivery waits `delay` plus a uniform draw from
+/// `0..jitter` before committing.
+///
+/// Adversarial faults, drawn deterministically per arrival from the
+/// run's seeded RNG (see [`crate::chaos`]):
+/// * `drop` — probability an arriving message is silently discarded;
+/// * `dup` — probability a delivered message is committed twice;
+/// * `reorder` — bound on the out-of-order window: an arrival may be
+///   held back past up to `reorder` later arrivals before delivery
+///   (`0` preserves FIFO).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinkProfile {
     /// Fixed delivery delay.
     pub delay: Duration,
     /// Upper bound of the uniform extra delay.
     pub jitter: Duration,
+    /// Per-arrival drop probability in `[0, 1]`.
+    pub drop: f64,
+    /// Per-delivery duplication probability in `[0, 1]`.
+    pub dup: f64,
+    /// Maximum number of later arrivals a held message can be passed by.
+    pub reorder: u32,
 }
 
 impl LinkProfile {
@@ -42,20 +58,62 @@ impl LinkProfile {
     pub fn delay(delay: Duration) -> Self {
         LinkProfile {
             delay,
-            jitter: Duration::ZERO,
+            ..LinkProfile::default()
         }
     }
 
     /// A profile with fixed `delay` plus uniform `jitter`.
     #[must_use]
     pub fn jittered(delay: Duration, jitter: Duration) -> Self {
-        LinkProfile { delay, jitter }
+        LinkProfile {
+            delay,
+            jitter,
+            ..LinkProfile::default()
+        }
+    }
+
+    /// A zero-latency profile that drops each arrival with probability
+    /// `drop`.
+    #[must_use]
+    pub fn lossy(drop: f64) -> Self {
+        LinkProfile {
+            drop,
+            ..LinkProfile::default()
+        }
+    }
+
+    /// Set the drop probability.
+    #[must_use]
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Set the duplication probability.
+    #[must_use]
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup = p;
+        self
+    }
+
+    /// Set the reorder window.
+    #[must_use]
+    pub fn with_reorder(mut self, window: u32) -> Self {
+        self.reorder = window;
+        self
     }
 
     /// True iff this profile never sleeps.
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.delay.is_zero() && self.jitter.is_zero()
+    }
+
+    /// True iff this profile injects adversarial faults (beyond mere
+    /// delay).
+    #[must_use]
+    pub fn is_chaotic(&self) -> bool {
+        self.drop > 0.0 || self.dup > 0.0 || self.reorder > 0
     }
 }
 
@@ -104,6 +162,62 @@ impl LinkFaults {
     pub fn is_zero(&self) -> bool {
         self.default.is_zero() && self.overrides.values().all(LinkProfile::is_zero)
     }
+
+    /// True iff some channel injects adversarial faults.
+    #[must_use]
+    pub fn is_chaotic(&self) -> bool {
+        self.default.is_chaotic() || self.overrides.values().any(LinkProfile::is_chaotic)
+    }
+
+    /// Every configured profile: the default (channel `None`) plus all
+    /// `(from, to)` overrides — the iteration surface for validation.
+    pub fn entries(&self) -> impl Iterator<Item = (Option<(Loc, Loc)>, LinkProfile)> + '_ {
+        std::iter::once((None, self.default))
+            .chain(self.overrides.iter().map(|(&ch, &p)| (Some(ch), p)))
+    }
+}
+
+/// A scripted network partition: between global event indices `start`
+/// (inclusive) and `end` (exclusive), every channel crossing the cut —
+/// one endpoint in `side`, the other outside it — holds its traffic.
+/// Held messages are *not* dropped: delivery resumes in FIFO order
+/// when the partition heals, so recovery is graceful. An eternal cut
+/// (`end == usize::MAX`) starves the affected channels forever, which
+/// the watchdog surfaces as a stall instead of a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// First global event index at which the cut is active.
+    pub start: usize,
+    /// First global event index at which the cut has healed
+    /// (exclusive; `usize::MAX` never heals).
+    pub end: usize,
+    /// One side of the cut; the other side is its complement.
+    pub side: LocSet,
+}
+
+impl Partition {
+    /// Cut `side` off from the rest during `[start, end)`.
+    #[must_use]
+    pub fn cut(start: usize, end: usize, side: LocSet) -> Self {
+        Partition { start, end, side }
+    }
+
+    /// A cut starting at `start` that never heals.
+    #[must_use]
+    pub fn eternal(start: usize, side: LocSet) -> Self {
+        Partition {
+            start,
+            end: usize::MAX,
+            side,
+        }
+    }
+
+    /// Is the channel `(from, to)` severed by this partition at global
+    /// event index `step`?
+    #[must_use]
+    pub fn cuts(&self, from: Loc, to: Loc, step: usize) -> bool {
+        step >= self.start && step < self.end && self.side.contains(from) != self.side.contains(to)
+    }
 }
 
 /// Early-stop predicate over the committed schedule prefix.
@@ -126,11 +240,26 @@ pub struct RuntimeConfig {
     pub fd_pacing: Duration,
     /// How often (in committed events) the stop predicate is evaluated.
     pub stop_check_interval: usize,
-    /// Declare the run quiescent after this long without a commit.
-    pub idle_shutdown: Duration,
+    /// Scripted network partitions (cuts that may heal).
+    pub partitions: Vec<Partition>,
+    /// Watchdog sampling period. The run is declared quiescent
+    /// ([`crate::StopReason::Idle`]) once the commit count is stable
+    /// across two consecutive ticks with every input queue drained and
+    /// every worker parked — sequence-number-based quiescence, not a
+    /// fixed sleep.
+    pub watchdog_tick: Duration,
+    /// Stall deadline: if the run is *not* quiescent but nothing
+    /// commits for this long, the watchdog stops it with
+    /// [`crate::StopReason::Watchdog`] and a diagnostic dump instead
+    /// of hanging.
+    pub watchdog_deadline: Duration,
+    /// Minimum spacing between wire-frame (`WireSend`) commits from
+    /// process workers. Stubborn retransmission is an infinite loop by
+    /// design; without pacing it floods the event budget.
+    pub wire_pacing: Duration,
     /// Wall-clock safety net.
     pub wall_timeout: Duration,
-    /// Seed for link-fault jitter.
+    /// Seed for link-fault jitter and the adversarial decision stream.
     pub seed: u64,
     /// Early-stop predicate, checked every `stop_check_interval` commits.
     pub stop_when: Option<StopPredicate>,
@@ -149,7 +278,10 @@ impl Default for RuntimeConfig {
             links: LinkFaults::none(),
             fd_pacing: Duration::from_micros(50),
             stop_check_interval: 16,
-            idle_shutdown: Duration::from_millis(25),
+            partitions: Vec::new(),
+            watchdog_tick: Duration::from_millis(10),
+            watchdog_deadline: Duration::from_secs(2),
+            wire_pacing: Duration::from_micros(50),
             wall_timeout: Duration::from_secs(10),
             seed: 0,
             stop_when: None,
@@ -167,7 +299,10 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("links", &self.links)
             .field("fd_pacing", &self.fd_pacing)
             .field("stop_check_interval", &self.stop_check_interval)
-            .field("idle_shutdown", &self.idle_shutdown)
+            .field("partitions", &self.partitions)
+            .field("watchdog_tick", &self.watchdog_tick)
+            .field("watchdog_deadline", &self.watchdog_deadline)
+            .field("wire_pacing", &self.wire_pacing)
             .field("wall_timeout", &self.wall_timeout)
             .field("seed", &self.seed)
             .field("stop_when", &self.stop_when.is_some())
@@ -212,10 +347,25 @@ impl RuntimeConfig {
         self
     }
 
-    /// Set the idle-shutdown window.
+    /// Add a scripted partition.
     #[must_use]
-    pub fn with_idle_shutdown(mut self, window: Duration) -> Self {
-        self.idle_shutdown = window;
+    pub fn with_partition(mut self, p: Partition) -> Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Set the watchdog sampling period and stall deadline.
+    #[must_use]
+    pub fn with_watchdog(mut self, tick: Duration, deadline: Duration) -> Self {
+        self.watchdog_tick = tick;
+        self.watchdog_deadline = deadline;
+        self
+    }
+
+    /// Set wire-frame pacing (zero disables pacing).
+    #[must_use]
+    pub fn with_wire_pacing(mut self, pacing: Duration) -> Self {
+        self.wire_pacing = pacing;
         self
     }
 
@@ -250,7 +400,187 @@ impl RuntimeConfig {
         self.observer = Some(obs);
         self
     }
+
+    /// Is the channel `(from, to)` severed by any scripted partition
+    /// at global event index `step`?
+    #[must_use]
+    pub fn is_cut(&self, from: Loc, to: Loc, step: usize) -> bool {
+        self.partitions.iter().any(|p| p.cuts(from, to, step))
+    }
+
+    /// Validate the configuration against the universe `pi`, returning
+    /// a typed error instead of letting a malformed config panic (or
+    /// silently misbehave) mid-run.
+    ///
+    /// # Errors
+    /// The first inconsistency found — see [`ConfigError`].
+    pub fn validate(&self, pi: Pi) -> Result<(), ConfigError> {
+        let n = pi.len();
+        let mut seen = LocSet::empty();
+        let mut prev_step = 0usize;
+        for &(step, loc) in &self.faults.crashes {
+            if usize::from(loc.0) >= n {
+                return Err(ConfigError::CrashLocOutOfBounds { loc, n });
+            }
+            if step < prev_step {
+                return Err(ConfigError::CrashStepsUnsorted { step, prev_step });
+            }
+            prev_step = step;
+            if seen.contains(loc) {
+                return Err(ConfigError::DuplicateCrash { loc });
+            }
+            seen.insert(loc);
+        }
+        for (channel, p) in self.links.entries() {
+            if let Some((from, to)) = channel {
+                if from == to {
+                    return Err(ConfigError::SelfLink { loc: from });
+                }
+                for l in [from, to] {
+                    if usize::from(l.0) >= n {
+                        return Err(ConfigError::LinkLocOutOfBounds {
+                            channel: (from, to),
+                            n,
+                        });
+                    }
+                }
+            }
+            for (field, value) in [("drop", p.drop), ("dup", p.dup)] {
+                if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                    return Err(ConfigError::InvalidProbability {
+                        channel,
+                        field,
+                        value,
+                    });
+                }
+            }
+        }
+        for (index, p) in self.partitions.iter().enumerate() {
+            if p.start >= p.end {
+                return Err(ConfigError::EmptyPartition {
+                    index,
+                    start: p.start,
+                    end: p.end,
+                });
+            }
+            if p.side.iter().any(|l| usize::from(l.0) >= n) {
+                return Err(ConfigError::PartitionLocOutOfBounds { index, n });
+            }
+        }
+        if self.watchdog_tick.is_zero() || self.watchdog_deadline.is_zero() {
+            return Err(ConfigError::ZeroWatchdog);
+        }
+        Ok(())
+    }
 }
+
+/// A malformed [`RuntimeConfig`], detected by
+/// [`RuntimeConfig::validate`] before any thread is spawned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A crash entry names a location outside Π.
+    CrashLocOutOfBounds {
+        /// The offending location.
+        loc: Loc,
+        /// Size of Π.
+        n: usize,
+    },
+    /// Crash steps are not in non-decreasing order.
+    CrashStepsUnsorted {
+        /// The out-of-order step.
+        step: usize,
+        /// The step preceding it in the pattern.
+        prev_step: usize,
+    },
+    /// The same location crashes twice.
+    DuplicateCrash {
+        /// The twice-crashed location.
+        loc: Loc,
+    },
+    /// A link override names a location outside Π.
+    LinkLocOutOfBounds {
+        /// The offending channel.
+        channel: (Loc, Loc),
+        /// Size of Π.
+        n: usize,
+    },
+    /// A link override targets a self-channel, which does not exist.
+    SelfLink {
+        /// The location paired with itself.
+        loc: Loc,
+    },
+    /// A drop/dup probability is outside `[0, 1]` (or NaN).
+    InvalidProbability {
+        /// The channel (`None` = the default profile).
+        channel: Option<(Loc, Loc)>,
+        /// Which probability field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A partition interval is empty (`start >= end`).
+    EmptyPartition {
+        /// Index into `partitions`.
+        index: usize,
+        /// Interval start.
+        start: usize,
+        /// Interval end.
+        end: usize,
+    },
+    /// A partition side names a location outside Π.
+    PartitionLocOutOfBounds {
+        /// Index into `partitions`.
+        index: usize,
+        /// Size of Π.
+        n: usize,
+    },
+    /// Watchdog tick or deadline is zero — the runtime could neither
+    /// detect quiescence nor stalls.
+    ZeroWatchdog,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::CrashLocOutOfBounds { loc, n } => {
+                write!(f, "crash entry names {loc} but |Π| = {n}")
+            }
+            ConfigError::CrashStepsUnsorted { step, prev_step } => {
+                write!(f, "crash steps unsorted: {step} after {prev_step}")
+            }
+            ConfigError::DuplicateCrash { loc } => {
+                write!(f, "{loc} crashes more than once")
+            }
+            ConfigError::LinkLocOutOfBounds { channel: (i, j), n } => {
+                write!(f, "link override ({i},{j}) outside Π (|Π| = {n})")
+            }
+            ConfigError::SelfLink { loc } => {
+                write!(f, "link override for self-channel at {loc}")
+            }
+            ConfigError::InvalidProbability {
+                channel,
+                field,
+                value,
+            } => match channel {
+                Some((i, j)) => {
+                    write!(f, "channel ({i},{j}) {field} probability {value} ∉ [0,1]")
+                }
+                None => write!(f, "default {field} probability {value} ∉ [0,1]"),
+            },
+            ConfigError::EmptyPartition { index, start, end } => {
+                write!(f, "partition #{index} interval [{start},{end}) is empty")
+            }
+            ConfigError::PartitionLocOutOfBounds { index, n } => {
+                write!(f, "partition #{index} side outside Π (|Π| = {n})")
+            }
+            ConfigError::ZeroWatchdog => {
+                write!(f, "watchdog tick/deadline must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -276,12 +606,124 @@ mod tests {
             .with_max_events(99)
             .with_crash_mode(CrashMode::Kill)
             .with_fd_pacing(Duration::ZERO)
+            .with_wire_pacing(Duration::from_micros(10))
+            .with_watchdog(Duration::from_millis(5), Duration::from_secs(1))
             .with_seed(7)
             .stop_when(|s| s.len() > 3);
         assert_eq!(cfg.max_events, 99);
         assert_eq!(cfg.crash_mode, CrashMode::Kill);
+        assert_eq!(cfg.wire_pacing, Duration::from_micros(10));
+        assert_eq!(cfg.watchdog_tick, Duration::from_millis(5));
         assert!(cfg.stop_when.is_some());
         let dbg = format!("{cfg:?}");
         assert!(dbg.contains("max_events: 99"));
+    }
+
+    #[test]
+    fn chaotic_profiles_detected() {
+        assert!(!LinkProfile::default().is_chaotic());
+        assert!(LinkProfile::lossy(0.3).is_chaotic());
+        assert!(LinkProfile::default().with_dup(0.1).is_chaotic());
+        assert!(LinkProfile::default().with_reorder(4).is_chaotic());
+        assert!(!LinkFaults::none().is_chaotic());
+        assert!(LinkFaults::uniform(LinkProfile::lossy(0.1)).is_chaotic());
+    }
+
+    #[test]
+    fn partitions_cut_crossing_channels_only() {
+        let p = Partition::cut(10, 20, LocSet::singleton(Loc(0)));
+        assert!(p.cuts(Loc(0), Loc(1), 10));
+        assert!(p.cuts(Loc(1), Loc(0), 19));
+        assert!(!p.cuts(Loc(1), Loc(2), 15), "same side");
+        assert!(!p.cuts(Loc(0), Loc(1), 9), "before the cut");
+        assert!(!p.cuts(Loc(0), Loc(1), 20), "healed");
+        let forever = Partition::eternal(5, LocSet::singleton(Loc(2)));
+        assert!(forever.cuts(Loc(2), Loc(0), usize::MAX - 1));
+        let cfg = RuntimeConfig::default().with_partition(p);
+        assert!(cfg.is_cut(Loc(0), Loc(1), 12));
+        assert!(!cfg.is_cut(Loc(0), Loc(1), 25));
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_configs() {
+        let pi = Pi::new(3);
+        assert_eq!(RuntimeConfig::default().validate(pi), Ok(()));
+        let cfg = RuntimeConfig::default()
+            .with_faults(FaultPattern::at(vec![(5, Loc(0)), (9, Loc(2))]))
+            .with_links(
+                LinkFaults::uniform(LinkProfile::lossy(0.3).with_dup(0.1).with_reorder(4))
+                    .with_override(Loc(0), Loc(1), LinkProfile::default()),
+            )
+            .with_partition(Partition::cut(10, 40, LocSet::singleton(Loc(1))));
+        assert_eq!(cfg.validate(pi), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_configs() {
+        let pi = Pi::new(3);
+        let oob = RuntimeConfig::default().with_faults(FaultPattern::at(vec![(5, Loc(7))]));
+        assert_eq!(
+            oob.validate(pi),
+            Err(ConfigError::CrashLocOutOfBounds { loc: Loc(7), n: 3 })
+        );
+        let dup =
+            RuntimeConfig::default().with_faults(FaultPattern::at(vec![(5, Loc(1)), (9, Loc(1))]));
+        assert_eq!(
+            dup.validate(pi),
+            Err(ConfigError::DuplicateCrash { loc: Loc(1) })
+        );
+        let unsorted = RuntimeConfig::default().with_faults(FaultPattern {
+            crashes: vec![(9, Loc(0)), (5, Loc(1))],
+        });
+        assert!(matches!(
+            unsorted.validate(pi),
+            Err(ConfigError::CrashStepsUnsorted { .. })
+        ));
+        let bad_p =
+            RuntimeConfig::default().with_links(LinkFaults::uniform(LinkProfile::lossy(1.5)));
+        assert!(matches!(
+            bad_p.validate(pi),
+            Err(ConfigError::InvalidProbability { field: "drop", .. })
+        ));
+        let self_link = RuntimeConfig::default().with_links(LinkFaults::none().with_override(
+            Loc(1),
+            Loc(1),
+            LinkProfile::default(),
+        ));
+        assert_eq!(
+            self_link.validate(pi),
+            Err(ConfigError::SelfLink { loc: Loc(1) })
+        );
+        let chan_oob = RuntimeConfig::default().with_links(LinkFaults::none().with_override(
+            Loc(0),
+            Loc(5),
+            LinkProfile::default(),
+        ));
+        assert!(matches!(
+            chan_oob.validate(pi),
+            Err(ConfigError::LinkLocOutOfBounds { .. })
+        ));
+        let empty_part =
+            RuntimeConfig::default().with_partition(Partition::cut(20, 10, LocSet::empty()));
+        assert!(matches!(
+            empty_part.validate(pi),
+            Err(ConfigError::EmptyPartition { .. })
+        ));
+        let part_oob = RuntimeConfig::default().with_partition(Partition::cut(
+            0,
+            10,
+            LocSet::singleton(Loc(9)),
+        ));
+        assert!(matches!(
+            part_oob.validate(pi),
+            Err(ConfigError::PartitionLocOutOfBounds { .. })
+        ));
+        let zero_wd =
+            RuntimeConfig::default().with_watchdog(Duration::ZERO, Duration::from_secs(1));
+        assert_eq!(zero_wd.validate(pi), Err(ConfigError::ZeroWatchdog));
+        // Errors render as messages and behave as std errors.
+        let e = oob.validate(pi).unwrap_err();
+        assert!(e.to_string().contains("|Π| = 3"));
+        let _: &dyn std::error::Error = &e;
     }
 }

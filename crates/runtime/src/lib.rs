@@ -22,20 +22,43 @@
 //!   event-count thresholds, with [`CrashMode::Halt`] (the paper's
 //!   model: the automaton survives, silenced) or [`CrashMode::Kill`]
 //!   (the worker thread exits, dropping its input queue);
-//! - a link-fault layer ([`LinkFaults`]) delays channel deliveries
-//!   with per-channel fixed delay plus seeded uniform jitter, while
-//!   head-of-line blocking keeps every channel reliable FIFO.
+//! - an adversarial link layer ([`LinkFaults`]) delays channel
+//!   deliveries (per-channel fixed delay plus seeded jitter) and, when
+//!   a profile is chaotic, drops, duplicates, and reorders them from a
+//!   deterministic per-channel decision stream ([`chaos::ChannelChaos`]
+//!   — a pure function of the run seed, exportable via
+//!   [`chaos_plan_jsonl`]);
+//! - scripted [`Partition`]s cut all channels crossing a location set
+//!   for a window of global steps, *holding* (not dropping) traffic so
+//!   healing resumes FIFO delivery.
+//!
+//! Robustness machinery:
+//! - shutdown is structural quiescence detection (commit count stable,
+//!   queues drained, workers parked) instead of a timing heuristic;
+//! - a watchdog stops stalled runs with [`StopReason::Watchdog`] and a
+//!   [`RunDiagnostic`] dump instead of hanging forever (e.g. under an
+//!   eternal partition);
+//! - worker panics are contained: a panicking process becomes a
+//!   `Crash` event at its location, any other worker panic stops the
+//!   run with [`StopReason::Panicked`] — either way with a diagnostic;
+//! - [`RuntimeConfig::validate`] rejects malformed fault scripts with
+//!   a typed [`ConfigError`] before any thread spawns
+//!   ([`try_run_threaded`]).
 //!
 //! The crate is deliberately std-only: threads, `mpsc`, atomics — no
 //! async runtime.
 
+pub mod chaos;
 pub mod config;
 pub mod harness;
 pub mod rng;
 pub mod runtime;
 pub mod sink;
 
-pub use config::{CrashMode, LinkFaults, LinkProfile, RuntimeConfig, StopPredicate};
+pub use chaos::{chaos_plan_jsonl, ChannelChaos, ChannelChaosStats, ChaosDecision, ChaosReport};
+pub use config::{
+    ConfigError, CrashMode, LinkFaults, LinkProfile, Partition, RuntimeConfig, StopPredicate,
+};
 pub use harness::{check_fd_trace, fd_projection, fifo_violation, FifoViolation};
-pub use runtime::{run_threaded, RuntimeOutcome};
+pub use runtime::{run_threaded, try_run_threaded, RunDiagnostic, RuntimeOutcome};
 pub use sink::{Commit, EventSink, StopReason};

@@ -1,6 +1,6 @@
 //! The threaded executor: one OS thread per component automaton,
 //! `std::sync::mpsc` channels as the transport between them, a crash
-//! injector, and a monitor enforcing idle/wall-clock shutdown.
+//! injector, an adversarial link layer, and a watchdog monitor.
 //!
 //! Every worker runs the same loop against its component's `Automaton`
 //! implementation: drain routed inputs (applying `step`), sweep local
@@ -9,18 +9,86 @@
 //! the action to every component that classifies it as an input. The
 //! commit-then-step-then-route order is what makes the sink's log a
 //! legal schedule (see the linearization convention in [`crate::sink`]).
+//!
+//! **Adversarial links.** Channel workers whose [`LinkProfile`] is
+//! chaotic (or while partitions are scripted) run a fault-injecting
+//! variant: each consumed arrival draws one [`ChannelChaos`] decision —
+//! drop (consume silently), duplicate (commit the delivery twice), or
+//! hold (release only after up to `reorder` later arrivals). Scripted
+//! [`crate::Partition`]s *hold* (never drop) all traffic crossing the
+//! cut, so healing resumes delivery in FIFO order per channel.
+//!
+//! **Shutdown.** Quiescence is detected structurally, not by a timing
+//! heuristic: the run is idle when the commit count is stable across
+//! two watchdog ticks, every live input queue is drained, and every
+//! live worker is parked. A run that is *not* quiescent but commits
+//! nothing within the watchdog deadline is stopped with
+//! [`StopReason::Watchdog`] and a [`RunDiagnostic`] instead of hanging.
+//!
+//! **Panic containment.** Worker bodies run under `catch_unwind`. A
+//! panicking process worker becomes a `Crash` event at its location
+//! (observable by observers, like any crash); a panicking
+//! channel/env/FD worker stops the run with [`StopReason::Panicked`].
+//! Either way the run terminates cleanly with a diagnostic.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
 
-use afd_core::Action;
+use afd_core::{Action, Loc};
 use afd_system::{Component, ComponentKind, RunStats, System};
 use ioa::{ActionClass, Automaton, TaskId};
 
-use crate::config::{CrashMode, LinkProfile, RuntimeConfig};
+use crate::chaos::{ChannelChaos, ChannelChaosStats, ChaosReport};
+use crate::config::{ConfigError, CrashMode, LinkProfile, RuntimeConfig};
 use crate::rng::SplitMix64;
 use crate::sink::{Commit, EventSink, StopReason};
+
+/// Diagnostic dump of a stalled or panicked run: what every component
+/// was doing when the watchdog fired.
+#[derive(Debug, Clone, Default)]
+pub struct RunDiagnostic {
+    /// Committed events at the time of the dump.
+    pub committed: usize,
+    /// Nanoseconds since the last commit.
+    pub stalled_ns: u64,
+    /// Components with undrained input queues: `(name, queued)`.
+    pub backlog: Vec<(String, usize)>,
+    /// Live workers that were not parked (had or expected work).
+    pub busy: Vec<String>,
+    /// Locations crashed by that point.
+    pub crashed: Vec<Loc>,
+    /// Panic messages captured from contained worker panics.
+    pub panics: Vec<String>,
+}
+
+impl std::fmt::Display for RunDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "run diagnostic: {} events committed, stalled {:.1} ms",
+            self.committed,
+            self.stalled_ns as f64 / 1e6
+        )?;
+        for (name, n) in &self.backlog {
+            writeln!(f, "  backlog {n:>4}  {name}")?;
+        }
+        for name in &self.busy {
+            writeln!(f, "  busy          {name}")?;
+        }
+        if !self.crashed.is_empty() {
+            writeln!(f, "  crashed: {:?}", self.crashed)?;
+        }
+        for p in &self.panics {
+            writeln!(f, "  panic: {p}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Result of a threaded run.
 #[derive(Debug)]
@@ -32,6 +100,11 @@ pub struct RuntimeOutcome {
     pub stop: StopReason,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// What the link adversary did, per channel.
+    pub chaos: ChaosReport,
+    /// Present when the run stalled ([`StopReason::Watchdog`]),
+    /// panicked, or contained a process panic.
+    pub diagnostic: Option<RunDiagnostic>,
 }
 
 impl RuntimeOutcome {
@@ -64,17 +137,99 @@ impl RuntimeOutcome {
     }
 }
 
+/// Shared per-component instrumentation: input-queue depths and parked
+/// flags (the quiescence signal), completion flags, chaos accounting,
+/// and contained-panic notes.
+struct Telemetry {
+    /// Routed-but-unapplied inputs per component.
+    backlog: Vec<AtomicUsize>,
+    /// Worker is blocked with nothing enabled (quiescence vote).
+    parked: Vec<AtomicBool>,
+    /// Worker thread has exited (its backlog no longer counts).
+    done: Vec<AtomicBool>,
+    /// Per-component adversarial accounting (channels only).
+    chaos: Vec<Mutex<ChannelChaosStats>>,
+    /// Contained panic messages.
+    panics: Mutex<Vec<String>>,
+    /// Live backlog/busy snapshot taken by the monitor at the moment
+    /// the watchdog fired (post-run the workers have all parked, so
+    /// this cannot be reconstructed later).
+    snapshot: Mutex<Option<RunDiagnostic>>,
+}
+
+impl Telemetry {
+    fn new(n: usize) -> Self {
+        Telemetry {
+            backlog: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            parked: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            chaos: (0..n)
+                .map(|_| Mutex::new(ChannelChaosStats::default()))
+                .collect(),
+            panics: Mutex::new(Vec::new()),
+            snapshot: Mutex::new(None),
+        }
+    }
+
+    fn park(&self, idx: usize) {
+        self.parked[idx].store(true, Ordering::SeqCst);
+    }
+
+    fn unpark(&self, idx: usize) {
+        self.parked[idx].store(false, Ordering::SeqCst);
+    }
+
+    fn finish(&self, idx: usize) {
+        self.parked[idx].store(true, Ordering::SeqCst);
+        self.done[idx].store(true, Ordering::SeqCst);
+    }
+
+    fn dec_backlog(&self, idx: usize) {
+        self.backlog[idx].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// All live workers parked, with every live input queue drained?
+    fn quiescent(&self) -> bool {
+        for i in 0..self.parked.len() {
+            if self.done[i].load(Ordering::SeqCst) {
+                continue;
+            }
+            if !self.parked[i].load(Ordering::SeqCst) || self.backlog[i].load(Ordering::SeqCst) != 0
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn note_panic(&self, msg: String) {
+        self.panics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(msg);
+    }
+}
+
 /// Route `a` to every component (except `from_idx`) that classifies it
-/// as an input. Send errors mean the receiver was killed — exactly the
-/// crash-stop semantics `CrashMode::Kill` asks for — so they are
-/// deliberately ignored.
-fn route<P>(comps: &[Component<P>], senders: &[Sender<Action>], from_idx: usize, a: Action)
-where
+/// as an input, keeping the backlog accounting exact. Send errors mean
+/// the receiver was killed — exactly the crash-stop semantics
+/// `CrashMode::Kill` asks for — so the increment is rolled back and
+/// the message dropped on the floor.
+fn route<P>(
+    comps: &[Component<P>],
+    senders: &[Sender<Action>],
+    tel: &Telemetry,
+    from_idx: usize,
+    a: Action,
+) where
     P: Automaton<Action = Action>,
 {
     for (idx, c) in comps.iter().enumerate() {
         if idx != from_idx && c.classify(&a) == Some(ActionClass::Input) {
-            let _ = senders[idx].send(a);
+            tel.backlog[idx].fetch_add(1, Ordering::SeqCst);
+            if senders[idx].send(a).is_err() {
+                tel.backlog[idx].fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 }
@@ -84,10 +239,11 @@ const IDLE_WAIT: Duration = Duration::from_micros(500);
 /// How long a worker backs off after a suppressed commit (waiting for
 /// its own crash event to arrive on the input queue).
 const SUPPRESSED_WAIT: Duration = Duration::from_micros(200);
+/// How long a channel worker sleeps while its traffic is cut by a
+/// partition.
+const CUT_WAIT: Duration = Duration::from_micros(500);
 /// Crash-injector polling period while waiting for a threshold.
 const INJECTOR_POLL: Duration = Duration::from_micros(100);
-/// Monitor polling period.
-const MONITOR_POLL: Duration = Duration::from_micros(500);
 
 #[allow(clippy::too_many_arguments)]
 fn worker<P>(
@@ -99,6 +255,7 @@ fn worker<P>(
     sink: &EventSink,
     cfg: &RuntimeConfig,
     profile: LinkProfile,
+    tel: &Telemetry,
 ) where
     P: Automaton<Action = Action>,
 {
@@ -120,6 +277,8 @@ fn worker<P>(
         // Drain routed inputs (inputs are always enabled; a `None`
         // step would be a signature bug, tolerated as a no-op).
         while let Ok(a) = rx.try_recv() {
+            tel.unpark(idx);
+            tel.dec_backlog(idx);
             if let Some(next) = comp.step(&state, &a) {
                 state = next;
             }
@@ -133,6 +292,7 @@ fn worker<P>(
             let Some(a) = comp.enabled(&state, TaskId(t)) else {
                 continue;
             };
+            tel.unpark(idx);
             // Pacing and link faults happen before the commit, so the
             // linearization point itself stays instantaneous.
             match kind {
@@ -142,6 +302,13 @@ fn worker<P>(
                         rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
                     thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
                 }
+                ComponentKind::Process(_)
+                    if matches!(a, Action::WireSend { .. }) && !cfg.wire_pacing.is_zero() =>
+                {
+                    // Throttle stubborn retransmission so it cannot
+                    // flood the event budget.
+                    thread::sleep(cfg.wire_pacing);
+                }
                 _ => {}
             }
             match sink.try_commit(a) {
@@ -149,13 +316,14 @@ fn worker<P>(
                     if let Some(next) = comp.step(&state, &a) {
                         state = next;
                     }
-                    route(comps, senders, idx, a);
+                    route(comps, senders, tel, idx, a);
                     progressed = true;
                 }
                 Commit::Suppressed => {
                     // Our location is dead but the Crash input hasn't
                     // reached us yet: absorb it instead of spinning.
                     if let Ok(a) = rx.recv_timeout(SUPPRESSED_WAIT) {
+                        tel.dec_backlog(idx);
                         if let Some(next) = comp.step(&state, &a) {
                             state = next;
                         }
@@ -165,8 +333,13 @@ fn worker<P>(
             }
         }
         if !progressed {
+            // Nothing enabled and nothing arrived: this worker votes
+            // for quiescence until an input wakes it.
+            tel.park(idx);
             match rx.recv_timeout(IDLE_WAIT) {
                 Ok(a) => {
+                    tel.unpark(idx);
+                    tel.dec_backlog(idx);
                     if let Some(next) = comp.step(&state, &a) {
                         state = next;
                     }
@@ -178,6 +351,151 @@ fn worker<P>(
                     if !comp.any_task_enabled(&state) {
                         return;
                     }
+                    tel.unpark(idx);
+                }
+            }
+        }
+    }
+}
+
+/// The adversarial channel worker: like [`worker`] for a channel-kind
+/// component, but every consumed arrival draws a chaos decision
+/// (drop/dup/hold) and scripted partitions gate delivery. Returns the
+/// realized per-channel accounting.
+#[allow(clippy::too_many_arguments)]
+fn chaos_channel_worker<P>(
+    comps: &[Component<P>],
+    senders: &[Sender<Action>],
+    idx: usize,
+    from: Loc,
+    to: Loc,
+    rx: &Receiver<Action>,
+    sink: &EventSink,
+    cfg: &RuntimeConfig,
+    profile: LinkProfile,
+    tel: &Telemetry,
+) -> ChannelChaosStats
+where
+    P: Automaton<Action = Action>,
+{
+    let comp = &comps[idx];
+    let mut state = comp.initial_state();
+    let mut chaos = ChannelChaos::new(cfg.seed, from, to, profile);
+    let mut jrng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let mut stats = ChannelChaosStats::default();
+    // Held-back arrivals: `(action, release_at, duplicate)` — released
+    // once the arrival clock passes `release_at`, in insertion order.
+    let mut held: VecDeque<(Action, u64, bool)> = VecDeque::new();
+    let mut arrivals: u64 = 0;
+    loop {
+        if sink.is_stopped() {
+            return stats;
+        }
+        while let Ok(a) = rx.try_recv() {
+            tel.unpark(idx);
+            tel.dec_backlog(idx);
+            if let Some(next) = comp.step(&state, &a) {
+                state = next;
+            }
+        }
+        let cut = cfg.is_cut(from, to, sink.len());
+        let mut progressed = false;
+        // Release matured holds (never across an active cut).
+        while let (false, Some(&(a, at, dup))) = (cut, held.front()) {
+            if at > arrivals {
+                break;
+            }
+            held.pop_front();
+            tel.unpark(idx);
+            // The automaton already stepped past this message when it
+            // was consumed; only the commit + routing remain.
+            match sink.try_commit(a) {
+                Commit::Accepted => {
+                    route(comps, senders, tel, idx, a);
+                    if dup && sink.try_commit(a) == Commit::Accepted {
+                        route(comps, senders, tel, idx, a);
+                        stats.duplicated += 1;
+                    }
+                    progressed = true;
+                }
+                Commit::Suppressed => {} // unreachable: deliveries are exempt
+                Commit::Stopped => return stats,
+            }
+        }
+        if let Some(a) = comp.enabled(&state, TaskId(0)) {
+            if cut {
+                // Partition: hold the head (no consume, no deliver) so
+                // healing resumes in FIFO order. The worker stays
+                // un-parked — a cut channel with pending traffic is
+                // not quiescent.
+                tel.unpark(idx);
+                thread::sleep(CUT_WAIT);
+                progressed = true;
+            } else {
+                tel.unpark(idx);
+                let d = chaos.next();
+                arrivals += 1;
+                stats.arrivals += 1;
+                if d.drop {
+                    // Consume without committing: the message vanishes.
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                    stats.dropped += 1;
+                    progressed = true;
+                } else if d.hold > 0 {
+                    // Consume into the reorder buffer.
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                    held.push_back((a, arrivals + u64::from(d.hold), d.dup));
+                    stats.held += 1;
+                    progressed = true;
+                } else {
+                    if !profile.is_zero() {
+                        let jitter_ns = jrng
+                            .below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
+                        thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
+                    }
+                    match sink.try_commit(a) {
+                        Commit::Accepted => {
+                            if let Some(next) = comp.step(&state, &a) {
+                                state = next;
+                            }
+                            route(comps, senders, tel, idx, a);
+                            if d.dup && sink.try_commit(a) == Commit::Accepted {
+                                route(comps, senders, tel, idx, a);
+                                stats.duplicated += 1;
+                            }
+                            progressed = true;
+                        }
+                        Commit::Suppressed => {} // unreachable: deliveries are exempt
+                        Commit::Stopped => return stats,
+                    }
+                }
+            }
+        } else if !held.is_empty() && !cut {
+            // The wire went quiet with messages still held: advance the
+            // virtual arrival clock so the reorder buffer drains.
+            arrivals += 1;
+            progressed = true;
+        }
+        if !progressed && held.is_empty() {
+            tel.park(idx);
+            match rx.recv_timeout(IDLE_WAIT) {
+                Ok(a) => {
+                    tel.unpark(idx);
+                    tel.dec_backlog(idx);
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    if !comp.any_task_enabled(&state) {
+                        return stats;
+                    }
+                    tel.unpark(idx);
                 }
             }
         }
@@ -194,6 +512,7 @@ fn injector<P>(
     crash_idx: usize,
     cfg: &RuntimeConfig,
     sink: &EventSink,
+    tel: &Telemetry,
 ) where
     P: Automaton<Action = Action>,
 {
@@ -206,9 +525,14 @@ fn injector<P>(
         }
         let (when, loc) = pending[0];
         if sink.len() < when {
+            // Waiting on a threshold is not pending work: if the rest
+            // of the system quiesces first, the remaining entries are
+            // unreachable and must not block the Idle verdict.
+            tel.park(crash_idx);
             thread::sleep(INJECTOR_POLL);
             continue;
         }
+        tel.unpark(crash_idx);
         pending.remove(0);
         let a = Action::Crash(loc);
         let Some(next) = comp.step(&state, &a) else {
@@ -217,7 +541,7 @@ fn injector<P>(
         match sink.try_commit(a) {
             Commit::Accepted => {
                 state = next;
-                route(comps, senders, crash_idx, a);
+                route(comps, senders, tel, crash_idx, a);
             }
             Commit::Suppressed => unreachable!("crash events are never suppressed"),
             Commit::Stopped => return,
@@ -225,50 +549,109 @@ fn injector<P>(
     }
 }
 
-/// The monitor: stops the run on quiescence (no commit for the idle
-/// window) or when the wall-clock safety net fires.
-fn monitor(sink: &EventSink, idle: Duration, wall: Duration) {
-    let idle_ns = u64::try_from(idle.as_nanos()).unwrap_or(u64::MAX);
+/// The watchdog monitor: declares quiescence (commit count stable
+/// across two ticks, all queues drained, all workers parked), stops
+/// stalls at the deadline with a diagnostic, and enforces the
+/// wall-clock safety net.
+fn monitor<P>(comps: &[Component<P>], sink: &EventSink, cfg: &RuntimeConfig, tel: &Telemetry)
+where
+    P: Automaton<Action = Action>,
+{
+    let deadline_ns = u64::try_from(cfg.watchdog_deadline.as_nanos()).unwrap_or(u64::MAX);
+    let mut prev_len = usize::MAX;
+    let mut stable_ticks = 0u32;
     while !sink.is_stopped() {
-        thread::sleep(MONITOR_POLL);
-        if sink.elapsed() >= wall {
+        thread::sleep(cfg.watchdog_tick);
+        if sink.elapsed() >= cfg.wall_timeout {
             sink.stop(StopReason::WallClock);
             return;
         }
-        if sink.ns_since_last_commit() >= idle_ns {
+        let len = sink.len();
+        if len == prev_len {
+            stable_ticks += 1;
+        } else {
+            stable_ticks = 0;
+            prev_len = len;
+        }
+        if stable_ticks >= 2 && tel.quiescent() {
             sink.stop(StopReason::Idle);
+            return;
+        }
+        let stalled_ns = sink.ns_since_last_commit();
+        if stalled_ns >= deadline_ns {
+            // Snapshot who was busy/backlogged NOW — once the stop
+            // propagates, every worker parks and the evidence is gone.
+            *tel.snapshot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                Some(live_snapshot(comps, tel, len, stalled_ns));
+            sink.stop(StopReason::Watchdog);
             return;
         }
     }
 }
 
-/// Execute `sys` on real OS threads under `cfg`.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Capture who is backlogged and who is busy right now. Crash and
+/// panic context is filled in by the caller once the schedule exists.
+fn live_snapshot<P>(
+    comps: &[Component<P>],
+    tel: &Telemetry,
+    committed: usize,
+    stalled_ns: u64,
+) -> RunDiagnostic
+where
+    P: Automaton<Action = Action>,
+{
+    let mut d = RunDiagnostic {
+        committed,
+        stalled_ns,
+        ..RunDiagnostic::default()
+    };
+    for (i, c) in comps.iter().enumerate() {
+        let queued = tel.backlog[i].load(Ordering::SeqCst);
+        let done = tel.done[i].load(Ordering::SeqCst);
+        if queued > 0 && !done {
+            d.backlog.push((c.name(), queued));
+        }
+        if !done && !tel.parked[i].load(Ordering::SeqCst) {
+            d.busy.push(c.name());
+        }
+    }
+    d
+}
+
+/// Execute `sys` on real OS threads under `cfg`, validating the
+/// configuration first.
 ///
 /// One worker thread per component (the crash automaton's place is
 /// taken by the injector), plus the monitor. Returns once every thread
 /// has joined; the returned schedule is the sink's linearized log.
-#[must_use]
-pub fn run_threaded<P>(sys: &System<P>, cfg: &RuntimeConfig) -> RuntimeOutcome
+///
+/// # Errors
+/// [`ConfigError`] if `cfg` is inconsistent with `sys.pi` — no thread
+/// is spawned in that case.
+pub fn try_run_threaded<P>(
+    sys: &System<P>,
+    cfg: &RuntimeConfig,
+) -> Result<RuntimeOutcome, ConfigError>
 where
     P: Automaton<Action = Action> + Sync,
     P::State: Send,
 {
+    cfg.validate(sys.pi)?;
     let comps = sys.composition.components();
     let kinds = sys.component_kinds();
-    // Keep the idle window above the longest configured link sleep, or
-    // delayed deliveries would read as quiescence.
-    let max_link_sleep = sys
-        .pi
-        .iter()
-        .flat_map(|i| sys.pi.iter().map(move |j| (i, j)))
-        .filter(|(i, j)| i != j)
-        .map(|(i, j)| {
-            let p = cfg.links.profile(i, j);
-            p.delay + p.jitter
-        })
-        .max()
-        .unwrap_or(Duration::ZERO);
-    let idle = cfg.idle_shutdown.max(4 * max_link_sleep);
+    let tel = Telemetry::new(comps.len());
 
     let sink = EventSink::with_observer(
         cfg.max_events,
@@ -292,32 +675,125 @@ where
             let rx = receivers[idx].take().expect("receiver taken once");
             let senders = senders.clone();
             let sink = &sink;
+            let tel = &tel;
             let profile = match kind {
                 ComponentKind::Channel(i, j) => cfg.links.profile(i, j),
                 _ => LinkProfile::default(),
             };
-            s.spawn(move || worker(comps, &senders, idx, kind, &rx, sink, cfg, profile));
+            let adversarial = matches!(kind, ComponentKind::Channel(_, _))
+                && (profile.is_chaotic() || !cfg.partitions.is_empty());
+            s.spawn(move || {
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    if let (true, ComponentKind::Channel(i, j)) = (adversarial, kind) {
+                        let stats = chaos_channel_worker(
+                            comps, &senders, idx, i, j, &rx, sink, cfg, profile, tel,
+                        );
+                        *tel.chaos[idx]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = stats;
+                    } else {
+                        worker(comps, &senders, idx, kind, &rx, sink, cfg, profile, tel);
+                    }
+                }));
+                tel.finish(idx);
+                if let Err(p) = res {
+                    let msg = panic_message(p);
+                    tel.note_panic(format!("{}: {}", comps[idx].name(), msg));
+                    match kind {
+                        ComponentKind::Process(l) => {
+                            // Contain the panic as a crash at this
+                            // location: the rest of the run proceeds
+                            // under ordinary crash semantics, and the
+                            // crash is observable like any other.
+                            if !sink.is_crashed(l)
+                                && sink.try_commit(Action::Crash(l)) == Commit::Accepted
+                            {
+                                route(comps, &senders, tel, idx, Action::Crash(l));
+                            }
+                        }
+                        _ => sink.stop(StopReason::Panicked),
+                    }
+                }
+            });
         }
         if let Some(crash_idx) = kinds.iter().position(|k| matches!(k, ComponentKind::Crash)) {
             let senders = senders.clone();
             let sink = &sink;
-            s.spawn(move || injector(comps, &senders, crash_idx, cfg, sink));
+            let tel = &tel;
+            s.spawn(move || {
+                injector(comps, &senders, crash_idx, cfg, sink, tel);
+                tel.finish(crash_idx);
+            });
         }
         {
             let sink = &sink;
-            s.spawn(move || monitor(sink, idle, cfg.wall_timeout));
+            let tel = &tel;
+            s.spawn(move || monitor(comps, sink, cfg, tel));
         }
     });
 
     let elapsed = sink.elapsed();
+    let stalled_ns = sink.ns_since_last_commit();
     let (schedule, stop) = sink.into_log();
     let stop = stop.unwrap_or(StopReason::Idle);
     if let Some(obs) = &cfg.observer {
         obs.on_stop(schedule.len() as u64, stop.name());
     }
-    RuntimeOutcome {
+    let mut chaos = ChaosReport::default();
+    for (idx, kind) in kinds.iter().enumerate() {
+        if let ComponentKind::Channel(i, j) = kind {
+            let stats = *tel.chaos[idx]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if stats != ChannelChaosStats::default() {
+                chaos.per_channel.insert((*i, *j), stats);
+            }
+        }
+    }
+    let panics = tel
+        .panics
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut diagnostic = tel
+        .snapshot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if diagnostic.is_none() && (stop == StopReason::Panicked || !panics.is_empty()) {
+        diagnostic = Some(live_snapshot(comps, &tel, schedule.len(), stalled_ns));
+    }
+    if let Some(d) = diagnostic.as_mut() {
+        d.crashed = schedule
+            .iter()
+            .filter_map(|a| match a {
+                Action::Crash(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        d.panics = panics;
+    }
+    Ok(RuntimeOutcome {
         schedule,
         stop,
         elapsed,
+        chaos,
+        diagnostic,
+    })
+}
+
+/// [`try_run_threaded`], panicking on a malformed configuration.
+///
+/// # Panics
+/// Panics with the [`ConfigError`] if `cfg` fails validation.
+#[must_use]
+pub fn run_threaded<P>(sys: &System<P>, cfg: &RuntimeConfig) -> RuntimeOutcome
+where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    match try_run_threaded(sys, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("invalid RuntimeConfig: {e}"),
     }
 }

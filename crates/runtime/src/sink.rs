@@ -36,8 +36,17 @@ pub enum StopReason {
     MaxEvents,
     /// The stop predicate held.
     Predicate,
-    /// Nothing committed for the idle-shutdown window (quiescence).
+    /// The run quiesced: commit count stable across two watchdog
+    /// ticks, all input queues drained, every worker parked.
     Idle,
+    /// The watchdog detected a stall: the run is *not* quiescent but
+    /// nothing committed within the deadline (e.g. an eternal
+    /// partition starving a channel). A diagnostic dump accompanies
+    /// this in `RuntimeOutcome::diagnostic`.
+    Watchdog,
+    /// A component worker panicked and the panic could not be
+    /// converted into a crash event (non-process component).
+    Panicked,
     /// The wall-clock safety net fired.
     WallClock,
 }
@@ -51,6 +60,8 @@ impl StopReason {
             StopReason::MaxEvents => "max_events",
             StopReason::Predicate => "predicate",
             StopReason::Idle => "idle",
+            StopReason::Watchdog => "watchdog",
+            StopReason::Panicked => "panicked",
             StopReason::WallClock => "wall_clock",
         }
     }
@@ -133,12 +144,20 @@ impl EventSink {
 
     /// Attempt to append `a` to the log.
     pub fn try_commit(&self, a: Action) -> Commit {
-        let mut g = self.inner.lock().expect("sink poisoned");
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if g.stop.is_some() {
             return Commit::Stopped;
         }
         let crashed = self.crashed.load(Ordering::Relaxed);
-        if !a.is_crash() && !matches!(a, Action::Receive { .. }) && crashed >> a.loc().0 & 1 == 1 {
+        // Deliveries (`Receive`/`WireRecv`) are exempt: channels may
+        // deliver to dead processes, which absorb inputs silently.
+        if !a.is_crash()
+            && !matches!(a, Action::Receive { .. } | Action::WireRecv { .. })
+            && crashed >> a.loc().0 & 1 == 1
+        {
             return Commit::Suppressed;
         }
         if let Action::Crash(l) = a {
@@ -166,7 +185,10 @@ impl EventSink {
 
     /// Stop the run with `reason` (first stop wins).
     pub fn stop(&self, reason: StopReason) {
-        let mut g = self.inner.lock().expect("sink poisoned");
+        let mut g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if g.stop.is_none() {
             g.stop = Some(reason);
         }
@@ -211,12 +233,14 @@ impl EventSink {
     }
 
     /// Consume the sink, returning the log and the stop reason.
-    ///
-    /// # Panics
-    /// Panics if workers still hold the sink (call after joining).
+    /// Tolerates a poisoned lock (a worker that panicked mid-commit):
+    /// the log up to the poisoning commit is still a legal schedule.
     #[must_use]
     pub fn into_log(self) -> (Vec<Action>, Option<StopReason>) {
-        let inner = self.inner.into_inner().expect("sink poisoned");
+        let inner = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         (inner.log, inner.stop)
     }
 }
@@ -355,6 +379,33 @@ mod tests {
         assert_eq!(StopReason::MaxEvents.name(), "max_events");
         assert_eq!(StopReason::Predicate.name(), "predicate");
         assert_eq!(StopReason::Idle.name(), "idle");
+        assert_eq!(StopReason::Watchdog.name(), "watchdog");
+        assert_eq!(StopReason::Panicked.name(), "panicked");
         assert_eq!(StopReason::WallClock.name(), "wall_clock");
+    }
+
+    #[test]
+    fn wire_deliveries_to_dead_locations_accepted() {
+        use afd_core::Frame;
+        let sink = EventSink::new(100, 16, None);
+        assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+        // Frames delivered TO the dead location: absorbed, not stuck.
+        assert_eq!(
+            sink.try_commit(Action::WireRecv {
+                from: Loc(1),
+                to: Loc(0),
+                frame: Frame::Ack { cum: 2 },
+            }),
+            Commit::Accepted
+        );
+        // But the dead location's own frames are suppressed.
+        assert_eq!(
+            sink.try_commit(Action::WireSend {
+                from: Loc(0),
+                to: Loc(1),
+                frame: Frame::Ack { cum: 0 },
+            }),
+            Commit::Suppressed
+        );
     }
 }

@@ -1,13 +1,34 @@
-//! Reliable FIFO channel automata (§4.3).
+//! Channel automata: the paper's reliable FIFO channels (§4.3) and the
+//! *wire* channels the adversarial runtime perturbs.
+//!
+//! # Channel semantics
 //!
 //! For every ordered pair `(i, j)` of distinct locations the system
-//! contains a channel `C_{i,j}` transporting messages from the process
-//! at `i` to the process at `j`. A send may occur at any time (input);
-//! when a message is at the head of the queue, the corresponding
-//! receive is enabled (output). The channel has one task and is
-//! deterministic.
+//! contains a channel transporting messages from the process at `i` to
+//! the process at `j`. A send may occur at any time (input); when a
+//! message is at the head of the queue, the corresponding receive is
+//! enabled (output). Each channel has one task and is deterministic.
+//!
+//! Two flavours exist, chosen per system by
+//! [`crate::SystemBuilder::with_wire_channels`]:
+//!
+//! * [`Channel`] — the paper's channel `C_{i,j}` over [`Msg`]. Its
+//!   automaton is reliable FIFO *by construction*; any drop,
+//!   duplication, or reordering a runtime injects is therefore a
+//!   deviation that the app-level FIFO checker flags.
+//! * [`WireChannel`] — the frame channel `W_{i,j}` over
+//!   [`afd_core::Frame`]. It has the same FIFO automaton shape, but it
+//!   is *meant* to be perturbed: the threaded runtime's adversarial
+//!   link layer may drop, duplicate, reorder, or partition its
+//!   deliveries, and the reliable-channel layer in `afd-algorithms`
+//!   (stubborn retransmission + sequence-number reassembly) restores
+//!   reliable-FIFO semantics for the application on top of it.
+//!
+//! The split keeps both engines honest: `Send`/`Receive` remain the
+//! application-level alphabet with the paper's reliability contract,
+//! while `WireSend`/`WireRecv` carry the degraded traffic underneath.
 
-use afd_core::{Action, Loc, Msg};
+use afd_core::{Action, Frame, Loc, Msg};
 use ioa::{ActionClass, Automaton, TaskId};
 
 /// The channel automaton `C_{from,to}`.
@@ -83,6 +104,93 @@ impl Automaton for Channel {
             }
             Action::Receive { from, to, msg } if *from == self.from && *to == self.to => {
                 if s.queue.first() == Some(msg) {
+                    let mut next = s.clone();
+                    next.queue.remove(0);
+                    Some(next)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The wire channel automaton `W_{from,to}`, transporting
+/// [`Frame`]s. Structurally identical to [`Channel`] but over the
+/// wire alphabet: `WireSend` is its input, `WireRecv` its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireChannel {
+    /// Sender location.
+    pub from: Loc,
+    /// Receiver location.
+    pub to: Loc,
+}
+
+/// Wire channel state: the queue of in-transit frames.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct WireChannelState {
+    /// Queue contents, head first.
+    pub queue: Vec<Frame>,
+}
+
+impl WireChannel {
+    /// The wire channel from `from` to `to`.
+    ///
+    /// # Panics
+    /// Panics if `from == to` (the model has no self-channels).
+    #[must_use]
+    pub fn new(from: Loc, to: Loc) -> Self {
+        assert_ne!(from, to, "no self-channels in the model");
+        WireChannel { from, to }
+    }
+}
+
+impl Automaton for WireChannel {
+    type Action = Action;
+    type State = WireChannelState;
+
+    fn name(&self) -> String {
+        format!("W[{}→{}]", self.from, self.to)
+    }
+
+    fn initial_state(&self) -> WireChannelState {
+        WireChannelState::default()
+    }
+
+    fn classify(&self, a: &Action) -> Option<ActionClass> {
+        match a {
+            Action::WireSend { from, to, .. } if *from == self.from && *to == self.to => {
+                Some(ActionClass::Input)
+            }
+            Action::WireRecv { from, to, .. } if *from == self.from && *to == self.to => {
+                Some(ActionClass::Output)
+            }
+            _ => None,
+        }
+    }
+
+    fn task_count(&self) -> usize {
+        1
+    }
+
+    fn enabled(&self, s: &WireChannelState, _t: TaskId) -> Option<Action> {
+        s.queue.first().map(|f| Action::WireRecv {
+            from: self.from,
+            to: self.to,
+            frame: *f,
+        })
+    }
+
+    fn step(&self, s: &WireChannelState, a: &Action) -> Option<WireChannelState> {
+        match a {
+            Action::WireSend { from, to, frame } if *from == self.from && *to == self.to => {
+                let mut next = s.clone();
+                next.queue.push(*frame);
+                Some(next)
+            }
+            Action::WireRecv { from, to, frame } if *from == self.from && *to == self.to => {
+                if s.queue.first() == Some(frame) {
                     let mut next = s.clone();
                     next.queue.remove(0);
                     Some(next)
@@ -182,5 +290,67 @@ mod tests {
         s = c.step(&s, &send(Msg::Token(5))).unwrap();
         s = c.step(&s, &recv(Msg::Token(5))).unwrap();
         assert_eq!(c.enabled(&s, TaskId(0)), Some(recv(Msg::Token(5))));
+    }
+
+    fn wsend(f: Frame) -> Action {
+        Action::WireSend {
+            from: Loc(0),
+            to: Loc(1),
+            frame: f,
+        }
+    }
+    fn wrecv(f: Frame) -> Action {
+        Action::WireRecv {
+            from: Loc(0),
+            to: Loc(1),
+            frame: f,
+        }
+    }
+
+    #[test]
+    fn wire_channel_is_fifo_over_frames() {
+        let w = WireChannel::new(Loc(0), Loc(1));
+        let d0 = Frame::Data {
+            seq: 0,
+            msg: Msg::Token(9),
+        };
+        let a1 = Frame::Ack { cum: 1 };
+        let mut s = w.initial_state();
+        s = w.step(&s, &wsend(d0)).unwrap();
+        s = w.step(&s, &wsend(a1)).unwrap();
+        assert_eq!(w.enabled(&s, TaskId(0)), Some(wrecv(d0)));
+        assert_eq!(w.step(&s, &wrecv(a1)), None, "head-of-line only");
+        s = w.step(&s, &wrecv(d0)).unwrap();
+        s = w.step(&s, &wrecv(a1)).unwrap();
+        assert_eq!(w.enabled(&s, TaskId(0)), None);
+    }
+
+    #[test]
+    fn wire_channel_signature_is_pair_scoped() {
+        let w = WireChannel::new(Loc(0), Loc(1));
+        let f = Frame::Ack { cum: 0 };
+        assert_eq!(w.classify(&wsend(f)), Some(ActionClass::Input));
+        assert_eq!(w.classify(&wrecv(f)), Some(ActionClass::Output));
+        // App-level traffic is none of the wire channel's business.
+        assert_eq!(w.classify(&send(Msg::Token(1))), None);
+        let reverse = Action::WireSend {
+            from: Loc(1),
+            to: Loc(0),
+            frame: f,
+        };
+        assert_eq!(w.classify(&reverse), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channels")]
+    fn wire_self_channel_rejected() {
+        let _ = WireChannel::new(Loc(2), Loc(2));
+    }
+
+    #[test]
+    fn wire_contract_checks() {
+        let w = WireChannel::new(Loc(0), Loc(1));
+        ioa::check_task_determinism(&w, 20, 1).unwrap();
+        ioa::check_input_enabled(&w, &[wsend(Frame::Ack { cum: 3 })], 20, 1).unwrap();
     }
 }

@@ -7,7 +7,7 @@ use afd_core::automata::{FdGen, FdGenState};
 use afd_core::{Action, Loc};
 use ioa::{ActionClass, Automaton, TaskId};
 
-use crate::channel::{Channel, ChannelState};
+use crate::channel::{Channel, ChannelState, WireChannel, WireChannelState};
 use crate::crash::{CrashAdversary, CrashState};
 use crate::environment::{Env, EnvState};
 
@@ -19,6 +19,8 @@ pub enum Component<P> {
     Process(P),
     /// A reliable FIFO channel (§4.3).
     Channel(Channel),
+    /// A wire channel carrying frames over an adversarial link.
+    Wire(WireChannel),
     /// The crash automaton (§4.4).
     Crash(CrashAdversary),
     /// The environment automaton (§4.5).
@@ -34,6 +36,8 @@ pub enum ComponentState<S> {
     Process(S),
     /// Channel state.
     Channel(ChannelState),
+    /// Wire channel state.
+    Wire(WireChannelState),
     /// Crash-automaton state.
     Crash(CrashState),
     /// Environment state.
@@ -57,6 +61,15 @@ impl<S> ComponentState<S> {
     pub fn as_channel(&self) -> Option<&ChannelState> {
         match self {
             ComponentState::Channel(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The wire channel state, if this is a wire component's state.
+    #[must_use]
+    pub fn as_wire(&self) -> Option<&WireChannelState> {
+        match self {
+            ComponentState::Wire(s) => Some(s),
             _ => None,
         }
     }
@@ -91,6 +104,7 @@ where
         match self {
             Component::Process(p) => p.name(),
             Component::Channel(c) => c.name(),
+            Component::Wire(w) => w.name(),
             Component::Crash(c) => c.name(),
             Component::Env(e) => e.name(),
             Component::Fd(f) => f.name(),
@@ -101,6 +115,7 @@ where
         match self {
             Component::Process(p) => ComponentState::Process(p.initial_state()),
             Component::Channel(c) => ComponentState::Channel(c.initial_state()),
+            Component::Wire(w) => ComponentState::Wire(w.initial_state()),
             Component::Crash(c) => ComponentState::Crash(c.initial_state()),
             Component::Env(e) => ComponentState::Env(e.initial_state()),
             Component::Fd(f) => ComponentState::Fd(f.initial_state()),
@@ -111,6 +126,7 @@ where
         match self {
             Component::Process(p) => p.classify(a),
             Component::Channel(c) => c.classify(a),
+            Component::Wire(w) => w.classify(a),
             Component::Crash(c) => c.classify(a),
             Component::Env(e) => e.classify(a),
             Component::Fd(f) => f.classify(a),
@@ -121,6 +137,7 @@ where
         match self {
             Component::Process(p) => p.task_count(),
             Component::Channel(c) => c.task_count(),
+            Component::Wire(w) => w.task_count(),
             Component::Crash(c) => c.task_count(),
             Component::Env(e) => e.task_count(),
             Component::Fd(f) => f.task_count(),
@@ -131,6 +148,7 @@ where
         match (self, s) {
             (Component::Process(p), ComponentState::Process(s)) => p.enabled(s, t),
             (Component::Channel(c), ComponentState::Channel(s)) => c.enabled(s, t),
+            (Component::Wire(w), ComponentState::Wire(s)) => w.enabled(s, t),
             (Component::Crash(c), ComponentState::Crash(s)) => c.enabled(s, t),
             (Component::Env(e), ComponentState::Env(s)) => e.enabled(s, t),
             (Component::Fd(f), ComponentState::Fd(s)) => f.enabled(s, t),
@@ -149,6 +167,7 @@ where
             (Component::Channel(c), ComponentState::Channel(s)) => {
                 c.step(s, a).map(ComponentState::Channel)
             }
+            (Component::Wire(w), ComponentState::Wire(s)) => w.step(s, a).map(ComponentState::Wire),
             (Component::Crash(c), ComponentState::Crash(s)) => {
                 c.step(s, a).map(ComponentState::Crash)
             }

@@ -70,7 +70,7 @@ pub mod sim;
 pub mod stats;
 pub mod system;
 
-pub use channel::{Channel, ChannelState};
+pub use channel::{Channel, ChannelState, WireChannel, WireChannelState};
 pub use component::{Component, ComponentKind, ComponentState, Label};
 pub use crash::{CrashAdversary, FaultPattern};
 pub use environment::{Env, EnvState};

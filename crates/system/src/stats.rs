@@ -2,9 +2,9 @@
 //! traffic, and decision latencies — shared by the experiment tables,
 //! the benches, and assertions in tests.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use afd_core::{Action, Loc, Pi};
+use afd_core::{Action, Frame, Loc, Pi};
 
 /// Aggregate statistics of a schedule.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -38,6 +38,18 @@ pub struct RunStats {
     /// prefixes of the schedule. Channels that never carried a message
     /// are absent; `max_in_flight` is the maximum of the values.
     pub per_channel_in_flight: BTreeMap<(Loc, Loc), usize>,
+    /// Wire-frame send events (`WireSend`, adversarial-link transport).
+    pub wire_sends: usize,
+    /// Wire-frame receive events (`WireRecv`).
+    pub wire_receives: usize,
+    /// `Data` frames sent more than once on a channel — the stubborn
+    /// retransmissions of the reliable layer (first transmission of
+    /// each `(from, to, seq)` is not counted).
+    pub retransmissions: usize,
+    /// `Data` frames *delivered* more than once on a channel — link
+    /// duplication plus retransmissions that beat their ack; the
+    /// receiver's dedup layer absorbs these.
+    pub dup_frames: usize,
 }
 
 impl RunStats {
@@ -46,6 +58,8 @@ impl RunStats {
     pub fn of(schedule: &[Action]) -> Self {
         let mut st = RunStats::default();
         let mut backlog: BTreeMap<(Loc, Loc), usize> = BTreeMap::new();
+        let mut data_sent: BTreeSet<(Loc, Loc, u32)> = BTreeSet::new();
+        let mut data_rcvd: BTreeSet<(Loc, Loc, u32)> = BTreeSet::new();
         for (k, a) in schedule.iter().enumerate() {
             st.events += 1;
             *st.per_loc.entry(a.loc()).or_insert(0) += 1;
@@ -82,6 +96,22 @@ impl RunStats {
                     if matches!(a, Action::Decide { .. } | Action::DecideK { .. }) {
                         st.first_decision_at.get_or_insert(k);
                         st.last_decision_at = Some(k);
+                    }
+                }
+                Action::WireSend { from, to, frame } => {
+                    st.wire_sends += 1;
+                    if let Frame::Data { seq, .. } = frame {
+                        if !data_sent.insert((*from, *to, *seq)) {
+                            st.retransmissions += 1;
+                        }
+                    }
+                }
+                Action::WireRecv { from, to, frame } => {
+                    st.wire_receives += 1;
+                    if let Frame::Data { seq, .. } = frame {
+                        if !data_rcvd.insert((*from, *to, *seq)) {
+                            st.dup_frames += 1;
+                        }
                     }
                 }
                 Action::Internal { .. } => {}
@@ -279,6 +309,59 @@ mod tests {
         assert_eq!(st.per_channel_in_flight[&(Loc(1), Loc(0))], 1);
         assert_eq!(st.busiest_channel(), Some(((Loc(0), Loc(1)), 2)));
         assert_eq!(RunStats::of(&[]).busiest_channel(), None);
+    }
+
+    #[test]
+    fn wire_counters_track_retransmissions_and_dups() {
+        let d = |seq| Frame::Data {
+            seq,
+            msg: Msg::Token(0),
+        };
+        let t = vec![
+            Action::WireSend {
+                from: Loc(0),
+                to: Loc(1),
+                frame: d(0),
+            },
+            Action::WireSend {
+                from: Loc(0),
+                to: Loc(1),
+                frame: d(0), // retransmission
+            },
+            Action::WireSend {
+                from: Loc(1),
+                to: Loc(0),
+                frame: d(0), // other channel: not a retransmission
+            },
+            Action::WireRecv {
+                from: Loc(0),
+                to: Loc(1),
+                frame: d(0),
+            },
+            Action::WireRecv {
+                from: Loc(0),
+                to: Loc(1),
+                frame: d(0), // duplicate delivery
+            },
+            Action::WireSend {
+                from: Loc(1),
+                to: Loc(0),
+                frame: Frame::Ack { cum: 1 }, // acks never count
+            },
+            Action::WireSend {
+                from: Loc(1),
+                to: Loc(0),
+                frame: Frame::Ack { cum: 1 },
+            },
+        ];
+        let st = RunStats::of(&t);
+        assert_eq!(st.wire_sends, 5);
+        assert_eq!(st.wire_receives, 2);
+        assert_eq!(st.retransmissions, 1);
+        assert_eq!(st.dup_frames, 1);
+        // Wire traffic is not app-level traffic.
+        assert_eq!(st.sends, 0);
+        assert_eq!(st.receives, 0);
     }
 
     #[test]

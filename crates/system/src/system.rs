@@ -38,6 +38,7 @@ where
     fd: Option<FdGen>,
     crash_script: Vec<Loc>,
     label: String,
+    wire_channels: bool,
 }
 
 impl<P> SystemBuilder<P>
@@ -63,7 +64,18 @@ where
             fd: None,
             crash_script: Vec::new(),
             label: "system".into(),
+            wire_channels: false,
         }
+    }
+
+    /// Use [`crate::channel::WireChannel`]s (frame transport for the
+    /// reliable-channel layer) instead of the paper's app-level
+    /// [`crate::channel::Channel`]s. The wiring order and `Label::Chan`
+    /// labels are unchanged; only the channel alphabet differs.
+    #[must_use]
+    pub fn with_wire_channels(mut self) -> Self {
+        self.wire_channels = true;
+        self
     }
 
     /// Attach an environment automaton (§4.5).
@@ -112,7 +124,11 @@ where
         for i in pi.iter() {
             for j in pi.iter() {
                 if i != j {
-                    components.push(Component::Channel(crate::channel::Channel::new(i, j)));
+                    components.push(if self.wire_channels {
+                        Component::Wire(crate::channel::WireChannel::new(i, j))
+                    } else {
+                        Component::Channel(crate::channel::Channel::new(i, j))
+                    });
                     labels.push(Label::Chan(i, j));
                 }
             }
@@ -208,6 +224,7 @@ where
                     ComponentKind::Process(i)
                 }
                 Component::Channel(ch) => ComponentKind::Channel(ch.from, ch.to),
+                Component::Wire(w) => ComponentKind::Channel(w.from, w.to),
                 Component::Crash(_) => ComponentKind::Crash,
                 Component::Env(_) => ComponentKind::Env,
                 Component::Fd(_) => ComponentKind::Fd,
@@ -348,6 +365,34 @@ mod tests {
                 ComponentKind::Fd,
             ]
         );
+    }
+
+    #[test]
+    fn wire_mode_swaps_channel_alphabet_only() {
+        use crate::component::ComponentKind;
+        let pi = Pi::new(2);
+        let procs = pi
+            .iter()
+            .map(|i| ProcessAutomaton::new(i, Ring { n: 2 }))
+            .collect::<Vec<_>>();
+        let sys = SystemBuilder::new(pi, procs).with_wire_channels().build();
+        // Same labels and kinds as app-channel mode.
+        assert_eq!(sys.label(TaskId(2)), Label::Chan(Loc(0), Loc(1)));
+        assert_eq!(sys.label(TaskId(3)), Label::Chan(Loc(1), Loc(0)));
+        assert!(sys
+            .component_kinds()
+            .contains(&ComponentKind::Channel(Loc(1), Loc(0))));
+        // But the channels are wire channels over frames.
+        assert!(sys
+            .composition
+            .components()
+            .iter()
+            .any(|c| matches!(c, Component::Wire(_))));
+        assert!(!sys
+            .composition
+            .components()
+            .iter()
+            .any(|c| matches!(c, Component::Channel(_))));
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Chaos validation of the adversarial link layer + reliable channels:
+//! the FD conformance checkers, Theorem 13, and the consensus problem
+//! specs must all hold on schedules produced under 30% message loss,
+//! duplication, bounded reordering, and transient partitions — exactly
+//! the checkers the lossless threaded and simulated runs satisfy.
+//! Robustness machinery rides the same suite: watchdog termination
+//! under an eternal partition, panic containment for process and
+//! non-process workers, typed config rejection, structural quiescence,
+//! and the deterministic chaos-plan export.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use afd_algorithms::{
+    all_live_decided, check_consensus_run, check_self_implementation, reliable_paxos_system,
+    reliable_self_impl_system,
+};
+use afd_core::afds::{EvPerfect, Omega, Perfect};
+use afd_core::automata::FdGen;
+use afd_core::{Action, AfdSpec, Loc, LocSet, Msg, Pi};
+use afd_runtime::{
+    chaos_plan_jsonl, check_fd_trace, fifo_violation, run_threaded, try_run_threaded, ConfigError,
+    LinkFaults, LinkProfile, Partition, RuntimeConfig, StopReason,
+};
+use afd_system::{Env, FaultPattern, LocalBehavior, ProcessAutomaton, SystemBuilder};
+
+/// The headline adversary of the acceptance grid: 30% loss, 10%
+/// duplication, reorder window 4, on every channel.
+fn chaos_links() -> LinkFaults {
+    LinkFaults::uniform(LinkProfile::lossy(0.30).with_dup(0.10).with_reorder(4))
+}
+
+fn chaos_cfg(seed: u64) -> RuntimeConfig {
+    RuntimeConfig::default()
+        .with_links(chaos_links())
+        .with_seed(seed)
+        // Frames retransmit stubbornly; keep the pacing short so the
+        // suite stays fast.
+        .with_wire_pacing(Duration::from_micros(20))
+}
+
+// ---------------------------------------------------------------------
+// A tiny FD-less application for the quiescence / watchdog tests: p0
+// pumps `count` tokens to p1; everyone else only listens.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Pump {
+    count: u64,
+    /// Panic after this many sends (panic-containment tests).
+    fuse: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+struct PumpState {
+    sent: u64,
+}
+
+impl LocalBehavior for Pump {
+    type State = PumpState;
+    fn proto_name(&self) -> String {
+        "pump".into()
+    }
+    fn init(&self, _i: Loc) -> PumpState {
+        PumpState::default()
+    }
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+    }
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+    }
+    fn on_input(&self, _i: Loc, _s: &mut PumpState, _a: &Action) {}
+    fn output(&self, i: Loc, s: &PumpState) -> Option<Action> {
+        if i != Loc(0) {
+            return None;
+        }
+        if let Some(fuse) = self.fuse {
+            assert!(s.sent < fuse, "pump fuse burned at p{i}");
+        }
+        (s.sent < self.count).then_some(Action::Send {
+            from: i,
+            to: Loc(1),
+            msg: Msg::Token(s.sent),
+        })
+    }
+    fn on_output(&self, _i: Loc, s: &mut PumpState, _a: &Action) {
+        s.sent += 1;
+    }
+}
+
+fn pump_system(pi: Pi, pump: Pump) -> afd_system::System<ProcessAutomaton<Pump>> {
+    let procs = pi.iter().map(|i| ProcessAutomaton::new(i, pump)).collect();
+    SystemBuilder::new(pi, procs)
+        .with_env(Env::None)
+        .with_label("pump")
+        .build()
+}
+
+// ---------------------------------------------------------------------
+// Conformance under chaos
+// ---------------------------------------------------------------------
+
+/// FD generators behind the reliable layer stay inside their `T_D`
+/// under 30% loss + dup + reorder: the adversary mangles frames, the
+/// layer's app-level trace stays checkable and correct.
+#[test]
+fn reliable_fd_conformance_survives_chaos() {
+    let pi = Pi::new(3);
+    let gens: [(&dyn AfdSpec, FdGen); 3] = [
+        (&Omega, FdGen::omega(pi)),
+        (&Perfect, FdGen::perfect(pi)),
+        (
+            &EvPerfect,
+            FdGen::ev_perfect_noisy(pi, LocSet::singleton(Loc(1)), 3),
+        ),
+    ];
+    let patterns = [FaultPattern::none(), FaultPattern::at(vec![(40, Loc(2))])];
+    for (spec, gen) in &gens {
+        for pattern in &patterns {
+            for seed in 0..3 {
+                let sys = reliable_self_impl_system(pi, gen.clone(), pattern.faulty());
+                let cfg = chaos_cfg(seed)
+                    .with_max_events(1_500)
+                    .with_faults(pattern.clone());
+                let out = run_threaded(&sys, &cfg);
+                assert_eq!(out.stop, StopReason::MaxEvents, "FD systems never quiesce");
+                assert_eq!(
+                    fifo_violation(&out.schedule),
+                    None,
+                    "seed {seed}: reliable layer broke app-level FIFO"
+                );
+                check_fd_trace(*spec, pi, &out.schedule)
+                    .unwrap_or_else(|e| panic!("seed {seed}: left T_D under chaos: {e}"));
+            }
+        }
+    }
+}
+
+/// Theorem 13 (self-implementation) holds on chaotic schedules.
+#[test]
+fn reliable_self_implementation_survives_chaos() {
+    let pi = Pi::new(3);
+    for seed in 0..4 {
+        let sys = reliable_self_impl_system(pi, FdGen::omega(pi), vec![]);
+        let cfg = chaos_cfg(seed).with_max_events(1_500);
+        let out = run_threaded(&sys, &cfg);
+        let verdict = check_self_implementation(&Omega, pi, &out.schedule)
+            .expect("A_self broke T_D′ under chaos");
+        assert!(verdict, "antecedent (D-trace ∈ T_D) unexpectedly failed");
+    }
+}
+
+fn chaotic_consensus(
+    pi: Pi,
+    inputs: &[afd_core::Val],
+    f: usize,
+    pattern: &FaultPattern,
+    seed: u64,
+) {
+    let sys = reliable_paxos_system(pi, inputs, pattern.faulty());
+    let cfg = chaos_cfg(seed)
+        .with_max_events(60_000)
+        .with_faults(pattern.clone())
+        .stop_when(move |s| all_live_decided(pi, s));
+    let out = run_threaded(&sys, &cfg);
+    assert_eq!(
+        fifo_violation(&out.schedule),
+        None,
+        "seed {seed}: app-level FIFO broken"
+    );
+    assert_eq!(
+        out.stop,
+        StopReason::Predicate,
+        "seed {seed}: no termination within budget ({} events, chaos: {}, diagnostic: {:?})",
+        out.events(),
+        out.chaos,
+        out.diagnostic
+    );
+    let decided = check_consensus_run(pi, f, &out.schedule)
+        .unwrap_or_else(|v| panic!("seed {seed}: consensus violated under chaos: {v:?}"));
+    assert!(decided.is_some(), "seed {seed}: nobody decided");
+    assert!(
+        out.chaos.dropped() > 0,
+        "seed {seed}: the adversary was supposed to drop something"
+    );
+}
+
+/// Paxos over Ω behind the reliable layer still reaches agreement at
+/// 30% loss + dup + reorder window 4, n = 3, with and without a
+/// leader crash.
+#[test]
+fn reliable_paxos_n3_agrees_under_chaos() {
+    let pi = Pi::new(3);
+    let patterns = [FaultPattern::none(), FaultPattern::at(vec![(5, Loc(0))])];
+    for pattern in &patterns {
+        for seed in 0..3 {
+            chaotic_consensus(pi, &[0, 1, 1], 1, pattern, seed);
+        }
+    }
+}
+
+/// Same at n = 5 with two crashes.
+#[test]
+fn reliable_paxos_n5_agrees_under_chaos() {
+    let pi = Pi::new(5);
+    let pattern = FaultPattern::at(vec![(5, Loc(1)), (12, Loc(4))]);
+    for seed in 0..2 {
+        chaotic_consensus(pi, &[0, 1, 0, 1, 1], 2, &pattern, seed);
+    }
+}
+
+/// A partition that heals is survivable: traffic crossing the cut is
+/// held (never dropped), so after healing the reliable layer resumes
+/// and consensus completes.
+#[test]
+fn healing_partition_recovers_gracefully() {
+    let pi = Pi::new(3);
+    for seed in 0..3 {
+        let sys = reliable_paxos_system(pi, &[0, 1, 1], vec![]);
+        let cfg = chaos_cfg(seed)
+            .with_max_events(60_000)
+            // Isolate p0 between global steps 50 and 400, then heal.
+            .with_partition(Partition::cut(50, 400, LocSet::singleton(Loc(0))))
+            .stop_when(move |s| all_live_decided(pi, s));
+        let out = run_threaded(&sys, &cfg);
+        assert_eq!(fifo_violation(&out.schedule), None, "seed {seed}");
+        let decided = check_consensus_run(pi, 1, &out.schedule)
+            .unwrap_or_else(|v| panic!("seed {seed}: consensus violated after heal: {v:?}"));
+        assert_eq!(out.stop, StopReason::Predicate, "seed {seed}: no recovery");
+        assert!(decided.is_some());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog, quiescence, panic containment, config validation
+// ---------------------------------------------------------------------
+
+/// An eternally partitioned run cannot progress and cannot quiesce
+/// (the cut channel still owes deliveries): the watchdog must end it
+/// with a diagnostic instead of letting it hang.
+#[test]
+fn eternal_partition_trips_the_watchdog() {
+    let pi = Pi::new(2);
+    let sys = pump_system(
+        pi,
+        Pump {
+            count: 5,
+            fuse: None,
+        },
+    );
+    let cfg = RuntimeConfig::default()
+        .with_partition(Partition::eternal(0, LocSet::singleton(Loc(0))))
+        .with_watchdog(Duration::from_millis(2), Duration::from_millis(60))
+        .with_seed(7);
+    let out = run_threaded(&sys, &cfg);
+    assert_eq!(out.stop, StopReason::Watchdog, "cut run must not hang");
+    // The sends committed; the deliveries never did.
+    let st = out.stats();
+    assert_eq!(st.sends, 5);
+    assert_eq!(st.receives, 0);
+    let d = out.diagnostic.expect("watchdog dumps a diagnostic");
+    assert_eq!(d.committed, out.schedule.len());
+    assert!(
+        !d.busy.is_empty(),
+        "the cut channel is busy, not parked: {d}"
+    );
+}
+
+/// Without faults the same system delivers everything exactly once, in
+/// order, and stops by structural quiescence — no idle-window tuning.
+#[test]
+fn quiescent_run_stops_idle_with_exact_delivery() {
+    let pi = Pi::new(2);
+    let sys = pump_system(
+        pi,
+        Pump {
+            count: 5,
+            fuse: None,
+        },
+    );
+    let out = run_threaded(&sys, &RuntimeConfig::default().with_seed(3));
+    assert_eq!(out.stop, StopReason::Idle);
+    let got: Vec<Msg> = out
+        .schedule
+        .iter()
+        .filter_map(|a| match a {
+            Action::Receive {
+                to: Loc(1), msg, ..
+            } => Some(*msg),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(got, (0..5).map(Msg::Token).collect::<Vec<_>>());
+    assert!(out.diagnostic.is_none());
+}
+
+/// A panicking process worker is contained as a crash at its location:
+/// the run keeps going under ordinary crash semantics and terminates
+/// cleanly, with the panic recorded in the diagnostic.
+#[test]
+fn process_panic_is_contained_as_a_crash() {
+    let pi = Pi::new(2);
+    let sys = pump_system(
+        pi,
+        Pump {
+            count: 10,
+            fuse: Some(3),
+        },
+    );
+    let out = run_threaded(&sys, &RuntimeConfig::default().with_seed(1));
+    assert_ne!(
+        out.stop,
+        StopReason::Watchdog,
+        "contained panic must not stall"
+    );
+    assert_ne!(
+        out.stop,
+        StopReason::Panicked,
+        "process panics are contained"
+    );
+    assert!(
+        out.schedule.contains(&Action::Crash(Loc(0))),
+        "panic at p0 must surface as crash_0 in the schedule"
+    );
+    let d = out.diagnostic.expect("contained panics are reported");
+    assert!(d.panics.iter().any(|p| p.contains("fuse burned")), "{d}");
+    assert_eq!(d.crashed, vec![Loc(0)]);
+}
+
+/// A panic outside a process worker (here: an observer exploding under
+/// a channel worker's commit) stops the whole run with `Panicked` and
+/// a diagnostic — never a hang, never a silent corruption.
+#[test]
+fn non_process_panic_stops_the_run() {
+    #[derive(Debug)]
+    struct ExplodeOnDelivery;
+    impl afd_obs::Observer for ExplodeOnDelivery {
+        fn on_commit(&self, ev: afd_core::Stamped) {
+            assert!(
+                !matches!(ev.action, Action::Receive { .. }),
+                "observer exploded on delivery"
+            );
+        }
+    }
+    let pi = Pi::new(2);
+    let sys = pump_system(
+        pi,
+        Pump {
+            count: 5,
+            fuse: None,
+        },
+    );
+    let cfg = RuntimeConfig::default()
+        .with_observer(Arc::new(ExplodeOnDelivery))
+        .with_watchdog(Duration::from_millis(2), Duration::from_millis(200))
+        .with_seed(2);
+    let out = run_threaded(&sys, &cfg);
+    assert_eq!(out.stop, StopReason::Panicked);
+    let d = out.diagnostic.expect("panicked runs carry a diagnostic");
+    assert!(d.panics.iter().any(|p| p.contains("exploded")), "{d}");
+}
+
+/// Malformed fault scripts are rejected with a typed error before any
+/// thread spawns.
+#[test]
+fn malformed_configs_are_rejected_typed() {
+    let pi = Pi::new(2);
+    let sys = pump_system(
+        pi,
+        Pump {
+            count: 1,
+            fuse: None,
+        },
+    );
+    let bad_drop =
+        RuntimeConfig::default().with_links(LinkFaults::uniform(LinkProfile::lossy(1.5)));
+    assert!(matches!(
+        try_run_threaded(&sys, &bad_drop),
+        Err(ConfigError::InvalidProbability { .. })
+    ));
+    let bad_crash = RuntimeConfig::default().with_faults(FaultPattern::at(vec![(5, Loc(9))]));
+    assert!(matches!(
+        try_run_threaded(&sys, &bad_crash),
+        Err(ConfigError::CrashLocOutOfBounds { loc: Loc(9), n: 2 })
+    ));
+    let bad_partition =
+        RuntimeConfig::default().with_partition(Partition::cut(10, 10, LocSet::singleton(Loc(0))));
+    assert!(matches!(
+        try_run_threaded(&sys, &bad_partition),
+        Err(ConfigError::EmptyPartition { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Determinism and accounting
+// ---------------------------------------------------------------------
+
+/// The adversarial plan is a pure function of the seed: same-seed
+/// exports are byte-identical, and the realized run obeys the plan's
+/// configured rates.
+#[test]
+fn chaos_plan_and_report_are_consistent() {
+    let pi = Pi::new(3);
+    let cfg = chaos_cfg(42).with_max_events(2_000);
+    assert_eq!(
+        chaos_plan_jsonl(&cfg, pi, 200),
+        chaos_plan_jsonl(&cfg, pi, 200),
+        "same-seed chaos plans must be byte-identical"
+    );
+    assert_ne!(
+        chaos_plan_jsonl(&cfg, pi, 200),
+        chaos_plan_jsonl(&cfg.clone().with_seed(43), pi, 200)
+    );
+
+    // A crashed acceptor keeps its peers' send queues unacked, so the
+    // stubborn layer generates wire traffic for the whole budget.
+    let pattern = FaultPattern::at(vec![(5, Loc(0))]);
+    let sys = reliable_paxos_system(pi, &[0, 1, 1], pattern.faulty());
+    let out = run_threaded(&sys, &cfg.with_faults(pattern));
+    let report = &out.chaos;
+    assert!(report.arrivals() > 100, "chaos saw traffic: {report}");
+    assert!(report.dropped() > 0, "{report}");
+    assert!(report.held() > 0, "{report}");
+    let rate = report.drop_rate();
+    assert!(
+        (0.15..=0.45).contains(&rate),
+        "realized drop rate {rate} far from configured 0.30 ({report})"
+    );
+    // The schedule itself shows the layer working against the loss.
+    let st = out.stats();
+    assert!(st.retransmissions > 0, "stubborn senders retransmit: {st}");
+    assert!(st.wire_receives > 0, "{st}");
+}
+
+/// CI chaos soak (cron): heavier loss, more seeds. Run with
+/// `cargo test --release -- --ignored chaos_soak`.
+#[test]
+#[ignore = "chaos soak: heavy, exercised by the scheduled CI job"]
+fn chaos_soak_paxos_under_heavy_loss() {
+    let pi = Pi::new(3);
+    let links = LinkFaults::uniform(LinkProfile::lossy(0.50).with_dup(0.25).with_reorder(6));
+    let patterns = [FaultPattern::none(), FaultPattern::at(vec![(5, Loc(0))])];
+    for pattern in &patterns {
+        for seed in 0..10 {
+            let sys = reliable_paxos_system(pi, &[0, 1, 1], pattern.faulty());
+            let cfg = RuntimeConfig::default()
+                .with_links(links.clone())
+                .with_seed(seed)
+                .with_wire_pacing(Duration::from_micros(20))
+                .with_max_events(200_000)
+                .with_wall_timeout(Duration::from_secs(60))
+                .with_faults(pattern.clone())
+                .stop_when(move |s| all_live_decided(pi, s));
+            let out = run_threaded(&sys, &cfg);
+            assert_eq!(fifo_violation(&out.schedule), None, "seed {seed}");
+            check_consensus_run(pi, 1, &out.schedule)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+            assert_eq!(
+                out.stop,
+                StopReason::Predicate,
+                "seed {seed}: no termination at 50% loss (chaos: {})",
+                out.chaos
+            );
+        }
+    }
+}

@@ -69,17 +69,15 @@ fn conformance_grid(
         for links in link_grid() {
             for seed in seeds.clone() {
                 let sys = self_impl_system(pi, gen.clone(), pattern.faulty());
-                // A wide idle window: the suite runs many threaded
-                // tests in parallel, and a scheduler stall past the
-                // default 25 ms would misread as quiescence — these
-                // FD systems never quiesce, so only starvation can
-                // trip the idle stop.
+                // Quiescence is structural (queues drained + workers
+                // parked), so no idle-window tuning is needed: these
+                // FD systems never park their FD worker, and only
+                // MaxEvents can end the run.
                 let cfg = RuntimeConfig::default()
                     .with_max_events(600)
                     .with_faults(pattern.clone())
                     .with_crash_mode(mode_for(seed))
                     .with_links(links.clone())
-                    .with_idle_shutdown(std::time::Duration::from_millis(500))
                     .with_seed(seed);
                 let out = run_threaded(&sys, &cfg);
                 assert_eq!(out.stop, StopReason::MaxEvents, "FD systems never quiesce");

@@ -54,3 +54,37 @@ pub fn all_live_decided(pi: Pi, schedule: &[Action]) -> bool {
             .any(|a| matches!(a, Action::Decide { at, .. } if *at == i))
     })
 }
+
+/// Incremental form of [`all_live_decided`]: a stateful predicate that
+/// folds one action at a time and returns `true` as soon as every
+/// currently-live location has decided — O(1) amortized per event
+/// where the batch form re-scans the whole prefix. Designed to be
+/// handed to `RuntimeConfig::stop_when_stream` (the runtime calls the
+/// factory once per run):
+///
+/// ```
+/// use afd_algorithms::consensus::all_live_decided_stream;
+/// use afd_core::{Action, Loc, Pi};
+///
+/// let mut pred = all_live_decided_stream(Pi::new(2));
+/// assert!(!pred(&Action::Decide { at: Loc(0), v: 1 }));
+/// assert!(pred(&Action::Decide { at: Loc(1), v: 1 }));
+/// ```
+///
+/// The predicate is monotone in the same sense as the batch form: a
+/// `Crash` can only shrink the set of locations that still owe a
+/// decision, and a `Decide` can only grow the satisfied set, so once
+/// it returns `true` it holds for every extension of the schedule.
+pub fn all_live_decided_stream(pi: Pi) -> Box<dyn FnMut(&Action) -> bool + Send> {
+    let mut crashed = afd_core::LocSet::empty();
+    let mut decided = afd_core::LocSet::empty();
+    Box::new(move |a: &Action| {
+        match a {
+            Action::Crash(l) => crashed.insert(*l),
+            Action::Decide { at, .. } => decided.insert(*at),
+            _ => return false, // satisfaction can't change; skip the scan
+        }
+        pi.iter()
+            .all(|i| crashed.contains(i) || decided.contains(i))
+    })
+}

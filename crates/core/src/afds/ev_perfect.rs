@@ -12,10 +12,11 @@
 //! paper's two suffixes).
 
 use crate::action::Action;
-use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::afd::AfdSpec;
 use crate::fd::FdOutput;
 use crate::loc::{Loc, Pi};
-use crate::trace::{faulty, live, Violation};
+use crate::stream::{FdFold, StreamChecker};
+use crate::trace::Violation;
 
 /// The eventually perfect failure detector ◇P.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,6 +27,45 @@ impl EvPerfect {
     #[must_use]
     pub fn new() -> Self {
         EvPerfect
+    }
+
+    /// An incremental `T_◇P` membership checker over `pi`.
+    #[must_use]
+    pub fn stream(pi: Pi) -> EvPerfectStream {
+        EvPerfectStream {
+            fold: FdFold::new(pi),
+        }
+    }
+}
+
+/// Streaming `T_◇P` membership checker (see [`EvPerfect::stream`]).
+#[derive(Debug, Clone)]
+pub struct EvPerfectStream {
+    fold: FdFold,
+}
+
+impl StreamChecker for EvPerfectStream {
+    type Verdict = Result<(), Violation>;
+
+    fn push(&mut self, a: &Action) {
+        let out = match a.fd_output() {
+            Some((i, FdOutput::Suspects(s))) => Some((i, FdOutput::Suspects(s))),
+            _ => None,
+        };
+        self.fold.push(a, out);
+    }
+
+    fn finish(&self) -> Result<(), Violation> {
+        self.fold.require_validity(EvPerfect.min_live_outputs())?;
+        let f = self.fold.crashed;
+        let alive = self.fold.live();
+        if alive.is_empty() {
+            return Ok(());
+        }
+        self.fold.require_stable("ev-perfect.converged", |_, out| {
+            out.as_suspects()
+                .is_some_and(|s| f.is_subset(s) && !s.intersects(alive))
+        })
     }
 }
 
@@ -42,17 +82,7 @@ impl AfdSpec for EvPerfect {
     }
 
     fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
-        require_validity(self, pi, t)?;
-        let f = faulty(t);
-        let alive = live(pi, t);
-        if alive.is_empty() {
-            return Ok(());
-        }
-        stabilization_point(self, pi, t, "ev-perfect.converged", |_, out| {
-            out.as_suspects()
-                .is_some_and(|s| f.is_subset(s) && !s.intersects(alive))
-        })?;
-        Ok(())
+        EvPerfect::stream(pi).check_all(t)
     }
 }
 

@@ -34,11 +34,11 @@ pub mod weak;
 
 pub use anti_omega::AntiOmega;
 pub use dk::DkTimed;
-pub use ev_perfect::EvPerfect;
+pub use ev_perfect::{EvPerfect, EvPerfectStream};
 pub use marabout::Marabout;
-pub use omega::Omega;
+pub use omega::{Omega, OmegaStream};
 pub use omega_k::OmegaK;
-pub use perfect::Perfect;
+pub use perfect::{Perfect, PerfectStream};
 pub use psi_k::PsiK;
 pub use sigma::Sigma;
 pub use strong::{EvStrong, Strong};

@@ -7,9 +7,10 @@
 //! outputs the ID of one fixed live location, at live locations only.
 
 use crate::action::Action;
-use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::afd::AfdSpec;
 use crate::fd::FdOutput;
 use crate::loc::{Loc, Pi};
+use crate::stream::{FdFold, StreamChecker};
 use crate::trace::{live, Violation};
 
 /// The Ω failure detector.
@@ -21,6 +22,14 @@ impl Omega {
     #[must_use]
     pub fn new() -> Self {
         Omega
+    }
+
+    /// An incremental `T_Ω` membership checker over `pi`.
+    #[must_use]
+    pub fn stream(pi: Pi) -> OmegaStream {
+        OmegaStream {
+            fold: FdFold::new(pi),
+        }
     }
 
     /// The eventual leader witnessed by a complete trace: the value of
@@ -48,12 +57,36 @@ impl AfdSpec for Omega {
     }
 
     fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
-        require_validity(self, pi, t)?;
-        let alive = live(pi, t);
+        Omega::stream(pi).check_all(t)
+    }
+}
+
+/// Streaming `T_Ω` membership checker (see [`Omega::stream`]): folds
+/// one action at a time; `finish` renders the verdict the batch
+/// checker used to compute by re-scanning the slice.
+#[derive(Debug, Clone)]
+pub struct OmegaStream {
+    fold: FdFold,
+}
+
+impl StreamChecker for OmegaStream {
+    type Verdict = Result<(), Violation>;
+
+    fn push(&mut self, a: &Action) {
+        let out = match a.fd_output() {
+            Some((i, FdOutput::Leader(l))) => Some((i, FdOutput::Leader(l))),
+            _ => None,
+        };
+        self.fold.push(a, out);
+    }
+
+    fn finish(&self) -> Result<(), Violation> {
+        self.fold.require_validity(Omega.min_live_outputs())?;
+        let alive = self.fold.live();
         if alive.is_empty() {
             return Ok(());
         }
-        let Some(l) = self.eventual_leader(pi, t) else {
+        let Some(l) = self.fold.eventual_leader() else {
             return Err(Violation::new(
                 "omega.no-candidate",
                 "no Ω output at a live location",
@@ -65,10 +98,8 @@ impl AfdSpec for Omega {
                 format!("eventual leader {l} is faulty"),
             ));
         }
-        stabilization_point(self, pi, t, "omega.stable-leader", |_, out| {
-            out == FdOutput::Leader(l)
-        })?;
-        Ok(())
+        self.fold
+            .require_stable("omega.stable-leader", |_, out| out == FdOutput::Leader(l))
     }
 }
 

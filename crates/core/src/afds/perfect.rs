@@ -11,10 +11,11 @@
 //!    convention.
 
 use crate::action::Action;
-use crate::afd::{require_validity, stabilization_point, AfdSpec};
+use crate::afd::AfdSpec;
 use crate::fd::FdOutput;
 use crate::loc::{Loc, LocSet, Pi};
-use crate::trace::{faulty, Violation};
+use crate::stream::{FdFold, StreamChecker};
+use crate::trace::Violation;
 
 /// The perfect failure detector P.
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,6 +28,15 @@ impl Perfect {
         Perfect
     }
 
+    /// An incremental `T_P` membership checker over `pi`.
+    #[must_use]
+    pub fn stream(pi: Pi) -> PerfectStream {
+        PerfectStream {
+            fold: FdFold::new(pi),
+            accuracy: None,
+        }
+    }
+
     /// Exact check of perpetual strong accuracy: every suspect set at
     /// index `k` must be a subset of the locations crashed before `k`.
     ///
@@ -37,17 +47,80 @@ impl Perfect {
         for (k, a) in t.iter().enumerate() {
             if let Some(l) = a.crash_loc() {
                 crashed.insert(l);
-            } else if let Some((_, FdOutput::Suspects(s))) = a.fd_output() {
-                if !s.is_subset(crashed) {
-                    return Err(Violation::new(
-                        "perfect.accuracy",
-                        format!(
-                            "event {a} at index {k} suspects {} not yet crashed",
-                            s.difference(crashed)
-                        ),
-                    ));
-                }
+            } else if let Some(v) = accuracy_violation(a, k, crashed) {
+                return Err(v);
             }
+        }
+        Ok(())
+    }
+}
+
+/// The perpetual-strong-accuracy check of one event against the
+/// crashed-so-far set — shared by the batch and streaming forms.
+fn accuracy_violation(a: &Action, k: usize, crashed: LocSet) -> Option<Violation> {
+    match a.fd_output() {
+        Some((_, FdOutput::Suspects(s))) if !s.is_subset(crashed) => Some(Violation::new(
+            "perfect.accuracy",
+            format!(
+                "event {a} at index {k} suspects {} not yet crashed",
+                s.difference(crashed)
+            ),
+        )),
+        _ => None,
+    }
+}
+
+/// Streaming `T_P` membership checker (see [`Perfect::stream`]).
+#[derive(Debug, Clone)]
+pub struct PerfectStream {
+    fold: FdFold,
+    /// First accuracy violation, captured at push time (the suspect
+    /// set must be judged against the crashed set *of that moment*).
+    accuracy: Option<Violation>,
+}
+
+impl PerfectStream {
+    /// The safety clauses only (validity safety + perpetual strong
+    /// accuracy) for the prefix seen so far — the streaming form of
+    /// [`Perfect::check_prefix`].
+    ///
+    /// # Errors
+    /// The first violated safety clause.
+    pub fn check_safety(&self) -> Result<(), Violation> {
+        self.fold.validity(0).safety?;
+        match &self.accuracy {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl StreamChecker for PerfectStream {
+    type Verdict = Result<(), Violation>;
+
+    fn push(&mut self, a: &Action) {
+        if self.accuracy.is_none() {
+            if let Some(v) = accuracy_violation(a, self.fold.k, self.fold.crashed) {
+                self.accuracy = Some(v);
+            }
+        }
+        let out = match a.fd_output() {
+            Some((i, FdOutput::Suspects(s))) => Some((i, FdOutput::Suspects(s))),
+            _ => None,
+        };
+        self.fold.push(a, out);
+    }
+
+    fn finish(&self) -> Result<(), Violation> {
+        self.fold.require_validity(Perfect.min_live_outputs())?;
+        if let Some(v) = &self.accuracy {
+            return Err(v.clone());
+        }
+        let f = self.fold.crashed;
+        if !f.is_empty() {
+            self.fold.require_stable("perfect.completeness", |_, out| {
+                out.as_suspects().is_some_and(|s| f.is_subset(s))
+            })?;
         }
         Ok(())
     }
@@ -66,20 +139,15 @@ impl AfdSpec for Perfect {
     }
 
     fn check_complete(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
-        require_validity(self, pi, t)?;
-        self.check_accuracy(t)?;
-        let f = faulty(t);
-        if !f.is_empty() {
-            stabilization_point(self, pi, t, "perfect.completeness", |_, out| {
-                out.as_suspects().is_some_and(|s| f.is_subset(s))
-            })?;
-        }
-        Ok(())
+        Perfect::stream(pi).check_all(t)
     }
 
     fn check_prefix(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
-        crate::trace::check_validity(pi, t, |a| self.output_loc(a), 0).safety?;
-        self.check_accuracy(t)
+        let mut s = Perfect::stream(pi);
+        for a in t {
+            s.push(a);
+        }
+        s.check_safety()
     }
 }
 

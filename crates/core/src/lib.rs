@@ -47,6 +47,7 @@ pub mod message;
 pub mod problem;
 pub mod problems;
 pub mod stamp;
+pub mod stream;
 pub mod trace;
 
 pub use action::Action;
@@ -56,4 +57,5 @@ pub use loc::{Loc, LocSet, Pi};
 pub use message::{Ballot, Frame, Msg, Val};
 pub use problem::ProblemSpec;
 pub use stamp::Stamped;
+pub use stream::StreamChecker;
 pub use trace::Violation;

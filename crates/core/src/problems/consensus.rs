@@ -13,6 +13,7 @@ use crate::action::Action;
 use crate::loc::{Loc, LocSet, Pi};
 use crate::message::Val;
 use crate::problem::ProblemSpec;
+use crate::stream::StreamChecker;
 use crate::trace::{faulty, live, Violation};
 
 /// The f-crash-tolerant binary consensus problem (§9.1).
@@ -182,6 +183,158 @@ impl Consensus {
             _ => None,
         })
     }
+
+    /// An incremental `T_P` membership checker over `pi`, folding one
+    /// action at a time. `finish` reproduces [`ProblemSpec::check`]'s
+    /// verdict exactly, including the conditional structure (vacuous
+    /// acceptance when the environment antecedent fails) and the clause
+    /// order of the batch checker.
+    #[must_use]
+    pub fn stream(&self, pi: Pi) -> ConsensusStream {
+        ConsensusStream {
+            pi,
+            f: self.f,
+            k: 0,
+            crashed: LocSet::empty(),
+            proposed: vec![0; pi.len()],
+            proposed_vals: Vec::new(),
+            decided: vec![0; pi.len()],
+            env: None,
+            crash_validity: None,
+            agreement: None,
+            first_decide: None,
+            pending_validity: Vec::new(),
+            termination_double: None,
+        }
+    }
+}
+
+/// Streaming `T_P` membership checker (see [`Consensus::stream`]).
+///
+/// Every clause is folded simultaneously; the first violation of each
+/// clause is captured at push time (with the crashed/proposed state *of
+/// that moment*, so the messages match the batch scan byte for byte)
+/// and reported at `finish` in the batch checker's clause order.
+///
+/// Memory is O(|Π| + pending), where `pending` is the set of decisions
+/// whose value has not (yet) been proposed — a later matching propose
+/// retires them, so well-behaved runs keep this empty.
+#[derive(Debug, Clone)]
+pub struct ConsensusStream {
+    pi: Pi,
+    f: usize,
+    k: usize,
+    crashed: LocSet,
+    proposed: Vec<usize>,
+    /// Distinct proposed values, in first-proposal order.
+    proposed_vals: Vec<Val>,
+    decided: Vec<usize>,
+    /// First in-scan environment violation (single-input or
+    /// propose-after-crash); live-must-propose is a finish-time check.
+    env: Option<Violation>,
+    crash_validity: Option<Violation>,
+    agreement: Option<Violation>,
+    first_decide: Option<(Loc, Val)>,
+    /// Decisions whose value has not been proposed so far, in decide
+    /// order; a later propose of the value retires the entry.
+    pending_validity: Vec<(Loc, Val)>,
+    termination_double: Option<Violation>,
+}
+
+impl StreamChecker for ConsensusStream {
+    type Verdict = Result<(), Violation>;
+
+    fn push(&mut self, a: &Action) {
+        let k = self.k;
+        self.k += 1;
+        match a {
+            Action::Crash(l) => self.crashed.insert(*l),
+            Action::Propose { at, v } => {
+                self.proposed[at.index()] += 1;
+                if self.env.is_none() {
+                    if self.proposed[at.index()] > 1 {
+                        self.env = Some(Violation::new(
+                            "env.single-input",
+                            format!("second propose at {at} (index {k})"),
+                        ));
+                    } else if self.crashed.contains(*at) {
+                        self.env = Some(Violation::new(
+                            "env.propose-after-crash",
+                            format!("propose at crashed {at} (index {k})"),
+                        ));
+                    }
+                }
+                if !self.proposed_vals.contains(v) {
+                    self.proposed_vals.push(*v);
+                }
+                self.pending_validity.retain(|(_, pv)| pv != v);
+            }
+            Action::Decide { at, v } => {
+                if self.crashed.contains(*at) && self.crash_validity.is_none() {
+                    self.crash_validity = Some(Violation::new(
+                        "consensus.crash-validity",
+                        format!("decide at crashed {at} (index {k})"),
+                    ));
+                }
+                match self.first_decide {
+                    None => self.first_decide = Some((*at, *v)),
+                    Some((j, w)) => {
+                        if w != *v && self.agreement.is_none() {
+                            self.agreement = Some(Violation::new(
+                                "consensus.agreement",
+                                format!("decide({w}) at {j} vs decide({v}) at {at}"),
+                            ));
+                        }
+                    }
+                }
+                if !self.proposed_vals.contains(v) {
+                    self.pending_validity.push((*at, *v));
+                }
+                self.decided[at.index()] += 1;
+                if self.decided[at.index()] > 1 && self.termination_double.is_none() {
+                    self.termination_double = Some(Violation::new(
+                        "consensus.termination",
+                        format!("{at} decides more than once"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&self) -> Result<(), Violation> {
+        // Antecedent: environment well-formedness + f-crash limitation.
+        // A violated antecedent means vacuous membership.
+        let live = self.pi.all().difference(self.crashed);
+        let env_ok = self.env.is_none() && live.iter().all(|i| self.proposed[i.index()] > 0);
+        if !env_ok || self.crashed.len() > self.f {
+            return Ok(());
+        }
+        if let Some(v) = &self.crash_validity {
+            return Err(v.clone());
+        }
+        if let Some(v) = &self.agreement {
+            return Err(v.clone());
+        }
+        if let Some((at, v)) = self.pending_validity.first() {
+            return Err(Violation::new(
+                "consensus.validity",
+                format!("decide({v}) at {at} but {v} never proposed"),
+            ));
+        }
+        if let Some(v) = &self.termination_double {
+            return Err(v.clone());
+        }
+        for i in live.iter() {
+            if self.decided[i.index()] == 0 {
+                return Err(Violation::new(
+                    "consensus.termination",
+                    format!("live location {i} never decides"),
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl ProblemSpec for Consensus {
@@ -198,13 +351,7 @@ impl ProblemSpec for Consensus {
     }
 
     fn check(&self, pi: Pi, t: &[Action]) -> Result<(), Violation> {
-        if Consensus::env_well_formed(pi, t).is_err() || !self.crash_limited(t) {
-            return Ok(()); // antecedent fails: vacuously in T_P
-        }
-        Consensus::crash_validity(t)?;
-        Consensus::agreement(t)?;
-        Consensus::validity(t)?;
-        Consensus::termination(pi, t)
+        self.stream(pi).check_all(t)
     }
 
     fn output_bound(&self, pi: Pi) -> Option<usize> {

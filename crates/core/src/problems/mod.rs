@@ -15,6 +15,6 @@ pub mod leader_election;
 
 pub use atomic_commit::{AtomicCommit, AtomicCommitSolver};
 pub use broadcast::ReliableBroadcast;
-pub use consensus::{Consensus, ConsensusSolver};
+pub use consensus::{Consensus, ConsensusSolver, ConsensusStream};
 pub use kset::{KSetAgreement, KSetSolver};
 pub use leader_election::{LeaderElection, LeaderElectionSolver};

@@ -1,0 +1,331 @@
+//! Incremental (streaming) trace checkers: fold a schedule one action
+//! at a time instead of re-scanning the whole slice.
+//!
+//! Every checker in this repo used to be a batch pass over `&[Action]`.
+//! That is fine for post-hoc analysis but quadratic when a verdict must
+//! be maintained *while a run is being produced* — e.g. a stop
+//! predicate evaluated every commit, or conformance monitored live by
+//! an observer. The [`StreamChecker`] trait is the incremental form:
+//! `push` folds one action into O(|Π|)-ish state, `finish` renders the
+//! verdict for the trace seen so far. The batch entry points
+//! (`check_validity`, `AfdSpec::check_complete` for Ω/P/◇P,
+//! `Consensus::check`, `RunStats::of`) are thin wrappers that construct
+//! a stream, push the slice, and finish — so there is exactly one
+//! implementation of each clause.
+//!
+//! `finish` borrows (`&self`): a long-lived stream can be interrogated
+//! at any prefix and keep folding, which is also what the property
+//! tests exploit (verdict-at-every-cut must equal a fresh fold of the
+//! prefix).
+
+use crate::action::Action;
+use crate::fd::FdOutput;
+use crate::loc::{Loc, LocSet, Pi};
+use crate::trace::{ValidityReport, Violation};
+
+/// An incremental checker: fold actions one at a time, render the
+/// verdict for the prefix seen so far at any point.
+pub trait StreamChecker {
+    /// What `finish` produces (a `Result`, a report, statistics, …).
+    type Verdict;
+
+    /// Fold one action into the checker state.
+    fn push(&mut self, a: &Action);
+
+    /// The verdict for the sequence pushed so far. Does not consume the
+    /// checker: more actions may be pushed afterwards.
+    fn finish(&self) -> Self::Verdict;
+
+    /// Convenience: push an entire slice, then finish — the batch form.
+    fn check_all(mut self, t: &[Action]) -> Self::Verdict
+    where
+        Self: Sized,
+    {
+        for a in t {
+            self.push(a);
+        }
+        self.finish()
+    }
+}
+
+/// Shared incremental state for failure-detector trace clauses: the
+/// crashed set, per-location output counts, each location's last output
+/// (with its global index), and the first validity-safety violation.
+///
+/// One `push` is O(1) plus the cost of the output classifier. All of
+/// validity, the per-location stabilization ("eventually forever")
+/// clauses, and Ω's eventual-leader election are computable from this
+/// state at `finish` time without revisiting the trace.
+#[derive(Debug, Clone)]
+pub struct FdFold {
+    pi: Pi,
+    /// Locations crashed so far.
+    pub crashed: LocSet,
+    /// First output-after-crash violation, captured at push time.
+    pub safety: Option<Violation>,
+    /// Output count per location.
+    pub counts: Vec<usize>,
+    /// Last output per location: `(global index, value)`.
+    pub last: Vec<Option<(usize, FdOutput)>>,
+    /// Actions folded so far (the next action's global index).
+    pub k: usize,
+}
+
+impl FdFold {
+    /// Empty fold state over `pi`.
+    #[must_use]
+    pub fn new(pi: Pi) -> Self {
+        FdFold {
+            pi,
+            crashed: LocSet::empty(),
+            safety: None,
+            counts: vec![0; pi.len()],
+            last: vec![None; pi.len()],
+            k: 0,
+        }
+    }
+
+    /// Fold one action. `out` is the pre-computed classification of `a`
+    /// — `Some((i, v))` iff `a` is an FD output of value `v` at
+    /// location `i` (compare [`crate::afd::AfdSpec::output_loc`] plus
+    /// the value extraction of [`crate::afd::fd_events`]).
+    pub fn push(&mut self, a: &Action, out: Option<(Loc, FdOutput)>) {
+        if let Some(l) = a.crash_loc() {
+            self.crashed.insert(l);
+        } else if let Some((i, v)) = out {
+            self.counts[i.index()] += 1;
+            if self.crashed.contains(i) && self.safety.is_none() {
+                self.safety = Some(Violation::new(
+                    "validity.safety",
+                    format!("output {a} at index {} after crash of {i}", self.k),
+                ));
+            }
+            self.last[i.index()] = Some((self.k, v));
+        }
+        self.k += 1;
+    }
+
+    /// The live locations of the prefix seen so far.
+    #[must_use]
+    pub fn live(&self) -> LocSet {
+        self.pi.all().difference(self.crashed)
+    }
+
+    /// Validity of the prefix seen so far (both clauses), identical to
+    /// [`crate::trace::check_validity`] on the same prefix.
+    #[must_use]
+    pub fn validity(&self, min_live_outputs: usize) -> ValidityReport {
+        let starved_live = self
+            .live()
+            .iter()
+            .filter(|l| self.counts[l.index()] < min_live_outputs)
+            .map(|l| (l, self.counts[l.index()]))
+            .collect();
+        ValidityReport {
+            safety: match &self.safety {
+                Some(v) => Err(v.clone()),
+                None => Ok(()),
+            },
+            starved_live,
+        }
+    }
+
+    /// Validity as a fail-fast result: the safety violation, else the
+    /// first starved live location — message-identical to
+    /// [`crate::afd::require_validity`].
+    ///
+    /// # Errors
+    /// A `validity.safety` or `validity.liveness` violation.
+    pub fn require_validity(&self, min_live_outputs: usize) -> Result<(), Violation> {
+        let rep = self.validity(min_live_outputs);
+        rep.safety?;
+        if let Some((l, c)) = rep.starved_live.first() {
+            return Err(Violation::new(
+                "validity.liveness",
+                format!("live location {l} produced only {c} outputs (need ≥ {min_live_outputs})"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The "eventually forever" clause at `finish` time, evaluated per
+    /// live location exactly like [`crate::afd::stabilization_point`]'s
+    /// error cases: every live location must have an output, and its
+    /// *final* output must satisfy `good`.
+    ///
+    /// (The stabilization *index* itself needs the full output history;
+    /// the membership verdict only needs each location's last output,
+    /// which is what this fold keeps.)
+    ///
+    /// # Errors
+    /// `eventually.unwitnessed` / `eventually.violated`, first live
+    /// location in ascending order — matching the batch scan.
+    pub fn require_stable<F>(&self, clause: &'static str, good: F) -> Result<(), Violation>
+    where
+        F: Fn(Loc, FdOutput) -> bool,
+    {
+        for i in self.live().iter() {
+            let Some((last_k, last_out)) = self.last[i.index()] else {
+                return Err(Violation::new(
+                    "eventually.unwitnessed",
+                    format!("{clause}: live location {i} has no output"),
+                ));
+            };
+            if !good(i, last_out) {
+                return Err(Violation::new(
+                    "eventually.violated",
+                    format!(
+                        "{clause}: final output of live {i} (index {last_k}) violates the clause"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The eventual leader of the prefix: the value of the latest
+    /// `Leader` output at a currently-live location — identical to
+    /// [`crate::afds::Omega::eventual_leader`] on the same prefix.
+    #[must_use]
+    pub fn eventual_leader(&self) -> Option<Loc> {
+        self.live()
+            .iter()
+            .filter_map(|i| self.last[i.index()])
+            .max_by_key(|&(k, _)| k)
+            .and_then(|(_, v)| v.as_leader())
+    }
+}
+
+/// Streaming form of [`crate::trace::check_validity`]: a generic output
+/// classifier plus an [`FdFold`].
+#[derive(Debug, Clone)]
+pub struct ValidityStream<F> {
+    fold: FdFold,
+    out_loc: F,
+    min_live_outputs: usize,
+}
+
+impl<F> ValidityStream<F>
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    /// A validity checker over `pi` with the given output classifier.
+    pub fn new(pi: Pi, out_loc: F, min_live_outputs: usize) -> Self {
+        ValidityStream {
+            fold: FdFold::new(pi),
+            out_loc,
+            min_live_outputs,
+        }
+    }
+}
+
+impl<F> StreamChecker for ValidityStream<F>
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    type Verdict = ValidityReport;
+
+    fn push(&mut self, a: &Action) {
+        // The classifier only names the location; validity never looks
+        // at the output value, so a placeholder value suffices.
+        let out = (self.out_loc)(a).map(|i| {
+            let v = a
+                .fd_output()
+                .or_else(|| a.fd_renamed_output())
+                .map_or(FdOutput::Leader(i), |(_, v)| v);
+            (i, v)
+        });
+        self.fold.push(a, out);
+    }
+
+    fn finish(&self) -> ValidityReport {
+        self.fold.validity(self.min_live_outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(at: u8, leader: u8) -> Action {
+        Action::Fd {
+            at: Loc(at),
+            out: FdOutput::Leader(Loc(leader)),
+        }
+    }
+
+    fn leader_out(a: &Action) -> Option<(Loc, FdOutput)> {
+        match a.fd_output() {
+            Some((i, FdOutput::Leader(l))) => Some((i, FdOutput::Leader(l))),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn fold_tracks_counts_last_and_safety() {
+        let pi = Pi::new(2);
+        let mut f = FdFold::new(pi);
+        for a in [fd(0, 0), fd(1, 0), Action::Crash(Loc(1)), fd(1, 1)] {
+            let out = leader_out(&a);
+            f.push(&a, out);
+        }
+        assert_eq!(f.counts, vec![1, 2]);
+        assert_eq!(f.last[1], Some((3, FdOutput::Leader(Loc(1)))));
+        assert!(f.crashed.contains(Loc(1)));
+        let err = f.validity(1).safety.unwrap_err();
+        assert_eq!(err.rule, "validity.safety");
+        assert!(err.detail.contains("index 3"));
+    }
+
+    #[test]
+    fn eventual_leader_is_latest_live_output() {
+        let pi = Pi::new(2);
+        let mut f = FdFold::new(pi);
+        for a in [fd(0, 0), fd(1, 1), Action::Crash(Loc(1))] {
+            let out = leader_out(&a);
+            f.push(&a, out);
+        }
+        // p1's later output is at a now-faulty location: p0's wins.
+        assert_eq!(f.eventual_leader(), Some(Loc(0)));
+    }
+
+    #[test]
+    fn require_stable_matches_batch_error_shapes() {
+        let pi = Pi::new(2);
+        let mut f = FdFold::new(pi);
+        let out = leader_out(&fd(0, 0));
+        f.push(&fd(0, 0), out);
+        let err = f
+            .require_stable("c", |_, o| o.as_leader() == Some(Loc(0)))
+            .unwrap_err();
+        assert_eq!(err.rule, "eventually.unwitnessed");
+        let out = leader_out(&fd(1, 1));
+        f.push(&fd(1, 1), out);
+        let err = f
+            .require_stable("c", |_, o| o.as_leader() == Some(Loc(0)))
+            .unwrap_err();
+        assert_eq!(err.rule, "eventually.violated");
+        assert!(err.detail.contains("index 1"));
+    }
+
+    #[test]
+    fn validity_stream_matches_batch_at_every_cut() {
+        let pi = Pi::new(3);
+        let t = [
+            fd(0, 0),
+            fd(1, 0),
+            Action::Crash(Loc(2)),
+            fd(2, 0), // output after crash
+            fd(0, 0),
+        ];
+        let mut s = ValidityStream::new(pi, |a| leader_out(a).map(|(i, _)| i), 1);
+        for k in 0..=t.len() {
+            if k > 0 {
+                s.push(&t[k - 1]);
+            }
+            let batch =
+                crate::trace::check_validity(pi, &t[..k], |a| leader_out(a).map(|(i, _)| i), 1);
+            assert_eq!(s.finish(), batch, "cut at {k}");
+        }
+    }
+}

@@ -92,6 +92,11 @@ impl ValidityReport {
 
 /// Check validity of `t` with respect to an output classifier
 /// (`out_loc(a) = Some(i)` iff `a ∈ O_D,i`).
+///
+/// Thin wrapper over the streaming form
+/// ([`crate::stream::ValidityStream`]): the slice is folded one action
+/// at a time, so batch and incremental callers share one
+/// implementation of both clauses.
 #[must_use]
 pub fn check_validity<F>(
     pi: Pi,
@@ -102,32 +107,8 @@ pub fn check_validity<F>(
 where
     F: Fn(&Action) -> Option<Loc>,
 {
-    let mut crashed = LocSet::empty();
-    let mut safety = Ok(());
-    let mut counts = vec![0usize; pi.len()];
-    for (k, a) in t.iter().enumerate() {
-        if let Some(l) = a.crash_loc() {
-            crashed.insert(l);
-        } else if let Some(i) = out_loc(a) {
-            counts[i.index()] += 1;
-            if crashed.contains(i) && safety.is_ok() {
-                safety = Err(Violation::new(
-                    "validity.safety",
-                    format!("output {a} at index {k} after crash of {i}"),
-                ));
-            }
-        }
-    }
-    let live_set = pi.all().difference(crashed);
-    let starved_live = live_set
-        .iter()
-        .filter(|l| counts[l.index()] < min_live_outputs)
-        .map(|l| (l, counts[l.index()]))
-        .collect();
-    ValidityReport {
-        safety,
-        starved_live,
-    }
+    use crate::stream::{StreamChecker, ValidityStream};
+    ValidityStream::new(pi, out_loc, min_live_outputs).check_all(t)
 }
 
 /// Check that `t` only contains crash events and outputs recognized by

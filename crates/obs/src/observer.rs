@@ -12,11 +12,17 @@
 //! callback (crash / deliver / FD output / decision) if one applies.
 //! When the run ends the engine fires [`Observer::on_stop`] once.
 //!
-//! Observers use interior mutability (`&self` receivers): the threaded
-//! runtime calls them from whichever worker holds the sink lock, so
-//! implementations must be `Send + Sync`. Callbacks run inside the
-//! engine's commit path — keep them short; heavy analysis belongs in a
-//! post-hoc pass over a [`TraceRecorder`] snapshot.
+//! Observers use interior mutability (`&self` receivers) and must be
+//! `Send + Sync`: the threaded runtime dispatches from whichever
+//! worker currently drives the sink's in-order drain — commits are
+//! replayed to the observer *off* the commit lock, but still one at a
+//! time (the drain is single-holder), in schedule order, with strictly
+//! increasing `seq`. Dispatch may therefore lag the commit itself by a
+//! few events mid-run; by the time the engine returns its schedule,
+//! every commit has been dispatched. Callbacks should still be short —
+//! a slow observer stalls the drain, not the committers, but heavy
+//! analysis belongs in a post-hoc pass over a [`TraceRecorder`]
+//! snapshot.
 
 use std::sync::Mutex;
 

@@ -223,6 +223,33 @@ impl Partition {
 /// Early-stop predicate over the committed schedule prefix.
 pub type StopPredicate = Arc<dyn Fn(&[Action]) -> bool + Send + Sync>;
 
+/// Incremental early-stop predicate: fed every committed action in
+/// schedule order, returns `true` when the run should stop. Being
+/// `FnMut`, it folds its own state (a [`afd_core::StreamChecker`]
+/// wraps naturally), so it is O(1) per event where a [`StopPredicate`]
+/// re-scans the whole prefix — the interval knob becomes unnecessary.
+pub type StreamPredicate = Box<dyn FnMut(&Action) -> bool + Send>;
+
+/// Factory producing a fresh [`StreamPredicate`] per run.
+/// `RuntimeConfig` is `Clone` and reusable across runs, but an
+/// incremental predicate is stateful and single-run — so the config
+/// carries the factory and the runtime instantiates at start.
+pub type StreamPredicateFactory = Arc<dyn Fn() -> StreamPredicate + Send + Sync>;
+
+/// Which commit path the sink runs (see `crate::sink` module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPipeline {
+    /// Short critical section; observer dispatch and stop predicates
+    /// run on an in-order drain off the commit lock.
+    #[default]
+    Streamed,
+    /// The pre-pipeline reference: dispatch and predicate evaluation
+    /// under the commit lock. Kept as an executable baseline for the
+    /// commit-path benchmarks; semantics are equivalent, throughput
+    /// under contention is not.
+    LockedReference,
+}
+
 /// Configuration of a threaded run.
 #[derive(Clone)]
 pub struct RuntimeConfig {
@@ -263,10 +290,28 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Early-stop predicate, checked every `stop_check_interval` commits.
     pub stop_when: Option<StopPredicate>,
-    /// Optional observer notified at every commit, under the sink lock
-    /// (so callbacks see commits in schedule order), and once at stop.
-    /// `None` — the default — costs nothing on the commit path.
+    /// Incremental early-stop predicate factory: the produced
+    /// predicate sees every commit (effective interval 1) at O(1)
+    /// amortized cost. May be combined with `stop_when`; either one
+    /// firing stops the run.
+    pub stop_when_stream: Option<StreamPredicateFactory>,
+    /// Optional observer notified of every accepted commit, in
+    /// schedule order with strictly increasing sequence numbers, and
+    /// once at stop. Dispatch happens on the sink's in-order drain,
+    /// off the commit lock. `None` — the default — costs nothing on
+    /// the commit path.
     pub observer: Option<Arc<dyn Observer>>,
+    /// Maximum number of locally-controlled actions a worker may
+    /// speculate and commit under one sink-lock acquisition. `1` (the
+    /// default) commits one action at a time; larger values batch
+    /// unpaced action bursts (FD output chains with zero pacing,
+    /// channel drains with a zero-latency profile). Batching never
+    /// changes which schedules are *possible* — a batch is a legal
+    /// scheduling choice — but it coarsens interleaving granularity,
+    /// so keep it at 1 when maximum nondeterminism is the point.
+    pub commit_batch: usize,
+    /// Which commit pipeline the sink runs.
+    pub pipeline: CommitPipeline,
 }
 
 impl Default for RuntimeConfig {
@@ -285,7 +330,10 @@ impl Default for RuntimeConfig {
             wall_timeout: Duration::from_secs(10),
             seed: 0,
             stop_when: None,
+            stop_when_stream: None,
             observer: None,
+            commit_batch: 1,
+            pipeline: CommitPipeline::Streamed,
         }
     }
 }
@@ -306,7 +354,10 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("wall_timeout", &self.wall_timeout)
             .field("seed", &self.seed)
             .field("stop_when", &self.stop_when.is_some())
+            .field("stop_when_stream", &self.stop_when_stream.is_some())
             .field("observer", &self.observer.is_some())
+            .field("commit_batch", &self.commit_batch)
+            .field("pipeline", &self.pipeline)
             .finish()
     }
 }
@@ -394,10 +445,39 @@ impl RuntimeConfig {
         self
     }
 
-    /// Attach an observer, notified at every commit under the sink lock.
+    /// Stop as soon as the incremental predicate produced by `factory`
+    /// returns `true` for a committed action. The factory is invoked
+    /// once per run; the produced `FnMut` folds its own state across
+    /// the schedule, so the effective check interval is 1 at O(1)
+    /// amortized cost per event.
+    #[must_use]
+    pub fn stop_when_stream<F>(mut self, factory: F) -> Self
+    where
+        F: Fn() -> StreamPredicate + Send + Sync + 'static,
+    {
+        self.stop_when_stream = Some(Arc::new(factory));
+        self
+    }
+
+    /// Attach an observer, notified of every accepted commit in
+    /// schedule order (on the sink's in-order drain).
     #[must_use]
     pub fn with_observer(mut self, obs: Arc<dyn Observer>) -> Self {
         self.observer = Some(obs);
+        self
+    }
+
+    /// Set the per-worker commit batch cap (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_commit_batch(mut self, n: usize) -> Self {
+        self.commit_batch = n.max(1);
+        self
+    }
+
+    /// Select the commit pipeline.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: CommitPipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -609,14 +689,33 @@ mod tests {
             .with_wire_pacing(Duration::from_micros(10))
             .with_watchdog(Duration::from_millis(5), Duration::from_secs(1))
             .with_seed(7)
-            .stop_when(|s| s.len() > 3);
+            .stop_when(|s| s.len() > 3)
+            .stop_when_stream(|| {
+                let mut count = 0usize;
+                Box::new(move |_a: &Action| {
+                    count += 1;
+                    count > 3
+                })
+            })
+            .with_commit_batch(0)
+            .with_pipeline(CommitPipeline::LockedReference);
         assert_eq!(cfg.max_events, 99);
         assert_eq!(cfg.crash_mode, CrashMode::Kill);
         assert_eq!(cfg.wire_pacing, Duration::from_micros(10));
         assert_eq!(cfg.watchdog_tick, Duration::from_millis(5));
         assert!(cfg.stop_when.is_some());
+        assert_eq!(cfg.commit_batch, 1, "0 clamps to 1");
+        assert_eq!(cfg.pipeline, CommitPipeline::LockedReference);
+        // The factory mints independent predicate instances.
+        let factory = cfg.stop_when_stream.clone().unwrap();
+        let mut p = factory();
+        let a = Action::Crash(Loc(0));
+        assert!(!p(&a) && !p(&a) && !p(&a) && p(&a));
+        let mut q = factory();
+        assert!(!q(&a), "fresh instance starts from scratch");
         let dbg = format!("{cfg:?}");
         assert!(dbg.contains("max_events: 99"));
+        assert!(dbg.contains("commit_batch: 1"));
     }
 
     #[test]

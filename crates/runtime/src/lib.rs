@@ -17,6 +17,14 @@
 //! cross-validated against the simulator (see
 //! `tests/threaded_cross_validation.rs` at the workspace root).
 //!
+//! The commit path is deliberately thin: the critical section is only
+//! crash-check + append + sequence reservation, with observer dispatch
+//! and stop-predicate evaluation running on an in-order drain off the
+//! lock (see [`sink`]); workers can additionally batch chains of
+//! locally-controlled actions under one lock acquisition
+//! ([`RuntimeConfig::with_commit_batch`]). The pre-pipeline sink
+//! survives as [`CommitPipeline::LockedReference`] for benchmarking.
+//!
 //! Fault injection:
 //! - a crash injector fires the configured `FaultPattern` at global
 //!   event-count thresholds, with [`CrashMode::Halt`] (the paper's
@@ -57,8 +65,9 @@ pub mod sink;
 
 pub use chaos::{chaos_plan_jsonl, ChannelChaos, ChannelChaosStats, ChaosDecision, ChaosReport};
 pub use config::{
-    ConfigError, CrashMode, LinkFaults, LinkProfile, Partition, RuntimeConfig, StopPredicate,
+    CommitPipeline, ConfigError, CrashMode, LinkFaults, LinkProfile, Partition, RuntimeConfig,
+    StopPredicate, StreamPredicate, StreamPredicateFactory,
 };
 pub use harness::{check_fd_trace, fd_projection, fifo_violation, FifoViolation};
 pub use runtime::{run_threaded, try_run_threaded, RunDiagnostic, RuntimeOutcome};
-pub use sink::{Commit, EventSink, StopReason};
+pub use sink::{Commit, EventSink, SinkOptions, StopReason};

@@ -46,7 +46,7 @@ use ioa::{ActionClass, Automaton, TaskId};
 use crate::chaos::{ChannelChaos, ChannelChaosStats, ChaosReport};
 use crate::config::{ConfigError, CrashMode, LinkProfile, RuntimeConfig};
 use crate::rng::SplitMix64;
-use crate::sink::{Commit, EventSink, StopReason};
+use crate::sink::{Commit, EventSink, SinkOptions, StopReason};
 
 /// Diagnostic dump of a stalled or panicked run: what every component
 /// was doing when the watchdog fired.
@@ -262,6 +262,11 @@ fn worker<P>(
     let comp = &comps[idx];
     let mut state = comp.initial_state();
     let mut rng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    // Reused speculation buffers for the commit-batch path (kept out
+    // of the sweep so the common single-action commit allocates
+    // nothing after warm-up).
+    let mut chain: Vec<Action> = Vec::new();
+    let mut states = Vec::new();
     loop {
         if sink.is_stopped() {
             return;
@@ -284,6 +289,14 @@ fn worker<P>(
             }
         }
         // Sweep local tasks.
+        let needs_pacing = |a: &Action| match kind {
+            ComponentKind::Fd => !cfg.fd_pacing.is_zero(),
+            ComponentKind::Channel(_, _) => !profile.is_zero(),
+            ComponentKind::Process(_) => {
+                matches!(a, Action::WireSend { .. }) && !cfg.wire_pacing.is_zero()
+            }
+            _ => false,
+        };
         let mut progressed = false;
         for t in 0..comp.task_count() {
             if sink.is_stopped() {
@@ -295,30 +308,65 @@ fn worker<P>(
             tel.unpark(idx);
             // Pacing and link faults happen before the commit, so the
             // linearization point itself stays instantaneous.
-            match kind {
-                ComponentKind::Fd if !cfg.fd_pacing.is_zero() => thread::sleep(cfg.fd_pacing),
-                ComponentKind::Channel(_, _) if !profile.is_zero() => {
-                    let jitter_ns =
-                        rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
-                    thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
-                }
-                ComponentKind::Process(_)
-                    if matches!(a, Action::WireSend { .. }) && !cfg.wire_pacing.is_zero() =>
-                {
-                    // Throttle stubborn retransmission so it cannot
-                    // flood the event budget.
-                    thread::sleep(cfg.wire_pacing);
-                }
-                _ => {}
-            }
-            match sink.try_commit(a) {
-                Commit::Accepted => {
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
+            if needs_pacing(&a) {
+                match kind {
+                    ComponentKind::Fd => thread::sleep(cfg.fd_pacing),
+                    ComponentKind::Channel(_, _) => {
+                        let jitter_ns =
+                            rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
+                        thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
                     }
-                    route(comps, senders, tel, idx, a);
-                    progressed = true;
+                    // Throttle stubborn retransmission (WireSend) so it
+                    // cannot flood the event budget.
+                    _ => thread::sleep(cfg.wire_pacing),
                 }
+            }
+            // Speculate a chain of locally-controlled actions from this
+            // task: each is enabled in the state its predecessors
+            // produce, and nothing else can change that state (routed
+            // inputs wait in our queue), so committing the chain as one
+            // batch is a legal scheduling choice. The accepted prefix —
+            // the sink can cut a batch short at the budget — is applied
+            // and routed in order; the rest of the speculation is
+            // discarded.
+            let cap = if needs_pacing(&a) {
+                1
+            } else {
+                cfg.commit_batch.max(1)
+            };
+            chain.clear();
+            states.clear();
+            chain.push(a);
+            if let Some(s1) = comp.step(&state, &a) {
+                states.push(s1);
+                while chain.len() < cap {
+                    let cur = states.last().expect("one state per chained action");
+                    let Some(next_a) = comp.enabled(cur, TaskId(t)) else {
+                        break;
+                    };
+                    if needs_pacing(&next_a) {
+                        break;
+                    }
+                    let Some(next_s) = comp.step(cur, &next_a) else {
+                        break;
+                    };
+                    chain.push(next_a);
+                    states.push(next_s);
+                }
+            }
+            let (n, status) = sink.try_commit_batch(&chain);
+            if n > 0 {
+                states.truncate(n);
+                if let Some(s) = states.pop() {
+                    state = s;
+                }
+                for &committed in &chain[..n] {
+                    route(comps, senders, tel, idx, committed);
+                }
+                progressed = true;
+            }
+            match status {
+                Commit::Accepted => {}
                 Commit::Suppressed => {
                     // Our location is dead but the Crash input hasn't
                     // reached us yet: absorb it instead of spinning.
@@ -653,12 +701,15 @@ where
     let kinds = sys.component_kinds();
     let tel = Telemetry::new(comps.len());
 
-    let sink = EventSink::with_observer(
-        cfg.max_events,
-        cfg.stop_check_interval,
-        cfg.stop_when.clone(),
-        cfg.observer.clone(),
-    );
+    let sink = EventSink::with_options(SinkOptions {
+        max_events: cfg.max_events,
+        stop_check_interval: cfg.stop_check_interval,
+        stop_when: cfg.stop_when.clone(),
+        // The factory mints a fresh stateful predicate for this run.
+        stop_stream: cfg.stop_when_stream.as_ref().map(|mint| mint()),
+        observer: cfg.observer.clone(),
+        pipeline: cfg.pipeline,
+    });
     let mut senders: Vec<Sender<Action>> = Vec::with_capacity(comps.len());
     let mut receivers: Vec<Option<Receiver<Action>>> = Vec::with_capacity(comps.len());
     for _ in 0..comps.len() {

@@ -19,6 +19,30 @@
 //! Because the check happens under the same lock as the append, no
 //! output of a crashed location can race past its crash into the log,
 //! which is exactly the AFD validity safety clause.
+//!
+//! **The commit pipeline.** The critical section of a commit is only
+//! the linearization itself: stop check, crash check, append, and
+//! sequence reservation — all O(1). Observer dispatch and
+//! stop-predicate evaluation happen *off* the lock on an in-order
+//! drain: after releasing the log lock, the committer try-locks a
+//! second mutex guarding the dispatch cursor; whoever holds it copies
+//! the undispatched suffix of the log (under a brief re-lock) and
+//! replays it in schedule order. Exactly one thread drains at a time
+//! and the cursor advances monotonically, so observers still see every
+//! accepted commit exactly once, in schedule order, with strictly
+//! increasing sequence numbers — they just no longer serialize the
+//! committers. A committer that loses the `try_lock` race simply
+//! leaves its events for the current drainer (who re-checks after
+//! finishing); [`EventSink::into_log`] performs a final flush, so by
+//! the end of a run the dispatched prefix always equals the full log.
+//!
+//! One consequence is *bounded stop lag*: a stop predicate may be
+//! evaluated a few commits after its triggering event, so a handful of
+//! extra events can commit after the predicate first holds. Runs that
+//! need the pre-drain behavior for baseline measurements can opt into
+//! [`crate::config::CommitPipeline::LockedReference`], which is the
+//! pre-pipeline sink (dispatch and predicate under the log lock),
+//! kept as an executable reference for the benches.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -27,7 +51,7 @@ use std::time::Instant;
 use afd_core::{Action, Loc, Stamped};
 use afd_obs::Observer;
 
-use crate::config::StopPredicate;
+use crate::config::{CommitPipeline, StopPredicate, StreamPredicate};
 
 /// Why the run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,18 +104,78 @@ pub enum Commit {
     Stopped,
 }
 
+/// Number of `u64` words in the crashed bitset: covers the entire
+/// `Loc(u8)` range, so no location can shift past the end (`Loc(64)`
+/// used to alias `Loc(0)` in release builds).
+const CRASH_WORDS: usize = 4;
+
 struct Inner {
     log: Vec<Action>,
+    /// Wall-clock stamp (ns since `start`) per commit; maintained only
+    /// when a drain consumer exists (observer or stop predicate).
+    stamps: Vec<u64>,
     stop: Option<StopReason>,
+}
+
+/// Dispatch-side state, guarded by its own mutex so dispatch never
+/// blocks committers. `drained` is the linearized prefix already
+/// replayed to the observer / predicates.
+struct DrainState {
+    drained: usize,
+    /// Reused copy buffer: `(action, wall_ns)` of the pending suffix.
+    scratch: Vec<(Action, u64)>,
+    /// The drainer's own copy of the schedule prefix, maintained only
+    /// when a slice stop predicate needs a `&[Action]` to look at.
+    seen: Vec<Action>,
+    /// Incremental stop predicate, fed every action in order.
+    stream_pred: Option<StreamPredicate>,
+}
+
+/// Construction options for [`EventSink::with_options`] — the full
+/// configuration surface ([`EventSink::new`] /
+/// [`EventSink::with_observer`] are shorthands).
+pub struct SinkOptions {
+    /// Hard cap on committed events.
+    pub max_events: usize,
+    /// Slice-predicate check interval (in commits); clamped to ≥ 1.
+    pub stop_check_interval: usize,
+    /// Slice stop predicate, evaluated on the drained prefix.
+    pub stop_when: Option<StopPredicate>,
+    /// Incremental stop predicate, fed one action at a time (interval
+    /// is effectively 1 at O(1) cost per event).
+    pub stop_stream: Option<StreamPredicate>,
+    /// Observer notified of every accepted commit, in schedule order.
+    pub observer: Option<Arc<dyn Observer>>,
+    /// Which commit pipeline to run (streamed drain vs the
+    /// locked-reference baseline).
+    pub pipeline: CommitPipeline,
+}
+
+impl Default for SinkOptions {
+    fn default() -> Self {
+        SinkOptions {
+            max_events: usize::MAX,
+            stop_check_interval: 1,
+            stop_when: None,
+            stop_stream: None,
+            observer: None,
+            pipeline: CommitPipeline::Streamed,
+        }
+    }
 }
 
 /// The sequenced sink shared by all workers of one run.
 pub struct EventSink {
     inner: Mutex<Inner>,
+    drain: Mutex<DrainState>,
     /// Mirror of `inner.log.len()` for lock-free progress checks.
     len: AtomicUsize,
-    /// Mirror of the crashed-location bitset (bit `i` = `Loc(i)`).
-    crashed: AtomicU64,
+    /// Mirror of `DrainState::drained` for the cheap "anything
+    /// pending?" pre-check.
+    dispatched: AtomicUsize,
+    /// Mirror of the crashed-location bitset: word `i >> 6`, bit
+    /// `i & 63` — the whole `u8` location range, no shift overflow.
+    crashed: [AtomicU64; CRASH_WORDS],
     /// Lock-free stop flag mirroring `inner.stop.is_some()`.
     stopped: AtomicBool,
     /// Nanoseconds (since `start`) of the latest commit.
@@ -101,6 +185,13 @@ pub struct EventSink {
     stop_check_interval: usize,
     stop_when: Option<StopPredicate>,
     observer: Option<Arc<dyn Observer>>,
+    /// Anything for the drain to do? False for pure logging runs,
+    /// which then skip the drain machinery entirely.
+    needs_drain: bool,
+    /// A stream predicate exists (lets the legacy path skip the drain
+    /// lock when there is none to evaluate).
+    has_stream_pred: bool,
+    legacy: bool,
 }
 
 impl EventSink {
@@ -115,9 +206,10 @@ impl EventSink {
     }
 
     /// A sink that additionally notifies `observer` at every accepted
-    /// commit, under the sink lock — callbacks see commits in schedule
-    /// order with strictly increasing sequence numbers, stamped with
-    /// nanoseconds of wall time since the sink was created.
+    /// commit — callbacks see commits in schedule order with strictly
+    /// increasing sequence numbers, stamped with nanoseconds of wall
+    /// time since the sink was created. Dispatch happens on the
+    /// in-order drain, off the commit lock (see the module docs).
     #[must_use]
     pub fn with_observer(
         max_events: usize,
@@ -125,25 +217,146 @@ impl EventSink {
         stop_when: Option<StopPredicate>,
         observer: Option<Arc<dyn Observer>>,
     ) -> Self {
+        EventSink::with_options(SinkOptions {
+            max_events,
+            stop_check_interval,
+            stop_when,
+            observer,
+            ..SinkOptions::default()
+        })
+    }
+
+    /// A sink with the full option surface.
+    #[must_use]
+    pub fn with_options(opts: SinkOptions) -> Self {
+        let legacy = opts.pipeline == CommitPipeline::LockedReference;
+        let needs_drain = !legacy
+            && (opts.observer.is_some() || opts.stop_when.is_some() || opts.stop_stream.is_some());
+        let has_stream_pred = opts.stop_stream.is_some();
         EventSink {
             inner: Mutex::new(Inner {
-                log: Vec::with_capacity(max_events.min(1 << 16)),
+                log: Vec::with_capacity(opts.max_events.min(1 << 16)),
+                stamps: Vec::new(),
                 stop: None,
             }),
+            drain: Mutex::new(DrainState {
+                drained: 0,
+                scratch: Vec::new(),
+                seen: Vec::new(),
+                stream_pred: opts.stop_stream,
+            }),
             len: AtomicUsize::new(0),
-            crashed: AtomicU64::new(0),
+            dispatched: AtomicUsize::new(0),
+            crashed: [const { AtomicU64::new(0) }; CRASH_WORDS],
             stopped: AtomicBool::new(false),
             last_commit_ns: AtomicU64::new(0),
             start: Instant::now(),
-            max_events,
-            stop_check_interval: stop_check_interval.max(1),
-            stop_when,
-            observer,
+            max_events: opts.max_events,
+            stop_check_interval: opts.stop_check_interval.max(1),
+            stop_when: opts.stop_when,
+            observer: opts.observer,
+            needs_drain,
+            has_stream_pred,
+            legacy,
         }
+    }
+
+    /// Is `a` an output of a crashed location? Deliveries
+    /// (`Receive`/`WireRecv`) are exempt: channels may deliver to dead
+    /// processes, which absorb inputs silently.
+    fn is_suppressed(&self, a: &Action) -> bool {
+        !a.is_crash()
+            && !matches!(a, Action::Receive { .. } | Action::WireRecv { .. })
+            && self.crashed_bit(a.loc())
+    }
+
+    fn crashed_bit(&self, l: Loc) -> bool {
+        self.crashed[usize::from(l.0) >> 6].load(Ordering::Relaxed) >> (l.0 & 63) & 1 == 1
     }
 
     /// Attempt to append `a` to the log.
     pub fn try_commit(&self, a: Action) -> Commit {
+        if self.legacy {
+            return self.try_commit_locked_reference(a);
+        }
+        let (accepted, status) = self.try_commit_batch(std::slice::from_ref(&a));
+        if accepted == 1 {
+            Commit::Accepted
+        } else {
+            status
+        }
+    }
+
+    /// Attempt to append a *batch* of actions under one lock
+    /// acquisition: a speculative chain of locally-controlled actions
+    /// from a single worker (each enabled in the state produced by its
+    /// predecessors). Committing them back to back is a legal
+    /// scheduling choice — the worker's component state only changes
+    /// through the worker itself, and routed inputs wait in its queue.
+    ///
+    /// Returns `(accepted, status)`: the first `accepted` actions are
+    /// in the log (the committer must step + route exactly those, in
+    /// order); `status` is `Accepted` when the whole batch landed, or
+    /// the fate of the first rejected action. A crash cannot land
+    /// between two actions of a batch (crash commits take the same
+    /// lock), so suppression always rejects from the batch's first
+    /// action of the crashed location onward.
+    pub fn try_commit_batch(&self, actions: &[Action]) -> (usize, Commit) {
+        if self.legacy {
+            for (n, &a) in actions.iter().enumerate() {
+                match self.try_commit_locked_reference(a) {
+                    Commit::Accepted => {}
+                    status => return (n, status),
+                }
+            }
+            return (actions.len(), Commit::Accepted);
+        }
+        let mut accepted = 0usize;
+        let mut status = Commit::Accepted;
+        {
+            let mut g = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let now_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            for &a in actions {
+                if g.stop.is_some() {
+                    status = Commit::Stopped;
+                    break;
+                }
+                if self.is_suppressed(&a) {
+                    status = Commit::Suppressed;
+                    break;
+                }
+                if let Action::Crash(l) = a {
+                    let w = &self.crashed[usize::from(l.0) >> 6];
+                    let bits = w.load(Ordering::Relaxed);
+                    w.store(bits | 1 << (l.0 & 63), Ordering::Relaxed);
+                }
+                g.log.push(a);
+                if self.needs_drain {
+                    g.stamps.push(now_ns);
+                }
+                accepted += 1;
+                if g.log.len() >= self.max_events {
+                    g.stop = Some(StopReason::MaxEvents);
+                    self.stopped.store(true, Ordering::Release);
+                }
+            }
+            if accepted > 0 {
+                self.len.store(g.log.len(), Ordering::Release);
+                self.last_commit_ns.store(now_ns, Ordering::Relaxed);
+            }
+        }
+        if accepted > 0 && self.needs_drain {
+            self.drain_pending();
+        }
+        (accepted, status)
+    }
+
+    /// The pre-pipeline commit path, kept as an executable baseline:
+    /// observer dispatch and predicate evaluation under the log lock.
+    fn try_commit_locked_reference(&self, a: Action) -> Commit {
         let mut g = self
             .inner
             .lock()
@@ -151,21 +364,17 @@ impl EventSink {
         if g.stop.is_some() {
             return Commit::Stopped;
         }
-        let crashed = self.crashed.load(Ordering::Relaxed);
-        // Deliveries (`Receive`/`WireRecv`) are exempt: channels may
-        // deliver to dead processes, which absorb inputs silently.
-        if !a.is_crash()
-            && !matches!(a, Action::Receive { .. } | Action::WireRecv { .. })
-            && crashed >> a.loc().0 & 1 == 1
-        {
+        if self.is_suppressed(&a) {
             return Commit::Suppressed;
         }
         if let Action::Crash(l) = a {
-            self.crashed.store(crashed | 1 << l.0, Ordering::Relaxed);
+            let w = &self.crashed[usize::from(l.0) >> 6];
+            let bits = w.load(Ordering::Relaxed);
+            w.store(bits | 1 << (l.0 & 63), Ordering::Relaxed);
         }
         g.log.push(a);
         let k = g.log.len();
-        self.len.store(k, Ordering::Relaxed);
+        self.len.store(k, Ordering::Release);
         let now_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.last_commit_ns.store(now_ns, Ordering::Relaxed);
         if let Some(obs) = &self.observer {
@@ -174,13 +383,111 @@ impl EventSink {
         if k >= self.max_events {
             g.stop = Some(StopReason::MaxEvents);
             self.stopped.store(true, Ordering::Release);
-        } else if let Some(pred) = &self.stop_when {
-            if k.is_multiple_of(self.stop_check_interval) && pred(&g.log) {
+        } else {
+            let mut fire = false;
+            if self.has_stream_pred {
+                // Taking the drain lock while holding the log lock is
+                // safe here: in legacy mode the drain path (which locks
+                // in the opposite order) never runs.
+                let mut d = self
+                    .drain
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(p) = d.stream_pred.as_mut() {
+                    fire = p(&a);
+                }
+            }
+            if !fire {
+                if let Some(pred) = &self.stop_when {
+                    fire = k.is_multiple_of(self.stop_check_interval) && pred(&g.log);
+                }
+            }
+            if fire {
                 g.stop = Some(StopReason::Predicate);
                 self.stopped.store(true, Ordering::Release);
             }
         }
         Commit::Accepted
+    }
+
+    /// Try to become the drainer and replay the undispatched suffix.
+    /// Losing the `try_lock` race is fine: the current drainer
+    /// re-checks for new commits after finishing, and `into_log`
+    /// flushes whatever remains at the end of the run.
+    fn drain_pending(&self) {
+        while self.dispatched.load(Ordering::Acquire) < self.len.load(Ordering::Acquire) {
+            let Ok(mut d) = self.drain.try_lock() else {
+                return;
+            };
+            self.drain_locked(&mut d);
+        }
+    }
+
+    /// Replay all pending commits to the observer and predicates, in
+    /// schedule order. Caller holds the drain lock; the log lock is
+    /// taken only to memcpy the pending suffix into the scratch
+    /// buffer, never across a callback.
+    fn drain_locked(&self, d: &mut DrainState) {
+        loop {
+            d.scratch.clear();
+            let start = d.drained;
+            {
+                let g = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if g.log.len() <= start {
+                    return;
+                }
+                for i in start..g.log.len() {
+                    d.scratch.push((g.log[i], g.stamps[i]));
+                }
+            }
+            d.drained += d.scratch.len();
+            let scratch = std::mem::take(&mut d.scratch);
+            for (i, (a, ns)) in scratch.iter().enumerate() {
+                if let Some(obs) = &self.observer {
+                    let seq = (start + i) as u64;
+                    afd_obs::dispatch(obs.as_ref(), Stamped::walled(seq, *ns, *a));
+                }
+                if self.stop_when.is_some() {
+                    d.seen.push(*a);
+                }
+                if self.is_stopped() {
+                    continue; // drain everything, but stop judging
+                }
+                let mut fire = false;
+                if let Some(p) = d.stream_pred.as_mut() {
+                    fire = p(a);
+                }
+                if !fire {
+                    if let (Some(pred), true) = (
+                        &self.stop_when,
+                        (start + i + 1).is_multiple_of(self.stop_check_interval),
+                    ) {
+                        fire = pred(&d.seen);
+                    }
+                }
+                if fire {
+                    self.stop(StopReason::Predicate);
+                }
+            }
+            d.scratch = scratch;
+            self.dispatched.store(d.drained, Ordering::Release);
+        }
+    }
+
+    /// Block until every accepted commit has been dispatched. Called
+    /// by `into_log`; also useful in tests.
+    pub fn flush(&self) {
+        if !self.needs_drain {
+            return;
+        }
+        let mut d = self
+            .drain
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.drain_locked(&mut d);
     }
 
     /// Stop the run with `reason` (first stop wins).
@@ -216,7 +523,7 @@ impl EventSink {
     /// Lock-free: has `l` crashed?
     #[must_use]
     pub fn is_crashed(&self, l: Loc) -> bool {
-        self.crashed.load(Ordering::Relaxed) >> l.0 & 1 == 1
+        self.crashed_bit(l)
     }
 
     /// Nanoseconds since the last commit (since start, if none yet).
@@ -232,11 +539,14 @@ impl EventSink {
         self.start.elapsed()
     }
 
-    /// Consume the sink, returning the log and the stop reason.
-    /// Tolerates a poisoned lock (a worker that panicked mid-commit):
-    /// the log up to the poisoning commit is still a legal schedule.
+    /// Consume the sink, returning the log and the stop reason, after
+    /// a final drain flush (so the observer has seen the entire
+    /// schedule by the time this returns). Tolerates a poisoned lock
+    /// (a worker that panicked mid-commit): the log up to the
+    /// poisoning commit is still a legal schedule.
     #[must_use]
     pub fn into_log(self) -> (Vec<Action>, Option<StopReason>) {
+        self.flush();
         let inner = self
             .inner
             .into_inner()
@@ -305,6 +615,37 @@ mod tests {
     }
 
     #[test]
+    fn crash_bitset_covers_the_full_location_range() {
+        // Loc(64) used to shift past the u64 bitset: debug builds
+        // panicked, release builds aliased it onto Loc(0).
+        let sink = EventSink::new(100, 16, None);
+        assert_eq!(sink.try_commit(Action::Crash(Loc(64))), Commit::Accepted);
+        assert!(sink.is_crashed(Loc(64)));
+        assert!(!sink.is_crashed(Loc(0)), "no aliasing onto word 0");
+        assert!(!sink.is_crashed(Loc(63)));
+        assert!(!sink.is_crashed(Loc(128)));
+        assert_eq!(sink.try_commit(Action::Crash(Loc(63))), Commit::Accepted);
+        assert_eq!(sink.try_commit(Action::Crash(Loc(255))), Commit::Accepted);
+        assert!(sink.is_crashed(Loc(63)));
+        assert!(sink.is_crashed(Loc(255)));
+        // And suppression applies at the boundary locations too.
+        assert_eq!(
+            sink.try_commit(Action::Fd {
+                at: Loc(64),
+                out: FdOutput::Leader(Loc(0))
+            }),
+            Commit::Suppressed
+        );
+        assert_eq!(
+            sink.try_commit(Action::Fd {
+                at: Loc(255),
+                out: FdOutput::Leader(Loc(0))
+            }),
+            Commit::Suppressed
+        );
+    }
+
+    #[test]
     fn max_events_stops_the_run() {
         let sink = EventSink::new(2, 16, None);
         assert_eq!(sink.try_commit(send01()), Commit::Accepted);
@@ -336,6 +677,67 @@ mod tests {
     }
 
     #[test]
+    fn stream_predicate_fires_without_interval() {
+        // The incremental predicate is fed every action: interval-free.
+        let sink = EventSink::with_options(SinkOptions {
+            max_events: 100,
+            stop_check_interval: 64, // irrelevant to the stream form
+            stop_stream: Some(Box::new(|a: &Action| a.is_crash())),
+            ..SinkOptions::default()
+        });
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        assert!(!sink.is_stopped());
+        assert_eq!(sink.try_commit(Action::Crash(Loc(1))), Commit::Accepted);
+        assert!(sink.is_stopped());
+        let (_, stop) = sink.into_log();
+        assert_eq!(stop, Some(StopReason::Predicate));
+    }
+
+    #[test]
+    fn batch_commits_land_contiguously() {
+        let sink = EventSink::new(100, 16, None);
+        let batch = [send01(), send01(), Action::Crash(Loc(0))];
+        assert_eq!(sink.try_commit_batch(&batch), (3, Commit::Accepted));
+        // The whole chain after the crash is rejected at its head.
+        assert_eq!(
+            sink.try_commit_batch(&[send01(), send01()]),
+            (0, Commit::Suppressed)
+        );
+        let (log, _) = sink.into_log();
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn batch_respects_the_event_budget() {
+        let sink = EventSink::new(2, 16, None);
+        let batch = [send01(), send01(), send01(), send01()];
+        assert_eq!(sink.try_commit_batch(&batch), (2, Commit::Stopped));
+        assert!(sink.is_stopped());
+        let (log, stop) = sink.into_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(stop, Some(StopReason::MaxEvents));
+    }
+
+    #[test]
+    fn batch_suppression_rejects_the_tail() {
+        let sink = EventSink::new(100, 16, None);
+        // A batch whose second action is an output of a crashed loc:
+        // accepted prefix is exactly the pre-crash part.
+        assert_eq!(sink.try_commit(Action::Crash(Loc(2))), Commit::Accepted);
+        let batch = [
+            send01(),
+            Action::Fd {
+                at: Loc(2),
+                out: FdOutput::Leader(Loc(0)),
+            },
+            send01(),
+        ];
+        assert_eq!(sink.try_commit_batch(&batch), (1, Commit::Suppressed));
+        let (log, _) = sink.into_log();
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
     fn external_stop_first_wins() {
         let sink = EventSink::new(100, 16, None);
         sink.stop(StopReason::Idle);
@@ -364,6 +766,7 @@ mod tests {
             }),
             Commit::Accepted
         );
+        sink.flush();
         let trace = rec.snapshot();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].seq, 0);
@@ -372,6 +775,74 @@ mod tests {
         assert!(trace.iter().all(|ev| ev.wall_ns.is_some()));
         let (log, _) = sink.into_log();
         assert_eq!(log.len(), trace.len());
+    }
+
+    #[test]
+    fn concurrent_commits_drain_in_schedule_order() {
+        // Hammer the sink from several threads; the observer trace
+        // must equal the final log exactly, with increasing seqs.
+        let rec = Arc::new(afd_obs::TraceRecorder::new());
+        let sink = EventSink::with_observer(4_000, 16, None, Some(rec.clone()));
+        std::thread::scope(|s| {
+            for i in 0..4u8 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for j in 0..250u64 {
+                        let a = Action::Send {
+                            from: Loc(i),
+                            to: Loc((i + 1) % 4),
+                            msg: Msg::Token(j),
+                        };
+                        while sink.try_commit(a) != Commit::Accepted {}
+                    }
+                });
+            }
+        });
+        let (log, _) = sink.into_log();
+        assert_eq!(log.len(), 1_000);
+        let trace = rec.snapshot();
+        assert_eq!(trace.len(), log.len());
+        for (k, ev) in trace.iter().enumerate() {
+            assert_eq!(ev.seq, k as u64);
+            assert_eq!(ev.action, log[k]);
+        }
+    }
+
+    #[test]
+    fn locked_reference_pipeline_matches_streamed_semantics() {
+        let rec = Arc::new(afd_obs::TraceRecorder::new());
+        let sink = EventSink::with_options(SinkOptions {
+            max_events: 3,
+            stop_check_interval: 1,
+            observer: Some(rec.clone()),
+            pipeline: CommitPipeline::LockedReference,
+            ..SinkOptions::default()
+        });
+        assert_eq!(sink.try_commit(Action::Crash(Loc(64))), Commit::Accepted);
+        assert!(
+            sink.is_crashed(Loc(64)),
+            "bitset fix applies to both pipelines"
+        );
+        assert_eq!(
+            sink.try_commit(Action::Fd {
+                at: Loc(64),
+                out: FdOutput::Leader(Loc(0))
+            }),
+            Commit::Suppressed
+        );
+        // The batch exactly fills the budget: both land, and the stop
+        // is discovered by the next commit attempt.
+        assert_eq!(
+            sink.try_commit_batch(&[send01(), send01()]),
+            (2, Commit::Accepted)
+        );
+        assert!(sink.is_stopped());
+        assert_eq!(sink.try_commit(send01()), Commit::Stopped);
+        let trace = rec.snapshot();
+        assert_eq!(trace.len(), 3);
+        let (log, stop) = sink.into_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(stop, Some(StopReason::MaxEvents));
     }
 
     #[test]

@@ -77,5 +77,5 @@ pub use environment::{Env, EnvState};
 pub use process::{LocalBehavior, ProcState, ProcessAutomaton};
 pub use refuter::{refute_marabout, RefutationWitness};
 pub use sim::{crash_midway, run_random, run_round_robin, run_sim, SimConfig, SimOutcome};
-pub use stats::RunStats;
+pub use stats::{RunStats, RunStatsStream};
 pub use system::{System, SystemBuilder};

@@ -4,7 +4,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use afd_core::{Action, Frame, Loc, Pi};
+use afd_core::{Action, Frame, Loc, Pi, StreamChecker};
 
 /// Aggregate statistics of a schedule.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -53,71 +53,11 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// Compute statistics over a schedule.
+    /// Compute statistics over a schedule: a thin wrapper over the
+    /// streaming fold ([`RunStatsStream`]).
     #[must_use]
     pub fn of(schedule: &[Action]) -> Self {
-        let mut st = RunStats::default();
-        let mut backlog: BTreeMap<(Loc, Loc), usize> = BTreeMap::new();
-        let mut data_sent: BTreeSet<(Loc, Loc, u32)> = BTreeSet::new();
-        let mut data_rcvd: BTreeSet<(Loc, Loc, u32)> = BTreeSet::new();
-        for (k, a) in schedule.iter().enumerate() {
-            st.events += 1;
-            *st.per_loc.entry(a.loc()).or_insert(0) += 1;
-            match a {
-                Action::Crash(_) => st.crashes += 1,
-                Action::Send { from, to, .. } => {
-                    st.sends += 1;
-                    let q = backlog.entry((*from, *to)).or_insert(0);
-                    *q += 1;
-                    st.max_in_flight = st.max_in_flight.max(*q);
-                    let peak = st.per_channel_in_flight.entry((*from, *to)).or_insert(0);
-                    *peak = (*peak).max(*q);
-                }
-                Action::Receive { from, to, .. } => {
-                    st.receives += 1;
-                    if let Some(q) = backlog.get_mut(&(*from, *to)) {
-                        *q = q.saturating_sub(1);
-                    }
-                }
-                Action::Fd { .. } => st.fd_outputs += 1,
-                Action::FdRenamed { .. } => st.fd_renamed += 1,
-                Action::Propose { .. }
-                | Action::ProposeK { .. }
-                | Action::Broadcast { .. }
-                | Action::Vote { .. }
-                | Action::Query { .. } => st.problem_inputs += 1,
-                Action::Decide { .. }
-                | Action::DecideK { .. }
-                | Action::Deliver { .. }
-                | Action::Elect { .. }
-                | Action::Verdict { .. }
-                | Action::QueryReply { .. } => {
-                    st.problem_outputs += 1;
-                    if matches!(a, Action::Decide { .. } | Action::DecideK { .. }) {
-                        st.first_decision_at.get_or_insert(k);
-                        st.last_decision_at = Some(k);
-                    }
-                }
-                Action::WireSend { from, to, frame } => {
-                    st.wire_sends += 1;
-                    if let Frame::Data { seq, .. } = frame {
-                        if !data_sent.insert((*from, *to, *seq)) {
-                            st.retransmissions += 1;
-                        }
-                    }
-                }
-                Action::WireRecv { from, to, frame } => {
-                    st.wire_receives += 1;
-                    if let Frame::Data { seq, .. } = frame {
-                        if !data_rcvd.insert((*from, *to, *seq)) {
-                            st.dup_frames += 1;
-                        }
-                    }
-                }
-                Action::Internal { .. } => {}
-            }
-        }
-        st
+        RunStatsStream::new().check_all(schedule)
     }
 
     /// Messages still in flight at the end: sends minus receives.
@@ -165,6 +105,103 @@ impl RunStats {
         pi.iter()
             .filter(|l| !self.per_loc.contains_key(l))
             .collect()
+    }
+}
+
+/// Streaming form of [`RunStats::of`]: fold actions one at a time and
+/// read the aggregate at any prefix. Auxiliary fold state (per-channel
+/// backlogs, seen wire sequence numbers) lives here, outside the
+/// published statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RunStatsStream {
+    st: RunStats,
+    backlog: BTreeMap<(Loc, Loc), usize>,
+    data_sent: BTreeSet<(Loc, Loc, u32)>,
+    data_rcvd: BTreeSet<(Loc, Loc, u32)>,
+    k: usize,
+}
+
+impl RunStatsStream {
+    /// An empty fold.
+    #[must_use]
+    pub fn new() -> Self {
+        RunStatsStream::default()
+    }
+
+    /// The statistics of the prefix folded so far, by reference (no
+    /// clone — for hot paths that read a counter per commit).
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.st
+    }
+}
+
+impl StreamChecker for RunStatsStream {
+    type Verdict = RunStats;
+
+    fn push(&mut self, a: &Action) {
+        let st = &mut self.st;
+        let k = self.k;
+        self.k += 1;
+        st.events += 1;
+        *st.per_loc.entry(a.loc()).or_insert(0) += 1;
+        match a {
+            Action::Crash(_) => st.crashes += 1,
+            Action::Send { from, to, .. } => {
+                st.sends += 1;
+                let q = self.backlog.entry((*from, *to)).or_insert(0);
+                *q += 1;
+                st.max_in_flight = st.max_in_flight.max(*q);
+                let peak = st.per_channel_in_flight.entry((*from, *to)).or_insert(0);
+                *peak = (*peak).max(*q);
+            }
+            Action::Receive { from, to, .. } => {
+                st.receives += 1;
+                if let Some(q) = self.backlog.get_mut(&(*from, *to)) {
+                    *q = q.saturating_sub(1);
+                }
+            }
+            Action::Fd { .. } => st.fd_outputs += 1,
+            Action::FdRenamed { .. } => st.fd_renamed += 1,
+            Action::Propose { .. }
+            | Action::ProposeK { .. }
+            | Action::Broadcast { .. }
+            | Action::Vote { .. }
+            | Action::Query { .. } => st.problem_inputs += 1,
+            Action::Decide { .. }
+            | Action::DecideK { .. }
+            | Action::Deliver { .. }
+            | Action::Elect { .. }
+            | Action::Verdict { .. }
+            | Action::QueryReply { .. } => {
+                st.problem_outputs += 1;
+                if matches!(a, Action::Decide { .. } | Action::DecideK { .. }) {
+                    st.first_decision_at.get_or_insert(k);
+                    st.last_decision_at = Some(k);
+                }
+            }
+            Action::WireSend { from, to, frame } => {
+                st.wire_sends += 1;
+                if let Frame::Data { seq, .. } = frame {
+                    if !self.data_sent.insert((*from, *to, *seq)) {
+                        st.retransmissions += 1;
+                    }
+                }
+            }
+            Action::WireRecv { from, to, frame } => {
+                st.wire_receives += 1;
+                if let Frame::Data { seq, .. } = frame {
+                    if !self.data_rcvd.insert((*from, *to, *seq)) {
+                        st.dup_frames += 1;
+                    }
+                }
+            }
+            Action::Internal { .. } => {}
+        }
+    }
+
+    fn finish(&self) -> RunStats {
+        self.st.clone()
     }
 }
 

@@ -2,7 +2,11 @@
 //!
 //! Usage: `cargo run --release --bin experiments [--json] [table...]`
 //! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
-//! q, s, misc}; with no table arguments, all tables are produced.
+//! t, q, s, misc}; with no table arguments, all tables are produced.
+//!
+//! Table `t` additionally writes `BENCH_runtime.json` at the working
+//! directory root: the commit-path throughput grid plus the
+//! streamed-vs-locked speedup check (set `SMOKE=1` for a short run).
 //!
 //! - Default output is the markdown used in EXPERIMENTS.md.
 //! - `--json` emits the same tables as one machine-readable JSON
@@ -32,8 +36,8 @@ use afd_tree::{
 };
 
 /// Every table this binary can produce, in print order.
-const TABLES: [&str; 12] = [
-    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "q", "s", "misc",
+const TABLES: [&str; 13] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "q", "s", "misc",
 ];
 
 /// One experiment table: a grid of rendered cells plus free-form notes
@@ -158,6 +162,7 @@ fn main() {
             "t59" => tables.push(table_t59_hooks()),
             "perf" => tables.push(table_perf_consensus()),
             "runtime" => tables.extend(table_runtime()),
+            "t" => tables.push(table_t_throughput()),
             "q" => tables.extend(table_q_qos()),
             "s" => tables.push(table_s_chaos()),
             "misc" => tables.push(table_misc()),
@@ -791,6 +796,205 @@ fn table_runtime() -> Vec<Table> {
         ]);
     }
     vec![t, tp]
+}
+
+/// Table T: commit-path throughput of the threaded runtime, and the
+/// streamed-vs-locked speedup check. Also emits `BENCH_runtime.json`
+/// (machine-readable copy of both, consumed by CI).
+///
+/// Two measurements:
+/// * end-to-end: the threaded A_self(Ω) system with `fd_pacing = 0`
+///   run to a fixed event budget, swept over n ∈ {3, 8, 16} ×
+///   observer on/off × incremental stop predicate on/off (the
+///   predicate cannot fire — nobody decides — so the rows isolate its
+///   *cost*);
+/// * commit path in isolation: 8 producer threads hammering one
+///   `EventSink` with observer + stop predicate enabled, streamed
+///   pipeline (incremental predicate, checked every event) vs the
+///   pre-pipeline `LockedReference` baseline (slice predicate at the
+///   default interval, dispatch under the lock). The speedup must be
+///   ≥ 2× or the table records a failure.
+fn table_t_throughput() -> Table {
+    use afd_algorithms::consensus::all_live_decided_stream;
+    use afd_runtime::{
+        run_threaded, Commit, CommitPipeline, EventSink, RuntimeConfig, SinkOptions,
+    };
+    use std::time::Duration;
+
+    let smoke = std::env::var("SMOKE").is_ok();
+    let mut t = Table::new(
+        "t",
+        format!(
+            "Table T — commit-path throughput (threaded A_self(Ω), fd_pacing = 0{})",
+            if smoke { ", SMOKE" } else { "" }
+        ),
+    );
+    t.columns(&[
+        "n",
+        "observer",
+        "predicate",
+        "events",
+        "elapsed (ms)",
+        "events/sec",
+    ]);
+    let budget = if smoke { 4_000usize } else { 20_000 };
+    let mut grid_json: Vec<Json> = Vec::new();
+    for n in [3usize, 8, 16] {
+        let pi = Pi::new(n);
+        for (obs_on, pred_on) in [(false, false), (true, false), (false, true), (true, true)] {
+            let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
+            let metrics = Arc::new(Metrics::new());
+            let mut cfg = RuntimeConfig::default()
+                .with_max_events(budget)
+                .with_fd_pacing(Duration::ZERO)
+                .with_wall_timeout(Duration::from_secs(60))
+                .with_seed(7);
+            if obs_on {
+                cfg = cfg.with_observer(Arc::new(MetricsObserver::new(metrics.clone())));
+            }
+            if pred_on {
+                cfg = cfg.stop_when_stream(move || all_live_decided_stream(pi));
+            }
+            let out = run_threaded(&sys, &cfg);
+            if out.events() != budget {
+                t.fail(format!(
+                    "t: n={n} obs={obs_on} pred={pred_on}: {} of {budget} events (stop {:?})",
+                    out.events(),
+                    out.stop
+                ));
+            }
+            if obs_on && metrics.counter("events.total").get() != out.events() as u64 {
+                t.fail(format!(
+                    "t: n={n} observer saw {} of {} commits",
+                    metrics.counter("events.total").get(),
+                    out.events()
+                ));
+            }
+            let eps = out.events_per_sec();
+            let ms = out.elapsed.as_secs_f64() * 1e3;
+            t.row(vec![
+                n.to_string(),
+                if obs_on { "on" } else { "off" }.into(),
+                if pred_on { "stream" } else { "off" }.into(),
+                out.events().to_string(),
+                format!("{ms:.1}"),
+                format!("{eps:.0}"),
+            ]);
+            grid_json.push(Json::Obj(vec![
+                ("n".into(), Json::Num(n as f64)),
+                ("observer".into(), Json::Bool(obs_on)),
+                ("predicate".into(), Json::Bool(pred_on)),
+                ("events".into(), Json::Num(out.events() as f64)),
+                ("elapsed_ms".into(), Json::Num(ms)),
+                ("events_per_sec".into(), Json::Num(eps)),
+            ]));
+        }
+    }
+    t.note(
+        "The incremental predicate (`all_live_decided_stream`) is checked at every commit \
+         but cannot fire on this system (nothing decides), so predicate-on rows isolate \
+         its cost. Criterion benches over the same path: `cargo bench -p afd-bench`.",
+    );
+
+    // Commit path in isolation: 8 producers, observer + stop predicate
+    // on, streamed (incremental predicate) vs the pre-pipeline locked
+    // baseline (slice predicate at the default interval). Best of 3
+    // reps each to damp scheduler noise.
+    let bench_n = 8usize;
+    let bench_events = 40_000usize;
+    let reps = 3;
+    let pi = Pi::new(bench_n);
+    let measure = |pipeline: CommitPipeline| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            let metrics = Arc::new(Metrics::new());
+            let sink = EventSink::with_options(SinkOptions {
+                max_events: bench_events,
+                stop_check_interval: RuntimeConfig::default().stop_check_interval,
+                stop_when: match pipeline {
+                    CommitPipeline::LockedReference => {
+                        Some(Arc::new(move |s: &[Action]| all_live_decided(pi, s)))
+                    }
+                    CommitPipeline::Streamed => None,
+                },
+                stop_stream: match pipeline {
+                    CommitPipeline::Streamed => Some(all_live_decided_stream(pi)),
+                    CommitPipeline::LockedReference => None,
+                },
+                observer: Some(Arc::new(MetricsObserver::new(metrics.clone()))),
+                pipeline,
+            });
+            let t0 = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for i in 0..bench_n {
+                    let sink = &sink;
+                    s.spawn(move || {
+                        let mut k = 0u64;
+                        loop {
+                            let a = Action::Send {
+                                from: Loc(i as u8),
+                                to: Loc(((i + 1) % bench_n) as u8),
+                                msg: afd_core::Msg::Token(k),
+                            };
+                            match sink.try_commit(a) {
+                                Commit::Stopped => return,
+                                _ => k += 1,
+                            }
+                        }
+                    });
+                }
+            });
+            let (log, _) = sink.into_log(); // includes the final flush
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(log.len(), bench_events);
+            best = best.max(log.len() as f64 / dt);
+        }
+        best
+    };
+    let locked = measure(CommitPipeline::LockedReference);
+    let streamed = measure(CommitPipeline::Streamed);
+    let speedup = streamed / locked;
+    let required = 2.0;
+    let verdict = t.check(
+        speedup >= required,
+        &format!("{speedup:.1}× ✓ (≥ {required}×)"),
+        format!(
+            "t: streamed commit path only {speedup:.2}× over the locked baseline \
+             ({streamed:.0} vs {locked:.0} ev/s, need ≥ {required}×)"
+        ),
+    );
+    t.note(format!(
+        "commit path in isolation ({bench_n} producers, observer + stop predicate on, \
+         {bench_events} events, best of {reps}): locked reference {locked:.0} ev/s, \
+         streamed {streamed:.0} ev/s — speedup {verdict}"
+    ));
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("runtime-commit-path".into())),
+        (
+            "generated_by".into(),
+            Json::Str("experiments t (afd-repro)".into()),
+        ),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("throughput".into(), Json::Arr(grid_json)),
+        (
+            "commit_path".into(),
+            Json::Obj(vec![
+                ("producers".into(), Json::Num(bench_n as f64)),
+                ("events".into(), Json::Num(bench_events as f64)),
+                ("reps".into(), Json::Num(reps as f64)),
+                ("locked_reference_events_per_sec".into(), Json::Num(locked)),
+                ("streamed_events_per_sec".into(), Json::Num(streamed)),
+                ("speedup".into(), Json::Num(speedup)),
+                ("required_min_speedup".into(), Json::Num(required)),
+                ("pass".into(), Json::Bool(speedup >= required)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_runtime.json", doc.render() + "\n") {
+        t.fail(format!("t: writing BENCH_runtime.json failed: {e}"));
+    }
+    t
 }
 
 /// Table Q: detector quality of service, measured through the observer

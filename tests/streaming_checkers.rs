@@ -1,0 +1,566 @@
+//! Property tests: the streaming checkers agree with their batch
+//! counterparts on arbitrary schedules.
+//!
+//! Since PR 4 the batch entry points (`check_validity`,
+//! `AfdSpec::check_complete` for Ω/P/◇P, `Consensus::check`,
+//! `RunStats::of`) are thin wrappers over the streaming folds, so
+//! "stream vs batch wrapper" alone would be a tautology. These tests
+//! therefore compare against two independent oracles:
+//!
+//! 1. **Reference scans** written here from the spec text: plain
+//!    slice-based re-implementations of validity, the "eventually
+//!    forever" clauses, Ω's leader election, and the consensus clause
+//!    order (the latter built from the *retained* batch clause
+//!    functions `env_well_formed` / `crash_validity` / `agreement` /
+//!    `validity` / `termination`). Verdicts must match **byte for
+//!    byte**, rule and detail.
+//! 2. **Prefix determinism**: one long-lived stream, pushed one action
+//!    at a time, must at *every cut* render the same verdict as a
+//!    fresh fold of the prefix — a stream whose state leaks across
+//!    pushes or peeks ahead fails this.
+//!
+//! Schedules are adversarial mixes over the full action alphabet —
+//! FD outputs of both shapes, app traffic, `WireSend`/`WireRecv`
+//! frames (with retransmissions and duplicate deliveries), chaos
+//! `Internal` steps, proposes/decides, and crashes, *including*
+//! outputs after crashes. A separate property replays the sink's
+//! crash-suppression rule and checks the suppressed trace is
+//! safety-clean under every checker.
+
+use afd_core::afds::{EvPerfect, Omega, Perfect};
+use afd_core::problems::consensus::Consensus;
+use afd_core::trace::{check_validity, faulty, live, ValidityReport, Violation};
+use afd_core::{
+    Action, AfdSpec, FdOutput, Frame, Loc, LocSet, Msg, Pi, ProblemSpec, StreamChecker,
+};
+use afd_system::{RunStats, RunStatsStream};
+
+use afd_algorithms::consensus::{all_live_decided, all_live_decided_stream};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------
+// Schedule generators
+// ---------------------------------------------------------------------
+
+fn random_subset(rng: &mut StdRng, n: u8) -> LocSet {
+    let mut s = LocSet::empty();
+    for i in 0..n {
+        if rng.gen_bool(0.3) {
+            s.insert(Loc(i));
+        }
+    }
+    s
+}
+
+fn random_frame(rng: &mut StdRng) -> Frame {
+    if rng.gen_bool(0.7) {
+        Frame::Data {
+            // Tiny sequence space on purpose: collisions exercise the
+            // retransmission / duplicate-delivery counters.
+            seq: rng.gen_range(0u32..4),
+            msg: Msg::Token(rng.gen_range(0u64..4)),
+        }
+    } else {
+        Frame::Ack {
+            cum: rng.gen_range(0u32..4),
+        }
+    }
+}
+
+/// An adversarial schedule over the full alphabet: nothing here
+/// respects crashes, agreement, or channel discipline — the checkers
+/// must judge it identically whichever way they fold it.
+fn arb_schedule(seed: u64, n: u8, len: usize) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Vec::with_capacity(len);
+    for _ in 0..len {
+        let at = Loc(rng.gen_range(0..n));
+        let other = Loc(rng.gen_range(0..n));
+        t.push(match rng.gen_range(0u32..100) {
+            0..=7 => Action::Crash(at),
+            8..=25 => Action::Fd {
+                at,
+                out: FdOutput::Leader(other),
+            },
+            26..=43 => Action::Fd {
+                at,
+                out: FdOutput::Suspects(random_subset(&mut rng, n)),
+            },
+            44..=52 => Action::Send {
+                from: at,
+                to: other,
+                msg: Msg::Token(rng.gen_range(0u64..8)),
+            },
+            53..=61 => Action::Receive {
+                from: other,
+                to: at,
+                msg: Msg::Token(rng.gen_range(0u64..8)),
+            },
+            62..=69 => Action::WireSend {
+                from: at,
+                to: other,
+                frame: random_frame(&mut rng),
+            },
+            70..=77 => Action::WireRecv {
+                from: other,
+                to: at,
+                frame: random_frame(&mut rng),
+            },
+            78..=84 => Action::Propose {
+                at,
+                v: rng.gen_range(0u64..3),
+            },
+            85..=92 => Action::Decide {
+                at,
+                v: rng.gen_range(0u64..3),
+            },
+            _ => Action::Internal {
+                at,
+                tag: rng.gen_range(0u32..4) as u16,
+            },
+        });
+    }
+    t
+}
+
+/// A consensus-flavoured schedule. Half the seeds produce a mostly
+/// well-formed run (every location proposes once, decides echo a
+/// proposed value) with occasional corruption, so the deep clauses —
+/// agreement, validity, termination — actually come into scope; the
+/// other half are fully adversarial.
+fn arb_consensus_schedule(seed: u64, n: u8, len: usize) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if rng.gen_bool(0.5) {
+        return arb_schedule(seed ^ 0x9e37_79b9, n, len);
+    }
+    let mut t = Vec::with_capacity(len + n as usize);
+    for i in 0..n {
+        t.push(Action::Propose {
+            at: Loc(i),
+            v: rng.gen_range(0u64..2),
+        });
+    }
+    for _ in 0..len {
+        let at = Loc(rng.gen_range(0..n));
+        t.push(match rng.gen_range(0u32..100) {
+            0..=9 => Action::Crash(at),
+            10..=54 => Action::Decide {
+                at,
+                // Mostly a proposed value (0/1); sometimes value 2,
+                // which nobody proposed — a validity violation.
+                v: rng
+                    .gen_range(0u64..3)
+                    .min(if rng.gen_bool(0.9) { 1 } else { 2 }),
+            },
+            55..=64 => Action::Propose {
+                // Occasionally a *second* propose: env violation.
+                at,
+                v: rng.gen_range(0u64..2),
+            },
+            _ => Action::Internal {
+                at,
+                tag: rng.gen_range(0u32..4) as u16,
+            },
+        });
+    }
+    t
+}
+
+/// Replay the sink's crash-suppression rule on a schedule: once a
+/// location crashes, its actions are dropped — except `Receive` /
+/// `WireRecv`, which occur *at* the destination but were produced by a
+/// channel and may still land (`wire_deliveries_to_dead_locations` in
+/// the sink tests).
+fn crash_suppressed(t: &[Action]) -> Vec<Action> {
+    let mut crashed = LocSet::empty();
+    let mut out = Vec::new();
+    for a in t {
+        if let Some(l) = a.crash_loc() {
+            if !crashed.contains(l) {
+                crashed.insert(l);
+                out.push(*a);
+            }
+            continue;
+        }
+        let exempt = matches!(a, Action::Receive { .. } | Action::WireRecv { .. });
+        if exempt || !crashed.contains(a.loc()) {
+            out.push(*a);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Reference scans (independent of `FdFold` / the streaming state)
+// ---------------------------------------------------------------------
+
+/// Slice re-implementation of the validity report: first
+/// output-after-crash, plus every starved live location in ascending
+/// order.
+fn reference_validity_report<F>(pi: Pi, t: &[Action], classify: F, min: usize) -> ValidityReport
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    let mut crashed = LocSet::empty();
+    let mut safety = Ok(());
+    for (k, a) in t.iter().enumerate() {
+        if let Some(l) = a.crash_loc() {
+            crashed.insert(l);
+        } else if let Some(i) = classify(a) {
+            if crashed.contains(i) && safety.is_ok() {
+                safety = Err(Violation::new(
+                    "validity.safety",
+                    format!("output {a} at index {k} after crash of {i}"),
+                ));
+            }
+        }
+    }
+    let starved_live = live(pi, t)
+        .iter()
+        .map(|l| (l, t.iter().filter(|a| classify(a) == Some(l)).count()))
+        .filter(|&(_, c)| c < min)
+        .collect();
+    ValidityReport {
+        safety,
+        starved_live,
+    }
+}
+
+/// The fail-fast form: safety first, then the first starved live
+/// location — shape and message of `FdFold::require_validity`.
+fn reference_validity<F>(pi: Pi, t: &[Action], classify: F, min: usize) -> Result<(), Violation>
+where
+    F: Fn(&Action) -> Option<Loc>,
+{
+    let rep = reference_validity_report(pi, t, classify, min);
+    rep.safety?;
+    if let Some((l, c)) = rep.starved_live.first() {
+        return Err(Violation::new(
+            "validity.liveness",
+            format!("live location {l} produced only {c} outputs (need ≥ {min})"),
+        ));
+    }
+    Ok(())
+}
+
+/// The "eventually forever" clause by suffix scan: each live
+/// location's *final* classified output must satisfy `good`.
+fn reference_stable<C, G>(
+    pi: Pi,
+    t: &[Action],
+    classify: C,
+    clause: &'static str,
+    good: G,
+) -> Result<(), Violation>
+where
+    C: Fn(&Action) -> Option<(Loc, FdOutput)>,
+    G: Fn(Loc, FdOutput) -> bool,
+{
+    for i in live(pi, t).iter() {
+        let last = t
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(k, a)| match classify(a) {
+                Some((j, v)) if j == i => Some((k, v)),
+                _ => None,
+            });
+        let Some((last_k, last_out)) = last else {
+            return Err(Violation::new(
+                "eventually.unwitnessed",
+                format!("{clause}: live location {i} has no output"),
+            ));
+        };
+        if !good(i, last_out) {
+            return Err(Violation::new(
+                "eventually.violated",
+                format!("{clause}: final output of live {i} (index {last_k}) violates the clause"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn leader_loc(a: &Action) -> Option<Loc> {
+    match a.fd_output() {
+        Some((i, FdOutput::Leader(_))) => Some(i),
+        _ => None,
+    }
+}
+
+fn leader_val(a: &Action) -> Option<(Loc, FdOutput)> {
+    match a.fd_output() {
+        Some((i, FdOutput::Leader(l))) => Some((i, FdOutput::Leader(l))),
+        _ => None,
+    }
+}
+
+fn suspects_loc(a: &Action) -> Option<Loc> {
+    match a.fd_output() {
+        Some((i, FdOutput::Suspects(_))) => Some(i),
+        _ => None,
+    }
+}
+
+fn suspects_val(a: &Action) -> Option<(Loc, FdOutput)> {
+    match a.fd_output() {
+        Some((i, FdOutput::Suspects(s))) => Some((i, FdOutput::Suspects(s))),
+        _ => None,
+    }
+}
+
+/// `T_Ω` membership by reference scan (leader election via the
+/// retained batch `Omega::eventual_leader`).
+fn reference_omega(pi: Pi, t: &[Action]) -> Result<(), Violation> {
+    reference_validity(pi, t, leader_loc, 1)?;
+    let alive = live(pi, t);
+    if alive.is_empty() {
+        return Ok(());
+    }
+    let Some(l) = Omega.eventual_leader(pi, t) else {
+        return Err(Violation::new(
+            "omega.no-candidate",
+            "no Ω output at a live location",
+        ));
+    };
+    if !alive.contains(l) {
+        return Err(Violation::new(
+            "omega.faulty-leader",
+            format!("eventual leader {l} is faulty"),
+        ));
+    }
+    reference_stable(pi, t, leader_val, "omega.stable-leader", |_, out| {
+        out == FdOutput::Leader(l)
+    })
+}
+
+/// `T_P` membership by reference scan (accuracy via the retained batch
+/// `Perfect::check_accuracy`).
+fn reference_perfect(pi: Pi, t: &[Action]) -> Result<(), Violation> {
+    reference_validity(pi, t, suspects_loc, 1)?;
+    Perfect.check_accuracy(t)?;
+    let f = faulty(t);
+    if f.is_empty() {
+        return Ok(());
+    }
+    reference_stable(pi, t, suspects_val, "perfect.completeness", |_, out| {
+        out.as_suspects().is_some_and(|s| f.is_subset(s))
+    })
+}
+
+/// P's safety-only prefix verdict: first output-after-crash, else
+/// first premature suspicion.
+fn reference_perfect_safety(pi: Pi, t: &[Action]) -> Result<(), Violation> {
+    reference_validity_report(pi, t, suspects_loc, 0).safety?;
+    Perfect.check_accuracy(t)
+}
+
+/// `T_◇P` membership by reference scan.
+fn reference_ev_perfect(pi: Pi, t: &[Action]) -> Result<(), Violation> {
+    reference_validity(pi, t, suspects_loc, 1)?;
+    let f = faulty(t);
+    let alive = live(pi, t);
+    if alive.is_empty() {
+        return Ok(());
+    }
+    reference_stable(pi, t, suspects_val, "ev-perfect.converged", |_, out| {
+        out.as_suspects()
+            .is_some_and(|s| f.is_subset(s) && !s.intersects(alive))
+    })
+}
+
+/// `T_consensus` by composing the retained batch clause functions in
+/// the documented order: vacuous acceptance unless the environment is
+/// well-formed and crash-limited, then crash validity, agreement,
+/// validity, termination.
+fn reference_consensus(c: &Consensus, pi: Pi, t: &[Action]) -> Result<(), Violation> {
+    if Consensus::env_well_formed(pi, t).is_err() || !c.crash_limited(t) {
+        return Ok(());
+    }
+    Consensus::crash_validity(t)?;
+    Consensus::agreement(t)?;
+    Consensus::validity(t)?;
+    Consensus::termination(pi, t)
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One long-lived `RunStatsStream` renders, at every cut, exactly
+    /// the statistics of a fresh batch pass over the prefix — counts,
+    /// per-channel backlog peaks, wire retransmissions/dups, decision
+    /// indices, everything.
+    #[test]
+    fn run_stats_stream_matches_batch_at_every_cut(
+        seed in 0u64..1 << 48, n in 2u8..6, len in 0usize..90,
+    ) {
+        let t = arb_schedule(seed, n, len);
+        let mut s = RunStatsStream::new();
+        for k in 0..=t.len() {
+            if k > 0 {
+                s.push(&t[k - 1]);
+            }
+            let batch = RunStats::of(&t[..k]);
+            prop_assert_eq!(s.stats(), &batch, "cut at {}", k);
+            prop_assert_eq!(s.finish(), batch);
+        }
+    }
+
+    /// `check_validity` (now a streaming wrapper) agrees with the
+    /// slice reference scan at every cut, for both FD output shapes.
+    #[test]
+    fn validity_matches_the_reference_scan(
+        seed in 0u64..1 << 48, n in 2u8..6, len in 0usize..80,
+    ) {
+        let pi = Pi::new(n as usize);
+        let t = arb_schedule(seed, n, len);
+        for k in 0..=t.len() {
+            let p = &t[..k];
+            prop_assert_eq!(
+                check_validity(pi, p, leader_loc, 1),
+                reference_validity_report(pi, p, leader_loc, 1),
+            );
+            prop_assert_eq!(
+                check_validity(pi, p, suspects_loc, 2),
+                reference_validity_report(pi, p, suspects_loc, 2),
+            );
+        }
+    }
+
+    /// A long-lived `OmegaStream` agrees with the reference scan —
+    /// and hence with `check_complete` on the prefix — at every cut.
+    #[test]
+    fn omega_stream_matches_the_reference_scan(
+        seed in 0u64..1 << 48, n in 2u8..5, len in 0usize..70,
+    ) {
+        let pi = Pi::new(n as usize);
+        let t = arb_schedule(seed, n, len);
+        let mut s = Omega::stream(pi);
+        for k in 0..=t.len() {
+            if k > 0 {
+                s.push(&t[k - 1]);
+            }
+            prop_assert_eq!(s.finish(), reference_omega(pi, &t[..k]), "cut at {}", k);
+            prop_assert_eq!(s.finish(), Omega.check_complete(pi, &t[..k]));
+        }
+    }
+
+    /// A long-lived `PerfectStream` agrees with the reference scan at
+    /// every cut, on both the complete-run and the safety-only
+    /// (`check_prefix`) verdicts.
+    #[test]
+    fn perfect_stream_matches_the_reference_scan(
+        seed in 0u64..1 << 48, n in 2u8..5, len in 0usize..70,
+    ) {
+        let pi = Pi::new(n as usize);
+        let t = arb_schedule(seed, n, len);
+        let mut s = Perfect::stream(pi);
+        for k in 0..=t.len() {
+            if k > 0 {
+                s.push(&t[k - 1]);
+            }
+            let p = &t[..k];
+            prop_assert_eq!(s.finish(), reference_perfect(pi, p), "cut at {}", k);
+            prop_assert_eq!(s.check_safety(), reference_perfect_safety(pi, p));
+            prop_assert_eq!(s.check_safety(), Perfect.check_prefix(pi, p));
+        }
+    }
+
+    /// A long-lived `EvPerfectStream` agrees with the reference scan
+    /// at every cut.
+    #[test]
+    fn ev_perfect_stream_matches_the_reference_scan(
+        seed in 0u64..1 << 48, n in 2u8..5, len in 0usize..70,
+    ) {
+        let pi = Pi::new(n as usize);
+        let t = arb_schedule(seed, n, len);
+        let mut s = EvPerfect::stream(pi);
+        for k in 0..=t.len() {
+            if k > 0 {
+                s.push(&t[k - 1]);
+            }
+            prop_assert_eq!(s.finish(), reference_ev_perfect(pi, &t[..k]), "cut at {}", k);
+        }
+    }
+
+    /// A long-lived `ConsensusStream` renders, at every cut, the
+    /// verdict of the retained batch clause functions composed in the
+    /// documented order — including vacuous acceptance when the
+    /// environment antecedent fails.
+    #[test]
+    fn consensus_stream_matches_the_clause_scans(
+        seed in 0u64..1 << 48, n in 2u8..5, len in 0usize..60, f in 0usize..4,
+    ) {
+        let pi = Pi::new(n as usize);
+        let c = Consensus::new(f);
+        let t = arb_consensus_schedule(seed, n, len);
+        let mut s = c.stream(pi);
+        for k in 0..=t.len() {
+            if k > 0 {
+                s.push(&t[k - 1]);
+            }
+            let p = &t[..k];
+            prop_assert_eq!(s.finish(), reference_consensus(&c, pi, p), "cut at {}", k);
+            prop_assert_eq!(s.finish(), c.check(pi, p));
+        }
+    }
+
+    /// The incremental stop predicate fires exactly where the batch
+    /// `all_live_decided` scan first becomes true, and both stay true
+    /// from then on (monotonicity).
+    #[test]
+    fn stop_predicate_stream_matches_batch_at_every_cut(
+        seed in 0u64..1 << 48, n in 2u8..5, len in 0usize..80,
+    ) {
+        let pi = Pi::new(n as usize);
+        let t = arb_consensus_schedule(seed, n, len);
+        let mut pred = all_live_decided_stream(pi);
+        let mut fired = false;
+        let mut prev = false;
+        for k in 0..=t.len() {
+            if k > 0 {
+                fired |= pred(&t[k - 1]);
+            }
+            let batch = all_live_decided(pi, &t[..k]);
+            prop_assert_eq!(fired, batch, "cut at {}", k);
+            prop_assert!(batch || !prev, "batch predicate must be monotone");
+            prev = batch;
+        }
+    }
+
+    /// Traces filtered by the sink's crash-suppression rule never
+    /// contain an output-after-crash, so every checker's safety clause
+    /// is clean — and the stream/reference agreement holds on the
+    /// suppressed trace too (deliveries to dead locations included).
+    #[test]
+    fn crash_suppressed_traces_are_safety_clean_and_agree(
+        seed in 0u64..1 << 48, n in 2u8..6, len in 0usize..90,
+    ) {
+        let pi = Pi::new(n as usize);
+        let t = crash_suppressed(&arb_schedule(seed, n, len));
+        prop_assert!(check_validity(pi, &t, leader_loc, 0).safety.is_ok());
+        prop_assert!(check_validity(pi, &t, suspects_loc, 0).safety.is_ok());
+        prop_assert_eq!(
+            Omega::stream(pi).check_all(&t),
+            reference_omega(pi, &t)
+        );
+        prop_assert_eq!(
+            Perfect::stream(pi).check_all(&t),
+            reference_perfect(pi, &t)
+        );
+        prop_assert_eq!(
+            EvPerfect::stream(pi).check_all(&t),
+            reference_ev_perfect(pi, &t)
+        );
+        let c = Consensus::new(n as usize - 1);
+        prop_assert_eq!(c.check(pi, &t), reference_consensus(&c, pi, &t));
+        prop_assert_eq!(RunStatsStream::new().check_all(&t), RunStats::of(&t));
+    }
+}

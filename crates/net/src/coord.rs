@@ -1,0 +1,1021 @@
+//! The coordinator: owns a distributed run end to end.
+//!
+//! `run_distributed` spawns N node processes, assigns each a subset of
+//! Π, and then plays the role every non-process component needs a home
+//! for: the failure-detector and environment automata run as local
+//! worker threads, every channel runs inside the [`crate::netchaos`]
+//! router, the crash injector fires the fault script (committing
+//! `Crash` for Halt faults, delivering a real `SIGKILL` for Kill
+//! faults), and the watchdog monitor bounds stalls and wall time.
+//!
+//! The linearization point is a single [`EventSink`]: node `CommitReq`
+//! frames, local worker commits, router deliveries and injected
+//! crashes all funnel through `Fabric::commit_from`, which commits
+//! into the sink and — on acceptance — routes the action to every
+//! component that takes it as input, wherever that component lives
+//! (local queue, router inbox, or a `Deliver` frame to the hosting
+//! node). The sink drives the online streaming checkers through its
+//! observer hook, so conformance and consensus are checked *while* the
+//! run executes, not after.
+//!
+//! Crash containment: a node socket dying unexpectedly (EOF, write
+//! error) is treated exactly like a Kill fault — every location the
+//! node hosted is crashed in the schedule — so a wedged or murdered
+//! node can never hang the run; at worst the watchdog ends it.
+
+use std::io::Read as _;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use afd_core::{Action, Loc, Pi, Stamped};
+use afd_obs::Observer;
+use afd_runtime::{
+    chaos_plan_jsonl, ChaosReport, Commit, EventSink, LinkFaults, Partition, RuntimeConfig,
+    SinkOptions, StopReason,
+};
+use afd_system::{Component, ComponentKind};
+use ioa::{ActionClass, Automaton, TaskId};
+
+use crate::codec::{read_frame, write_frame, CommitStatus, WireMsg};
+use crate::deploy::{
+    online_checks, post_checks, visit_system, DeploymentSpec, DynCheck, SystemVisitor,
+};
+use crate::netchaos::{run_router, CommitPort};
+use crate::NetError;
+
+/// How long an idle local worker blocks on its input queue per wait.
+const IDLE_WAIT: Duration = Duration::from_micros(500);
+/// Back-off after a suppressed commit (waiting for the crash input).
+const SUPPRESSED_WAIT: Duration = Duration::from_micros(200);
+/// Crash-injector polling period while waiting for a threshold.
+const INJECTOR_POLL: Duration = Duration::from_micros(100);
+/// Watchdog sampling period.
+const MONITOR_TICK: Duration = Duration::from_millis(5);
+/// Per-read socket timeout on node connections, so reader threads can
+/// poll the stop flag instead of blocking forever.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// How long shutdown waits for a node child to exit gracefully before
+/// killing it.
+const GRACE: Duration = Duration::from_millis(1500);
+
+/// How a scripted fault takes a location down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetCrashMode {
+    /// Commit `Crash(loc)` and route it: the hosting node's automaton
+    /// silences itself, the process stays alive. The paper's model.
+    Halt,
+    /// `SIGKILL` the node process hosting the location, then crash
+    /// every location it hosted. Nothing on the node cooperates.
+    Kill,
+}
+
+/// One scripted fault: when the global event count reaches
+/// `at_event`, take `loc` down via `mode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFault {
+    /// Global event index threshold.
+    pub at_event: usize,
+    /// The location to crash.
+    pub loc: Loc,
+    /// Halt (protocol crash) or Kill (process crash).
+    pub mode: NetCrashMode,
+}
+
+impl NetFault {
+    /// A Halt fault at `at_event`.
+    #[must_use]
+    pub fn halt(at_event: usize, loc: Loc) -> Self {
+        NetFault {
+            at_event,
+            loc,
+            mode: NetCrashMode::Halt,
+        }
+    }
+
+    /// A Kill (SIGKILL) fault at `at_event`.
+    #[must_use]
+    pub fn kill(at_event: usize, loc: Loc) -> Self {
+        NetFault {
+            at_event,
+            loc,
+            mode: NetCrashMode::Kill,
+        }
+    }
+}
+
+/// Configuration of a distributed run.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// The node executable and its leading arguments. The coordinator
+    /// appends nothing; assignment travels via [`crate::node::ADDR_ENV`]
+    /// and [`crate::node::NODE_ID_ENV`].
+    pub node_command: Vec<String>,
+    /// How many node processes to spawn. Locations are assigned
+    /// round-robin: location `i` lives on node `i % nodes`.
+    pub nodes: u32,
+    /// Hard cap on committed events.
+    pub max_events: usize,
+    /// Seed for the chaos decision stream (shared with
+    /// [`afd_runtime::chaos_plan_jsonl`]).
+    pub seed: u64,
+    /// Scripted crashes.
+    pub faults: Vec<NetFault>,
+    /// Per-channel adversarial link profiles.
+    pub links: LinkFaults,
+    /// Scripted network partitions over the event clock.
+    pub partitions: Vec<Partition>,
+    /// Minimum spacing between failure-detector output commits.
+    pub fd_pacing: Duration,
+    /// Minimum spacing between `WireSend` commits on the nodes.
+    pub wire_pacing: Duration,
+    /// Stall deadline: nothing committed for this long stops the run
+    /// with [`StopReason::Watchdog`].
+    pub stall_deadline: Duration,
+    /// Wall-clock safety net.
+    pub wall_timeout: Duration,
+    /// How long to wait for every node to connect and say Hello.
+    pub handshake_timeout: Duration,
+    /// Arrivals per channel exported in the up-front chaos plan.
+    pub plan_arrivals: usize,
+}
+
+impl NetConfig {
+    /// A config for `nodes` node processes running `node_command`,
+    /// with defaults sized for loopback test runs.
+    #[must_use]
+    pub fn new(node_command: Vec<String>, nodes: u32) -> Self {
+        NetConfig {
+            node_command,
+            nodes,
+            max_events: 4_000,
+            seed: 0xAFD_5EED,
+            faults: Vec::new(),
+            links: LinkFaults::none(),
+            partitions: Vec::new(),
+            fd_pacing: Duration::from_micros(200),
+            wire_pacing: Duration::from_micros(200),
+            stall_deadline: Duration::from_secs(5),
+            wall_timeout: Duration::from_secs(60),
+            handshake_timeout: Duration::from_secs(20),
+            plan_arrivals: 32,
+        }
+    }
+
+    /// Set the event budget.
+    #[must_use]
+    pub fn with_max_events(mut self, n: usize) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Set the chaos seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Append a scripted fault.
+    #[must_use]
+    pub fn with_fault(mut self, f: NetFault) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// Set the adversarial link profiles.
+    #[must_use]
+    pub fn with_links(mut self, links: LinkFaults) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// Append a scripted partition.
+    #[must_use]
+    pub fn with_partition(mut self, p: Partition) -> Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Set stall deadline and wall-clock timeout together.
+    #[must_use]
+    pub fn with_deadlines(mut self, stall: Duration, wall: Duration) -> Self {
+        self.stall_deadline = stall;
+        self.wall_timeout = wall;
+        self
+    }
+}
+
+/// One check's outcome in a [`NetReport`].
+#[derive(Debug)]
+pub struct NetCheck {
+    /// Check label (`conformance-omega`, `consensus`, `theorem-13`…).
+    pub name: String,
+    /// `true` if the check streamed over commits during the run,
+    /// `false` for post-hoc whole-schedule checks.
+    pub online: bool,
+    /// The verdict.
+    pub verdict: Result<(), String>,
+}
+
+/// Per-node accounting in a [`NetReport`].
+#[derive(Debug, Clone)]
+pub struct NodeSummary {
+    /// Node id (index into the spawn order).
+    pub id: u32,
+    /// Locations the node hosted.
+    pub locations: Vec<Loc>,
+    /// `true` if the coordinator SIGKILLed it (or its socket died and
+    /// containment crashed it).
+    pub killed: bool,
+    /// Commits accepted from this node's workers.
+    pub commits: u64,
+}
+
+/// Everything a distributed run produced.
+pub struct NetReport {
+    /// The merged, linearized schedule.
+    pub schedule: Vec<Action>,
+    /// Why the run stopped.
+    pub stop: Option<StopReason>,
+    /// Committed event count.
+    pub events: usize,
+    /// Online + post-hoc check verdicts.
+    pub checks: Vec<NetCheck>,
+    /// Realized per-channel chaos accounting.
+    pub chaos: ChaosReport,
+    /// The up-front seeded chaos plan (JSONL), a pure function of
+    /// `(seed, links, pi)` — byte-identical across same-seed runs.
+    pub chaos_plan: String,
+    /// Per-node summaries.
+    pub nodes: Vec<NodeSummary>,
+    /// Wall-clock duration of the run proper (post-handshake).
+    pub elapsed: Duration,
+}
+
+impl NetReport {
+    /// Did every check pass?
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.verdict.is_ok())
+    }
+
+    /// The named check, if present.
+    #[must_use]
+    pub fn check(&self, name: &str) -> Option<&NetCheck> {
+        self.checks.iter().find(|c| c.name == name)
+    }
+}
+
+/// Run `spec` distributed across `cfg.nodes` processes.
+///
+/// # Errors
+/// [`NetError`] if the configuration is inconsistent, a node cannot be
+/// spawned, or the handshake fails. Once the run proper starts, node
+/// failures are *contained* (crashed into the schedule), not errors.
+pub fn run_distributed(spec: &DeploymentSpec, cfg: &NetConfig) -> Result<NetReport, NetError> {
+    let pi = spec.pi();
+    if cfg.node_command.is_empty() {
+        return Err(NetError::Config("empty node_command".into()));
+    }
+    if cfg.nodes == 0 {
+        return Err(NetError::Config("need at least one node".into()));
+    }
+    if cfg.nodes as usize > pi.len() {
+        return Err(NetError::Config(format!(
+            "{} nodes but only {} locations",
+            cfg.nodes,
+            pi.len()
+        )));
+    }
+    for f in &cfg.faults {
+        if usize::from(f.loc.0) >= pi.len() {
+            return Err(NetError::Config(format!("fault at {:?} outside Π", f.loc)));
+        }
+    }
+    if let DeploymentSpec::Paxos { values, .. } | DeploymentSpec::ReliablePaxos { values, .. } =
+        spec
+    {
+        // E_C is the paper's *binary* consensus environment: a value
+        // outside {0, 1} has no proposing task and would silently
+        // stall the whole deployment.
+        if values.len() != pi.len() {
+            return Err(NetError::Config(format!(
+                "{} proposal values for {} locations",
+                values.len(),
+                pi.len()
+            )));
+        }
+        if let Some(v) = values.iter().find(|&&v| v > 1) {
+            return Err(NetError::Config(format!(
+                "proposal value {v} outside binary E_C domain {{0, 1}}"
+            )));
+        }
+    }
+    visit_system(
+        spec,
+        CoordLoop {
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+            pi,
+        },
+    )
+}
+
+/// Which thread services a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// A process hosted by node `id`.
+    Node(u32),
+    /// A coordinator-local worker thread (FD, environment, crash).
+    Local,
+    /// A channel inside the netchaos router.
+    Router,
+}
+
+/// The shared routing fabric: every commit in the run goes through
+/// here, whichever thread produced it.
+struct Fabric<'a, P>
+where
+    P: Automaton<Action = Action>,
+{
+    comps: &'a [Component<P>],
+    owner: Vec<Owner>,
+    sink: &'a EventSink,
+    /// Per-node write half (`None` once the node is dead).
+    writers: Vec<Mutex<Option<TcpStream>>>,
+    alive: Vec<AtomicBool>,
+    /// Commits accepted per node.
+    node_commits: Vec<AtomicU64>,
+    /// Per-local-component input queues (sparse over comp index).
+    local_tx: Vec<Option<Mutex<Sender<Action>>>>,
+    router_tx: Mutex<Sender<(usize, Action)>>,
+}
+
+impl<P> Fabric<'_, P>
+where
+    P: Automaton<Action = Action>,
+{
+    /// Route an accepted action to every component that takes it as
+    /// input (excluding the producer).
+    fn route(&self, from: usize, a: Action) {
+        for (idx, c) in self.comps.iter().enumerate() {
+            if idx == from || c.classify(&a) != Some(ActionClass::Input) {
+                continue;
+            }
+            match self.owner[idx] {
+                Owner::Node(nid) => self.deliver_to_node(nid, idx, a),
+                Owner::Local => {
+                    if let Some(tx) = &self.local_tx[idx] {
+                        let _ = tx
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .send(a);
+                    }
+                }
+                Owner::Router => {
+                    let _ = self
+                        .router_tx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .send((idx, a));
+                }
+            }
+        }
+    }
+
+    fn deliver_to_node(&self, nid: u32, idx: usize, a: Action) {
+        let nid = nid as usize;
+        if !self.alive[nid].load(Ordering::SeqCst) {
+            return;
+        }
+        let mut guard = self.writers[nid]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let died = match guard.as_mut() {
+            Some(w) => write_frame(
+                w,
+                &WireMsg::Deliver {
+                    comp: idx as u32,
+                    action: a,
+                },
+            )
+            .is_err(),
+            None => false,
+        };
+        if died {
+            // Containment happens in the node's reader thread; here we
+            // just stop writing into a dead pipe.
+            *guard = None;
+            self.alive[nid].store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Send a control frame to a node, tolerating a dead pipe.
+    fn send_ctrl(&self, nid: usize, msg: &WireMsg) -> bool {
+        let mut guard = self.writers[nid]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match guard.as_mut() {
+            Some(w) => {
+                let ok = write_frame(w, msg).is_ok();
+                if !ok {
+                    *guard = None;
+                }
+                ok
+            }
+            None => false,
+        }
+    }
+}
+
+impl<P> CommitPort for Fabric<'_, P>
+where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    fn commit_from(&self, from: usize, a: Action) -> CommitStatus {
+        match self.sink.try_commit(a) {
+            Commit::Accepted => {
+                self.route(from, a);
+                CommitStatus::Accepted
+            }
+            Commit::Suppressed => CommitStatus::Suppressed,
+            Commit::Stopped => CommitStatus::Stopped,
+        }
+    }
+
+    fn events(&self) -> usize {
+        self.sink.len()
+    }
+
+    fn stopped(&self) -> bool {
+        self.sink.is_stopped()
+    }
+}
+
+/// The observer that feeds every online checker, in schedule order,
+/// from the sink's in-order drain.
+struct OnlineChecks {
+    checks: Mutex<Vec<(String, Box<dyn DynCheck>)>>,
+}
+
+impl Observer for OnlineChecks {
+    fn on_commit(&self, ev: Stamped) {
+        let mut g = self
+            .checks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (_, c) in g.iter_mut() {
+            c.push(&ev.action);
+        }
+    }
+}
+
+struct CoordLoop {
+    spec: DeploymentSpec,
+    cfg: NetConfig,
+    pi: Pi,
+}
+
+impl SystemVisitor for CoordLoop {
+    type Out = Result<NetReport, NetError>;
+
+    #[allow(clippy::too_many_lines)]
+    fn visit<P>(self, sys: &afd_system::System<P>) -> Result<NetReport, NetError>
+    where
+        P: Automaton<Action = Action> + Sync,
+        P::State: Send,
+    {
+        let CoordLoop { spec, cfg, pi } = self;
+        let comps = sys.composition.components();
+        let kinds = sys.component_kinds();
+        let nodes = cfg.nodes as usize;
+
+        // Round-robin location assignment.
+        let mut node_locs: Vec<Vec<Loc>> = vec![Vec::new(); nodes];
+        for (i, l) in pi.iter().enumerate() {
+            node_locs[i % nodes].push(l);
+        }
+        let node_of = |l: Loc| usize::from(l.0) % nodes;
+
+        // Component ownership map.
+        let mut owner = Vec::with_capacity(kinds.len());
+        let mut chans: Vec<(usize, Loc, Loc)> = Vec::new();
+        for (idx, k) in kinds.iter().enumerate() {
+            owner.push(match k {
+                ComponentKind::Process(l) => Owner::Node(u32::try_from(node_of(*l)).unwrap_or(0)),
+                ComponentKind::Channel(from, to) => {
+                    chans.push((idx, *from, *to));
+                    Owner::Router
+                }
+                _ => Owner::Local,
+            });
+        }
+
+        // --- Spawn and handshake -------------------------------------
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(nodes);
+        for id in 0..nodes {
+            let child = Command::new(&cfg.node_command[0])
+                .args(&cfg.node_command[1..])
+                .env(crate::node::ADDR_ENV, &addr)
+                .env(crate::node::NODE_ID_ENV, id.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()
+                .map_err(|e| {
+                    NetError::Spawn(format!("node {id} ({}): {e}", cfg.node_command[0]))
+                })?;
+            children.push(Some(child));
+        }
+        let kill_all = |children: &mut Vec<Option<Child>>| {
+            for c in children.iter_mut().flatten() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        };
+
+        let mut conns: Vec<Option<TcpStream>> = (0..nodes).map(|_| None).collect();
+        let deadline = Instant::now() + cfg.handshake_timeout;
+        while conns.iter().any(Option::is_none) {
+            match listener.accept() {
+                Ok((mut s, _)) => {
+                    let hello = (|| -> Result<WireMsg, NetError> {
+                        s.set_nodelay(true)?;
+                        s.set_read_timeout(Some(cfg.handshake_timeout))?;
+                        read_frame(&mut s)?
+                            .ok_or_else(|| NetError::Protocol("EOF before Hello".into()))
+                    })();
+                    match hello {
+                        Ok(WireMsg::Hello { node }) if (node as usize) < nodes => {
+                            if conns[node as usize].is_some() {
+                                kill_all(&mut children);
+                                return Err(NetError::Protocol(format!(
+                                    "duplicate Hello from node {node}"
+                                )));
+                            }
+                            conns[node as usize] = Some(s);
+                        }
+                        Ok(m) => {
+                            kill_all(&mut children);
+                            return Err(NetError::Protocol(format!("expected Hello, got {m:?}")));
+                        }
+                        Err(e) => {
+                            kill_all(&mut children);
+                            return Err(e);
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() > deadline {
+                        kill_all(&mut children);
+                        return Err(NetError::Protocol(format!(
+                            "handshake timeout: {} of {nodes} nodes connected",
+                            conns.iter().filter(|c| c.is_some()).count()
+                        )));
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(NetError::Io(e));
+                }
+            }
+        }
+
+        // Assign, and split each connection into reader + writer halves.
+        let mut readers: Vec<TcpStream> = Vec::with_capacity(nodes);
+        let mut writers: Vec<Mutex<Option<TcpStream>>> = Vec::with_capacity(nodes);
+        for (id, conn) in conns.into_iter().enumerate() {
+            let mut s = conn.expect("handshake complete");
+            let assign = WireMsg::Assign {
+                node: id as u32,
+                spec: spec.clone(),
+                locations: node_locs[id].clone(),
+                seed: cfg.seed,
+                wire_pacing_us: u64::try_from(cfg.wire_pacing.as_micros()).unwrap_or(u64::MAX),
+            };
+            if let Err(e) = write_frame(&mut s, &assign) {
+                kill_all(&mut children);
+                return Err(NetError::Io(e));
+            }
+            s.set_read_timeout(Some(READ_TICK))?;
+            let reader = match s.try_clone() {
+                Ok(r) => r,
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(NetError::Io(e));
+                }
+            };
+            readers.push(reader);
+            writers.push(Mutex::new(Some(s)));
+        }
+
+        // --- Sink, observer, fabric ----------------------------------
+        let observer = Arc::new(OnlineChecks {
+            checks: Mutex::new(online_checks(&spec)),
+        });
+        let sink = EventSink::with_options(SinkOptions {
+            max_events: cfg.max_events,
+            stop_check_interval: 1,
+            stop_when: None,
+            stop_stream: spec.default_stop_stream(),
+            observer: Some(observer.clone() as Arc<dyn Observer>),
+            ..SinkOptions::default()
+        });
+
+        let (router_tx, router_rx) = std::sync::mpsc::channel::<(usize, Action)>();
+        let mut local_tx: Vec<Option<Mutex<Sender<Action>>>> =
+            (0..comps.len()).map(|_| None).collect();
+        let mut local_rx: Vec<Option<Receiver<Action>>> = (0..comps.len()).map(|_| None).collect();
+        for (idx, o) in owner.iter().enumerate() {
+            if *o == Owner::Local {
+                let (tx, rx) = std::sync::mpsc::channel();
+                local_tx[idx] = Some(Mutex::new(tx));
+                local_rx[idx] = Some(rx);
+            }
+        }
+
+        let fabric = Fabric {
+            comps,
+            owner,
+            sink: &sink,
+            writers,
+            alive: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
+            node_commits: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            local_tx,
+            router_tx: Mutex::new(router_tx),
+        };
+
+        let children = Mutex::new(children);
+        let killed: Vec<AtomicBool> = (0..nodes).map(|_| AtomicBool::new(false)).collect();
+        let chaos_slot: Mutex<ChaosReport> = Mutex::new(ChaosReport::default());
+
+        // --- Run -----------------------------------------------------
+        thread::scope(|s| {
+            for (nid, stream) in readers.into_iter().enumerate() {
+                let fabric = &fabric;
+                let killed = &killed;
+                let node_locs = &node_locs;
+                s.spawn(move || {
+                    node_reader(fabric, nid, stream, &node_locs[nid], &killed[nid]);
+                });
+            }
+            for (idx, k) in kinds.iter().enumerate() {
+                if fabric.owner[idx] != Owner::Local {
+                    continue;
+                }
+                let rx = local_rx[idx].take().expect("local receiver");
+                let fabric = &fabric;
+                let kind = *k;
+                let fd_pacing = cfg.fd_pacing;
+                s.spawn(move || local_worker(fabric, idx, kind, &rx, fd_pacing));
+            }
+            {
+                let fabric = &fabric;
+                let chans = &chans;
+                let cfg = &cfg;
+                let chaos_slot = &chaos_slot;
+                s.spawn(move || {
+                    let report = run_router(
+                        comps,
+                        chans,
+                        &router_rx,
+                        fabric,
+                        cfg.seed,
+                        &cfg.links,
+                        &cfg.partitions,
+                    );
+                    *chaos_slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = report;
+                });
+            }
+            {
+                let fabric = &fabric;
+                let cfg = &cfg;
+                let children = &children;
+                let killed = &killed;
+                let node_locs = &node_locs;
+                s.spawn(move || injector(fabric, cfg, children, killed, node_locs, node_of));
+            }
+            {
+                let sink = &sink;
+                let cfg = &cfg;
+                s.spawn(move || {
+                    while !sink.is_stopped() {
+                        if sink.elapsed() >= cfg.wall_timeout {
+                            sink.stop(StopReason::WallClock);
+                            break;
+                        }
+                        let stall =
+                            u64::try_from(cfg.stall_deadline.as_nanos()).unwrap_or(u64::MAX);
+                        if sink.ns_since_last_commit() >= stall {
+                            sink.stop(StopReason::Watchdog);
+                            break;
+                        }
+                        thread::sleep(MONITOR_TICK);
+                    }
+                });
+            }
+
+            // Shutdown sequencing: once the sink stops, tell every
+            // surviving node, then give children a grace period.
+            while !sink.is_stopped() {
+                thread::sleep(MONITOR_TICK);
+            }
+            for nid in 0..nodes {
+                if fabric.alive[nid].load(Ordering::SeqCst) {
+                    fabric.send_ctrl(
+                        nid,
+                        &WireMsg::Stop {
+                            reason: "run complete".into(),
+                        },
+                    );
+                }
+            }
+            let grace_deadline = Instant::now() + GRACE;
+            loop {
+                let mut all_done = true;
+                {
+                    let mut cs = children
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for c in cs.iter_mut().flatten() {
+                        match c.try_wait() {
+                            Ok(Some(_)) => {}
+                            _ => all_done = false,
+                        }
+                    }
+                }
+                if all_done || Instant::now() > grace_deadline {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            {
+                let mut cs = children
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                kill_all(&mut cs);
+            }
+            // Close the write halves so node-side readers see EOF and
+            // our reader threads (on dead sockets) unblock.
+            for w in &fabric.writers {
+                *w.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+            }
+        });
+
+        // --- Report --------------------------------------------------
+        sink.flush();
+        let elapsed = sink.elapsed();
+        let node_summaries: Vec<NodeSummary> = (0..nodes)
+            .map(|nid| NodeSummary {
+                id: nid as u32,
+                locations: node_locs[nid].clone(),
+                killed: killed[nid].load(Ordering::SeqCst),
+                commits: fabric.node_commits[nid].load(Ordering::SeqCst),
+            })
+            .collect();
+        let chaos = std::mem::take(
+            &mut *chaos_slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        drop(fabric);
+        let (schedule, stop) = sink.into_log();
+        let mut checks: Vec<NetCheck> = observer
+            .checks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .map(|(name, chk)| NetCheck {
+                name,
+                online: true,
+                verdict: chk.verdict(),
+            })
+            .collect();
+        for (name, verdict) in post_checks(&spec, &schedule) {
+            checks.push(NetCheck {
+                name,
+                online: false,
+                verdict,
+            });
+        }
+        let plan_cfg = RuntimeConfig {
+            seed: cfg.seed,
+            links: cfg.links.clone(),
+            ..RuntimeConfig::default()
+        };
+        let chaos_plan = chaos_plan_jsonl(&plan_cfg, pi, cfg.plan_arrivals);
+        Ok(NetReport {
+            events: schedule.len(),
+            schedule,
+            stop,
+            checks,
+            chaos,
+            chaos_plan,
+            nodes: node_summaries,
+            elapsed,
+        })
+    }
+}
+
+/// Crash every not-yet-crashed location a dead node hosted.
+fn contain_dead_node<P>(fabric: &Fabric<'_, P>, locs: &[Loc])
+where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    for &l in locs {
+        if !fabric.sink.is_crashed(l) {
+            let _ = fabric.commit_from(usize::MAX, Action::Crash(l));
+        }
+    }
+}
+
+/// Per-node reader: handles `CommitReq` frames inline (commit, route,
+/// reply) and contains the node if its socket dies.
+fn node_reader<P>(
+    fabric: &Fabric<'_, P>,
+    nid: usize,
+    mut stream: TcpStream,
+    locs: &[Loc],
+    killed: &AtomicBool,
+) where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    let died = loop {
+        if fabric.sink.is_stopped() {
+            break false;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(WireMsg::CommitReq { comp, action })) => {
+                let idx = comp as usize;
+                if fabric.owner.get(idx) != Some(&Owner::Node(nid as u32)) {
+                    break true; // protocol violation: contain it
+                }
+                let status = fabric.commit_from(idx, action);
+                if status == CommitStatus::Accepted {
+                    fabric.node_commits[nid].fetch_add(1, Ordering::SeqCst);
+                }
+                if !fabric.send_ctrl(nid, &WireMsg::CommitResp { comp, status }) {
+                    break true;
+                }
+            }
+            Ok(Some(_)) => break true, // protocol violation
+            Ok(None) => break true,    // EOF
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break true,
+        }
+    };
+    // A benign exit (sink stopped) leaves `alive` set so shutdown still
+    // sends this node its Stop frame; only a dead pipe marks it down.
+    if died {
+        let was_alive = fabric.alive[nid].swap(false, Ordering::SeqCst);
+        if was_alive && !killed.load(Ordering::SeqCst) && !fabric.sink.is_stopped() {
+            // Unexpected death: contain it as if Kill'd.
+            killed.store(true, Ordering::SeqCst);
+            contain_dead_node(fabric, locs);
+        }
+    }
+    // Drain any final bytes so the node's last write doesn't RST.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let mut buf = [0u8; 1024];
+    while matches!(stream.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+/// Coordinator-local worker for a non-process, non-channel component
+/// (failure detector, environment, crash adversary): the threaded
+/// runtime's worker loop with the sink call replaced by the fabric.
+fn local_worker<P>(
+    fabric: &Fabric<'_, P>,
+    idx: usize,
+    kind: ComponentKind,
+    rx: &Receiver<Action>,
+    fd_pacing: Duration,
+) where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    let comp = &fabric.comps[idx];
+    let mut state = comp.initial_state();
+    loop {
+        if fabric.sink.is_stopped() {
+            return;
+        }
+        while let Ok(a) = rx.try_recv() {
+            if let Some(next) = comp.step(&state, &a) {
+                state = next;
+            }
+        }
+        let mut progressed = false;
+        for t in 0..comp.task_count() {
+            if fabric.sink.is_stopped() {
+                return;
+            }
+            let Some(a) = comp.enabled(&state, TaskId(t)) else {
+                continue;
+            };
+            if matches!(kind, ComponentKind::Fd) && !fd_pacing.is_zero() {
+                thread::sleep(fd_pacing);
+            }
+            match fabric.commit_from(idx, a) {
+                CommitStatus::Accepted => {
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                    progressed = true;
+                }
+                CommitStatus::Suppressed => {
+                    if let Ok(a) = rx.recv_timeout(SUPPRESSED_WAIT) {
+                        if let Some(next) = comp.step(&state, &a) {
+                            state = next;
+                        }
+                    }
+                }
+                CommitStatus::Stopped => return,
+            }
+        }
+        if !progressed {
+            match rx.recv_timeout(IDLE_WAIT) {
+                Ok(a) => {
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+/// The crash injector: fires the fault script against the global event
+/// clock. Halt faults commit `Crash` into the schedule; Kill faults
+/// SIGKILL the hosting node process first, then crash everything it
+/// hosted.
+fn injector<P>(
+    fabric: &Fabric<'_, P>,
+    cfg: &NetConfig,
+    children: &Mutex<Vec<Option<Child>>>,
+    killed: &[AtomicBool],
+    node_locs: &[Vec<Loc>],
+    node_of: impl Fn(Loc) -> usize,
+) where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    let mut pending = cfg.faults.clone();
+    pending.sort_by_key(|f| f.at_event);
+    for f in pending {
+        loop {
+            if fabric.sink.is_stopped() {
+                return;
+            }
+            if fabric.sink.len() >= f.at_event {
+                break;
+            }
+            thread::sleep(INJECTOR_POLL);
+        }
+        match f.mode {
+            NetCrashMode::Halt => {
+                if fabric.commit_from(usize::MAX, Action::Crash(f.loc)) == CommitStatus::Stopped {
+                    return;
+                }
+            }
+            NetCrashMode::Kill => {
+                let nid = node_of(f.loc);
+                if fabric.alive[nid].swap(false, Ordering::SeqCst) {
+                    killed[nid].store(true, Ordering::SeqCst);
+                    {
+                        let mut cs = children
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if let Some(c) = cs[nid].as_mut() {
+                            let _ = c.kill();
+                        }
+                    }
+                    *fabric.writers[nid]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+                    contain_dead_node(fabric, &node_locs[nid]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Named deployments: the closed set of systems a coordinator and its
+//! nodes can agree to run.
+//!
+//! `System<P>` is generic over the process automaton type, but two
+//! independent OS processes cannot exchange a Rust type — they
+//! exchange a [`DeploymentSpec`] value over the wire and each build
+//! the *same* system locally from it. The spec is therefore the unit
+//! of agreement: it is small, codec-encodable, and deterministic
+//! (same spec ⇒ byte-identical component list and task numbering on
+//! both sides, which is what lets the commit protocol address
+//! components by index).
+//!
+//! The closed enum is a feature, not a limitation: the acceptance
+//! grid (Ω/P/◇P conformance, Theorem 13 self-implementation, Paxos)
+//! is exactly the set of systems the in-process engines gate on, so
+//! the distributed runtime reruns the same grid over real sockets.
+
+use afd_core::afds::{EvPerfect, Omega, Perfect};
+use afd_core::automata::FdGen;
+use afd_core::problems::Consensus;
+use afd_core::{Action, AfdSpec, Loc, LocSet, Pi, StreamChecker, Val};
+use afd_system::System;
+use ioa::Automaton;
+
+use afd_algorithms::consensus::all_live_decided_stream;
+use afd_algorithms::paxos_system;
+use afd_algorithms::reliable::reliable_paxos_system;
+use afd_algorithms::self_impl::{check_self_implementation, self_impl_system};
+
+/// Which canonical failure-detector generator a deployment embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdKindSpec {
+    /// Algorithm 1 (Ω).
+    Omega,
+    /// Algorithm 2 (P).
+    Perfect,
+    /// ◇P with a scripted lying prefix.
+    EvPerfectNoisy {
+        /// The suspect set reported while lying.
+        lie_set: LocSet,
+        /// How many initial outputs per location lie.
+        lie_count: u16,
+    },
+}
+
+impl FdKindSpec {
+    /// The generator automaton over `pi`.
+    #[must_use]
+    pub fn generator(self, pi: Pi) -> FdGen {
+        match self {
+            FdKindSpec::Omega => FdGen::omega(pi),
+            FdKindSpec::Perfect => FdGen::perfect(pi),
+            FdKindSpec::EvPerfectNoisy { lie_set, lie_count } => {
+                FdGen::ev_perfect_noisy(pi, lie_set, lie_count)
+            }
+        }
+    }
+
+    /// The AFD specification the generator's traces must satisfy.
+    #[must_use]
+    pub fn afd_spec(self) -> Box<dyn AfdSpec> {
+        match self {
+            FdKindSpec::Omega => Box::new(Omega),
+            FdKindSpec::Perfect => Box::new(Perfect),
+            FdKindSpec::EvPerfectNoisy { .. } => Box::new(EvPerfect),
+        }
+    }
+
+    /// Short name used in check labels and CLI parsing.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FdKindSpec::Omega => "omega",
+            FdKindSpec::Perfect => "perfect",
+            FdKindSpec::EvPerfectNoisy { .. } => "evp",
+        }
+    }
+}
+
+/// A named system both the coordinator and every node build
+/// identically from the wire-encoded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeploymentSpec {
+    /// The §6 self-implementation system `A_self ∥ FD-D`: Theorem 13's
+    /// subject, and the FD-conformance workload.
+    SelfImpl {
+        /// |Π|.
+        n: u8,
+        /// Which generator to embed.
+        fd: FdKindSpec,
+    },
+    /// The §9.3 Paxos-with-Ω consensus system over perfect channels.
+    Paxos {
+        /// |Π|.
+        n: u8,
+        /// Per-location proposal values (`values[i]` proposed at `i`).
+        values: Vec<Val>,
+    },
+    /// Paxos with every process wrapped in the reliable-channel layer
+    /// over adversarial wire channels — the deployment to pair with
+    /// socket-level chaos.
+    ReliablePaxos {
+        /// |Π|.
+        n: u8,
+        /// Per-location proposal values.
+        values: Vec<Val>,
+    },
+}
+
+impl DeploymentSpec {
+    /// The universe of the deployment.
+    #[must_use]
+    pub fn pi(&self) -> Pi {
+        match self {
+            DeploymentSpec::SelfImpl { n, .. }
+            | DeploymentSpec::Paxos { n, .. }
+            | DeploymentSpec::ReliablePaxos { n, .. } => Pi::new(usize::from(*n)),
+        }
+    }
+
+    /// Human/CLI label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DeploymentSpec::SelfImpl { n, fd } => format!("self-impl-{} n={n}", fd.name()),
+            DeploymentSpec::Paxos { n, .. } => format!("paxos n={n}"),
+            DeploymentSpec::ReliablePaxos { n, .. } => format!("reliable-paxos n={n}"),
+        }
+    }
+
+    /// Parse a CLI deployment name (`self-impl-omega`, `paxos`, …)
+    /// into a spec over `n` locations.
+    #[must_use]
+    pub fn parse(name: &str, n: u8) -> Option<DeploymentSpec> {
+        let spec = match name {
+            "self-impl-omega" => DeploymentSpec::SelfImpl {
+                n,
+                fd: FdKindSpec::Omega,
+            },
+            "self-impl-perfect" => DeploymentSpec::SelfImpl {
+                n,
+                fd: FdKindSpec::Perfect,
+            },
+            "self-impl-evp" => DeploymentSpec::SelfImpl {
+                n,
+                fd: FdKindSpec::EvPerfectNoisy {
+                    lie_set: LocSet::singleton(Loc(0)),
+                    lie_count: 3,
+                },
+            },
+            "paxos" => DeploymentSpec::Paxos {
+                n,
+                values: (0..u64::from(n)).map(|i| i % 2).collect(),
+            },
+            "reliable-paxos" => DeploymentSpec::ReliablePaxos {
+                n,
+                values: (0..u64::from(n)).map(|i| i % 2).collect(),
+            },
+            _ => return None,
+        };
+        Some(spec)
+    }
+
+    /// The default stop condition: Paxos deployments stop once every
+    /// live location decided *and* every live location's failure
+    /// detector produced at least one output; conformance deployments
+    /// run out their event budget.
+    ///
+    /// The FD-coverage clause is what makes the online Ω conformance
+    /// verdict sound on predicate-stopped runs: without it, a fast
+    /// decide could cut the schedule before some paced FD worker ever
+    /// got scheduled, and the validity-liveness clause would starve.
+    #[must_use]
+    pub fn default_stop_stream(&self) -> Option<afd_runtime::StreamPredicate> {
+        match self {
+            DeploymentSpec::Paxos { .. } | DeploymentSpec::ReliablePaxos { .. } => {
+                let pi = self.pi();
+                let mut decided = all_live_decided_stream(pi);
+                let mut crashed = LocSet::empty();
+                let mut witnessed = LocSet::empty();
+                let mut all_decided = false;
+                Some(Box::new(move |a: &Action| {
+                    if let Action::Crash(l) = a {
+                        crashed.insert(*l);
+                    } else if let Some((l, _)) = a.fd_output() {
+                        witnessed.insert(l);
+                    }
+                    all_decided |= decided(a);
+                    all_decided
+                        && pi
+                            .iter()
+                            .all(|l| crashed.contains(l) || witnessed.contains(l))
+                }))
+            }
+            DeploymentSpec::SelfImpl { .. } => None,
+        }
+    }
+}
+
+/// Monomorphization point: the one place the spec enum is matched
+/// against concrete system types. Everything downstream (node event
+/// loop, coordinator) is generic over `P`.
+pub trait SystemVisitor {
+    /// What the visit produces.
+    type Out;
+
+    /// Called with the freshly built system for the spec.
+    fn visit<P>(self, sys: &System<P>) -> Self::Out
+    where
+        P: Automaton<Action = Action> + Sync,
+        P::State: Send;
+}
+
+/// Build the spec's system and hand it to `v`.
+pub fn visit_system<V: SystemVisitor>(spec: &DeploymentSpec, v: V) -> V::Out {
+    let pi = spec.pi();
+    match spec {
+        DeploymentSpec::SelfImpl { fd, .. } => {
+            v.visit(&self_impl_system(pi, fd.generator(pi), vec![]))
+        }
+        DeploymentSpec::Paxos { values, .. } => v.visit(&paxos_system(pi, values, vec![])),
+        DeploymentSpec::ReliablePaxos { values, .. } => {
+            v.visit(&reliable_paxos_system(pi, values, vec![]))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Online checks: object-safe wrappers over the streaming checkers.
+// ---------------------------------------------------------------------
+
+/// An object-safe online checker: `push` folds one committed action,
+/// `verdict` renders the judgement for the prefix seen so far.
+pub trait DynCheck: Send {
+    /// Fold one committed action.
+    fn push(&mut self, a: &Action);
+    /// The verdict for the schedule pushed so far.
+    fn verdict(&self) -> Result<(), String>;
+}
+
+struct StreamCheck<S> {
+    stream: S,
+}
+
+impl<S> DynCheck for StreamCheck<S>
+where
+    S: StreamChecker<Verdict = Result<(), afd_core::Violation>> + Send,
+{
+    fn push(&mut self, a: &Action) {
+        self.stream.push(a);
+    }
+
+    fn verdict(&self) -> Result<(), String> {
+        self.stream.finish().map_err(|v| v.to_string())
+    }
+}
+
+/// The online streaming checkers the coordinator drives over the
+/// merged schedule for this deployment: FD conformance for self-impl
+/// systems, the consensus spec (validity + agreement + crash-limited
+/// termination) plus Ω conformance for Paxos systems.
+#[must_use]
+pub fn online_checks(spec: &DeploymentSpec) -> Vec<(String, Box<dyn DynCheck>)> {
+    let pi = spec.pi();
+    match spec {
+        DeploymentSpec::SelfImpl { fd, .. } => {
+            let conformance: Box<dyn DynCheck> = match fd {
+                FdKindSpec::Omega => Box::new(StreamCheck {
+                    stream: Omega::stream(pi),
+                }),
+                FdKindSpec::Perfect => Box::new(StreamCheck {
+                    stream: Perfect::stream(pi),
+                }),
+                FdKindSpec::EvPerfectNoisy { .. } => Box::new(StreamCheck {
+                    stream: EvPerfect::stream(pi),
+                }),
+            };
+            vec![(format!("conformance-{}", fd.name()), conformance)]
+        }
+        DeploymentSpec::Paxos { .. } | DeploymentSpec::ReliablePaxos { .. } => {
+            let f = (pi.len() - 1) / 2;
+            vec![
+                (
+                    "consensus".into(),
+                    Box::new(StreamCheck {
+                        stream: Consensus::new(f).stream(pi),
+                    }) as Box<dyn DynCheck>,
+                ),
+                (
+                    "conformance-omega".into(),
+                    Box::new(StreamCheck {
+                        stream: Omega::stream(pi),
+                    }),
+                ),
+            ]
+        }
+    }
+}
+
+/// Post-hoc checks that need the complete schedule (projections +
+/// un-renaming are not incremental): Theorem 13 for self-impl
+/// deployments.
+#[must_use]
+pub fn post_checks(
+    spec: &DeploymentSpec,
+    schedule: &[Action],
+) -> Vec<(String, Result<(), String>)> {
+    match spec {
+        DeploymentSpec::SelfImpl { fd, .. } => {
+            let res = check_self_implementation(fd.afd_spec().as_ref(), spec.pi(), schedule);
+            let res = match res {
+                Ok(true) => Ok(()),
+                Ok(false) => Err("vacuous: embedded generator left its own trace set".into()),
+                Err(v) => Err(v.to_string()),
+            };
+            vec![("theorem-13".into(), res)]
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_the_grid() {
+        for name in [
+            "self-impl-omega",
+            "self-impl-perfect",
+            "self-impl-evp",
+            "paxos",
+            "reliable-paxos",
+        ] {
+            let spec = DeploymentSpec::parse(name, 3).unwrap();
+            assert_eq!(spec.pi(), Pi::new(3));
+        }
+        assert!(DeploymentSpec::parse("nope", 3).is_none());
+    }
+
+    struct CountComponents;
+    impl SystemVisitor for CountComponents {
+        type Out = usize;
+        fn visit<P>(self, sys: &System<P>) -> usize
+        where
+            P: Automaton<Action = Action> + Sync,
+            P::State: Send,
+        {
+            sys.component_kinds().len()
+        }
+    }
+
+    #[test]
+    fn both_sides_build_the_same_component_list() {
+        let spec = DeploymentSpec::Paxos {
+            n: 3,
+            values: vec![0, 1, 0],
+        };
+        // n processes + n(n-1) channels + crash + env + fd.
+        assert_eq!(visit_system(&spec, CountComponents), 3 + 6 + 3);
+        assert_eq!(visit_system(&spec, CountComponents), 3 + 6 + 3);
+    }
+}

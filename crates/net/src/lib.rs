@@ -1,0 +1,98 @@
+//! afd-net: multi-process deployment of AFD systems over loopback TCP.
+//!
+//! The third execution engine, after the deterministic simulator and
+//! the threaded chaos runtime: the same `System<P>` compositions run
+//! as **separate OS processes** connected by real sockets, so a crash
+//! can be a `SIGKILL` and the network can be an actual lossy wire —
+//! while the schedule stays a single total order validated online by
+//! the same streaming checkers (`StreamChecker`) that gate the
+//! in-process engines.
+//!
+//! # Topology
+//!
+//! One **coordinator** process owns the run: it spawns N **node**
+//! processes, assigns each a subset of Π, owns the `EventSink` commit
+//! pipeline (the linearization point), hosts the non-process automata
+//! (failure detector, environment, crash injector) and the channels
+//! (as the socket-level chaos router in [`netchaos`]), and drives the
+//! online checkers over the merged schedule. Every socket is
+//! node ↔ coordinator: node-to-node frames are routed *through* the
+//! coordinator's chaos thread, which is what lets one seeded
+//! [`afd_runtime::LinkProfile`] plan replay drop/dup/reorder/partition
+//! decisions byte-identically across same-seed runs.
+//!
+//! # Commit protocol
+//!
+//! A node worker that finds an enabled task sends `CommitReq` and
+//! blocks; the coordinator linearizes the action into the sink
+//! (crash-suppression included), routes it to every component that
+//! takes it as input — local queues for coordinator-hosted automata,
+//! `Deliver` frames for node-hosted ones — and answers
+//! `CommitResp`. Only on `Accepted` does the worker apply the step.
+//! Since routed inputs wait in the worker's queue while it blocks,
+//! the accepted action is still enabled when applied, and the merged
+//! schedule is a legal schedule of the composed system.
+//!
+//! # Crash semantics
+//!
+//! * **Halt** — the coordinator commits `Crash(l)` and routes it like
+//!   any input; the hosting node's automaton silences itself.
+//! * **Kill** — the coordinator `SIGKILL`s the node's child process,
+//!   then commits `Crash(l)` for every location it hosted. No part of
+//!   the node cooperates: its sockets just die.
+//!
+//! See `DESIGN.md` §9 for the full protocol walk-through.
+
+pub mod codec;
+pub mod coord;
+pub mod deploy;
+pub mod netchaos;
+pub mod node;
+
+pub use codec::{CommitStatus, DecodeError, WireMsg};
+pub use coord::{run_distributed, NetCheck, NetConfig, NetFault, NetReport, NodeSummary};
+pub use deploy::{DeploymentSpec, FdKindSpec};
+pub use node::{maybe_serve_from_env, serve, ADDR_ENV, NODE_ID_ENV};
+
+/// Errors surfaced by the distributed runtime.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// A peer sent bytes the codec rejects.
+    Decode(DecodeError),
+    /// A peer violated the control protocol (wrong message, wrong
+    /// order, unknown component index…).
+    Protocol(String),
+    /// A node child process could not be spawned.
+    Spawn(String),
+    /// The configuration is inconsistent with the deployment.
+    Config(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Decode(e) => write!(f, "decode: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol: {m}"),
+            NetError::Spawn(m) => write!(f, "spawn: {m}"),
+            NetError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        // The codec smuggles DecodeErrors through io::Error with
+        // InvalidData; unwrap them back into the typed variant.
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            if let Some(inner) = e.get_ref().and_then(|r| r.downcast_ref::<DecodeError>()) {
+                return NetError::Decode(inner.clone());
+            }
+        }
+        NetError::Io(e)
+    }
+}

@@ -1,0 +1,221 @@
+//! Socket-level link chaos: the coordinator-side router thread that
+//! owns every channel component of the deployment.
+//!
+//! In the distributed runtime no node talks to another node directly —
+//! a committed `Send`/`WireSend` is routed to the channel component it
+//! feeds, and every channel component lives *here*, in one router
+//! thread on the coordinator. That centralization is the point: the
+//! router reuses the threaded runtime's seeded [`ChannelChaos`]
+//! decision stream (same seed-mixing, same three draws per arrival),
+//! so the drop/dup/reorder/partition plan of a same-seed run is
+//! byte-identical to the in-process engine's — and exportable up front
+//! with [`afd_runtime::chaos_plan_jsonl`] — even though the traffic
+//! now crosses real sockets.
+//!
+//! Semantics mirror `afd_runtime`'s per-channel chaos worker exactly:
+//! one chaos decision per consumed arrival (drop → consume silently,
+//! hold → consume into the reorder buffer keyed by the arrival clock,
+//! else deliver, maybe twice), scripted partitions gate the head of
+//! the queue FIFO so healing resumes losslessly, and a quiet wire with
+//! held messages advances a virtual arrival clock so the reorder
+//! buffer always drains. The only structural difference is that all
+//! channels share one thread, which trades per-channel parallelism for
+//! a single place to account the realized chaos.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::Duration;
+
+use afd_core::{Action, Loc};
+use afd_runtime::{ChannelChaos, ChannelChaosStats, ChaosReport, LinkFaults, Partition};
+use afd_system::Component;
+use ioa::{Automaton, TaskId};
+
+use crate::codec::CommitStatus;
+
+/// How long the router blocks on its inbox when every channel is idle.
+const IDLE_WAIT: Duration = Duration::from_micros(500);
+/// How long the router sleeps when the only pending traffic is gated
+/// by an active partition cut.
+const CUT_WAIT: Duration = Duration::from_micros(500);
+
+/// The router's view of the coordinator: commit an action into the
+/// linearized schedule (routing it to its consumers on success) and
+/// observe global run state.
+pub(crate) trait CommitPort: Sync {
+    /// Commit `a` as component `from`; on `Accepted` the port has
+    /// already routed it to every consumer.
+    fn commit_from(&self, from: usize, a: Action) -> CommitStatus;
+    /// Committed event count (the partition clock).
+    fn events(&self) -> usize;
+    /// Has the run stopped?
+    fn stopped(&self) -> bool;
+}
+
+/// One channel component's routing state.
+struct Chan<S> {
+    idx: usize,
+    from: Loc,
+    to: Loc,
+    state: S,
+    chaos: ChannelChaos,
+    /// Held-back arrivals `(action, release_at, duplicate)` — released
+    /// once the arrival clock passes `release_at`, in insertion order.
+    held: VecDeque<(Action, u64, bool)>,
+    arrivals: u64,
+    stats: ChannelChaosStats,
+}
+
+/// Drive every channel component until the run stops. `chans` lists
+/// `(component index, from, to)` for each channel; `rx` carries
+/// `(component index, action)` pairs routed to a channel. Returns the
+/// realized per-channel chaos accounting.
+pub(crate) fn run_router<P, C>(
+    comps: &[Component<P>],
+    chans: &[(usize, Loc, Loc)],
+    rx: &Receiver<(usize, Action)>,
+    port: &C,
+    seed: u64,
+    links: &LinkFaults,
+    partitions: &[Partition],
+) -> ChaosReport
+where
+    P: Automaton<Action = Action>,
+    C: CommitPort + ?Sized,
+{
+    let mut table: Vec<Chan<_>> = chans
+        .iter()
+        .map(|&(idx, from, to)| Chan {
+            idx,
+            from,
+            to,
+            state: comps[idx].initial_state(),
+            chaos: ChannelChaos::new(seed, from, to, links.profile(from, to)),
+            held: VecDeque::new(),
+            arrivals: 0,
+            stats: ChannelChaosStats::default(),
+        })
+        .collect();
+    // comp idx -> slot in `table`.
+    let mut slot_of: Vec<Option<usize>> = vec![None; comps.len()];
+    for (s, ch) in table.iter().enumerate() {
+        slot_of[ch.idx] = Some(s);
+    }
+
+    'run: loop {
+        if port.stopped() {
+            break;
+        }
+        while let Ok((idx, a)) = rx.try_recv() {
+            if let Some(s) = slot_of.get(idx).copied().flatten() {
+                let ch = &mut table[s];
+                if let Some(next) = comps[ch.idx].step(&ch.state, &a) {
+                    ch.state = next;
+                }
+            }
+        }
+        let now = port.events();
+        let mut progressed = false;
+        let mut cut_pending = false;
+        let mut any_held = false;
+        for ch in &mut table {
+            let comp = &comps[ch.idx];
+            let cut = partitions.iter().any(|p| p.cuts(ch.from, ch.to, now));
+            // Release matured holds (never across an active cut).
+            while let (false, Some(&(a, at, dup))) = (cut, ch.held.front()) {
+                if at > ch.arrivals {
+                    break;
+                }
+                ch.held.pop_front();
+                // The automaton already stepped past this message when
+                // it was consumed; only the commit remains.
+                match port.commit_from(ch.idx, a) {
+                    CommitStatus::Accepted => {
+                        if dup && port.commit_from(ch.idx, a) == CommitStatus::Accepted {
+                            ch.stats.duplicated += 1;
+                        }
+                        progressed = true;
+                    }
+                    CommitStatus::Suppressed => {} // unreachable: deliveries are exempt
+                    CommitStatus::Stopped => break 'run,
+                }
+            }
+            if let Some(a) = comp.enabled(&ch.state, TaskId(0)) {
+                if cut {
+                    // Partition: hold the head (no consume, no deliver)
+                    // so healing resumes in FIFO order.
+                    cut_pending = true;
+                } else {
+                    let d = ch.chaos.next();
+                    ch.arrivals += 1;
+                    ch.stats.arrivals += 1;
+                    if d.drop {
+                        // Consume without committing: the message
+                        // vanishes off the wire.
+                        if let Some(next) = comp.step(&ch.state, &a) {
+                            ch.state = next;
+                        }
+                        ch.stats.dropped += 1;
+                        progressed = true;
+                    } else if d.hold > 0 {
+                        // Consume into the reorder buffer.
+                        if let Some(next) = comp.step(&ch.state, &a) {
+                            ch.state = next;
+                        }
+                        ch.held
+                            .push_back((a, ch.arrivals + u64::from(d.hold), d.dup));
+                        ch.stats.held += 1;
+                        progressed = true;
+                    } else {
+                        match port.commit_from(ch.idx, a) {
+                            CommitStatus::Accepted => {
+                                if let Some(next) = comp.step(&ch.state, &a) {
+                                    ch.state = next;
+                                }
+                                if d.dup && port.commit_from(ch.idx, a) == CommitStatus::Accepted {
+                                    ch.stats.duplicated += 1;
+                                }
+                                progressed = true;
+                            }
+                            CommitStatus::Suppressed => {} // deliveries are exempt
+                            CommitStatus::Stopped => break 'run,
+                        }
+                    }
+                }
+            } else if !ch.held.is_empty() && !cut {
+                // The wire went quiet with messages still held: advance
+                // the virtual arrival clock so the buffer drains.
+                ch.arrivals += 1;
+                progressed = true;
+            }
+            any_held = any_held || !ch.held.is_empty();
+        }
+        if !progressed {
+            if cut_pending {
+                // A cut channel with pending traffic is not idle; spin
+                // gently until the partition heals or the run stops.
+                std::thread::sleep(CUT_WAIT);
+            } else if !any_held {
+                match rx.recv_timeout(IDLE_WAIT) {
+                    Ok((idx, a)) => {
+                        if let Some(s) = slot_of.get(idx).copied().flatten() {
+                            let ch = &mut table[s];
+                            if let Some(next) = comps[ch.idx].step(&ch.state, &a) {
+                                ch.state = next;
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+    }
+    let mut report = ChaosReport::default();
+    for ch in table {
+        if ch.stats.arrivals > 0 {
+            report.per_channel.insert((ch.from, ch.to), ch.stats);
+        }
+    }
+    report
+}

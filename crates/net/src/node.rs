@@ -1,0 +1,303 @@
+//! The node side of the distributed runtime: host an assigned subset
+//! of the deployment's process automata and drive them through the
+//! coordinator's commit pipeline.
+//!
+//! A node is deliberately thin. It builds the same `System<P>` as the
+//! coordinator (from the wire-encoded [`crate::DeploymentSpec`]), spawns one
+//! worker thread per hosted process component, and otherwise does
+//! exactly what a threaded-runtime worker does — drain routed inputs,
+//! sweep enabled tasks, commit, step — except that "commit" is a
+//! synchronous `CommitReq`/`CommitResp` round trip over the
+//! coordinator socket instead of a sink call. The worker blocks while
+//! the request is in flight, so its component state cannot drift
+//! between speculation and application: routed inputs queue up and
+//! are applied only between commits, which keeps the merged schedule
+//! a legal schedule of the composition.
+//!
+//! The node never decides anything about the run: crashes arrive as
+//! routed `Crash` inputs (Halt) or as `SIGKILL` (Kill — no code here
+//! runs at all), and the run ends when the coordinator says so.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use afd_core::Action;
+use afd_system::{ComponentKind, System};
+use ioa::{Automaton, TaskId};
+
+use crate::codec::{read_frame, write_frame, CommitStatus, WireMsg};
+use crate::deploy::{visit_system, SystemVisitor};
+use crate::NetError;
+
+/// Environment variable carrying the coordinator's `host:port`.
+pub const ADDR_ENV: &str = "AFD_NET_ADDR";
+/// Environment variable carrying this node's id.
+pub const NODE_ID_ENV: &str = "AFD_NET_NODE_ID";
+
+/// How long an idle worker blocks on its input queue per wait.
+const IDLE_WAIT: Duration = Duration::from_micros(500);
+/// How often a worker blocked on a commit response re-checks the stop
+/// flag.
+const RESP_WAIT: Duration = Duration::from_millis(50);
+
+/// If the hosting binary was spawned as a node (the coordinator set
+/// [`ADDR_ENV`] / [`NODE_ID_ENV`]), serve and return `true`; the
+/// caller should then return from `main` immediately. Returns `false`
+/// when the environment is not a node assignment.
+///
+/// This is what lets examples and the experiments binary act as their
+/// own node executable: `main` calls this first, and the coordinator
+/// spawns `current_exe()` as the node command.
+pub fn maybe_serve_from_env() -> bool {
+    let (Ok(addr), Ok(id)) = (std::env::var(ADDR_ENV), std::env::var(NODE_ID_ENV)) else {
+        return false;
+    };
+    let id: u32 = id.parse().unwrap_or_else(|_| {
+        eprintln!("afd-net node: bad {NODE_ID_ENV}");
+        std::process::exit(2);
+    });
+    if let Err(e) = serve(&addr, id) {
+        eprintln!("afd-net node {id}: {e}");
+        std::process::exit(1);
+    }
+    true
+}
+
+/// Connect to the coordinator at `addr`, handshake as node `id`, and
+/// host the assigned locations until the coordinator stops the run or
+/// the connection dies.
+///
+/// # Errors
+/// [`NetError`] on connection failure or protocol violation.
+pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &WireMsg::Hello { node: id })?;
+    let assign = read_frame(&mut stream)?
+        .ok_or_else(|| NetError::Protocol("coordinator closed before Assign".into()))?;
+    let WireMsg::Assign {
+        node,
+        spec,
+        locations,
+        wire_pacing_us,
+        ..
+    } = assign
+    else {
+        return Err(NetError::Protocol(format!(
+            "expected Assign, got {assign:?}"
+        )));
+    };
+    if node != id {
+        return Err(NetError::Protocol(format!(
+            "Assign addressed to node {node}, I am {id}"
+        )));
+    }
+    let hosted: Vec<afd_core::Loc> = locations;
+    visit_system(
+        &spec,
+        NodeLoop {
+            stream,
+            hosted,
+            wire_pacing: Duration::from_micros(wire_pacing_us),
+        },
+    )
+}
+
+struct NodeLoop {
+    stream: TcpStream,
+    hosted: Vec<afd_core::Loc>,
+    wire_pacing: Duration,
+}
+
+impl SystemVisitor for NodeLoop {
+    type Out = Result<(), NetError>;
+
+    fn visit<P>(self, sys: &System<P>) -> Result<(), NetError>
+    where
+        P: Automaton<Action = Action> + Sync,
+        P::State: Send,
+    {
+        let kinds = sys.component_kinds();
+        let comps = sys.composition.components();
+        let mine: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, k)| match k {
+                ComponentKind::Process(l) if self.hosted.contains(l) => Some(idx),
+                _ => None,
+            })
+            .collect();
+        if mine.is_empty() {
+            return Err(NetError::Protocol("assigned no hostable locations".into()));
+        }
+
+        // Per-hosted-component channels, indexed by global component
+        // index (sparse: only `mine` entries are populated).
+        let mut input_tx: Vec<Option<Sender<Action>>> = (0..comps.len()).map(|_| None).collect();
+        let mut input_rx: Vec<Option<Receiver<Action>>> = (0..comps.len()).map(|_| None).collect();
+        let mut resp_tx: Vec<Option<Sender<CommitStatus>>> =
+            (0..comps.len()).map(|_| None).collect();
+        let mut resp_rx: Vec<Option<Receiver<CommitStatus>>> =
+            (0..comps.len()).map(|_| None).collect();
+        for &idx in &mine {
+            let (itx, irx) = std::sync::mpsc::channel();
+            let (rtx, rrx) = std::sync::mpsc::channel();
+            input_tx[idx] = Some(itx);
+            input_rx[idx] = Some(irx);
+            resp_tx[idx] = Some(rtx);
+            resp_rx[idx] = Some(rrx);
+        }
+
+        let stop = AtomicBool::new(false);
+        let reader_stream = self.stream.try_clone().map_err(NetError::Io)?;
+        let writer = Mutex::new(self.stream);
+        let wire_pacing = self.wire_pacing;
+
+        thread::scope(|s| {
+            // Reader: demultiplex coordinator frames to the workers.
+            s.spawn(|| {
+                let mut rs = reader_stream;
+                let input_tx = &input_tx;
+                let resp_tx = &resp_tx;
+                loop {
+                    match read_frame(&mut rs) {
+                        Ok(Some(WireMsg::Deliver { comp, action })) => {
+                            if let Some(tx) = input_tx.get(comp as usize).and_then(Option::as_ref) {
+                                let _ = tx.send(action);
+                            }
+                        }
+                        Ok(Some(WireMsg::CommitResp { comp, status })) => {
+                            if let Some(tx) = resp_tx.get(comp as usize).and_then(Option::as_ref) {
+                                let _ = tx.send(status);
+                            }
+                        }
+                        Ok(Some(WireMsg::Stop { .. })) | Ok(None) | Err(_) => break,
+                        Ok(Some(_)) => break, // protocol violation: give up
+                    }
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+
+            for &idx in &mine {
+                let rx = input_rx[idx].take().expect("hosted receiver");
+                let resp = resp_rx[idx].take().expect("hosted resp receiver");
+                let writer = &writer;
+                let stop = &stop;
+                s.spawn(move || {
+                    node_worker(comps, idx, &rx, &resp, writer, stop, wire_pacing);
+                    // A worker winding down (its location crashed, or
+                    // the run stopped) must not hold the run hostage:
+                    // nothing to do here, the reader owns shutdown.
+                });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// One hosted process component: the threaded-runtime worker loop with
+/// the sink call replaced by a commit round trip.
+fn node_worker<P>(
+    comps: &[afd_system::Component<P>],
+    idx: usize,
+    inputs: &Receiver<Action>,
+    resps: &Receiver<CommitStatus>,
+    writer: &Mutex<TcpStream>,
+    stop: &AtomicBool,
+    wire_pacing: Duration,
+) where
+    P: Automaton<Action = Action>,
+{
+    let comp = &comps[idx];
+    let mut state = comp.initial_state();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Drain routed inputs (inputs are always enabled; a `None`
+        // step would be a signature bug, tolerated as a no-op).
+        while let Ok(a) = inputs.try_recv() {
+            if let Some(next) = comp.step(&state, &a) {
+                state = next;
+            }
+        }
+        let mut progressed = false;
+        for t in 0..comp.task_count() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(a) = comp.enabled(&state, TaskId(t)) else {
+                continue;
+            };
+            // Throttle stubborn retransmission so it cannot flood the
+            // coordinator's event budget (mirrors `wire_pacing` in the
+            // threaded runtime).
+            if matches!(a, Action::WireSend { .. }) && !wire_pacing.is_zero() {
+                thread::sleep(wire_pacing);
+            }
+            let req = WireMsg::CommitReq {
+                comp: idx as u32,
+                action: a,
+            };
+            {
+                let mut w = writer
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if write_frame(&mut *w, &req).and_then(|()| w.flush()).is_err() {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            // Exactly one response per request, in order: block for it
+            // (inputs wait in our queue, so `state` cannot drift).
+            let status = loop {
+                match resps.recv_timeout(RESP_WAIT) {
+                    Ok(st) => break st,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            };
+            match status {
+                CommitStatus::Accepted => {
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                    progressed = true;
+                }
+                CommitStatus::Suppressed => {
+                    // Our location is dead but the Crash input hasn't
+                    // reached us yet: absorb it instead of spinning.
+                    if let Ok(a) = inputs.recv_timeout(IDLE_WAIT) {
+                        if let Some(next) = comp.step(&state, &a) {
+                            state = next;
+                        }
+                    }
+                }
+                CommitStatus::Stopped => {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+        if !progressed {
+            match inputs.recv_timeout(IDLE_WAIT) {
+                Ok(a) => {
+                    if let Some(next) = comp.step(&state, &a) {
+                        state = next;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}

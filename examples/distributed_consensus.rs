@@ -1,0 +1,99 @@
+//! Distributed Paxos over real sockets: deploy the Paxos(Ω) system of
+//! §6 across real OS processes on loopback TCP, SIGKILL one replica
+//! mid-run, and watch the survivors decide — with the streaming
+//! checkers (consensus spec + Ω conformance) validating the merged
+//! schedule online as it commits.
+//!
+//! The example is its own node executable: the coordinator re-spawns
+//! this very binary with the node assignment in the environment, and
+//! [`afd_net::maybe_serve_from_env`] turns those children into nodes
+//! before `main` does anything else.
+//!
+//! Run with: `cargo run --release --example distributed_consensus`
+
+use std::time::Duration;
+
+use afd_core::{Action, Loc};
+use afd_net::coord::{NetConfig, NetFault};
+use afd_net::{run_distributed, DeploymentSpec};
+
+fn main() {
+    // Child processes spawned by the coordinator serve as nodes and
+    // never reach the code below.
+    if afd_net::maybe_serve_from_env() {
+        return;
+    }
+
+    let me = std::env::current_exe()
+        .expect("own executable path")
+        .to_string_lossy()
+        .into_owned();
+
+    let n = 5;
+    let spec = DeploymentSpec::Paxos {
+        n,
+        values: vec![0, 1, 0, 1, 1],
+    };
+    let victim = Loc(n - 1);
+    let cfg = NetConfig::new(vec![me], u32::from(n))
+        .with_max_events(8_000)
+        .with_seed(2026)
+        .with_fault(NetFault::kill(20, victim))
+        .with_deadlines(Duration::from_secs(10), Duration::from_secs(120));
+
+    println!(
+        "deploying {} across {n} node processes on loopback TCP…",
+        spec.label()
+    );
+    let report = run_distributed(&spec, &cfg).expect("distributed run");
+
+    println!(
+        "\n{} events in {:?} (stop: {})",
+        report.events,
+        report.elapsed,
+        report.stop.map_or("running", afd_runtime::StopReason::name)
+    );
+    for node in &report.nodes {
+        println!(
+            "  node {} hosting {:?}: {} commits{}",
+            node.id,
+            node.locations,
+            node.commits,
+            if node.killed {
+                "  ← SIGKILLed mid-run"
+            } else {
+                ""
+            }
+        );
+    }
+
+    println!("\nonline checks over the merged schedule:");
+    for c in &report.checks {
+        match &c.verdict {
+            Ok(()) => println!("  {:<20} ok", c.name),
+            Err(e) => println!("  {:<20} FAIL: {e}", c.name),
+        }
+    }
+
+    let decisions: Vec<(Loc, u64)> = report
+        .schedule
+        .iter()
+        .filter_map(|a| match a {
+            Action::Decide { at, v } => Some((*at, *v)),
+            _ => None,
+        })
+        .collect();
+    println!("\ndecisions: {decisions:?}");
+    assert!(report.all_passed(), "a checker rejected the schedule");
+    assert!(
+        report.nodes[usize::from(n - 1)].killed,
+        "the victim node should have been killed"
+    );
+    assert!(
+        decisions.iter().all(|&(at, _)| at != victim),
+        "a SIGKILLed replica cannot decide"
+    );
+    let values: std::collections::BTreeSet<u64> = decisions.iter().map(|&(_, v)| v).collect();
+    assert_eq!(values.len(), 1, "agreement: one decided value");
+    println!("\nsurvivors agreed on {values:?} despite the kill — consensus holds.");
+}

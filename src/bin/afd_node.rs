@@ -1,0 +1,32 @@
+//! `afd-node`: one node process of the distributed runtime.
+//!
+//! Normally spawned by the coordinator with the assignment in the
+//! `AFD_NET_ADDR` / `AFD_NET_NODE_ID` environment variables; also
+//! accepts `afd-node <host:port> <id>` for manual runs.
+
+fn main() {
+    if afd_net::maybe_serve_from_env() {
+        return;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: afd-node <coordinator host:port> <node id>");
+        eprintln!(
+            "   or: {}=<host:port> {}=<id> afd-node",
+            afd_net::ADDR_ENV,
+            afd_net::NODE_ID_ENV
+        );
+        std::process::exit(2);
+    }
+    let id: u32 = match args[2].parse() {
+        Ok(id) => id,
+        Err(_) => {
+            eprintln!("afd-node: bad node id {:?}", args[2]);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = afd_net::serve(&args[1], id) {
+        eprintln!("afd-node {id}: {e}");
+        std::process::exit(1);
+    }
+}

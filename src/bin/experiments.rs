@@ -2,11 +2,17 @@
 //!
 //! Usage: `cargo run --release --bin experiments [--json] [table...]`
 //! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
-//! t, q, s, misc}; with no table arguments, all tables are produced.
+//! t, u, q, s, misc}; with no table arguments, all tables are produced.
 //!
 //! Table `t` additionally writes `BENCH_runtime.json` at the working
 //! directory root: the commit-path throughput grid plus the
 //! streamed-vs-locked speedup check (set `SMOKE=1` for a short run).
+//! Table `u` writes `BENCH_net.json`: distributed (multi-process, real
+//! loopback TCP) vs threaded Paxos commit throughput and Ω detection
+//! latency. For table `u` this binary doubles as its own node
+//! executable: the coordinator respawns `current_exe()` and
+//! `afd_net::maybe_serve_from_env` diverts those children into node
+//! duty before any table runs.
 //!
 //! - Default output is the markdown used in EXPERIMENTS.md.
 //! - `--json` emits the same tables as one machine-readable JSON
@@ -36,8 +42,8 @@ use afd_tree::{
 };
 
 /// Every table this binary can produce, in print order.
-const TABLES: [&str; 13] = [
-    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "q", "s", "misc",
+const TABLES: [&str; 14] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "q", "s", "misc",
 ];
 
 /// One experiment table: a grid of rendered cells plus free-form notes
@@ -126,6 +132,11 @@ impl Table {
 }
 
 fn main() {
+    // Table `u` respawns this very binary as its node processes; if the
+    // coordinator's environment says we are one of them, serve and exit.
+    if afd_net::maybe_serve_from_env() {
+        return;
+    }
     let mut json_mode = false;
     let mut names: Vec<String> = Vec::new();
     for a in std::env::args().skip(1) {
@@ -163,6 +174,7 @@ fn main() {
             "perf" => tables.push(table_perf_consensus()),
             "runtime" => tables.extend(table_runtime()),
             "t" => tables.push(table_t_throughput()),
+            "u" => tables.push(table_u_distributed()),
             "q" => tables.extend(table_q_qos()),
             "s" => tables.push(table_s_chaos()),
             "misc" => tables.push(table_misc()),
@@ -1001,6 +1013,167 @@ fn table_t_throughput() -> Table {
 /// layer — post-crash leader-detection latency for Ω on the threaded
 /// runtime (with trace exports), and false-suspicion QoS for honest P
 /// vs noisy ◇P on the simulator.
+/// Table U: the distributed runtime (multi-process, real loopback TCP,
+/// commit round trips through the coordinator) against the threaded
+/// runtime on the same Paxos(Ω) workload — commit throughput and Ω
+/// crash-detection latency, n ∈ {3, 8}, one Halt crash each. Emits
+/// `BENCH_net.json` (consumed by CI's bench-smoke job).
+///
+/// The point of the comparison is honesty about cost: every
+/// distributed commit is a socket round trip, so its events/sec column
+/// is expected to be one to two orders of magnitude below the threaded
+/// engine's. The checks are about *correctness* at that cost: both
+/// engines must decide, pass the consensus checker, and detect the
+/// crash.
+fn table_u_distributed() -> Table {
+    use afd_algorithms::consensus::all_live_decided_stream;
+    use afd_net::coord::{NetConfig, NetFault};
+    use afd_net::{run_distributed, DeploymentSpec};
+    use afd_obs::CrashDetection;
+    use afd_runtime::{run_threaded, RuntimeConfig};
+    use std::time::Duration;
+
+    let smoke = std::env::var("SMOKE").is_ok();
+    let mut t = Table::new(
+        "u",
+        format!(
+            "Table U — distributed vs threaded Paxos(Ω) commit throughput{}",
+            if smoke { " (SMOKE)" } else { "" }
+        ),
+    );
+    t.columns(&[
+        "n",
+        "engine",
+        "events",
+        "elapsed (ms)",
+        "events/sec",
+        "Ω detection (events)",
+    ]);
+    let budget = if smoke { 2_000usize } else { 6_000 };
+    let crash_at = 15usize;
+    let fd_pacing = Duration::from_micros(200);
+    let mut rows_json: Vec<Json> = Vec::new();
+    let node_exe = std::env::current_exe()
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    for n in [3u8, 8] {
+        let pi = Pi::new(usize::from(n));
+        let f = (usize::from(n) - 1) / 2;
+        let values: Vec<u64> = (0..u64::from(n)).map(|i| i % 2).collect();
+        let victim = Loc(n - 1);
+
+        // Threaded baseline: same workload, same crash, same pacing.
+        let pattern = FaultPattern::at(vec![(crash_at, victim)]);
+        let sys = paxos_system(pi, &values, pattern.faulty());
+        let cfg = RuntimeConfig::default()
+            .with_max_events(budget)
+            .with_faults(pattern)
+            .with_fd_pacing(fd_pacing)
+            .with_seed(21)
+            .stop_when_stream(move || all_live_decided_stream(pi));
+        let out = run_threaded(&sys, &cfg);
+        if let Err(v) = check_consensus_run(pi, f, &out.schedule) {
+            t.fail(format!("u: threaded n={n} consensus violation: {v}"));
+        }
+        let q = detector_qos(pi, &out.schedule);
+        let lat_threaded = q.detections.first().and_then(CrashDetection::latency);
+        let eps_threaded = out.events_per_sec();
+        t.row(vec![
+            n.to_string(),
+            "threaded".into(),
+            out.events().to_string(),
+            format!("{:.1}", out.elapsed.as_secs_f64() * 1e3),
+            format!("{eps_threaded:.0}"),
+            lat_threaded.map_or("n/a".into(), |l| l.to_string()),
+        ]);
+
+        // Distributed: one node process per location, Halt crash
+        // injected by the coordinator at the same event index.
+        let spec = DeploymentSpec::Paxos {
+            n,
+            values: values.clone(),
+        };
+        let ncfg = NetConfig::new(vec![node_exe.clone()], u32::from(n))
+            .with_max_events(budget)
+            .with_seed(21)
+            .with_fault(NetFault::halt(crash_at, victim))
+            .with_deadlines(Duration::from_secs(10), Duration::from_secs(120));
+        let (events, ms, eps_dist, lat_dist) = match run_distributed(&spec, &ncfg) {
+            Ok(report) => {
+                for c in &report.checks {
+                    if let Err(e) = &c.verdict {
+                        t.fail(format!("u: distributed n={n} check {} failed: {e}", c.name));
+                    }
+                }
+                let q = detector_qos(pi, &report.schedule);
+                let lat = q.detections.first().and_then(CrashDetection::latency);
+                let secs = report.elapsed.as_secs_f64().max(1e-9);
+                (report.events, secs * 1e3, report.events as f64 / secs, lat)
+            }
+            Err(e) => {
+                t.fail(format!("u: distributed n={n} run failed: {e}"));
+                (0, 0.0, 0.0, None)
+            }
+        };
+        t.row(vec![
+            n.to_string(),
+            "distributed".into(),
+            events.to_string(),
+            format!("{ms:.1}"),
+            format!("{eps_dist:.0}"),
+            lat_dist.map_or("n/a".into(), |l| l.to_string()),
+        ]);
+        rows_json.push(Json::Obj(vec![
+            ("n".into(), Json::Num(f64::from(n))),
+            (
+                "threaded".into(),
+                Json::Obj(vec![
+                    ("events".into(), Json::Num(out.events() as f64)),
+                    ("events_per_sec".into(), Json::Num(eps_threaded)),
+                    (
+                        "omega_detection_events".into(),
+                        lat_threaded.map_or(Json::Null, |l| Json::Num(l as f64)),
+                    ),
+                ]),
+            ),
+            (
+                "distributed".into(),
+                Json::Obj(vec![
+                    ("events".into(), Json::Num(events as f64)),
+                    ("events_per_sec".into(), Json::Num(eps_dist)),
+                    (
+                        "omega_detection_events".into(),
+                        lat_dist.map_or(Json::Null, |l| Json::Num(l as f64)),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+    t.note(
+        "Same Paxos(Ω) workload, same Halt crash, same fd pacing: the threaded engine \
+         commits through a shared in-memory sink, the distributed engine pays a TCP \
+         round trip per node-hosted commit (loopback, one node process per location). \
+         Detection latency is in schedule events (engine-independent units), measured \
+         by `afd_obs::detector_qos` over each merged schedule.",
+    );
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("distributed-runtime".into())),
+        (
+            "generated_by".into(),
+            Json::Str("experiments u (afd-repro)".into()),
+        ),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("budget".into(), Json::Num(budget as f64)),
+        ("crash_at".into(), Json::Num(crash_at as f64)),
+        ("rows".into(), Json::Arr(rows_json)),
+        ("pass".into(), Json::Bool(t.failures.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_net.json", doc.render() + "\n") {
+        t.fail(format!("u: writing BENCH_net.json failed: {e}"));
+    }
+    t
+}
+
 fn table_q_qos() -> Vec<Table> {
     use afd_obs::Fanout;
     use afd_runtime::{run_threaded, RuntimeConfig};

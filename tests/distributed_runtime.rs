@@ -1,0 +1,238 @@
+//! The distributed runtime's acceptance grid, over real loopback TCP
+//! and real OS processes:
+//!
+//! * Paxos n ∈ {3, 5} decides despite one replica crashed mid-run —
+//!   including a genuine `SIGKILL` of the hosting node process — with
+//!   the online streaming checkers (consensus spec + Ω conformance)
+//!   passing over the merged schedule;
+//! * the Ω/P/◇P self-implementation deployments stay conformant and
+//!   pass the post-hoc Theorem 13 check;
+//! * same-seed netchaos runs export byte-identical chaos plans;
+//! * a chaos-free run keeps per-channel FIFO.
+//!
+//! Every run here spawns the real `afd-node` binary (via
+//! `CARGO_BIN_EXE_afd-node`) as its node processes.
+
+use std::time::Duration;
+
+use afd_core::{Action, Loc, Pi};
+use afd_net::coord::{NetConfig, NetFault, NetReport};
+use afd_net::{run_distributed, DeploymentSpec, FdKindSpec};
+use afd_runtime::{fifo_violation, LinkFaults, LinkProfile, StopReason};
+
+fn node_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_afd-node").to_string()]
+}
+
+fn base_cfg(nodes: u32) -> NetConfig {
+    NetConfig::new(node_cmd(), nodes)
+        .with_deadlines(Duration::from_secs(10), Duration::from_secs(120))
+}
+
+fn assert_all_checks(report: &NetReport) {
+    for c in &report.checks {
+        assert!(
+            c.verdict.is_ok(),
+            "check {} failed: {:?}",
+            c.name,
+            c.verdict
+        );
+    }
+}
+
+/// Every live location decided on a single common value.
+fn assert_decided(report: &NetReport, pi: Pi) {
+    let crashed: Vec<Loc> = report
+        .schedule
+        .iter()
+        .filter_map(|a| match a {
+            Action::Crash(l) => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let mut decisions: Vec<(Loc, u64)> = Vec::new();
+    for a in &report.schedule {
+        if let Action::Decide { at, v } = a {
+            decisions.push((*at, *v));
+        }
+    }
+    let values: std::collections::BTreeSet<u64> = decisions.iter().map(|&(_, v)| v).collect();
+    assert!(values.len() <= 1, "agreement violated: {values:?}");
+    for l in pi.iter() {
+        if !crashed.contains(&l) {
+            assert!(
+                decisions.iter().any(|&(at, _)| at == l),
+                "live location {l:?} never decided (decisions: {decisions:?})"
+            );
+        }
+    }
+}
+
+/// Paxos n=3, one replica's node process SIGKILLed mid-run: the
+/// survivors decide over real sockets and every online checker passes.
+#[test]
+fn paxos_n3_decides_despite_sigkill() {
+    let spec = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 1, 1],
+    };
+    let cfg = base_cfg(3)
+        .with_max_events(4_000)
+        .with_seed(11)
+        .with_fault(NetFault::kill(15, Loc(2)));
+    let report = run_distributed(&spec, &cfg).expect("run");
+    assert_all_checks(&report);
+    assert_eq!(
+        report.stop,
+        Some(StopReason::Predicate),
+        "stopped by the all-live-decided predicate, not the budget (events={}, stop={:?})",
+        report.events,
+        report.stop
+    );
+    assert_decided(&report, Pi::new(3));
+    // The kill was real: the hosting node is marked and its location
+    // crashed in the schedule.
+    let n2 = &report.nodes[2];
+    assert!(n2.killed, "node 2 should be killed");
+    assert!(report.schedule.contains(&Action::Crash(Loc(2))));
+}
+
+/// Paxos n=5 on 5 node processes with a Halt crash: crash-as-protocol
+/// (the automaton silences itself, the process lives).
+#[test]
+fn paxos_n5_decides_despite_halt() {
+    let spec = DeploymentSpec::Paxos {
+        n: 5,
+        values: vec![0, 1, 0, 1, 1],
+    };
+    let cfg = base_cfg(5)
+        .with_max_events(8_000)
+        .with_seed(13)
+        .with_fault(NetFault::halt(25, Loc(4)));
+    let report = run_distributed(&spec, &cfg).expect("run");
+    assert_all_checks(&report);
+    assert_eq!(report.stop, Some(StopReason::Predicate));
+    assert_decided(&report, Pi::new(5));
+    // Halt leaves the process alive: nobody is marked killed.
+    assert!(report.nodes.iter().all(|n| !n.killed));
+}
+
+/// The conformance grid: each canonical detector's self-implementation
+/// system, deployed across processes, stays trace-conformant to its
+/// AFD spec and passes Theorem 13 (the renamed trace re-implements the
+/// spec, non-vacuously).
+#[test]
+fn conformance_grid_over_sockets() {
+    for (fd, budget) in [
+        (FdKindSpec::Omega, 250usize),
+        (FdKindSpec::Perfect, 250),
+        (
+            FdKindSpec::EvPerfectNoisy {
+                lie_set: afd_core::LocSet::singleton(Loc(0)),
+                lie_count: 3,
+            },
+            250,
+        ),
+    ] {
+        let spec = DeploymentSpec::SelfImpl { n: 3, fd };
+        let cfg = base_cfg(3).with_max_events(budget).with_seed(17);
+        let report = run_distributed(&spec, &cfg).expect("run");
+        assert_eq!(
+            report.stop,
+            Some(StopReason::MaxEvents),
+            "conformance runs exhaust their budget ({})",
+            spec.label()
+        );
+        assert_all_checks(&report);
+        assert!(
+            report.check("theorem-13").is_some(),
+            "self-impl deployments get the post-hoc Theorem 13 check"
+        );
+        assert_eq!(report.events, budget);
+    }
+}
+
+/// Same-seed chaos runs export byte-identical plans (the plan is a
+/// pure function of seed × links × Π); a different seed diverges.
+#[test]
+fn same_seed_chaos_plans_are_byte_identical() {
+    let spec = DeploymentSpec::ReliablePaxos {
+        n: 3,
+        values: vec![1, 0, 1],
+    };
+    let links = LinkFaults::uniform(LinkProfile::lossy(0.10).with_dup(0.05).with_reorder(2));
+    let run = |seed: u64| {
+        let cfg = base_cfg(3)
+            .with_max_events(6_000)
+            .with_seed(seed)
+            .with_links(links.clone());
+        run_distributed(&spec, &cfg).expect("run")
+    };
+    let a = run(99);
+    let b = run(99);
+    let c = run(100);
+    assert!(!a.chaos_plan.is_empty());
+    assert_eq!(a.chaos_plan, b.chaos_plan, "same seed ⇒ identical plan");
+    assert_ne!(
+        a.chaos_plan, c.chaos_plan,
+        "different seed ⇒ different plan"
+    );
+    // The adversary actually did something over the wire.
+    assert!(
+        a.chaos.arrivals() > 0,
+        "chaotic links saw no traffic: {:?}",
+        a.chaos
+    );
+    assert_all_checks(&a);
+    assert_all_checks(&b);
+    assert_all_checks(&c);
+}
+
+/// Without link chaos the merged schedule keeps per-channel FIFO:
+/// routing through the coordinator adds latency, never reordering.
+#[test]
+fn clean_run_preserves_fifo() {
+    let spec = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 0, 1],
+    };
+    let cfg = base_cfg(2).with_max_events(4_000).with_seed(23);
+    let report = run_distributed(&spec, &cfg).expect("run");
+    assert_all_checks(&report);
+    assert_eq!(
+        fifo_violation(&report.schedule),
+        None,
+        "chaos-free distributed runs must stay FIFO per channel"
+    );
+    // Two nodes hosted three locations: round-robin put two on node 0.
+    assert_eq!(report.nodes[0].locations, vec![Loc(0), Loc(2)]);
+    assert_eq!(report.nodes[1].locations, vec![Loc(1)]);
+    // Both nodes actually committed work over their sockets.
+    assert!(report.nodes.iter().all(|n| n.commits > 0));
+}
+
+/// Config validation rejects impossible deployments up front.
+#[test]
+fn bad_configs_are_rejected() {
+    let spec = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 1, 1],
+    };
+    assert!(run_distributed(&spec, &NetConfig::new(vec![], 3)).is_err());
+    assert!(run_distributed(&spec, &NetConfig::new(node_cmd(), 0)).is_err());
+    assert!(run_distributed(&spec, &NetConfig::new(node_cmd(), 4)).is_err());
+    let cfg = NetConfig::new(node_cmd(), 3).with_fault(NetFault::halt(0, Loc(9)));
+    assert!(run_distributed(&spec, &cfg).is_err());
+    // E_C is binary consensus: out-of-domain or missing proposal
+    // values would silently stall the deployment, so they are errors.
+    let bad_vals = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 7, 1],
+    };
+    assert!(run_distributed(&bad_vals, &NetConfig::new(node_cmd(), 3)).is_err());
+    let short_vals = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 1],
+    };
+    assert!(run_distributed(&short_vals, &NetConfig::new(node_cmd(), 3)).is_err());
+}

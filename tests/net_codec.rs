@@ -1,0 +1,457 @@
+//! Wire-codec properties: every `Action` round-trips byte-for-byte
+//! through the hand-rolled length-prefixed codec — including the
+//! `WireSend`/`WireRecv` frame variants and boundary locations at and
+//! past `Loc(64)` — and malformed input (truncations, bad tags,
+//! trailing bytes, garbage) always comes back as a typed
+//! [`DecodeError`], never a panic.
+
+use afd_core::{Action, Ballot, FdOutput, Frame, Loc, LocSet, Msg};
+use afd_net::codec::{
+    decode_action, decode_msg, encode_action, read_frame, write_frame, DecodeError,
+};
+use afd_net::{CommitStatus, DeploymentSpec, FdKindSpec, WireMsg};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Boundary-heavy location pool: the codec must not care that `Loc`'s
+/// payload exceeds the `LocSet` word width (64) or saturates `u8`.
+const LOCS: [Loc; 7] = [Loc(0), Loc(1), Loc(7), Loc(63), Loc(64), Loc(65), Loc(255)];
+
+fn rloc(rng: &mut StdRng) -> Loc {
+    LOCS[rng.gen_range(0usize..LOCS.len())]
+}
+
+fn rset(rng: &mut StdRng) -> LocSet {
+    LocSet(match rng.gen_range(0u32..4) {
+        0 => 0,
+        1 => u64::MAX,
+        2 => 1 << 63,
+        _ => rng.gen_range(0u64..u64::MAX),
+    })
+}
+
+fn rval(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0u32..3) {
+        0 => 0,
+        1 => u64::MAX,
+        _ => rng.gen_range(0u64..u64::MAX),
+    }
+}
+
+fn rballot(rng: &mut StdRng) -> Ballot {
+    Ballot {
+        round: if rng.gen_range(0u32..2) == 0 {
+            u32::MAX
+        } else {
+            rng.gen_range(0u32..1000)
+        },
+        owner: rloc(rng),
+    }
+}
+
+fn rout(rng: &mut StdRng) -> FdOutput {
+    match rng.gen_range(0u32..6) {
+        0 => FdOutput::Leader(rloc(rng)),
+        1 => FdOutput::Suspects(rset(rng)),
+        2 => FdOutput::Quorum(rset(rng)),
+        3 => FdOutput::AntiLeader(rloc(rng)),
+        4 => FdOutput::Leaders(rset(rng)),
+        _ => FdOutput::PsiK {
+            quorum: rset(rng),
+            leaders: rset(rng),
+        },
+    }
+}
+
+fn rmsg(rng: &mut StdRng) -> Msg {
+    match rng.gen_range(0u32..16) {
+        0 => Msg::Prepare {
+            ballot: rballot(rng),
+        },
+        1 => Msg::Promise {
+            ballot: rballot(rng),
+            accepted: if rng.gen_range(0u32..2) == 0 {
+                None
+            } else {
+                Some((rballot(rng), rval(rng)))
+            },
+        },
+        2 => Msg::Accept {
+            ballot: rballot(rng),
+            value: rval(rng),
+        },
+        3 => Msg::Accepted {
+            ballot: rballot(rng),
+            value: rval(rng),
+        },
+        4 => Msg::DecideMsg { value: rval(rng) },
+        5 => Msg::CtEstimate {
+            round: rng.gen_range(0u32..u32::MAX),
+            est: rval(rng),
+            ts: rng.gen_range(0u32..u32::MAX),
+        },
+        6 => Msg::CtPropose {
+            round: rng.gen_range(0u32..u32::MAX),
+            est: rval(rng),
+        },
+        7 => Msg::CtAck {
+            round: rng.gen_range(0u32..u32::MAX),
+            ok: rng.gen_range(0u32..2) == 0,
+        },
+        8 => Msg::LeJoin,
+        9 => Msg::LeElected { leader: rloc(rng) },
+        10 => Msg::RbRelay {
+            origin: rloc(rng),
+            seq: rng.gen_range(0u32..u32::MAX),
+            payload: rval(rng),
+        },
+        11 => Msg::KsEstimate {
+            phase: rng.gen_range(0u32..u32::MAX),
+            est: rval(rng),
+        },
+        12 => Msg::VoteMsg {
+            yes: rng.gen_range(0u32..2) == 0,
+        },
+        13 => Msg::FdSample {
+            epoch: rng.gen_range(0u32..u32::MAX),
+            out: rout(rng),
+        },
+        14 => Msg::Heartbeat {
+            epoch: rng.gen_range(0u32..u32::MAX),
+        },
+        _ => Msg::Token(rval(rng)),
+    }
+}
+
+fn rframe(rng: &mut StdRng) -> Frame {
+    if rng.gen_range(0u32..2) == 0 {
+        Frame::Data {
+            seq: rng.gen_range(0u32..u32::MAX),
+            msg: rmsg(rng),
+        }
+    } else {
+        Frame::Ack {
+            cum: rng.gen_range(0u32..u32::MAX),
+        }
+    }
+}
+
+/// One random action from the full 19-variant alphabet.
+fn raction(rng: &mut StdRng) -> Action {
+    let at = rloc(rng);
+    let other = rloc(rng);
+    match rng.gen_range(0u32..19) {
+        0 => Action::Crash(at),
+        1 => Action::Send {
+            from: at,
+            to: other,
+            msg: rmsg(rng),
+        },
+        2 => Action::Receive {
+            from: at,
+            to: other,
+            msg: rmsg(rng),
+        },
+        3 => Action::Fd { at, out: rout(rng) },
+        4 => Action::FdRenamed { at, out: rout(rng) },
+        5 => Action::Propose { at, v: rval(rng) },
+        6 => Action::Decide { at, v: rval(rng) },
+        7 => Action::Elect { at, leader: other },
+        8 => Action::Broadcast {
+            at,
+            payload: rval(rng),
+        },
+        9 => Action::Deliver {
+            at,
+            origin: other,
+            payload: rval(rng),
+        },
+        10 => Action::ProposeK { at, v: rval(rng) },
+        11 => Action::DecideK { at, v: rval(rng) },
+        12 => Action::Vote {
+            at,
+            yes: rng.gen_range(0u32..2) == 0,
+        },
+        13 => Action::Verdict {
+            at,
+            commit: rng.gen_range(0u32..2) == 0,
+        },
+        14 => Action::Query { at },
+        15 => Action::QueryReply { at, out: rout(rng) },
+        16 => Action::Internal {
+            at,
+            tag: rng.gen_range(0u32..u32::from(u16::MAX)) as u16,
+        },
+        17 => Action::WireSend {
+            from: at,
+            to: other,
+            frame: rframe(rng),
+        },
+        _ => Action::WireRecv {
+            from: at,
+            to: other,
+            frame: rframe(rng),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every action round-trips exactly, and re-encoding the decoded
+    /// value reproduces the original bytes.
+    #[test]
+    fn action_roundtrip_byte_for_byte(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let a = raction(&mut rng);
+            let bytes = encode_action(&a);
+            let back = decode_action(&bytes).expect("decode own encoding");
+            prop_assert_eq!(back, a);
+            prop_assert_eq!(encode_action(&back), bytes);
+        }
+    }
+
+    /// Every strict prefix of a valid encoding decodes to a typed
+    /// error — truncation can never panic or accidentally succeed.
+    #[test]
+    fn truncation_is_a_typed_error(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let a = raction(&mut rng);
+            let bytes = encode_action(&a);
+            for cut in 0..bytes.len() {
+                match decode_action(&bytes[..cut]) {
+                    Err(
+                        DecodeError::Truncated { .. }
+                        | DecodeError::BadTag { .. }
+                        | DecodeError::Trailing { .. },
+                    ) => {}
+                    Err(e) => panic!("unexpected decode error on prefix: {e}"),
+                    Ok(other) => panic!("prefix of {a:?} decoded as {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Random garbage never panics the decoder; whatever comes back is
+    /// a clean `Result`.
+    #[test]
+    fn garbage_never_panics(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let len = rng.gen_range(0usize..128);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+            let _ = decode_action(&bytes);
+            let _ = decode_msg(&bytes);
+        }
+    }
+
+    /// Control frames round-trip through the stream framing.
+    #[test]
+    fn wire_msgs_roundtrip_through_frames(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msgs = vec![
+            WireMsg::Hello {
+                node: rng.gen_range(0u32..u32::MAX),
+            },
+            WireMsg::Assign {
+                node: rng.gen_range(0u32..16),
+                spec: DeploymentSpec::SelfImpl {
+                    n: 5,
+                    fd: FdKindSpec::EvPerfectNoisy {
+                        lie_set: rset(&mut rng),
+                        lie_count: 7,
+                    },
+                },
+                locations: vec![rloc(&mut rng), rloc(&mut rng)],
+                seed: rval(&mut rng),
+                wire_pacing_us: rval(&mut rng),
+            },
+            WireMsg::CommitReq {
+                comp: rng.gen_range(0u32..64),
+                action: raction(&mut rng),
+            },
+            WireMsg::CommitResp {
+                comp: rng.gen_range(0u32..64),
+                status: match rng.gen_range(0u32..3) {
+                    0 => CommitStatus::Accepted,
+                    1 => CommitStatus::Suppressed,
+                    _ => CommitStatus::Stopped,
+                },
+            },
+            WireMsg::Deliver {
+                comp: rng.gen_range(0u32..64),
+                action: raction(&mut rng),
+            },
+            WireMsg::Stop {
+                reason: "stop reason with unicode: Π ◇P".into(),
+            },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for m in &msgs {
+            let got = read_frame(&mut cursor).unwrap().expect("frame present");
+            prop_assert_eq!(format!("{got:?}"), format!("{m:?}"));
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+}
+
+/// A deterministic sweep over every enum variant with boundary values,
+/// so coverage does not depend on the random draw.
+#[test]
+fn exhaustive_variant_sweep_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    let mut actions: Vec<Action> = Vec::new();
+    for &at in &LOCS {
+        actions.push(Action::Crash(at));
+        actions.push(Action::Query { at });
+    }
+    // Every Msg variant inside Send, every FdOutput inside Fd.
+    for k in 0..16u32 {
+        let mut r = StdRng::seed_from_u64(u64::from(k));
+        let mut m = rmsg(&mut r);
+        // Force variant k by rejection sampling over fresh seeds.
+        let mut s = u64::from(k);
+        while msg_tag(&m) != k {
+            s += 1000;
+            r = StdRng::seed_from_u64(s);
+            m = rmsg(&mut r);
+        }
+        actions.push(Action::Send {
+            from: Loc(64),
+            to: Loc(255),
+            msg: m,
+        });
+    }
+    for k in 0..6u32 {
+        let mut s = u64::from(k);
+        let mut r = StdRng::seed_from_u64(s);
+        let mut o = rout(&mut r);
+        while out_tag(&o) != k {
+            s += 1000;
+            r = StdRng::seed_from_u64(s);
+            o = rout(&mut r);
+        }
+        actions.push(Action::Fd {
+            at: Loc(63),
+            out: o,
+        });
+        actions.push(Action::FdRenamed {
+            at: Loc(64),
+            out: o,
+        });
+        actions.push(Action::QueryReply {
+            at: Loc(65),
+            out: o,
+        });
+    }
+    for _ in 0..32 {
+        actions.push(raction(&mut rng));
+    }
+    actions.push(Action::WireSend {
+        from: Loc(64),
+        to: Loc(65),
+        frame: Frame::Data {
+            seq: u32::MAX,
+            msg: Msg::Promise {
+                ballot: Ballot {
+                    round: u32::MAX,
+                    owner: Loc(255),
+                },
+                accepted: Some((
+                    Ballot {
+                        round: 0,
+                        owner: Loc(64),
+                    },
+                    u64::MAX,
+                )),
+            },
+        },
+    });
+    actions.push(Action::WireRecv {
+        from: Loc(255),
+        to: Loc(0),
+        frame: Frame::Ack { cum: u32::MAX },
+    });
+    for a in &actions {
+        let bytes = encode_action(a);
+        let back = decode_action(&bytes).unwrap_or_else(|e| panic!("decode {a:?}: {e}"));
+        assert_eq!(&back, a);
+        assert_eq!(encode_action(&back), bytes, "canonical encoding for {a:?}");
+    }
+}
+
+fn msg_tag(m: &Msg) -> u32 {
+    match m {
+        Msg::Prepare { .. } => 0,
+        Msg::Promise { .. } => 1,
+        Msg::Accept { .. } => 2,
+        Msg::Accepted { .. } => 3,
+        Msg::DecideMsg { .. } => 4,
+        Msg::CtEstimate { .. } => 5,
+        Msg::CtPropose { .. } => 6,
+        Msg::CtAck { .. } => 7,
+        Msg::LeJoin => 8,
+        Msg::LeElected { .. } => 9,
+        Msg::RbRelay { .. } => 10,
+        Msg::KsEstimate { .. } => 11,
+        Msg::VoteMsg { .. } => 12,
+        Msg::FdSample { .. } => 13,
+        Msg::Heartbeat { .. } => 14,
+        Msg::Token(_) => 15,
+    }
+}
+
+fn out_tag(o: &FdOutput) -> u32 {
+    match o {
+        FdOutput::Leader(_) => 0,
+        FdOutput::Suspects(_) => 1,
+        FdOutput::Quorum(_) => 2,
+        FdOutput::AntiLeader(_) => 3,
+        FdOutput::Leaders(_) => 4,
+        FdOutput::PsiK { .. } => 5,
+    }
+}
+
+/// Trailing bytes after a complete encoding are rejected, with the
+/// exact surplus reported.
+#[test]
+fn trailing_bytes_are_rejected() {
+    let a = Action::Decide { at: Loc(2), v: 7 };
+    let mut bytes = encode_action(&a);
+    bytes.push(0xFF);
+    match decode_action(&bytes) {
+        Err(DecodeError::Trailing { extra }) => assert_eq!(extra, 1),
+        other => panic!("expected Trailing, got {other:?}"),
+    }
+}
+
+/// An unknown action tag is a `BadTag`, not a panic.
+#[test]
+fn unknown_tag_is_bad_tag() {
+    match decode_action(&[0xEE]) {
+        Err(DecodeError::BadTag { what, tag }) => {
+            assert_eq!(tag, 0xEE);
+            assert!(!what.is_empty());
+        }
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+}
+
+/// A frame whose length prefix exceeds the cap is refused before any
+/// allocation.
+#[test]
+fn oversized_frame_is_refused() {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(afd_net::codec::MAX_FRAME + 1).to_le_bytes());
+    wire.extend_from_slice(&[0u8; 16]);
+    let mut cursor = std::io::Cursor::new(wire);
+    let err = read_frame(&mut cursor).expect_err("oversized frame must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}

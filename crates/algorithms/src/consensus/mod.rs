@@ -19,7 +19,7 @@ pub mod ct_strong;
 pub mod paxos_omega;
 
 pub use ct_strong::{ct_system, CtStrong};
-pub use paxos_omega::{paxos_system, PaxosOmega};
+pub use paxos_omega::{paxos_system, paxos_system_values, PaxosOmega};
 
 use afd_core::problems::consensus::Consensus;
 use afd_core::{Action, Pi, Violation};

@@ -369,6 +369,30 @@ pub fn paxos_system(
         .build()
 }
 
+/// [`paxos_system`] with the general-value environment: location `i`
+/// proposes the arbitrary `u64` `values[i]` (the binary `E_C` of
+/// Algorithm 4 can only propose `{0, 1}`). The protocol itself is
+/// value-agnostic, so this is the same §9.3 system under a different
+/// well-formed environment — the building block the multi-shot RSM
+/// layer instantiates once per log slot.
+#[must_use]
+pub fn paxos_system_values(
+    pi: Pi,
+    values: &[Val],
+    crashes: Vec<Loc>,
+) -> System<ProcessAutomaton<PaxosOmega>> {
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, PaxosOmega::new(pi)))
+        .collect();
+    SystemBuilder::new(pi, procs)
+        .with_fd(FdGen::omega(pi))
+        .with_env(Env::consensus_values(pi, values))
+        .with_crashes(crashes)
+        .with_label("paxos-Ω system (general values)")
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,11 +49,13 @@ pub mod reliable;
 pub mod self_impl;
 
 pub use compose::WithReduction;
-pub use consensus::{all_live_decided, check_consensus_run, ct_system, paxos_system};
+pub use consensus::{
+    all_live_decided, check_consensus_run, ct_system, paxos_system, paxos_system_values,
+};
 pub use lattice::{AfdId, Lattice};
 pub use reductions::{reduction_system, run_reduction, Reduction, Transform};
 pub use reliable::{
-    reliable_ct_system, reliable_paxos_system, reliable_self_impl_system, RelState, ReliableLink,
-    SEND_WINDOW,
+    reliable_ct_system, reliable_paxos_system, reliable_paxos_system_values,
+    reliable_self_impl_system, RelState, ReliableLink, SEND_WINDOW,
 };
 pub use self_impl::{check_self_implementation, run_theorem_13, self_impl_system, SelfImpl};

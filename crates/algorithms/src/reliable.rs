@@ -304,6 +304,28 @@ pub fn reliable_paxos_system(
         .build()
 }
 
+/// [`crate::consensus::paxos_system_values`] over adversarial links:
+/// general-value Paxos(Ω) behind the reliable layer — the per-slot
+/// system the RSM layer runs when link chaos is configured.
+#[must_use]
+pub fn reliable_paxos_system_values(
+    pi: Pi,
+    values: &[Val],
+    crashes: Vec<Loc>,
+) -> System<ProcessAutomaton<ReliableLink<PaxosOmega>>> {
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, ReliableLink::new(pi, PaxosOmega::new(pi))))
+        .collect();
+    SystemBuilder::new(pi, procs)
+        .with_fd(FdGen::omega(pi))
+        .with_env(Env::consensus_values(pi, values))
+        .with_crashes(crashes)
+        .with_wire_channels()
+        .with_label("paxos-Ω system (general values, reliable layer)")
+        .build()
+}
+
 /// [`crate::consensus::ct_system`] over adversarial links.
 #[must_use]
 pub fn reliable_ct_system(

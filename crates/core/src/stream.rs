@@ -23,21 +23,26 @@ use crate::fd::FdOutput;
 use crate::loc::{Loc, LocSet, Pi};
 use crate::trace::{ValidityReport, Violation};
 
-/// An incremental checker: fold actions one at a time, render the
+/// An incremental checker: fold events one at a time, render the
 /// verdict for the prefix seen so far at any point.
-pub trait StreamChecker {
+///
+/// The event type defaults to [`Action`] — every trace checker in the
+/// core crates folds schedule actions — but checkers over other event
+/// streams (e.g. the RSM layer's apply events) instantiate `E`
+/// explicitly and get the same push/finish/`check_all` contract.
+pub trait StreamChecker<E = Action> {
     /// What `finish` produces (a `Result`, a report, statistics, …).
     type Verdict;
 
-    /// Fold one action into the checker state.
-    fn push(&mut self, a: &Action);
+    /// Fold one event into the checker state.
+    fn push(&mut self, a: &E);
 
     /// The verdict for the sequence pushed so far. Does not consume the
-    /// checker: more actions may be pushed afterwards.
+    /// checker: more events may be pushed afterwards.
     fn finish(&self) -> Self::Verdict;
 
     /// Convenience: push an entire slice, then finish — the batch form.
-    fn check_all(mut self, t: &[Action]) -> Self::Verdict
+    fn check_all(mut self, t: &[E]) -> Self::Verdict
     where
         Self: Sized,
     {

@@ -1,0 +1,214 @@
+//! The open-loop generator: requests *arrive* on a fixed schedule
+//! derived from the configured rate, regardless of how fast the
+//! system completes them — the defining property of an open-loop
+//! tester (a closed loop hides latency spikes by slowing its own
+//! offered load; an open loop lets the backlog grow and the tail
+//! show). Arrival timestamps are a pure function of `(rate, id)`, so
+//! a captured trace replays identically.
+
+use afd_rsm::Command;
+use afd_runtime::rng::SplitMix64;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Offered load: request arrivals per second.
+    pub rate_ops_per_sec: u64,
+    /// Total requests to generate.
+    pub total_ops: u64,
+    /// Keys are drawn from `0..key_space`.
+    pub key_space: u64,
+    /// Virtual clients at start.
+    pub base_clients: u64,
+    /// Outstanding-requests-per-client threshold past which the
+    /// generator spawns more virtual clients.
+    pub client_window: u64,
+    /// Seed of the command mix.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// Defaults for a small smoke workload.
+    #[must_use]
+    pub fn new(rate_ops_per_sec: u64, total_ops: u64) -> Self {
+        LoadConfig {
+            rate_ops_per_sec: rate_ops_per_sec.max(1),
+            total_ops,
+            key_space: 64,
+            base_clients: 4,
+            client_window: 8,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Set the key universe.
+    #[must_use]
+    pub fn with_key_space(mut self, n: u64) -> Self {
+        self.key_space = n.max(1);
+        self
+    }
+
+    /// Set the command-mix seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Dense id, also the request's position in the arrival order.
+    pub id: u64,
+    /// The virtual client that issued it.
+    pub client: u64,
+    /// Scheduled arrival, nanoseconds since workload start.
+    pub arrival_ns: u64,
+    /// The command.
+    pub cmd: Command,
+}
+
+/// Interval-paced open-loop arrival process.
+#[derive(Debug)]
+pub struct OpenLoopGen {
+    cfg: LoadConfig,
+    rng: SplitMix64,
+    issued: u64,
+    clients: u64,
+}
+
+impl OpenLoopGen {
+    /// A generator over `cfg`.
+    #[must_use]
+    pub fn new(cfg: LoadConfig) -> Self {
+        OpenLoopGen {
+            rng: SplitMix64::new(cfg.seed),
+            issued: 0,
+            clients: cfg.base_clients.max(1),
+            cfg,
+        }
+    }
+
+    /// Scheduled arrival time of request `id`, ns since start — a pure
+    /// function of the rate, never of completions.
+    #[must_use]
+    pub fn arrival_ns(&self, id: u64) -> u64 {
+        id.saturating_mul(1_000_000_000) / self.cfg.rate_ops_per_sec
+    }
+
+    /// Current virtual-client count.
+    #[must_use]
+    pub fn clients(&self) -> u64 {
+        self.clients
+    }
+
+    /// Requests issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// True once every configured request has arrived.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.issued >= self.cfg.total_ops
+    }
+
+    /// ~50% put / 25% get / 25% cas over the key universe.
+    fn next_cmd(&mut self) -> Command {
+        let key = self.rng.below(self.cfg.key_space);
+        match self.rng.below(4) {
+            0 | 1 => Command::Put {
+                key,
+                val: self.rng.below(1_000),
+            },
+            2 => Command::Get { key },
+            _ => Command::Cas {
+                key,
+                old: self.rng.below(1_000),
+                new: self.rng.below(1_000),
+            },
+        }
+    }
+
+    /// All requests whose scheduled arrival is `<= now_ns` and not yet
+    /// issued. Arrivals that the caller polled late are *not*
+    /// rescheduled — they arrive in a batch, exactly as an open loop
+    /// behind a slow executor would observe.
+    pub fn poll(&mut self, now_ns: u64) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self.issued < self.cfg.total_ops && self.arrival_ns(self.issued) <= now_ns {
+            let id = self.issued;
+            self.issued += 1;
+            out.push(Request {
+                id,
+                client: id % self.clients,
+                arrival_ns: self.arrival_ns(id),
+                cmd: self.next_cmd(),
+            });
+        }
+        out
+    }
+
+    /// Issue every remaining request at its scheduled arrival time
+    /// (drain the tail of a capture without waiting out the clock).
+    pub fn drain_remaining(&mut self) -> Vec<Request> {
+        self.poll(u64::MAX)
+    }
+
+    /// Report the current outstanding (issued − completed) depth.
+    /// When it exceeds `clients × client_window` the generator doubles
+    /// its virtual clients — arrivals never wait for completions, so
+    /// backpressure recruits more clients instead of slowing the rate.
+    pub fn note_backpressure(&mut self, outstanding: u64) {
+        if outstanding > self.clients.saturating_mul(self.cfg.client_window) {
+            self.clients = self.clients.saturating_mul(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_follow_the_rate_not_the_caller() {
+        let mut g = OpenLoopGen::new(LoadConfig::new(1_000, 10)); // 1 op / ms
+        assert_eq!(g.poll(0).len(), 1, "id 0 arrives at t=0");
+        assert!(g.poll(500_000).is_empty(), "nothing due at t=0.5ms");
+        // Poll late: the backlog arrives as a batch.
+        let burst = g.poll(5_000_000);
+        assert_eq!(burst.len(), 5, "ids 1..=5 were all due by t=5ms");
+        assert_eq!(
+            burst[0].arrival_ns, 1_000_000,
+            "arrival is scheduled, not polled"
+        );
+        let rest = g.drain_remaining();
+        assert_eq!(rest.len(), 4);
+        assert!(g.is_done());
+    }
+
+    #[test]
+    fn same_seed_same_commands() {
+        let a: Vec<_> = OpenLoopGen::new(LoadConfig::new(10, 20)).drain_remaining();
+        let b: Vec<_> = OpenLoopGen::new(LoadConfig::new(10, 20)).drain_remaining();
+        assert_eq!(a, b);
+        let c: Vec<_> = OpenLoopGen::new(LoadConfig::new(10, 20).with_seed(9)).drain_remaining();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn backpressure_recruits_clients_instead_of_slowing() {
+        let mut g = OpenLoopGen::new(LoadConfig::new(100, 1_000));
+        assert_eq!(g.clients(), 4);
+        g.note_backpressure(10);
+        assert_eq!(g.clients(), 4, "10 ≤ 4×8: within the window");
+        g.note_backpressure(50);
+        assert_eq!(g.clients(), 8, "50 > 32: double");
+        g.note_backpressure(200);
+        assert_eq!(g.clients(), 16);
+        // The arrival schedule is untouched by backpressure.
+        assert_eq!(g.arrival_ns(100), 1_000_000_000);
+    }
+}

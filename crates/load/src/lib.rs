@@ -1,0 +1,15 @@
+//! # afd-load — open-loop load generation for the replicated log
+//!
+//! * [`gen`] — the interval-paced open-loop arrival process: requests
+//!   arrive on the configured schedule whether or not the system keeps
+//!   up; backpressure recruits more virtual clients instead of slowing
+//!   the offered rate.
+//! * [`trace`] — the `$timestamp $json` capture/replay format, so a
+//!   workload can be committed to the repo and replayed byte-exactly
+//!   against the RSM (see `docs/TRACE_FORMAT.md`).
+
+pub mod gen;
+pub mod trace;
+
+pub use gen::{LoadConfig, OpenLoopGen, Request};
+pub use trace::{decode, encode, format_line, parse_line, TraceError};

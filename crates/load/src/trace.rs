@@ -1,0 +1,218 @@
+//! Workload capture/replay: one request per line, formatted
+//! `$timestamp $json` — the decimal arrival offset in nanoseconds, a
+//! single space, then a one-line JSON object describing the request:
+//!
+//! ```text
+//! 0 {"id":0,"client":0,"op":"put","key":3,"val":9}
+//! 1000000 {"id":1,"client":1,"op":"get","key":3}
+//! 2000000 {"id":2,"client":2,"op":"cas","key":3,"old":9,"new":12}
+//! ```
+//!
+//! Blank lines and lines starting with `#` are comments. A decoded
+//! trace replays through the same driver as a live generator, so a
+//! committed capture pins the exact applied state (see the replay
+//! smoke test and `docs/TRACE_FORMAT.md`).
+
+use afd_obs::Json;
+use afd_rsm::Command;
+
+use crate::gen::Request;
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The line has no `timestamp json` split or a non-numeric stamp.
+    BadTimestamp {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The JSON payload does not parse.
+    BadJson {
+        /// 1-based line number.
+        line: usize,
+        /// Parser detail.
+        detail: String,
+    },
+    /// A required field is missing or mistyped.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The field name.
+        field: &'static str,
+    },
+    /// The `op` value is not `put` / `get` / `cas`.
+    BadOp {
+        /// 1-based line number.
+        line: usize,
+        /// The offending op.
+        op: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadTimestamp { line } => {
+                write!(f, "line {line}: expected `$timestamp $json`")
+            }
+            TraceError::BadJson { line, detail } => {
+                write!(f, "line {line}: bad JSON payload: {detail}")
+            }
+            TraceError::MissingField { line, field } => {
+                write!(f, "line {line}: missing or mistyped field `{field}`")
+            }
+            TraceError::BadOp { line, op } => {
+                write!(f, "line {line}: unknown op `{op}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Render one request as its `$timestamp $json` line.
+#[must_use]
+pub fn format_line(r: &Request) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Json::Num(r.id as f64)),
+        ("client".to_string(), Json::Num(r.client as f64)),
+    ];
+    match r.cmd {
+        Command::Put { key, val } => {
+            fields.push(("op".into(), Json::Str("put".into())));
+            fields.push(("key".into(), Json::Num(key as f64)));
+            fields.push(("val".into(), Json::Num(val as f64)));
+        }
+        Command::Get { key } => {
+            fields.push(("op".into(), Json::Str("get".into())));
+            fields.push(("key".into(), Json::Num(key as f64)));
+        }
+        Command::Cas { key, old, new } => {
+            fields.push(("op".into(), Json::Str("cas".into())));
+            fields.push(("key".into(), Json::Num(key as f64)));
+            fields.push(("old".into(), Json::Num(old as f64)));
+            fields.push(("new".into(), Json::Num(new as f64)));
+        }
+    }
+    format!("{} {}", r.arrival_ns, Json::Obj(fields).render())
+}
+
+fn num_field(v: &Json, line: usize, field: &'static str) -> Result<u64, TraceError> {
+    v.get(field)
+        .and_then(Json::as_num)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or(TraceError::MissingField { line, field })
+}
+
+/// Parse one `$timestamp $json` line (1-based `line` for messages).
+///
+/// # Errors
+/// See [`TraceError`].
+pub fn parse_line(s: &str, line: usize) -> Result<Request, TraceError> {
+    let (stamp, json) = s.split_once(' ').ok_or(TraceError::BadTimestamp { line })?;
+    let arrival_ns: u64 = stamp
+        .parse()
+        .map_err(|_| TraceError::BadTimestamp { line })?;
+    let v = Json::parse(json).map_err(|e| TraceError::BadJson {
+        line,
+        detail: format!("{e:?}"),
+    })?;
+    let id = num_field(&v, line, "id")?;
+    let client = num_field(&v, line, "client")?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or(TraceError::MissingField { line, field: "op" })?;
+    let cmd = match op {
+        "put" => Command::Put {
+            key: num_field(&v, line, "key")?,
+            val: num_field(&v, line, "val")?,
+        },
+        "get" => Command::Get {
+            key: num_field(&v, line, "key")?,
+        },
+        "cas" => Command::Cas {
+            key: num_field(&v, line, "key")?,
+            old: num_field(&v, line, "old")?,
+            new: num_field(&v, line, "new")?,
+        },
+        other => {
+            return Err(TraceError::BadOp {
+                line,
+                op: other.to_string(),
+            })
+        }
+    };
+    Ok(Request {
+        id,
+        client,
+        arrival_ns,
+        cmd,
+    })
+}
+
+/// Render a whole trace, one line per request.
+#[must_use]
+pub fn encode(requests: &[Request]) -> String {
+    let mut out = String::new();
+    for r in requests {
+        out.push_str(&format_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a whole trace; blank and `#`-prefixed lines are skipped.
+///
+/// # Errors
+/// The first malformed line.
+pub fn decode(text: &str) -> Result<Vec<Request>, TraceError> {
+    let mut out = Vec::new();
+    for (k, raw) in text.lines().enumerate() {
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(s, k + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{LoadConfig, OpenLoopGen};
+
+    #[test]
+    fn roundtrip_preserves_every_request() {
+        let reqs = OpenLoopGen::new(LoadConfig::new(1_000, 32)).drain_remaining();
+        let text = encode(&reqs);
+        assert_eq!(decode(&text).unwrap(), reqs);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# a capture\n\n0 {\"id\":0,\"client\":0,\"op\":\"get\",\"key\":7}\n";
+        let reqs = decode(text).unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].cmd, Command::Get { key: 7 });
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert_eq!(
+            decode("notanumber {\"id\":0}"),
+            Err(TraceError::BadTimestamp { line: 1 })
+        );
+        assert!(matches!(
+            decode("0 {\"id\":0,\"client\":0,\"op\":\"put\",\"key\":1}"),
+            Err(TraceError::MissingField { field: "val", .. })
+        ));
+        assert!(matches!(
+            decode("0 {\"id\":0,\"client\":0,\"op\":\"frob\",\"key\":1}"),
+            Err(TraceError::BadOp { .. })
+        ));
+        assert!(matches!(decode("0 {oops"), Err(TraceError::BadJson { .. })));
+    }
+}

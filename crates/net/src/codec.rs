@@ -464,6 +464,14 @@ fn put_spec(buf: &mut Vec<u8>, spec: &DeploymentSpec) {
                 put_u64(buf, *v);
             }
         }
+        DeploymentSpec::PaxosVal { n, values } => {
+            put_u8(buf, 3);
+            put_u8(buf, *n);
+            put_u32(buf, values.len() as u32);
+            for v in values {
+                put_u64(buf, *v);
+            }
+        }
     }
 }
 
@@ -839,17 +847,17 @@ impl<'a> Dec<'a> {
                 n: self.u8("DeploymentSpec.n")?,
                 fd: self.fd_kind()?,
             }),
-            tag @ (1 | 2) => {
+            tag @ 1..=3 => {
                 let n = self.u8("DeploymentSpec.n")?;
                 let len = self.seq_len("DeploymentSpec.values")?;
                 let mut values = Vec::with_capacity(len.min(256));
                 for _ in 0..len {
                     values.push(self.u64("Val")?);
                 }
-                Ok(if tag == 1 {
-                    DeploymentSpec::Paxos { n, values }
-                } else {
-                    DeploymentSpec::ReliablePaxos { n, values }
+                Ok(match tag {
+                    1 => DeploymentSpec::Paxos { n, values },
+                    2 => DeploymentSpec::ReliablePaxos { n, values },
+                    _ => DeploymentSpec::PaxosVal { n, values },
                 })
             }
             tag => Err(DecodeError::BadTag {
@@ -1043,6 +1051,23 @@ mod tests {
             decode_action(&bytes),
             Err(DecodeError::Trailing { extra: 1 })
         );
+    }
+
+    #[test]
+    fn paxos_val_spec_roundtrip() {
+        let m = WireMsg::Assign {
+            node: 1,
+            spec: DeploymentSpec::PaxosVal {
+                n: 3,
+                values: vec![10, 11, 1_000_003],
+            },
+            locations: vec![Loc(1)],
+            seed: 7,
+            wire_pacing_us: 0,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &m).unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), Some(m));
     }
 
     #[test]

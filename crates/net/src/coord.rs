@@ -297,12 +297,10 @@ pub fn run_distributed(spec: &DeploymentSpec, cfg: &NetConfig) -> Result<NetRepo
             return Err(NetError::Config(format!("fault at {:?} outside Π", f.loc)));
         }
     }
-    if let DeploymentSpec::Paxos { values, .. } | DeploymentSpec::ReliablePaxos { values, .. } =
-        spec
+    if let DeploymentSpec::Paxos { values, .. }
+    | DeploymentSpec::ReliablePaxos { values, .. }
+    | DeploymentSpec::PaxosVal { values, .. } = spec
     {
-        // E_C is the paper's *binary* consensus environment: a value
-        // outside {0, 1} has no proposing task and would silently
-        // stall the whole deployment.
         if values.len() != pi.len() {
             return Err(NetError::Config(format!(
                 "{} proposal values for {} locations",
@@ -310,6 +308,14 @@ pub fn run_distributed(spec: &DeploymentSpec, cfg: &NetConfig) -> Result<NetRepo
                 pi.len()
             )));
         }
+    }
+    if let DeploymentSpec::Paxos { values, .. } | DeploymentSpec::ReliablePaxos { values, .. } =
+        spec
+    {
+        // E_C is the paper's *binary* consensus environment: a value
+        // outside {0, 1} has no proposing task and would silently
+        // stall the whole deployment. PaxosVal runs in E_C-val and
+        // accepts any u64, so it is exempt from the domain check.
         if let Some(v) = values.iter().find(|&&v| v > 1) {
             return Err(NetError::Config(format!(
                 "proposal value {v} outside binary E_C domain {{0, 1}}"

@@ -23,9 +23,9 @@ use afd_system::System;
 use ioa::Automaton;
 
 use afd_algorithms::consensus::all_live_decided_stream;
-use afd_algorithms::paxos_system;
 use afd_algorithms::reliable::reliable_paxos_system;
 use afd_algorithms::self_impl::{check_self_implementation, self_impl_system};
+use afd_algorithms::{paxos_system, paxos_system_values};
 
 /// Which canonical failure-detector generator a deployment embeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,15 @@ pub enum DeploymentSpec {
         /// Per-location proposal values.
         values: Vec<Val>,
     },
+    /// Paxos over arbitrary `u64` proposal values (not restricted to
+    /// the binary domain) — one slot of a replicated-log deployment,
+    /// where proposals are batch identifiers.
+    PaxosVal {
+        /// |Π|.
+        n: u8,
+        /// Per-location proposal values (`values[i]` proposed at `i`).
+        values: Vec<Val>,
+    },
 }
 
 impl DeploymentSpec {
@@ -114,7 +123,8 @@ impl DeploymentSpec {
         match self {
             DeploymentSpec::SelfImpl { n, .. }
             | DeploymentSpec::Paxos { n, .. }
-            | DeploymentSpec::ReliablePaxos { n, .. } => Pi::new(usize::from(*n)),
+            | DeploymentSpec::ReliablePaxos { n, .. }
+            | DeploymentSpec::PaxosVal { n, .. } => Pi::new(usize::from(*n)),
         }
     }
 
@@ -125,6 +135,7 @@ impl DeploymentSpec {
             DeploymentSpec::SelfImpl { n, fd } => format!("self-impl-{} n={n}", fd.name()),
             DeploymentSpec::Paxos { n, .. } => format!("paxos n={n}"),
             DeploymentSpec::ReliablePaxos { n, .. } => format!("reliable-paxos n={n}"),
+            DeploymentSpec::PaxosVal { n, .. } => format!("paxos-val n={n}"),
         }
     }
 
@@ -156,6 +167,10 @@ impl DeploymentSpec {
                 n,
                 values: (0..u64::from(n)).map(|i| i % 2).collect(),
             },
+            "paxos-val" => DeploymentSpec::PaxosVal {
+                n,
+                values: (0..u64::from(n)).map(|i| 10 + i).collect(),
+            },
             _ => return None,
         };
         Some(spec)
@@ -173,7 +188,9 @@ impl DeploymentSpec {
     #[must_use]
     pub fn default_stop_stream(&self) -> Option<afd_runtime::StreamPredicate> {
         match self {
-            DeploymentSpec::Paxos { .. } | DeploymentSpec::ReliablePaxos { .. } => {
+            DeploymentSpec::Paxos { .. }
+            | DeploymentSpec::ReliablePaxos { .. }
+            | DeploymentSpec::PaxosVal { .. } => {
                 let pi = self.pi();
                 let mut decided = all_live_decided_stream(pi);
                 let mut crashed = LocSet::empty();
@@ -221,6 +238,9 @@ pub fn visit_system<V: SystemVisitor>(spec: &DeploymentSpec, v: V) -> V::Out {
         DeploymentSpec::Paxos { values, .. } => v.visit(&paxos_system(pi, values, vec![])),
         DeploymentSpec::ReliablePaxos { values, .. } => {
             v.visit(&reliable_paxos_system(pi, values, vec![]))
+        }
+        DeploymentSpec::PaxosVal { values, .. } => {
+            v.visit(&paxos_system_values(pi, values, vec![]))
         }
     }
 }
@@ -277,7 +297,9 @@ pub fn online_checks(spec: &DeploymentSpec) -> Vec<(String, Box<dyn DynCheck>)> 
             };
             vec![(format!("conformance-{}", fd.name()), conformance)]
         }
-        DeploymentSpec::Paxos { .. } | DeploymentSpec::ReliablePaxos { .. } => {
+        DeploymentSpec::Paxos { .. }
+        | DeploymentSpec::ReliablePaxos { .. }
+        | DeploymentSpec::PaxosVal { .. } => {
             let f = (pi.len() - 1) / 2;
             vec![
                 (
@@ -331,6 +353,7 @@ mod tests {
             "self-impl-evp",
             "paxos",
             "reliable-paxos",
+            "paxos-val",
         ] {
             let spec = DeploymentSpec::parse(name, 3).unwrap();
             assert_eq!(spec.pi(), Pi::new(3));

@@ -135,6 +135,20 @@ impl Histogram {
         Histogram::new((3..=10).map(|k| 10u64.pow(k)).collect())
     }
 
+    /// 1-2-5 ladder from 1µs to 10s (in ns) — three buckets per decade,
+    /// tight enough for interpolated p50/p99 quantiles on request
+    /// latencies.
+    #[must_use]
+    pub fn latency_ns_fine() -> Self {
+        let mut bounds = Vec::new();
+        for k in 3..=9u32 {
+            let base = 10u64.pow(k);
+            bounds.extend([base, 2 * base, 5 * base]);
+        }
+        bounds.push(10u64.pow(10));
+        Histogram::new(bounds)
+    }
+
     /// Record one observation.
     pub fn observe(&self, v: u64) {
         let idx = self
@@ -165,6 +179,44 @@ impl Histogram {
     #[must_use]
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated by linear
+    /// interpolation inside the owning bucket, or `None` if empty.
+    /// Observations landing in the overflow bucket are attributed to
+    /// [`Histogram::max`], so `quantile(1.0)` is exact.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = (q * n as f64).max(1.0);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let hi = if idx < self.bounds.len() {
+                    self.bounds[idx] as f64
+                } else {
+                    return Some(self.max() as f64);
+                };
+                let lo = if idx == 0 {
+                    0.0
+                } else {
+                    self.bounds[idx - 1] as f64
+                };
+                let frac = (rank - seen as f64) / c as f64;
+                return Some((lo + frac * (hi - lo)).min(self.max() as f64));
+            }
+            seen += c;
+        }
+        Some(self.max() as f64)
     }
 
     /// Per-bucket `(upper_bound, count)` pairs; the overflow bucket
@@ -506,6 +558,32 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(vec![10, 5]);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // 10 observations land in (0,10], 90 in (10,100].
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((40.0..=60.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((90.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!((h.quantile(1.0).unwrap() - 100.0).abs() < f64::EPSILON);
+        // Overflow observations are pinned to the recorded max.
+        h.observe(5000);
+        assert!((h.quantile(1.0).unwrap() - 5000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn fine_ladder_is_strictly_ascending() {
+        let h = Histogram::latency_ns_fine();
+        h.observe(1_500_000); // 1.5ms → (1ms, 2ms] bucket
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1_000_000.0..=2_000_000.0).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

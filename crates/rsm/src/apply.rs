@@ -1,0 +1,119 @@
+//! Per-replica apply-order conformance: every replica must apply slot
+//! `k` exactly once, after `k-1` and before `k+1`, with no gaps — the
+//! streaming analogue of the log-prefix agreement check, phrased over
+//! [`ApplyEvent`]s instead of schedule [`afd_core::Action`]s (which is
+//! what the generic parameter on [`StreamChecker`] exists for).
+
+use afd_core::{Loc, Pi, StreamChecker, Violation};
+
+/// One replica applying one decided slot to its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyEvent {
+    /// The replica that applied.
+    pub replica: Loc,
+    /// The slot index it applied (0-based, dense).
+    pub slot: u64,
+    /// The batch id the slot decided.
+    pub batch: u64,
+}
+
+/// Streaming checker for the rule `rsm.apply_order`: per replica,
+/// applied slot indices are exactly `0, 1, 2, …` — strictly
+/// increasing, no gaps, no repeats. The first offending event is kept;
+/// later events still advance the per-replica cursors so one fault
+/// does not cascade into spurious reports.
+#[derive(Debug)]
+pub struct ApplyOrderChecker {
+    next: Vec<u64>,
+    first: Option<Violation>,
+}
+
+impl ApplyOrderChecker {
+    /// A checker over the replica universe `pi`.
+    #[must_use]
+    pub fn new(pi: Pi) -> Self {
+        ApplyOrderChecker {
+            next: vec![0; pi.len()],
+            first: None,
+        }
+    }
+}
+
+impl StreamChecker<ApplyEvent> for ApplyOrderChecker {
+    type Verdict = Result<(), Violation>;
+
+    fn push(&mut self, ev: &ApplyEvent) {
+        let Some(next) = self.next.get_mut(ev.replica.index()) else {
+            if self.first.is_none() {
+                self.first = Some(Violation::new(
+                    "rsm.apply_order",
+                    format!("replica {} outside the universe", ev.replica),
+                ));
+            }
+            return;
+        };
+        if ev.slot != *next && self.first.is_none() {
+            self.first = Some(Violation::new(
+                "rsm.apply_order",
+                format!(
+                    "replica {} applied slot {} (batch {}) but owes slot {}",
+                    ev.replica, ev.slot, ev.batch, *next
+                ),
+            ));
+        }
+        *next = ev.slot + 1;
+    }
+
+    fn finish(&self) -> Self::Verdict {
+        match &self.first {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(replica: u8, slot: u64) -> ApplyEvent {
+        ApplyEvent {
+            replica: Loc(replica),
+            slot,
+            batch: slot + 100,
+        }
+    }
+
+    #[test]
+    fn dense_per_replica_order_passes() {
+        let evs = [ev(0, 0), ev(1, 0), ev(0, 1), ev(2, 0), ev(1, 1), ev(0, 2)];
+        let verdict = ApplyOrderChecker::new(Pi::new(3)).check_all(&evs);
+        assert_eq!(verdict, Ok(()));
+    }
+
+    #[test]
+    fn a_gap_is_a_violation() {
+        let evs = [ev(0, 0), ev(0, 2)];
+        let verdict = ApplyOrderChecker::new(Pi::new(3)).check_all(&evs);
+        let v = verdict.unwrap_err();
+        assert_eq!(v.rule, "rsm.apply_order");
+        assert!(v.detail.contains("owes slot 1"), "{v:?}");
+    }
+
+    #[test]
+    fn a_repeat_is_a_violation_and_the_first_wins() {
+        let mut c = ApplyOrderChecker::new(Pi::new(2));
+        c.push(&ev(1, 0));
+        c.push(&ev(1, 0)); // repeat
+        c.push(&ev(1, 5)); // later gap must not replace the first report
+        let v = c.finish().unwrap_err();
+        assert!(v.detail.contains("applied slot 0"), "{v:?}");
+    }
+
+    #[test]
+    fn a_crashed_replica_simply_stops_applying() {
+        // Replica 1 dies after slot 0: no event, no violation.
+        let evs = [ev(0, 0), ev(1, 0), ev(0, 1), ev(0, 2)];
+        assert_eq!(ApplyOrderChecker::new(Pi::new(2)).check_all(&evs), Ok(()));
+    }
+}

@@ -1,0 +1,263 @@
+//! The replicated state machine proper: a deterministic key-value
+//! store over `u64` keys and values with `put` / `get` / `cas`
+//! commands, an applied-op counter, and a canonical byte serialization
+//! for byte-for-byte prefix-agreement checks.
+
+use std::collections::BTreeMap;
+
+/// One client command against the KV state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Unconditionally set `key` to `val`.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        val: u64,
+    },
+    /// Read `key` (served from the applied prefix; goes through the
+    /// log only when replayed as part of a batch).
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Set `key` to `new` iff its current value is `old`.
+    Cas {
+        /// Key to update.
+        key: u64,
+        /// Expected current value.
+        old: u64,
+        /// Replacement value.
+        new: u64,
+    },
+}
+
+impl Command {
+    /// Canonical byte encoding — the unit the state digest folds over.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(25);
+        match self {
+            Command::Put { key, val } => {
+                out.push(0);
+                out.extend(key.to_le_bytes());
+                out.extend(val.to_le_bytes());
+            }
+            Command::Get { key } => {
+                out.push(1);
+                out.extend(key.to_le_bytes());
+            }
+            Command::Cas { key, old, new } => {
+                out.push(2);
+                out.extend(key.to_le_bytes());
+                out.extend(old.to_le_bytes());
+                out.extend(new.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// What applying one [`Command`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdOutcome {
+    /// A `put` landed.
+    Written,
+    /// A `get` read this value (`None` if the key was absent).
+    Value(Option<u64>),
+    /// A `cas` matched and swapped.
+    CasOk,
+    /// A `cas` mismatched; the actual value is carried back.
+    CasFail(Option<u64>),
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The deterministic KV store one replica folds decided batches into.
+///
+/// Two replicas that applied the same command sequence have equal
+/// [`KvStore::snapshot_bytes`] and equal [`KvStore::state_hash`] — the
+/// divergence oracle for the acceptance grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<u64, u64>,
+    applied: u64,
+    digest: u64,
+}
+
+impl Default for KvStore {
+    /// Same as [`KvStore::new`] — the digest must start at the FNV
+    /// offset basis however the store is constructed.
+    fn default() -> Self {
+        KvStore::new()
+    }
+}
+
+impl KvStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        KvStore {
+            map: BTreeMap::new(),
+            applied: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Apply one command, bumping the applied-op counter and folding
+    /// the command into the running digest.
+    pub fn apply(&mut self, cmd: &Command) -> CmdOutcome {
+        self.applied += 1;
+        self.digest = fnv1a(self.digest, &cmd.to_bytes());
+        match *cmd {
+            Command::Put { key, val } => {
+                self.map.insert(key, val);
+                CmdOutcome::Written
+            }
+            Command::Get { key } => CmdOutcome::Value(self.map.get(&key).copied()),
+            Command::Cas { key, old, new } => {
+                let cur = self.map.get(&key).copied();
+                if cur == Some(old) {
+                    self.map.insert(key, new);
+                    CmdOutcome::CasOk
+                } else {
+                    CmdOutcome::CasFail(cur)
+                }
+            }
+        }
+    }
+
+    /// Read a key without going through the log.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(&key).copied()
+    }
+
+    /// Number of commands applied so far.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no key was ever written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Canonical little-endian serialization: applied count, command
+    /// digest, entry count, then every `(key, value)` pair in key
+    /// order. Equal byte strings ⟺ equal applied state.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 16 * self.map.len());
+        out.extend(self.applied.to_le_bytes());
+        out.extend(self.digest.to_le_bytes());
+        out.extend((self.map.len() as u64).to_le_bytes());
+        for (k, v) in &self.map {
+            out.extend(k.to_le_bytes());
+            out.extend(v.to_le_bytes());
+        }
+        out
+    }
+
+    /// FNV-1a over [`KvStore::snapshot_bytes`] — the compact state
+    /// fingerprint replayed traces are checked against.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        fnv1a(FNV_OFFSET, &self.snapshot_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_semantics_and_digest() {
+        let mut kv = KvStore::new();
+        assert_eq!(
+            kv.apply(&Command::Put { key: 1, val: 10 }),
+            CmdOutcome::Written
+        );
+        assert_eq!(
+            kv.apply(&Command::Get { key: 1 }),
+            CmdOutcome::Value(Some(10))
+        );
+        assert_eq!(kv.apply(&Command::Get { key: 9 }), CmdOutcome::Value(None));
+        assert_eq!(
+            kv.apply(&Command::Cas {
+                key: 1,
+                old: 10,
+                new: 11
+            }),
+            CmdOutcome::CasOk
+        );
+        assert_eq!(
+            kv.apply(&Command::Cas {
+                key: 1,
+                old: 10,
+                new: 12
+            }),
+            CmdOutcome::CasFail(Some(11))
+        );
+        assert_eq!(kv.get(1), Some(11));
+        assert_eq!(kv.applied(), 5);
+    }
+
+    #[test]
+    fn same_sequence_same_bytes_different_order_different_hash() {
+        let a = Command::Put { key: 1, val: 2 };
+        let b = Command::Put { key: 1, val: 3 };
+        let mut x = KvStore::new();
+        let mut y = KvStore::new();
+        x.apply(&a);
+        x.apply(&b);
+        y.apply(&a);
+        y.apply(&b);
+        assert_eq!(x.snapshot_bytes(), y.snapshot_bytes());
+        assert_eq!(x.state_hash(), y.state_hash());
+        // Reversed application order: same final map, different digest —
+        // the hash sees the history, not just the map.
+        let mut z = KvStore::new();
+        z.apply(&b);
+        z.apply(&a);
+        assert_ne!(x.state_hash(), z.state_hash());
+    }
+
+    #[test]
+    fn default_folds_from_the_same_basis_as_new() {
+        assert_eq!(KvStore::default(), KvStore::new());
+        let mut a = KvStore::default();
+        let mut b = KvStore::new();
+        let cmd = Command::Put { key: 1, val: 2 };
+        a.apply(&cmd);
+        b.apply(&cmd);
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn reads_do_not_mutate_the_map_but_count_as_applied() {
+        let mut kv = KvStore::new();
+        let h0 = kv.state_hash();
+        kv.apply(&Command::Get { key: 0 });
+        assert!(kv.is_empty());
+        assert_eq!(kv.applied(), 1);
+        assert_ne!(kv.state_hash(), h0, "applied history is part of the state");
+    }
+}

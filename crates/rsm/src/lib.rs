@@ -1,0 +1,44 @@
+//! # afd-rsm — a replicated log from single-shot consensus instances
+//!
+//! Multi-shot consensus the way the paper's machinery composes: the
+//! log is a *sequence* of independent Paxos(Ω) instances (§9.3), one
+//! per slot, each a fresh `System<P>` over the same universe Π running
+//! in the `E_C-val` environment (arbitrary `u64` proposals, §9.2
+//! well-formed). Slot `k` decides a *batch id*; replicas fold the
+//! batch's `put`/`get`/`cas` commands into a deterministic KV store in
+//! slot order. Reads are served from the applied prefix without
+//! touching the log.
+//!
+//! * [`kv`] — the deterministic state machine and its canonical
+//!   serialization (byte-for-byte agreement oracle).
+//! * [`batch`] — client ops → sealed batches → consensus values.
+//! * [`apply`] — `rsm.apply_order` conformance: per-replica slot
+//!   application is dense and strictly increasing
+//!   (a [`afd_core::StreamChecker`] over [`ApplyEvent`]s).
+//! * [`driver`] — the multi-shot driver over the threaded runtime and
+//!   the afd-net distributed runtime, with cross-slot crash carry-over
+//!   and mid-slot leader kills.
+//!
+//! ```
+//! use afd_core::Pi;
+//! use afd_rsm::{Command, Rsm, RsmConfig};
+//!
+//! let mut rsm = Rsm::new(RsmConfig::new(Pi::new(3)).with_batch_ops(4)).unwrap();
+//! for r in 0..4 {
+//!     rsm.submit(r, Command::Put { key: r, val: r * r });
+//! }
+//! rsm.run_slot_threaded(None).expect("slot decides");
+//! assert_eq!(rsm.read(3), Some(9));
+//! rsm.conformance().unwrap();
+//! rsm.check_agreement().unwrap();
+//! ```
+
+pub mod apply;
+pub mod batch;
+pub mod driver;
+pub mod kv;
+
+pub use apply::{ApplyEvent, ApplyOrderChecker};
+pub use batch::{Batch, BatchStore};
+pub use driver::{NetSlotConfig, Replica, Rsm, RsmConfig, SlotOutcome};
+pub use kv::{CmdOutcome, Command, KvStore};

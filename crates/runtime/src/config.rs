@@ -617,6 +617,16 @@ pub enum ConfigError {
     /// Watchdog tick or deadline is zero — the runtime could neither
     /// detect quiescence nor stalls.
     ZeroWatchdog,
+    /// A deployment would need more distinct locations than the
+    /// commit-path crash bitset can track (see
+    /// [`crate::CRASH_CAPACITY`]); locations past the end would alias
+    /// and corrupt liveness accounting.
+    LocCapacityExceeded {
+        /// Locations the deployment needs (`n_locations × slots_live`).
+        locations: usize,
+        /// Hard capacity of the crash bitset.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -656,11 +666,41 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroWatchdog => {
                 write!(f, "watchdog tick/deadline must be non-zero")
             }
+            ConfigError::LocCapacityExceeded {
+                locations,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "deployment needs {locations} locations but the crash \
+                     bitset tracks at most {capacity}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Check that a deployment of `slots_live` concurrent system instances
+/// over `n_locations` locations each fits inside the commit-path crash
+/// bitset ([`crate::CRASH_CAPACITY`] locations). Debug builds used to
+/// catch the overflow only as a shift panic deep in the sink; this
+/// surfaces it as a typed error before any thread is spawned.
+///
+/// # Errors
+/// [`ConfigError::LocCapacityExceeded`] when
+/// `n_locations × slots_live` exceeds the bitset capacity.
+pub fn validate_loc_capacity(n_locations: usize, slots_live: usize) -> Result<(), ConfigError> {
+    let locations = n_locations.saturating_mul(slots_live);
+    if locations > crate::CRASH_CAPACITY {
+        return Err(ConfigError::LocCapacityExceeded {
+            locations,
+            capacity: crate::CRASH_CAPACITY,
+        });
+    }
+    Ok(())
+}
 
 #[cfg(test)]
 mod tests {
@@ -824,5 +864,22 @@ mod tests {
         let e = oob.validate(pi).unwrap_err();
         assert!(e.to_string().contains("|Π| = 3"));
         let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn loc_capacity_is_checked_before_spawn() {
+        assert_eq!(validate_loc_capacity(5, 51), Ok(()));
+        assert_eq!(validate_loc_capacity(crate::CRASH_CAPACITY, 1), Ok(()));
+        let err = validate_loc_capacity(5, 52).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::LocCapacityExceeded {
+                locations: 260,
+                capacity: crate::CRASH_CAPACITY,
+            }
+        );
+        assert!(err.to_string().contains("260"));
+        // Saturating: absurd products still report as errors, not wrap.
+        assert!(validate_loc_capacity(usize::MAX, 2).is_err());
     }
 }

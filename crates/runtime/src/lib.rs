@@ -65,9 +65,9 @@ pub mod sink;
 
 pub use chaos::{chaos_plan_jsonl, ChannelChaos, ChannelChaosStats, ChaosDecision, ChaosReport};
 pub use config::{
-    CommitPipeline, ConfigError, CrashMode, LinkFaults, LinkProfile, Partition, RuntimeConfig,
-    StopPredicate, StreamPredicate, StreamPredicateFactory,
+    validate_loc_capacity, CommitPipeline, ConfigError, CrashMode, LinkFaults, LinkProfile,
+    Partition, RuntimeConfig, StopPredicate, StreamPredicate, StreamPredicateFactory,
 };
 pub use harness::{check_fd_trace, fd_projection, fifo_violation, FifoViolation};
 pub use runtime::{run_threaded, try_run_threaded, RunDiagnostic, RuntimeOutcome};
-pub use sink::{Commit, EventSink, SinkOptions, StopReason};
+pub use sink::{Commit, EventSink, SinkOptions, StopReason, CRASH_CAPACITY};

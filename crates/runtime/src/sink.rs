@@ -109,6 +109,12 @@ pub enum Commit {
 /// used to alias `Loc(0)` in release builds).
 const CRASH_WORDS: usize = 4;
 
+/// Maximum number of distinct locations the crash bitset can track —
+/// the hard ceiling on `|Π|` for any single run. Config-level checks
+/// (e.g. [`crate::validate_loc_capacity`]) compare against this
+/// instead of hard-coding the width.
+pub const CRASH_CAPACITY: usize = CRASH_WORDS * 64;
+
 struct Inner {
     log: Vec<Action>,
     /// Wall-clock stamp (ns since `start`) per commit; maintained only

@@ -27,6 +27,21 @@ pub enum Env {
         /// Per-location value restriction.
         prefs: Vec<Option<Val>>,
     },
+    /// General-value consensus environment: location `i` proposes the
+    /// arbitrary value `values[i]` exactly once (one task per
+    /// location). `E_C` above is the paper's *binary* environment — its
+    /// two tasks per location enumerate the `{0, 1}` domain — which
+    /// cannot propose values outside that set. Multi-shot consensus
+    /// (the RSM layer) decides batch identifiers drawn from the full
+    /// `u64` domain, so it needs this variant: still well-formed in the
+    /// §9.2 sense (at most one propose per location, none after a
+    /// crash, every live location eventually proposes).
+    ConsensusVal {
+        /// The universe.
+        pi: Pi,
+        /// Per-location proposal.
+        values: Vec<Val>,
+    },
     /// k-set-agreement environment: location `i` proposes `values[i]`
     /// exactly once.
     KSet {
@@ -92,11 +107,25 @@ impl Env {
         }
     }
 
+    /// The general-value consensus environment: location `i` proposes
+    /// `values[i]` (any `u64`) exactly once.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != pi.len()`.
+    #[must_use]
+    pub fn consensus_values(pi: Pi, values: &[Val]) -> Self {
+        assert_eq!(values.len(), pi.len(), "one proposal per location");
+        Env::ConsensusVal {
+            pi,
+            values: values.to_vec(),
+        }
+    }
+
     /// Number of per-location tasks (2 for consensus: one per value).
     fn tasks_per_loc(&self) -> usize {
         match self {
             Env::Consensus { .. } => 2,
-            Env::KSet { .. } | Env::Votes { .. } => 1,
+            Env::ConsensusVal { .. } | Env::KSet { .. } | Env::Votes { .. } => 1,
             Env::None | Env::Broadcast { .. } => 0,
         }
     }
@@ -104,7 +133,10 @@ impl Env {
     /// Universe size, if location-structured.
     fn n(&self) -> usize {
         match self {
-            Env::Consensus { pi, .. } | Env::KSet { pi, .. } | Env::Votes { pi, .. } => pi.len(),
+            Env::Consensus { pi, .. }
+            | Env::ConsensusVal { pi, .. }
+            | Env::KSet { pi, .. }
+            | Env::Votes { pi, .. } => pi.len(),
             Env::None | Env::Broadcast { .. } => 0,
         }
     }
@@ -125,6 +157,7 @@ impl Automaton for Env {
         match self {
             Env::None => "E-none".into(),
             Env::Consensus { .. } => "E_C".into(),
+            Env::ConsensusVal { .. } => "E_C-val".into(),
             Env::KSet { .. } => "E-kset".into(),
             Env::Broadcast { .. } => "E-broadcast".into(),
             Env::Votes { .. } => "E-votes".into(),
@@ -138,8 +171,12 @@ impl Automaton for Env {
     fn classify(&self, a: &Action) -> Option<ActionClass> {
         match (self, a) {
             (_, Action::Crash(_)) => Some(ActionClass::Input),
-            (Env::Consensus { .. }, Action::Propose { .. }) => Some(ActionClass::Output),
-            (Env::Consensus { .. }, Action::Decide { .. }) => Some(ActionClass::Input),
+            (Env::Consensus { .. } | Env::ConsensusVal { .. }, Action::Propose { .. }) => {
+                Some(ActionClass::Output)
+            }
+            (Env::Consensus { .. } | Env::ConsensusVal { .. }, Action::Decide { .. }) => {
+                Some(ActionClass::Input)
+            }
             (Env::KSet { .. }, Action::ProposeK { .. }) => Some(ActionClass::Output),
             (Env::KSet { .. }, Action::DecideK { .. }) => Some(ActionClass::Input),
             (Env::Broadcast { .. }, Action::Broadcast { .. }) => Some(ActionClass::Output),
@@ -170,6 +207,16 @@ impl Automaton for Env {
                     Some(p) if p != v => None,
                     _ => Some(Action::Propose { at: i, v }),
                 }
+            }
+            Env::ConsensusVal { pi, values } => {
+                let i = Loc(u8::try_from(t.0).ok()?);
+                if !pi.contains(i) || s.stopped.contains(i) {
+                    return None;
+                }
+                Some(Action::Propose {
+                    at: i,
+                    v: values[i.index()],
+                })
             }
             Env::KSet { pi, values } => {
                 let i = Loc(u8::try_from(t.0).ok()?);
@@ -228,6 +275,14 @@ impl Automaton for Env {
                 Some(next)
             }
             (Env::Consensus { .. }, Action::Decide { .. }) => Some(next),
+            (Env::ConsensusVal { pi, values }, Action::Propose { at, v }) => {
+                if !pi.contains(*at) || s.stopped.contains(*at) || values[at.index()] != *v {
+                    return None;
+                }
+                next.stopped.insert(*at);
+                Some(next)
+            }
+            (Env::ConsensusVal { .. }, Action::Decide { .. }) => Some(next),
             (Env::KSet { pi, values }, Action::ProposeK { at, v }) => {
                 if !pi.contains(*at) || s.stopped.contains(*at) || values[at.index()] != *v {
                     return None;
@@ -351,6 +406,51 @@ mod tests {
         let s = env.initial_state();
         let s2 = env.step(&s, &Action::Decide { at: Loc(0), v: 1 }).unwrap();
         assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn consensus_val_env_proposes_arbitrary_values_once() {
+        let pi = Pi::new(2);
+        let env = Env::consensus_values(pi, &[1_000_003, 42]);
+        let mut s = env.initial_state();
+        assert_eq!(
+            env.enabled(&s, TaskId(0)),
+            Some(Action::Propose {
+                at: Loc(0),
+                v: 1_000_003
+            })
+        );
+        s = env
+            .step(
+                &s,
+                &Action::Propose {
+                    at: Loc(0),
+                    v: 1_000_003,
+                },
+            )
+            .unwrap();
+        assert_eq!(env.enabled(&s, TaskId(0)), None, "at most once per loc");
+        assert_eq!(
+            env.step(&s, &Action::Propose { at: Loc(1), v: 7 }),
+            None,
+            "wrong value rejected"
+        );
+        s = env.step(&s, &Action::Crash(Loc(1))).unwrap();
+        assert_eq!(env.enabled(&s, TaskId(1)), None, "crash stops proposals");
+        // Fair traces of the environment alone are §9.2 well-formed.
+        let env2 = Env::consensus_values(pi, &[9, 11]);
+        let mut st = env2.initial_state();
+        let mut trace = Vec::new();
+        let mut sched = ioa::RoundRobin::new();
+        for step in 0..10 {
+            let Some(t) = ioa::Scheduler::<Env>::next_task(&mut sched, &env2, &st, step) else {
+                break;
+            };
+            let a = env2.enabled(&st, t).unwrap();
+            st = env2.step(&st, &a).unwrap();
+            trace.push(a);
+        }
+        assert!(Consensus::env_well_formed(pi, &trace).is_ok());
     }
 
     #[test]

@@ -2,17 +2,22 @@
 //!
 //! Usage: `cargo run --release --bin experiments [--json] [table...]`
 //! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
-//! t, u, q, s, misc}; with no table arguments, all tables are produced.
+//! t, u, v, q, s, misc}; with no table arguments, all tables are
+//! produced.
 //!
 //! Table `t` additionally writes `BENCH_runtime.json` at the working
 //! directory root: the commit-path throughput grid plus the
 //! streamed-vs-locked speedup check (set `SMOKE=1` for a short run).
 //! Table `u` writes `BENCH_net.json`: distributed (multi-process, real
 //! loopback TCP) vs threaded Paxos commit throughput and Ω detection
-//! latency. For table `u` this binary doubles as its own node
-//! executable: the coordinator respawns `current_exe()` and
-//! `afd_net::maybe_serve_from_env` diverts those children into node
-//! duty before any table runs.
+//! latency. Table `v` writes `BENCH_rsm.json`: the replicated-log
+//! service (afd-rsm) under the open-loop generator (afd-load) —
+//! client-op throughput and p50/p99/max latency per engine and fault
+//! scenario, failing on any applied-prefix divergence or apply-order
+//! conformance violation. For tables `u` and `v` this binary doubles
+//! as its own node executable: the coordinator respawns
+//! `current_exe()` and `afd_net::maybe_serve_from_env` diverts those
+//! children into node duty before any table runs.
 //!
 //! - Default output is the markdown used in EXPERIMENTS.md.
 //! - `--json` emits the same tables as one machine-readable JSON
@@ -42,8 +47,9 @@ use afd_tree::{
 };
 
 /// Every table this binary can produce, in print order.
-const TABLES: [&str; 14] = [
-    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "q", "s", "misc",
+const TABLES: [&str; 15] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "v", "q", "s",
+    "misc",
 ];
 
 /// One experiment table: a grid of rendered cells plus free-form notes
@@ -132,8 +138,9 @@ impl Table {
 }
 
 fn main() {
-    // Table `u` respawns this very binary as its node processes; if the
-    // coordinator's environment says we are one of them, serve and exit.
+    // Tables `u` and `v` respawn this very binary as their node
+    // processes; if the coordinator's environment says we are one of
+    // them, serve and exit.
     if afd_net::maybe_serve_from_env() {
         return;
     }
@@ -175,6 +182,7 @@ fn main() {
             "runtime" => tables.extend(table_runtime()),
             "t" => tables.push(table_t_throughput()),
             "u" => tables.push(table_u_distributed()),
+            "v" => tables.push(table_v_rsm()),
             "q" => tables.extend(table_q_qos()),
             "s" => tables.push(table_s_chaos()),
             "misc" => tables.push(table_misc()),
@@ -1170,6 +1178,280 @@ fn table_u_distributed() -> Table {
     ]);
     if let Err(e) = std::fs::write("BENCH_net.json", doc.render() + "\n") {
         t.fail(format!("u: writing BENCH_net.json failed: {e}"));
+    }
+    t
+}
+
+/// One Table V workload: an engine, a fault scenario, and the
+/// open-loop load offered against it.
+struct RsmScenario {
+    engine: &'static str,
+    scenario: &'static str,
+    n: usize,
+    total_ops: u64,
+    batch_ops: usize,
+    rate: u64,
+    chaos: bool,
+    kill: bool,
+    seed: u64,
+}
+
+fn table_v_rsm() -> Table {
+    use afd_load::{LoadConfig, OpenLoopGen};
+    use afd_obs::Histogram;
+    use afd_rsm::{Command, NetSlotConfig, Rsm, RsmConfig};
+    use afd_runtime::{LinkFaults, LinkProfile};
+    use std::time::{Duration, Instant};
+
+    let smoke = std::env::var("SMOKE").is_ok();
+    let mut t = Table::new(
+        "v",
+        format!(
+            "Table V — replicated-log service under open-loop load (afd-rsm + afd-load){}",
+            if smoke { " (SMOKE)" } else { "" }
+        ),
+    );
+    t.columns(&[
+        "engine", "scenario", "n", "ops", "slots", "clients", "p50 (ms)", "p99 (ms)", "max (ms)",
+        "ops/sec", "checks",
+    ]);
+    // Full-run scenario grid sums to 106k client ops; SMOKE keeps the
+    // same shape at ~1/14 scale.
+    let ops = |full: u64, small: u64| if smoke { small } else { full };
+    let scenarios = [
+        RsmScenario {
+            engine: "threaded",
+            scenario: "no faults",
+            n: 3,
+            total_ops: ops(60_000, 4_000),
+            batch_ops: 2_000,
+            rate: 1_000_000,
+            chaos: false,
+            kill: false,
+            seed: 71,
+        },
+        RsmScenario {
+            engine: "threaded",
+            scenario: "no faults",
+            n: 5,
+            total_ops: ops(20_000, 1_500),
+            batch_ops: 1_500,
+            rate: 500_000,
+            chaos: false,
+            kill: false,
+            seed: 72,
+        },
+        RsmScenario {
+            engine: "threaded",
+            scenario: "chaos 30%",
+            n: 3,
+            total_ops: ops(8_000, 600),
+            batch_ops: 750,
+            rate: 200_000,
+            chaos: true,
+            kill: false,
+            seed: 73,
+        },
+        RsmScenario {
+            engine: "threaded",
+            scenario: "chaos 30% + leader Kill",
+            n: 3,
+            total_ops: ops(8_000, 600),
+            batch_ops: 750,
+            rate: 200_000,
+            chaos: true,
+            kill: true,
+            seed: 74,
+        },
+        RsmScenario {
+            engine: "distributed",
+            scenario: "no faults",
+            n: 3,
+            total_ops: ops(6_000, 400),
+            batch_ops: if smoke { 200 } else { 2_000 },
+            rate: 20_000,
+            chaos: false,
+            kill: false,
+            seed: 75,
+        },
+        RsmScenario {
+            engine: "distributed",
+            scenario: "leader SIGKILL",
+            n: 3,
+            total_ops: ops(4_000, 300),
+            batch_ops: if smoke { 300 } else { 2_000 },
+            rate: 20_000,
+            chaos: false,
+            kill: true,
+            seed: 76,
+        },
+    ];
+    let node_exe = std::env::current_exe()
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut rows_json: Vec<Json> = Vec::new();
+    let mut completed_total = 0u64;
+    for sc in &scenarios {
+        let label = format!("{} {} n={}", sc.engine, sc.scenario, sc.n);
+        let links = if sc.chaos {
+            LinkFaults::uniform(LinkProfile::lossy(0.30).with_dup(0.10).with_reorder(4))
+        } else {
+            LinkFaults::none()
+        };
+        let cfg = RsmConfig::new(Pi::new(sc.n))
+            .with_batch_ops(sc.batch_ops)
+            .with_seed(sc.seed)
+            .with_links(links);
+        let mut rsm = match Rsm::new(cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                t.fail(format!("v: {label}: config rejected: {e}"));
+                continue;
+            }
+        };
+        let net = NetSlotConfig {
+            node_command: vec![node_exe.clone()],
+            max_events: 6_000,
+            stall: Duration::from_secs(10),
+            wall: Duration::from_secs(120),
+        };
+        let mut gen = OpenLoopGen::new(LoadConfig::new(sc.rate, sc.total_ops).with_seed(sc.seed));
+        let metrics = Metrics::new();
+        let hist = metrics.histogram("rsm.latency_ns", Histogram::latency_ns_fine);
+        // Open loop: arrivals follow the configured rate; reads are
+        // served from the applied prefix immediately, writes ride the
+        // log and complete when their slot decides.
+        let start = Instant::now();
+        let mut arrivals: Vec<u64> = Vec::with_capacity(sc.total_ops as usize);
+        let mut reads = 0u64;
+        loop {
+            let now = start.elapsed().as_nanos() as u64;
+            for r in gen.poll(now) {
+                arrivals.push(r.arrival_ns);
+                if let Command::Get { key } = r.cmd {
+                    let _ = rsm.read(key);
+                    reads += 1;
+                    hist.observe(now.saturating_sub(r.arrival_ns).max(1));
+                } else {
+                    rsm.submit(r.id, r.cmd);
+                }
+            }
+            gen.note_backpressure(rsm.backlog_ops() as u64);
+            if rsm.backlog_ops() == 0 {
+                if gen.is_done() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            // Keep arming the kill until a slot actually witnesses it.
+            let kill_at = (sc.kill && rsm.crashed().is_empty()).then_some(25);
+            let outcome = if sc.engine == "distributed" {
+                rsm.run_slot_distributed(&net, kill_at)
+            } else {
+                rsm.run_slot_threaded(kill_at)
+            };
+            match outcome {
+                Some(out) => {
+                    let done = start.elapsed().as_nanos() as u64;
+                    for (id, _) in &out.ops {
+                        hist.observe(done.saturating_sub(arrivals[*id as usize]).max(1));
+                    }
+                }
+                None => break, // failure already recorded by the driver
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let completed = reads + rsm.ops_applied();
+        completed_total += completed;
+        let throughput = completed as f64 / elapsed;
+        let p50_ms = hist.quantile(0.5).map_or(0.0, |ns| ns / 1e6);
+        let p99_ms = hist.quantile(0.99).map_or(0.0, |ns| ns / 1e6);
+        let max_ms = hist.max() as f64 / 1e6;
+        let conformance = rsm.conformance();
+        let agreement = rsm.check_agreement();
+        let mut ok = true;
+        ok &= rsm.failures().is_empty();
+        if !rsm.failures().is_empty() {
+            t.fail(format!("v: {label}: driver failures: {:?}", rsm.failures()));
+        }
+        if let Err(v) = &conformance {
+            ok = false;
+            t.fail(format!("v: {label}: apply-order conformance violated: {v}"));
+        }
+        if let Err(e) = &agreement {
+            ok = false;
+            t.fail(format!("v: {label}: applied prefixes diverge: {e}"));
+        }
+        if completed != sc.total_ops {
+            ok = false;
+            t.fail(format!(
+                "v: {label}: completed {completed}/{} client ops",
+                sc.total_ops
+            ));
+        }
+        if sc.kill && rsm.crashed().len() != 1 {
+            ok = false;
+            t.fail(format!(
+                "v: {label}: expected exactly one killed replica, saw {}",
+                rsm.crashed().len()
+            ));
+        }
+        t.row(vec![
+            sc.engine.into(),
+            sc.scenario.into(),
+            sc.n.to_string(),
+            completed.to_string(),
+            rsm.slots_decided().to_string(),
+            gen.clients().to_string(),
+            format!("{p50_ms:.2}"),
+            format!("{p99_ms:.2}"),
+            format!("{max_ms:.2}"),
+            format!("{throughput:.0}"),
+            if ok { "✓" } else { "✗" }.to_string(),
+        ]);
+        rows_json.push(Json::Obj(vec![
+            ("engine".into(), Json::Str(sc.engine.into())),
+            ("scenario".into(), Json::Str(sc.scenario.into())),
+            ("n".into(), Json::Num(sc.n as f64)),
+            ("ops".into(), Json::Num(completed as f64)),
+            ("slots".into(), Json::Num(rsm.slots_decided() as f64)),
+            ("clients".into(), Json::Num(gen.clients() as f64)),
+            ("killed".into(), Json::Num(rsm.crashed().len() as f64)),
+            ("p50_ms".into(), Json::Num(p50_ms)),
+            ("p99_ms".into(), Json::Num(p99_ms)),
+            ("max_ms".into(), Json::Num(max_ms)),
+            ("ops_per_sec".into(), Json::Num(throughput)),
+            ("pass".into(), Json::Bool(ok)),
+        ]));
+    }
+    let target = if smoke { 7_000 } else { 100_000 };
+    if completed_total < target {
+        t.fail(format!(
+            "v: {completed_total} client ops completed across all scenarios, target {target}"
+        ));
+    }
+    t.note(format!(
+        "{completed_total} client ops total. Open-loop load: arrivals are interval-paced at the \
+         offered rate regardless of completions, so the backlog (and the latency tail) grows when \
+         slots fall behind; backpressure recruits virtual clients instead of slowing the rate. \
+         Reads are served from the longest live applied prefix; puts and cas ride the log, one \
+         Paxos(Ω) instance per slot. Kill scenarios SIGKILL the current leader mid-slot and the \
+         log heals by re-proposing the losing batches under the next leader.",
+    ));
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("rsm".into())),
+        (
+            "generated_by".into(),
+            Json::Str("experiments v (afd-repro)".into()),
+        ),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("total_ops".into(), Json::Num(completed_total as f64)),
+        ("rows".into(), Json::Arr(rows_json)),
+        ("pass".into(), Json::Bool(t.failures.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_rsm.json", doc.render() + "\n") {
+        t.fail(format!("v: writing BENCH_rsm.json failed: {e}"));
     }
     t
 }

@@ -1,0 +1,111 @@
+//! Multi-shot agreement under link chaos: the replicated log keeps
+//! deciding and applying in order while every link drops 30% of its
+//! frames, duplicates 10%, and reorders within a window of 4 — and
+//! keeps healing when the current leader is `Kill`ed mid-slot. Each
+//! test drains a workload and then asserts the paper-level guarantees:
+//! every applied prefix agrees byte-for-byte across replicas, every
+//! decided slot names a batch that was actually submitted (validity),
+//! and per-replica application is dense and strictly increasing.
+
+use afd_core::Pi;
+use afd_rsm::{Command, Rsm, RsmConfig};
+use afd_runtime::{LinkFaults, LinkProfile};
+
+/// The chaos profile of `tests/chaos_runtime.rs`: 30% loss, 10%
+/// duplication, reordering window 4, on every link.
+fn chaos_links() -> LinkFaults {
+    LinkFaults::uniform(LinkProfile::lossy(0.30).with_dup(0.10).with_reorder(4))
+}
+
+/// Drain `ops` puts through a chaotic log over `n` replicas, killing
+/// the current leader mid-slot `kills` times along the way.
+fn run_chaos_rsm(n: usize, ops: u64, batch_ops: usize, kills: usize, seed: u64) -> Rsm {
+    let mut rsm = Rsm::new(
+        RsmConfig::new(Pi::new(n))
+            .with_batch_ops(batch_ops)
+            .with_seed(seed)
+            .with_links(chaos_links()),
+    )
+    .expect("config fits the runtime capacity");
+    for r in 0..ops {
+        rsm.submit(r, Command::Put { key: r % 7, val: r });
+    }
+    while !rsm.is_drained() {
+        // Keep arming the kill until a slot actually witnesses it.
+        let kill_at = (rsm.crashed().len() < kills).then_some(20);
+        rsm.run_slot_threaded(kill_at)
+            .unwrap_or_else(|| panic!("slot failed under chaos: {:?}", rsm.failures()));
+    }
+    rsm
+}
+
+/// The shared post-conditions: no driver failures, dense apply order,
+/// byte-for-byte prefix agreement, and per-slot validity (every
+/// decided batch id is one the client workload actually sealed).
+fn assert_log_healthy(rsm: &Rsm, ops: u64) {
+    assert!(rsm.failures().is_empty(), "{:?}", rsm.failures());
+    rsm.conformance()
+        .expect("apply order is dense and increasing");
+    rsm.check_agreement().expect("applied prefixes agree");
+    assert_eq!(rsm.ops_applied(), ops, "every submitted op was applied");
+    // Validity: decided batch ids are exactly one per slot, distinct,
+    // and the longest log covers every decided slot in order.
+    let longest = rsm
+        .leader()
+        .map(|l| rsm.replica(l).log.clone())
+        .expect("a live replica exists");
+    assert_eq!(longest.len() as u64, rsm.slots_decided());
+    for (k, (slot, _)) in longest.iter().enumerate() {
+        assert_eq!(*slot, k as u64, "slots decided in order without gaps");
+    }
+    let mut batches: Vec<u64> = longest.iter().map(|&(_, b)| b).collect();
+    batches.sort_unstable();
+    batches.dedup();
+    assert_eq!(
+        batches.len() as u64,
+        rsm.slots_decided(),
+        "no batch decided twice"
+    );
+}
+
+#[test]
+fn n3_chaos_multi_shot_agreement() {
+    let rsm = run_chaos_rsm(3, 18, 3, 0, 0xC0);
+    assert_log_healthy(&rsm, 18);
+    assert_eq!(rsm.slots_decided(), 6, "18 puts at batch_ops=3 → 6 slots");
+    assert!(rsm.crashed().is_empty());
+    assert_eq!(rsm.read(3), Some(17), "key 3 last written by op 17");
+}
+
+#[test]
+fn n5_chaos_multi_shot_agreement() {
+    let rsm = run_chaos_rsm(5, 20, 5, 0, 0xC1);
+    assert_log_healthy(&rsm, 20);
+    assert_eq!(rsm.slots_decided(), 4);
+}
+
+#[test]
+fn n3_chaos_leader_kill_heals() {
+    let rsm = run_chaos_rsm(3, 15, 3, 1, 0xC2);
+    assert_log_healthy(&rsm, 15);
+    assert_eq!(rsm.crashed().len(), 1, "exactly one replica died");
+    let dead = rsm.crashed().iter().next().expect("a victim");
+    let live = rsm.leader().expect("a live majority remains");
+    assert!(
+        rsm.replica(dead).log.len() < rsm.replica(live).log.len(),
+        "the dead replica holds a strict prefix"
+    );
+}
+
+#[test]
+fn n5_chaos_double_leader_kill_heals() {
+    // n=5 tolerates f=2: kill the leader in two different slots and
+    // the log still drains under the third leadership.
+    let rsm = run_chaos_rsm(5, 20, 4, 2, 0xC3);
+    assert_log_healthy(&rsm, 20);
+    assert_eq!(rsm.crashed().len(), 2, "two leaders died across slots");
+    let live = rsm.leader().expect("a live majority remains");
+    for dead in rsm.crashed().iter() {
+        assert!(rsm.replica(dead).log.len() <= rsm.replica(live).log.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Replay smoke: a committed workload capture (`tests/data/rsm_smoke.trace`,
+//! the `$timestamp $json` format of `afd_load::trace`) replays through
+//! the replicated log and must land on a pinned applied-state hash.
+//! The pin is cross-checked three ways: the RSM's applied prefix, a
+//! direct fold of the same commands into a bare `KvStore`, and the
+//! `# state_hash:` header committed inside the trace file itself.
+//!
+//! Replay is deterministic because the driver runs one slot per sealed
+//! batch: with a single pending batch every location proposes the same
+//! id, so validity forces the decided order to equal submission order
+//! regardless of thread scheduling.
+
+use afd_core::Pi;
+use afd_load::{decode, encode, LoadConfig, OpenLoopGen, Request};
+use afd_rsm::{Command, KvStore, Rsm, RsmConfig};
+
+const TRACE_PATH: &str = "tests/data/rsm_smoke.trace";
+const BATCH_OPS: usize = 16;
+
+/// The capture's generator parameters — the committed file is exactly
+/// this workload plus its comment header.
+fn workload() -> Vec<Request> {
+    OpenLoopGen::new(LoadConfig::new(50_000, 96).with_seed(0xAFD)).drain_remaining()
+}
+
+/// Replay requests through a 3-replica log (one slot per sealed batch)
+/// and fold the same commands directly into a bare store.
+fn replay(reqs: &[Request]) -> (Rsm, KvStore) {
+    let mut rsm = Rsm::new(
+        RsmConfig::new(Pi::new(3))
+            .with_batch_ops(BATCH_OPS)
+            .with_seed(9),
+    )
+    .expect("config fits");
+    let mut direct = KvStore::new();
+    let mut open = 0usize;
+    for r in reqs {
+        if matches!(r.cmd, Command::Get { .. }) {
+            continue; // reads never ride the log
+        }
+        rsm.submit(r.id, r.cmd);
+        direct.apply(&r.cmd);
+        open += 1;
+        if open == BATCH_OPS {
+            rsm.run_slot_threaded(None)
+                .unwrap_or_else(|| panic!("replay slot failed: {:?}", rsm.failures()));
+            open = 0;
+        }
+    }
+    while !rsm.is_drained() {
+        rsm.run_slot_threaded(None)
+            .unwrap_or_else(|| panic!("replay tail failed: {:?}", rsm.failures()));
+    }
+    (rsm, direct)
+}
+
+fn committed_trace() -> String {
+    std::fs::read_to_string(TRACE_PATH).expect("committed trace exists")
+}
+
+/// The `# state_hash: 0x…` pin in the capture's header.
+fn pinned_hash(text: &str) -> u64 {
+    let line = text
+        .lines()
+        .find_map(|l| l.strip_prefix("# state_hash: 0x"))
+        .expect("the capture pins its state hash");
+    u64::from_str_radix(line.trim(), 16).expect("hash parses")
+}
+
+#[test]
+fn committed_trace_matches_generator() {
+    let text = committed_trace();
+    assert_eq!(
+        decode(&text).expect("capture parses"),
+        workload(),
+        "the committed capture is the pinned generator workload"
+    );
+    assert!(
+        text.ends_with(&encode(&workload())),
+        "the capture body is byte-identical to the encoder output"
+    );
+}
+
+#[test]
+fn replay_lands_on_the_pinned_state_hash() {
+    let text = committed_trace();
+    let reqs = decode(&text).expect("capture parses");
+    let (rsm, direct) = replay(&reqs);
+    assert!(rsm.failures().is_empty(), "{:?}", rsm.failures());
+    rsm.conformance().expect("apply order is dense");
+    rsm.check_agreement().expect("replicas agree");
+    assert_eq!(
+        rsm.state_hash(),
+        direct.state_hash(),
+        "the replicated fold matches the direct fold"
+    );
+    assert_eq!(
+        rsm.state_hash(),
+        pinned_hash(&text),
+        "replay reproduces the hash pinned in the capture"
+    );
+}
+
+/// Regenerate the committed capture after changing the workload
+/// parameters: `cargo test --test rsm_trace_replay -- --ignored`.
+#[test]
+#[ignore = "writes tests/data/rsm_smoke.trace; run explicitly to regenerate"]
+fn regenerate_the_committed_capture() {
+    let reqs = workload();
+    let (rsm, _) = replay(&reqs);
+    let header = format!(
+        "# afd-load workload capture: 96 requests at 50000 ops/s, seed 0xAFD.\n\
+         # Replayed by tests/rsm_trace_replay.rs over a 3-replica log,\n\
+         # one slot per {BATCH_OPS}-op batch. Applied-state FNV hash:\n\
+         # state_hash: 0x{:016x}\n",
+        rsm.state_hash()
+    );
+    std::fs::create_dir_all("tests/data").expect("data dir");
+    std::fs::write(TRACE_PATH, header + &encode(&reqs)).expect("capture written");
+}

@@ -1,0 +1,121 @@
+//! Bench P1: what `afd-prof` costs the engine it measures.
+//!
+//! Two groups:
+//! * `prof_overhead` — the Table T n = 8 threaded configuration
+//!   (`run_threaded`, FD pacing off, 2 000-event budget) with the
+//!   profiler disabled vs enabled. Disabled must sit within noise of
+//!   the un-instrumented baseline (probes fold to an atomic load);
+//!   enabled must stay within ~5% — the acceptance bar for leaving
+//!   spans compiled into the hot path.
+//! * `probe` — the raw per-probe cost in isolation: one
+//!   span-open/span-close pair, and one sampled gauge draw, each ×1024
+//!   per iteration.
+//!
+//! Set `SMOKE=1` to shrink measurement time for CI smoke runs.
+
+use std::time::Duration;
+
+use afd_algorithms::self_impl::self_impl_system;
+use afd_core::automata::FdGen;
+use afd_core::Pi;
+use afd_runtime::{run_threaded, RuntimeConfig};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn smoke() -> bool {
+    std::env::var("SMOKE").is_ok()
+}
+
+fn tune(g: &mut criterion::BenchmarkGroup) {
+    if smoke() {
+        g.sample_size(10);
+        g.measurement_time(Duration::from_millis(300));
+        g.warm_up_time(Duration::from_millis(100));
+    } else {
+        g.sample_size(15);
+        g.measurement_time(Duration::from_secs(2));
+        g.warm_up_time(Duration::from_millis(400));
+    }
+}
+
+fn bench_prof_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prof_overhead");
+    tune(&mut g);
+    let events = if smoke() { 500 } else { 2_000 };
+    g.throughput(Throughput::Elements(events as u64));
+    let n = 8usize;
+    let pi = Pi::new(n);
+    let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
+    let cfg = RuntimeConfig::default()
+        .with_max_events(events)
+        .with_fd_pacing(Duration::ZERO);
+
+    afd_prof::disable();
+    afd_prof::reset();
+    g.bench_with_input(BenchmarkId::new("disabled", n), &sys, |b, sys| {
+        b.iter(|| run_threaded(sys, &cfg));
+    });
+
+    afd_prof::enable();
+    g.bench_with_input(BenchmarkId::new("enabled", n), &sys, |b, sys| {
+        b.iter(|| {
+            let report = run_threaded(sys, &cfg);
+            // Drain the flushed records each iteration so the shared
+            // buffer doesn't grow across samples; the take is part of
+            // the profiling workflow and costs O(records).
+            let prof = afd_prof::take();
+            assert!(!prof.is_empty(), "profiler enabled but recorded nothing");
+            report
+        });
+    });
+    afd_prof::disable();
+    afd_prof::reset();
+    g.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe");
+    tune(&mut g);
+    const PER_ITER: u64 = 1024;
+    g.throughput(Throughput::Elements(PER_ITER));
+
+    afd_prof::disable();
+    afd_prof::reset();
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            for _ in 0..PER_ITER {
+                let s = afd_prof::span(afd_prof::Stage::Step);
+                s.done();
+            }
+        });
+    });
+
+    afd_prof::enable();
+    afd_prof::set_lane("bench-probe");
+    g.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            for _ in 0..PER_ITER {
+                let s = afd_prof::span(afd_prof::Stage::Step);
+                s.done();
+            }
+            // Keep the shared buffer bounded.
+            let _ = afd_prof::take();
+        });
+    });
+    g.bench_function("gauge_sampled_enabled", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            for _ in 0..PER_ITER {
+                v = v.wrapping_add(1);
+                afd_prof::gauge_sampled(afd_prof::GaugeKind::CommitBatch, v, 64);
+            }
+            let _ = afd_prof::take();
+        });
+    });
+    afd_prof::disable();
+    afd_prof::reset();
+    g.finish();
+}
+
+criterion_group!(benches, bench_prof_overhead, bench_probe);
+criterion_main!(benches);

@@ -145,6 +145,19 @@ pub enum WireMsg {
         /// Machine-readable stop reason (`StopReason::name`).
         reason: String,
     },
+    /// Node → coordinator: a batch of profiler records (spans and
+    /// gauges) with the lane names that scope them. Streamed
+    /// opportunistically during the run and once at shutdown; the
+    /// coordinator merges all nodes' batches with its own profile into
+    /// one multi-process timeline (see `afd_prof::merge`).
+    Telemetry {
+        /// The sending node's id.
+        node: u32,
+        /// `(lane id, name)` directory for lanes appearing in `recs`.
+        lanes: Vec<(u32, String)>,
+        /// The profiler records, in the node's flush order.
+        recs: Vec<afd_prof::Rec>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -527,6 +540,23 @@ pub fn encode_msg(m: &WireMsg) -> Vec<u8> {
         WireMsg::Stop { reason } => {
             put_u8(&mut buf, 5);
             put_str(&mut buf, reason);
+        }
+        WireMsg::Telemetry { node, lanes, recs } => {
+            put_u8(&mut buf, 6);
+            put_u32(&mut buf, *node);
+            put_u32(&mut buf, lanes.len() as u32);
+            for (lane, name) in lanes {
+                put_u32(&mut buf, *lane);
+                put_str(&mut buf, name);
+            }
+            put_u32(&mut buf, recs.len() as u32);
+            for r in recs {
+                put_u8(&mut buf, r.kind);
+                put_u8(&mut buf, r.id);
+                put_u32(&mut buf, r.lane);
+                put_u64(&mut buf, r.t_ns);
+                put_u64(&mut buf, r.v);
+            }
         }
     }
     buf
@@ -913,6 +943,26 @@ impl<'a> Dec<'a> {
             5 => Ok(WireMsg::Stop {
                 reason: self.str()?,
             }),
+            6 => {
+                let node = self.u32("WireMsg.node")?;
+                let n_lanes = self.seq_len("Telemetry.lanes")?;
+                let mut lanes = Vec::with_capacity(n_lanes.min(256));
+                for _ in 0..n_lanes {
+                    lanes.push((self.u32("Telemetry.lane")?, self.str()?));
+                }
+                let n_recs = self.seq_len("Telemetry.recs")?;
+                let mut recs = Vec::with_capacity(n_recs.min(4096));
+                for _ in 0..n_recs {
+                    recs.push(afd_prof::Rec {
+                        kind: self.u8("Rec.kind")?,
+                        id: self.u8("Rec.id")?,
+                        lane: self.u32("Rec.lane")?,
+                        t_ns: self.u64("Rec.t_ns")?,
+                        v: self.u64("Rec.v")?,
+                    });
+                }
+                Ok(WireMsg::Telemetry { node, lanes, recs })
+            }
             tag => Err(DecodeError::BadTag {
                 what: "WireMsg",
                 tag,
@@ -967,10 +1017,18 @@ pub fn decode_msg(bytes: &[u8]) -> Result<WireMsg, DecodeError> {
 /// # Errors
 /// Propagates the socket error.
 pub fn write_frame(w: &mut impl Write, m: &WireMsg) -> std::io::Result<()> {
-    let payload = encode_msg(m);
+    write_encoded(w, &encode_msg(m))
+}
+
+/// Write an already-encoded payload as one length-prefixed frame.
+///
+/// Split out from [`write_frame`] so callers that want to attribute
+/// encode time and socket time to separate profiling stages can call
+/// [`encode_msg`] and this back to back.
+pub fn write_encoded(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     let mut frame = Vec::with_capacity(payload.len() + 4);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(payload);
     w.write_all(&frame)
 }
 

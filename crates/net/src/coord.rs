@@ -142,6 +142,11 @@ pub struct NetConfig {
     pub handshake_timeout: Duration,
     /// Arrivals per channel exported in the up-front chaos plan.
     pub plan_arrivals: usize,
+    /// Profile the run with `afd-prof`: the coordinator enables its own
+    /// profiler, sets [`crate::node::PROF_ENV`] on every spawned node,
+    /// collects the nodes' Telemetry streams, and attaches the merged
+    /// multi-process timeline to the report.
+    pub profiling: bool,
 }
 
 impl NetConfig {
@@ -163,7 +168,15 @@ impl NetConfig {
             wall_timeout: Duration::from_secs(60),
             handshake_timeout: Duration::from_secs(20),
             plan_arrivals: 32,
+            profiling: false,
         }
+    }
+
+    /// Enable or disable cross-process profiling for the run.
+    #[must_use]
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
     }
 
     /// Set the event budget.
@@ -255,6 +268,9 @@ pub struct NetReport {
     pub nodes: Vec<NodeSummary>,
     /// Wall-clock duration of the run proper (post-handshake).
     pub elapsed: Duration,
+    /// The merged multi-process profile (coordinator pid 0, node `i`
+    /// as pid `i + 1`), present when [`NetConfig::profiling`] was on.
+    pub telemetry: Option<afd_prof::Merged>,
 }
 
 impl NetReport {
@@ -360,6 +376,9 @@ where
     /// Per-local-component input queues (sparse over comp index).
     local_tx: Vec<Option<Mutex<Sender<Action>>>>,
     router_tx: Mutex<Sender<(usize, Action)>>,
+    /// Per-node accumulated profiler telemetry (lane directory +
+    /// records), appended by that node's reader thread only.
+    node_telemetry: Vec<Mutex<afd_prof::Report>>,
 }
 
 impl<P> Fabric<'_, P>
@@ -445,9 +464,15 @@ where
     P::State: Send,
 {
     fn commit_from(&self, from: usize, a: Action) -> CommitStatus {
+        // `try_commit` profiles its own lock wait / hold (CommitWait,
+        // LockHold); the routing fan-out after acceptance is the
+        // coordinator-side servicing cost beyond the sink proper, so it
+        // gets its own non-overlapping stage.
         match self.sink.try_commit(a) {
             Commit::Accepted => {
+                let route = afd_prof::span(afd_prof::Stage::SinkCommit);
                 self.route(from, a);
+                route.done();
                 CommitStatus::Accepted
             }
             Commit::Suppressed => CommitStatus::Suppressed,
@@ -528,18 +553,23 @@ impl SystemVisitor for CoordLoop {
         let addr = listener.local_addr()?.to_string();
         listener.set_nonblocking(true)?;
 
+        if cfg.profiling {
+            afd_prof::enable();
+        }
         let mut children: Vec<Option<Child>> = Vec::with_capacity(nodes);
         for id in 0..nodes {
-            let child = Command::new(&cfg.node_command[0])
-                .args(&cfg.node_command[1..])
+            let mut cmd = Command::new(&cfg.node_command[0]);
+            cmd.args(&cfg.node_command[1..])
                 .env(crate::node::ADDR_ENV, &addr)
                 .env(crate::node::NODE_ID_ENV, id.to_string())
                 .stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .spawn()
-                .map_err(|e| {
-                    NetError::Spawn(format!("node {id} ({}): {e}", cfg.node_command[0]))
-                })?;
+                .stdout(Stdio::null());
+            if cfg.profiling {
+                cmd.env(crate::node::PROF_ENV, "1");
+            }
+            let child = cmd.spawn().map_err(|e| {
+                NetError::Spawn(format!("node {id} ({}): {e}", cfg.node_command[0]))
+            })?;
             children.push(Some(child));
         }
         let kill_all = |children: &mut Vec<Option<Child>>| {
@@ -662,6 +692,9 @@ impl SystemVisitor for CoordLoop {
             node_commits: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             local_tx,
             router_tx: Mutex::new(router_tx),
+            node_telemetry: (0..nodes)
+                .map(|_| Mutex::new(afd_prof::Report::default()))
+                .collect(),
         };
 
         let children = Mutex::new(children);
@@ -676,6 +709,11 @@ impl SystemVisitor for CoordLoop {
                 let node_locs = &node_locs;
                 s.spawn(move || {
                     node_reader(fabric, nid, stream, &node_locs[nid], &killed[nid]);
+                    // Flush before the scope sees this thread complete:
+                    // scoped-thread TLS destructors run after the scope's
+                    // completion signal, so a Drop-based flush could race
+                    // the post-scope telemetry merge.
+                    afd_prof::flush_local();
                 });
             }
             for (idx, k) in kinds.iter().enumerate() {
@@ -686,7 +724,10 @@ impl SystemVisitor for CoordLoop {
                 let fabric = &fabric;
                 let kind = *k;
                 let fd_pacing = cfg.fd_pacing;
-                s.spawn(move || local_worker(fabric, idx, kind, &rx, fd_pacing));
+                s.spawn(move || {
+                    local_worker(fabric, idx, kind, &rx, fd_pacing);
+                    afd_prof::flush_local();
+                });
             }
             {
                 let fabric = &fabric;
@@ -706,6 +747,7 @@ impl SystemVisitor for CoordLoop {
                     *chaos_slot
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = report;
+                    afd_prof::flush_local();
                 });
             }
             {
@@ -714,7 +756,10 @@ impl SystemVisitor for CoordLoop {
                 let children = &children;
                 let killed = &killed;
                 let node_locs = &node_locs;
-                s.spawn(move || injector(fabric, cfg, children, killed, node_locs, node_of));
+                s.spawn(move || {
+                    injector(fabric, cfg, children, killed, node_locs, node_of);
+                    afd_prof::flush_local();
+                });
             }
             {
                 let sink = &sink;
@@ -799,6 +844,25 @@ impl SystemVisitor for CoordLoop {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
+        let telemetry = if cfg.profiling {
+            // Coordinator threads flushed on scope exit; grab whatever
+            // the main thread still buffers, then merge with each
+            // node's streamed reports. Coordinator is pid 0, node i is
+            // pid i + 1.
+            afd_prof::flush_local();
+            let mut parts = vec![(0u32, "coord".to_string(), afd_prof::take())];
+            for (nid, slot) in fabric.node_telemetry.iter().enumerate() {
+                let report = std::mem::take(
+                    &mut *slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+                parts.push((nid as u32 + 1, format!("node{nid}"), report));
+            }
+            Some(afd_prof::merge(parts))
+        } else {
+            None
+        };
         drop(fabric);
         let (schedule, stop) = sink.into_log();
         let mut checks: Vec<NetCheck> = observer
@@ -834,6 +898,7 @@ impl SystemVisitor for CoordLoop {
             chaos_plan,
             nodes: node_summaries,
             elapsed,
+            telemetry,
         })
     }
 }
@@ -863,11 +928,15 @@ fn node_reader<P>(
     P: Automaton<Action = Action> + Sync,
     P::State: Send,
 {
+    afd_prof::set_lane(&format!("reader:node{nid}"));
     let died = loop {
         if fabric.sink.is_stopped() {
             break false;
         }
-        match read_frame(&mut stream) {
+        let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+        let frame = read_frame(&mut stream);
+        wait.done();
+        match frame {
             Ok(Some(WireMsg::CommitReq { comp, action })) => {
                 let idx = comp as usize;
                 if fabric.owner.get(idx) != Some(&Owner::Node(nid as u32)) {
@@ -877,9 +946,21 @@ fn node_reader<P>(
                 if status == CommitStatus::Accepted {
                     fabric.node_commits[nid].fetch_add(1, Ordering::SeqCst);
                 }
-                if !fabric.send_ctrl(nid, &WireMsg::CommitResp { comp, status }) {
+                // The response leg: queueing behind this node's writer
+                // lock (shared with Deliver routing) plus the write.
+                let resp = afd_prof::span(afd_prof::Stage::CoordQueue);
+                let ok = fabric.send_ctrl(nid, &WireMsg::CommitResp { comp, status });
+                resp.done();
+                if !ok {
                     break true;
                 }
+            }
+            Ok(Some(WireMsg::Telemetry { lanes, recs, .. })) => {
+                let mut t = fabric.node_telemetry[nid]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                t.lanes.extend(lanes);
+                t.recs.extend(recs);
             }
             Ok(Some(_)) => break true, // protocol violation
             Ok(None) => break true,    // EOF
@@ -897,6 +978,31 @@ fn node_reader<P>(
             // Unexpected death: contain it as if Kill'd.
             killed.store(true, Ordering::SeqCst);
             contain_dead_node(fabric, locs);
+        }
+    }
+    if !died {
+        // The node ships its final Telemetry frames *after* it receives
+        // Stop, which is after the sink stopped and this loop ended.
+        // Keep decoding frames (harvesting telemetry, discarding the
+        // rest) until the node closes its end or the grace window runs
+        // out, so the tail of the profile isn't lost.
+        let deadline = Instant::now() + GRACE + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            match read_frame(&mut stream) {
+                Ok(Some(WireMsg::Telemetry { lanes, recs, .. })) => {
+                    let mut t = fabric.node_telemetry[nid]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    t.lanes.extend(lanes);
+                    t.recs.extend(recs);
+                }
+                Ok(Some(_)) => {} // in-flight request racing the stop: drop it
+                Ok(None) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
         }
     }
     // Drain any final bytes so the node's last write doesn't RST.
@@ -919,12 +1025,14 @@ fn local_worker<P>(
     P::State: Send,
 {
     let comp = &fabric.comps[idx];
+    afd_prof::set_lane(&comp.name());
     let mut state = comp.initial_state();
     loop {
         if fabric.sink.is_stopped() {
             return;
         }
         while let Ok(a) = rx.try_recv() {
+            let _s = afd_prof::span(afd_prof::Stage::Step);
             if let Some(next) = comp.step(&state, &a) {
                 state = next;
             }
@@ -938,17 +1046,25 @@ fn local_worker<P>(
                 continue;
             };
             if matches!(kind, ComponentKind::Fd) && !fd_pacing.is_zero() {
+                let pace = afd_prof::span(afd_prof::Stage::Pacing);
                 thread::sleep(fd_pacing);
+                pace.done();
             }
-            match fabric.commit_from(idx, a) {
+            let status = fabric.commit_from(idx, a);
+            match status {
                 CommitStatus::Accepted => {
+                    let step = afd_prof::span(afd_prof::Stage::Step);
                     if let Some(next) = comp.step(&state, &a) {
                         state = next;
                     }
+                    step.done();
                     progressed = true;
                 }
                 CommitStatus::Suppressed => {
-                    if let Ok(a) = rx.recv_timeout(SUPPRESSED_WAIT) {
+                    let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+                    let got = rx.recv_timeout(SUPPRESSED_WAIT);
+                    wait.done();
+                    if let Ok(a) = got {
                         if let Some(next) = comp.step(&state, &a) {
                             state = next;
                         }
@@ -958,7 +1074,10 @@ fn local_worker<P>(
             }
         }
         if !progressed {
-            match rx.recv_timeout(IDLE_WAIT) {
+            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+            let got = rx.recv_timeout(IDLE_WAIT);
+            wait.done();
+            match got {
                 Ok(a) => {
                     if let Some(next) = comp.step(&state, &a) {
                         state = next;
@@ -986,6 +1105,7 @@ fn injector<P>(
     P: Automaton<Action = Action> + Sync,
     P::State: Send,
 {
+    afd_prof::set_lane("injector");
     let mut pending = cfg.faults.clone();
     pending.sort_by_key(|f| f.at_event);
     for f in pending {
@@ -996,7 +1116,9 @@ fn injector<P>(
             if fabric.sink.len() >= f.at_event {
                 break;
             }
+            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
             thread::sleep(INJECTOR_POLL);
+            wait.done();
         }
         match f.mode {
             NetCrashMode::Halt => {

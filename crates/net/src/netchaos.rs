@@ -102,6 +102,7 @@ where
         slot_of[ch.idx] = Some(s);
     }
 
+    afd_prof::set_lane("router");
     'run: loop {
         if port.stopped() {
             break;
@@ -109,6 +110,7 @@ where
         while let Ok((idx, a)) = rx.try_recv() {
             if let Some(s) = slot_of.get(idx).copied().flatten() {
                 let ch = &mut table[s];
+                let _s = afd_prof::span(afd_prof::Stage::Step);
                 if let Some(next) = comps[ch.idx].step(&ch.state, &a) {
                     ch.state = next;
                 }
@@ -146,9 +148,16 @@ where
                     // so healing resumes in FIFO order.
                     cut_pending = true;
                 } else {
+                    let decide = afd_prof::span(afd_prof::Stage::ChaosDecision);
                     let d = ch.chaos.next();
+                    decide.done();
                     ch.arrivals += 1;
                     ch.stats.arrivals += 1;
+                    afd_prof::gauge_sampled(
+                        afd_prof::GaugeKind::ChannelBacklog,
+                        ch.held.len() as u64,
+                        64,
+                    );
                     if d.drop {
                         // Consume without committing: the message
                         // vanishes off the wire.
@@ -194,9 +203,14 @@ where
             if cut_pending {
                 // A cut channel with pending traffic is not idle; spin
                 // gently until the partition heals or the run stops.
+                let pace = afd_prof::span(afd_prof::Stage::Pacing);
                 std::thread::sleep(CUT_WAIT);
+                pace.done();
             } else if !any_held {
-                match rx.recv_timeout(IDLE_WAIT) {
+                let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+                let got = rx.recv_timeout(IDLE_WAIT);
+                wait.done();
+                match got {
                     Ok((idx, a)) => {
                         if let Some(s) = slot_of.get(idx).copied().flatten() {
                             let ch = &mut table[s];

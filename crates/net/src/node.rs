@@ -30,7 +30,7 @@ use afd_core::Action;
 use afd_system::{ComponentKind, System};
 use ioa::{Automaton, TaskId};
 
-use crate::codec::{read_frame, write_frame, CommitStatus, WireMsg};
+use crate::codec::{encode_msg, read_frame, write_encoded, write_frame, CommitStatus, WireMsg};
 use crate::deploy::{visit_system, SystemVisitor};
 use crate::NetError;
 
@@ -38,12 +38,22 @@ use crate::NetError;
 pub const ADDR_ENV: &str = "AFD_NET_ADDR";
 /// Environment variable carrying this node's id.
 pub const NODE_ID_ENV: &str = "AFD_NET_NODE_ID";
+/// Environment variable turning on `afd-prof` in spawned nodes (any
+/// value other than `0`). The coordinator sets it when its own config
+/// enables profiling so every process in the run samples spans.
+pub const PROF_ENV: &str = "AFD_PROF";
 
 /// How long an idle worker blocks on its input queue per wait.
 const IDLE_WAIT: Duration = Duration::from_micros(500);
 /// How often a worker blocked on a commit response re-checks the stop
 /// flag.
 const RESP_WAIT: Duration = Duration::from_millis(50);
+/// Stream a Telemetry frame once this many profiler records have been
+/// flushed (keeps memory bounded on long runs).
+const TELEM_STREAM: usize = 8 * 1024;
+/// Max records per Telemetry frame; well under `MAX_FRAME` even with
+/// the lane directory attached.
+const TELEM_CHUNK: usize = 16 * 1024;
 
 /// If the hosting binary was spawned as a node (the coordinator set
 /// [`ADDR_ENV`] / [`NODE_ID_ENV`]), serve and return `true`; the
@@ -75,6 +85,9 @@ pub fn maybe_serve_from_env() -> bool {
 /// # Errors
 /// [`NetError`] on connection failure or protocol violation.
 pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
+    if std::env::var(PROF_ENV).is_ok_and(|v| v != "0") {
+        afd_prof::enable();
+    }
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     write_frame(&mut stream, &WireMsg::Hello { node: id })?;
@@ -104,6 +117,7 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
             stream,
             hosted,
             wire_pacing: Duration::from_micros(wire_pacing_us),
+            node: id,
         },
     )
 }
@@ -112,6 +126,43 @@ struct NodeLoop {
     stream: TcpStream,
     hosted: Vec<afd_core::Loc>,
     wire_pacing: Duration,
+    node: u32,
+}
+
+/// Ship a profiler report to the coordinator as one or more Telemetry
+/// frames (chunked so no frame approaches `MAX_FRAME`). The lane
+/// directory rides with the first chunk only; the coordinator merges
+/// directories across frames.
+fn send_report(node: u32, report: afd_prof::Report, writer: &Mutex<TcpStream>) {
+    if report.is_empty() {
+        return;
+    }
+    let mut lanes = report.lanes;
+    let mut recs = report.recs;
+    loop {
+        let tail = if recs.len() > TELEM_CHUNK {
+            recs.split_off(TELEM_CHUNK)
+        } else {
+            Vec::new()
+        };
+        let msg = WireMsg::Telemetry {
+            node,
+            lanes: std::mem::take(&mut lanes),
+            recs,
+        };
+        {
+            let mut w = writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if write_frame(&mut *w, &msg).and_then(|()| w.flush()).is_err() {
+                return;
+            }
+        }
+        recs = tail;
+        if recs.is_empty() {
+            return;
+        }
+    }
 }
 
 impl SystemVisitor for NodeLoop {
@@ -157,6 +208,7 @@ impl SystemVisitor for NodeLoop {
         let reader_stream = self.stream.try_clone().map_err(NetError::Io)?;
         let writer = Mutex::new(self.stream);
         let wire_pacing = self.wire_pacing;
+        let node = self.node;
 
         thread::scope(|s| {
             // Reader: demultiplex coordinator frames to the workers.
@@ -189,19 +241,30 @@ impl SystemVisitor for NodeLoop {
                 let writer = &writer;
                 let stop = &stop;
                 s.spawn(move || {
-                    node_worker(comps, idx, &rx, &resp, writer, stop, wire_pacing);
-                    // A worker winding down (its location crashed, or
-                    // the run stopped) must not hold the run hostage:
-                    // nothing to do here, the reader owns shutdown.
+                    node_worker(comps, idx, &rx, &resp, writer, stop, wire_pacing, node);
+                    // Flush before the scope sees this thread complete:
+                    // scoped-thread TLS destructors run after the scope's
+                    // completion signal, so a Drop-based flush could race
+                    // the post-scope `take()` below.
+                    afd_prof::flush_local();
                 });
             }
         });
+        // Workers flushed their thread-local profiler buffers on exit
+        // (scoped threads joined above); ship whatever the run left
+        // behind before the socket closes. The coordinator keeps
+        // reading our connection until EOF, so this last frame lands.
+        if afd_prof::is_enabled() {
+            afd_prof::flush_local();
+            send_report(node, afd_prof::take(), &writer);
+        }
         Ok(())
     }
 }
 
 /// One hosted process component: the threaded-runtime worker loop with
 /// the sink call replaced by a commit round trip.
+#[allow(clippy::too_many_arguments)]
 fn node_worker<P>(
     comps: &[afd_system::Component<P>],
     idx: usize,
@@ -210,10 +273,12 @@ fn node_worker<P>(
     writer: &Mutex<TcpStream>,
     stop: &AtomicBool,
     wire_pacing: Duration,
+    node: u32,
 ) where
     P: Automaton<Action = Action>,
 {
     let comp = &comps[idx];
+    afd_prof::set_lane(&comp.name());
     let mut state = comp.initial_state();
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -222,6 +287,7 @@ fn node_worker<P>(
         // Drain routed inputs (inputs are always enabled; a `None`
         // step would be a signature bug, tolerated as a no-op).
         while let Ok(a) = inputs.try_recv() {
+            let _s = afd_prof::span(afd_prof::Stage::Step);
             if let Some(next) = comp.step(&state, &a) {
                 state = next;
             }
@@ -238,23 +304,34 @@ fn node_worker<P>(
             // coordinator's event budget (mirrors `wire_pacing` in the
             // threaded runtime).
             if matches!(a, Action::WireSend { .. }) && !wire_pacing.is_zero() {
+                let pace = afd_prof::span(afd_prof::Stage::Retransmit);
                 thread::sleep(wire_pacing);
+                pace.done();
             }
             let req = WireMsg::CommitReq {
                 comp: idx as u32,
                 action: a,
             };
+            let enc = afd_prof::span(afd_prof::Stage::NetEncode);
+            let payload = encode_msg(&req);
+            enc.done();
+            let sock = afd_prof::span(afd_prof::Stage::NetSocket);
             {
                 let mut w = writer
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if write_frame(&mut *w, &req).and_then(|()| w.flush()).is_err() {
+                if write_encoded(&mut *w, &payload)
+                    .and_then(|()| w.flush())
+                    .is_err()
+                {
                     stop.store(true, Ordering::SeqCst);
                     return;
                 }
             }
+            sock.done();
             // Exactly one response per request, in order: block for it
             // (inputs wait in our queue, so `state` cannot drift).
+            let ack = afd_prof::span(afd_prof::Stage::NetAckWait);
             let status = loop {
                 match resps.recv_timeout(RESP_WAIT) {
                     Ok(st) => break st,
@@ -266,17 +343,23 @@ fn node_worker<P>(
                     Err(RecvTimeoutError::Disconnected) => return,
                 }
             };
+            ack.done();
             match status {
                 CommitStatus::Accepted => {
+                    let step = afd_prof::span(afd_prof::Stage::Step);
                     if let Some(next) = comp.step(&state, &a) {
                         state = next;
                     }
+                    step.done();
                     progressed = true;
                 }
                 CommitStatus::Suppressed => {
                     // Our location is dead but the Crash input hasn't
                     // reached us yet: absorb it instead of spinning.
-                    if let Ok(a) = inputs.recv_timeout(IDLE_WAIT) {
+                    let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+                    let got = inputs.recv_timeout(IDLE_WAIT);
+                    wait.done();
+                    if let Ok(a) = got {
                         if let Some(next) = comp.step(&state, &a) {
                             state = next;
                         }
@@ -287,9 +370,17 @@ fn node_worker<P>(
                     return;
                 }
             }
+            // Opportunistically stream flushed profiler records so a
+            // long run's telemetry doesn't pile up until shutdown.
+            if afd_prof::is_enabled() && afd_prof::pending() >= TELEM_STREAM {
+                send_report(node, afd_prof::take(), writer);
+            }
         }
         if !progressed {
-            match inputs.recv_timeout(IDLE_WAIT) {
+            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+            let got = inputs.recv_timeout(IDLE_WAIT);
+            wait.done();
+            match got {
                 Ok(a) => {
                     if let Some(next) = comp.step(&state, &a) {
                         state = next;

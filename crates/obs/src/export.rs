@@ -117,56 +117,72 @@ pub fn validate_jsonl_line(line: &str) -> Result<(), String> {
 }
 
 /// Render a stamped trace in Chrome trace-event JSON (see module docs).
-/// `trace_name` labels the process track.
+/// `trace_name` labels the process track. Single-process view: every
+/// event lands on pid 0; see [`chrome_trace_multi`] for runs whose
+/// events come from more than one OS process.
 #[must_use]
 pub fn chrome_trace(trace_name: &str, events: &[Stamped]) -> String {
-    let mut track_locs: Vec<u8> = events.iter().map(|ev| ev.action.loc().0).collect();
-    track_locs.sort_unstable();
-    track_locs.dedup();
+    chrome_trace_multi(&[(0, trace_name, events)])
+}
 
-    let mut trace_events = Vec::with_capacity(events.len() + track_locs.len() + 1);
-    trace_events.push(Json::Obj(vec![
-        ("name".into(), Json::Str("process_name".into())),
-        ("ph".into(), Json::Str("M".into())),
-        ("pid".into(), Json::Num(0.0)),
-        ("tid".into(), Json::Num(0.0)),
-        (
-            "args".into(),
-            Json::Obj(vec![("name".into(), Json::Str(trace_name.into()))]),
-        ),
-    ]));
-    for l in &track_locs {
+/// Render several per-process stamped traces as one Chrome trace-event
+/// JSON document: each `(pid, name, events)` part gets its own process
+/// lane (a `process_name` metadata event and one `thread_name` track
+/// per location), so a distributed run's processes no longer collapse
+/// onto pid 0.
+#[must_use]
+pub fn chrome_trace_multi(parts: &[(u32, &str, &[Stamped])]) -> String {
+    let total: usize = parts.iter().map(|(_, _, evs)| evs.len()).sum();
+    let mut trace_events = Vec::with_capacity(total + parts.len() * 4);
+    for (pid, trace_name, events) in parts {
+        let pid = f64::from(*pid);
+        let mut track_locs: Vec<u8> = events.iter().map(|ev| ev.action.loc().0).collect();
+        track_locs.sort_unstable();
+        track_locs.dedup();
+
         trace_events.push(Json::Obj(vec![
-            ("name".into(), Json::Str("thread_name".into())),
+            ("name".into(), Json::Str("process_name".into())),
             ("ph".into(), Json::Str("M".into())),
-            ("pid".into(), Json::Num(0.0)),
-            ("tid".into(), Json::Num(f64::from(*l))),
+            ("pid".into(), Json::Num(pid)),
+            ("tid".into(), Json::Num(0.0)),
             (
                 "args".into(),
-                Json::Obj(vec![("name".into(), Json::Str(format!("p{l}")))]),
+                Json::Obj(vec![("name".into(), Json::Str((*trace_name).into()))]),
             ),
         ]));
-    }
-    for ev in events {
-        // Microseconds of wall time, or the schedule index when the
-        // engine (the simulator) has no clock.
-        let ts = ev.wall_ns.map_or(ev.seq as f64, |ns| ns as f64 / 1_000.0);
-        trace_events.push(Json::Obj(vec![
-            ("name".into(), Json::Str(ev.action.kind_name().into())),
-            ("cat".into(), Json::Str(ev.action.kind_name().into())),
-            ("ph".into(), Json::Str("X".into())),
-            ("ts".into(), Json::Num(ts)),
-            ("dur".into(), Json::Num(1.0)),
-            ("pid".into(), Json::Num(0.0)),
-            ("tid".into(), Json::Num(f64::from(ev.action.loc().0))),
-            (
-                "args".into(),
-                Json::Obj(vec![
-                    ("seq".into(), Json::Num(ev.seq as f64)),
-                    ("action".into(), Json::Str(ev.action.to_string())),
-                ]),
-            ),
-        ]));
+        for l in &track_locs {
+            trace_events.push(Json::Obj(vec![
+                ("name".into(), Json::Str("thread_name".into())),
+                ("ph".into(), Json::Str("M".into())),
+                ("pid".into(), Json::Num(pid)),
+                ("tid".into(), Json::Num(f64::from(*l))),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("name".into(), Json::Str(format!("p{l}")))]),
+                ),
+            ]));
+        }
+        for ev in *events {
+            // Microseconds of wall time, or the schedule index when the
+            // engine (the simulator) has no clock.
+            let ts = ev.wall_ns.map_or(ev.seq as f64, |ns| ns as f64 / 1_000.0);
+            trace_events.push(Json::Obj(vec![
+                ("name".into(), Json::Str(ev.action.kind_name().into())),
+                ("cat".into(), Json::Str(ev.action.kind_name().into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::Num(ts)),
+                ("dur".into(), Json::Num(1.0)),
+                ("pid".into(), Json::Num(pid)),
+                ("tid".into(), Json::Num(f64::from(ev.action.loc().0))),
+                (
+                    "args".into(),
+                    Json::Obj(vec![
+                        ("seq".into(), Json::Num(ev.seq as f64)),
+                        ("action".into(), Json::Str(ev.action.to_string())),
+                    ]),
+                ),
+            ]));
+        }
     }
     Json::Obj(vec![
         ("traceEvents".into(), Json::Arr(trace_events)),
@@ -274,6 +290,37 @@ mod tests {
         assert_eq!(action_evs[1].get("ts").unwrap().as_num(), Some(2.5));
         // Logical-only events use the schedule index.
         assert_eq!(action_evs[0].get("ts").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn chrome_trace_multi_keeps_processes_apart() {
+        let evs = sample();
+        let doc = chrome_trace_multi(&[(1, "coord", &evs[..1]), (2, "node0", &evs[1..])]);
+        let v = Json::parse(&doc).unwrap();
+        let all = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids_of = |ph: &str| -> Vec<f64> {
+            let mut pids: Vec<f64> = all
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .filter_map(|e| e.get("pid").and_then(Json::as_num))
+                .collect();
+            pids.sort_by(f64::total_cmp);
+            pids.dedup();
+            pids
+        };
+        // Every X event carries its part's pid — nothing collapses to 0.
+        assert_eq!(pids_of("X"), vec![1.0, 2.0]);
+        // Each process announces its own name metadata.
+        let names: Vec<&str> = all
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(names, vec!["coord", "node0"]);
     }
 
     #[test]

@@ -260,6 +260,7 @@ fn worker<P>(
     P: Automaton<Action = Action>,
 {
     let comp = &comps[idx];
+    afd_prof::set_lane(&comp.name());
     let mut state = comp.initial_state();
     let mut rng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
     // Reused speculation buffers for the commit-batch path (kept out
@@ -284,6 +285,7 @@ fn worker<P>(
         while let Ok(a) = rx.try_recv() {
             tel.unpark(idx);
             tel.dec_backlog(idx);
+            let _s = afd_prof::span(afd_prof::Stage::Step);
             if let Some(next) = comp.step(&state, &a) {
                 state = next;
             }
@@ -310,15 +312,22 @@ fn worker<P>(
             // linearization point itself stays instantaneous.
             if needs_pacing(&a) {
                 match kind {
-                    ComponentKind::Fd => thread::sleep(cfg.fd_pacing),
+                    ComponentKind::Fd => {
+                        let _p = afd_prof::span(afd_prof::Stage::Pacing);
+                        thread::sleep(cfg.fd_pacing);
+                    }
                     ComponentKind::Channel(_, _) => {
+                        let _p = afd_prof::span(afd_prof::Stage::Pacing);
                         let jitter_ns =
                             rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
                         thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
                     }
                     // Throttle stubborn retransmission (WireSend) so it
                     // cannot flood the event budget.
-                    _ => thread::sleep(cfg.wire_pacing),
+                    _ => {
+                        let _p = afd_prof::span(afd_prof::Stage::Retransmit);
+                        thread::sleep(cfg.wire_pacing);
+                    }
                 }
             }
             // Speculate a chain of locally-controlled actions from this
@@ -334,6 +343,7 @@ fn worker<P>(
             } else {
                 cfg.commit_batch.max(1)
             };
+            let step_span = afd_prof::span(afd_prof::Stage::Step);
             chain.clear();
             states.clear();
             chain.push(a);
@@ -354,6 +364,7 @@ fn worker<P>(
                     states.push(next_s);
                 }
             }
+            step_span.done();
             let (n, status) = sink.try_commit_batch(&chain);
             if n > 0 {
                 states.truncate(n);
@@ -370,6 +381,7 @@ fn worker<P>(
                 Commit::Suppressed => {
                     // Our location is dead but the Crash input hasn't
                     // reached us yet: absorb it instead of spinning.
+                    let _w = afd_prof::span(afd_prof::Stage::RecvWait);
                     if let Ok(a) = rx.recv_timeout(SUPPRESSED_WAIT) {
                         tel.dec_backlog(idx);
                         if let Some(next) = comp.step(&state, &a) {
@@ -384,7 +396,10 @@ fn worker<P>(
             // Nothing enabled and nothing arrived: this worker votes
             // for quiescence until an input wakes it.
             tel.park(idx);
-            match rx.recv_timeout(IDLE_WAIT) {
+            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+            let got = rx.recv_timeout(IDLE_WAIT);
+            wait.done();
+            match got {
                 Ok(a) => {
                     tel.unpark(idx);
                     tel.dec_backlog(idx);
@@ -427,6 +442,7 @@ where
     P: Automaton<Action = Action>,
 {
     let comp = &comps[idx];
+    afd_prof::set_lane(&comp.name());
     let mut state = comp.initial_state();
     let mut chaos = ChannelChaos::new(cfg.seed, from, to, profile);
     let mut jrng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
@@ -442,6 +458,7 @@ where
         while let Ok(a) = rx.try_recv() {
             tel.unpark(idx);
             tel.dec_backlog(idx);
+            let _s = afd_prof::span(afd_prof::Stage::Step);
             if let Some(next) = comp.step(&state, &a) {
                 state = next;
             }
@@ -477,13 +494,21 @@ where
                 // un-parked — a cut channel with pending traffic is
                 // not quiescent.
                 tel.unpark(idx);
+                let _p = afd_prof::span(afd_prof::Stage::Pacing);
                 thread::sleep(CUT_WAIT);
                 progressed = true;
             } else {
                 tel.unpark(idx);
+                let decision_span = afd_prof::span(afd_prof::Stage::ChaosDecision);
                 let d = chaos.next();
+                decision_span.done();
                 arrivals += 1;
                 stats.arrivals += 1;
+                afd_prof::gauge_sampled(
+                    afd_prof::GaugeKind::ChannelBacklog,
+                    (tel.backlog[idx].load(Ordering::SeqCst) + held.len()) as u64,
+                    64,
+                );
                 if d.drop {
                     // Consume without committing: the message vanishes.
                     if let Some(next) = comp.step(&state, &a) {
@@ -501,6 +526,7 @@ where
                     progressed = true;
                 } else {
                     if !profile.is_zero() {
+                        let _p = afd_prof::span(afd_prof::Stage::Pacing);
                         let jitter_ns = jrng
                             .below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
                         thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
@@ -530,7 +556,10 @@ where
         }
         if !progressed && held.is_empty() {
             tel.park(idx);
-            match rx.recv_timeout(IDLE_WAIT) {
+            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
+            let got = rx.recv_timeout(IDLE_WAIT);
+            wait.done();
+            match got {
                 Ok(a) => {
                     tel.unpark(idx);
                     tel.dec_backlog(idx);
@@ -565,6 +594,7 @@ fn injector<P>(
     P: Automaton<Action = Action>,
 {
     let comp = &comps[crash_idx];
+    afd_prof::set_lane("injector");
     let mut state = comp.initial_state();
     let mut pending = cfg.faults.crashes.clone();
     while !pending.is_empty() {
@@ -577,6 +607,7 @@ fn injector<P>(
             // of the system quiesces first, the remaining entries are
             // unreachable and must not block the Idle verdict.
             tel.park(crash_idx);
+            let _w = afd_prof::span(afd_prof::Stage::RecvWait);
             thread::sleep(INJECTOR_POLL);
             continue;
         }
@@ -746,6 +777,11 @@ where
                         worker(comps, &senders, idx, kind, &rx, sink, cfg, profile, tel);
                     }
                 }));
+                // Flush this thread's profiling buffer before the scope
+                // observes completion: scoped-thread TLS destructors run
+                // *after* the scope's completion signal, so a Drop-based
+                // flush could race the post-scope report harvest.
+                afd_prof::flush_local();
                 tel.finish(idx);
                 if let Err(p) = res {
                     let msg = panic_message(p);
@@ -773,6 +809,7 @@ where
             let tel = &tel;
             s.spawn(move || {
                 injector(comps, &senders, crash_idx, cfg, sink, tel);
+                afd_prof::flush_local();
                 tel.finish(crash_idx);
             });
         }

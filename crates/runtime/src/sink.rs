@@ -320,10 +320,24 @@ impl EventSink {
         let mut accepted = 0usize;
         let mut status = Commit::Accepted;
         {
-            let mut g = self
-                .inner
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Uncontended fast path: no commit-wait span (there was no
+            // wait), and only the lock-hold probe's single clock read
+            // lands inside the critical section. On contention the
+            // wait → hold boundary shares one clock read via handoff.
+            let (mut g, hold) = match self.inner.try_lock() {
+                Ok(g) => (g, afd_prof::span(afd_prof::Stage::LockHold)),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    (p.into_inner(), afd_prof::span(afd_prof::Stage::LockHold))
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    let wait = afd_prof::span(afd_prof::Stage::CommitWait);
+                    let g = self
+                        .inner
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    (g, wait.handoff(afd_prof::Stage::LockHold))
+                }
+            };
             let now_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             for &a in actions {
                 if g.stop.is_some() {
@@ -353,9 +367,22 @@ impl EventSink {
                 self.len.store(g.log.len(), Ordering::Release);
                 self.last_commit_ns.store(now_ns, Ordering::Relaxed);
             }
+            drop(g);
+            hold.done();
         }
-        if accepted > 0 && self.needs_drain {
-            self.drain_pending();
+        if accepted > 0 {
+            afd_prof::gauge_sampled(afd_prof::GaugeKind::CommitBatch, accepted as u64, 64);
+            if self.needs_drain {
+                afd_prof::gauge_sampled(
+                    afd_prof::GaugeKind::SinkDepth,
+                    self.len
+                        .load(Ordering::Relaxed)
+                        .saturating_sub(self.dispatched.load(Ordering::Relaxed))
+                        as u64,
+                    64,
+                );
+                self.drain_pending();
+            }
         }
         (accepted, status)
     }
@@ -451,6 +478,7 @@ impl EventSink {
             }
             d.drained += d.scratch.len();
             let scratch = std::mem::take(&mut d.scratch);
+            let dispatch_span = afd_prof::span(afd_prof::Stage::ObserverDispatch);
             for (i, (a, ns)) in scratch.iter().enumerate() {
                 if let Some(obs) = &self.observer {
                     let seq = (start + i) as u64;
@@ -478,6 +506,7 @@ impl EventSink {
                     self.stop(StopReason::Predicate);
                 }
             }
+            dispatch_span.done();
             d.scratch = scratch;
             self.dispatched.store(d.drained, Ordering::Release);
         }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release --bin experiments [--json] [table...]`
 //! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
-//! t, u, v, q, s, misc}; with no table arguments, all tables are
+//! t, u, v, w, q, s, misc}; with no table arguments, all tables are
 //! produced.
 //!
 //! Table `t` additionally writes `BENCH_runtime.json` at the working
@@ -14,10 +14,14 @@
 //! service (afd-rsm) under the open-loop generator (afd-load) —
 //! client-op throughput and p50/p99/max latency per engine and fault
 //! scenario, failing on any applied-prefix divergence or apply-order
-//! conformance violation. For tables `u` and `v` this binary doubles
-//! as its own node executable: the coordinator respawns
-//! `current_exe()` and `afd_net::maybe_serve_from_env` diverts those
-//! children into node duty before any table runs.
+//! conformance violation. Table `w` writes `BENCH_prof.json`: the
+//! afd-prof stage-attribution grid (threaded vs distributed,
+//! n ∈ {3, 8, 16}) naming where the wall time goes, plus merged
+//! chrome://tracing timelines under `target/obs/`. For tables `u`,
+//! `v` and `w` this binary doubles as its own node executable: the
+//! coordinator respawns `current_exe()` and
+//! `afd_net::maybe_serve_from_env` diverts those children into node
+//! duty before any table runs.
 //!
 //! - Default output is the markdown used in EXPERIMENTS.md.
 //! - `--json` emits the same tables as one machine-readable JSON
@@ -47,9 +51,9 @@ use afd_tree::{
 };
 
 /// Every table this binary can produce, in print order.
-const TABLES: [&str; 15] = [
-    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "v", "q", "s",
-    "misc",
+const TABLES: [&str; 16] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "v", "w", "q",
+    "s", "misc",
 ];
 
 /// One experiment table: a grid of rendered cells plus free-form notes
@@ -183,6 +187,7 @@ fn main() {
             "t" => tables.push(table_t_throughput()),
             "u" => tables.push(table_u_distributed()),
             "v" => tables.push(table_v_rsm()),
+            "w" => tables.push(table_w_prof()),
             "q" => tables.extend(table_q_qos()),
             "s" => tables.push(table_s_chaos()),
             "misc" => tables.push(table_misc()),
@@ -858,45 +863,58 @@ fn table_t_throughput() -> Table {
         "events/sec",
     ]);
     let budget = if smoke { 4_000usize } else { 20_000 };
+    // One discarded warmup run per cell (first-touch page faults,
+    // branch predictors, allocator warm-up) and the median of `reps`
+    // measured runs: a single sample per cell made the grid jitter by
+    // double-digit percentages across invocations.
+    let reps = if smoke { 1usize } else { 3 };
     let mut grid_json: Vec<Json> = Vec::new();
     for n in [3usize, 8, 16] {
         let pi = Pi::new(n);
         for (obs_on, pred_on) in [(false, false), (true, false), (false, true), (true, true)] {
             let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
-            let metrics = Arc::new(Metrics::new());
-            let mut cfg = RuntimeConfig::default()
-                .with_max_events(budget)
-                .with_fd_pacing(Duration::ZERO)
-                .with_wall_timeout(Duration::from_secs(60))
-                .with_seed(7);
-            if obs_on {
-                cfg = cfg.with_observer(Arc::new(MetricsObserver::new(metrics.clone())));
+            let mut samples: Vec<(f64, f64)> = Vec::with_capacity(reps); // (eps, ms)
+            for rep in 0..=reps {
+                let warmup = rep == 0;
+                let metrics = Arc::new(Metrics::new());
+                let mut cfg = RuntimeConfig::default()
+                    .with_max_events(budget)
+                    .with_fd_pacing(Duration::ZERO)
+                    .with_wall_timeout(Duration::from_secs(60))
+                    .with_seed(7);
+                if obs_on {
+                    cfg = cfg.with_observer(Arc::new(MetricsObserver::new(metrics.clone())));
+                }
+                if pred_on {
+                    cfg = cfg.stop_when_stream(move || all_live_decided_stream(pi));
+                }
+                let out = run_threaded(&sys, &cfg);
+                if out.events() != budget {
+                    t.fail(format!(
+                        "t: n={n} obs={obs_on} pred={pred_on} rep={rep}: {} of {budget} events \
+                         (stop {:?})",
+                        out.events(),
+                        out.stop
+                    ));
+                }
+                if obs_on && metrics.counter("events.total").get() != out.events() as u64 {
+                    t.fail(format!(
+                        "t: n={n} observer saw {} of {} commits",
+                        metrics.counter("events.total").get(),
+                        out.events()
+                    ));
+                }
+                if !warmup {
+                    samples.push((out.events_per_sec(), out.elapsed.as_secs_f64() * 1e3));
+                }
             }
-            if pred_on {
-                cfg = cfg.stop_when_stream(move || all_live_decided_stream(pi));
-            }
-            let out = run_threaded(&sys, &cfg);
-            if out.events() != budget {
-                t.fail(format!(
-                    "t: n={n} obs={obs_on} pred={pred_on}: {} of {budget} events (stop {:?})",
-                    out.events(),
-                    out.stop
-                ));
-            }
-            if obs_on && metrics.counter("events.total").get() != out.events() as u64 {
-                t.fail(format!(
-                    "t: n={n} observer saw {} of {} commits",
-                    metrics.counter("events.total").get(),
-                    out.events()
-                ));
-            }
-            let eps = out.events_per_sec();
-            let ms = out.elapsed.as_secs_f64() * 1e3;
+            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (eps, ms) = samples[samples.len() / 2];
             t.row(vec![
                 n.to_string(),
                 if obs_on { "on" } else { "off" }.into(),
                 if pred_on { "stream" } else { "off" }.into(),
-                out.events().to_string(),
+                budget.to_string(),
                 format!("{ms:.1}"),
                 format!("{eps:.0}"),
             ]);
@@ -904,7 +922,8 @@ fn table_t_throughput() -> Table {
                 ("n".into(), Json::Num(n as f64)),
                 ("observer".into(), Json::Bool(obs_on)),
                 ("predicate".into(), Json::Bool(pred_on)),
-                ("events".into(), Json::Num(out.events() as f64)),
+                ("events".into(), Json::Num(budget as f64)),
+                ("reps".into(), Json::Num(reps as f64)),
                 ("elapsed_ms".into(), Json::Num(ms)),
                 ("events_per_sec".into(), Json::Num(eps)),
             ]));
@@ -915,6 +934,10 @@ fn table_t_throughput() -> Table {
          but cannot fire on this system (nothing decides), so predicate-on rows isolate \
          its cost. Criterion benches over the same path: `cargo bench -p afd-bench`.",
     );
+    t.note(format!(
+        "Each grid cell is the median of {reps} measured run(s) after one discarded \
+         warmup run."
+    ));
 
     // Commit path in isolation: 8 producers, observer + stop predicate
     // on, streamed (incremental predicate) vs the pre-pipeline locked
@@ -1452,6 +1475,321 @@ fn table_v_rsm() -> Table {
     ]);
     if let Err(e) = std::fs::write("BENCH_rsm.json", doc.render() + "\n") {
         t.fail(format!("v: writing BENCH_rsm.json failed: {e}"));
+    }
+    t
+}
+
+/// Table W: where the time goes — afd-prof stage attribution for the
+/// threaded and distributed engines on the same A_self(Ω) workload,
+/// n ∈ {3, 8, 16}. Emits `BENCH_prof.json` (consumed by CI's
+/// bench-smoke job) and merged chrome://tracing timelines under
+/// `target/obs/` — for the distributed runs, one process lane per OS
+/// process (coordinator + every node), assembled from the Telemetry
+/// frames the nodes stream back over their command sockets.
+///
+/// Gate: at n = 16 the spans must attribute ≥ 80% of busy time
+/// (Σ span durations over Σ per-lane first-to-last windows) on both
+/// engines, and the dominant stage is named in the table and JSON.
+/// The threaded engine runs its hot-path configuration (fd pacing 0,
+/// as in Table T); the distributed engine runs its defaults (200 µs
+/// fd pacing, one node process per location, commits as TCP round
+/// trips), so the two columns answer different questions on purpose:
+/// "where does the engine spin" vs "what does distribution cost".
+fn table_w_prof() -> Table {
+    use afd_net::{run_distributed, DeploymentSpec, FdKindSpec, NetConfig};
+    use afd_runtime::{run_threaded, RuntimeConfig};
+    use std::time::Duration;
+
+    let smoke = std::env::var("SMOKE").is_ok();
+    let mut t = Table::new(
+        "w",
+        format!(
+            "Table W — afd-prof stage attribution: where the time goes (A_self(Ω){})",
+            if smoke { ", SMOKE" } else { "" }
+        ),
+    );
+    t.columns(&[
+        "engine",
+        "n",
+        "events",
+        "elapsed (ms)",
+        "spans",
+        "coverage %",
+        "dominant stage",
+        "top stages (% of busy time)",
+    ]);
+    let budget_threaded = if smoke { 2_000usize } else { 20_000 };
+    let budget_dist = if smoke { 1_000usize } else { 6_000 };
+    let node_exe = std::env::current_exe()
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if let Err(e) = std::fs::create_dir_all("target/obs") {
+        t.fail(format!("w: creating target/obs failed: {e}"));
+    }
+
+    // Non-zero stages, largest share of busy time first.
+    let attribution = |recs: &[afd_prof::Rec]| -> Vec<afd_prof::StageStat> {
+        let mut stats: Vec<afd_prof::StageStat> = afd_prof::stage_stats(recs)
+            .into_iter()
+            .filter(|s| s.count > 0)
+            .collect();
+        stats.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+        stats
+    };
+
+    let mut rows_json: Vec<Json> = Vec::new();
+    // (engine, n, dominant stage, coverage %) for the n = 16 gate.
+    let mut summary: Vec<(&'static str, usize, String, f64)> = Vec::new();
+    let emit_row = |t: &mut Table,
+                    rows_json: &mut Vec<Json>,
+                    summary: &mut Vec<(&'static str, usize, String, f64)>,
+                    engine: &'static str,
+                    n: usize,
+                    events: usize,
+                    elapsed_ms: f64,
+                    recs: &[afd_prof::Rec],
+                    cov: afd_prof::Coverage| {
+        let stats = attribution(recs);
+        let spans: u64 = stats.iter().map(|s| s.count).sum();
+        let wall = cov.wall_ns.max(1) as f64;
+        let dominant = stats
+            .first()
+            .map_or_else(|| "none".to_string(), |s| s.stage.name().to_string());
+        let top = stats
+            .iter()
+            .take(4)
+            .map(|s| {
+                format!(
+                    "{} {:.1}%",
+                    s.stage.name(),
+                    100.0 * s.total_ns as f64 / wall
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        t.row(vec![
+            engine.into(),
+            n.to_string(),
+            events.to_string(),
+            format!("{elapsed_ms:.1}"),
+            spans.to_string(),
+            format!("{:.1}", cov.pct()),
+            dominant.clone(),
+            top,
+        ]);
+        rows_json.push(Json::Obj(vec![
+            ("engine".into(), Json::Str(engine.into())),
+            ("n".into(), Json::Num(n as f64)),
+            ("events".into(), Json::Num(events as f64)),
+            ("elapsed_ms".into(), Json::Num(elapsed_ms)),
+            ("spans".into(), Json::Num(spans as f64)),
+            ("coverage_pct".into(), Json::Num(cov.pct())),
+            ("dominant_stage".into(), Json::Str(dominant.clone())),
+            (
+                "stages".into(),
+                Json::Arr(
+                    stats
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("stage".into(), Json::Str(s.stage.name().into())),
+                                ("count".into(), Json::Num(s.count as f64)),
+                                ("total_ns".into(), Json::Num(s.total_ns as f64)),
+                                (
+                                    "pct_of_busy".into(),
+                                    Json::Num(100.0 * s.total_ns as f64 / wall),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+        summary.push((engine, n, dominant, cov.pct()));
+    };
+
+    // Threaded: hot-path configuration (Table T's), profiler armed
+    // around the run, report drained from the in-process collector.
+    for n in [3usize, 8, 16] {
+        let pi = Pi::new(n);
+        let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
+        let cfg = RuntimeConfig::default()
+            .with_max_events(budget_threaded)
+            .with_fd_pacing(Duration::ZERO)
+            .with_wall_timeout(Duration::from_secs(60))
+            .with_seed(7);
+        afd_prof::reset();
+        afd_prof::enable();
+        let out = run_threaded(&sys, &cfg);
+        let report = afd_prof::take();
+        afd_prof::disable();
+        if out.events() != budget_threaded {
+            t.fail(format!(
+                "w: threaded n={n}: {} of {budget_threaded} events (stop {:?})",
+                out.events(),
+                out.stop
+            ));
+        }
+        let cov = afd_prof::coverage(&report);
+        emit_row(
+            &mut t,
+            &mut rows_json,
+            &mut summary,
+            "threaded",
+            n,
+            out.events(),
+            out.elapsed.as_secs_f64() * 1e3,
+            &report.recs,
+            cov,
+        );
+        // Timeline for the n = 8 run: at n = 16 the ~290 mostly-idle
+        // threads emit recv-wait spans by the hundred thousand, which
+        // is fine to aggregate but absurd to render.
+        if n == 8 {
+            let m = afd_prof::merge(vec![(0, "threaded".into(), report)]);
+            let path = "target/obs/prof_threaded_n8.chrome.json";
+            if let Err(e) = std::fs::write(path, afd_prof::chrome_merged(&m)) {
+                t.fail(format!("w: writing {path} failed: {e}"));
+            }
+        }
+    }
+
+    // Distributed: the coordinator arms its own collector and the
+    // node processes' via AFD_PROF in their spawn environment; each
+    // node streams Telemetry frames back and the coordinator merges
+    // everything into one timeline (report.telemetry).
+    for n in [3u8, 8, 16] {
+        let spec = DeploymentSpec::SelfImpl {
+            n,
+            fd: FdKindSpec::Omega,
+        };
+        let ncfg = NetConfig::new(vec![node_exe.clone()], u32::from(n))
+            .with_max_events(budget_dist)
+            .with_seed(21)
+            .with_deadlines(Duration::from_secs(10), Duration::from_secs(120))
+            .with_profiling(true);
+        let report = match run_distributed(&spec, &ncfg) {
+            Ok(r) => r,
+            Err(e) => {
+                t.fail(format!("w: distributed n={n} run failed: {e}"));
+                continue;
+            }
+        };
+        for c in &report.checks {
+            if let Err(e) = &c.verdict {
+                t.fail(format!("w: distributed n={n} check {} failed: {e}", c.name));
+            }
+        }
+        let Some(m) = report.telemetry else {
+            t.fail(format!("w: distributed n={n}: no telemetry in report"));
+            continue;
+        };
+        if m.procs.len() != usize::from(n) + 1 {
+            t.fail(format!(
+                "w: distributed n={n}: {} telemetry streams, want {} (coordinator + one \
+                 per node process)",
+                m.procs.len(),
+                usize::from(n) + 1
+            ));
+        }
+        let recs: Vec<afd_prof::Rec> = m.recs.iter().map(|(_, r)| *r).collect();
+        let cov = afd_prof::coverage_merged(&m);
+        emit_row(
+            &mut t,
+            &mut rows_json,
+            &mut summary,
+            "distributed",
+            usize::from(n),
+            report.events,
+            report.elapsed.as_secs_f64() * 1e3,
+            &recs,
+            cov,
+        );
+        let path = format!("target/obs/prof_distributed_n{n}.chrome.json");
+        if let Err(e) = std::fs::write(&path, afd_prof::chrome_merged(&m)) {
+            t.fail(format!("w: writing {path} failed: {e}"));
+        }
+        if n == 16 {
+            // Per-commit cost decomposition across the wire: mean µs
+            // per span on the stages one commit round trip crosses.
+            let st = afd_prof::stage_stats(&recs);
+            let mean_us = |s: afd_prof::Stage| {
+                let x = st[s as usize];
+                if x.count == 0 {
+                    0.0
+                } else {
+                    x.total_ns as f64 / x.count as f64 / 1e3
+                }
+            };
+            t.note(format!(
+                "Per-commit breakdown at n=16 (mean µs per span): encode \
+                 {:.1} → socket write {:.1} → coordinator recv-wait … sink commit \
+                 (lock wait {:.1}, lock hold {:.1}) → route fan-out {:.1} → response \
+                 queue {:.1} → ack wait (node, full round trip remainder) {:.1}.",
+                mean_us(afd_prof::Stage::NetEncode),
+                mean_us(afd_prof::Stage::NetSocket),
+                mean_us(afd_prof::Stage::CommitWait),
+                mean_us(afd_prof::Stage::LockHold),
+                mean_us(afd_prof::Stage::SinkCommit),
+                mean_us(afd_prof::Stage::CoordQueue),
+                mean_us(afd_prof::Stage::NetAckWait),
+            ));
+        }
+    }
+    afd_prof::disable();
+    afd_prof::reset();
+
+    // The n = 16 gate: the profile must explain ≥ 80% of busy time
+    // and name the dominant stage on both engines.
+    let required = 80.0;
+    let mut n16_json: Vec<(String, Json)> = Vec::new();
+    for engine in ["threaded", "distributed"] {
+        match summary.iter().find(|(e, n, _, _)| *e == engine && *n == 16) {
+            Some((_, _, stage, cov)) => {
+                if *cov < required {
+                    t.fail(format!(
+                        "w: {engine} n=16 coverage {cov:.1}% < {required}% — spans do not \
+                         explain where the time goes"
+                    ));
+                }
+                t.note(format!(
+                    "n=16 {engine}: {cov:.1}% of busy time attributed; dominant stage \
+                     **{stage}**."
+                ));
+                n16_json.push((
+                    engine.into(),
+                    Json::Obj(vec![
+                        ("dominant_stage".into(), Json::Str(stage.clone())),
+                        ("coverage_pct".into(), Json::Num(*cov)),
+                    ]),
+                ));
+            }
+            None => t.fail(format!("w: no n=16 row for the {engine} engine")),
+        }
+    }
+    t.note(
+        "Coverage = Σ span durations / Σ per-lane (first span start → last span end) \
+         windows, per OS thread, per process. Merged timelines: \
+         `target/obs/prof_threaded_n8.chrome.json` and \
+         `target/obs/prof_distributed_n{3,8,16}.chrome.json` — load in \
+         chrome://tracing or https://ui.perfetto.dev; one process lane per OS process. \
+         Profiler cost: `cargo bench -p afd-bench --bench prof_overhead`.",
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("prof-stage-attribution".into())),
+        (
+            "generated_by".into(),
+            Json::Str("experiments w (afd-repro)".into()),
+        ),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("required_min_coverage_pct".into(), Json::Num(required)),
+        ("rows".into(), Json::Arr(rows_json)),
+        ("n16".into(), Json::Obj(n16_json)),
+        ("pass".into(), Json::Bool(t.failures.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_prof.json", doc.render() + "\n") {
+        t.fail(format!("w: writing BENCH_prof.json failed: {e}"));
     }
     t
 }

@@ -7,7 +7,7 @@
 
 use afd_core::{Action, Ballot, FdOutput, Frame, Loc, LocSet, Msg};
 use afd_net::codec::{
-    decode_action, decode_msg, encode_action, read_frame, write_frame, DecodeError,
+    decode_action, decode_msg, encode_action, encode_msg, read_frame, write_frame, DecodeError,
 };
 use afd_net::{CommitStatus, DeploymentSpec, FdKindSpec, WireMsg};
 use proptest::prelude::*;
@@ -134,6 +134,39 @@ fn rframe(rng: &mut StdRng) -> Frame {
         Frame::Ack {
             cum: rng.gen_range(0u32..u32::MAX),
         }
+    }
+}
+
+/// A random Telemetry frame: a lane directory (unicode names included)
+/// plus a batch of span/gauge records with boundary timestamps.
+fn rtelemetry(rng: &mut StdRng) -> WireMsg {
+    let n_lanes = rng.gen_range(0usize..4);
+    let lanes: Vec<(u32, String)> = (0..n_lanes)
+        .map(|i| {
+            (
+                rng.gen_range(0u32..u32::MAX),
+                format!("lane-{i}-Π{}", rng.gen_range(0u32..100)),
+            )
+        })
+        .collect();
+    let n_recs = rng.gen_range(0usize..32);
+    let recs: Vec<afd_prof::Rec> = (0..n_recs)
+        .map(|_| afd_prof::Rec {
+            kind: if rng.gen_range(0u32..2) == 0 {
+                afd_prof::REC_SPAN
+            } else {
+                afd_prof::REC_GAUGE
+            },
+            id: rng.gen_range(0u64..256) as u8,
+            lane: rng.gen_range(0u32..u32::MAX),
+            t_ns: rval(rng),
+            v: rval(rng),
+        })
+        .collect();
+    WireMsg::Telemetry {
+        node: rng.gen_range(0u32..u32::MAX),
+        lanes,
+        recs,
     }
 }
 
@@ -288,6 +321,7 @@ proptest! {
             WireMsg::Stop {
                 reason: "stop reason with unicode: Π ◇P".into(),
             },
+            rtelemetry(&mut rng),
         ];
         let mut wire = Vec::new();
         for m in &msgs {
@@ -299,6 +333,32 @@ proptest! {
             prop_assert_eq!(format!("{got:?}"), format!("{m:?}"));
         }
         prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    /// Telemetry frames round-trip byte-for-byte, and every strict
+    /// prefix of an encoding decodes to a typed error, never a panic
+    /// or a silent partial batch.
+    #[test]
+    fn telemetry_roundtrip_and_truncation(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let m = rtelemetry(&mut rng);
+            let bytes = encode_msg(&m);
+            let back = decode_msg(&bytes).expect("decode own encoding");
+            prop_assert_eq!(format!("{back:?}"), format!("{m:?}"));
+            prop_assert_eq!(encode_msg(&back), bytes.clone());
+            for cut in 0..bytes.len() {
+                match decode_msg(&bytes[..cut]) {
+                    Err(
+                        DecodeError::Truncated { .. }
+                        | DecodeError::BadTag { .. }
+                        | DecodeError::Trailing { .. },
+                    ) => {}
+                    Err(e) => panic!("unexpected decode error on prefix: {e}"),
+                    Ok(other) => panic!("prefix of {m:?} decoded as {other:?}"),
+                }
+            }
+        }
     }
 }
 

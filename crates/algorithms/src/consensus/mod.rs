@@ -71,16 +71,22 @@ pub fn all_live_decided(pi: Pi, schedule: &[Action]) -> bool {
 /// assert!(pred(&Action::Decide { at: Loc(1), v: 1 }));
 /// ```
 ///
-/// The predicate is monotone in the same sense as the batch form: a
-/// `Crash` can only shrink the set of locations that still owe a
-/// decision, and a `Decide` can only grow the satisfied set, so once
-/// it returns `true` it holds for every extension of the schedule.
+/// On crash-stop traces the predicate is monotone in the same sense as
+/// the batch form: a `Crash` can only shrink the set of locations that
+/// still owe a decision, and a `Decide` can only grow the satisfied
+/// set, so once it returns `true` it holds for every extension of the
+/// schedule. Under crash-recovery a `Recover` re-adds the location to
+/// the must-decide set — but `decided` stays sticky (the rejoin replay
+/// restores durable state, so a pre-crash decision survives), which is
+/// exactly the ConsensusStream termination obligation: every location
+/// that is live at the end must have decided at some point.
 pub fn all_live_decided_stream(pi: Pi) -> Box<dyn FnMut(&Action) -> bool + Send> {
     let mut crashed = afd_core::LocSet::empty();
     let mut decided = afd_core::LocSet::empty();
     Box::new(move |a: &Action| {
         match a {
             Action::Crash(l) => crashed.insert(*l),
+            Action::Recover(l) => crashed.remove(*l),
             Action::Decide { at, .. } => decided.insert(*at),
             _ => return false, // satisfaction can't change; skip the scan
         }

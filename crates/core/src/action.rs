@@ -158,6 +158,11 @@ pub enum Action {
         /// The frame.
         frame: Frame,
     },
+    /// `recover_i` — the crash-recovery extension of Î: the location
+    /// rejoins the computation with a fresh incarnation. Dual of
+    /// [`Action::Crash`]: it closes the down interval a crash opened,
+    /// re-arming liveness obligations that were excused while down.
+    Recover(Loc),
 }
 
 impl Action {
@@ -165,7 +170,7 @@ impl Action {
     #[must_use]
     pub fn loc(&self) -> Loc {
         match *self {
-            Action::Crash(l) => l,
+            Action::Crash(l) | Action::Recover(l) => l,
             Action::Send { from, .. } | Action::WireSend { from, .. } => from,
             Action::Receive { to, .. } | Action::WireRecv { to, .. } => to,
             Action::Fd { at, .. }
@@ -196,6 +201,21 @@ impl Action {
     pub fn crash_loc(&self) -> Option<Loc> {
         match *self {
             Action::Crash(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True iff this is a recovery action.
+    #[must_use]
+    pub fn is_recover(&self) -> bool {
+        matches!(self, Action::Recover(_))
+    }
+
+    /// The recovered location, if this is a recovery action.
+    #[must_use]
+    pub fn recover_loc(&self) -> Option<Loc> {
+        match *self {
+            Action::Recover(l) => Some(l),
             _ => None,
         }
     }
@@ -232,6 +252,7 @@ impl Action {
         match *self {
             Action::Fd { at, out } => Some(Action::FdRenamed { at, out }),
             Action::Crash(l) => Some(Action::Crash(l)),
+            Action::Recover(l) => Some(Action::Recover(l)),
             _ => None,
         }
     }
@@ -242,6 +263,7 @@ impl Action {
         match *self {
             Action::FdRenamed { at, out } => Some(Action::Fd { at, out }),
             Action::Crash(l) => Some(Action::Crash(l)),
+            Action::Recover(l) => Some(Action::Recover(l)),
             _ => None,
         }
     }
@@ -270,6 +292,7 @@ impl Action {
             Action::Internal { .. } => "internal",
             Action::WireSend { .. } => "wire_send",
             Action::WireRecv { .. } => "wire_recv",
+            Action::Recover(_) => "recover",
         }
     }
 
@@ -346,6 +369,7 @@ impl std::fmt::Display for Action {
             Action::Internal { at, tag } => write!(f, "internal#{tag}_{at}"),
             Action::WireSend { from, to, frame } => write!(f, "wsend({frame},{to})_{from}"),
             Action::WireRecv { from, to, frame } => write!(f, "wrecv({frame},{from})_{to}"),
+            Action::Recover(l) => write!(f, "recover_{l}"),
         }
     }
 }
@@ -470,6 +494,23 @@ mod tests {
         assert_eq!(wr.loc(), Loc(2), "wire receive occurs at the receiver");
         assert_eq!(wr.frame(), Some(Frame::Ack { cum: 4 }));
         assert!(wr.to_string().contains("A#4"));
+    }
+
+    #[test]
+    fn recover_predicates_and_renaming() {
+        let r = Action::Recover(Loc(2));
+        assert!(r.is_recover());
+        assert!(!r.is_crash());
+        assert_eq!(r.recover_loc(), Some(Loc(2)));
+        assert_eq!(r.crash_loc(), None);
+        assert_eq!(r.loc(), Loc(2));
+        assert_eq!(r.kind_name(), "recover");
+        assert_eq!(r.to_string(), "recover_p2");
+        // Like crashes, recoveries are fixed points of the renaming
+        // bijection: they live in the environment alphabet, not O_D.
+        assert_eq!(r.rename_fd(), Some(r));
+        assert_eq!(r.unrename_fd(), Some(r));
+        assert_eq!(Action::Crash(Loc(2)).recover_loc(), None);
     }
 
     #[test]

@@ -33,12 +33,18 @@ impl Perfect {
     pub fn stream(pi: Pi) -> PerfectStream {
         PerfectStream {
             fold: FdFold::new(pi),
+            ever_crashed: LocSet::empty(),
             accuracy: None,
         }
     }
 
     /// Exact check of perpetual strong accuracy: every suspect set at
     /// index `k` must be a subset of the locations crashed before `k`.
+    ///
+    /// In crash-recovery runs the judgement set is *ever-crashed*, not
+    /// currently-down: a location that crashed at least once may
+    /// legally remain suspected through the rejoin transient ("no
+    /// process is suspected before it crashes" is still exact).
     ///
     /// # Errors
     /// A `perfect.accuracy` violation naming the offending event.
@@ -74,6 +80,11 @@ fn accuracy_violation(a: &Action, k: usize, crashed: LocSet) -> Option<Violation
 #[derive(Debug, Clone)]
 pub struct PerfectStream {
     fold: FdFold,
+    /// Locations that crashed at least once — the accuracy judgement
+    /// set. Unlike `fold.crashed` this never shrinks on `Recover`:
+    /// suspecting a recovered location through the rejoin transient is
+    /// not an accuracy violation (it did crash).
+    ever_crashed: LocSet,
     /// First accuracy violation, captured at push time (the suspect
     /// set must be judged against the crashed set *of that moment*).
     accuracy: Option<Violation>,
@@ -99,8 +110,11 @@ impl StreamChecker for PerfectStream {
     type Verdict = Result<(), Violation>;
 
     fn push(&mut self, a: &Action) {
+        if let Some(l) = a.crash_loc() {
+            self.ever_crashed.insert(l);
+        }
         if self.accuracy.is_none() {
-            if let Some(v) = accuracy_violation(a, self.fold.k, self.fold.crashed) {
+            if let Some(v) = accuracy_violation(a, self.fold.k, self.ever_crashed) {
                 self.accuracy = Some(v);
             }
         }
@@ -241,6 +255,30 @@ mod tests {
             closure::reordering_counterexample(&Perfect, pi, &t, 60, 3),
             None
         );
+    }
+
+    #[test]
+    fn recovered_location_may_stay_suspected_but_must_not_be_presuspected() {
+        let pi = Pi::new(2);
+        // Crash → recover → stale suspicion of the recovered p1: the
+        // ever-crashed accuracy set admits it, and completeness is
+        // re-armed against the (now empty) currently-down set.
+        let t = vec![
+            sus(0, &[]),
+            sus(1, &[]),
+            Action::Crash(Loc(1)),
+            sus(0, &[1]),
+            Action::Recover(Loc(1)),
+            sus(0, &[1]),
+            sus(0, &[]),
+            sus(1, &[]),
+        ];
+        assert!(Perfect.check_complete(pi, &t).is_ok());
+        // But a location that never crashed still must not be suspected
+        // — a stray Recover does not grant suspicion rights.
+        let bad = vec![Action::Recover(Loc(1)), sus(0, &[1]), sus(1, &[])];
+        let err = Perfect.check_complete(pi, &bad).unwrap_err();
+        assert_eq!(err.rule, "perfect.accuracy");
     }
 
     #[test]

@@ -289,7 +289,7 @@ impl Automaton for FdGen {
 
     fn classify(&self, a: &Action) -> Option<ActionClass> {
         match (&self.behavior, a) {
-            (_, Action::Crash(_)) => Some(ActionClass::Input),
+            (_, Action::Crash(_) | Action::Recover(_)) => Some(ActionClass::Input),
             (FdBehavior::Participant, Action::Query { .. }) => Some(ActionClass::Input),
             (FdBehavior::Participant, Action::QueryReply { .. }) => Some(ActionClass::Output),
             (FdBehavior::Participant, _) => None,
@@ -319,6 +319,14 @@ impl Automaton for FdGen {
             Action::Crash(l) => {
                 let mut next = s.clone();
                 next.crashset.insert(*l);
+                Some(next)
+            }
+            Action::Recover(l) => {
+                // The recovered location is up again: outputs resume
+                // there and the canonical behaviors stop reflecting it
+                // as crashed (P un-suspects it, Ω may re-elect it).
+                let mut next = s.clone();
+                next.crashset.remove(*l);
                 Some(next)
             }
             Action::Query { at } if self.behavior == FdBehavior::Participant => {

@@ -196,6 +196,7 @@ impl Consensus {
             f: self.f,
             k: 0,
             crashed: LocSet::empty(),
+            ever_crashed: LocSet::empty(),
             proposed: vec![0; pi.len()],
             proposed_vals: Vec::new(),
             decided: vec![0; pi.len()],
@@ -224,7 +225,14 @@ pub struct ConsensusStream {
     pi: Pi,
     f: usize,
     k: usize,
+    /// Currently-down locations: grows on `Crash`, shrinks on
+    /// `Recover`. Decide/propose are judged against this set, so a
+    /// recovered incarnation may legally decide.
     crashed: LocSet,
+    /// Locations that crashed at least once — the f-crash-limitation
+    /// antecedent counts distinct ever-crashed locations, matching the
+    /// crash-stop reading byte for byte on recovery-free runs.
+    ever_crashed: LocSet,
     proposed: Vec<usize>,
     /// Distinct proposed values, in first-proposal order.
     proposed_vals: Vec<Val>,
@@ -248,7 +256,11 @@ impl StreamChecker for ConsensusStream {
         let k = self.k;
         self.k += 1;
         match a {
-            Action::Crash(l) => self.crashed.insert(*l),
+            Action::Crash(l) => {
+                self.crashed.insert(*l);
+                self.ever_crashed.insert(*l);
+            }
+            Action::Recover(l) => self.crashed.remove(*l),
             Action::Propose { at, v } => {
                 self.proposed[at.index()] += 1;
                 if self.env.is_none() {
@@ -307,7 +319,7 @@ impl StreamChecker for ConsensusStream {
         // A violated antecedent means vacuous membership.
         let live = self.pi.all().difference(self.crashed);
         let env_ok = self.env.is_none() && live.iter().all(|i| self.proposed[i.index()] > 0);
-        if !env_ok || self.crashed.len() > self.f {
+        if !env_ok || self.ever_crashed.len() > self.f {
             return Ok(());
         }
         if let Some(v) = &self.crash_validity {

@@ -97,6 +97,12 @@ impl FdFold {
     pub fn push(&mut self, a: &Action, out: Option<(Loc, FdOutput)>) {
         if let Some(l) = a.crash_loc() {
             self.crashed.insert(l);
+        } else if let Some(l) = a.recover_loc() {
+            // Crash-recovery semantics: the down interval ends, the
+            // location is live again and its liveness obligations
+            // re-arm. Outputs produced *while down* stay violations;
+            // output counts accumulate across incarnations.
+            self.crashed.remove(l);
         } else if let Some((i, v)) = out {
             self.counts[i.index()] += 1;
             if self.crashed.contains(i) && self.safety.is_none() {
@@ -311,6 +317,32 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.rule, "eventually.violated");
         assert!(err.detail.contains("index 1"));
+    }
+
+    #[test]
+    fn recover_rearms_liveness_and_keeps_down_safety() {
+        let pi = Pi::new(2);
+        let mut f = FdFold::new(pi);
+        for a in [fd(0, 0), fd(1, 0), Action::Crash(Loc(1))] {
+            let out = leader_out(&a);
+            f.push(&a, out);
+        }
+        assert_eq!(f.live(), LocSet::singleton(Loc(0)));
+        let rec = Action::Recover(Loc(1));
+        f.push(&rec, None);
+        // The down interval is over: p1 is live again and may output.
+        assert_eq!(f.live(), pi.all());
+        let out = leader_out(&fd(1, 0));
+        f.push(&fd(1, 0), out);
+        assert!(f.validity(1).safety.is_ok());
+        assert_eq!(f.counts, vec![1, 2]);
+        // An output committed *while down* stays a safety violation.
+        let mut g = FdFold::new(pi);
+        for a in [Action::Crash(Loc(1)), fd(1, 0), Action::Recover(Loc(1))] {
+            let out = leader_out(&a);
+            g.push(&a, out);
+        }
+        assert_eq!(g.validity(1).safety.unwrap_err().rule, "validity.safety");
     }
 
     #[test]

@@ -38,13 +38,17 @@ impl std::fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
-/// `faulty(t)`: the locations at which a crash event occurs in `t`.
+/// `faulty(t)`: the locations *down at the end of `t`* — crashed with
+/// no later `Recover`. On crash-stop traces (no recovery events) this
+/// is exactly the classic "locations with a crash event in `t`".
 #[must_use]
 pub fn faulty(t: &[Action]) -> LocSet {
     let mut s = LocSet::empty();
     for a in t {
         if let Some(l) = a.crash_loc() {
             s.insert(l);
+        } else if let Some(l) = a.recover_loc() {
+            s.remove(l);
         }
     }
     s

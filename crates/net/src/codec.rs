@@ -158,6 +158,36 @@ pub enum WireMsg {
         /// The profiler records, in the node's flush order.
         recs: Vec<afd_prof::Rec>,
     },
+    /// Node → coordinator, first message of a *respawned* node: the
+    /// crash-recovery variant of [`WireMsg::Hello`], carrying the new
+    /// incarnation epoch (1 for the first respawn, monotone per node).
+    Rejoin {
+        /// The node id given at spawn time (`AFD_NET_NODE_ID`).
+        node: u32,
+        /// Incarnation epoch (`AFD_NET_EPOCH`).
+        epoch: u32,
+    },
+    /// Coordinator → node: the crash-recovery variant of
+    /// [`WireMsg::Assign`]. Carries everything a fresh assignment does
+    /// plus the length of the committed schedule prefix the coordinator
+    /// will stream as replay [`WireMsg::Deliver`] frames before any
+    /// live traffic.
+    RejoinAck {
+        /// Echo of the node id.
+        node: u32,
+        /// Echo of the incarnation epoch.
+        epoch: u32,
+        /// What system to build (both sides build it identically).
+        spec: DeploymentSpec,
+        /// The locations this node hosts.
+        locations: Vec<Loc>,
+        /// The run seed.
+        seed: u64,
+        /// Microseconds a worker sleeps before committing a `WireSend`.
+        wire_pacing_us: u64,
+        /// Committed schedule prefix length to be replayed.
+        replay_len: u64,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -439,6 +469,10 @@ pub fn put_action(buf: &mut Vec<u8>, a: &Action) {
             put_loc(buf, to);
             put_frame(buf, &frame);
         }
+        Action::Recover(l) => {
+            put_u8(buf, 19);
+            put_loc(buf, l);
+        }
     }
 }
 
@@ -557,6 +591,32 @@ pub fn encode_msg(m: &WireMsg) -> Vec<u8> {
                 put_u64(&mut buf, r.t_ns);
                 put_u64(&mut buf, r.v);
             }
+        }
+        WireMsg::Rejoin { node, epoch } => {
+            put_u8(&mut buf, 7);
+            put_u32(&mut buf, *node);
+            put_u32(&mut buf, *epoch);
+        }
+        WireMsg::RejoinAck {
+            node,
+            epoch,
+            spec,
+            locations,
+            seed,
+            wire_pacing_us,
+            replay_len,
+        } => {
+            put_u8(&mut buf, 8);
+            put_u32(&mut buf, *node);
+            put_u32(&mut buf, *epoch);
+            put_spec(&mut buf, spec);
+            put_u32(&mut buf, locations.len() as u32);
+            for l in locations {
+                put_loc(&mut buf, *l);
+            }
+            put_u64(&mut buf, *seed);
+            put_u64(&mut buf, *wire_pacing_us);
+            put_u64(&mut buf, *replay_len);
         }
     }
     buf
@@ -849,6 +909,7 @@ impl<'a> Dec<'a> {
                 to: self.loc()?,
                 frame: self.frame()?,
             }),
+            19 => Ok(Action::Recover(self.loc()?)),
             tag => Err(DecodeError::BadTag {
                 what: "Action",
                 tag,
@@ -962,6 +1023,29 @@ impl<'a> Dec<'a> {
                     });
                 }
                 Ok(WireMsg::Telemetry { node, lanes, recs })
+            }
+            7 => Ok(WireMsg::Rejoin {
+                node: self.u32("WireMsg.node")?,
+                epoch: self.u32("Rejoin.epoch")?,
+            }),
+            8 => {
+                let node = self.u32("WireMsg.node")?;
+                let epoch = self.u32("RejoinAck.epoch")?;
+                let spec = self.spec()?;
+                let len = self.seq_len("RejoinAck.locations")?;
+                let mut locations = Vec::with_capacity(len.min(256));
+                for _ in 0..len {
+                    locations.push(self.loc()?);
+                }
+                Ok(WireMsg::RejoinAck {
+                    node,
+                    epoch,
+                    spec,
+                    locations,
+                    seed: self.u64("RejoinAck.seed")?,
+                    wire_pacing_us: self.u64("RejoinAck.wire_pacing_us")?,
+                    replay_len: self.u64("RejoinAck.replay_len")?,
+                })
             }
             tag => Err(DecodeError::BadTag {
                 what: "WireMsg",
@@ -1144,5 +1228,62 @@ mod tests {
         // And the stream is now at a clean EOF.
         let mut rest = &buf[buf.len()..];
         assert_eq!(read_frame(&mut rest).unwrap(), None);
+    }
+
+    #[test]
+    fn recover_action_roundtrip() {
+        let a = Action::Recover(Loc(200));
+        assert_eq!(decode_action(&encode_action(&a)), Ok(a));
+        let bytes = encode_action(&a);
+        assert!(matches!(
+            decode_action(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejoin_handshake_roundtrips_through_frames() {
+        let mut buf = Vec::new();
+        let rejoin = WireMsg::Rejoin { node: 2, epoch: 3 };
+        let ack = WireMsg::RejoinAck {
+            node: 2,
+            epoch: 3,
+            spec: DeploymentSpec::Paxos {
+                n: 5,
+                values: vec![10, 20],
+            },
+            locations: vec![Loc(2), Loc(7)],
+            seed: 0xDEAD_BEEF,
+            wire_pacing_us: 50,
+            replay_len: 1234,
+        };
+        write_frame(&mut buf, &rejoin).unwrap();
+        write_frame(&mut buf, &ack).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(rejoin));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(ack));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn rejoin_ack_truncation_is_typed() {
+        let bytes = encode_msg(&WireMsg::RejoinAck {
+            node: 0,
+            epoch: 1,
+            spec: DeploymentSpec::SelfImpl {
+                n: 3,
+                fd: FdKindSpec::Omega,
+            },
+            locations: vec![Loc(0)],
+            seed: 9,
+            wire_pacing_us: 0,
+            replay_len: 77,
+        });
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                decode_msg(&bytes[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
     }
 }

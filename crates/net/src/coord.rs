@@ -26,13 +26,13 @@
 use std::io::Read as _;
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use afd_core::{Action, Loc, Pi, Stamped};
+use afd_core::{Action, FdOutput, Loc, LocSet, Pi, Stamped};
 use afd_obs::Observer;
 use afd_runtime::{
     chaos_plan_jsonl, ChaosReport, Commit, EventSink, LinkFaults, Partition, RuntimeConfig,
@@ -108,6 +108,64 @@ impl NetFault {
     }
 }
 
+/// SplitMix64: the respawn-jitter generator. A pure function of its
+/// seed, so the respawn schedule is deterministic per `(seed, node,
+/// attempt)` and byte-identical across same-seed runs.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Crash-recovery policy: when set on [`NetConfig`], a node process
+/// that dies (Kill fault or containment) is respawned after a bounded
+/// exponentially backed-off delay and rejoined into the run with a
+/// fresh incarnation epoch. When `None` (the default) the runtime
+/// keeps its crash-stop semantics byte for byte.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Base delay before the first respawn attempt.
+    pub respawn_delay: Duration,
+    /// Cap on the backed-off (and jittered) respawn delay.
+    pub max_delay: Duration,
+    /// Maximum respawns per node; once exhausted the node degrades to
+    /// permanent-crash semantics.
+    pub max_respawns: u32,
+    /// Deadline from respawn to rejoin-attached; a breach abandons the
+    /// incarnation (recorded in the report, surfaced by experiments).
+    pub rejoin_budget: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            respawn_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+            max_respawns: 2,
+            rejoin_budget: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The deterministic respawn delay for `attempt` (0-based) of
+    /// `node` under `seed`: exponential backoff doubling from
+    /// [`RecoveryPolicy::respawn_delay`], plus up to +25% seeded
+    /// jitter, capped at [`RecoveryPolicy::max_delay`].
+    #[must_use]
+    pub fn delay_for(&self, seed: u64, node: u32, attempt: u32) -> Duration {
+        let base = self
+            .respawn_delay
+            .saturating_mul(1u32 << attempt.min(10))
+            .min(self.max_delay);
+        let r = splitmix64(seed ^ (u64::from(node) << 32) ^ u64::from(attempt));
+        let quarter = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX) / 4;
+        let jitter = Duration::from_nanos(quarter.saturating_mul(r % 1024) / 1024);
+        base.saturating_add(jitter).min(self.max_delay)
+    }
+}
+
 /// Configuration of a distributed run.
 #[derive(Clone)]
 pub struct NetConfig {
@@ -147,6 +205,10 @@ pub struct NetConfig {
     /// collects the nodes' Telemetry streams, and attaches the merged
     /// multi-process timeline to the report.
     pub profiling: bool,
+    /// Crash-recovery policy. `None` (default) preserves crash-stop
+    /// semantics exactly; `Some` respawns killed nodes and rejoins
+    /// them with fresh incarnation epochs.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl NetConfig {
@@ -169,7 +231,15 @@ impl NetConfig {
             handshake_timeout: Duration::from_secs(20),
             plan_arrivals: 32,
             profiling: false,
+            recovery: None,
         }
+    }
+
+    /// Enable crash recovery with `policy`.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
     }
 
     /// Enable or disable cross-process profiling for the run.
@@ -245,8 +315,74 @@ pub struct NodeSummary {
     /// `true` if the coordinator SIGKILLed it (or its socket died and
     /// containment crashed it).
     pub killed: bool,
-    /// Commits accepted from this node's workers.
+    /// Commits accepted from this node's workers (all incarnations).
     pub commits: u64,
+    /// Respawn attempts consumed by the recovery plane (0 when
+    /// recovery is off or the node never died).
+    pub respawns: u32,
+}
+
+/// Recovery QoS for one incarnation of one node: the timeline from the
+/// death of the previous incarnation to this one's `Recover` commits.
+/// All instants are wall-clock offsets from the start of the run.
+#[derive(Debug, Clone)]
+pub struct Incarnation {
+    /// The node that was respawned.
+    pub node: u32,
+    /// The incarnation epoch (1 for the first respawn).
+    pub epoch: u32,
+    /// Locations the node hosts.
+    pub locations: Vec<Loc>,
+    /// When the previous incarnation was observed dead.
+    pub killed_at: Duration,
+    /// When the child process for this incarnation was spawned.
+    pub respawned_at: Option<Duration>,
+    /// When the rejoin handshake + replay completed and the node went
+    /// live again.
+    pub rejoined_at: Option<Duration>,
+    /// Committed schedule prefix length replayed to the node.
+    pub replay_len: usize,
+    /// Schedule index of the first `Recover` committed for this
+    /// incarnation's locations.
+    pub recover_seq: Option<usize>,
+    /// Events from `recover_seq` to the next Ω leader output naming a
+    /// then-live leader — the post-recovery re-election latency in
+    /// logical time. `None` when the run ended first (or the
+    /// deployment has no Ω).
+    pub reelect_events: Option<usize>,
+    /// `false` if the incarnation missed its rejoin budget or died
+    /// before attaching.
+    pub rejoin_ok: bool,
+}
+
+impl Incarnation {
+    /// Respawn-to-rejoin wall time, when the incarnation attached.
+    #[must_use]
+    pub fn respawn_to_rejoin(&self) -> Option<Duration> {
+        Some(self.rejoined_at?.saturating_sub(self.respawned_at?))
+    }
+
+    /// Kill-to-rejoin wall time (detection + backoff + respawn +
+    /// replay), when the incarnation attached.
+    #[must_use]
+    pub fn downtime(&self) -> Option<Duration> {
+        Some(self.rejoined_at?.saturating_sub(self.killed_at))
+    }
+}
+
+/// Everything the recovery plane did during a run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// One record per respawn attempt, in schedule order.
+    pub incarnations: Vec<Incarnation>,
+}
+
+impl RecoveryReport {
+    /// Did every attempted incarnation rejoin within budget?
+    #[must_use]
+    pub fn all_rejoined(&self) -> bool {
+        self.incarnations.iter().all(|i| i.rejoin_ok)
+    }
 }
 
 /// Everything a distributed run produced.
@@ -271,6 +407,8 @@ pub struct NetReport {
     /// The merged multi-process profile (coordinator pid 0, node `i`
     /// as pid `i + 1`), present when [`NetConfig::profiling`] was on.
     pub telemetry: Option<afd_prof::Merged>,
+    /// Recovery QoS, present when [`NetConfig::recovery`] was set.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl NetReport {
@@ -490,9 +628,15 @@ where
 }
 
 /// The observer that feeds every online checker, in schedule order,
-/// from the sink's in-order drain.
+/// from the sink's in-order drain — and, when recovery is on, mirrors
+/// the same in-order, exactly-once event stream into the recovery
+/// forwarder's channel. That drain is the only place in the runtime
+/// with dense, exactly-once sequencing, which is what makes the
+/// rejoin replay boundary gap- and duplicate-free.
 struct OnlineChecks {
     checks: Mutex<Vec<(String, Box<dyn DynCheck>)>>,
+    /// Recovery-forwarder feed (present iff recovery is enabled).
+    forward: Option<Mutex<Sender<Stamped>>>,
 }
 
 impl Observer for OnlineChecks {
@@ -503,6 +647,195 @@ impl Observer for OnlineChecks {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (_, c) in g.iter_mut() {
             c.push(&ev.action);
+        }
+        drop(g);
+        if let Some(tx) = &self.forward {
+            let _ = tx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .send(ev);
+        }
+    }
+}
+
+/// A pending respawn: `node`'s next incarnation is due at `due`.
+struct RespawnJob {
+    node: usize,
+    epoch: u32,
+    due: Instant,
+}
+
+/// A rejoined connection waiting for the forwarder to attach it at an
+/// exact schedule boundary.
+struct AttachReq {
+    node: usize,
+    epoch: u32,
+    stream: TcpStream,
+}
+
+/// Shared state of the recovery plane. Respawner, forwarder, injector
+/// and reader threads coordinate through this one mutex; the forwarder
+/// is the only writer of `live[nid] = true`, and `take_down` is the
+/// single point that claims a recovered incarnation's death (so
+/// containment runs exactly once per death, whoever observes it).
+struct PlaneState {
+    /// Recovered-and-attached nodes (routing goes via the forwarder).
+    live: Vec<bool>,
+    /// Respawn attempts consumed per node.
+    respawns: Vec<u32>,
+    /// Pending respawns, unordered (the respawner picks the earliest).
+    jobs: Vec<RespawnJob>,
+    /// Rejoined connections awaiting attach.
+    attach: Vec<AttachReq>,
+    /// QoS timeline, one record per respawn attempt.
+    qos: Vec<Incarnation>,
+}
+
+/// The coordinator's crash-recovery plane (present iff
+/// [`NetConfig::recovery`] is set).
+struct RecoveryPlane {
+    policy: RecoveryPolicy,
+    seed: u64,
+    /// Run epoch zero: all QoS offsets are relative to this.
+    t0: Instant,
+    node_locs: Vec<Vec<Loc>>,
+    inner: Mutex<PlaneState>,
+    /// In-flight recoveries, in units of *locations owing a `Recover`*:
+    /// raised by `node_locs[n].len()` when node `n`'s respawn is
+    /// scheduled, lowered by the stop-predicate wrapper as it judges
+    /// each `Recover` in stream order (or in bulk when a rejoin is
+    /// abandoned). The stop predicate is gated on this reaching zero,
+    /// so a run cannot stop out from under a node that is about to
+    /// rejoin and still owes a decision. Draining the units in-stream
+    /// (not at commit time) keeps the gate consistent with the
+    /// predicate's own lagging view of the schedule.
+    pending: Arc<AtomicUsize>,
+}
+
+impl RecoveryPlane {
+    fn new(policy: RecoveryPolicy, seed: u64, t0: Instant, node_locs: Vec<Vec<Loc>>) -> Self {
+        let nodes = node_locs.len();
+        RecoveryPlane {
+            policy,
+            seed,
+            t0,
+            node_locs,
+            inner: Mutex::new(PlaneState {
+                live: vec![false; nodes],
+                respawns: vec![0; nodes],
+                jobs: Vec::new(),
+                attach: Vec::new(),
+                qos: Vec::new(),
+            }),
+            pending: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlaneState> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Schedule the next respawn of `node` after a death observed
+    /// `now`, unless the budget is exhausted. Returns `true` if a
+    /// respawn was scheduled.
+    fn schedule_respawn(&self, node: usize, now: Instant) -> bool {
+        let mut g = self.lock();
+        let attempt = g.respawns[node];
+        if attempt >= self.policy.max_respawns {
+            return false;
+        }
+        g.respawns[node] = attempt + 1;
+        let epoch = attempt + 1;
+        let delay = self.policy.delay_for(self.seed, node as u32, attempt);
+        g.jobs.push(RespawnJob {
+            node,
+            epoch,
+            due: now + delay,
+        });
+        self.pending
+            .fetch_add(self.node_locs[node].len(), Ordering::SeqCst);
+        g.qos.push(Incarnation {
+            node: node as u32,
+            epoch,
+            locations: self.node_locs[node].clone(),
+            killed_at: now.saturating_duration_since(self.t0),
+            respawned_at: None,
+            rejoined_at: None,
+            replay_len: 0,
+            recover_seq: None,
+            reelect_events: None,
+            rejoin_ok: false,
+        });
+        true
+    }
+
+    /// Claim the death of a recovered incarnation: returns `true`
+    /// exactly once per live period, so containment and the next
+    /// respawn run once whichever thread observes the death first.
+    fn take_down(&self, node: usize) -> bool {
+        let mut g = self.lock();
+        std::mem::replace(&mut g.live[node], false)
+    }
+
+    fn is_live(&self, node: usize) -> bool {
+        self.lock().live[node]
+    }
+
+    /// Pop the earliest due-or-overdue respawn job.
+    fn pop_due_job(&self, now: Instant) -> Option<RespawnJob> {
+        let mut g = self.lock();
+        let idx = g
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.due <= now)
+            .min_by_key(|(_, j)| j.due)
+            .map(|(i, _)| i)?;
+        Some(g.jobs.swap_remove(idx))
+    }
+
+    fn update_qos(&self, node: usize, epoch: u32, f: impl FnOnce(&mut Incarnation)) {
+        let mut g = self.lock();
+        if let Some(q) = g
+            .qos
+            .iter_mut()
+            .rev()
+            .find(|q| q.node == node as u32 && q.epoch == epoch)
+        {
+            f(q);
+        }
+    }
+
+    fn offset(&self, at: Instant) -> Duration {
+        at.saturating_duration_since(self.t0)
+    }
+
+    /// Consume the plane into its QoS timeline (run over, all threads
+    /// joined).
+    fn into_qos(self) -> Vec<Incarnation> {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .qos
+    }
+}
+
+/// Releases an attach's not-yet-committed `Recover` units on drop, so
+/// every exit from `attach_rejoined` — abandoned mid-handshake or
+/// completed — leaves the stop-predicate gate balanced. Units for
+/// `Recover`s that *did* commit are instead drained in stream order by
+/// the predicate wrapper itself when it judges them.
+struct PendingShortfall<'a> {
+    pending: &'a AtomicUsize,
+    remaining: usize,
+}
+
+impl Drop for PendingShortfall<'_> {
+    fn drop(&mut self) {
+        if self.remaining > 0 {
+            self.pending.fetch_sub(self.remaining, Ordering::SeqCst);
         }
     }
 }
@@ -634,7 +967,15 @@ impl SystemVisitor for CoordLoop {
         let mut readers: Vec<TcpStream> = Vec::with_capacity(nodes);
         let mut writers: Vec<Mutex<Option<TcpStream>>> = Vec::with_capacity(nodes);
         for (id, conn) in conns.into_iter().enumerate() {
-            let mut s = conn.expect("handshake complete");
+            // The handshake loop above only exits once every slot is
+            // filled; an empty slot here is a protocol-state bug, not
+            // a panic.
+            let Some(mut s) = conn else {
+                kill_all(&mut children);
+                return Err(NetError::Protocol(format!(
+                    "node {id} never completed its handshake"
+                )));
+            };
             let assign = WireMsg::Assign {
                 node: id as u32,
                 spec: spec.clone(),
@@ -659,14 +1000,81 @@ impl SystemVisitor for CoordLoop {
         }
 
         // --- Sink, observer, fabric ----------------------------------
+        let t0 = Instant::now();
+        let plane = cfg
+            .recovery
+            .clone()
+            .map(|policy| RecoveryPlane::new(policy, cfg.seed, t0, node_locs.clone()));
+        let (forward_tx, forward_rx) = if plane.is_some() {
+            let (tx, rx) = std::sync::mpsc::channel::<Stamped>();
+            (Some(Mutex::new(tx)), Some(rx))
+        } else {
+            (None, None)
+        };
         let observer = Arc::new(OnlineChecks {
             checks: Mutex::new(online_checks(&spec)),
+            forward: forward_tx,
         });
+        // With a recovery plane the stop predicate is additionally
+        // gated on "no recovery in flight": a respawned-but-not-yet-
+        // rejoined node will shortly re-enter the must-decide set via
+        // its `Recover`, so firing the predicate early would cut the
+        // schedule out from under it. Recovery-free runs get the
+        // spec's predicate untouched.
+        let stop_stream = match (plane.as_ref(), spec.default_stop_stream()) {
+            (Some(p), Some(mut inner)) => {
+                let pending = Arc::clone(&p.pending);
+                let mut last_leader: Vec<Option<Loc>> = vec![None; pi.len()];
+                let mut down = LocSet::empty();
+                Some(Box::new(move |a: &Action| {
+                    // The wrapper is judged in stream order by the
+                    // sink's drain, so draining the gate here — at the
+                    // `Recover` itself — keeps it consistent with the
+                    // inner predicate's (equally lagging) view of the
+                    // schedule. A wall-clock release would let the
+                    // drain judge pre-`Recover` events with the gate
+                    // already open and stop the run mid-rejoin.
+                    if a.is_recover() {
+                        pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    if let Some(l) = a.crash_loc() {
+                        down.insert(l);
+                    } else if let Some(l) = a.recover_loc() {
+                        down.remove(l);
+                    } else if let Some((i, FdOutput::Leader(l))) = a.fd_output() {
+                        last_leader[i.index()] = Some(l);
+                    }
+                    // Leadership settled: every live location's latest
+                    // Ω output names one common *live* leader. A rejoin
+                    // churns leadership (survivors elected an interim
+                    // leader; the Ω conformance verdict judges the
+                    // schedule as a complete run), so the run must not
+                    // stop mid-reconvergence. Crash-stop-only churn is
+                    // already covered by Ω's monotone down-set.
+                    let mut leader = None;
+                    let settled =
+                        pi.iter().filter(|l| !down.contains(*l)).all(|i| {
+                            match last_leader[i.index()] {
+                                Some(l) if !down.contains(l) => match leader {
+                                    None => {
+                                        leader = Some(l);
+                                        true
+                                    }
+                                    Some(prev) => prev == l,
+                                },
+                                _ => false,
+                            }
+                        });
+                    inner(a) && settled && pending.load(Ordering::SeqCst) == 0
+                }) as afd_runtime::StreamPredicate)
+            }
+            (_, inner) => inner,
+        };
         let sink = EventSink::with_options(SinkOptions {
             max_events: cfg.max_events,
             stop_check_interval: 1,
             stop_when: None,
-            stop_stream: spec.default_stop_stream(),
+            stop_stream,
             observer: Some(observer.clone() as Arc<dyn Observer>),
             ..SinkOptions::default()
         });
@@ -674,12 +1082,14 @@ impl SystemVisitor for CoordLoop {
         let (router_tx, router_rx) = std::sync::mpsc::channel::<(usize, Action)>();
         let mut local_tx: Vec<Option<Mutex<Sender<Action>>>> =
             (0..comps.len()).map(|_| None).collect();
-        let mut local_rx: Vec<Option<Receiver<Action>>> = (0..comps.len()).map(|_| None).collect();
+        // Receiver halves ride with their worker directly (no
+        // `take().expect(..)` on a sparse slot vector).
+        let mut local_workers: Vec<(usize, ComponentKind, Receiver<Action>)> = Vec::new();
         for (idx, o) in owner.iter().enumerate() {
             if *o == Owner::Local {
                 let (tx, rx) = std::sync::mpsc::channel();
                 local_tx[idx] = Some(Mutex::new(tx));
-                local_rx[idx] = Some(rx);
+                local_workers.push((idx, kinds[idx], rx));
             }
         }
 
@@ -702,13 +1112,21 @@ impl SystemVisitor for CoordLoop {
         let chaos_slot: Mutex<ChaosReport> = Mutex::new(ChaosReport::default());
 
         // --- Run -----------------------------------------------------
+        let plane_ref = plane.as_ref();
         thread::scope(|s| {
             for (nid, stream) in readers.into_iter().enumerate() {
                 let fabric = &fabric;
                 let killed = &killed;
                 let node_locs = &node_locs;
                 s.spawn(move || {
-                    node_reader(fabric, nid, stream, &node_locs[nid], &killed[nid]);
+                    node_reader(
+                        fabric,
+                        nid,
+                        stream,
+                        &node_locs[nid],
+                        &killed[nid],
+                        plane_ref,
+                    );
                     // Flush before the scope sees this thread complete:
                     // scoped-thread TLS destructors run after the scope's
                     // completion signal, so a Drop-based flush could race
@@ -716,13 +1134,8 @@ impl SystemVisitor for CoordLoop {
                     afd_prof::flush_local();
                 });
             }
-            for (idx, k) in kinds.iter().enumerate() {
-                if fabric.owner[idx] != Owner::Local {
-                    continue;
-                }
-                let rx = local_rx[idx].take().expect("local receiver");
+            for (idx, kind, rx) in local_workers.drain(..) {
                 let fabric = &fabric;
-                let kind = *k;
                 let fd_pacing = cfg.fd_pacing;
                 s.spawn(move || {
                     local_worker(fabric, idx, kind, &rx, fd_pacing);
@@ -757,7 +1170,169 @@ impl SystemVisitor for CoordLoop {
                 let killed = &killed;
                 let node_locs = &node_locs;
                 s.spawn(move || {
-                    injector(fabric, cfg, children, killed, node_locs, node_of);
+                    injector(fabric, cfg, children, killed, node_locs, node_of, plane_ref);
+                    afd_prof::flush_local();
+                });
+            }
+            if let Some(plane) = plane_ref {
+                // Respawner: picks due respawn jobs, spawns the next
+                // incarnation with its epoch in the environment, and
+                // waits for its Rejoin on the still-listening
+                // handshake socket.
+                let fabric = &fabric;
+                let cfg = &cfg;
+                let children = &children;
+                let listener = &listener;
+                let addr = &addr;
+                s.spawn(move || {
+                    afd_prof::set_lane("respawner");
+                    while !fabric.sink.is_stopped() {
+                        let Some(job) = plane.pop_due_job(Instant::now()) else {
+                            thread::sleep(Duration::from_millis(2));
+                            continue;
+                        };
+                        let nid = job.node;
+                        let mut cmd = Command::new(&cfg.node_command[0]);
+                        cmd.args(&cfg.node_command[1..])
+                            .env(crate::node::ADDR_ENV, addr.as_str())
+                            .env(crate::node::NODE_ID_ENV, nid.to_string())
+                            .env(crate::node::EPOCH_ENV, job.epoch.to_string())
+                            .stdin(Stdio::null())
+                            .stdout(Stdio::null());
+                        if cfg.profiling {
+                            cmd.env(crate::node::PROF_ENV, "1");
+                        }
+                        let spawned_at = Instant::now();
+                        let Ok(child) = cmd.spawn() else {
+                            // rejoin_ok stays false in the QoS record;
+                            // release the stop gate for this attempt.
+                            plane
+                                .pending
+                                .fetch_sub(plane.node_locs[nid].len(), Ordering::SeqCst);
+                            continue;
+                        };
+                        {
+                            let mut cs = children
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            if let Some(mut old) = cs[nid].replace(child) {
+                                let _ = old.kill();
+                                let _ = old.wait();
+                            }
+                        }
+                        plane.update_qos(nid, job.epoch, |q| {
+                            q.respawned_at = Some(plane.offset(spawned_at));
+                        });
+                        // Wait for this incarnation's Rejoin, within budget.
+                        let deadline = spawned_at + plane.policy.rejoin_budget;
+                        let mut attached = false;
+                        loop {
+                            if fabric.sink.is_stopped() || Instant::now() > deadline {
+                                break;
+                            }
+                            match listener.accept() {
+                                Ok((mut conn, _)) => {
+                                    let rejoin = (|| -> std::io::Result<Option<WireMsg>> {
+                                        conn.set_nodelay(true)?;
+                                        conn.set_read_timeout(Some(Duration::from_secs(2)))?;
+                                        read_frame(&mut conn)
+                                    })();
+                                    match rejoin {
+                                        Ok(Some(WireMsg::Rejoin { node, epoch }))
+                                            if node as usize == nid && epoch == job.epoch =>
+                                        {
+                                            let _ = conn.set_read_timeout(Some(READ_TICK));
+                                            plane.lock().attach.push(AttachReq {
+                                                node: nid,
+                                                epoch,
+                                                stream: conn,
+                                            });
+                                            attached = true;
+                                            break;
+                                        }
+                                        _ => {} // stale or foreign connection: drop it
+                                    }
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        if !attached {
+                            // Budget blown (or run over): the attempt is
+                            // abandoned — stop gating the run on it.
+                            plane
+                                .pending
+                                .fetch_sub(plane.node_locs[nid].len(), Ordering::SeqCst);
+                        }
+                    }
+                    afd_prof::flush_local();
+                });
+            }
+            if let (Some(plane), Some(rx)) = (plane_ref, forward_rx) {
+                // Forwarder: the recovery plane's ordering authority.
+                // It consumes the sink drain's dense, exactly-once
+                // event stream; an attach at position `pos` replays
+                // exactly events [0, pos) and everything from `pos`
+                // on arrives through this loop — no gaps, no
+                // duplicates, whatever the commit threads are doing.
+                let fabric = &fabric;
+                let cfg = &cfg;
+                let spec = &spec;
+                let node_locs = &node_locs;
+                let killed = &killed;
+                s.spawn(move || {
+                    afd_prof::set_lane("recovery-forwarder");
+                    let mut pos: usize = 0;
+                    loop {
+                        let pending: Vec<AttachReq> = std::mem::take(&mut plane.lock().attach);
+                        for req in pending {
+                            attach_rejoined(
+                                s,
+                                plane,
+                                fabric,
+                                spec,
+                                cfg.seed,
+                                cfg.wire_pacing,
+                                node_locs,
+                                killed,
+                                req,
+                                pos,
+                            );
+                        }
+                        match rx.recv_timeout(Duration::from_millis(2)) {
+                            Ok(ev) => {
+                                debug_assert_eq!(ev.seq as usize, pos);
+                                for (idx, c) in fabric.comps.iter().enumerate() {
+                                    let Owner::Node(nid) = fabric.owner[idx] else {
+                                        continue;
+                                    };
+                                    let nid = nid as usize;
+                                    if plane.is_live(nid)
+                                        && c.classify(&ev.action) == Some(ActionClass::Input)
+                                    {
+                                        // A dead pipe is claimed by the
+                                        // incarnation's reader thread.
+                                        let _ = fabric.send_ctrl(
+                                            nid,
+                                            &WireMsg::Deliver {
+                                                comp: idx as u32,
+                                                action: ev.action,
+                                            },
+                                        );
+                                    }
+                                }
+                                pos += 1;
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if fabric.sink.is_stopped() {
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
                     afd_prof::flush_local();
                 });
             }
@@ -787,7 +1362,9 @@ impl SystemVisitor for CoordLoop {
                 thread::sleep(MONITOR_TICK);
             }
             for nid in 0..nodes {
-                if fabric.alive[nid].load(Ordering::SeqCst) {
+                if fabric.alive[nid].load(Ordering::SeqCst)
+                    || plane_ref.is_some_and(|p| p.is_live(nid))
+                {
                     fabric.send_ctrl(
                         nid,
                         &WireMsg::Stop {
@@ -827,16 +1404,28 @@ impl SystemVisitor for CoordLoop {
                 *w.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
             }
         });
+        // The respawner may have registered a child after the in-scope
+        // kill_all ran; with every thread joined, reap stragglers.
+        {
+            let mut cs = children
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            kill_all(&mut cs);
+        }
 
         // --- Report --------------------------------------------------
         sink.flush();
         let elapsed = sink.elapsed();
+        let respawns: Vec<u32> = plane
+            .as_ref()
+            .map_or_else(|| vec![0; nodes], |p| p.lock().respawns.clone());
         let node_summaries: Vec<NodeSummary> = (0..nodes)
             .map(|nid| NodeSummary {
                 id: nid as u32,
                 locations: node_locs[nid].clone(),
                 killed: killed[nid].load(Ordering::SeqCst),
                 commits: fabric.node_commits[nid].load(Ordering::SeqCst),
+                respawns: respawns[nid],
             })
             .collect();
         let chaos = std::mem::take(
@@ -865,6 +1454,17 @@ impl SystemVisitor for CoordLoop {
         };
         drop(fabric);
         let (schedule, stop) = sink.into_log();
+        let recovery = plane.map(|p| {
+            let mut rep = RecoveryReport {
+                incarnations: p.into_qos(),
+            };
+            for inc in &mut rep.incarnations {
+                if let Some(rs) = inc.recover_seq {
+                    inc.reelect_events = post_recovery_reelect(&schedule, rs);
+                }
+            }
+            rep
+        });
         let mut checks: Vec<NetCheck> = observer
             .checks
             .lock()
@@ -899,7 +1499,136 @@ impl SystemVisitor for CoordLoop {
             nodes: node_summaries,
             elapsed,
             telemetry,
+            recovery,
         })
+    }
+}
+
+/// Logical post-recovery leader re-election latency: events from
+/// `from` to the first Ω leader output naming a then-live location.
+fn post_recovery_reelect(schedule: &[Action], from: usize) -> Option<usize> {
+    let mut down = LocSet::empty();
+    for a in &schedule[..from.min(schedule.len())] {
+        if let Some(l) = a.crash_loc() {
+            down.insert(l);
+        } else if let Some(l) = a.recover_loc() {
+            down.remove(l);
+        }
+    }
+    for (k, a) in schedule.iter().enumerate().skip(from) {
+        if let Some(l) = a.crash_loc() {
+            down.insert(l);
+        } else if let Some(l) = a.recover_loc() {
+            down.remove(l);
+        }
+        if let Some((_, FdOutput::Leader(l))) = a.fd_output() {
+            if !down.contains(l) {
+                return Some(k - from);
+            }
+        }
+    }
+    None
+}
+
+/// Attach a rejoined incarnation at the forwarder's exact position
+/// `pos`: stream `RejoinAck` plus the committed prefix `[0, pos)` as
+/// replay frames, restore the node's write half, mark it live, spawn
+/// its reader, and commit `Recover` for its crashed locations.
+#[allow(clippy::too_many_arguments)]
+fn attach_rejoined<'scope, 'env, P>(
+    s: &'scope thread::Scope<'scope, 'env>,
+    plane: &'scope RecoveryPlane,
+    fabric: &'scope Fabric<'env, P>,
+    spec: &'scope DeploymentSpec,
+    seed: u64,
+    wire_pacing: Duration,
+    node_locs: &'scope [Vec<Loc>],
+    killed: &'scope [AtomicBool],
+    req: AttachReq,
+    pos: usize,
+) where
+    P: Automaton<Action = Action> + Sync,
+    P::State: Send,
+{
+    let nid = req.node;
+    let epoch = req.epoch;
+    // Every hosted location owes a `Recover` unit on the stop gate;
+    // each unit is drained in stream order as its `Recover` is judged,
+    // and whatever this attach fails to commit is released on drop.
+    let mut gate = PendingShortfall {
+        pending: &plane.pending,
+        remaining: node_locs[nid].len(),
+    };
+    let replay = fabric.sink.log_prefix(pos);
+    let Ok(mut write_half) = req.stream.try_clone() else {
+        return;
+    };
+    let ack = WireMsg::RejoinAck {
+        node: nid as u32,
+        epoch,
+        spec: spec.clone(),
+        locations: node_locs[nid].clone(),
+        seed,
+        wire_pacing_us: u64::try_from(wire_pacing.as_micros()).unwrap_or(u64::MAX),
+        replay_len: replay.len() as u64,
+    };
+    if write_frame(&mut write_half, &ack).is_err() {
+        return;
+    }
+    for a in &replay {
+        let frame = WireMsg::Deliver {
+            comp: crate::node::REPLAY_COMP,
+            action: *a,
+        };
+        if write_frame(&mut write_half, &frame).is_err() {
+            return;
+        }
+    }
+    *fabric.writers[nid]
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(write_half);
+    plane.lock().live[nid] = true;
+    let rejoined_at = plane.offset(Instant::now());
+    let recover_seq = fabric.sink.len();
+    plane.update_qos(nid, epoch, |q| {
+        q.rejoined_at = Some(rejoined_at);
+        q.replay_len = replay.len();
+        q.recover_seq = Some(recover_seq);
+        q.rejoin_ok = true;
+    });
+    // Reader for the new incarnation. On death, claim it through the
+    // plane so containment and the next respawn run exactly once,
+    // whichever thread (reader, injector) observes the death first.
+    let read_half = req.stream;
+    let locs = &node_locs[nid];
+    let killed_flag = &killed[nid];
+    s.spawn(move || {
+        node_reader(fabric, nid, read_half, locs, killed_flag, Some(plane));
+        if !fabric.sink.is_stopped() && plane.take_down(nid) {
+            *fabric.writers[nid]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+            // Schedule (raising the stop gate) *before* committing the
+            // containment crashes: otherwise the stop predicate could
+            // fire on a Crash commit in the gap and end the run before
+            // the respawn is even on the books.
+            plane.schedule_respawn(nid, Instant::now());
+            contain_dead_node(fabric, locs);
+        }
+        afd_prof::flush_local();
+    });
+    // Close the down interval: `Recover` clears the crash bits, so
+    // suppressed workers resume and the checkers re-arm liveness.
+    // Until these commit, the rejoined node's requests are suppressed
+    // (its workers absorb and retry), never illegally interleaved.
+    for &l in &node_locs[nid] {
+        if fabric.sink.is_crashed(l)
+            && fabric.commit_from(usize::MAX, Action::Recover(l)) == CommitStatus::Accepted
+        {
+            // This unit is now owned by the stream: the predicate
+            // wrapper drains it when the drain judges the `Recover`.
+            gate.remaining -= 1;
+        }
     }
 }
 
@@ -924,6 +1653,7 @@ fn node_reader<P>(
     mut stream: TcpStream,
     locs: &[Loc],
     killed: &AtomicBool,
+    plane: Option<&RecoveryPlane>,
 ) where
     P: Automaton<Action = Action> + Sync,
     P::State: Send,
@@ -977,6 +1707,11 @@ fn node_reader<P>(
         if was_alive && !killed.load(Ordering::SeqCst) && !fabric.sink.is_stopped() {
             // Unexpected death: contain it as if Kill'd.
             killed.store(true, Ordering::SeqCst);
+            // Raise the stop gate before the containment crashes
+            // commit, so the predicate can't end the run in the gap.
+            if let Some(p) = plane {
+                p.schedule_respawn(nid, Instant::now());
+            }
             contain_dead_node(fabric, locs);
         }
     }
@@ -1094,6 +1829,7 @@ fn local_worker<P>(
 /// clock. Halt faults commit `Crash` into the schedule; Kill faults
 /// SIGKILL the hosting node process first, then crash everything it
 /// hosted.
+#[allow(clippy::too_many_arguments)]
 fn injector<P>(
     fabric: &Fabric<'_, P>,
     cfg: &NetConfig,
@@ -1101,6 +1837,7 @@ fn injector<P>(
     killed: &[AtomicBool],
     node_locs: &[Vec<Loc>],
     node_of: impl Fn(Loc) -> usize,
+    plane: Option<&RecoveryPlane>,
 ) where
     P: Automaton<Action = Action> + Sync,
     P::State: Send,
@@ -1128,7 +1865,12 @@ fn injector<P>(
             }
             NetCrashMode::Kill => {
                 let nid = node_of(f.loc);
-                if fabric.alive[nid].swap(false, Ordering::SeqCst) {
+                // First incarnation, or (via the plane) a recovered
+                // one: either way, exactly one claimant kills,
+                // contains, and schedules the respawn.
+                let claim = fabric.alive[nid].swap(false, Ordering::SeqCst)
+                    || plane.is_some_and(|p| p.take_down(nid));
+                if claim {
                     killed[nid].store(true, Ordering::SeqCst);
                     {
                         let mut cs = children
@@ -1141,6 +1883,12 @@ fn injector<P>(
                     *fabric.writers[nid]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+                    // Raise the stop gate before the containment
+                    // crashes commit, so the predicate can't end the
+                    // run in the gap before the respawn is booked.
+                    if let Some(p) = plane {
+                        p.schedule_respawn(nid, Instant::now());
+                    }
                     contain_dead_node(fabric, &node_locs[nid]);
                 }
             }

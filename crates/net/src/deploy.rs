@@ -199,10 +199,27 @@ impl DeploymentSpec {
                 Some(Box::new(move |a: &Action| {
                     if let Action::Crash(l) = a {
                         crashed.insert(*l);
+                    } else if let Some(l) = a.recover_loc() {
+                        // A rejoined location owes a decision (unless
+                        // its pre-crash decide survives — the stream
+                        // below keeps those sticky) and FD coverage
+                        // again, so re-arm both clauses for it.
+                        crashed.remove(l);
                     } else if let Some((l, _)) = a.fd_output() {
                         witnessed.insert(l);
                     }
-                    all_decided |= decided(a);
+                    if matches!(
+                        a,
+                        Action::Crash(_) | Action::Recover(_) | Action::Decide { .. }
+                    ) {
+                        // Recompute rather than latch: a `Recover` can
+                        // legally un-satisfy the termination clause. On
+                        // crash-stop traces this is the old monotone
+                        // latch (the stream is monotone without
+                        // `Recover`), so recovery-free runs stop at the
+                        // exact same event as before.
+                        all_decided = decided(a);
+                    }
                     all_decided
                         && pi
                             .iter()

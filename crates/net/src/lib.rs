@@ -50,9 +50,12 @@ pub mod netchaos;
 pub mod node;
 
 pub use codec::{CommitStatus, DecodeError, WireMsg};
-pub use coord::{run_distributed, NetCheck, NetConfig, NetFault, NetReport, NodeSummary};
+pub use coord::{
+    run_distributed, Incarnation, NetCheck, NetConfig, NetFault, NetReport, NodeSummary,
+    RecoveryPolicy, RecoveryReport,
+};
 pub use deploy::{DeploymentSpec, FdKindSpec};
-pub use node::{maybe_serve_from_env, serve, ADDR_ENV, NODE_ID_ENV};
+pub use node::{maybe_serve_from_env, serve, ADDR_ENV, EPOCH_ENV, NODE_ID_ENV, REPLAY_COMP};
 
 /// Errors surfaced by the distributed runtime.
 #[derive(Debug)]

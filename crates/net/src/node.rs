@@ -42,6 +42,17 @@ pub const NODE_ID_ENV: &str = "AFD_NET_NODE_ID";
 /// value other than `0`). The coordinator sets it when its own config
 /// enables profiling so every process in the run samples spans.
 pub const PROF_ENV: &str = "AFD_PROF";
+/// Environment variable carrying this node's incarnation epoch. Unset
+/// or `0` means first incarnation (ordinary `Hello` handshake); a
+/// respawned node gets `1, 2, ...` and rejoins with [`WireMsg::Rejoin`]
+/// instead, then replays the committed schedule prefix before going
+/// live.
+pub const EPOCH_ENV: &str = "AFD_NET_EPOCH";
+
+/// Component tag on replay [`WireMsg::Deliver`] frames streamed during
+/// a rejoin: not a real component index — the node applies the action
+/// to *every* hosted component by signature.
+pub const REPLAY_COMP: u32 = u32::MAX;
 
 /// How long an idle worker blocks on its input queue per wait.
 const IDLE_WAIT: Duration = Duration::from_micros(500);
@@ -78,9 +89,41 @@ pub fn maybe_serve_from_env() -> bool {
     true
 }
 
+/// Bounded connect retry budget: a slow-to-bind or briefly saturated
+/// coordinator listener shows up as `ECONNREFUSED`; retrying with
+/// backoff for a couple of seconds keeps node startup robust without
+/// masking a genuinely absent coordinator.
+const CONNECT_ATTEMPTS: u32 = 40;
+/// Base backoff between connect attempts (grows linearly, capped at
+/// 8x, so the full budget is roughly two seconds).
+const CONNECT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Connect to `addr`, retrying transient failures with bounded linear
+/// backoff. Returns the last error once the budget is exhausted.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, NetError> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(_) if attempt + 1 < CONNECT_ATTEMPTS => {
+                attempt += 1;
+                thread::sleep(CONNECT_BACKOFF * attempt.min(8));
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
 /// Connect to the coordinator at `addr`, handshake as node `id`, and
 /// host the assigned locations until the coordinator stops the run or
 /// the connection dies.
+///
+/// First incarnations handshake with `Hello`/`Assign`. A respawned
+/// node (nonzero [`EPOCH_ENV`]) handshakes with `Rejoin`/`RejoinAck`
+/// instead and then replays the committed schedule prefix the
+/// coordinator streams before any live traffic, so its component
+/// states resume exactly where the previous incarnation's committed
+/// history left them.
 ///
 /// # Errors
 /// [`NetError`] on connection failure or protocol violation.
@@ -88,26 +131,57 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
     if std::env::var(PROF_ENV).is_ok_and(|v| v != "0") {
         afd_prof::enable();
     }
-    let mut stream = TcpStream::connect(addr)?;
+    let epoch: u32 = std::env::var(EPOCH_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut stream = connect_with_retry(addr)?;
     stream.set_nodelay(true)?;
-    write_frame(&mut stream, &WireMsg::Hello { node: id })?;
-    let assign = read_frame(&mut stream)?
-        .ok_or_else(|| NetError::Protocol("coordinator closed before Assign".into()))?;
-    let WireMsg::Assign {
-        node,
-        spec,
-        locations,
-        wire_pacing_us,
-        ..
-    } = assign
-    else {
-        return Err(NetError::Protocol(format!(
-            "expected Assign, got {assign:?}"
-        )));
+    let (node, spec, locations, wire_pacing_us, replay_len) = if epoch == 0 {
+        write_frame(&mut stream, &WireMsg::Hello { node: id })?;
+        let assign = read_frame(&mut stream)?
+            .ok_or_else(|| NetError::Protocol("coordinator closed before Assign".into()))?;
+        let WireMsg::Assign {
+            node,
+            spec,
+            locations,
+            wire_pacing_us,
+            ..
+        } = assign
+        else {
+            return Err(NetError::Protocol(format!(
+                "expected Assign, got {assign:?}"
+            )));
+        };
+        (node, spec, locations, wire_pacing_us, 0)
+    } else {
+        write_frame(&mut stream, &WireMsg::Rejoin { node: id, epoch })?;
+        let ack = read_frame(&mut stream)?
+            .ok_or_else(|| NetError::Protocol("coordinator closed before RejoinAck".into()))?;
+        let WireMsg::RejoinAck {
+            node,
+            epoch: ack_epoch,
+            spec,
+            locations,
+            wire_pacing_us,
+            replay_len,
+            ..
+        } = ack
+        else {
+            return Err(NetError::Protocol(format!(
+                "expected RejoinAck, got {ack:?}"
+            )));
+        };
+        if ack_epoch != epoch {
+            return Err(NetError::Protocol(format!(
+                "RejoinAck for epoch {ack_epoch}, I am epoch {epoch}"
+            )));
+        }
+        (node, spec, locations, wire_pacing_us, replay_len)
     };
     if node != id {
         return Err(NetError::Protocol(format!(
-            "Assign addressed to node {node}, I am {id}"
+            "assignment addressed to node {node}, I am {id}"
         )));
     }
     let hosted: Vec<afd_core::Loc> = locations;
@@ -118,6 +192,7 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
             hosted,
             wire_pacing: Duration::from_micros(wire_pacing_us),
             node: id,
+            replay_len,
         },
     )
 }
@@ -127,6 +202,9 @@ struct NodeLoop {
     hosted: Vec<afd_core::Loc>,
     wire_pacing: Duration,
     node: u32,
+    /// Committed-prefix replay length promised by `RejoinAck` (0 on a
+    /// first incarnation).
+    replay_len: u64,
 }
 
 /// Ship a profiler report to the coordinator as one or more Telemetry
@@ -187,26 +265,64 @@ impl SystemVisitor for NodeLoop {
             return Err(NetError::Protocol("assigned no hostable locations".into()));
         }
 
-        // Per-hosted-component channels, indexed by global component
-        // index (sparse: only `mine` entries are populated).
+        // Per-hosted-component channels. The sender sides are indexed
+        // by global component index (sparse: only `mine` entries are
+        // populated) for the reader's demultiplexing; the receiver
+        // sides ride with their worker directly, so no channel slot is
+        // ever `take().expect(..)`ed.
         let mut input_tx: Vec<Option<Sender<Action>>> = (0..comps.len()).map(|_| None).collect();
-        let mut input_rx: Vec<Option<Receiver<Action>>> = (0..comps.len()).map(|_| None).collect();
         let mut resp_tx: Vec<Option<Sender<CommitStatus>>> =
             (0..comps.len()).map(|_| None).collect();
-        let mut resp_rx: Vec<Option<Receiver<CommitStatus>>> =
-            (0..comps.len()).map(|_| None).collect();
+        let mut workers: Vec<(usize, Receiver<Action>, Receiver<CommitStatus>)> =
+            Vec::with_capacity(mine.len());
         for &idx in &mine {
             let (itx, irx) = std::sync::mpsc::channel();
             let (rtx, rrx) = std::sync::mpsc::channel();
             input_tx[idx] = Some(itx);
-            input_rx[idx] = Some(irx);
             resp_tx[idx] = Some(rtx);
-            resp_rx[idx] = Some(rrx);
+            workers.push((idx, irx, rrx));
+        }
+
+        // Rejoin replay: apply the committed schedule prefix to every
+        // hosted component by signature before going live. Crashes of
+        // our own locations are skipped — the point of recovery is
+        // that this incarnation resumes from the durably committed
+        // protocol state, not from a silenced automaton; the
+        // coordinator commits a fresh `Recover` once we are attached.
+        let mut states: Vec<Option<<afd_system::Component<P> as Automaton>::State>> =
+            (0..comps.len()).map(|_| None).collect();
+        for &idx in &mine {
+            states[idx] = Some(comps[idx].initial_state());
+        }
+        let mut stream = self.stream;
+        for _ in 0..self.replay_len {
+            let msg = read_frame(&mut stream)?
+                .ok_or_else(|| NetError::Protocol("coordinator closed during replay".into()))?;
+            let WireMsg::Deliver { comp, action } = msg else {
+                return Err(NetError::Protocol(format!(
+                    "expected replay Deliver, got {msg:?}"
+                )));
+            };
+            if comp != REPLAY_COMP {
+                return Err(NetError::Protocol(format!(
+                    "replay Deliver tagged component {comp}, expected sentinel"
+                )));
+            }
+            if action.crash_loc().is_some_and(|l| self.hosted.contains(&l)) {
+                continue;
+            }
+            for &idx in &mine {
+                if let Some(st) = states[idx].as_mut() {
+                    if let Some(next) = comps[idx].step(st, &action) {
+                        *st = next;
+                    }
+                }
+            }
         }
 
         let stop = AtomicBool::new(false);
-        let reader_stream = self.stream.try_clone().map_err(NetError::Io)?;
-        let writer = Mutex::new(self.stream);
+        let reader_stream = stream.try_clone().map_err(NetError::Io)?;
+        let writer = Mutex::new(stream);
         let wire_pacing = self.wire_pacing;
         let node = self.node;
 
@@ -235,13 +351,25 @@ impl SystemVisitor for NodeLoop {
                 stop.store(true, Ordering::SeqCst);
             });
 
-            for &idx in &mine {
-                let rx = input_rx[idx].take().expect("hosted receiver");
-                let resp = resp_rx[idx].take().expect("hosted resp receiver");
+            for ((idx, rx, resp), init) in workers
+                .drain(..)
+                .zip(mine.iter().map(|&idx| states[idx].take()))
+            {
                 let writer = &writer;
                 let stop = &stop;
+                let init = init.unwrap_or_else(|| comps[idx].initial_state());
                 s.spawn(move || {
-                    node_worker(comps, idx, &rx, &resp, writer, stop, wire_pacing, node);
+                    node_worker(
+                        comps,
+                        idx,
+                        init,
+                        &rx,
+                        &resp,
+                        writer,
+                        stop,
+                        wire_pacing,
+                        node,
+                    );
                     // Flush before the scope sees this thread complete:
                     // scoped-thread TLS destructors run after the scope's
                     // completion signal, so a Drop-based flush could race
@@ -268,6 +396,7 @@ impl SystemVisitor for NodeLoop {
 fn node_worker<P>(
     comps: &[afd_system::Component<P>],
     idx: usize,
+    init: <afd_system::Component<P> as Automaton>::State,
     inputs: &Receiver<Action>,
     resps: &Receiver<CommitStatus>,
     writer: &Mutex<TcpStream>,
@@ -279,7 +408,7 @@ fn node_worker<P>(
 {
     let comp = &comps[idx];
     afd_prof::set_lane(&comp.name());
-    let mut state = comp.initial_state();
+    let mut state = init;
     loop {
         if stop.load(Ordering::SeqCst) {
             return;

@@ -245,6 +245,30 @@ pub fn detector_qos(pi: Pi, schedule: &[Action]) -> QosReport {
                     });
                 }
             }
+            Action::Recover(l) => {
+                crashed_now.remove(l);
+                // Naming `l` as leader stops being wrong the instant it
+                // recovers: close its open wrong-leader intervals here
+                // (the dual of suspicion intervals closing at a crash).
+                let stale: Vec<Loc> = leader_open
+                    .iter()
+                    .filter(|(_, (subject, _))| *subject == l)
+                    .map(|(&observer, _)| observer)
+                    .collect();
+                for observer in stale {
+                    let (subject, start) = leader_open.remove(&observer).expect("key just listed");
+                    report.wrong_leader.push(InaccuracyInterval {
+                        observer,
+                        subject,
+                        start,
+                        end: idx,
+                    });
+                }
+                // A crash the detector had not yet reflected when its
+                // victim rejoined can never complete: stop tracking it
+                // (its report entry keeps `detected_at: None`).
+                open.retain(|d| d.crashed != l);
+            }
             Action::Fd { at, out } => {
                 report.fd_outputs += 1;
 
@@ -458,6 +482,34 @@ mod tests {
         // The suspect-shaped output also completes detection of p1's
         // crash (p0 is the only remaining live loc and suspects it).
         assert_eq!(q.detections[0].detected_at, Some(5));
+    }
+
+    #[test]
+    fn recover_closes_wrong_leader_and_cancels_open_detections() {
+        let pi = Pi::new(3);
+        let t = vec![
+            leader(1, 0),
+            leader(2, 0),
+            Action::Crash(Loc(0)),   // idx 2
+            leader(1, 0),            // idx 3: wrong-leader interval opens
+            Action::Recover(Loc(0)), // idx 4: p0 is back — interval closes
+            leader(1, 0),            // accurate again: no new interval
+            leader(2, 0),
+        ];
+        let q = detector_qos(pi, &t);
+        assert_eq!(
+            q.wrong_leader,
+            vec![InaccuracyInterval {
+                observer: Loc(1),
+                subject: Loc(0),
+                start: 3,
+                end: 4,
+            }]
+        );
+        // The crash healed before the quorum reflected it: the
+        // detection entry stays open-ended rather than lying.
+        assert_eq!(q.detections.len(), 1);
+        assert_eq!(q.detections[0].detected_at, None);
     }
 
     #[test]

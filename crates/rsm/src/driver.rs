@@ -244,6 +244,62 @@ impl Rsm {
         self.crashed.len() < f
     }
 
+    /// Rejoin a crashed replica — the RSM half of the runtime's
+    /// respawn-and-rejoin plane. The recovered replica restores its
+    /// state machine from the canonical KV snapshot of the
+    /// longest-log *live* donor ([`KvStore::snapshot_bytes`] round-
+    /// tripped through [`KvStore::from_snapshot_bytes`]) and catches up
+    /// the missed `(slot, batch)` suffix of the donor's log, streaming
+    /// one [`ApplyEvent`] per caught-up slot through the apply-order
+    /// checker — so a catch-up that skips or reorders slots is a
+    /// conformance violation, not a silent heal. From the next slot on
+    /// the replica participates again (and, if it is the lowest
+    /// location, reclaims leadership).
+    ///
+    /// Returns the number of slots caught up, or `None` if `l` was not
+    /// crashed. With no live donor (or a donor that is itself behind)
+    /// the replica rejoins with its own prefix and catches up
+    /// organically in later slots.
+    pub fn recover(&mut self, l: Loc) -> Option<usize> {
+        if !self.crashed.contains(l) {
+            return None;
+        }
+        self.crashed.remove(l);
+        let donor = self
+            .cfg
+            .pi
+            .iter()
+            .filter(|&d| d != l && !self.crashed.contains(d))
+            .max_by_key(|d| self.replicas[d.index()].log.len());
+        let Some(d) = donor else {
+            return Some(0);
+        };
+        let mine = self.replicas[l.index()].log.len();
+        let donor = &self.replicas[d.index()];
+        if donor.log.len() <= mine {
+            return Some(0);
+        }
+        let snap = donor.kv.snapshot_bytes();
+        let log = donor.log.clone();
+        let Some(kv) = KvStore::from_snapshot_bytes(&snap) else {
+            self.failures
+                .push(format!("recover {l}: donor {d} snapshot failed to decode"));
+            return Some(0);
+        };
+        for &(slot, batch) in &log[mine..] {
+            self.checker.push(&ApplyEvent {
+                replica: l,
+                slot,
+                batch,
+            });
+        }
+        let caught = log.len() - mine;
+        let rep = &mut self.replicas[l.index()];
+        rep.kv = kv;
+        rep.log = log;
+        Some(caught)
+    }
+
     /// The per-replica views (index, replica) of locations still live.
     fn live_replicas(&self) -> impl Iterator<Item = (Loc, &Replica)> {
         self.cfg
@@ -592,5 +648,83 @@ mod tests {
         // The dead replica's log is a strict prefix of the live ones.
         assert!(rsm.replica(Loc(0)).log.len() < rsm.replica(Loc(1)).log.len());
         assert_eq!(rsm.read(7), Some(107));
+    }
+
+    #[test]
+    fn recover_catches_up_from_snapshot_and_reclaims_leadership() {
+        let mut rsm = Rsm::new(RsmConfig::new(Pi::new(3)).with_batch_ops(4).with_seed(5))
+            .expect("config fits");
+        for r in 0..8u64 {
+            rsm.submit(
+                r,
+                Command::Put {
+                    key: r,
+                    val: r + 100,
+                },
+            );
+        }
+        // Kill the leader mid-slot (re-arming past fast decides, as in
+        // the healing test), then drain so the survivors pull ahead.
+        let mut extra = 100u64;
+        for round in 0.. {
+            assert!(round < 50, "no slot ever witnessed the kill");
+            if rsm.is_drained() {
+                rsm.submit(
+                    extra,
+                    Command::Put {
+                        key: extra,
+                        val: extra,
+                    },
+                );
+                extra += 1;
+            }
+            let out = rsm
+                .run_slot_threaded(Some(10))
+                .unwrap_or_else(|| panic!("slot failed: {:?}", rsm.failures()));
+            if out.killed.is_some() {
+                break;
+            }
+        }
+        while !rsm.is_drained() {
+            rsm.run_slot_threaded(None)
+                .unwrap_or_else(|| panic!("healing slot failed: {:?}", rsm.failures()));
+        }
+        let behind = rsm.replica(Loc(0)).log.len();
+        let ahead = rsm.replica(Loc(1)).log.len();
+        assert!(behind < ahead, "the dead replica missed at least one slot");
+        // Rejoin: snapshot-restore plus log catch-up, certified by the
+        // apply-order checker.
+        let caught = rsm.recover(Loc(0)).expect("Loc(0) was crashed");
+        assert_eq!(caught, ahead - behind);
+        assert!(rsm.crashed().is_empty());
+        assert_eq!(
+            rsm.leader(),
+            Some(Loc(0)),
+            "the lowest location is live again, so Ω's canonical leader returns"
+        );
+        assert_eq!(rsm.replica(Loc(0)).log, rsm.replica(Loc(1)).log);
+        assert_eq!(
+            rsm.replica(Loc(0)).kv.snapshot_bytes(),
+            rsm.replica(Loc(1)).kv.snapshot_bytes(),
+            "snapshot restore is byte-for-byte"
+        );
+        // Recovering a live replica is a no-op.
+        assert!(rsm.recover(Loc(0)).is_none());
+        // The recovered replica participates in later slots.
+        rsm.submit(777, Command::Put { key: 777, val: 7 });
+        while !rsm.is_drained() {
+            rsm.run_slot_threaded(None)
+                .unwrap_or_else(|| panic!("post-recovery slot failed: {:?}", rsm.failures()));
+        }
+        assert!(rsm.failures().is_empty(), "{:?}", rsm.failures());
+        rsm.conformance().expect("catch-up applies are dense");
+        rsm.check_agreement()
+            .expect("replicas agree after recovery");
+        assert_eq!(
+            rsm.replica(Loc(0)).log.len(),
+            rsm.replica(Loc(2)).log.len(),
+            "the recovered replica applied the post-recovery slots too"
+        );
+        assert_eq!(rsm.read(777), Some(7));
     }
 }

@@ -182,6 +182,38 @@ impl KvStore {
     pub fn state_hash(&self) -> u64 {
         fnv1a(FNV_OFFSET, &self.snapshot_bytes())
     }
+
+    /// Restore a store from its canonical serialization — the exact
+    /// inverse of [`KvStore::snapshot_bytes`]. This is the catch-up
+    /// path of a recovered replica: instead of replaying every decided
+    /// batch it missed, it installs a live donor's snapshot (applied
+    /// count and command digest included, so the restored store is
+    /// byte-for-byte the donor's). Returns `None` on a malformed or
+    /// truncated snapshot.
+    #[must_use]
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Option<KvStore> {
+        let rd = |at: usize| -> Option<u64> {
+            bytes
+                .get(at..at + 8)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes)
+        };
+        let applied = rd(0)?;
+        let digest = rd(8)?;
+        let count = usize::try_from(rd(16)?).ok()?;
+        if bytes.len() != 24_usize.checked_add(count.checked_mul(16)?)? {
+            return None;
+        }
+        let mut map = BTreeMap::new();
+        for i in 0..count {
+            map.insert(rd(24 + 16 * i)?, rd(32 + 16 * i)?);
+        }
+        Some(KvStore {
+            map,
+            applied,
+            digest,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +281,36 @@ mod tests {
         a.apply(&cmd);
         b.apply(&cmd);
         assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_and_reject_malformed() {
+        let mut kv = KvStore::new();
+        for (k, v) in [(3u64, 30u64), (1, 10), (2, 20)] {
+            kv.apply(&Command::Put { key: k, val: v });
+        }
+        kv.apply(&Command::Cas {
+            key: 1,
+            old: 10,
+            new: 11,
+        });
+        let snap = kv.snapshot_bytes();
+        let back = KvStore::from_snapshot_bytes(&snap).expect("canonical bytes round-trip");
+        assert_eq!(back, kv, "restored store is byte-for-byte the donor");
+        assert_eq!(back.state_hash(), kv.state_hash());
+        assert_eq!(back.snapshot_bytes(), snap);
+        // Truncated, padded, and header-only snapshots are rejected.
+        assert!(KvStore::from_snapshot_bytes(&snap[..snap.len() - 1]).is_none());
+        let mut padded = snap.clone();
+        padded.push(0);
+        assert!(KvStore::from_snapshot_bytes(&padded).is_none());
+        assert!(KvStore::from_snapshot_bytes(&snap[..16]).is_none());
+        // The empty store round-trips too.
+        let empty = KvStore::new();
+        assert_eq!(
+            KvStore::from_snapshot_bytes(&empty.snapshot_bytes()),
+            Some(empty)
+        );
     }
 
     #[test]

@@ -269,9 +269,12 @@ impl EventSink {
 
     /// Is `a` an output of a crashed location? Deliveries
     /// (`Receive`/`WireRecv`) are exempt: channels may deliver to dead
-    /// processes, which absorb inputs silently.
+    /// processes, which absorb inputs silently. `Recover` is exempt by
+    /// construction — it is precisely the action that un-crashes a
+    /// location, so it must be committable while the bit is set.
     fn is_suppressed(&self, a: &Action) -> bool {
         !a.is_crash()
+            && !a.is_recover()
             && !matches!(a, Action::Receive { .. } | Action::WireRecv { .. })
             && self.crashed_bit(a.loc())
     }
@@ -348,10 +351,18 @@ impl EventSink {
                     status = Commit::Suppressed;
                     break;
                 }
-                if let Action::Crash(l) = a {
-                    let w = &self.crashed[usize::from(l.0) >> 6];
-                    let bits = w.load(Ordering::Relaxed);
-                    w.store(bits | 1 << (l.0 & 63), Ordering::Relaxed);
+                match a {
+                    Action::Crash(l) => {
+                        let w = &self.crashed[usize::from(l.0) >> 6];
+                        let bits = w.load(Ordering::Relaxed);
+                        w.store(bits | 1 << (l.0 & 63), Ordering::Relaxed);
+                    }
+                    Action::Recover(l) => {
+                        let w = &self.crashed[usize::from(l.0) >> 6];
+                        let bits = w.load(Ordering::Relaxed);
+                        w.store(bits & !(1 << (l.0 & 63)), Ordering::Relaxed);
+                    }
+                    _ => {}
                 }
                 g.log.push(a);
                 if self.needs_drain {
@@ -400,10 +411,18 @@ impl EventSink {
         if self.is_suppressed(&a) {
             return Commit::Suppressed;
         }
-        if let Action::Crash(l) = a {
-            let w = &self.crashed[usize::from(l.0) >> 6];
-            let bits = w.load(Ordering::Relaxed);
-            w.store(bits | 1 << (l.0 & 63), Ordering::Relaxed);
+        match a {
+            Action::Crash(l) => {
+                let w = &self.crashed[usize::from(l.0) >> 6];
+                let bits = w.load(Ordering::Relaxed);
+                w.store(bits | 1 << (l.0 & 63), Ordering::Relaxed);
+            }
+            Action::Recover(l) => {
+                let w = &self.crashed[usize::from(l.0) >> 6];
+                let bits = w.load(Ordering::Relaxed);
+                w.store(bits & !(1 << (l.0 & 63)), Ordering::Relaxed);
+            }
+            _ => {}
         }
         g.log.push(a);
         let k = g.log.len();
@@ -561,6 +580,20 @@ impl EventSink {
         self.crashed_bit(l)
     }
 
+    /// A snapshot of the first `n` committed actions (clamped to the
+    /// current log length). This is the replay prefix a rejoining node
+    /// rebuilds its state from: commits are appended under the inner
+    /// lock with dense indices, so the prefix is immutable once taken.
+    #[must_use]
+    pub fn log_prefix(&self, n: usize) -> Vec<Action> {
+        let g = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let n = n.min(g.log.len());
+        g.log[..n].to_vec()
+    }
+
     /// Nanoseconds since the last commit (since start, if none yet).
     #[must_use]
     pub fn ns_since_last_commit(&self) -> u64 {
@@ -678,6 +711,52 @@ mod tests {
             }),
             Commit::Suppressed
         );
+    }
+
+    #[test]
+    fn recover_clears_the_crash_bit_and_reopens_commits() {
+        for legacy in [false, true] {
+            let sink = EventSink::with_options(SinkOptions {
+                max_events: 100,
+                pipeline: if legacy {
+                    crate::CommitPipeline::LockedReference
+                } else {
+                    crate::CommitPipeline::Streamed
+                },
+                ..SinkOptions::default()
+            });
+            assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+            assert_eq!(sink.try_commit(send01()), Commit::Suppressed);
+            // Recover is exempt from suppression and clears the bit.
+            assert_eq!(sink.try_commit(Action::Recover(Loc(0))), Commit::Accepted);
+            assert!(!sink.is_crashed(Loc(0)));
+            assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+            // A second incarnation can crash again.
+            assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+            assert_eq!(sink.try_commit(send01()), Commit::Suppressed);
+            let (log, _) = sink.into_log();
+            assert_eq!(
+                log,
+                vec![
+                    Action::Crash(Loc(0)),
+                    Action::Recover(Loc(0)),
+                    send01(),
+                    Action::Crash(Loc(0)),
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn log_prefix_snapshots_the_committed_prefix() {
+        let sink = EventSink::new(100, 16, None);
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        assert_eq!(sink.try_commit(Action::Crash(Loc(0))), Commit::Accepted);
+        assert_eq!(sink.log_prefix(1), vec![send01()]);
+        assert_eq!(sink.log_prefix(2), vec![send01(), Action::Crash(Loc(0))]);
+        // Clamped, never panics past the end.
+        assert_eq!(sink.log_prefix(99).len(), 2);
+        assert!(sink.log_prefix(0).is_empty());
     }
 
     #[test]

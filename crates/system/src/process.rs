@@ -56,7 +56,9 @@ pub struct ProcState<S> {
     /// Protocol state.
     pub inner: S,
     /// Set once `crash_i` occurs; disables all locally controlled
-    /// actions permanently (§4.2).
+    /// actions (§4.2). Cleared again by `recover_i` in crash-recovery
+    /// runs — permanent in the paper's crash-stop model, where no
+    /// recovery event ever occurs.
     pub crashed: bool,
 }
 
@@ -93,7 +95,7 @@ impl<B: LocalBehavior> Automaton for ProcessAutomaton<B> {
     }
 
     fn classify(&self, a: &Action) -> Option<ActionClass> {
-        if a.crash_loc() == Some(self.loc) {
+        if a.crash_loc() == Some(self.loc) || a.recover_loc() == Some(self.loc) {
             return Some(ActionClass::Input);
         }
         if self.behavior.is_input(self.loc, a) {
@@ -120,6 +122,15 @@ impl<B: LocalBehavior> Automaton for ProcessAutomaton<B> {
         if a.crash_loc() == Some(self.loc) {
             let mut next = s.clone();
             next.crashed = true;
+            return Some(next);
+        }
+        if a.recover_loc() == Some(self.loc) {
+            // Crash-recovery: a new incarnation resumes from the state
+            // the protocol had durably reached (the rejoin replay has
+            // rebuilt `inner` by then); locally controlled actions are
+            // re-enabled.
+            let mut next = s.clone();
+            next.crashed = false;
             return Some(next);
         }
         if self.behavior.is_input(self.loc, a) {
@@ -243,6 +254,32 @@ mod tests {
         let p = ProcessAutomaton::new(Loc(0), Echo);
         assert_eq!(p.classify(&Action::Crash(Loc(1))), None);
         assert_eq!(p.classify(&Action::Crash(Loc(0))), Some(ActionClass::Input));
+        assert_eq!(p.classify(&Action::Recover(Loc(1))), None);
+        assert_eq!(
+            p.classify(&Action::Recover(Loc(0))),
+            Some(ActionClass::Input)
+        );
+    }
+
+    #[test]
+    fn recover_reenables_outputs() {
+        let p = ProcessAutomaton::new(Loc(0), Echo);
+        let mut s = p.initial_state();
+        s = p.step(&s, &recv(7)).unwrap();
+        s = p.step(&s, &Action::Crash(Loc(0))).unwrap();
+        assert_eq!(p.enabled(&s, TaskId(0)), None);
+        s = p.step(&s, &Action::Recover(Loc(0))).unwrap();
+        assert!(!s.crashed);
+        let out = p.enabled(&s, TaskId(0)).unwrap();
+        assert_eq!(
+            out,
+            Action::Send {
+                from: Loc(0),
+                to: Loc(1),
+                msg: Msg::Token(7)
+            }
+        );
+        assert!(p.step(&s, &out).is_some());
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub struct RunStats {
     pub events: usize,
     /// Crash events.
     pub crashes: usize,
+    /// Recovery events (crash-recovery runs only).
+    pub recoveries: usize,
     /// Send events.
     pub sends: usize,
     /// Receive events.
@@ -147,6 +149,7 @@ impl StreamChecker for RunStatsStream {
         *st.per_loc.entry(a.loc()).or_insert(0) += 1;
         match a {
             Action::Crash(_) => st.crashes += 1,
+            Action::Recover(_) => st.recoveries += 1,
             Action::Send { from, to, .. } => {
                 st.sends += 1;
                 let q = self.backlog.entry((*from, *to)).or_insert(0);

@@ -4,14 +4,16 @@
 //!
 //! ```text
 //! afd-coord --deployment paxos --n 3 --nodes 3 [--events N] [--seed S]
-//!           [--halt AT:LOC]... [--kill AT:LOC]...
+//!           [--halt AT:LOC]... [--kill AT:LOC]... [--recover]
 //!           [--drop P] [--dup P] [--reorder W]
 //!           [--node-cmd PATH] [--trace-out FILE.jsonl] [--json]
 //! ```
 //!
 //! Deployments: `self-impl-omega`, `self-impl-perfect`, `self-impl-evp`,
 //! `paxos`, `reliable-paxos`. Without `--node-cmd` the coordinator
-//! looks for `afd-node` next to its own executable.
+//! looks for `afd-node` next to its own executable. `--recover` arms
+//! the default crash-recovery policy: a killed node is respawned on
+//! deterministic backoff and rejoins with a bumped incarnation epoch.
 //!
 //! Exits 0 iff the run stopped for a benign reason and every check
 //! passed.
@@ -19,7 +21,7 @@
 use std::time::Duration;
 
 use afd_core::Stamped;
-use afd_net::coord::{NetConfig, NetFault};
+use afd_net::coord::{NetConfig, NetFault, RecoveryPolicy};
 use afd_net::{run_distributed, DeploymentSpec};
 use afd_runtime::{LinkFaults, LinkProfile, StopReason};
 
@@ -36,13 +38,14 @@ struct Cli {
     node_cmd: Option<String>,
     trace_out: Option<String>,
     json: bool,
+    recover: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: afd-coord --deployment NAME --n N --nodes K [--events N] [--seed S] \
-         [--halt AT:LOC]... [--kill AT:LOC]... [--drop P] [--dup P] [--reorder W] \
-         [--node-cmd PATH] [--trace-out FILE.jsonl] [--json]"
+         [--halt AT:LOC]... [--kill AT:LOC]... [--recover] [--drop P] [--dup P] \
+         [--reorder W] [--node-cmd PATH] [--trace-out FILE.jsonl] [--json]"
     );
     std::process::exit(2);
 }
@@ -77,6 +80,7 @@ fn parse_cli() -> Cli {
         node_cmd: None,
         trace_out: None,
         json: false,
+        recover: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -107,6 +111,7 @@ fn parse_cli() -> Cli {
             "--node-cmd" => cli.node_cmd = Some(val()),
             "--trace-out" => cli.trace_out = Some(val()),
             "--json" => cli.json = true,
+            "--recover" => cli.recover = true,
             "--help" | "-h" => usage(),
             _ => {
                 eprintln!("afd-coord: unknown flag {flag}");
@@ -158,6 +163,9 @@ fn main() {
     for f in cli.faults {
         cfg = cfg.with_fault(f);
     }
+    if cli.recover {
+        cfg = cfg.with_recovery(RecoveryPolicy::default());
+    }
 
     let report = match run_distributed(&spec, &cfg) {
         Ok(r) => r,
@@ -207,17 +215,23 @@ fn main() {
             .iter()
             .map(|n| {
                 format!(
-                    "{{\"id\":{},\"locations\":{},\"killed\":{},\"commits\":{}}}",
+                    "{{\"id\":{},\"locations\":{},\"killed\":{},\"commits\":{},\"respawns\":{}}}",
                     n.id,
                     n.locations.len(),
                     n.killed,
-                    n.commits
+                    n.commits,
+                    n.respawns
                 )
             })
             .collect();
+        let rejoins = report
+            .recovery
+            .as_ref()
+            .map_or(0, |r| r.incarnations.iter().filter(|i| i.rejoin_ok).count());
         println!(
             "{{\"deployment\":\"{}\",\"events\":{},\"stop\":\"{}\",\"elapsed_ms\":{},\
-             \"chaos_arrivals\":{},\"chaos_dropped\":{},\"checks\":[{}],\"nodes\":[{}]}}",
+             \"chaos_arrivals\":{},\"chaos_dropped\":{},\"rejoins\":{rejoins},\
+             \"checks\":[{}],\"nodes\":[{}]}}",
             spec.label(),
             report.events,
             stop_name,
@@ -236,15 +250,34 @@ fn main() {
         );
         for n in &report.nodes {
             println!(
-                "  node {}: {} locations, {} commits{}",
+                "  node {}: {} locations, {} commits{}{}",
                 n.id,
                 n.locations.len(),
                 n.commits,
-                if n.killed { " [killed]" } else { "" }
+                if n.killed { " [killed]" } else { "" },
+                if n.respawns > 0 {
+                    format!(" [respawned x{}]", n.respawns)
+                } else {
+                    String::new()
+                }
             );
         }
         if report.chaos.arrivals() > 0 {
             println!("  chaos: {}", report.chaos);
+        }
+        if let Some(rec) = &report.recovery {
+            for inc in &rec.incarnations {
+                println!(
+                    "  rejoin node {} epoch {}: {}, replay {} events{}",
+                    inc.node,
+                    inc.epoch,
+                    inc.respawn_to_rejoin()
+                        .map_or("no rejoin".into(), |d| format!("{d:?}")),
+                    inc.replay_len,
+                    inc.reelect_events
+                        .map_or(String::new(), |e| format!(", re-elected after {e} events"))
+                );
+            }
         }
         for c in &report.checks {
             match &c.verdict {

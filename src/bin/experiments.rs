@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run --release --bin experiments [--json] [table...]`
 //! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
-//! t, u, v, w, q, s, misc}; with no table arguments, all tables are
-//! produced.
+//! t, u, v, w, x, q, s, misc}; with no table arguments, all tables
+//! are produced.
 //!
 //! Table `t` additionally writes `BENCH_runtime.json` at the working
 //! directory root: the commit-path throughput grid plus the
@@ -17,9 +17,14 @@
 //! conformance violation. Table `w` writes `BENCH_prof.json`: the
 //! afd-prof stage-attribution grid (threaded vs distributed,
 //! n ∈ {3, 8, 16}) naming where the wall time goes, plus merged
-//! chrome://tracing timelines under `target/obs/`. For tables `u`,
-//! `v` and `w` this binary doubles as its own node executable: the
-//! coordinator respawns `current_exe()` and
+//! chrome://tracing timelines under `target/obs/`. Table `x` writes
+//! `BENCH_recovery.json`: the crash-recovery plane — a SIGKILLed node
+//! is respawned under the `RecoveryPolicy`, rejoins with a bumped
+//! incarnation epoch, and the table reports respawn-to-rejoin
+//! latency, replay length, and post-recovery re-election latency,
+//! failing (nonzero exit) if any rejoin blows the policy budget. For
+//! tables `u`, `v`, `w` and `x` this binary doubles as its own node
+//! executable: the coordinator respawns `current_exe()` and
 //! `afd_net::maybe_serve_from_env` diverts those children into node
 //! duty before any table runs.
 //!
@@ -51,9 +56,9 @@ use afd_tree::{
 };
 
 /// Every table this binary can produce, in print order.
-const TABLES: [&str; 16] = [
-    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "v", "w", "q",
-    "s", "misc",
+const TABLES: [&str; 17] = [
+    "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "v", "w", "x",
+    "q", "s", "misc",
 ];
 
 /// One experiment table: a grid of rendered cells plus free-form notes
@@ -188,6 +193,7 @@ fn main() {
             "u" => tables.push(table_u_distributed()),
             "v" => tables.push(table_v_rsm()),
             "w" => tables.push(table_w_prof()),
+            "x" => tables.push(table_x_recovery()),
             "q" => tables.extend(table_q_qos()),
             "s" => tables.push(table_s_chaos()),
             "misc" => tables.push(table_misc()),
@@ -1201,6 +1207,197 @@ fn table_u_distributed() -> Table {
     ]);
     if let Err(e) = std::fs::write("BENCH_net.json", doc.render() + "\n") {
         t.fail(format!("u: writing BENCH_net.json failed: {e}"));
+    }
+    t
+}
+
+/// Table X: the crash-recovery plane end to end — a node process is
+/// SIGKILLed mid-run, the coordinator's `RecoveryPolicy` respawns it
+/// on deterministic backoff, the node rejoins with a bumped
+/// incarnation epoch and replays the committed schedule prefix, and
+/// the run still decides with every online checker green. Reported
+/// QoS per scenario: respawn-to-rejoin latency, total downtime,
+/// replay length, and (for the leader-kill scenario) post-recovery
+/// re-election latency in schedule events. Emits
+/// `BENCH_recovery.json` (consumed by CI's recovery-smoke job); any
+/// rejoin that misses the policy's `rejoin_budget` is a table failure,
+/// so the process exits nonzero.
+fn table_x_recovery() -> Table {
+    use afd_net::coord::{NetConfig, NetFault, RecoveryPolicy};
+    use afd_net::{run_distributed, DeploymentSpec};
+    use std::time::Duration;
+
+    let smoke = std::env::var("SMOKE").is_ok();
+    let mut t = Table::new(
+        "x",
+        format!(
+            "Table X — crash-recovery QoS: respawn, rejoin, re-elect{}",
+            if smoke { " (SMOKE)" } else { "" }
+        ),
+    );
+    t.columns(&[
+        "n",
+        "victim",
+        "events",
+        "epoch",
+        "respawn→rejoin (ms)",
+        "downtime (ms)",
+        "replay (events)",
+        "re-elect (events)",
+        "decided",
+    ]);
+    let policy = RecoveryPolicy::default();
+    let node_exe = std::env::current_exe()
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    // (n, seed, kill_at, victim): the last location for plain rejoin
+    // QoS, the lowest (Ω's settled leader) for re-election QoS. The
+    // full run adds n=5; smoke keeps the two n=3 scenarios.
+    let mut scenarios: Vec<(u8, u64, usize, Loc)> = vec![(3, 11, 15, Loc(2)), (3, 29, 20, Loc(0))];
+    if !smoke {
+        scenarios.push((5, 13, 25, Loc(4)));
+    }
+    let budget = if smoke { 6_000usize } else { 10_000 };
+    let mut rows_json: Vec<Json> = Vec::new();
+    for &(n, seed, kill_at, victim) in &scenarios {
+        let pi = Pi::new(usize::from(n));
+        let spec = DeploymentSpec::Paxos {
+            n,
+            values: (0..u64::from(n)).map(|i| i % 2).collect(),
+        };
+        let ncfg = NetConfig::new(vec![node_exe.clone()], u32::from(n))
+            .with_max_events(budget)
+            .with_seed(seed)
+            .with_fault(NetFault::kill(kill_at, victim))
+            .with_deadlines(Duration::from_secs(10), Duration::from_secs(120))
+            .with_recovery(policy.clone());
+        let report = match run_distributed(&spec, &ncfg) {
+            Ok(r) => r,
+            Err(e) => {
+                t.fail(format!("x: n={n} victim={victim} run failed: {e}"));
+                continue;
+            }
+        };
+        for c in &report.checks {
+            if let Err(e) = &c.verdict {
+                t.fail(format!(
+                    "x: n={n} victim={victim} check {} failed: {e}",
+                    c.name
+                ));
+            }
+        }
+        // Crash-recovery decision check: the crash-stop `T_P` checker
+        // would reject the recovered replica's post-rejoin decision,
+        // so check the recovery semantics directly — one decided value
+        // across all locations, and every location live at the *end*
+        // of the schedule (crashed ⇒ later recovered) decided.
+        let mut down = LocSet::empty();
+        let mut decisions: Vec<(Loc, u64)> = Vec::new();
+        for a in &report.schedule {
+            if let Some(l) = a.crash_loc() {
+                down.insert(l);
+            } else if let Some(l) = a.recover_loc() {
+                down.remove(l);
+            } else if let Action::Decide { at, v } = a {
+                decisions.push((*at, *v));
+            }
+        }
+        let agreement = decisions
+            .iter()
+            .map(|&(_, v)| v)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            <= 1;
+        let decided = agreement
+            && pi
+                .iter()
+                .filter(|&l| !down.contains(l))
+                .all(|l| decisions.iter().any(|&(at, _)| at == l));
+        let Some(rec) = report.recovery.as_ref() else {
+            t.fail(format!("x: n={n} victim={victim}: no recovery report"));
+            continue;
+        };
+        let Some(inc) = rec.incarnations.first() else {
+            t.fail(format!("x: n={n} victim={victim}: no incarnation recorded"));
+            continue;
+        };
+        let rejoin = inc.respawn_to_rejoin();
+        let within = inc.rejoin_ok && rejoin.is_some_and(|d| d <= policy.rejoin_budget);
+        let ms = |d: Option<Duration>| {
+            d.map_or("n/a".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e3))
+        };
+        let verdict = t.check(
+            decided && within,
+            "✓",
+            format!(
+                "x: n={n} victim={victim}: decided={decided} rejoin_ok={} \
+                 rejoin={rejoin:?} budget={:?}",
+                inc.rejoin_ok, policy.rejoin_budget
+            ),
+        );
+        t.row(vec![
+            n.to_string(),
+            victim.to_string(),
+            report.events.to_string(),
+            inc.epoch.to_string(),
+            ms(rejoin),
+            ms(inc.downtime()),
+            inc.replay_len.to_string(),
+            inc.reelect_events.map_or("n/a".into(), |e| e.to_string()),
+            verdict,
+        ]);
+        rows_json.push(Json::Obj(vec![
+            ("n".into(), Json::Num(f64::from(n))),
+            ("victim".into(), Json::Num(f64::from(victim.0))),
+            ("seed".into(), Json::Num(seed as f64)),
+            ("events".into(), Json::Num(report.events as f64)),
+            ("epoch".into(), Json::Num(inc.epoch as f64)),
+            (
+                "respawn_to_rejoin_ms".into(),
+                rejoin.map_or(Json::Null, |d| Json::Num(d.as_secs_f64() * 1e3)),
+            ),
+            (
+                "downtime_ms".into(),
+                inc.downtime()
+                    .map_or(Json::Null, |d| Json::Num(d.as_secs_f64() * 1e3)),
+            ),
+            ("replay_len".into(), Json::Num(inc.replay_len as f64)),
+            (
+                "reelect_events".into(),
+                inc.reelect_events
+                    .map_or(Json::Null, |e| Json::Num(e as f64)),
+            ),
+            ("decided".into(), Json::Bool(decided)),
+            ("rejoin_within_budget".into(), Json::Bool(within)),
+        ]));
+    }
+    t.note(
+        "Each scenario SIGKILLs one real node process mid-run; the coordinator's \
+         RecoveryPolicy (deterministic seeded backoff) respawns it, the node rejoins \
+         with incarnation epoch 1 and replays the committed prefix, and the run decides \
+         with the consensus and Ω-conformance checkers still green. respawn→rejoin is \
+         the wall-clock gap from the respawn to the accepted Rejoin; re-elect is the \
+         schedule-event latency from the `Recover` action to the first Ω leader output \
+         naming a then-live leader (only meaningful when the killed node hosted the \
+         leader). A rejoin past the policy budget fails the table.",
+    );
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("crash-recovery".into())),
+        (
+            "generated_by".into(),
+            Json::Str("experiments x (afd-repro)".into()),
+        ),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("budget".into(), Json::Num(budget as f64)),
+        (
+            "rejoin_budget_ms".into(),
+            Json::Num(policy.rejoin_budget.as_secs_f64() * 1e3),
+        ),
+        ("rows".into(), Json::Arr(rows_json)),
+        ("pass".into(), Json::Bool(t.failures.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_recovery.json", doc.render() + "\n") {
+        t.fail(format!("x: writing BENCH_recovery.json failed: {e}"));
     }
     t
 }

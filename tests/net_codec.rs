@@ -1,6 +1,7 @@
 //! Wire-codec properties: every `Action` round-trips byte-for-byte
 //! through the hand-rolled length-prefixed codec — including the
-//! `WireSend`/`WireRecv` frame variants and boundary locations at and
+//! `WireSend`/`WireRecv` frame variants, the crash-recovery alphabet
+//! (`Recover`, `Rejoin`, `RejoinAck`), and boundary locations at and
 //! past `Loc(64)` — and malformed input (truncations, bad tags,
 //! trailing bytes, garbage) always comes back as a typed
 //! [`DecodeError`], never a panic.
@@ -170,12 +171,13 @@ fn rtelemetry(rng: &mut StdRng) -> WireMsg {
     }
 }
 
-/// One random action from the full 19-variant alphabet.
+/// One random action from the full 20-variant alphabet.
 fn raction(rng: &mut StdRng) -> Action {
     let at = rloc(rng);
     let other = rloc(rng);
-    match rng.gen_range(0u32..19) {
+    match rng.gen_range(0u32..20) {
         0 => Action::Crash(at),
+        19 => Action::Recover(at),
         1 => Action::Send {
             from: at,
             to: other,
@@ -321,6 +323,22 @@ proptest! {
             WireMsg::Stop {
                 reason: "stop reason with unicode: Π ◇P".into(),
             },
+            WireMsg::Rejoin {
+                node: rng.gen_range(0u32..u32::MAX),
+                epoch: rng.gen_range(0u32..u32::MAX),
+            },
+            WireMsg::RejoinAck {
+                node: rng.gen_range(0u32..16),
+                epoch: rng.gen_range(1u32..u32::MAX),
+                spec: DeploymentSpec::Paxos {
+                    n: 5,
+                    values: vec![rval(&mut rng), rval(&mut rng)],
+                },
+                locations: vec![rloc(&mut rng), rloc(&mut rng)],
+                seed: rval(&mut rng),
+                wire_pacing_us: rval(&mut rng),
+                replay_len: rval(&mut rng),
+            },
             rtelemetry(&mut rng),
         ];
         let mut wire = Vec::new();
@@ -370,6 +388,7 @@ fn exhaustive_variant_sweep_roundtrips() {
     let mut actions: Vec<Action> = Vec::new();
     for &at in &LOCS {
         actions.push(Action::Crash(at));
+        actions.push(Action::Recover(at));
         actions.push(Action::Query { at });
     }
     // Every Msg variant inside Send, every FdOutput inside Fd.

@@ -2,8 +2,9 @@
 //!
 //! The paper fixes a finite set Π of `n` *location IDs* (§3.1). We
 //! represent a location as a dense index [`Loc`] and sets of locations
-//! as a 64-bit bitset [`LocSet`], so Π may contain up to 64 locations —
-//! far beyond anything the execution-tree analysis can explore anyway.
+//! as a 128-bit bitset [`LocSet`], so Π may contain up to 128
+//! locations — enough for the n = 128 throughput grid, and far beyond
+//! anything the execution-tree analysis can explore anyway.
 
 use std::fmt;
 
@@ -41,12 +42,12 @@ impl Pi {
     /// A universe of `n` locations.
     ///
     /// # Panics
-    /// Panics if `n == 0` or `n > 64`.
+    /// Panics if `n == 0` or `n > 128`.
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(
-            (1..=64).contains(&n),
-            "Pi supports 1..=64 locations, got {n}"
+            (1..=128).contains(&n),
+            "Pi supports 1..=128 locations, got {n}"
         );
         Pi { n: n as u8 }
     }
@@ -77,17 +78,17 @@ impl Pi {
     /// The full set Π as a [`LocSet`].
     #[must_use]
     pub fn all(self) -> LocSet {
-        if self.n == 64 {
-            LocSet(u64::MAX)
+        if self.n == 128 {
+            LocSet(u128::MAX)
         } else {
-            LocSet((1u64 << self.n) - 1)
+            LocSet((1u128 << self.n) - 1)
         }
     }
 }
 
 /// A set of locations, represented as a bitset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-pub struct LocSet(pub u64);
+pub struct LocSet(pub u128);
 
 impl LocSet {
     /// The empty set.
@@ -99,7 +100,7 @@ impl LocSet {
     /// A singleton set.
     #[must_use]
     pub fn singleton(l: Loc) -> Self {
-        LocSet(1u64 << l.0)
+        LocSet(1u128 << l.0)
     }
 
     /// Build from an iterator of locations.
@@ -127,17 +128,17 @@ impl LocSet {
     /// Membership test.
     #[must_use]
     pub fn contains(self, l: Loc) -> bool {
-        self.0 & (1u64 << l.0) != 0
+        self.0 & (1u128 << l.0) != 0
     }
 
     /// Insert `l`.
     pub fn insert(&mut self, l: Loc) {
-        self.0 |= 1u64 << l.0;
+        self.0 |= 1u128 << l.0;
     }
 
     /// Remove `l`.
     pub fn remove(&mut self, l: Loc) {
-        self.0 &= !(1u64 << l.0);
+        self.0 &= !(1u128 << l.0);
     }
 
     /// Set union.
@@ -193,7 +194,7 @@ impl LocSet {
         if self.0 == 0 {
             None
         } else {
-            Some(Loc(63 - self.0.leading_zeros() as u8))
+            Some(Loc(127 - self.0.leading_zeros() as u8))
         }
     }
 
@@ -225,7 +226,7 @@ impl FromIterator<Loc> for LocSet {
 
 /// Iterator over the members of a [`LocSet`].
 #[derive(Debug, Clone)]
-pub struct LocSetIter(u64);
+pub struct LocSetIter(u128);
 
 impl Iterator for LocSetIter {
     type Item = Loc;
@@ -257,15 +258,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1..=64")]
+    #[should_panic(expected = "1..=128")]
     fn pi_rejects_zero() {
         let _ = Pi::new(0);
     }
 
     #[test]
-    fn pi_supports_64_locations() {
-        let pi = Pi::new(64);
-        assert_eq!(pi.all().len(), 64);
+    #[should_panic(expected = "1..=128")]
+    fn pi_rejects_129() {
+        let _ = Pi::new(129);
+    }
+
+    #[test]
+    fn pi_supports_128_locations() {
+        let pi = Pi::new(128);
+        assert_eq!(pi.all().len(), 128);
+        assert_eq!(pi.all().max(), Some(Loc(127)));
+        assert!(pi.all().contains(Loc(127)));
     }
 
     #[test]

@@ -218,8 +218,12 @@ fn put_loc(buf: &mut Vec<u8>, l: Loc) {
     buf.push(l.0);
 }
 
+fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
 fn put_locset(buf: &mut Vec<u8>, s: LocSet) {
-    put_u64(buf, s.0);
+    put_u128(buf, s.0);
 }
 
 fn put_ballot(buf: &mut Vec<u8>, b: Ballot) {
@@ -692,8 +696,15 @@ impl<'a> Dec<'a> {
         Ok(Loc(self.u8("Loc")?))
     }
 
+    fn u128(&mut self, what: &'static str) -> Result<u128, DecodeError> {
+        let b = self.take(what, 16)?;
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(b);
+        Ok(u128::from_le_bytes(bytes))
+    }
+
     fn locset(&mut self) -> Result<LocSet, DecodeError> {
-        Ok(LocSet(self.u64("LocSet")?))
+        Ok(LocSet(self.u128("LocSet")?))
     }
 
     fn ballot(&mut self) -> Result<Ballot, DecodeError> {

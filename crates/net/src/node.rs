@@ -3,21 +3,25 @@
 //! coordinator's commit pipeline.
 //!
 //! A node is deliberately thin. It builds the same `System<P>` as the
-//! coordinator (from the wire-encoded [`crate::DeploymentSpec`]), spawns one
-//! worker thread per hosted process component, and otherwise does
-//! exactly what a threaded-runtime worker does — drain routed inputs,
-//! sweep enabled tasks, commit, step — except that "commit" is a
-//! synchronous `CommitReq`/`CommitResp` round trip over the
-//! coordinator socket instead of a sink call. The worker blocks while
-//! the request is in flight, so its component state cannot drift
-//! between speculation and application: routed inputs queue up and
-//! are applied only between commits, which keeps the merged schedule
-//! a legal schedule of the composition.
+//! coordinator (from the wire-encoded [`crate::DeploymentSpec`]) and
+//! drives its hosted process components on the same sharded executor
+//! pool as the threaded runtime ([`afd_runtime::exec`]): a reader
+//! thread demultiplexes coordinator frames, marking a component ready
+//! whenever an input lands in its inbox, and a small pool of workers
+//! runs activations — drain routed inputs, sweep enabled tasks,
+//! commit, step — except that "commit" is a synchronous
+//! `CommitReq`/`CommitResp` round trip over the coordinator socket
+//! instead of a sink call. The activation blocks while the request is
+//! in flight, so its component state cannot drift between speculation
+//! and application: routed inputs queue up in the inbox and are
+//! applied only between commits, which keeps the merged schedule a
+//! legal schedule of the composition.
 //!
 //! The node never decides anything about the run: crashes arrive as
 //! routed `Crash` inputs (Halt) or as `SIGKILL` (Kill — no code here
 //! runs at all), and the run ends when the coordinator says so.
 
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +31,7 @@ use std::thread;
 use std::time::Duration;
 
 use afd_core::Action;
+use afd_runtime::exec::{Directive, Pool};
 use afd_system::{ComponentKind, System};
 use ioa::{Automaton, TaskId};
 
@@ -54,10 +59,9 @@ pub const EPOCH_ENV: &str = "AFD_NET_EPOCH";
 /// to *every* hosted component by signature.
 pub const REPLAY_COMP: u32 = u32::MAX;
 
-/// How long an idle worker blocks on its input queue per wait.
-const IDLE_WAIT: Duration = Duration::from_micros(500);
-/// How often a worker blocked on a commit response re-checks the stop
-/// flag.
+/// How often an activation blocked on a commit response re-checks the
+/// stop flag (a response wait on the network path, not an idle poll —
+/// idle components park on the pool's condvars).
 const RESP_WAIT: Duration = Duration::from_millis(50);
 /// Stream a Telemetry frame once this many profiler records have been
 /// flushed (keeps memory bounded on long runs).
@@ -265,22 +269,23 @@ impl SystemVisitor for NodeLoop {
             return Err(NetError::Protocol("assigned no hostable locations".into()));
         }
 
-        // Per-hosted-component channels. The sender sides are indexed
-        // by global component index (sparse: only `mine` entries are
-        // populated) for the reader's demultiplexing; the receiver
-        // sides ride with their worker directly, so no channel slot is
-        // ever `take().expect(..)`ed.
-        let mut input_tx: Vec<Option<Sender<Action>>> = (0..comps.len()).map(|_| None).collect();
+        // Per-hosted-component plumbing, indexed by global component
+        // index (sparse: only `mine` entries are populated). Inputs go
+        // into per-component inboxes drained by pool activations;
+        // commit responses go over a dedicated mpsc whose receiver
+        // lives inside the component's cell — the activation holding
+        // the cell is the only possible waiter.
+        let inboxes: Vec<Mutex<VecDeque<Action>>> = (0..comps.len())
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
         let mut resp_tx: Vec<Option<Sender<CommitStatus>>> =
             (0..comps.len()).map(|_| None).collect();
-        let mut workers: Vec<(usize, Receiver<Action>, Receiver<CommitStatus>)> =
-            Vec::with_capacity(mine.len());
+        let mut resp_rx: Vec<Option<Receiver<CommitStatus>>> =
+            (0..comps.len()).map(|_| None).collect();
         for &idx in &mine {
-            let (itx, irx) = std::sync::mpsc::channel();
             let (rtx, rrx) = std::sync::mpsc::channel();
-            input_tx[idx] = Some(itx);
             resp_tx[idx] = Some(rtx);
-            workers.push((idx, irx, rrx));
+            resp_rx[idx] = Some(rrx);
         }
 
         // Rejoin replay: apply the committed schedule prefix to every
@@ -320,23 +325,52 @@ impl SystemVisitor for NodeLoop {
             }
         }
 
+        // One cell per hosted component: the replayed (or initial)
+        // automaton state plus the commit-response receiver. The pool
+        // guarantees one activation per component at a time, so the
+        // mutex is uncontended — it exists to move the cell across
+        // worker threads.
+        let cells: Vec<Option<Mutex<NodeCell<P>>>> = (0..comps.len())
+            .map(|idx| {
+                states[idx].take().map(|state| {
+                    Mutex::new(NodeCell {
+                        state,
+                        resps: resp_rx[idx]
+                            .take()
+                            .expect("hosted components have a resp channel"),
+                    })
+                })
+            })
+            .collect();
+
         let stop = AtomicBool::new(false);
         let reader_stream = stream.try_clone().map_err(NetError::Io)?;
         let writer = Mutex::new(stream);
         let wire_pacing = self.wire_pacing;
         let node = self.node;
+        let w_node = thread::available_parallelism()
+            .map_or(4, std::num::NonZeroUsize::get)
+            .min(mine.len())
+            .max(1);
+        let pool = Pool::new(w_node, comps.len());
+        // Seed: every hosted component starts with one activation.
+        for &idx in &mine {
+            pool.enqueue(idx);
+        }
 
         thread::scope(|s| {
-            // Reader: demultiplex coordinator frames to the workers.
+            // Reader: demultiplex coordinator frames — inputs into the
+            // target component's inbox (then mark it ready), commit
+            // responses to the blocked activation.
             s.spawn(|| {
                 let mut rs = reader_stream;
-                let input_tx = &input_tx;
-                let resp_tx = &resp_tx;
                 loop {
                     match read_frame(&mut rs) {
                         Ok(Some(WireMsg::Deliver { comp, action })) => {
-                            if let Some(tx) = input_tx.get(comp as usize).and_then(Option::as_ref) {
-                                let _ = tx.send(action);
+                            let comp = comp as usize;
+                            if cells.get(comp).is_some_and(Option::is_some) {
+                                lock(&inboxes[comp]).push_back(action);
+                                pool.enqueue(comp);
                             }
                         }
                         Ok(Some(WireMsg::CommitResp { comp, status })) => {
@@ -349,27 +383,27 @@ impl SystemVisitor for NodeLoop {
                     }
                 }
                 stop.store(true, Ordering::SeqCst);
+                pool.shutdown();
             });
 
-            for ((idx, rx, resp), init) in workers
-                .drain(..)
-                .zip(mine.iter().map(|&idx| states[idx].take()))
-            {
-                let writer = &writer;
-                let stop = &stop;
-                let init = init.unwrap_or_else(|| comps[idx].initial_state());
+            for k in 0..w_node {
+                let (pool, cells, inboxes, writer, stop) =
+                    (&pool, &cells, &inboxes, &writer, &stop);
                 s.spawn(move || {
-                    node_worker(
-                        comps,
-                        idx,
-                        init,
-                        &rx,
-                        &resp,
-                        writer,
-                        stop,
-                        wire_pacing,
-                        node,
-                    );
+                    afd_prof::set_lane(&format!("worker-{k}"));
+                    pool.run_worker(k, |idx| {
+                        node_activate(
+                            comps,
+                            idx,
+                            cells,
+                            inboxes,
+                            writer,
+                            stop,
+                            pool,
+                            wire_pacing,
+                            node,
+                        )
+                    });
                     // Flush before the scope sees this thread complete:
                     // scoped-thread TLS destructors run after the scope's
                     // completion signal, so a Drop-based flush could race
@@ -390,134 +424,140 @@ impl SystemVisitor for NodeLoop {
     }
 }
 
-/// One hosted process component: the threaded-runtime worker loop with
-/// the sink call replaced by a commit round trip.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The mutable half of one hosted component: its automaton state and
+/// the receiver its commit responses arrive on. The pool guarantees
+/// one activation at a time, so the wrapping mutex is uncontended.
+struct NodeCell<P: Automaton<Action = Action>> {
+    state: <afd_system::Component<P> as Automaton>::State,
+    resps: Receiver<CommitStatus>,
+}
+
+/// One activation of a hosted process component: the threaded-runtime
+/// activation with the sink call replaced by a commit round trip.
 #[allow(clippy::too_many_arguments)]
-fn node_worker<P>(
+fn node_activate<P>(
     comps: &[afd_system::Component<P>],
     idx: usize,
-    init: <afd_system::Component<P> as Automaton>::State,
-    inputs: &Receiver<Action>,
-    resps: &Receiver<CommitStatus>,
+    cells: &[Option<Mutex<NodeCell<P>>>],
+    inboxes: &[Mutex<VecDeque<Action>>],
     writer: &Mutex<TcpStream>,
     stop: &AtomicBool,
+    pool: &Pool,
     wire_pacing: Duration,
     node: u32,
-) where
+) -> Directive
+where
     P: Automaton<Action = Action>,
 {
+    if stop.load(Ordering::SeqCst) {
+        pool.shutdown();
+        return Directive::Done;
+    }
     let comp = &comps[idx];
-    afd_prof::set_lane(&comp.name());
-    let mut state = init;
-    loop {
+    let cell = cells[idx]
+        .as_ref()
+        .expect("only hosted components are enqueued");
+    let mut c = lock(cell);
+    // Drain routed inputs (inputs are always enabled; a `None` step
+    // would be a signature bug, tolerated as a no-op).
+    let drained = std::mem::take(&mut *lock(&inboxes[idx]));
+    for a in drained {
+        let _s = afd_prof::span(afd_prof::Stage::Step);
+        if let Some(next) = comp.step(&c.state, &a) {
+            c.state = next;
+        }
+    }
+    let mut progressed = false;
+    for t in 0..comp.task_count() {
         if stop.load(Ordering::SeqCst) {
-            return;
+            pool.shutdown();
+            return Directive::Done;
         }
-        // Drain routed inputs (inputs are always enabled; a `None`
-        // step would be a signature bug, tolerated as a no-op).
-        while let Ok(a) = inputs.try_recv() {
-            let _s = afd_prof::span(afd_prof::Stage::Step);
-            if let Some(next) = comp.step(&state, &a) {
-                state = next;
-            }
+        let Some(a) = comp.enabled(&c.state, TaskId(t)) else {
+            continue;
+        };
+        // Throttle stubborn retransmission so it cannot flood the
+        // coordinator's event budget (mirrors `wire_pacing` in the
+        // threaded runtime).
+        if matches!(a, Action::WireSend { .. }) && !wire_pacing.is_zero() {
+            let pace = afd_prof::span(afd_prof::Stage::Retransmit);
+            thread::sleep(wire_pacing);
+            pace.done();
         }
-        let mut progressed = false;
-        for t in 0..comp.task_count() {
-            if stop.load(Ordering::SeqCst) {
-                return;
-            }
-            let Some(a) = comp.enabled(&state, TaskId(t)) else {
-                continue;
-            };
-            // Throttle stubborn retransmission so it cannot flood the
-            // coordinator's event budget (mirrors `wire_pacing` in the
-            // threaded runtime).
-            if matches!(a, Action::WireSend { .. }) && !wire_pacing.is_zero() {
-                let pace = afd_prof::span(afd_prof::Stage::Retransmit);
-                thread::sleep(wire_pacing);
-                pace.done();
-            }
-            let req = WireMsg::CommitReq {
-                comp: idx as u32,
-                action: a,
-            };
-            let enc = afd_prof::span(afd_prof::Stage::NetEncode);
-            let payload = encode_msg(&req);
-            enc.done();
-            let sock = afd_prof::span(afd_prof::Stage::NetSocket);
+        let req = WireMsg::CommitReq {
+            comp: idx as u32,
+            action: a,
+        };
+        let enc = afd_prof::span(afd_prof::Stage::NetEncode);
+        let payload = encode_msg(&req);
+        enc.done();
+        let sock = afd_prof::span(afd_prof::Stage::NetSocket);
+        {
+            let mut w = lock(writer);
+            if write_encoded(&mut *w, &payload)
+                .and_then(|()| w.flush())
+                .is_err()
             {
-                let mut w = writer
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                if write_encoded(&mut *w, &payload)
-                    .and_then(|()| w.flush())
-                    .is_err()
-                {
-                    stop.store(true, Ordering::SeqCst);
-                    return;
-                }
-            }
-            sock.done();
-            // Exactly one response per request, in order: block for it
-            // (inputs wait in our queue, so `state` cannot drift).
-            let ack = afd_prof::span(afd_prof::Stage::NetAckWait);
-            let status = loop {
-                match resps.recv_timeout(RESP_WAIT) {
-                    Ok(st) => break st,
-                    Err(RecvTimeoutError::Timeout) => {
-                        if stop.load(Ordering::SeqCst) {
-                            return;
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            };
-            ack.done();
-            match status {
-                CommitStatus::Accepted => {
-                    let step = afd_prof::span(afd_prof::Stage::Step);
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
-                    }
-                    step.done();
-                    progressed = true;
-                }
-                CommitStatus::Suppressed => {
-                    // Our location is dead but the Crash input hasn't
-                    // reached us yet: absorb it instead of spinning.
-                    let wait = afd_prof::span(afd_prof::Stage::RecvWait);
-                    let got = inputs.recv_timeout(IDLE_WAIT);
-                    wait.done();
-                    if let Ok(a) = got {
-                        if let Some(next) = comp.step(&state, &a) {
-                            state = next;
-                        }
-                    }
-                }
-                CommitStatus::Stopped => {
-                    stop.store(true, Ordering::SeqCst);
-                    return;
-                }
-            }
-            // Opportunistically stream flushed profiler records so a
-            // long run's telemetry doesn't pile up until shutdown.
-            if afd_prof::is_enabled() && afd_prof::pending() >= TELEM_STREAM {
-                send_report(node, afd_prof::take(), writer);
+                stop.store(true, Ordering::SeqCst);
+                pool.shutdown();
+                return Directive::Done;
             }
         }
-        if !progressed {
-            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
-            let got = inputs.recv_timeout(IDLE_WAIT);
-            wait.done();
-            match got {
-                Ok(a) => {
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
+        sock.done();
+        // Exactly one response per request, in order: block for it
+        // (inputs wait in the inbox, so the state cannot drift). This
+        // pins the worker for the round trip, which is fine — the
+        // pool is sized for the hosted components, and responses come
+        // from the dedicated reader thread.
+        let ack = afd_prof::span(afd_prof::Stage::NetAckWait);
+        let status = loop {
+            match c.resps.recv_timeout(RESP_WAIT) {
+                Ok(st) => break st,
+                Err(RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::SeqCst) {
+                        pool.shutdown();
+                        return Directive::Done;
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Disconnected) => {
+                    pool.shutdown();
+                    return Directive::Done;
+                }
+            }
+        };
+        ack.done();
+        match status {
+            CommitStatus::Accepted => {
+                let step = afd_prof::span(afd_prof::Stage::Step);
+                if let Some(next) = comp.step(&c.state, &a) {
+                    c.state = next;
+                }
+                step.done();
+                progressed = true;
+            }
+            // Our location is dead but the Crash input hasn't reached
+            // us yet: skip — the routed Crash will re-enqueue this
+            // component and its step disables the task.
+            CommitStatus::Suppressed => {}
+            CommitStatus::Stopped => {
+                stop.store(true, Ordering::SeqCst);
+                pool.shutdown();
+                return Directive::Done;
             }
         }
+        // Opportunistically stream flushed profiler records so a
+        // long run's telemetry doesn't pile up until shutdown.
+        if afd_prof::is_enabled() && afd_prof::pending() >= TELEM_STREAM {
+            send_report(node, afd_prof::take(), writer);
+        }
+    }
+    if progressed {
+        Directive::Again
+    } else {
+        Directive::Idle
     }
 }

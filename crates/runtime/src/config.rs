@@ -312,6 +312,12 @@ pub struct RuntimeConfig {
     pub commit_batch: usize,
     /// Which commit pipeline the sink runs.
     pub pipeline: CommitPipeline,
+    /// Worker-pool size for the sharded executor. `None` (the default)
+    /// uses `std::thread::available_parallelism()`. The verdict of a
+    /// run must never depend on this knob — it only changes which legal
+    /// interleaving the pool happens to explore (see the pool-size
+    /// sweep in tests/threaded_cross_validation.rs).
+    pub workers: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -334,6 +340,7 @@ impl Default for RuntimeConfig {
             observer: None,
             commit_batch: 1,
             pipeline: CommitPipeline::Streamed,
+            workers: None,
         }
     }
 }
@@ -358,6 +365,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("observer", &self.observer.is_some())
             .field("commit_batch", &self.commit_batch)
             .field("pipeline", &self.pipeline)
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -478,6 +486,13 @@ impl RuntimeConfig {
     #[must_use]
     pub fn with_pipeline(mut self, pipeline: CommitPipeline) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Pin the executor's worker-pool size (`0` clamps to `1`).
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
         self
     }
 

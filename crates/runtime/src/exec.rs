@@ -1,0 +1,455 @@
+//! The sharded, event-driven executor: a fixed pool of workers
+//! multiplexing all components of a run.
+//!
+//! The thread-per-automaton engine died at n = 16: ~270 OS threads
+//! (processes + all-pairs channels + FD/env) each waking every 500 µs
+//! to find an empty queue put `recv-wait` at 98.6% of busy time. This
+//! pool replaces it. Each component has a scheduling state
+//! (one byte); *enqueue* marks it ready and pushes its index onto its
+//! home shard's ready queue, waking exactly one parked worker via that
+//! shard's condvar. Workers pop from their own shard, opportunistically
+//! steal from others, and park on their condvar when the system is
+//! quiet — no timed polls anywhere.
+//!
+//! # The per-component state machine
+//!
+//! ```text
+//!          enqueue                 pop                 body returns
+//! IDLE ────────────▶ QUEUED ────────────▶ RUNNING ──┬─ Again ──▶ QUEUED
+//!   ▲                                        │      ├─ Idle ───▶ IDLE
+//!   │                     enqueue            ▼      └─ Done ───▶ DONE
+//!   └── (CAS failed: RUNNING_DIRTY ◀──── RUNNING)
+//!                         │ body returns Idle: requeue ▶ QUEUED
+//! ```
+//!
+//! Invariants the machine guarantees:
+//!
+//! * **At most one activation per component at a time.** Only the
+//!   worker that popped an index moves it `QUEUED → RUNNING`, and only
+//!   that worker moves it out of `RUNNING`. A component's body is
+//!   therefore never re-entered — its cell state needs no contended
+//!   locking.
+//! * **No lost wakeups.** An enqueue during `RUNNING` flips the state
+//!   to `RUNNING_DIRTY`; the worker's `RUNNING → IDLE` CAS then fails
+//!   and it requeues instead. An enqueue during `QUEUED` is a no-op —
+//!   the pending activation will drain whatever was pushed to the
+//!   component's inbox (inputs are pushed to the inbox *before* the
+//!   enqueue call).
+//! * **Each index appears in the ready queues at most once** — every
+//!   push is guarded by a winning transition into `QUEUED`.
+//!
+//! `DONE` is terminal (killed or permanently finished components);
+//! enqueues against it are silently dropped, which is exactly the
+//! `CrashMode::Kill` drop-on-the-floor rule.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex};
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_DIRTY: u8 = 3;
+const DONE: u8 = 4;
+
+/// What a component body tells the pool after one activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Made progress and may have more to do: requeue immediately
+    /// (fairness — long chains yield the worker between activations).
+    Again,
+    /// Nothing to do until someone enqueues it again (or the run
+    /// management layer re-arms it, e.g. a deferred partition heal).
+    Idle,
+    /// Permanently finished: drop every future enqueue.
+    Done,
+}
+
+struct Shard {
+    q: Mutex<VecDeque<u32>>,
+    cv: Condvar,
+}
+
+/// The worker pool of one run. Created per run, shared by reference
+/// with every worker thread (the caller owns the threads — typically a
+/// `thread::scope` so bodies can borrow run-local cells).
+pub struct Pool {
+    shards: Vec<Shard>,
+    states: Vec<AtomicU8>,
+    stop: AtomicBool,
+}
+
+impl Pool {
+    /// A pool of `workers` shards scheduling `components` components.
+    /// `workers` is clamped to ≥ 1; component `i`'s home shard is
+    /// `i % workers`.
+    #[must_use]
+    pub fn new(workers: usize, components: usize) -> Pool {
+        let w = workers.max(1);
+        Pool {
+            shards: (0..w)
+                .map(|_| Shard {
+                    q: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            states: (0..components).map(|_| AtomicU8::new(IDLE)).collect(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Mark component `i` ready: push it onto its home shard and wake
+    /// a worker, unless it is already queued, already marked dirty, or
+    /// done. Callers push work (inbox entries) *before* calling this.
+    /// Returns whether the call made the component runnable (false
+    /// means an activation was already guaranteed, or the component is
+    /// done).
+    pub fn enqueue(&self, i: usize) -> bool {
+        let s = &self.states[i];
+        let mut cur = s.load(Ordering::Acquire);
+        loop {
+            match cur {
+                IDLE => match s.compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => {
+                        self.push(i);
+                        return true;
+                    }
+                    Err(now) => cur = now,
+                },
+                RUNNING => match s.compare_exchange(
+                    RUNNING,
+                    RUNNING_DIRTY,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return true,
+                    Err(now) => cur = now,
+                },
+                // QUEUED / RUNNING_DIRTY: an activation that will see
+                // the caller's work is already guaranteed. DONE: drop.
+                _ => return false,
+            }
+        }
+    }
+
+    /// Permanently retire component `i` from outside a body (bodies
+    /// return [`Directive::Done`] instead). Safe at any time: a
+    /// concurrent activation finishes normally, and its directive
+    /// cannot resurrect a `DONE` state.
+    pub fn retire(&self, i: usize) {
+        self.states[i].store(DONE, Ordering::Release);
+    }
+
+    /// Has the pool been shut down?
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Stop the pool: all workers return from [`Pool::run_worker`] as
+    /// soon as they finish their current activation. Idempotent;
+    /// callable from worker bodies.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for sh in &self.shards {
+            drop(
+                sh.q.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            sh.cv.notify_all();
+        }
+    }
+
+    fn push(&self, i: usize) {
+        let sh = &self.shards[i % self.shards.len()];
+        sh.q.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(i as u32);
+        sh.cv.notify_one();
+    }
+
+    /// Pop the next ready component for worker `k`: own shard first,
+    /// then a stealing sweep over the others, then park on the own
+    /// shard's condvar. Returns `None` on shutdown.
+    ///
+    /// The whole acquire is one `sched-wait` span — from needing work
+    /// to having it — so queue/steal bookkeeping and condvar parks
+    /// alike are attributed to the scheduler, and span *count* stays
+    /// one per activation (the thread-per-automaton engine emitted one
+    /// per timed-poll wakeup, which is what Table W's wait gate
+    /// watches).
+    fn pop(&self, k: usize) -> Option<usize> {
+        let sched = afd_prof::span(afd_prof::Stage::SchedWait);
+        let got = self.pop_inner(k);
+        sched.done();
+        got
+    }
+
+    fn pop_inner(&self, k: usize) -> Option<usize> {
+        let w = self.shards.len();
+        let own = &self.shards[k];
+        if self.is_shutdown() {
+            return None;
+        }
+        {
+            let mut q = own
+                .q
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(i) = q.pop_front() {
+                afd_prof::gauge_sampled(afd_prof::GaugeKind::ReadyQueueDepth, q.len() as u64, 64);
+                return Some(i as usize);
+            }
+        }
+        // Steal: cheap try_lock sweep — never blocks on a peer.
+        for d in 1..w {
+            let sh = &self.shards[(k + d) % w];
+            if let Ok(mut q) = sh.q.try_lock() {
+                if let Some(i) = q.pop_front() {
+                    return Some(i as usize);
+                }
+            }
+        }
+        // Park until an enqueue targets this shard. Recheck under the
+        // lock before waiting: pushes happen under the same lock, so a
+        // wakeup cannot slip between check and wait. (No need to
+        // re-steal after waking — only own-shard pushes and shutdown
+        // signal this condvar.)
+        let mut q = own
+            .q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(i) = q.pop_front() {
+                afd_prof::gauge_sampled(afd_prof::GaugeKind::ReadyQueueDepth, q.len() as u64, 64);
+                return Some(i as usize);
+            }
+            if self.is_shutdown() {
+                return None;
+            }
+            q = own
+                .cv
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Worker `k`'s main loop: pop ready components and run `body` on
+    /// each until shutdown. `body(i)` is the single activation of
+    /// component `i`; the state machine guarantees it is never run
+    /// concurrently for the same `i`.
+    pub fn run_worker<F: FnMut(usize) -> Directive>(&self, k: usize, mut body: F) {
+        while let Some(i) = self.pop(k) {
+            let s = &self.states[i];
+            // Sole QUEUED → RUNNING transition; a retire() racing in
+            // leaves DONE in place and the directive below respects it.
+            if s.compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            match body(i) {
+                Directive::Again => {
+                    if s.compare_exchange(RUNNING, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                        || s.compare_exchange(
+                            RUNNING_DIRTY,
+                            QUEUED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.push(i);
+                    }
+                }
+                Directive::Idle => {
+                    if s.compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                        && s.compare_exchange(
+                            RUNNING_DIRTY,
+                            QUEUED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        // An enqueue landed mid-activation: rerun.
+                        self.push(i);
+                    }
+                }
+                Directive::Done => s.store(DONE, Ordering::Release),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_worker_runs_enqueued_components() {
+        let pool = Pool::new(1, 4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.run_worker(0, |i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                    Directive::Idle
+                });
+            });
+            for i in 0..4 {
+                assert!(pool.enqueue(i));
+            }
+            while hits.iter().map(|h| h.load(Ordering::SeqCst)).sum::<usize>() < 4 {
+                std::thread::yield_now();
+            }
+            pool.shutdown();
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn again_requeues_until_idle() {
+        let pool = Pool::new(2, 1);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for k in 0..2 {
+                let (pool, hits) = (&pool, &hits);
+                s.spawn(move || {
+                    pool.run_worker(k, |_| {
+                        if hits.fetch_add(1, Ordering::SeqCst) + 1 < 10 {
+                            Directive::Again
+                        } else {
+                            Directive::Idle
+                        }
+                    });
+                });
+            }
+            assert!(pool.enqueue(0));
+            while hits.load(Ordering::SeqCst) < 10 {
+                std::thread::yield_now();
+            }
+            pool.shutdown();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn enqueue_during_running_forces_a_rerun() {
+        let pool = Pool::new(1, 1);
+        let hits = AtomicUsize::new(0);
+        let in_body = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.run_worker(0, |_| {
+                    in_body.store(true, Ordering::SeqCst);
+                    // Linger so the main thread's enqueue lands while
+                    // RUNNING.
+                    while hits.load(Ordering::SeqCst) == 0 && in_body.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    Directive::Idle
+                });
+            });
+            assert!(pool.enqueue(0));
+            while !in_body.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            assert!(
+                pool.enqueue(0),
+                "RUNNING -> RUNNING_DIRTY counts as made-runnable"
+            );
+            in_body.store(false, Ordering::SeqCst);
+            while hits.load(Ordering::SeqCst) < 2 {
+                std::thread::yield_now();
+            }
+            pool.shutdown();
+        });
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            2,
+            "dirty flag forced exactly one rerun"
+        );
+    }
+
+    #[test]
+    fn done_components_drop_enqueues() {
+        let pool = Pool::new(1, 2);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.run_worker(0, |_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    Directive::Done
+                });
+            });
+            assert!(pool.enqueue(0));
+            while hits.load(Ordering::SeqCst) < 1 {
+                std::thread::yield_now();
+            }
+            assert!(!pool.enqueue(0), "DONE drops enqueues");
+            pool.retire(1);
+            assert!(!pool.enqueue(1), "retire() is DONE");
+            pool.shutdown();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shutdown_wakes_parked_workers() {
+        let pool = Pool::new(4, 0);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for k in 0..4 {
+                let pool = &pool;
+                s.spawn(move || pool.run_worker(k, |_| Directive::Idle));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            pool.shutdown();
+        });
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        assert!(pool.is_shutdown());
+    }
+
+    #[test]
+    fn work_distributes_across_many_components_and_workers() {
+        let n = 64;
+        let pool = Pool::new(4, n);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for k in 0..4 {
+                let hits = &hits;
+                let pool = &pool;
+                s.spawn(move || {
+                    pool.run_worker(k, |i| {
+                        hits[i].fetch_add(1, Ordering::SeqCst);
+                        // Each component pings its successor once.
+                        if i + 1 < n && hits[i].load(Ordering::SeqCst) == 1 {
+                            pool.enqueue(i + 1);
+                        }
+                        Directive::Idle
+                    });
+                });
+            }
+            pool.enqueue(0);
+            while hits[n - 1].load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            pool.shutdown();
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) >= 1));
+    }
+}

@@ -3,9 +3,12 @@
 //!
 //! Where `afd-system`'s simulator picks one interleaving with a
 //! scheduling policy, this crate runs the *same* `System<P>`
-//! composition on real OS threads — one per component automaton — and
-//! lets the operating system's scheduler produce the interleaving.
-//! Nondeterminism is real, not sampled.
+//! composition on real OS threads — a sharded, event-driven worker
+//! pool ([`exec`]) multiplexing every component automaton — and lets
+//! the operating system's scheduler produce the interleaving.
+//! Nondeterminism is real, not sampled; the verdict of a run never
+//! depends on the pool size ([`RuntimeConfig::with_workers`]), which
+//! only selects which legal interleaving is explored.
 //!
 //! The bridge back to the theory is the [`sink::EventSink`]: every
 //! action is committed through one mutex, and the mutex order *is* the
@@ -29,7 +32,7 @@
 //! - a crash injector fires the configured `FaultPattern` at global
 //!   event-count thresholds, with [`CrashMode::Halt`] (the paper's
 //!   model: the automaton survives, silenced) or [`CrashMode::Kill`]
-//!   (the worker thread exits, dropping its input queue);
+//!   (the component is retired, dropping its queued inputs);
 //! - an adversarial link layer ([`LinkFaults`]) delays channel
 //!   deliveries (per-channel fixed delay plus seeded jitter) and, when
 //!   a profile is chaotic, drops, duplicates, and reorders them from a
@@ -42,7 +45,10 @@
 //!
 //! Robustness machinery:
 //! - shutdown is structural quiescence detection (commit count stable,
-//!   queues drained, workers parked) instead of a timing heuristic;
+//!   inboxes drained, components parked) instead of a timing
+//!   heuristic, and the engine contains no timed polls: pool workers
+//!   park on per-shard condvars and the crash injector blocks on a
+//!   sink length-watch ([`EventSink::wait_len_at_least`]);
 //! - a watchdog stops stalled runs with [`StopReason::Watchdog`] and a
 //!   [`RunDiagnostic`] dump instead of hanging forever (e.g. under an
 //!   eternal partition);
@@ -53,11 +59,12 @@
 //!   a typed [`ConfigError`] before any thread spawns
 //!   ([`try_run_threaded`]).
 //!
-//! The crate is deliberately std-only: threads, `mpsc`, atomics — no
-//! async runtime.
+//! The crate is deliberately std-only: threads, mutexes, condvars,
+//! atomics — no async runtime.
 
 pub mod chaos;
 pub mod config;
+pub mod exec;
 pub mod harness;
 pub mod rng;
 pub mod runtime;

@@ -1,41 +1,68 @@
-//! The threaded executor: one OS thread per component automaton,
-//! `std::sync::mpsc` channels as the transport between them, a crash
-//! injector, an adversarial link layer, and a watchdog monitor.
+//! The threaded executor: a sharded, event-driven worker pool
+//! (see [`crate::exec`]) multiplexing every component automaton of the
+//! run, a crash injector, an adversarial link layer, and a watchdog
+//! monitor.
 //!
-//! Every worker runs the same loop against its component's `Automaton`
-//! implementation: drain routed inputs (applying `step`), sweep local
-//! tasks for enabled actions, commit each through the shared
-//! [`EventSink`], and on acceptance apply the local `step` and route
-//! the action to every component that classifies it as an input. The
-//! commit-then-step-then-route order is what makes the sink's log a
-//! legal schedule (see the linearization convention in [`crate::sink`]).
+//! **Why a pool.** The previous engine spawned one OS thread per
+//! component. At n = 16 that is ~270 threads (16 processes + 240
+//! all-pairs channels + FD/env) each waking every 500 µs to find an
+//! empty queue: `recv-wait` was 98.6% of busy time and throughput
+//! collapsed ~100× from n = 8. Now W ≈ `available_parallelism` workers
+//! pull ready components from per-shard queues and park on a condvar
+//! when the system is quiet — there are no timed polls anywhere in the
+//! engine (the crash injector blocks on a sink length-watch, see
+//! [`EventSink::wait_len_at_least`]).
 //!
-//! **Adversarial links.** Channel workers whose [`LinkProfile`] is
+//! **Activation model.** Each component owns an inbox (routed inputs)
+//! and a body (automaton state plus per-channel adversary state). An
+//! activation drains the inbox (applying `step`), then sweeps local
+//! tasks: commit each enabled action through the shared [`EventSink`],
+//! apply the local `step`, and route the action to the components that
+//! classify it as an input. The commit-then-step-then-route order is
+//! what makes the sink's log a legal schedule (see the linearization
+//! convention in [`crate::sink`]). The pool guarantees at most one
+//! activation per component at a time, so bodies need no contended
+//! locking and per-channel adversary decisions stay a deterministic,
+//! seeded stream.
+//!
+//! **Routing index.** `route()` no longer scans all O(n²) components
+//! calling `classify` per committed action. Action classification is
+//! payload-independent, so the fan-out set of an action is a function
+//! of its variant and locations only: a `(kind, loc, loc)` key maps to
+//! a cached `Arc<[u32]>` target list, built lazily (one classify scan
+//! per distinct key, a handful per run) and hit lock-free-ish through
+//! an `RwLock` read for every subsequent commit.
+//!
+//! **Adversarial links.** Channel components whose [`LinkProfile`] is
 //! chaotic (or while partitions are scripted) run a fault-injecting
-//! variant: each consumed arrival draws one [`ChannelChaos`] decision —
-//! drop (consume silently), duplicate (commit the delivery twice), or
-//! hold (release only after up to `reorder` later arrivals). Scripted
-//! [`crate::Partition`]s *hold* (never drop) all traffic crossing the
-//! cut, so healing resumes delivery in FIFO order per channel.
+//! activation: each consumed arrival draws one [`ChannelChaos`]
+//! decision — drop (consume silently), duplicate (commit the delivery
+//! twice), or hold (release only after up to `reorder` later
+//! arrivals). Scripted [`crate::Partition`]s *hold* (never drop) all
+//! traffic crossing the cut; a cut channel with pending traffic goes
+//! idle without voting for quiescence and registers in a deferred
+//! registry keyed by the partition's heal step, so the first commit at
+//! or past that step (or the next watchdog tick) re-arms it — healing
+//! resumes delivery in FIFO order per channel with no cut-poll loop.
 //!
 //! **Shutdown.** Quiescence is detected structurally, not by a timing
 //! heuristic: the run is idle when the commit count is stable across
-//! two watchdog ticks, every live input queue is drained, and every
-//! live worker is parked. A run that is *not* quiescent but commits
+//! two watchdog ticks, every live inbox is drained, and every live
+//! component is parked. A run that is *not* quiescent but commits
 //! nothing within the watchdog deadline is stopped with
 //! [`StopReason::Watchdog`] and a [`RunDiagnostic`] instead of hanging.
 //!
-//! **Panic containment.** Worker bodies run under `catch_unwind`. A
-//! panicking process worker becomes a `Crash` event at its location
+//! **Panic containment.** Activations run under `catch_unwind`. A
+//! panicking process component becomes a `Crash` event at its location
 //! (observable by observers, like any crash); a panicking
-//! channel/env/FD worker stops the run with [`StopReason::Panicked`].
-//! Either way the run terminates cleanly with a diagnostic.
+//! channel/env/FD component stops the run with
+//! [`StopReason::Panicked`]. Either way the run terminates cleanly
+//! with a diagnostic.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread;
 use std::time::Duration;
 
@@ -45,8 +72,17 @@ use ioa::{ActionClass, Automaton, TaskId};
 
 use crate::chaos::{ChannelChaos, ChannelChaosStats, ChaosReport};
 use crate::config::{ConfigError, CrashMode, LinkProfile, RuntimeConfig};
+use crate::exec::{Directive, Pool};
 use crate::rng::SplitMix64;
 use crate::sink::{Commit, EventSink, SinkOptions, StopReason};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The composed state of one component (process-or-infrastructure
+/// sum type), as stored in its cell.
+type CState<P> = <Component<P> as Automaton>::State;
 
 /// Diagnostic dump of a stalled or panicked run: what every component
 /// was doing when the watchdog fired.
@@ -58,11 +94,11 @@ pub struct RunDiagnostic {
     pub stalled_ns: u64,
     /// Components with undrained input queues: `(name, queued)`.
     pub backlog: Vec<(String, usize)>,
-    /// Live workers that were not parked (had or expected work).
+    /// Live components that were not parked (had or expected work).
     pub busy: Vec<String>,
     /// Locations crashed by that point.
     pub crashed: Vec<Loc>,
-    /// Panic messages captured from contained worker panics.
+    /// Panic messages captured from contained panics.
     pub panics: Vec<String>,
 }
 
@@ -137,23 +173,26 @@ impl RuntimeOutcome {
     }
 }
 
-/// Shared per-component instrumentation: input-queue depths and parked
-/// flags (the quiescence signal), completion flags, chaos accounting,
-/// and contained-panic notes.
+/// Shared per-component instrumentation: inbox depths and parked flags
+/// (the quiescence signal), completion flags, and contained-panic
+/// notes. With the pool, `parked`/`backlog` are per-*component*
+/// properties — a component is parked when its last activation found
+/// nothing to do, regardless of which worker ran it.
 struct Telemetry {
-    /// Routed-but-unapplied inputs per component.
+    /// Routed-but-unapplied inputs per component (exact: stored under
+    /// the component's inbox lock by whoever changes the queue).
     backlog: Vec<AtomicUsize>,
-    /// Worker is blocked with nothing enabled (quiescence vote).
+    /// Component's last activation found nothing enabled (quiescence
+    /// vote).
     parked: Vec<AtomicBool>,
-    /// Worker thread has exited (its backlog no longer counts).
+    /// Component is permanently finished (its backlog no longer
+    /// counts).
     done: Vec<AtomicBool>,
-    /// Per-component adversarial accounting (channels only).
-    chaos: Vec<Mutex<ChannelChaosStats>>,
     /// Contained panic messages.
     panics: Mutex<Vec<String>>,
     /// Live backlog/busy snapshot taken by the monitor at the moment
-    /// the watchdog fired (post-run the workers have all parked, so
-    /// this cannot be reconstructed later).
+    /// the watchdog fired (post-run everything is parked, so this
+    /// cannot be reconstructed later).
     snapshot: Mutex<Option<RunDiagnostic>>,
 }
 
@@ -163,9 +202,6 @@ impl Telemetry {
             backlog: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             parked: (0..n).map(|_| AtomicBool::new(false)).collect(),
             done: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            chaos: (0..n)
-                .map(|_| Mutex::new(ChannelChaosStats::default()))
-                .collect(),
             panics: Mutex::new(Vec::new()),
             snapshot: Mutex::new(None),
         }
@@ -184,11 +220,7 @@ impl Telemetry {
         self.done[idx].store(true, Ordering::SeqCst);
     }
 
-    fn dec_backlog(&self, idx: usize) {
-        self.backlog[idx].fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// All live workers parked, with every live input queue drained?
+    /// All live components parked, with every live inbox drained?
     fn quiescent(&self) -> bool {
         for i in 0..self.parked.len() {
             if self.done[i].load(Ordering::SeqCst) {
@@ -203,416 +235,666 @@ impl Telemetry {
     }
 
     fn note_panic(&self, msg: String) {
-        self.panics
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(msg);
+        lock(&self.panics).push(msg);
     }
 }
 
-/// Route `a` to every component (except `from_idx`) that classifies it
-/// as an input, keeping the backlog accounting exact. Send errors mean
-/// the receiver was killed — exactly the crash-stop semantics
-/// `CrashMode::Kill` asks for — so the increment is rolled back and
-/// the message dropped on the floor.
-fn route<P>(
-    comps: &[Component<P>],
-    senders: &[Sender<Action>],
-    tel: &Telemetry,
-    from_idx: usize,
-    a: Action,
-) where
-    P: Automaton<Action = Action>,
-{
-    for (idx, c) in comps.iter().enumerate() {
-        if idx != from_idx && c.classify(&a) == Some(ActionClass::Input) {
-            tel.backlog[idx].fetch_add(1, Ordering::SeqCst);
-            if senders[idx].send(a).is_err() {
-                tel.backlog[idx].fetch_sub(1, Ordering::SeqCst);
-            }
+/// Routed inputs pending for one component. `killed` implements the
+/// `CrashMode::Kill` drop-queued-inputs rule: routing to a killed
+/// inbox silently discards the message (the kill -9 semantics the old
+/// engine got from dropping the mpsc receiver).
+struct Inbox {
+    q: VecDeque<Action>,
+    killed: bool,
+}
+
+/// Per-channel adversary state, persisted across activations so the
+/// seeded decision stream is identical to a dedicated-thread run.
+struct ChaosState {
+    chaos: ChannelChaos,
+    jrng: SplitMix64,
+    /// Held-back arrivals: `(action, release_at, duplicate)` —
+    /// released once the arrival clock passes `release_at`, in
+    /// insertion order.
+    held: VecDeque<(Action, u64, bool)>,
+    arrivals: u64,
+    stats: ChannelChaosStats,
+}
+
+/// The mutable half of a component. The pool guarantees one activation
+/// at a time, so this mutex is uncontended — it exists to move the
+/// state across worker threads, not to arbitrate.
+struct Body<S> {
+    state: S,
+    rng: SplitMix64,
+    chaos: Option<ChaosState>,
+}
+
+struct Cell<P: Automaton<Action = Action>> {
+    inbox: Mutex<Inbox>,
+    body: Mutex<Body<CState<P>>>,
+}
+
+/// Cut channels waiting for a scripted partition to heal: `(heal
+/// step, component)`. Re-armed by the first commit whose resulting
+/// length reaches the heal step — with the watchdog tick as a safety
+/// net for the register/commit race — instead of polling the cut.
+struct Deferred {
+    entries: Mutex<Vec<(usize, u32)>>,
+    /// Smallest registered heal step (`usize::MAX` when empty): the
+    /// lock-free pre-check on the commit path.
+    min: AtomicUsize,
+}
+
+impl Deferred {
+    fn new() -> Self {
+        Deferred {
+            entries: Mutex::new(Vec::new()),
+            min: AtomicUsize::new(usize::MAX),
         }
     }
-}
 
-/// How long an idle worker blocks on its input queue per wait.
-const IDLE_WAIT: Duration = Duration::from_micros(500);
-/// How long a worker backs off after a suppressed commit (waiting for
-/// its own crash event to arrive on the input queue).
-const SUPPRESSED_WAIT: Duration = Duration::from_micros(200);
-/// How long a channel worker sleeps while its traffic is cut by a
-/// partition.
-const CUT_WAIT: Duration = Duration::from_micros(500);
-/// Crash-injector polling period while waiting for a threshold.
-const INJECTOR_POLL: Duration = Duration::from_micros(100);
-
-#[allow(clippy::too_many_arguments)]
-fn worker<P>(
-    comps: &[Component<P>],
-    senders: &[Sender<Action>],
-    idx: usize,
-    kind: ComponentKind,
-    rx: &Receiver<Action>,
-    sink: &EventSink,
-    cfg: &RuntimeConfig,
-    profile: LinkProfile,
-    tel: &Telemetry,
-) where
-    P: Automaton<Action = Action>,
-{
-    let comp = &comps[idx];
-    afd_prof::set_lane(&comp.name());
-    let mut state = comp.initial_state();
-    let mut rng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
-    // Reused speculation buffers for the commit-batch path (kept out
-    // of the sweep so the common single-action commit allocates
-    // nothing after warm-up).
-    let mut chain: Vec<Action> = Vec::new();
-    let mut states = Vec::new();
-    loop {
-        if sink.is_stopped() {
+    /// Register `comp` to be re-armed once the log reaches
+    /// `threshold`. `usize::MAX` (an eternal cut) is not registered —
+    /// the component stays un-parked, so the watchdog still fires.
+    fn register(&self, threshold: usize, comp: usize) {
+        if threshold == usize::MAX {
             return;
         }
-        if cfg.crash_mode == CrashMode::Kill {
-            if let ComponentKind::Process(l) = kind {
-                if sink.is_crashed(l) {
-                    // kill -9: drop the receiver, losing queued inputs.
-                    return;
-                }
-            }
+        let mut g = lock(&self.entries);
+        if let Some(e) = g.iter_mut().find(|e| e.1 == comp as u32) {
+            e.0 = e.0.min(threshold);
+        } else {
+            g.push((threshold, comp as u32));
         }
-        // Drain routed inputs (inputs are always enabled; a `None`
-        // step would be a signature bug, tolerated as a no-op).
-        while let Ok(a) = rx.try_recv() {
-            tel.unpark(idx);
-            tel.dec_backlog(idx);
-            let _s = afd_prof::span(afd_prof::Stage::Step);
-            if let Some(next) = comp.step(&state, &a) {
-                state = next;
-            }
+        let cur = self.min.load(Ordering::Relaxed);
+        self.min.store(cur.min(threshold), Ordering::Relaxed);
+    }
+
+    /// Re-arm every entry whose heal step has been reached.
+    fn drain(&self, len: usize, pool: &Pool) {
+        if self.min.load(Ordering::Relaxed) > len {
+            return;
         }
-        // Sweep local tasks.
-        let needs_pacing = |a: &Action| match kind {
-            ComponentKind::Fd => !cfg.fd_pacing.is_zero(),
-            ComponentKind::Channel(_, _) => !profile.is_zero(),
-            ComponentKind::Process(_) => {
-                matches!(a, Action::WireSend { .. }) && !cfg.wire_pacing.is_zero()
-            }
-            _ => false,
-        };
-        let mut progressed = false;
-        for t in 0..comp.task_count() {
-            if sink.is_stopped() {
-                return;
-            }
-            let Some(a) = comp.enabled(&state, TaskId(t)) else {
-                continue;
-            };
-            tel.unpark(idx);
-            // Pacing and link faults happen before the commit, so the
-            // linearization point itself stays instantaneous.
-            if needs_pacing(&a) {
-                match kind {
-                    ComponentKind::Fd => {
-                        let _p = afd_prof::span(afd_prof::Stage::Pacing);
-                        thread::sleep(cfg.fd_pacing);
-                    }
-                    ComponentKind::Channel(_, _) => {
-                        let _p = afd_prof::span(afd_prof::Stage::Pacing);
-                        let jitter_ns =
-                            rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
-                        thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
-                    }
-                    // Throttle stubborn retransmission (WireSend) so it
-                    // cannot flood the event budget.
-                    _ => {
-                        let _p = afd_prof::span(afd_prof::Stage::Retransmit);
-                        thread::sleep(cfg.wire_pacing);
-                    }
-                }
-            }
-            // Speculate a chain of locally-controlled actions from this
-            // task: each is enabled in the state its predecessors
-            // produce, and nothing else can change that state (routed
-            // inputs wait in our queue), so committing the chain as one
-            // batch is a legal scheduling choice. The accepted prefix —
-            // the sink can cut a batch short at the budget — is applied
-            // and routed in order; the rest of the speculation is
-            // discarded.
-            let cap = if needs_pacing(&a) {
-                1
+        let mut g = lock(&self.entries);
+        let mut new_min = usize::MAX;
+        let mut i = 0;
+        while i < g.len() {
+            if g[i].0 <= len {
+                let (_, c) = g.swap_remove(i);
+                pool.enqueue(c as usize);
             } else {
-                cfg.commit_batch.max(1)
-            };
-            let step_span = afd_prof::span(afd_prof::Stage::Step);
-            chain.clear();
-            states.clear();
-            chain.push(a);
-            if let Some(s1) = comp.step(&state, &a) {
-                states.push(s1);
-                while chain.len() < cap {
-                    let cur = states.last().expect("one state per chained action");
-                    let Some(next_a) = comp.enabled(cur, TaskId(t)) else {
-                        break;
-                    };
-                    if needs_pacing(&next_a) {
-                        break;
-                    }
-                    let Some(next_s) = comp.step(cur, &next_a) else {
-                        break;
-                    };
-                    chain.push(next_a);
-                    states.push(next_s);
-                }
-            }
-            step_span.done();
-            let (n, status) = sink.try_commit_batch(&chain);
-            if n > 0 {
-                states.truncate(n);
-                if let Some(s) = states.pop() {
-                    state = s;
-                }
-                for &committed in &chain[..n] {
-                    route(comps, senders, tel, idx, committed);
-                }
-                progressed = true;
-            }
-            match status {
-                Commit::Accepted => {}
-                Commit::Suppressed => {
-                    // Our location is dead but the Crash input hasn't
-                    // reached us yet: absorb it instead of spinning.
-                    let _w = afd_prof::span(afd_prof::Stage::RecvWait);
-                    if let Ok(a) = rx.recv_timeout(SUPPRESSED_WAIT) {
-                        tel.dec_backlog(idx);
-                        if let Some(next) = comp.step(&state, &a) {
-                            state = next;
-                        }
-                    }
-                }
-                Commit::Stopped => return,
+                new_min = new_min.min(g[i].0);
+                i += 1;
             }
         }
-        if !progressed {
-            // Nothing enabled and nothing arrived: this worker votes
-            // for quiescence until an input wakes it.
-            tel.park(idx);
-            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
-            let got = rx.recv_timeout(IDLE_WAIT);
-            wait.done();
-            match got {
-                Ok(a) => {
-                    tel.unpark(idx);
-                    tel.dec_backlog(idx);
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Every other worker is gone; without inputs no new
-                    // task can become enabled.
-                    if !comp.any_task_enabled(&state) {
-                        return;
-                    }
-                    tel.unpark(idx);
-                }
-            }
-        }
+        self.min.store(new_min, Ordering::Relaxed);
     }
 }
 
-/// The adversarial channel worker: like [`worker`] for a channel-kind
-/// component, but every consumed arrival draws a chaos decision
-/// (drop/dup/hold) and scripted partitions gate delivery. Returns the
-/// realized per-channel accounting.
-#[allow(clippy::too_many_arguments)]
-fn chaos_channel_worker<P>(
-    comps: &[Component<P>],
-    senders: &[Sender<Action>],
-    idx: usize,
-    from: Loc,
-    to: Loc,
-    rx: &Receiver<Action>,
-    sink: &EventSink,
-    cfg: &RuntimeConfig,
-    profile: LinkProfile,
-    tel: &Telemetry,
-) -> ChannelChaosStats
+/// The first heal step of the partitions cutting `(from, to)` at
+/// `step` (`usize::MAX` if the cut never heals).
+fn heal_threshold(cfg: &RuntimeConfig, from: Loc, to: Loc, step: usize) -> usize {
+    cfg.partitions
+        .iter()
+        .filter(|p| p.cuts(from, to, step))
+        .map(|p| p.end)
+        .min()
+        .unwrap_or(usize::MAX)
+}
+
+/// The routing-index key of an action: variant tag plus the locations
+/// that determine its fan-out set. Sound because every `classify`
+/// implementation in the system is payload-independent — two actions
+/// with the same key are inputs to exactly the same components.
+fn route_key(a: &Action) -> (u8, u8, u8) {
+    match *a {
+        Action::Crash(l) => (0, l.0, 0),
+        Action::Recover(l) => (1, l.0, 0),
+        Action::Send { from, to, .. } => (2, from.0, to.0),
+        Action::Receive { from, to, .. } => (3, from.0, to.0),
+        Action::WireSend { from, to, .. } => (4, from.0, to.0),
+        Action::WireRecv { from, to, .. } => (5, from.0, to.0),
+        Action::Fd { at, .. } => (6, at.0, 0),
+        Action::FdRenamed { at, .. } => (7, at.0, 0),
+        Action::Propose { at, .. } => (8, at.0, 0),
+        Action::Decide { at, .. } => (9, at.0, 0),
+        Action::Elect { at, leader } => (10, at.0, leader.0),
+        Action::Broadcast { at, .. } => (11, at.0, 0),
+        Action::Deliver { at, origin, .. } => (12, at.0, origin.0),
+        Action::ProposeK { at, .. } => (13, at.0, 0),
+        Action::DecideK { at, .. } => (14, at.0, 0),
+        Action::Vote { at, .. } => (15, at.0, 0),
+        Action::Verdict { at, .. } => (16, at.0, 0),
+        Action::Query { at } => (17, at.0, 0),
+        Action::QueryReply { at, .. } => (18, at.0, 0),
+        Action::Internal { at, .. } => (19, at.0, 0),
+    }
+}
+
+/// The routing index: route key → indices of the components that
+/// classify such actions as inputs (see [`route_key`]).
+type RouteIndex = RwLock<HashMap<(u8, u8, u8), Arc<[u32]>>>;
+
+/// Everything a worker needs to run any component: the composition,
+/// per-component cells, the pool, the routing index, and the shared
+/// sink/telemetry. Borrowed by every worker thread inside the run's
+/// scope.
+struct Engine<'a, P: Automaton<Action = Action>> {
+    comps: &'a [Component<P>],
+    kinds: &'a [ComponentKind],
+    cells: Vec<Cell<P>>,
+    profiles: Vec<LinkProfile>,
+    tel: &'a Telemetry,
+    sink: &'a EventSink,
+    cfg: &'a RuntimeConfig,
+    pool: Pool,
+    router: RouteIndex,
+    deferred: Deferred,
+}
+
+impl<'a, P> Engine<'a, P>
 where
     P: Automaton<Action = Action>,
 {
-    let comp = &comps[idx];
-    afd_prof::set_lane(&comp.name());
-    let mut state = comp.initial_state();
-    let mut chaos = ChannelChaos::new(cfg.seed, from, to, profile);
-    let mut jrng = SplitMix64::new(cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
-    let mut stats = ChannelChaosStats::default();
-    // Held-back arrivals: `(action, release_at, duplicate)` — released
-    // once the arrival clock passes `release_at`, in insertion order.
-    let mut held: VecDeque<(Action, u64, bool)> = VecDeque::new();
-    let mut arrivals: u64 = 0;
-    loop {
-        if sink.is_stopped() {
-            return stats;
+    fn new(
+        comps: &'a [Component<P>],
+        kinds: &'a [ComponentKind],
+        tel: &'a Telemetry,
+        sink: &'a EventSink,
+        cfg: &'a RuntimeConfig,
+        workers: usize,
+    ) -> Self {
+        let adversary = !cfg.partitions.is_empty();
+        let mut cells = Vec::with_capacity(comps.len());
+        let mut profiles = Vec::with_capacity(comps.len());
+        for (idx, comp) in comps.iter().enumerate() {
+            let profile = match kinds[idx] {
+                ComponentKind::Channel(i, j) => cfg.links.profile(i, j),
+                _ => LinkProfile::default(),
+            };
+            let seed = cfg.seed ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            let chaos = match kinds[idx] {
+                ComponentKind::Channel(i, j) if profile.is_chaotic() || adversary => {
+                    Some(ChaosState {
+                        chaos: ChannelChaos::new(cfg.seed, i, j, profile),
+                        jrng: SplitMix64::new(seed),
+                        held: VecDeque::new(),
+                        arrivals: 0,
+                        stats: ChannelChaosStats::default(),
+                    })
+                }
+                _ => None,
+            };
+            cells.push(Cell {
+                inbox: Mutex::new(Inbox {
+                    q: VecDeque::new(),
+                    killed: false,
+                }),
+                body: Mutex::new(Body {
+                    state: comp.initial_state(),
+                    rng: SplitMix64::new(seed),
+                    chaos,
+                }),
+            });
+            profiles.push(profile);
         }
-        while let Ok(a) = rx.try_recv() {
-            tel.unpark(idx);
-            tel.dec_backlog(idx);
-            let _s = afd_prof::span(afd_prof::Stage::Step);
-            if let Some(next) = comp.step(&state, &a) {
-                state = next;
+        Engine {
+            comps,
+            kinds,
+            cells,
+            profiles,
+            tel,
+            sink,
+            cfg,
+            pool: Pool::new(workers, comps.len()),
+            router: RwLock::new(HashMap::new()),
+            deferred: Deferred::new(),
+        }
+    }
+
+    /// The cached fan-out set of `a` (all components classifying it as
+    /// an input). A miss costs one classify scan; every later action
+    /// with the same variant and locations hits the cache.
+    fn targets(&self, a: &Action) -> Arc<[u32]> {
+        let key = route_key(a);
+        if let Some(t) = self
+            .router
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return Arc::clone(t);
+        }
+        let list: Arc<[u32]> = self
+            .comps
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.classify(a) == Some(ActionClass::Input))
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.router
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, Arc::clone(&list));
+        list
+    }
+
+    /// Deliver committed `a` to every component (except `from_idx`)
+    /// that classifies it as an input: push to the inbox (keeping the
+    /// backlog accounting exact, under the inbox lock), then mark the
+    /// component ready. Killed inboxes drop the message on the floor —
+    /// exactly the crash-stop semantics `CrashMode::Kill` asks for.
+    fn route(&self, from_idx: usize, a: Action) {
+        let _s = afd_prof::span(afd_prof::Stage::Route);
+        let targets = self.targets(&a);
+        for &t in targets.iter() {
+            let t = t as usize;
+            if t == from_idx {
+                continue;
+            }
+            {
+                let mut inbox = lock(&self.cells[t].inbox);
+                if inbox.killed {
+                    continue;
+                }
+                inbox.q.push_back(a);
+                self.tel.backlog[t].store(inbox.q.len(), Ordering::SeqCst);
+            }
+            self.pool.enqueue(t);
+        }
+    }
+
+    /// Permanently remove `idx` from the run: future routes to it are
+    /// dropped, its backlog no longer counts against quiescence.
+    fn kill_component(&self, idx: usize) {
+        {
+            let mut inbox = lock(&self.cells[idx].inbox);
+            inbox.killed = true;
+            inbox.q.clear();
+        }
+        self.tel.backlog[idx].store(0, Ordering::SeqCst);
+        self.tel.finish(idx);
+    }
+
+    /// Re-arm any cut channel whose heal step the log has reached.
+    /// Cheap (one relaxed load) when nothing is registered.
+    fn drain_deferred(&self) {
+        self.deferred.drain(self.sink.len(), &self.pool);
+    }
+}
+
+/// Reusable per-worker buffers: the inbox drain swap target and the
+/// commit-batch speculation buffers (kept out of the sweep so the
+/// common single-action commit allocates nothing after warm-up).
+struct Scratch<S> {
+    drain: VecDeque<Action>,
+    chain: Vec<Action>,
+    states: Vec<S>,
+}
+
+impl<S> Default for Scratch<S> {
+    fn default() -> Self {
+        Scratch {
+            drain: VecDeque::new(),
+            chain: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+}
+
+/// One activation of component `idx`: drain the inbox, then sweep
+/// local tasks (or run the channel adversary). Returns the scheduling
+/// directive for the pool.
+fn activate<P>(eng: &Engine<'_, P>, idx: usize, scratch: &mut Scratch<CState<P>>) -> Directive
+where
+    P: Automaton<Action = Action>,
+{
+    let sink = eng.sink;
+    let cfg = eng.cfg;
+    if sink.is_stopped() {
+        eng.pool.shutdown();
+        return Directive::Done;
+    }
+    let kind = eng.kinds[idx];
+    if cfg.crash_mode == CrashMode::Kill {
+        if let ComponentKind::Process(l) = kind {
+            if sink.is_crashed(l) {
+                // kill -9: retire the component, dropping queued inputs.
+                eng.kill_component(idx);
+                return Directive::Done;
             }
         }
-        let cut = cfg.is_cut(from, to, sink.len());
-        let mut progressed = false;
-        // Release matured holds (never across an active cut).
-        while let (false, Some(&(a, at, dup))) = (cut, held.front()) {
-            if at > arrivals {
+    }
+    let comp = &eng.comps[idx];
+    let cell = &eng.cells[idx];
+    // One tiled `step` span covers the whole activation — body/inbox
+    // locks, input drain, enabled scans, chain speculation — handed
+    // off (never nested) around the pacing/commit/route regions, which
+    // carry their own stages. Tiling instead of point spans is what
+    // lets Table W's coverage gate account for the activation loop's
+    // bookkeeping.
+    let mut tile = afd_prof::span(afd_prof::Stage::Step);
+    let mut body = lock(&cell.body);
+    eng.tel.unpark(idx);
+    {
+        let mut inbox = lock(&cell.inbox);
+        std::mem::swap(&mut inbox.q, &mut scratch.drain);
+        eng.tel.backlog[idx].store(0, Ordering::SeqCst);
+    }
+    let Body { state, rng, chaos } = &mut *body;
+    // Apply routed inputs (inputs are always enabled; a `None` step
+    // would be a signature bug, tolerated as a no-op).
+    for a in scratch.drain.drain(..) {
+        if let Some(next) = comp.step(state, &a) {
+            *state = next;
+        }
+    }
+    if let Some(ch) = chaos {
+        tile.done();
+        return activate_chaos(eng, idx, comp, state, ch);
+    }
+    // Sweep local tasks.
+    let profile = eng.profiles[idx];
+    let needs_pacing = |a: &Action| match kind {
+        ComponentKind::Fd => !cfg.fd_pacing.is_zero(),
+        ComponentKind::Channel(_, _) => !profile.is_zero(),
+        ComponentKind::Process(_) => {
+            matches!(a, Action::WireSend { .. }) && !cfg.wire_pacing.is_zero()
+        }
+        _ => false,
+    };
+    let mut progressed = false;
+    for t in 0..comp.task_count() {
+        if sink.is_stopped() {
+            eng.pool.shutdown();
+            return Directive::Done;
+        }
+        let Some(a) = comp.enabled(state, TaskId(t)) else {
+            continue;
+        };
+        // Pacing and link faults happen before the commit, so the
+        // linearization point itself stays instantaneous.
+        if needs_pacing(&a) {
+            match kind {
+                ComponentKind::Fd => {
+                    tile = tile.handoff(afd_prof::Stage::Pacing);
+                    thread::sleep(cfg.fd_pacing);
+                }
+                ComponentKind::Channel(_, _) => {
+                    tile = tile.handoff(afd_prof::Stage::Pacing);
+                    let jitter_ns =
+                        rng.below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
+                    thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
+                }
+                // Throttle stubborn retransmission (WireSend) so it
+                // cannot flood the event budget.
+                _ => {
+                    tile = tile.handoff(afd_prof::Stage::Retransmit);
+                    thread::sleep(cfg.wire_pacing);
+                }
+            }
+            tile = tile.handoff(afd_prof::Stage::Step);
+        }
+        // Speculate a chain of locally-controlled actions from this
+        // task: each is enabled in the state its predecessors produce,
+        // and nothing else can change that state (routed inputs wait
+        // in the inbox until the next activation), so committing the
+        // chain as one batch is a legal scheduling choice. The
+        // accepted prefix — the sink can cut a batch short at the
+        // budget — is applied and routed in order; the rest of the
+        // speculation is discarded.
+        let cap = if needs_pacing(&a) {
+            1
+        } else {
+            cfg.commit_batch.max(1)
+        };
+        scratch.chain.clear();
+        scratch.states.clear();
+        scratch.chain.push(a);
+        if let Some(s1) = comp.step(state, &a) {
+            scratch.states.push(s1);
+            while scratch.chain.len() < cap {
+                let cur = scratch.states.last().expect("one state per chained action");
+                let Some(next_a) = comp.enabled(cur, TaskId(t)) else {
+                    break;
+                };
+                if needs_pacing(&next_a) {
+                    break;
+                }
+                let Some(next_s) = comp.step(cur, &next_a) else {
+                    break;
+                };
+                scratch.chain.push(next_a);
+                scratch.states.push(next_s);
+            }
+        }
+        // The commit and route regions carry their own stages
+        // (commit-wait/lock-hold inside the sink, route below); the
+        // tile pauses so spans never nest.
+        tile.done();
+        let (n, status) = sink.try_commit_batch(&scratch.chain);
+        if n > 0 {
+            scratch.states.truncate(n);
+            if let Some(s) = scratch.states.pop() {
+                *state = s;
+            }
+            for &committed in &scratch.chain[..n] {
+                eng.route(idx, committed);
+            }
+            progressed = true;
+        }
+        tile = afd_prof::span(afd_prof::Stage::Step);
+        match status {
+            Commit::Accepted => {}
+            // Our location is dead but the Crash input hasn't reached
+            // us yet: skip — the routed Crash will re-enqueue this
+            // component and its step disables the task.
+            Commit::Suppressed => {}
+            Commit::Stopped => {
+                eng.pool.shutdown();
+                return Directive::Done;
+            }
+        }
+    }
+    if progressed {
+        eng.drain_deferred();
+        Directive::Again
+    } else {
+        // Nothing enabled and nothing arrived: this component votes
+        // for quiescence until an input re-enqueues it.
+        eng.tel.park(idx);
+        Directive::Idle
+    }
+}
+
+/// The adversarial channel activation: like the task sweep for a
+/// channel component, but every consumed arrival draws a chaos
+/// decision (drop/dup/hold) and scripted partitions gate delivery.
+fn activate_chaos<P>(
+    eng: &Engine<'_, P>,
+    idx: usize,
+    comp: &Component<P>,
+    state: &mut CState<P>,
+    ch: &mut ChaosState,
+) -> Directive
+where
+    P: Automaton<Action = Action>,
+{
+    let sink = eng.sink;
+    let ComponentKind::Channel(from, to) = eng.kinds[idx] else {
+        unreachable!("chaos state only attaches to channel components")
+    };
+    let profile = eng.profiles[idx];
+    let cut = eng.cfg.is_cut(from, to, sink.len());
+    let mut progressed = false;
+    if !cut {
+        // Release matured holds (never across an active cut). The
+        // automaton already stepped past these messages when they were
+        // consumed; only the commit + routing remain.
+        while let Some(&(a, at, dup)) = ch.held.front() {
+            if at > ch.arrivals {
                 break;
             }
-            held.pop_front();
-            tel.unpark(idx);
-            // The automaton already stepped past this message when it
-            // was consumed; only the commit + routing remain.
+            ch.held.pop_front();
             match sink.try_commit(a) {
                 Commit::Accepted => {
-                    route(comps, senders, tel, idx, a);
+                    eng.route(idx, a);
                     if dup && sink.try_commit(a) == Commit::Accepted {
-                        route(comps, senders, tel, idx, a);
-                        stats.duplicated += 1;
+                        eng.route(idx, a);
+                        ch.stats.duplicated += 1;
                     }
                     progressed = true;
                 }
                 Commit::Suppressed => {} // unreachable: deliveries are exempt
-                Commit::Stopped => return stats,
-            }
-        }
-        if let Some(a) = comp.enabled(&state, TaskId(0)) {
-            if cut {
-                // Partition: hold the head (no consume, no deliver) so
-                // healing resumes in FIFO order. The worker stays
-                // un-parked — a cut channel with pending traffic is
-                // not quiescent.
-                tel.unpark(idx);
-                let _p = afd_prof::span(afd_prof::Stage::Pacing);
-                thread::sleep(CUT_WAIT);
-                progressed = true;
-            } else {
-                tel.unpark(idx);
-                let decision_span = afd_prof::span(afd_prof::Stage::ChaosDecision);
-                let d = chaos.next();
-                decision_span.done();
-                arrivals += 1;
-                stats.arrivals += 1;
-                afd_prof::gauge_sampled(
-                    afd_prof::GaugeKind::ChannelBacklog,
-                    (tel.backlog[idx].load(Ordering::SeqCst) + held.len()) as u64,
-                    64,
-                );
-                if d.drop {
-                    // Consume without committing: the message vanishes.
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
-                    }
-                    stats.dropped += 1;
-                    progressed = true;
-                } else if d.hold > 0 {
-                    // Consume into the reorder buffer.
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
-                    }
-                    held.push_back((a, arrivals + u64::from(d.hold), d.dup));
-                    stats.held += 1;
-                    progressed = true;
-                } else {
-                    if !profile.is_zero() {
-                        let _p = afd_prof::span(afd_prof::Stage::Pacing);
-                        let jitter_ns = jrng
-                            .below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
-                        thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
-                    }
-                    match sink.try_commit(a) {
-                        Commit::Accepted => {
-                            if let Some(next) = comp.step(&state, &a) {
-                                state = next;
-                            }
-                            route(comps, senders, tel, idx, a);
-                            if d.dup && sink.try_commit(a) == Commit::Accepted {
-                                route(comps, senders, tel, idx, a);
-                                stats.duplicated += 1;
-                            }
-                            progressed = true;
-                        }
-                        Commit::Suppressed => {} // unreachable: deliveries are exempt
-                        Commit::Stopped => return stats,
-                    }
-                }
-            }
-        } else if !held.is_empty() && !cut {
-            // The wire went quiet with messages still held: advance the
-            // virtual arrival clock so the reorder buffer drains.
-            arrivals += 1;
-            progressed = true;
-        }
-        if !progressed && held.is_empty() {
-            tel.park(idx);
-            let wait = afd_prof::span(afd_prof::Stage::RecvWait);
-            let got = rx.recv_timeout(IDLE_WAIT);
-            wait.done();
-            match got {
-                Ok(a) => {
-                    tel.unpark(idx);
-                    tel.dec_backlog(idx);
-                    if let Some(next) = comp.step(&state, &a) {
-                        state = next;
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    if !comp.any_task_enabled(&state) {
-                        return stats;
-                    }
-                    tel.unpark(idx);
+                Commit::Stopped => {
+                    eng.pool.shutdown();
+                    return Directive::Done;
                 }
             }
         }
     }
+    let head = comp.enabled(state, TaskId(0));
+    if cut && (head.is_some() || !ch.held.is_empty()) {
+        // Partition: hold everything (no consume, no deliver) so
+        // healing resumes in FIFO order. The component stays un-parked
+        // — a cut channel with pending traffic is not quiescent — and
+        // is re-armed by the deferred registry once the heal step is
+        // reached (an eternal cut registers nothing and the watchdog
+        // eventually fires).
+        eng.deferred
+            .register(heal_threshold(eng.cfg, from, to, sink.len()), idx);
+        return Directive::Idle;
+    }
+    if let Some(a) = head {
+        let decision_span = afd_prof::span(afd_prof::Stage::ChaosDecision);
+        let d = ch.chaos.next();
+        decision_span.done();
+        ch.arrivals += 1;
+        ch.stats.arrivals += 1;
+        afd_prof::gauge_sampled(
+            afd_prof::GaugeKind::ChannelBacklog,
+            (eng.tel.backlog[idx].load(Ordering::SeqCst) + ch.held.len()) as u64,
+            64,
+        );
+        if d.drop {
+            // Consume without committing: the message vanishes.
+            if let Some(next) = comp.step(state, &a) {
+                *state = next;
+            }
+            ch.stats.dropped += 1;
+            progressed = true;
+        } else if d.hold > 0 {
+            // Consume into the reorder buffer.
+            if let Some(next) = comp.step(state, &a) {
+                *state = next;
+            }
+            ch.held
+                .push_back((a, ch.arrivals + u64::from(d.hold), d.dup));
+            ch.stats.held += 1;
+            progressed = true;
+        } else {
+            if !profile.is_zero() {
+                let _p = afd_prof::span(afd_prof::Stage::Pacing);
+                let jitter_ns = ch
+                    .jrng
+                    .below(u64::try_from(profile.jitter.as_nanos()).unwrap_or(u64::MAX));
+                thread::sleep(profile.delay + Duration::from_nanos(jitter_ns));
+            }
+            match sink.try_commit(a) {
+                Commit::Accepted => {
+                    if let Some(next) = comp.step(state, &a) {
+                        *state = next;
+                    }
+                    eng.route(idx, a);
+                    if d.dup && sink.try_commit(a) == Commit::Accepted {
+                        eng.route(idx, a);
+                        ch.stats.duplicated += 1;
+                    }
+                    progressed = true;
+                }
+                Commit::Suppressed => {} // unreachable: deliveries are exempt
+                Commit::Stopped => {
+                    eng.pool.shutdown();
+                    return Directive::Done;
+                }
+            }
+        }
+    } else if !ch.held.is_empty() {
+        // The wire went quiet with messages still held: advance the
+        // virtual arrival clock so the reorder buffer drains.
+        ch.arrivals += 1;
+        progressed = true;
+    }
+    if progressed {
+        eng.drain_deferred();
+        Directive::Again
+    } else {
+        eng.tel.park(idx);
+        Directive::Idle
+    }
+}
+
+/// Contain a panic that escaped an activation of `idx`: the component
+/// is retired; a process panic becomes a `Crash` at its location, any
+/// other panic stops the run.
+fn contain_panic<P>(
+    eng: &Engine<'_, P>,
+    idx: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Directive
+where
+    P: Automaton<Action = Action>,
+{
+    let msg = panic_message(payload);
+    eng.tel
+        .note_panic(format!("{}: {}", eng.comps[idx].name(), msg));
+    eng.kill_component(idx);
+    if let ComponentKind::Process(l) = eng.kinds[idx] {
+        // Contain the panic as a crash at this location: the rest of
+        // the run proceeds under ordinary crash semantics, and the
+        // crash is observable like any other.
+        if !eng.sink.is_crashed(l) && eng.sink.try_commit(Action::Crash(l)) == Commit::Accepted {
+            eng.route(idx, Action::Crash(l));
+        }
+    } else {
+        eng.sink.stop(StopReason::Panicked);
+        eng.pool.shutdown();
+    }
+    Directive::Done
 }
 
 /// The crash injector: owns the crash-automaton component, fires the
 /// fault pattern's `(step, loc)` entries when the global event count
 /// reaches each threshold, validating the adversary's script order
 /// (entries the script rejects are dropped, mirroring the simulator).
-fn injector<P>(
-    comps: &[Component<P>],
-    senders: &[Sender<Action>],
-    crash_idx: usize,
-    cfg: &RuntimeConfig,
-    sink: &EventSink,
-    tel: &Telemetry,
-) where
+/// Blocks on the sink's length watch between thresholds — no polling.
+fn injector<P>(eng: &Engine<'_, P>, crash_idx: usize)
+where
     P: Automaton<Action = Action>,
 {
-    let comp = &comps[crash_idx];
+    let comp = &eng.comps[crash_idx];
+    let sink = eng.sink;
     afd_prof::set_lane("injector");
     let mut state = comp.initial_state();
-    let mut pending = cfg.faults.crashes.clone();
-    while !pending.is_empty() {
+    let mut pending: VecDeque<(usize, Loc)> = eng.cfg.faults.crashes.iter().copied().collect();
+    while let Some(&(when, loc)) = pending.front() {
         if sink.is_stopped() {
             return;
         }
-        let (when, loc) = pending[0];
         if sink.len() < when {
             // Waiting on a threshold is not pending work: if the rest
             // of the system quiesces first, the remaining entries are
-            // unreachable and must not block the Idle verdict.
-            tel.park(crash_idx);
-            let _w = afd_prof::span(afd_prof::Stage::RecvWait);
-            thread::sleep(INJECTOR_POLL);
+            // unreachable and must not block the Idle verdict. The
+            // watch wakes on the crossing or on any stop.
+            eng.tel.park(crash_idx);
+            let w = afd_prof::span(afd_prof::Stage::RecvWait);
+            sink.wait_len_at_least(when);
+            w.done();
             continue;
         }
-        tel.unpark(crash_idx);
-        pending.remove(0);
+        eng.tel.unpark(crash_idx);
+        pending.pop_front();
         let a = Action::Crash(loc);
         let Some(next) = comp.step(&state, &a) else {
             continue; // script mismatch: drop, like `run_sim`
@@ -620,7 +902,8 @@ fn injector<P>(
         match sink.try_commit(a) {
             Commit::Accepted => {
                 state = next;
-                route(comps, senders, tel, crash_idx, a);
+                eng.route(crash_idx, a);
+                eng.drain_deferred();
             }
             Commit::Suppressed => unreachable!("crash events are never suppressed"),
             Commit::Stopped => return,
@@ -629,13 +912,16 @@ fn injector<P>(
 }
 
 /// The watchdog monitor: declares quiescence (commit count stable
-/// across two ticks, all queues drained, all workers parked), stops
-/// stalls at the deadline with a diagnostic, and enforces the
-/// wall-clock safety net.
-fn monitor<P>(comps: &[Component<P>], sink: &EventSink, cfg: &RuntimeConfig, tel: &Telemetry)
+/// across two ticks, all inboxes drained, all components parked),
+/// stops stalls at the deadline with a diagnostic, enforces the
+/// wall-clock safety net, and backstops deferred partition heals.
+/// Always shuts the pool down on the way out.
+fn monitor<P>(eng: &Engine<'_, P>)
 where
     P: Automaton<Action = Action>,
 {
+    let sink = eng.sink;
+    let cfg = eng.cfg;
     let deadline_ns = u64::try_from(cfg.watchdog_deadline.as_nanos()).unwrap_or(u64::MAX);
     let mut prev_len = usize::MAX;
     let mut stable_ticks = 0u32;
@@ -643,31 +929,33 @@ where
         thread::sleep(cfg.watchdog_tick);
         if sink.elapsed() >= cfg.wall_timeout {
             sink.stop(StopReason::WallClock);
-            return;
+            break;
         }
         let len = sink.len();
+        // Safety net for the register/commit race on deferred heals:
+        // a heal crossed concurrently with registration is re-armed
+        // here, at most one tick late.
+        eng.drain_deferred();
         if len == prev_len {
             stable_ticks += 1;
         } else {
             stable_ticks = 0;
             prev_len = len;
         }
-        if stable_ticks >= 2 && tel.quiescent() {
+        if stable_ticks >= 2 && eng.tel.quiescent() {
             sink.stop(StopReason::Idle);
-            return;
+            break;
         }
         let stalled_ns = sink.ns_since_last_commit();
         if stalled_ns >= deadline_ns {
             // Snapshot who was busy/backlogged NOW — once the stop
-            // propagates, every worker parks and the evidence is gone.
-            *tel.snapshot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner) =
-                Some(live_snapshot(comps, tel, len, stalled_ns));
+            // propagates, everything parks and the evidence is gone.
+            *lock(&eng.tel.snapshot) = Some(live_snapshot(eng.comps, eng.tel, len, stalled_ns));
             sink.stop(StopReason::Watchdog);
-            return;
+            break;
         }
     }
+    eng.pool.shutdown();
 }
 
 fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
@@ -709,12 +997,16 @@ where
     d
 }
 
-/// Execute `sys` on real OS threads under `cfg`, validating the
-/// configuration first.
+/// Execute `sys` on the sharded worker pool under `cfg`, validating
+/// the configuration first.
 ///
-/// One worker thread per component (the crash automaton's place is
-/// taken by the injector), plus the monitor. Returns once every thread
-/// has joined; the returned schedule is the sink's linearized log.
+/// W workers (see [`RuntimeConfig::with_workers`]; default
+/// `available_parallelism`, clamped to the component count) multiplex
+/// every component; the crash automaton is driven by a dedicated
+/// injector thread and the watchdog by a monitor thread. Returns once
+/// every thread has joined; the returned schedule is the sink's
+/// linearized log. The verdict of a run never depends on the pool
+/// size — it only selects which legal interleaving is explored.
 ///
 /// # Errors
 /// [`ConfigError`] if `cfg` is inconsistent with `sys.pi` — no thread
@@ -741,113 +1033,91 @@ where
         observer: cfg.observer.clone(),
         pipeline: cfg.pipeline,
     });
-    let mut senders: Vec<Sender<Action>> = Vec::with_capacity(comps.len());
-    let mut receivers: Vec<Option<Receiver<Action>>> = Vec::with_capacity(comps.len());
-    for _ in 0..comps.len() {
-        let (tx, rx) = std::sync::mpsc::channel();
-        senders.push(tx);
-        receivers.push(Some(rx));
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get))
+        .min(comps.len().max(1))
+        .max(1);
+    let eng = Engine::new(comps, &kinds, &tel, &sink, cfg, workers);
+
+    // Seed the ready queues: every component starts with one
+    // activation (its initial task sweep). The crash automaton is
+    // owned by the injector and never scheduled on the pool.
+    let crash_idx = kinds.iter().position(|k| matches!(k, ComponentKind::Crash));
+    for idx in 0..comps.len() {
+        if Some(idx) == crash_idx {
+            eng.pool.retire(idx);
+            lock(&eng.cells[idx].inbox).killed = true;
+        } else {
+            eng.pool.enqueue(idx);
+        }
     }
 
     thread::scope(|s| {
-        for (idx, kind) in kinds.iter().copied().enumerate() {
-            if matches!(kind, ComponentKind::Crash) {
-                continue; // the injector owns the crash automaton
-            }
-            let rx = receivers[idx].take().expect("receiver taken once");
-            let senders = senders.clone();
-            let sink = &sink;
-            let tel = &tel;
-            let profile = match kind {
-                ComponentKind::Channel(i, j) => cfg.links.profile(i, j),
-                _ => LinkProfile::default(),
-            };
-            let adversarial = matches!(kind, ComponentKind::Channel(_, _))
-                && (profile.is_chaotic() || !cfg.partitions.is_empty());
+        for k in 0..eng.pool.workers() {
+            let eng = &eng;
             s.spawn(move || {
-                let res = catch_unwind(AssertUnwindSafe(|| {
-                    if let (true, ComponentKind::Channel(i, j)) = (adversarial, kind) {
-                        let stats = chaos_channel_worker(
-                            comps, &senders, idx, i, j, &rx, sink, cfg, profile, tel,
-                        );
-                        *tel.chaos[idx]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) = stats;
-                    } else {
-                        worker(comps, &senders, idx, kind, &rx, sink, cfg, profile, tel);
-                    }
-                }));
-                // Flush this thread's profiling buffer before the scope
-                // observes completion: scoped-thread TLS destructors run
-                // *after* the scope's completion signal, so a Drop-based
-                // flush could race the post-scope report harvest.
-                afd_prof::flush_local();
-                tel.finish(idx);
-                if let Err(p) = res {
-                    let msg = panic_message(p);
-                    tel.note_panic(format!("{}: {}", comps[idx].name(), msg));
-                    match kind {
-                        ComponentKind::Process(l) => {
-                            // Contain the panic as a crash at this
-                            // location: the rest of the run proceeds
-                            // under ordinary crash semantics, and the
-                            // crash is observable like any other.
-                            if !sink.is_crashed(l)
-                                && sink.try_commit(Action::Crash(l)) == Commit::Accepted
-                            {
-                                route(comps, &senders, tel, idx, Action::Crash(l));
-                            }
+                afd_prof::set_lane(&format!("worker-{k}"));
+                let mut scratch: Scratch<CState<P>> = Scratch::default();
+                eng.pool.run_worker(k, |i| {
+                    match catch_unwind(AssertUnwindSafe(|| activate(eng, i, &mut scratch))) {
+                        Ok(d) => d,
+                        Err(p) => {
+                            scratch.drain.clear();
+                            scratch.chain.clear();
+                            scratch.states.clear();
+                            contain_panic(eng, i, p)
                         }
-                        _ => sink.stop(StopReason::Panicked),
                     }
+                });
+                // Flush this thread's profiling buffer before the
+                // scope observes completion: scoped-thread TLS
+                // destructors run *after* the scope's completion
+                // signal, so a Drop-based flush could race the
+                // post-scope report harvest.
+                afd_prof::flush_local();
+            });
+        }
+        if let Some(crash_idx) = crash_idx {
+            let eng = &eng;
+            s.spawn(move || {
+                let res = catch_unwind(AssertUnwindSafe(|| injector(eng, crash_idx)));
+                afd_prof::flush_local();
+                eng.tel.finish(crash_idx);
+                if let Err(p) = res {
+                    eng.tel
+                        .note_panic(format!("injector: {}", panic_message(p)));
+                    eng.sink.stop(StopReason::Panicked);
+                    eng.pool.shutdown();
                 }
             });
         }
-        if let Some(crash_idx) = kinds.iter().position(|k| matches!(k, ComponentKind::Crash)) {
-            let senders = senders.clone();
-            let sink = &sink;
-            let tel = &tel;
-            s.spawn(move || {
-                injector(comps, &senders, crash_idx, cfg, sink, tel);
-                afd_prof::flush_local();
-                tel.finish(crash_idx);
-            });
-        }
         {
-            let sink = &sink;
-            let tel = &tel;
-            s.spawn(move || monitor(comps, sink, cfg, tel));
+            let eng = &eng;
+            s.spawn(move || monitor(eng));
         }
     });
 
     let elapsed = sink.elapsed();
     let stalled_ns = sink.ns_since_last_commit();
+    let mut chaos = ChaosReport::default();
+    for (idx, kind) in kinds.iter().enumerate() {
+        if let ComponentKind::Channel(i, j) = kind {
+            if let Some(ch) = &lock(&eng.cells[idx].body).chaos {
+                if ch.stats != ChannelChaosStats::default() {
+                    chaos.per_channel.insert((*i, *j), ch.stats);
+                }
+            }
+        }
+    }
+    drop(eng);
     let (schedule, stop) = sink.into_log();
     let stop = stop.unwrap_or(StopReason::Idle);
     if let Some(obs) = &cfg.observer {
         obs.on_stop(schedule.len() as u64, stop.name());
     }
-    let mut chaos = ChaosReport::default();
-    for (idx, kind) in kinds.iter().enumerate() {
-        if let ComponentKind::Channel(i, j) = kind {
-            let stats = *tel.chaos[idx]
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if stats != ChannelChaosStats::default() {
-                chaos.per_channel.insert((*i, *j), stats);
-            }
-        }
-    }
-    let panics = tel
-        .panics
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .clone();
-    let mut diagnostic = tel
-        .snapshot
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .take();
+    let panics = lock(&tel.panics).clone();
+    let mut diagnostic = lock(&tel.snapshot).take();
     if diagnostic.is_none() && (stop == StopReason::Panicked || !panics.is_empty()) {
         diagnostic = Some(live_snapshot(comps, &tel, schedule.len(), stalled_ns));
     }

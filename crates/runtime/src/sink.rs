@@ -44,8 +44,8 @@
 //! pre-pipeline sink (dispatch and predicate under the log lock),
 //! kept as an executable reference for the benches.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use afd_core::{Action, Loc, Stamped};
@@ -137,6 +137,18 @@ struct DrainState {
     stream_pred: Option<StreamPredicate>,
 }
 
+/// Event-driven wait on the log length. One waiter at a time (the
+/// crash injector) registers a threshold; the commit path signals the
+/// condvar when the log crosses it, and [`EventSink::stop`] signals
+/// unconditionally so a waiter never outlives the run. `usize::MAX`
+/// means "nobody is waiting", so the hot-path check is a single
+/// always-false compare.
+struct LenWatch {
+    threshold: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
 /// Construction options for [`EventSink::with_options`] — the full
 /// configuration surface ([`EventSink::new`] /
 /// [`EventSink::with_observer`] are shorthands).
@@ -198,6 +210,7 @@ pub struct EventSink {
     /// lock when there is none to evaluate).
     has_stream_pred: bool,
     legacy: bool,
+    watch: LenWatch,
 }
 
 impl EventSink {
@@ -264,6 +277,11 @@ impl EventSink {
             needs_drain,
             has_stream_pred,
             legacy,
+            watch: LenWatch {
+                threshold: AtomicUsize::new(usize::MAX),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            },
         }
     }
 
@@ -382,6 +400,7 @@ impl EventSink {
             hold.done();
         }
         if accepted > 0 {
+            self.notify_len_watch();
             afd_prof::gauge_sampled(afd_prof::GaugeKind::CommitBatch, accepted as u64, 64);
             if self.needs_drain {
                 afd_prof::gauge_sampled(
@@ -427,6 +446,7 @@ impl EventSink {
         g.log.push(a);
         let k = g.log.len();
         self.len.store(k, Ordering::Release);
+        self.notify_len_watch();
         let now_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.last_commit_ns.store(now_ns, Ordering::Relaxed);
         if let Some(obs) = &self.observer {
@@ -546,14 +566,66 @@ impl EventSink {
 
     /// Stop the run with `reason` (first stop wins).
     pub fn stop(&self, reason: StopReason) {
+        {
+            let mut g = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if g.stop.is_none() {
+                g.stop = Some(reason);
+            }
+            self.stopped.store(true, Ordering::Release);
+        }
+        // Unconditional wake: a length waiter whose threshold will
+        // never be reached must still observe the stop.
+        drop(
+            self.watch
+                .lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        self.watch.cv.notify_all();
+    }
+
+    /// Signal the length watch if the log has crossed the registered
+    /// threshold. The `SeqCst` fence pairs with the one in
+    /// [`EventSink::wait_len_at_least`] (Dekker): either the committer
+    /// sees the waiter's threshold, or the waiter sees the committed
+    /// length — a wakeup cannot be missed.
+    fn notify_len_watch(&self) {
+        fence(Ordering::SeqCst);
+        if self.len.load(Ordering::Relaxed) >= self.watch.threshold.load(Ordering::Relaxed) {
+            drop(
+                self.watch
+                    .lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            self.watch.cv.notify_all();
+        }
+    }
+
+    /// Block until the log holds at least `n` events or the run stops —
+    /// event-driven (signaled by the commit path), no polling. One
+    /// logical waiter at a time: registering a threshold overwrites any
+    /// previous registration.
+    pub fn wait_len_at_least(&self, n: usize) {
         let mut g = self
-            .inner
+            .watch
+            .lock
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if g.stop.is_none() {
-            g.stop = Some(reason);
+        self.watch.threshold.store(n, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        while self.len.load(Ordering::Relaxed) < n && !self.is_stopped() {
+            g = self
+                .watch
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        self.stopped.store(true, Ordering::Release);
+        drop(g);
+        self.watch.threshold.store(usize::MAX, Ordering::Relaxed);
     }
 
     /// Lock-free: has the run stopped?
@@ -957,6 +1029,34 @@ mod tests {
         let (log, stop) = sink.into_log();
         assert_eq!(log.len(), 3);
         assert_eq!(stop, Some(StopReason::MaxEvents));
+    }
+
+    #[test]
+    fn wait_len_at_least_wakes_on_crossing_and_on_stop() {
+        let sink = EventSink::new(100, 16, None);
+        // Already satisfied: returns immediately.
+        assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+        sink.wait_len_at_least(1);
+        // Crossing satisfied by commits from another thread.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..5 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    assert_eq!(sink.try_commit(send01()), Commit::Accepted);
+                }
+            });
+            sink.wait_len_at_least(4);
+            assert!(sink.len() >= 4);
+        });
+        // A threshold that can never be reached: stop() releases it.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                sink.stop(StopReason::Idle);
+            });
+            sink.wait_len_at_least(1_000_000);
+            assert!(sink.is_stopped());
+        });
     }
 
     #[test]

@@ -115,7 +115,7 @@ where
         let mut components: Vec<Component<P>> = Vec::new();
         let mut labels: Vec<Label> = Vec::new();
         for (idx, p) in self.processes.into_iter().enumerate() {
-            let i = Loc(u8::try_from(idx).expect("≤ 64 locations"));
+            let i = Loc(u8::try_from(idx).expect("≤ 128 locations"));
             for _ in 0..p.task_count() {
                 labels.push(Label::Proc(i));
             }

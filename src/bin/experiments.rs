@@ -873,9 +873,12 @@ fn table_t_throughput() -> Table {
     // branch predictors, allocator warm-up) and the median of `reps`
     // measured runs: a single sample per cell made the grid jitter by
     // double-digit percentages across invocations.
-    let reps = if smoke { 1usize } else { 3 };
+    let reps = if smoke { 1usize } else { 5 };
     let mut grid_json: Vec<Json> = Vec::new();
-    for n in [3usize, 8, 16] {
+    // Median per-event cost (ns) of the plain (observer off, predicate
+    // off) cells, keyed for the n=16-vs-n=8 cliff gate below.
+    let mut plain_cost_ns: Vec<(usize, f64)> = Vec::new();
+    for n in [3usize, 8, 16, 32, 64, 128] {
         let pi = Pi::new(n);
         for (obs_on, pred_on) in [(false, false), (true, false), (false, true), (true, true)] {
             let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
@@ -916,6 +919,9 @@ fn table_t_throughput() -> Table {
             }
             samples.sort_by(|a, b| a.0.total_cmp(&b.0));
             let (eps, ms) = samples[samples.len() / 2];
+            if !obs_on && !pred_on {
+                plain_cost_ns.push((n, ms * 1e6 / budget as f64));
+            }
             t.row(vec![
                 n.to_string(),
                 if obs_on { "on" } else { "off" }.into(),
@@ -943,6 +949,33 @@ fn table_t_throughput() -> Table {
     t.note(format!(
         "Each grid cell is the median of {reps} measured run(s) after one discarded \
          warmup run."
+    ));
+
+    // The n=16 cliff gate. The retired thread-per-automaton engine
+    // fell off a cliff between n=8 and n=16 (~260 OS threads thrashing
+    // timed polls: per-event cost grew ~68×); the sharded pool must
+    // hold per-event cost within 4× across that doubling.
+    let cost = |n: usize| {
+        plain_cost_ns
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map_or(f64::NAN, |(_, c)| *c)
+    };
+    let (c8, c16) = (cost(8), cost(16));
+    let cliff_ratio = c16 / c8;
+    let cliff_max = 4.0;
+    let cliff_pass = cliff_ratio.is_finite() && cliff_ratio <= cliff_max;
+    let cliff_verdict = t.check(
+        cliff_pass,
+        &format!("{cliff_ratio:.2}× ✓ (≤ {cliff_max}×)"),
+        format!(
+            "t: n=16 per-event cost {c16:.0} ns is {cliff_ratio:.2}× the n=8 cost {c8:.0} ns \
+             (cliff gate requires ≤ {cliff_max}×)"
+        ),
+    );
+    t.note(format!(
+        "cliff gate (plain cells, per-event cost): n=8 {c8:.0} ns/ev, n=16 {c16:.0} ns/ev — \
+         ratio {cliff_verdict}"
     ));
 
     // Commit path in isolation: 8 producers, observer + stop predicate
@@ -1026,6 +1059,16 @@ fn table_t_throughput() -> Table {
         ),
         ("smoke".into(), Json::Bool(smoke)),
         ("throughput".into(), Json::Arr(grid_json)),
+        (
+            "cliff_gate".into(),
+            Json::Obj(vec![
+                ("n8_ns_per_event".into(), Json::Num(c8)),
+                ("n16_ns_per_event".into(), Json::Num(c16)),
+                ("ratio".into(), Json::Num(cliff_ratio)),
+                ("required_max_ratio".into(), Json::Num(cliff_max)),
+                ("pass".into(), Json::Bool(cliff_pass)),
+            ]),
+        ),
         (
             "commit_path".into(),
             Json::Obj(vec![
@@ -1684,9 +1727,12 @@ fn table_v_rsm() -> Table {
 /// process (coordinator + every node), assembled from the Telemetry
 /// frames the nodes stream back over their command sockets.
 ///
-/// Gate: at n = 16 the spans must attribute ≥ 80% of busy time
+/// Gates: at n = 16 the spans must attribute ≥ 80% of busy time
 /// (Σ span durations over Σ per-lane first-to-last windows) on both
-/// engines, and the dominant stage is named in the table and JSON.
+/// engines, the dominant stage is named in the table and JSON, and on
+/// the threaded engine the recv-wait + sched-wait span count at
+/// n = 16 must stay within 10× of n = 8 (it was 68× under
+/// thread-per-automaton).
 /// The threaded engine runs its hot-path configuration (fd pacing 0,
 /// as in Table T); the distributed engine runs its defaults (200 µs
 /// fd pacing, one node process per location, commits as TCP round
@@ -1807,6 +1853,8 @@ fn table_w_prof() -> Table {
 
     // Threaded: hot-path configuration (Table T's), profiler armed
     // around the run, report drained from the in-process collector.
+    // (engine n, recv-wait + sched-wait span count) for the wait gate.
+    let mut wait_spans: Vec<(usize, u64)> = Vec::new();
     for n in [3usize, 8, 16] {
         let pi = Pi::new(n);
         let sys = self_impl_system(pi, FdGen::omega(pi), vec![]);
@@ -1828,6 +1876,12 @@ fn table_w_prof() -> Table {
             ));
         }
         let cov = afd_prof::coverage(&report);
+        let st = afd_prof::stage_stats(&report.recs);
+        wait_spans.push((
+            n,
+            st[afd_prof::Stage::RecvWait as usize].count
+                + st[afd_prof::Stage::SchedWait as usize].count,
+        ));
         emit_row(
             &mut t,
             &mut rows_json,
@@ -1839,9 +1893,8 @@ fn table_w_prof() -> Table {
             &report.recs,
             cov,
         );
-        // Timeline for the n = 8 run: at n = 16 the ~290 mostly-idle
-        // threads emit recv-wait spans by the hundred thousand, which
-        // is fine to aggregate but absurd to render.
+        // Timeline for the n = 8 run (n = 16 aggregates identically;
+        // one timeline per engine is enough to eyeball the shape).
         if n == 8 {
             let m = afd_prof::merge(vec![(0, "threaded".into(), report)]);
             let path = "target/obs/prof_threaded_n8.chrome.json";
@@ -1964,6 +2017,38 @@ fn table_w_prof() -> Table {
             None => t.fail(format!("w: no n=16 row for the {engine} engine")),
         }
     }
+
+    // Idle-wait gate (threaded engine): under thread-per-automaton the
+    // n=16 run emitted 68× the wait spans of n=8 (723,192 vs 10,655 —
+    // hundreds of parked threads waking on timed polls). The sharded
+    // pool parks on condvars, so recv-wait + sched-wait span count
+    // must stay within 10× across the same doubling.
+    let waits = |n: usize| {
+        wait_spans
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map_or(0, |(_, c)| *c)
+    };
+    // A floor of 1 on the denominator keeps the gate meaningful when
+    // the pool emits no wait spans at all (the ideal outcome: workers
+    // never park on this workload).
+    let (w8, w16) = (waits(8), waits(16));
+    let wait_ratio = w16 as f64 / (w8.max(1)) as f64;
+    let wait_max = 10.0;
+    let wait_pass = wait_ratio <= wait_max;
+    let wait_verdict = t.check(
+        wait_pass,
+        &format!("{wait_ratio:.2}× ✓ (≤ {wait_max}×)"),
+        format!(
+            "w: threaded n=16 emitted {w16} recv-wait+sched-wait spans vs {w8} at n=8 \
+             ({wait_ratio:.1}×, gate requires ≤ {wait_max}×)"
+        ),
+    );
+    t.note(format!(
+        "idle-wait gate (threaded, recv-wait + sched-wait span count): n=8 {w8}, \
+         n=16 {w16} — ratio {wait_verdict}"
+    ));
+
     t.note(
         "Coverage = Σ span durations / Σ per-lane (first span start → last span end) \
          windows, per OS thread, per process. Merged timelines: \
@@ -1983,6 +2068,16 @@ fn table_w_prof() -> Table {
         ("required_min_coverage_pct".into(), Json::Num(required)),
         ("rows".into(), Json::Arr(rows_json)),
         ("n16".into(), Json::Obj(n16_json)),
+        (
+            "wait_gate".into(),
+            Json::Obj(vec![
+                ("n8_wait_spans".into(), Json::Num(w8 as f64)),
+                ("n16_wait_spans".into(), Json::Num(w16 as f64)),
+                ("ratio".into(), Json::Num(wait_ratio)),
+                ("required_max_ratio".into(), Json::Num(wait_max)),
+                ("pass".into(), Json::Bool(wait_pass)),
+            ]),
+        ),
         ("pass".into(), Json::Bool(t.failures.is_empty())),
     ]);
     if let Err(e) = std::fs::write("BENCH_prof.json", doc.render() + "\n") {

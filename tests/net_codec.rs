@@ -16,8 +16,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Boundary-heavy location pool: the codec must not care that `Loc`'s
-/// payload exceeds the `LocSet` word width (64) or saturates `u8`.
-const LOCS: [Loc; 7] = [Loc(0), Loc(1), Loc(7), Loc(63), Loc(64), Loc(65), Loc(255)];
+/// payload exceeds the `LocSet` word width (128) or saturates `u8`.
+const LOCS: [Loc; 7] = [
+    Loc(0),
+    Loc(1),
+    Loc(7),
+    Loc(63),
+    Loc(127),
+    Loc(128),
+    Loc(255),
+];
 
 fn rloc(rng: &mut StdRng) -> Loc {
     LOCS[rng.gen_range(0usize..LOCS.len())]
@@ -26,9 +34,12 @@ fn rloc(rng: &mut StdRng) -> Loc {
 fn rset(rng: &mut StdRng) -> LocSet {
     LocSet(match rng.gen_range(0u32..4) {
         0 => 0,
-        1 => u64::MAX,
-        2 => 1 << 63,
-        _ => rng.gen_range(0u64..u64::MAX),
+        1 => u128::MAX,
+        2 => 1 << 127,
+        _ => {
+            u128::from(rng.gen_range(0u64..u64::MAX)) << 64
+                | u128::from(rng.gen_range(0u64..u64::MAX))
+        }
     })
 }
 

@@ -5,7 +5,7 @@
 //! FIFO channel order, `T_D` membership of the FD projection,
 //! Theorem 13 self-implementation, and consensus agreement/validity.
 //!
-//! Run counts per test (grand total 232, spanning 0-, 1- and 2-crash
+//! Run counts per test (grand total 259, spanning 0-, 1- and 2-crash
 //! patterns, Halt and Kill crash modes, with and without link delay):
 //!   omega conformance        60
 //!   perfect conformance      30
@@ -14,6 +14,7 @@
 //!   paxos n=3                42
 //!   paxos n=5, 2 crashes     20
 //!   CT over noisy ◇P n=3     20
+//!   pool-size sweep          27  (W ∈ {1, 2, cores} × {Ω, Paxos, chaos})
 
 use std::time::Duration;
 
@@ -102,6 +103,96 @@ fn two_crashes() -> FaultPattern {
     FaultPattern::at(vec![(25, Loc(1)), (55, Loc(3))])
 }
 
+/// The executor's verdicts must be pool-size-independent: the worker
+/// count ([`RuntimeConfig::with_workers`]) only selects which legal
+/// interleaving the pool explores, never whether the conformance
+/// checkers accept the schedule. Sweep W ∈ {1, 2, cores} over an Ω
+/// conformance cell (crash + slow links), a Paxos consensus cell
+/// (leader crash), and the headline chaos cell (30% loss + dup +
+/// reorder).
+#[test]
+fn threaded_verdicts_are_pool_size_independent() {
+    let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut runs = 0;
+    for workers in [1, 2, cores] {
+        // Ω conformance: one crash, slow links, Halt and Kill.
+        let pi = Pi::new(4);
+        let pattern = one_crash(pi);
+        for seed in 0..3 {
+            let sys = self_impl_system(pi, FdGen::omega(pi), pattern.faulty());
+            let cfg = RuntimeConfig::default()
+                .with_max_events(600)
+                .with_faults(pattern.clone())
+                .with_crash_mode(mode_for(seed))
+                .with_links(slow_links())
+                .with_seed(seed)
+                .with_workers(workers);
+            let out = run_threaded(&sys, &cfg);
+            assert_eq!(out.stop, StopReason::MaxEvents, "FD systems never quiesce");
+            assert_eq!(
+                fifo_violation(&out.schedule),
+                None,
+                "W={workers} seed {seed}: FIFO broken"
+            );
+            check_fd_trace(&Omega, pi, &out.schedule)
+                .unwrap_or_else(|e| panic!("W={workers} seed {seed}: Ω trace left T_Ω: {e:?}"));
+            runs += 1;
+        }
+        // Paxos n=3 with an early leader crash: agreement, validity,
+        // and real termination at every pool size.
+        let pi3 = Pi::new(3);
+        let inputs = [0, 1, 1];
+        let crash_leader = FaultPattern::at(vec![(5, Loc(0))]);
+        for seed in 0..3 {
+            let sys = paxos_system(pi3, &inputs, crash_leader.faulty());
+            consensus_run_with(
+                &sys,
+                pi3,
+                1,
+                &crash_leader,
+                LinkFaults::none(),
+                seed,
+                Some(workers),
+            );
+            runs += 1;
+        }
+        // The headline chaos adversary (30% loss, 10% dup, reorder
+        // window 4) behind the reliable layer must still agree.
+        for seed in 0..3 {
+            let sys = afd_algorithms::reliable_paxos_system(pi3, &inputs, crash_leader.faulty());
+            let chaos =
+                LinkFaults::uniform(LinkProfile::lossy(0.30).with_dup(0.10).with_reorder(4));
+            let cfg = RuntimeConfig::default()
+                .with_max_events(60_000)
+                .with_links(chaos)
+                .with_wire_pacing(Duration::from_micros(20))
+                .with_faults(crash_leader.clone())
+                .with_seed(seed)
+                .with_workers(workers)
+                .stop_when(move |s| all_live_decided(pi3, s));
+            let out = run_threaded(&sys, &cfg);
+            assert_eq!(
+                fifo_violation(&out.schedule),
+                None,
+                "W={workers} seed {seed}: app-level FIFO broken under chaos"
+            );
+            assert_eq!(
+                out.stop,
+                StopReason::Predicate,
+                "W={workers} seed {seed}: no termination within budget (chaos: {}, diagnostic: {:?})",
+                out.chaos,
+                out.diagnostic
+            );
+            let decided = check_consensus_run(pi3, 1, &out.schedule).unwrap_or_else(|v| {
+                panic!("W={workers} seed {seed}: consensus violated under chaos: {v:?}")
+            });
+            assert!(decided.is_some(), "W={workers} seed {seed}: nobody decided");
+            runs += 1;
+        }
+    }
+    assert_eq!(runs, 27);
+}
+
 #[test]
 fn threaded_omega_generator_stays_in_t_omega() {
     let pi = Pi::new(4);
@@ -168,13 +259,33 @@ fn consensus_run<P>(
     P: ioa::Automaton<Action = afd_core::Action> + Sync,
     P::State: Send,
 {
-    let cfg = RuntimeConfig::default()
+    consensus_run_with(sys, pi, f, pattern, links, seed, None);
+}
+
+/// [`consensus_run`] with an optional pool-size override (the
+/// pool-size sweep pins W; everything else uses the default).
+fn consensus_run_with<P>(
+    sys: &afd_system::System<P>,
+    pi: Pi,
+    f: usize,
+    pattern: &FaultPattern,
+    links: LinkFaults,
+    seed: u64,
+    workers: Option<usize>,
+) where
+    P: ioa::Automaton<Action = afd_core::Action> + Sync,
+    P::State: Send,
+{
+    let mut cfg = RuntimeConfig::default()
         .with_max_events(4_000)
         .with_faults(pattern.clone())
         .with_crash_mode(mode_for(seed))
         .with_links(links)
         .with_seed(seed)
         .stop_when(move |s| all_live_decided(pi, s));
+    if let Some(w) = workers {
+        cfg = cfg.with_workers(w);
+    }
     let out = run_threaded(sys, &cfg);
     assert_eq!(
         fifo_violation(&out.schedule),

@@ -1,0 +1,341 @@
+//! Bounded-message ◇P over ADD channels.
+//!
+//! The implementation follows "Implementing ◇P with Bounded Messages
+//! on a Network of ADD Channels": every process periodically sends a
+//! **bounded-size heartbeat** (`Msg::Heartbeat { epoch }`, with the
+//! epoch counter cycling modulo [`EPOCH_MOD`] — no unbounded
+//! timestamps, no growing vectors) to every peer, counts the local
+//! *rounds* since each peer was last heard from, and suspects a peer
+//! whose silence exceeds an adaptive per-peer threshold. A heartbeat
+//! from a suspected peer retracts the suspicion and **doubles** that
+//! peer's threshold (capped at [`MAX_THRESHOLD`]), so each process
+//! makes only finitely many mistakes about each live peer once the
+//! channel's bounded-delay subsequence kicks in — exactly the
+//! eventual-accuracy argument of the paper, transcribed to the
+//! asynchronous round structure this runtime's fair scheduler
+//! provides.
+//!
+//! A *round* is one pass of the process's output task over its
+//! heartbeat outbox: send one heartbeat per peer, then advance every
+//! miss counter and refill the outbox. Suspicions surface as
+//! `Action::Fd { at, out: Suspects(..) }` outputs — emitted whenever
+//! the suspect set changes and refreshed every [`REFRESH_ROUNDS`]
+//! rounds — so the standard streaming `T_◇P` conformance checker
+//! (`EvPerfect::stream`) judges the runs unchanged, over any engine:
+//! the deterministic simulator, the threaded runtime, or afd-net's
+//! real sockets (TCP or the afd-dgram UDP transport, whose
+//! drop/dup/reorder alphabet is precisely the ADD-channel model).
+
+use afd_core::{Action, Loc, LocSet, Msg, Pi};
+use afd_system::{Env, LocalBehavior, ProcessAutomaton, System, SystemBuilder};
+
+/// Heartbeat epochs cycle modulo this bound: message contents never
+/// grow with run length.
+pub const EPOCH_MOD: u32 = 1 << 16;
+
+/// Initial silence tolerance, in rounds, before a peer is suspected.
+pub const INIT_THRESHOLD: u32 = 4;
+
+/// Cap on the adaptive threshold — keeps detection latency bounded
+/// even after a burst of early false suspicions.
+pub const MAX_THRESHOLD: u32 = 64;
+
+/// Re-emit the current suspect set every this many rounds even when
+/// unchanged, so long quiet runs keep witnessing their outputs.
+pub const REFRESH_ROUNDS: u32 = 8;
+
+/// The per-location behavior of the bounded-message ◇P algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedEvP {
+    n: u8,
+}
+
+impl BoundedEvP {
+    /// The behavior for a universe of `n` locations.
+    #[must_use]
+    pub fn new(n: u8) -> Self {
+        BoundedEvP { n }
+    }
+}
+
+/// State of the bounded ◇P at one location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoundedEvPState {
+    /// Heartbeats still to send this round (drained back to front).
+    pub outbox: Vec<(Loc, Msg)>,
+    /// Bounded heartbeat epoch, cycling mod [`EPOCH_MOD`].
+    pub epoch: u32,
+    /// Rounds since each peer was last heard from (own slot unused).
+    pub missed: Vec<u32>,
+    /// Adaptive per-peer silence tolerance, in rounds.
+    pub threshold: Vec<u32>,
+    /// Currently suspected peers.
+    pub suspects: LocSet,
+    /// The suspect set last emitted as an `Fd` output, if any.
+    pub emitted: Option<LocSet>,
+    /// Rounds since the last `Fd` emission.
+    pub rounds_since_emit: u32,
+}
+
+fn fill_outbox(n: u8, me: Loc, epoch: u32, outbox: &mut Vec<(Loc, Msg)>) {
+    // Back-to-front drain order: push peers descending so heartbeats
+    // go out in ascending location order.
+    for j in (0..n).rev() {
+        if Loc(j) != me {
+            outbox.push((Loc(j), Msg::Heartbeat { epoch }));
+        }
+    }
+}
+
+impl LocalBehavior for BoundedEvP {
+    type State = BoundedEvPState;
+
+    fn proto_name(&self) -> String {
+        "bounded-evp".into()
+    }
+
+    fn init(&self, i: Loc) -> BoundedEvPState {
+        let mut outbox = Vec::new();
+        fill_outbox(self.n, i, 0, &mut outbox);
+        BoundedEvPState {
+            outbox,
+            epoch: 0,
+            missed: vec![0; usize::from(self.n)],
+            threshold: vec![INIT_THRESHOLD; usize::from(self.n)],
+            suspects: LocSet::empty(),
+            emitted: None,
+            rounds_since_emit: 0,
+        }
+    }
+
+    fn is_input(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Receive { to, .. } if *to == i)
+    }
+
+    fn is_output(&self, i: Loc, a: &Action) -> bool {
+        matches!(a, Action::Send { from, .. } if *from == i)
+            || matches!(a, Action::Fd { at, .. } if *at == i)
+    }
+
+    fn on_input(&self, _i: Loc, s: &mut BoundedEvPState, a: &Action) {
+        // Any heartbeat receipt counts, whatever its (bounded) epoch:
+        // duplicates and reordering only make the sender look *more*
+        // alive, which is safe under ◇P.
+        if let Action::Receive {
+            from,
+            msg: Msg::Heartbeat { .. },
+            ..
+        } = a
+        {
+            let j = usize::from(from.0);
+            s.missed[j] = 0;
+            if s.suspects.contains(*from) {
+                s.suspects.remove(*from);
+                s.threshold[j] = (s.threshold[j] * 2).min(MAX_THRESHOLD);
+            }
+        }
+    }
+
+    fn output(&self, i: Loc, s: &BoundedEvPState) -> Option<Action> {
+        if s.emitted != Some(s.suspects) || s.rounds_since_emit >= REFRESH_ROUNDS {
+            return Some(Action::Fd {
+                at: i,
+                out: afd_core::FdOutput::Suspects(s.suspects),
+            });
+        }
+        s.outbox
+            .last()
+            .map(|&(to, msg)| Action::Send { from: i, to, msg })
+    }
+
+    fn on_output(&self, i: Loc, s: &mut BoundedEvPState, a: &Action) {
+        match a {
+            Action::Fd { .. } => {
+                s.emitted = Some(s.suspects);
+                s.rounds_since_emit = 0;
+            }
+            Action::Send { .. } => {
+                s.outbox.pop();
+                if s.outbox.is_empty() {
+                    // End of round: age every peer, suspect the silent.
+                    s.epoch = (s.epoch + 1) % EPOCH_MOD;
+                    s.rounds_since_emit = s.rounds_since_emit.saturating_add(1);
+                    for j in 0..usize::from(self.n) {
+                        let l = Loc(j as u8);
+                        if l == i {
+                            continue;
+                        }
+                        s.missed[j] = s.missed[j].saturating_add(1);
+                        if s.missed[j] > s.threshold[j] {
+                            s.suspects.insert(l);
+                        }
+                    }
+                    fill_outbox(self.n, i, s.epoch, &mut s.outbox);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Build the bounded-◇P system: one [`BoundedEvP`] process per
+/// location, the full channel mesh, and **no** failure-detector
+/// automaton — the processes *are* the detector, and their `Fd`
+/// outputs are judged by `EvPerfect::stream` directly.
+#[must_use]
+pub fn bounded_evp_system(pi: Pi, crashes: Vec<Loc>) -> System<ProcessAutomaton<BoundedEvP>> {
+    let n = u8::try_from(pi.len()).expect("≤ 128 locations");
+    let procs = pi
+        .iter()
+        .map(|i| ProcessAutomaton::new(i, BoundedEvP::new(n)))
+        .collect();
+    SystemBuilder::new(pi, procs)
+        .with_env(Env::None)
+        .with_crashes(crashes)
+        .with_label("bounded ◇P system")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afd_core::afds::EvPerfect;
+    use afd_core::AfdSpec;
+    use afd_system::{run_random, FaultPattern, SimConfig};
+
+    fn fd_projection(schedule: &[Action]) -> Vec<Action> {
+        schedule
+            .iter()
+            .filter(|a| a.is_crash() || a.fd_output().is_some())
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn crash_free_run_converges_to_empty_suspects() {
+        let pi = Pi::new(3);
+        let sys = bounded_evp_system(pi, vec![]);
+        let out = run_random(&sys, 11, SimConfig::default().with_max_steps(3000));
+        let t = fd_projection(out.schedule());
+        assert!(
+            EvPerfect.check_complete(pi, &t).is_ok(),
+            "crash-free ◇P conformance: {:?}",
+            EvPerfect.check_complete(pi, &t)
+        );
+    }
+
+    #[test]
+    fn crashed_peer_is_eventually_suspected_forever() {
+        let pi = Pi::new(3);
+        let sys = bounded_evp_system(pi, vec![Loc(2)]);
+        let out = run_random(
+            &sys,
+            7,
+            SimConfig::default()
+                .with_faults(FaultPattern::at(vec![(120, Loc(2))]))
+                .with_max_steps(6000),
+        );
+        let t = fd_projection(out.schedule());
+        EvPerfect
+            .check_complete(pi, &t)
+            .expect("T_◇P holds with one crash");
+        // The final output of each live location suspects exactly p2.
+        for live in [Loc(0), Loc(1)] {
+            let last = t
+                .iter()
+                .rev()
+                .find_map(|a| match a.fd_output() {
+                    Some((at, out)) if at == live => Some(out),
+                    _ => None,
+                })
+                .expect("live location produced outputs");
+            assert_eq!(
+                last.as_suspects(),
+                Some(LocSet::singleton(Loc(2))),
+                "final suspicion at {live}"
+            );
+        }
+    }
+
+    #[test]
+    fn messages_are_bounded_heartbeats() {
+        let pi = Pi::new(4);
+        let sys = bounded_evp_system(pi, vec![]);
+        let out = run_random(&sys, 3, SimConfig::default().with_max_steps(2000));
+        let mut sends = 0;
+        for a in out.schedule() {
+            if let Action::Send { msg, .. } = a {
+                sends += 1;
+                match msg {
+                    Msg::Heartbeat { epoch } => assert!(*epoch < EPOCH_MOD),
+                    other => panic!("unbounded/foreign message on the wire: {other:?}"),
+                }
+            }
+        }
+        assert!(sends > 50, "heartbeat traffic flows ({sends} sends)");
+    }
+
+    #[test]
+    fn false_suspicion_is_retracted_and_threshold_doubles() {
+        let b = BoundedEvP::new(2);
+        let me = Loc(0);
+        let mut s = b.init(me);
+        // Silence p1 long enough to suspect it.
+        for _ in 0..=INIT_THRESHOLD {
+            while let Some(a) = b.output(me, &s) {
+                if matches!(a, Action::Fd { .. }) {
+                    b.on_output(me, &mut s, &a);
+                    continue;
+                }
+                b.on_output(me, &mut s, &a);
+                break;
+            }
+        }
+        assert!(s.suspects.contains(Loc(1)), "p1 suspected after silence");
+        // The suspicion is the next thing emitted.
+        match b.output(me, &s) {
+            Some(a @ Action::Fd { out, .. }) => {
+                assert_eq!(out.as_suspects(), Some(LocSet::singleton(Loc(1))));
+                b.on_output(me, &mut s, &a);
+            }
+            other => panic!("expected suspicion output, got {other:?}"),
+        }
+        // A late heartbeat retracts the suspicion and doubles the bar.
+        b.on_input(
+            me,
+            &mut s,
+            &Action::Receive {
+                from: Loc(1),
+                to: me,
+                msg: Msg::Heartbeat { epoch: 9 },
+            },
+        );
+        assert!(!s.suspects.contains(Loc(1)));
+        assert_eq!(s.threshold[1], INIT_THRESHOLD * 2);
+        // The retraction is the next thing emitted.
+        match b.output(me, &s) {
+            Some(Action::Fd { out, .. }) => {
+                assert_eq!(out.as_suspects(), Some(LocSet::empty()));
+            }
+            other => panic!("expected retraction output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_is_capped() {
+        let b = BoundedEvP::new(2);
+        let mut s = b.init(Loc(0));
+        s.threshold[1] = MAX_THRESHOLD - 1;
+        s.suspects.insert(Loc(1));
+        b.on_input(
+            Loc(0),
+            &mut s,
+            &Action::Receive {
+                from: Loc(1),
+                to: Loc(0),
+                msg: Msg::Heartbeat { epoch: 0 },
+            },
+        );
+        assert_eq!(s.threshold[1], MAX_THRESHOLD);
+    }
+}

@@ -9,6 +9,9 @@
 //!   transformations (P ⪰ ◇P ⪰ ◇S, P/◇P ⪰ Ω, P ⪰ Σ, Ω ⪰ anti-Ω, …).
 //! * [`lattice`] — the strength lattice with reflexive–transitive
 //!   closure (Corollary 14 + Theorem 15) and reduction-chain witnesses.
+//! * [`bounded_evp`] — ◇P from bounded-size heartbeats over ADD
+//!   channels (lossy/duplicating/reordering links), adaptive doubling
+//!   timeouts, no unbounded timestamps.
 //! * [`broadcast`] — uniform reliable broadcast (long-lived contrast
 //!   problem).
 //! * [`kset`] — k-set agreement by flooding (`f < k`).
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod atomic_commit;
+pub mod bounded_evp;
 pub mod broadcast;
 pub mod common;
 pub mod compose;
@@ -48,6 +52,7 @@ pub mod reductions;
 pub mod reliable;
 pub mod self_impl;
 
+pub use bounded_evp::{bounded_evp_system, BoundedEvP, BoundedEvPState};
 pub use compose::WithReduction;
 pub use consensus::{
     all_live_decided, check_consensus_run, ct_system, paxos_system, paxos_system_values,

@@ -1,0 +1,1078 @@
+//! # afd-dgram — UDP datagram transport with ADD-channel semantics
+//!
+//! The datagram plane behind `Transport::Udp` in afd-net: node↔node
+//! data channels ride real `std::net::UdpSocket`s while the control
+//! plane (commit protocol, rejoin, stop, telemetry) stays on TCP. The
+//! model is the **ADD channel** of "Implementing ◇P with Bounded
+//! Messages on a Network of ADD Channels": messages may be lost,
+//! duplicated, and reordered, but a subsequence is delivered with
+//! bounded delay. UDP gives us exactly that alphabet for free; this
+//! crate adds the three things a reproducible experiment needs on top:
+//!
+//! 1. **Framing** ([`DgramHeader`], [`fragment`], [`parse`]) — every
+//!    datagram carries a fixed 16-byte header (magic, channel
+//!    endpoints, sender epoch, per-channel transmission sequence
+//!    number, fragment index/count) followed by a slice of the payload
+//!    produced by the afd-net action codec. Payloads larger than the
+//!    MTU are split into numbered fragments; malformed or truncated
+//!    datagrams surface as typed [`DgramError`]s, never panics.
+//! 2. **Shaping** ([`AddShaper`]) — the *configured* `LinkProfile`
+//!    (drop / dup / bounded reorder) is imposed at the **sender**, by
+//!    the same seeded `ChannelChaos` decision stream the in-process
+//!    engines consume: the k-th logical send on channel `(i, j)` meets
+//!    the same fate in every same-seed run, regardless of what the
+//!    real socket does underneath. Injected faults are therefore a
+//!    deterministic plan; organic socket faults come on top.
+//! 3. **Accounting** ([`ChannelDgramStats`], [`DgramStats`]) —
+//!    injected drops/dups/holds are counted at the sender, completed
+//!    deliveries at the receiver, and because every *transmitted*
+//!    datagram consumes one transmission sequence number, organic loss
+//!    is exactly `datagrams_tx − datagrams_rx` per channel once the
+//!    run quiesces. This is what lets Table Y gate "measured delivery
+//!    rate tracks the configured profile within tolerance".
+//!
+//! Reassembly ([`Reassembly`]) is duplicate-idempotent per fragment,
+//! masks organic whole-datagram duplicates (same transmission seq
+//! completing twice), and reports never-completed transmissions as
+//! typed [`DgramError::MissingFragments`] when pruned.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use afd_core::{Loc, Pi};
+use afd_runtime::{ChannelChaos, ChannelChaosStats, ChaosReport, LinkProfile};
+
+/// First two bytes of every datagram — rejects stray packets early.
+pub const MAGIC: u16 = 0xADD7;
+
+/// Fixed header length in bytes.
+pub const HDR_LEN: usize = 16;
+
+/// Default maximum datagram size (header + payload slice). Well under
+/// the loopback MTU and the conservative 1500-byte Ethernet MTU so a
+/// fragment never gets IP-fragmented underneath us.
+pub const DEFAULT_MTU: usize = 1200;
+
+/// Hard cap on a single logical payload (matches the TCP codec's
+/// `MAX_FRAME` spirit): refuse to fragment anything larger.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// The fixed per-datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DgramHeader {
+    /// Source location of the channel this datagram travels.
+    pub from: Loc,
+    /// Destination location of the channel.
+    pub to: Loc,
+    /// Sender incarnation epoch; receivers ignore stale epochs.
+    pub epoch: u32,
+    /// Per-channel transmission sequence number. Every transmitted
+    /// datagram burst consumes one (duplicated transmissions consume
+    /// two), so receivers can count distinct deliveries and infer
+    /// organic loss from the gap to the sender's transmission count.
+    pub seq: u32,
+    /// Fragment index within this transmission, `0 ≤ idx < cnt`.
+    pub frag_idx: u16,
+    /// Total fragments in this transmission, `≥ 1`.
+    pub frag_cnt: u16,
+}
+
+/// Typed datagram-plane errors. Decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DgramError {
+    /// The datagram is shorter than the fixed header.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic {
+        /// The first two bytes actually seen.
+        got: u16,
+    },
+    /// The fragment header is internally inconsistent
+    /// (`cnt == 0` or `idx ≥ cnt`).
+    BadFragment {
+        /// Transmission sequence number.
+        seq: u32,
+        /// Claimed fragment index.
+        idx: u16,
+        /// Claimed fragment count.
+        cnt: u16,
+    },
+    /// A fragment disagrees with an earlier fragment of the same
+    /// transmission (different `cnt`, or a non-final fragment whose
+    /// payload is not exactly the MTU payload size).
+    Mismatch {
+        /// Transmission sequence number.
+        seq: u32,
+        /// Which header field disagreed.
+        field: &'static str,
+    },
+    /// A payload exceeds [`MAX_PAYLOAD`] or the fragment-count range.
+    TooLarge {
+        /// Offending payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// A transmission was pruned with fragments still missing —
+    /// mid-fragment loss surfaced as a typed error instead of a
+    /// silent leak.
+    MissingFragments {
+        /// Transmission sequence number.
+        seq: u32,
+        /// Fragments received.
+        have: u16,
+        /// Fragments expected.
+        cnt: u16,
+    },
+}
+
+impl std::fmt::Display for DgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DgramError::Truncated { need, have } => {
+                write!(f, "truncated datagram: need {need} bytes, have {have}")
+            }
+            DgramError::BadMagic { got } => write!(f, "bad magic {got:#06x}"),
+            DgramError::BadFragment { seq, idx, cnt } => {
+                write!(f, "bad fragment header seq={seq} idx={idx} cnt={cnt}")
+            }
+            DgramError::Mismatch { seq, field } => {
+                write!(f, "fragment of seq={seq} disagrees on {field}")
+            }
+            DgramError::TooLarge { len, max } => {
+                write!(f, "payload of {len} bytes exceeds max {max}")
+            }
+            DgramError::MissingFragments { seq, have, cnt } => {
+                write!(
+                    f,
+                    "transmission seq={seq} incomplete: {have}/{cnt} fragments"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DgramError {}
+
+fn put_header(buf: &mut Vec<u8>, h: &DgramHeader) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(h.from.0);
+    buf.push(h.to.0);
+    buf.extend_from_slice(&h.epoch.to_le_bytes());
+    buf.extend_from_slice(&h.seq.to_le_bytes());
+    buf.extend_from_slice(&h.frag_idx.to_le_bytes());
+    buf.extend_from_slice(&h.frag_cnt.to_le_bytes());
+}
+
+/// Parse one datagram into its header and payload slice.
+///
+/// # Errors
+/// [`DgramError::Truncated`], [`DgramError::BadMagic`], or
+/// [`DgramError::BadFragment`].
+pub fn parse(dgram: &[u8]) -> Result<(DgramHeader, &[u8]), DgramError> {
+    if dgram.len() < HDR_LEN {
+        return Err(DgramError::Truncated {
+            need: HDR_LEN,
+            have: dgram.len(),
+        });
+    }
+    let magic = u16::from_le_bytes([dgram[0], dgram[1]]);
+    if magic != MAGIC {
+        return Err(DgramError::BadMagic { got: magic });
+    }
+    let h = DgramHeader {
+        from: Loc(dgram[2]),
+        to: Loc(dgram[3]),
+        epoch: u32::from_le_bytes([dgram[4], dgram[5], dgram[6], dgram[7]]),
+        seq: u32::from_le_bytes([dgram[8], dgram[9], dgram[10], dgram[11]]),
+        frag_idx: u16::from_le_bytes([dgram[12], dgram[13]]),
+        frag_cnt: u16::from_le_bytes([dgram[14], dgram[15]]),
+    };
+    if h.frag_cnt == 0 || h.frag_idx >= h.frag_cnt {
+        return Err(DgramError::BadFragment {
+            seq: h.seq,
+            idx: h.frag_idx,
+            cnt: h.frag_cnt,
+        });
+    }
+    Ok((h, &dgram[HDR_LEN..]))
+}
+
+/// Split one payload into MTU-bounded datagrams sharing a transmission
+/// sequence number. Every fragment except the last carries exactly
+/// `mtu − HDR_LEN` payload bytes; an empty payload still produces one
+/// (header-only) fragment.
+///
+/// # Errors
+/// [`DgramError::TooLarge`] if the payload exceeds [`MAX_PAYLOAD`] or
+/// would need more than `u16::MAX` fragments.
+///
+/// # Panics
+/// Panics if `mtu ≤ HDR_LEN` — a configuration bug, not a data error.
+pub fn fragment(
+    from: Loc,
+    to: Loc,
+    epoch: u32,
+    seq: u32,
+    payload: &[u8],
+    mtu: usize,
+) -> Result<Vec<Vec<u8>>, DgramError> {
+    assert!(mtu > HDR_LEN, "mtu must exceed the header length");
+    if payload.len() > MAX_PAYLOAD {
+        return Err(DgramError::TooLarge {
+            len: payload.len(),
+            max: MAX_PAYLOAD,
+        });
+    }
+    let chunk = mtu - HDR_LEN;
+    let cnt = payload.len().div_ceil(chunk).max(1);
+    if cnt > usize::from(u16::MAX) {
+        return Err(DgramError::TooLarge {
+            len: payload.len(),
+            max: chunk * usize::from(u16::MAX),
+        });
+    }
+    let mut out = Vec::with_capacity(cnt);
+    for idx in 0..cnt {
+        let lo = idx * chunk;
+        let hi = (lo + chunk).min(payload.len());
+        let mut d = Vec::with_capacity(HDR_LEN + (hi - lo));
+        put_header(
+            &mut d,
+            &DgramHeader {
+                from,
+                to,
+                epoch,
+                seq,
+                frag_idx: idx as u16,
+                frag_cnt: cnt as u16,
+            },
+        );
+        d.extend_from_slice(&payload[lo..hi]);
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// Per-channel datagram accounting. Sender-side fields are filled by
+/// the [`AddShaper`], receiver-side fields by the [`Reassembly`]; the
+/// coordinator merges both halves per channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelDgramStats {
+    /// Logical sends offered to the shaper (= chaos-stream arrivals).
+    pub sends: u64,
+    /// Sends the configured profile discarded before transmission.
+    pub injected_drop: u64,
+    /// Sends the configured profile transmitted twice.
+    pub injected_dup: u64,
+    /// Sends held back for bounded out-of-order release.
+    pub held: u64,
+    /// Transmissions put on the wire (each consumes one seq; a
+    /// duplicated send counts twice).
+    pub datagrams_tx: u64,
+    /// Individual fragments put on the wire.
+    pub frags_tx: u64,
+    /// Distinct transmissions fully reassembled at the receiver.
+    pub datagrams_rx: u64,
+    /// Individual fragments received (including duplicates).
+    pub frags_rx: u64,
+    /// Duplicate fragments ignored during reassembly.
+    pub dup_frags: u64,
+    /// Whole-transmission organic duplicates masked (same seq
+    /// completed again).
+    pub dup_datagrams: u64,
+    /// Datagrams rejected with a typed error (truncated, bad magic,
+    /// inconsistent fragment, stale epoch).
+    pub decode_errors: u64,
+}
+
+impl ChannelDgramStats {
+    /// Field-wise sum — merging the sender and receiver halves of one
+    /// channel, or the same channel across telemetry snapshots.
+    #[must_use]
+    pub fn merged(self, other: ChannelDgramStats) -> ChannelDgramStats {
+        ChannelDgramStats {
+            sends: self.sends + other.sends,
+            injected_drop: self.injected_drop + other.injected_drop,
+            injected_dup: self.injected_dup + other.injected_dup,
+            held: self.held + other.held,
+            datagrams_tx: self.datagrams_tx + other.datagrams_tx,
+            frags_tx: self.frags_tx + other.frags_tx,
+            datagrams_rx: self.datagrams_rx + other.datagrams_rx,
+            frags_rx: self.frags_rx + other.frags_rx,
+            dup_frags: self.dup_frags + other.dup_frags,
+            dup_datagrams: self.dup_datagrams + other.dup_datagrams,
+            decode_errors: self.decode_errors + other.decode_errors,
+        }
+    }
+
+    /// Transmissions lost by the real network rather than the shaper:
+    /// put on the wire but never reassembled. Meaningful once the run
+    /// has quiesced (saturating: in-flight datagrams count as lost).
+    #[must_use]
+    pub fn organic_lost(&self) -> u64 {
+        self.datagrams_tx.saturating_sub(self.datagrams_rx)
+    }
+}
+
+/// Datagram accounting for a whole deployment, keyed by channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DgramStats {
+    /// Per-channel stats; channels without traffic may be absent.
+    pub per_channel: BTreeMap<(Loc, Loc), ChannelDgramStats>,
+}
+
+impl DgramStats {
+    /// Merge another snapshot into this one (field-wise per channel).
+    pub fn merge(&mut self, other: &DgramStats) {
+        for (&k, &v) in &other.per_channel {
+            let e = self.per_channel.entry(k).or_default();
+            *e = e.merged(v);
+        }
+    }
+
+    /// Total logical sends across all channels.
+    #[must_use]
+    pub fn sends(&self) -> u64 {
+        self.per_channel.values().map(|s| s.sends).sum()
+    }
+
+    /// Total injected drops across all channels.
+    #[must_use]
+    pub fn injected_drops(&self) -> u64 {
+        self.per_channel.values().map(|s| s.injected_drop).sum()
+    }
+
+    /// Total transmissions put on the wire.
+    #[must_use]
+    pub fn datagrams_tx(&self) -> u64 {
+        self.per_channel.values().map(|s| s.datagrams_tx).sum()
+    }
+
+    /// Total transmissions fully reassembled.
+    #[must_use]
+    pub fn datagrams_rx(&self) -> u64 {
+        self.per_channel.values().map(|s| s.datagrams_rx).sum()
+    }
+
+    /// Delivered transmissions over logical sends — the end-to-end
+    /// rate Table Y compares against `(1 − drop) · (1 + dup)` of the
+    /// configured profile. `None` when nothing was sent.
+    #[must_use]
+    pub fn delivery_rate(&self) -> Option<f64> {
+        let sends = self.sends();
+        (sends > 0).then(|| self.datagrams_rx() as f64 / sends as f64)
+    }
+
+    /// Injected drops over logical sends — must track the configured
+    /// `LinkProfile::drop` by construction. `None` when nothing was
+    /// sent.
+    #[must_use]
+    pub fn injected_drop_rate(&self) -> Option<f64> {
+        let sends = self.sends();
+        (sends > 0).then(|| self.injected_drops() as f64 / sends as f64)
+    }
+
+    /// Transmissions the real network ate (sent, never reassembled).
+    #[must_use]
+    pub fn organic_lost(&self) -> u64 {
+        self.per_channel.values().map(|s| s.organic_lost()).sum()
+    }
+
+    /// The shaper's decisions as a [`ChaosReport`], so UDP runs plug
+    /// into the same reporting surface as the routed-adversary TCP
+    /// runs.
+    #[must_use]
+    pub fn to_chaos_report(&self) -> ChaosReport {
+        let mut r = ChaosReport::default();
+        for (&k, s) in &self.per_channel {
+            r.per_channel.insert(
+                k,
+                ChannelChaosStats {
+                    arrivals: s.sends,
+                    dropped: s.injected_drop,
+                    duplicated: s.injected_dup,
+                    held: s.held,
+                },
+            );
+        }
+        r
+    }
+
+    /// Publish every per-channel counter into an [`afd_obs::Metrics`]
+    /// registry, under `dgram.{i}->{j}.*` names, plus whole-run
+    /// aggregates under `dgram.total.*` and a `dgram.delivery_pct`
+    /// gauge (delivery rate in integer percent). Idempotent only in
+    /// the sense of `Counter::inc_by` — call once per finished run.
+    pub fn publish(&self, m: &afd_obs::Metrics) {
+        for (&(i, j), s) in &self.per_channel {
+            let pre = format!("dgram.{}->{}", i.0, j.0);
+            for (field, v) in [
+                ("sends", s.sends),
+                ("injected_drop", s.injected_drop),
+                ("injected_dup", s.injected_dup),
+                ("datagrams_tx", s.datagrams_tx),
+                ("frags_tx", s.frags_tx),
+                ("datagrams_rx", s.datagrams_rx),
+                ("frags_rx", s.frags_rx),
+                ("dup_frags", s.dup_frags),
+                ("dup_datagrams", s.dup_datagrams),
+                ("decode_errors", s.decode_errors),
+                ("organic_lost", s.organic_lost()),
+            ] {
+                m.counter(&format!("{pre}.{field}")).inc_by(v);
+            }
+            m.gauge(&format!("{pre}.held"))
+                .set(i64::try_from(s.held).unwrap_or(i64::MAX));
+        }
+        for (field, v) in [
+            ("sends", self.sends()),
+            ("injected_drop", self.injected_drops()),
+            ("datagrams_tx", self.datagrams_tx()),
+            ("datagrams_rx", self.datagrams_rx()),
+            ("organic_lost", self.organic_lost()),
+        ] {
+            m.counter(&format!("dgram.total.{field}")).inc_by(v);
+        }
+        if let Some(rate) = self.delivery_rate() {
+            let pct = (rate * 100.0).round();
+            let pct = if pct.is_finite() { pct as i64 } else { 0 };
+            m.gauge("dgram.delivery_pct").set(pct);
+        }
+    }
+
+    /// Render as a JSON object string keyed `"i->j"`, for BENCH
+    /// artifacts and telemetry dumps (no serde — hand-rolled like the
+    /// rest of the repo).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (idx, (&(i, j), s)) in self.per_channel.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}->{}\":{{\"sends\":{},\"injected_drop\":{},\"injected_dup\":{},\
+                 \"held\":{},\"datagrams_tx\":{},\"frags_tx\":{},\"datagrams_rx\":{},\
+                 \"frags_rx\":{},\"dup_frags\":{},\"dup_datagrams\":{},\"decode_errors\":{}}}",
+                i.0,
+                j.0,
+                s.sends,
+                s.injected_drop,
+                s.injected_dup,
+                s.held,
+                s.datagrams_tx,
+                s.frags_tx,
+                s.datagrams_rx,
+                s.frags_rx,
+                s.dup_frags,
+                s.dup_datagrams,
+                s.decode_errors
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The sender-side ADD-channel shaper for one directed channel.
+///
+/// Consumes exactly one seeded `ChaosDecision` per logical send, in
+/// logical send order — the commit protocol totally orders a channel's
+/// sends, so the k-th send meets the k-th decision in every same-seed
+/// run no matter how the socket behaves. Decisions map to wire
+/// behavior as:
+///
+/// * **drop** — nothing is transmitted (counted `injected_drop`);
+/// * **dup** — the payload is transmitted twice, under two distinct
+///   transmission seqs, so the receiver delivers it twice;
+/// * **hold `h`** — the transmission is buffered and released only
+///   after `h` further logical sends on this channel (bounded
+///   reorder); [`AddShaper::flush`] releases stragglers at shutdown.
+#[derive(Debug)]
+pub struct AddShaper {
+    from: Loc,
+    to: Loc,
+    epoch: u32,
+    mtu: usize,
+    chaos: ChannelChaos,
+    next_seq: u32,
+    held: VecDeque<(u32, Vec<Vec<u8>>)>,
+    /// Sender-side accounting (receiver fields stay zero).
+    pub stats: ChannelDgramStats,
+}
+
+impl AddShaper {
+    /// A shaper for channel `(from, to)` under the run seed and the
+    /// channel's configured profile. The decision stream is identical
+    /// to the in-process engines' `ChannelChaos::new(seed, from, to,
+    /// profile)` stream.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        from: Loc,
+        to: Loc,
+        profile: LinkProfile,
+        epoch: u32,
+        mtu: usize,
+    ) -> Self {
+        assert!(mtu > HDR_LEN, "mtu must exceed the header length");
+        AddShaper {
+            from,
+            to,
+            epoch,
+            mtu,
+            chaos: ChannelChaos::new(seed, from, to, profile),
+            next_seq: 0,
+            held: VecDeque::new(),
+            stats: ChannelDgramStats::default(),
+        }
+    }
+
+    fn transmit(&mut self, payload: &[u8]) -> Result<Vec<Vec<u8>>, DgramError> {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let frags = fragment(self.from, self.to, self.epoch, seq, payload, self.mtu)?;
+        self.stats.datagrams_tx += 1;
+        self.stats.frags_tx += frags.len() as u64;
+        Ok(frags)
+    }
+
+    /// Release held transmissions whose hold window has elapsed.
+    fn release_due(&mut self, out: &mut Vec<Vec<u8>>) {
+        for entry in &mut self.held {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        while let Some(front) = self.held.front() {
+            if front.0 > 0 {
+                break;
+            }
+            let (_, frags) = self.held.pop_front().expect("front checked above");
+            out.extend(frags);
+        }
+    }
+
+    /// One logical send: apply the next chaos decision and return the
+    /// datagrams to put on the wire *now* (the current transmission if
+    /// it passes, plus any earlier held transmissions that just came
+    /// due).
+    ///
+    /// # Errors
+    /// [`DgramError::TooLarge`] for oversized payloads.
+    pub fn send(&mut self, payload: &[u8]) -> Result<Vec<Vec<u8>>, DgramError> {
+        self.stats.sends += 1;
+        let d = self.chaos.next();
+        let mut out = Vec::new();
+        if d.drop {
+            self.stats.injected_drop += 1;
+        } else {
+            let mut frags = self.transmit(payload)?;
+            if d.dup {
+                self.stats.injected_dup += 1;
+                frags.extend(self.transmit(payload)?);
+            }
+            if d.hold > 0 {
+                self.stats.held += 1;
+                self.held.push_back((d.hold, frags));
+            } else {
+                out = frags;
+            }
+        }
+        self.release_due(&mut out);
+        Ok(out)
+    }
+
+    /// Release every held transmission (quiescence / shutdown) —
+    /// bounded delay, not permanent loss, per the ADD model.
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        self.held.drain(..).flat_map(|(_, frags)| frags).collect()
+    }
+
+    /// Transmissions currently held back.
+    #[must_use]
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+}
+
+/// Receiver-side reassembly for one directed channel: fragment →
+/// payload, duplicate-idempotent, epoch-filtered.
+#[derive(Debug)]
+pub struct Reassembly {
+    from: Loc,
+    to: Loc,
+    epoch: u32,
+    mtu: usize,
+    pending: BTreeMap<u32, Partial>,
+    done: BTreeSet<u32>,
+    max_seq_seen: Option<u32>,
+    /// Receiver-side accounting (sender fields stay zero).
+    pub stats: ChannelDgramStats,
+}
+
+#[derive(Debug)]
+struct Partial {
+    cnt: u16,
+    have: u16,
+    got: Vec<Option<Vec<u8>>>,
+}
+
+/// How many completed seqs the duplicate-mask remembers before
+/// forgetting the oldest — bounded memory for unbounded runs.
+const DONE_WINDOW: usize = 4096;
+
+impl Reassembly {
+    /// A reassembler for channel `(from, to)` accepting only datagrams
+    /// of the given sender epoch.
+    #[must_use]
+    pub fn new(from: Loc, to: Loc, epoch: u32, mtu: usize) -> Self {
+        Reassembly {
+            from,
+            to,
+            epoch,
+            mtu,
+            pending: BTreeMap::new(),
+            done: BTreeSet::new(),
+            max_seq_seen: None,
+            stats: ChannelDgramStats::default(),
+        }
+    }
+
+    /// Offer one received datagram. Returns the completed payload when
+    /// this fragment finishes a transmission, `None` while more
+    /// fragments are outstanding or the datagram was masked
+    /// (duplicate fragment, already-completed seq, stale epoch —
+    /// counted in [`Reassembly::stats`]).
+    ///
+    /// # Errors
+    /// A typed [`DgramError`] for malformed datagrams (also counted in
+    /// `stats.decode_errors`).
+    pub fn offer(&mut self, dgram: &[u8]) -> Result<Option<(DgramHeader, Vec<u8>)>, DgramError> {
+        let (h, payload) = match parse(dgram) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                return Err(e);
+            }
+        };
+        self.stats.frags_rx += 1;
+        self.max_seq_seen = Some(self.max_seq_seen.map_or(h.seq, |m| m.max(h.seq)));
+        if h.from != self.from || h.to != self.to || h.epoch != self.epoch {
+            // Stray channel or stale incarnation: not our stream.
+            self.stats.decode_errors += 1;
+            return Ok(None);
+        }
+        if self.done.contains(&h.seq) {
+            self.stats.dup_datagrams += 1;
+            return Ok(None);
+        }
+        let chunk = self.mtu - HDR_LEN;
+        let entry = self.pending.entry(h.seq).or_insert_with(|| Partial {
+            cnt: h.frag_cnt,
+            have: 0,
+            got: vec![None; usize::from(h.frag_cnt)],
+        });
+        if entry.cnt != h.frag_cnt {
+            self.stats.decode_errors += 1;
+            return Err(DgramError::Mismatch {
+                seq: h.seq,
+                field: "frag_cnt",
+            });
+        }
+        if h.frag_idx + 1 < h.frag_cnt && payload.len() != chunk {
+            self.stats.decode_errors += 1;
+            return Err(DgramError::Mismatch {
+                seq: h.seq,
+                field: "payload_len",
+            });
+        }
+        let slot = &mut entry.got[usize::from(h.frag_idx)];
+        if slot.is_some() {
+            self.stats.dup_frags += 1;
+            return Ok(None);
+        }
+        *slot = Some(payload.to_vec());
+        entry.have += 1;
+        if entry.have < entry.cnt {
+            return Ok(None);
+        }
+        let entry = self.pending.remove(&h.seq).expect("entry just completed");
+        let mut full = Vec::with_capacity(usize::from(entry.cnt) * chunk);
+        for piece in entry.got {
+            full.extend_from_slice(&piece.expect("all fragments present"));
+        }
+        self.stats.datagrams_rx += 1;
+        self.done.insert(h.seq);
+        while self.done.len() > DONE_WINDOW {
+            let oldest = *self.done.iter().next().expect("non-empty");
+            self.done.remove(&oldest);
+        }
+        Ok(Some((h, full)))
+    }
+
+    /// Drop partial transmissions that can no longer complete — any
+    /// pending seq more than `window` behind the newest seq observed —
+    /// returning one typed [`DgramError::MissingFragments`] per
+    /// abandoned transmission. Mid-fragment loss is thereby an error
+    /// the caller sees, not a silent memory leak.
+    pub fn prune_stale(&mut self, window: u32) -> Vec<DgramError> {
+        let Some(newest) = self.max_seq_seen else {
+            return Vec::new();
+        };
+        let cutoff = newest.saturating_sub(window);
+        let stale: Vec<u32> = self.pending.range(..cutoff).map(|(&seq, _)| seq).collect();
+        stale
+            .into_iter()
+            .map(|seq| {
+                let p = self.pending.remove(&seq).expect("key from range scan");
+                self.stats.decode_errors += 1;
+                DgramError::MissingFragments {
+                    seq,
+                    have: p.have,
+                    cnt: p.cnt,
+                }
+            })
+            .collect()
+    }
+
+    /// Transmissions with at least one fragment still outstanding.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The expected end-to-end delivery rate of a profile on a loss-free
+/// underlay: surviving sends `(1 − drop)`, each duplicated with
+/// probability `dup`.
+#[must_use]
+pub fn expected_delivery_rate(profile: &LinkProfile) -> f64 {
+    (1.0 - profile.drop) * (1.0 + profile.dup)
+}
+
+/// Convenience: the full-mesh channel list of `pi` (every ordered pair
+/// of distinct locations) — the channels a UDP deployment shapes.
+#[must_use]
+pub fn mesh(pi: Pi) -> Vec<(Loc, Loc)> {
+    let mut out = Vec::new();
+    for i in pi.iter() {
+        for j in pi.iter() {
+            if i != j {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|k| (k % 251) as u8).collect()
+    }
+
+    #[test]
+    fn single_fragment_roundtrip() {
+        let p = payload(100);
+        let frags = fragment(Loc(1), Loc(2), 7, 42, &p, DEFAULT_MTU).unwrap();
+        assert_eq!(frags.len(), 1);
+        let (h, body) = parse(&frags[0]).unwrap();
+        assert_eq!(
+            h,
+            DgramHeader {
+                from: Loc(1),
+                to: Loc(2),
+                epoch: 7,
+                seq: 42,
+                frag_idx: 0,
+                frag_cnt: 1
+            }
+        );
+        assert_eq!(body, &p[..]);
+    }
+
+    #[test]
+    fn empty_payload_still_frames() {
+        let frags = fragment(Loc(0), Loc(1), 0, 0, &[], 64).unwrap();
+        assert_eq!(frags.len(), 1);
+        let (h, body) = parse(&frags[0]).unwrap();
+        assert_eq!(h.frag_cnt, 1);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn multi_fragment_reassembles_in_any_order() {
+        let mtu = 64;
+        let p = payload(500);
+        let frags = fragment(Loc(3), Loc(4), 1, 9, &p, mtu).unwrap();
+        assert!(frags.len() > 1);
+        let mut r = Reassembly::new(Loc(3), Loc(4), 1, mtu);
+        // Offer in reverse order: only the last offer completes.
+        for f in frags.iter().rev().take(frags.len() - 1) {
+            assert_eq!(r.offer(f).unwrap(), None);
+        }
+        let (h, full) = r.offer(&frags[0]).unwrap().expect("complete");
+        assert_eq!(h.seq, 9);
+        assert_eq!(full, p);
+        assert_eq!(r.stats.datagrams_rx, 1);
+        assert_eq!(r.stats.frags_rx, frags.len() as u64);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_idempotent() {
+        let mtu = 64;
+        let p = payload(200);
+        let frags = fragment(Loc(0), Loc(1), 0, 5, &p, mtu).unwrap();
+        let mut r = Reassembly::new(Loc(0), Loc(1), 0, mtu);
+        for f in &frags[..frags.len() - 1] {
+            assert_eq!(r.offer(f).unwrap(), None);
+            // Duplicate of an incomplete fragment: masked.
+            assert_eq!(r.offer(f).unwrap(), None);
+        }
+        assert!(r.offer(&frags[frags.len() - 1]).unwrap().is_some());
+        assert_eq!(r.stats.dup_frags, (frags.len() - 1) as u64);
+        // A whole-transmission replay after completion is masked too.
+        for f in &frags {
+            assert_eq!(r.offer(f).unwrap(), None);
+        }
+        assert_eq!(r.stats.dup_datagrams, frags.len() as u64);
+        assert_eq!(r.stats.datagrams_rx, 1);
+    }
+
+    #[test]
+    fn truncated_and_garbage_are_typed_errors() {
+        let frags = fragment(Loc(0), Loc(1), 0, 0, &payload(40), DEFAULT_MTU).unwrap();
+        let d = &frags[0];
+        for cut in 0..HDR_LEN {
+            match parse(&d[..cut]) {
+                Err(DgramError::Truncated { need, have }) => {
+                    assert_eq!(need, HDR_LEN);
+                    assert_eq!(have, cut);
+                }
+                other => panic!("expected Truncated at cut {cut}, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse(&[0xFFu8; 32][..]),
+            Err(DgramError::BadMagic { .. })
+        ));
+        // idx ≥ cnt is rejected.
+        let mut bad = d.clone();
+        bad[12] = 9; // frag_idx
+        bad[14] = 1; // frag_cnt
+        assert!(matches!(parse(&bad), Err(DgramError::BadFragment { .. })));
+    }
+
+    #[test]
+    fn mismatched_fragment_count_is_an_error() {
+        let mtu = 64;
+        let frags = fragment(Loc(0), Loc(1), 0, 3, &payload(200), mtu).unwrap();
+        let mut r = Reassembly::new(Loc(0), Loc(1), 0, mtu);
+        assert_eq!(r.offer(&frags[0]).unwrap(), None);
+        let mut other = frags[1].clone();
+        other[14..16].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(
+            r.offer(&other),
+            Err(DgramError::Mismatch {
+                field: "frag_cnt",
+                ..
+            })
+        ));
+        assert_eq!(r.stats.decode_errors, 1);
+    }
+
+    #[test]
+    fn mid_fragment_loss_surfaces_on_prune() {
+        let mtu = 64;
+        let frags = fragment(Loc(0), Loc(1), 0, 0, &payload(200), mtu).unwrap();
+        let mut r = Reassembly::new(Loc(0), Loc(1), 0, mtu);
+        // Lose every fragment but the first of seq 0.
+        assert_eq!(r.offer(&frags[0]).unwrap(), None);
+        // A much later transmission arrives complete.
+        let late = fragment(Loc(0), Loc(1), 0, 100, &payload(10), mtu).unwrap();
+        assert!(r.offer(&late[0]).unwrap().is_some());
+        let errs = r.prune_stale(16);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(
+            errs[0],
+            DgramError::MissingFragments {
+                seq: 0,
+                have: 1,
+                ..
+            }
+        ));
+        assert_eq!(r.pending_len(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_is_masked() {
+        let frags = fragment(Loc(0), Loc(1), 3, 0, &payload(8), DEFAULT_MTU).unwrap();
+        let mut r = Reassembly::new(Loc(0), Loc(1), 4, DEFAULT_MTU);
+        assert_eq!(r.offer(&frags[0]).unwrap(), None);
+        assert_eq!(r.stats.decode_errors, 1);
+        assert_eq!(r.stats.datagrams_rx, 0);
+    }
+
+    #[test]
+    fn shaper_decisions_match_the_engine_stream() {
+        // The shaper consumes the *same* decision stream as the
+        // in-process engines: replay it side by side.
+        let profile = LinkProfile::lossy(0.4).with_dup(0.2).with_reorder(2);
+        let mut reference = ChannelChaos::new(77, Loc(0), Loc(1), profile);
+        let mut shaper = AddShaper::new(77, Loc(0), Loc(1), profile, 0, DEFAULT_MTU);
+        let mut tx_now = 0u64;
+        for k in 0..256u64 {
+            let d = reference.next();
+            let out = shaper.send(&payload(16)).unwrap();
+            tx_now += out.len() as u64;
+            if d.drop {
+                // This arrival transmitted nothing of its own.
+                assert!(shaper.stats.injected_drop > 0, "arrival {k}");
+            }
+        }
+        let flushed = shaper.flush().len() as u64;
+        let s = shaper.stats;
+        assert_eq!(s.sends, 256);
+        // Every decision maps to wire behavior exactly once.
+        assert_eq!(s.datagrams_tx, s.sends - s.injected_drop + s.injected_dup);
+        assert_eq!(s.frags_tx, s.datagrams_tx); // 16-byte payloads: 1 frag each
+        assert_eq!(tx_now + flushed, s.frags_tx);
+        // Rates roughly honour the profile (same tolerance as the
+        // runtime's own chaos test).
+        let rate = |n: u64| n as f64 / s.sends as f64;
+        assert!((rate(s.injected_drop) - 0.4).abs() < 0.08);
+        assert!((rate(s.injected_dup) - 0.2 * 0.6).abs() < 0.08);
+    }
+
+    #[test]
+    fn shaper_hold_is_bounded_reorder_not_loss() {
+        let profile = LinkProfile::lossy(0.0).with_reorder(3);
+        let mut shaper = AddShaper::new(5, Loc(0), Loc(1), profile, 0, DEFAULT_MTU);
+        let mut r = Reassembly::new(Loc(0), Loc(1), 0, DEFAULT_MTU);
+        let n = 64;
+        let mut delivered = 0;
+        for _ in 0..n {
+            for d in shaper.send(&payload(8)).unwrap() {
+                if r.offer(&d).unwrap().is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        for d in shaper.flush() {
+            if r.offer(&d).unwrap().is_some() {
+                delivered += 1;
+            }
+        }
+        // Nothing dropped: every send eventually delivers exactly once.
+        assert_eq!(delivered, n);
+        assert_eq!(shaper.stats.injected_drop, 0);
+        assert!(shaper.stats.held > 0, "reorder=3 should hold something");
+    }
+
+    #[test]
+    fn dup_sends_deliver_twice() {
+        let profile = LinkProfile::lossy(0.0).with_dup(1.0);
+        let mut shaper = AddShaper::new(1, Loc(0), Loc(1), profile, 0, DEFAULT_MTU);
+        let mut r = Reassembly::new(Loc(0), Loc(1), 0, DEFAULT_MTU);
+        let mut delivered = 0;
+        for d in shaper.send(&payload(8)).unwrap() {
+            if r.offer(&d).unwrap().is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 2, "dup = two distinct transmissions");
+        assert_eq!(shaper.stats.injected_dup, 1);
+        assert_eq!(r.stats.dup_datagrams, 0, "distinct seqs, not replays");
+    }
+
+    #[test]
+    fn stats_merge_and_chaos_report() {
+        let mut a = DgramStats::default();
+        a.per_channel.insert(
+            (Loc(0), Loc(1)),
+            ChannelDgramStats {
+                sends: 10,
+                injected_drop: 3,
+                injected_dup: 1,
+                held: 2,
+                datagrams_tx: 8,
+                frags_tx: 8,
+                ..Default::default()
+            },
+        );
+        let mut b = DgramStats::default();
+        b.per_channel.insert(
+            (Loc(0), Loc(1)),
+            ChannelDgramStats {
+                datagrams_rx: 7,
+                frags_rx: 7,
+                ..Default::default()
+            },
+        );
+        a.merge(&b);
+        let s = a.per_channel[&(Loc(0), Loc(1))];
+        assert_eq!(s.sends, 10);
+        assert_eq!(s.datagrams_rx, 7);
+        assert_eq!(s.organic_lost(), 1);
+        assert_eq!(a.delivery_rate(), Some(0.7));
+        assert_eq!(a.injected_drop_rate(), Some(0.3));
+        let chaos = a.to_chaos_report();
+        assert_eq!(chaos.arrivals(), 10);
+        assert_eq!(chaos.dropped(), 3);
+        let json = a.to_json();
+        assert!(json.contains("\"0->1\""), "{json}");
+        assert!(json.contains("\"sends\":10"), "{json}");
+    }
+
+    #[test]
+    fn expected_rate_and_mesh() {
+        let p = LinkProfile::lossy(0.3).with_dup(0.1);
+        assert!((expected_delivery_rate(&p) - 0.7 * 1.1).abs() < 1e-12);
+        let m = mesh(Pi::new(3));
+        assert_eq!(m.len(), 6);
+        assert!(m.contains(&(Loc(2), Loc(0))));
+    }
+
+    #[test]
+    fn publish_exports_per_channel_and_totals() {
+        let mut stats = DgramStats::default();
+        stats.per_channel.insert(
+            (Loc(0), Loc(1)),
+            ChannelDgramStats {
+                sends: 10,
+                injected_drop: 3,
+                datagrams_tx: 7,
+                datagrams_rx: 6,
+                held: 2,
+                ..ChannelDgramStats::default()
+            },
+        );
+        stats.per_channel.insert(
+            (Loc(1), Loc(0)),
+            ChannelDgramStats {
+                sends: 4,
+                datagrams_tx: 4,
+                datagrams_rx: 4,
+                ..ChannelDgramStats::default()
+            },
+        );
+        let m = afd_obs::Metrics::new();
+        stats.publish(&m);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["dgram.0->1.sends"], 10);
+        assert_eq!(snap.counters["dgram.0->1.injected_drop"], 3);
+        assert_eq!(snap.counters["dgram.0->1.organic_lost"], 1);
+        assert_eq!(snap.counters["dgram.1->0.sends"], 4);
+        assert_eq!(snap.counters["dgram.total.sends"], 14);
+        assert_eq!(snap.counters["dgram.total.datagrams_rx"], 10);
+        assert_eq!(snap.gauges["dgram.0->1.held"], (2, 2));
+        // 10 delivered / 14 sends ≈ 71%.
+        assert_eq!(snap.gauges["dgram.delivery_pct"].0, 71);
+    }
+}

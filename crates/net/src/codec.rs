@@ -17,8 +17,11 @@
 //! even when several threads share one stream behind a mutex.
 
 use std::io::{Read, Write};
+use std::time::Duration;
 
 use afd_core::{Action, Ballot, FdOutput, Frame, Loc, LocSet, Msg};
+use afd_dgram::ChannelDgramStats;
+use afd_runtime::LinkProfile;
 
 use crate::deploy::{DeploymentSpec, FdKindSpec};
 
@@ -91,6 +94,48 @@ pub enum CommitStatus {
     Suppressed,
     /// The run is over; the worker should wind down.
     Stopped,
+}
+
+/// A [`LinkProfile`] as it travels on the wire: durations in
+/// nanoseconds, probabilities as raw IEEE-754 bits so the message type
+/// stays `Eq` and the round-trip is bit-exact (the shaper's seeded
+/// decision stream depends on the float bits, not an approximation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLinkProfile {
+    /// Fixed delivery delay, nanoseconds.
+    pub delay_ns: u64,
+    /// Upper bound of the uniform extra delay, nanoseconds.
+    pub jitter_ns: u64,
+    /// `LinkProfile::drop` as `f64::to_bits`.
+    pub drop_bits: u64,
+    /// `LinkProfile::dup` as `f64::to_bits`.
+    pub dup_bits: u64,
+    /// Maximum reorder window.
+    pub reorder: u32,
+}
+
+impl From<LinkProfile> for WireLinkProfile {
+    fn from(p: LinkProfile) -> Self {
+        WireLinkProfile {
+            delay_ns: p.delay.as_nanos() as u64,
+            jitter_ns: p.jitter.as_nanos() as u64,
+            drop_bits: p.drop.to_bits(),
+            dup_bits: p.dup.to_bits(),
+            reorder: p.reorder,
+        }
+    }
+}
+
+impl From<WireLinkProfile> for LinkProfile {
+    fn from(w: WireLinkProfile) -> Self {
+        LinkProfile {
+            delay: Duration::from_nanos(w.delay_ns),
+            jitter: Duration::from_nanos(w.jitter_ns),
+            drop: f64::from_bits(w.drop_bits),
+            dup: f64::from_bits(w.dup_bits),
+            reorder: w.reorder,
+        }
+    }
 }
 
 /// The coordinator ↔ node control protocol.
@@ -187,6 +232,42 @@ pub enum WireMsg {
         wire_pacing_us: u64,
         /// Committed schedule prefix length to be replayed.
         replay_len: u64,
+    },
+    /// Node → coordinator, first message after connecting when the
+    /// deployment runs its data channels over UDP
+    /// (`AFD_NET_TRANSPORT=udp`): like [`WireMsg::Hello`] but also
+    /// reports the port of the node's bound datagram socket.
+    HelloUdp {
+        /// The node id given at spawn time (`AFD_NET_NODE_ID`).
+        node: u32,
+        /// Loopback UDP port the node receives datagrams on.
+        udp_port: u16,
+    },
+    /// Coordinator → node, UDP deployments only, sent right after
+    /// [`WireMsg::Assign`]: the datagram-plane wiring. Carries every
+    /// node's UDP endpoint, the location → node hosting map, and the
+    /// per-channel link profiles the *sender* needs to run its seeded
+    /// ADD-channel shaper.
+    UdpSetup {
+        /// Echo of the node id.
+        node: u32,
+        /// `(node id, UDP port)` for every node, loopback addresses.
+        peers: Vec<(u32, u16)>,
+        /// `(location, node id)` hosting map for every location.
+        hosts: Vec<(Loc, u32)>,
+        /// `(from, to, profile)` for every directed channel.
+        profiles: Vec<(Loc, Loc, WireLinkProfile)>,
+    },
+    /// Node → coordinator, UDP deployments only, sent once while
+    /// winding down: the node's datagram-plane loss accounting, which
+    /// the coordinator merges into the run report's
+    /// [`afd_dgram::DgramStats`].
+    DgramStats {
+        /// The sending node's id.
+        node: u32,
+        /// Per-channel counters for every channel this node sent on or
+        /// hosted.
+        per_channel: Vec<(Loc, Loc, ChannelDgramStats)>,
     },
 }
 
@@ -523,7 +604,33 @@ fn put_spec(buf: &mut Vec<u8>, spec: &DeploymentSpec) {
                 put_u64(buf, *v);
             }
         }
+        DeploymentSpec::BoundedEvP { n } => {
+            put_u8(buf, 4);
+            put_u8(buf, *n);
+        }
     }
+}
+
+fn put_link_profile(buf: &mut Vec<u8>, p: &WireLinkProfile) {
+    put_u64(buf, p.delay_ns);
+    put_u64(buf, p.jitter_ns);
+    put_u64(buf, p.drop_bits);
+    put_u64(buf, p.dup_bits);
+    put_u32(buf, p.reorder);
+}
+
+fn put_chan_dgram_stats(buf: &mut Vec<u8>, s: &ChannelDgramStats) {
+    put_u64(buf, s.sends);
+    put_u64(buf, s.injected_drop);
+    put_u64(buf, s.injected_dup);
+    put_u64(buf, s.held);
+    put_u64(buf, s.datagrams_tx);
+    put_u64(buf, s.frags_tx);
+    put_u64(buf, s.datagrams_rx);
+    put_u64(buf, s.frags_rx);
+    put_u64(buf, s.dup_frags);
+    put_u64(buf, s.dup_datagrams);
+    put_u64(buf, s.decode_errors);
 }
 
 /// Encode a control message to its frame payload (without the length
@@ -621,6 +728,46 @@ pub fn encode_msg(m: &WireMsg) -> Vec<u8> {
             put_u64(&mut buf, *seed);
             put_u64(&mut buf, *wire_pacing_us);
             put_u64(&mut buf, *replay_len);
+        }
+        WireMsg::HelloUdp { node, udp_port } => {
+            put_u8(&mut buf, 9);
+            put_u32(&mut buf, *node);
+            put_u16(&mut buf, *udp_port);
+        }
+        WireMsg::UdpSetup {
+            node,
+            peers,
+            hosts,
+            profiles,
+        } => {
+            put_u8(&mut buf, 10);
+            put_u32(&mut buf, *node);
+            put_u32(&mut buf, peers.len() as u32);
+            for (id, port) in peers {
+                put_u32(&mut buf, *id);
+                put_u16(&mut buf, *port);
+            }
+            put_u32(&mut buf, hosts.len() as u32);
+            for (loc, id) in hosts {
+                put_loc(&mut buf, *loc);
+                put_u32(&mut buf, *id);
+            }
+            put_u32(&mut buf, profiles.len() as u32);
+            for (from, to, p) in profiles {
+                put_loc(&mut buf, *from);
+                put_loc(&mut buf, *to);
+                put_link_profile(&mut buf, p);
+            }
+        }
+        WireMsg::DgramStats { node, per_channel } => {
+            put_u8(&mut buf, 11);
+            put_u32(&mut buf, *node);
+            put_u32(&mut buf, per_channel.len() as u32);
+            for (from, to, s) in per_channel {
+                put_loc(&mut buf, *from);
+                put_loc(&mut buf, *to);
+                put_chan_dgram_stats(&mut buf, s);
+            }
         }
     }
     buf
@@ -962,11 +1109,40 @@ impl<'a> Dec<'a> {
                     _ => DeploymentSpec::PaxosVal { n, values },
                 })
             }
+            4 => Ok(DeploymentSpec::BoundedEvP {
+                n: self.u8("DeploymentSpec.n")?,
+            }),
             tag => Err(DecodeError::BadTag {
                 what: "DeploymentSpec",
                 tag,
             }),
         }
+    }
+
+    fn link_profile(&mut self) -> Result<WireLinkProfile, DecodeError> {
+        Ok(WireLinkProfile {
+            delay_ns: self.u64("WireLinkProfile.delay_ns")?,
+            jitter_ns: self.u64("WireLinkProfile.jitter_ns")?,
+            drop_bits: self.u64("WireLinkProfile.drop_bits")?,
+            dup_bits: self.u64("WireLinkProfile.dup_bits")?,
+            reorder: self.u32("WireLinkProfile.reorder")?,
+        })
+    }
+
+    fn chan_dgram_stats(&mut self) -> Result<ChannelDgramStats, DecodeError> {
+        Ok(ChannelDgramStats {
+            sends: self.u64("ChannelDgramStats.sends")?,
+            injected_drop: self.u64("ChannelDgramStats.injected_drop")?,
+            injected_dup: self.u64("ChannelDgramStats.injected_dup")?,
+            held: self.u64("ChannelDgramStats.held")?,
+            datagrams_tx: self.u64("ChannelDgramStats.datagrams_tx")?,
+            frags_tx: self.u64("ChannelDgramStats.frags_tx")?,
+            datagrams_rx: self.u64("ChannelDgramStats.datagrams_rx")?,
+            frags_rx: self.u64("ChannelDgramStats.frags_rx")?,
+            dup_frags: self.u64("ChannelDgramStats.dup_frags")?,
+            dup_datagrams: self.u64("ChannelDgramStats.dup_datagrams")?,
+            decode_errors: self.u64("ChannelDgramStats.decode_errors")?,
+        })
     }
 
     fn wire_msg(&mut self) -> Result<WireMsg, DecodeError> {
@@ -1057,6 +1233,43 @@ impl<'a> Dec<'a> {
                     wire_pacing_us: self.u64("RejoinAck.wire_pacing_us")?,
                     replay_len: self.u64("RejoinAck.replay_len")?,
                 })
+            }
+            9 => Ok(WireMsg::HelloUdp {
+                node: self.u32("WireMsg.node")?,
+                udp_port: self.u16("HelloUdp.udp_port")?,
+            }),
+            10 => {
+                let node = self.u32("WireMsg.node")?;
+                let n_peers = self.seq_len("UdpSetup.peers")?;
+                let mut peers = Vec::with_capacity(n_peers.min(256));
+                for _ in 0..n_peers {
+                    peers.push((self.u32("UdpSetup.node")?, self.u16("UdpSetup.port")?));
+                }
+                let n_hosts = self.seq_len("UdpSetup.hosts")?;
+                let mut hosts = Vec::with_capacity(n_hosts.min(256));
+                for _ in 0..n_hosts {
+                    hosts.push((self.loc()?, self.u32("UdpSetup.host")?));
+                }
+                let n_profiles = self.seq_len("UdpSetup.profiles")?;
+                let mut profiles = Vec::with_capacity(n_profiles.min(4096));
+                for _ in 0..n_profiles {
+                    profiles.push((self.loc()?, self.loc()?, self.link_profile()?));
+                }
+                Ok(WireMsg::UdpSetup {
+                    node,
+                    peers,
+                    hosts,
+                    profiles,
+                })
+            }
+            11 => {
+                let node = self.u32("WireMsg.node")?;
+                let n_chans = self.seq_len("DgramStats.per_channel")?;
+                let mut per_channel = Vec::with_capacity(n_chans.min(4096));
+                for _ in 0..n_chans {
+                    per_channel.push((self.loc()?, self.loc()?, self.chan_dgram_stats()?));
+                }
+                Ok(WireMsg::DgramStats { node, per_channel })
             }
             tag => Err(DecodeError::BadTag {
                 what: "WireMsg",
@@ -1274,6 +1487,109 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), Some(rejoin));
         assert_eq!(read_frame(&mut r).unwrap(), Some(ack));
         assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn udp_handshake_roundtrips_through_frames() {
+        let hello = WireMsg::HelloUdp {
+            node: 4,
+            udp_port: 54_321,
+        };
+        let profile = afd_runtime::LinkProfile::lossy(0.30)
+            .with_dup(0.05)
+            .with_reorder(4);
+        let setup = WireMsg::UdpSetup {
+            node: 4,
+            peers: vec![(0, 40_001), (1, 40_002), (4, 54_321)],
+            hosts: vec![(Loc(0), 0), (Loc(1), 1), (Loc(2), 4)],
+            profiles: vec![
+                (Loc(0), Loc(1), WireLinkProfile::from(profile)),
+                (
+                    Loc(1),
+                    Loc(0),
+                    WireLinkProfile::from(afd_runtime::LinkProfile::default()),
+                ),
+            ],
+        };
+        let stats = WireMsg::DgramStats {
+            node: 4,
+            per_channel: vec![(
+                Loc(0),
+                Loc(1),
+                afd_dgram::ChannelDgramStats {
+                    sends: 100,
+                    injected_drop: 30,
+                    injected_dup: 5,
+                    held: 2,
+                    datagrams_tx: 75,
+                    frags_tx: 80,
+                    datagrams_rx: 70,
+                    frags_rx: 74,
+                    dup_frags: 1,
+                    dup_datagrams: 3,
+                    decode_errors: 1,
+                },
+            )],
+        };
+        let mut buf = Vec::new();
+        for m in [&hello, &setup, &stats] {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(hello));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(setup));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(stats));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    /// `WireLinkProfile` is a bit-exact carrier: the f64 rates survive
+    /// the `to_bits`/`from_bits` trip unchanged, including rates that
+    /// are not exactly representable in decimal.
+    #[test]
+    fn wire_link_profile_is_bit_exact() {
+        for drop in [0.0, 0.1, 0.3, 1.0 / 3.0, f64::MIN_POSITIVE] {
+            let p = afd_runtime::LinkProfile::lossy(drop).with_dup(drop / 2.0);
+            let back = afd_runtime::LinkProfile::from(WireLinkProfile::from(p));
+            assert_eq!(p.drop.to_bits(), back.drop.to_bits());
+            assert_eq!(p.dup.to_bits(), back.dup.to_bits());
+            assert_eq!(p.reorder, back.reorder);
+            assert_eq!(p.delay, back.delay);
+            assert_eq!(p.jitter, back.jitter);
+        }
+    }
+
+    #[test]
+    fn bounded_evp_spec_roundtrip() {
+        let m = WireMsg::Assign {
+            node: 0,
+            spec: DeploymentSpec::BoundedEvP { n: 5 },
+            locations: vec![Loc(0), Loc(3)],
+            seed: 23,
+            wire_pacing_us: 10,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &m).unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn udp_setup_truncation_is_typed() {
+        let bytes = encode_msg(&WireMsg::UdpSetup {
+            node: 1,
+            peers: vec![(0, 9), (1, 10)],
+            hosts: vec![(Loc(0), 0)],
+            profiles: vec![(
+                Loc(0),
+                Loc(1),
+                WireLinkProfile::from(afd_runtime::LinkProfile::lossy(0.5)),
+            )],
+        });
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                decode_msg(&bytes[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
     }
 
     #[test]

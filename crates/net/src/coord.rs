@@ -33,6 +33,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use afd_core::{Action, FdOutput, Loc, LocSet, Pi, Stamped};
+use afd_dgram::DgramStats;
 use afd_obs::Observer;
 use afd_runtime::{
     chaos_plan_jsonl, ChaosReport, Commit, EventSink, LinkFaults, Partition, RuntimeConfig,
@@ -41,7 +42,7 @@ use afd_runtime::{
 use afd_system::{Component, ComponentKind};
 use ioa::{ActionClass, Automaton, TaskId};
 
-use crate::codec::{read_frame, write_frame, CommitStatus, WireMsg};
+use crate::codec::{read_frame, write_frame, CommitStatus, WireLinkProfile, WireMsg};
 use crate::deploy::{
     online_checks, post_checks, visit_system, DeploymentSpec, DynCheck, SystemVisitor,
 };
@@ -166,6 +167,33 @@ impl RecoveryPolicy {
     }
 }
 
+/// Which transport carries the node ↔ node data channels.
+///
+/// The control plane — commits, routing, crash injection, telemetry,
+/// stop — always rides the coordinator's TCP sockets; this selects
+/// where the *channel* components live and how `Send`s travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Channels run inside the coordinator's netchaos router and every
+    /// message multiplexes over the TCP control plane. The default:
+    /// byte-for-byte the behavior of previous releases on the same
+    /// seed.
+    #[default]
+    Tcp,
+    /// Channels are hosted by the node hosting their destination and
+    /// `Send`s travel as real UDP datagrams (`afd-dgram` framing),
+    /// shaped by the sender's seeded ADD-channel shaper
+    /// ([`afd_dgram::AddShaper`]) so the configured [`LinkFaults`]
+    /// drop/dup/reorder plan replays on top of whatever the real
+    /// socket does. `delay`/`jitter` are ignored — real network
+    /// latency replaces the synthetic clock. Both plain (`Send`) and
+    /// stubborn wire (`WireSend`) channels ride the datagram plane, so
+    /// `ReliablePaxos` retransmits over genuinely lossy sockets.
+    /// Scripted partitions and crash recovery need the router data
+    /// plane and are rejected at config validation.
+    Udp,
+}
+
 /// Configuration of a distributed run.
 #[derive(Clone)]
 pub struct NetConfig {
@@ -209,6 +237,10 @@ pub struct NetConfig {
     /// semantics exactly; `Some` respawns killed nodes and rejoins
     /// them with fresh incarnation epochs.
     pub recovery: Option<RecoveryPolicy>,
+    /// Data-channel transport. [`Transport::Tcp`] (default) keeps the
+    /// router data plane; [`Transport::Udp`] moves channels onto real
+    /// datagram sockets.
+    pub transport: Transport,
 }
 
 impl NetConfig {
@@ -232,7 +264,15 @@ impl NetConfig {
             plan_arrivals: 32,
             profiling: false,
             recovery: None,
+            transport: Transport::Tcp,
         }
+    }
+
+    /// Select the data-channel transport.
+    #[must_use]
+    pub fn with_transport(mut self, t: Transport) -> Self {
+        self.transport = t;
+        self
     }
 
     /// Enable crash recovery with `policy`.
@@ -409,6 +449,12 @@ pub struct NetReport {
     pub telemetry: Option<afd_prof::Merged>,
     /// Recovery QoS, present when [`NetConfig::recovery`] was set.
     pub recovery: Option<RecoveryReport>,
+    /// Datagram-plane accounting (sender + receiver halves merged per
+    /// channel), present when the run used [`Transport::Udp`]. The
+    /// [`NetReport::chaos`] report is synthesized from the shaper half
+    /// of these counters so same-seed UDP and TCP runs expose the same
+    /// injected-chaos surface.
+    pub dgram: Option<DgramStats>,
 }
 
 impl NetReport {
@@ -449,6 +495,20 @@ pub fn run_distributed(spec: &DeploymentSpec, cfg: &NetConfig) -> Result<NetRepo
     for f in &cfg.faults {
         if usize::from(f.loc.0) >= pi.len() {
             return Err(NetError::Config(format!("fault at {:?} outside Π", f.loc)));
+        }
+    }
+    if cfg.transport == Transport::Udp {
+        if !cfg.partitions.is_empty() {
+            return Err(NetError::Config(
+                "scripted partitions need the router data plane; Transport::Udp does not support them"
+                    .into(),
+            ));
+        }
+        if cfg.recovery.is_some() {
+            return Err(NetError::Config(
+                "crash recovery replays over the TCP data plane; Transport::Udp does not support it"
+                    .into(),
+            ));
         }
     }
     if let DeploymentSpec::Paxos { values, .. }
@@ -517,6 +577,12 @@ where
     /// Per-node accumulated profiler telemetry (lane directory +
     /// records), appended by that node's reader thread only.
     node_telemetry: Vec<Mutex<afd_prof::Report>>,
+    /// Channel components whose `Send` inputs travel the datagram
+    /// plane instead of a `Deliver` frame (UDP transport only).
+    dgram_skip: Vec<bool>,
+    /// Per-node datagram-plane accounting shipped at shutdown,
+    /// appended by that node's reader thread only.
+    node_dgram: Vec<Mutex<DgramStats>>,
 }
 
 impl<P> Fabric<'_, P>
@@ -528,6 +594,12 @@ where
     fn route(&self, from: usize, a: Action) {
         for (idx, c) in self.comps.iter().enumerate() {
             if idx == from || c.classify(&a) != Some(ActionClass::Input) {
+                continue;
+            }
+            // Under UDP the sender node transmits the committed `Send`
+            // to the destination node's datagram socket itself (after
+            // shaping); a `Deliver` frame here would double-deliver.
+            if self.dgram_skip[idx] && matches!(a, Action::Send { .. } | Action::WireSend { .. }) {
                 continue;
             }
             match self.owner[idx] {
@@ -867,12 +939,20 @@ impl SystemVisitor for CoordLoop {
         }
         let node_of = |l: Loc| usize::from(l.0) % nodes;
 
-        // Component ownership map.
+        // Component ownership map. Under UDP, a channel lives on the
+        // node hosting its destination (where its datagrams land);
+        // under TCP it lives in the netchaos router.
+        let udp = cfg.transport == Transport::Udp;
         let mut owner = Vec::with_capacity(kinds.len());
         let mut chans: Vec<(usize, Loc, Loc)> = Vec::new();
+        let mut dgram_skip = vec![false; kinds.len()];
         for (idx, k) in kinds.iter().enumerate() {
             owner.push(match k {
                 ComponentKind::Process(l) => Owner::Node(u32::try_from(node_of(*l)).unwrap_or(0)),
+                ComponentKind::Channel(_, to) if udp => {
+                    dgram_skip[idx] = true;
+                    Owner::Node(u32::try_from(node_of(*to)).unwrap_or(0))
+                }
                 ComponentKind::Channel(from, to) => {
                     chans.push((idx, *from, *to));
                     Owner::Router
@@ -900,6 +980,9 @@ impl SystemVisitor for CoordLoop {
             if cfg.profiling {
                 cmd.env(crate::node::PROF_ENV, "1");
             }
+            if udp {
+                cmd.env(crate::node::TRANSPORT_ENV, "udp");
+            }
             let child = cmd.spawn().map_err(|e| {
                 NetError::Spawn(format!("node {id} ({}): {e}", cfg.node_command[0]))
             })?;
@@ -913,6 +996,7 @@ impl SystemVisitor for CoordLoop {
         };
 
         let mut conns: Vec<Option<TcpStream>> = (0..nodes).map(|_| None).collect();
+        let mut udp_ports: Vec<u16> = vec![0; nodes];
         let deadline = Instant::now() + cfg.handshake_timeout;
         while conns.iter().any(Option::is_none) {
             match listener.accept() {
@@ -924,13 +1008,25 @@ impl SystemVisitor for CoordLoop {
                             .ok_or_else(|| NetError::Protocol("EOF before Hello".into()))
                     })();
                     match hello {
-                        Ok(WireMsg::Hello { node }) if (node as usize) < nodes => {
+                        Ok(WireMsg::Hello { node }) if !udp && (node as usize) < nodes => {
                             if conns[node as usize].is_some() {
                                 kill_all(&mut children);
                                 return Err(NetError::Protocol(format!(
                                     "duplicate Hello from node {node}"
                                 )));
                             }
+                            conns[node as usize] = Some(s);
+                        }
+                        Ok(WireMsg::HelloUdp { node, udp_port })
+                            if udp && (node as usize) < nodes =>
+                        {
+                            if conns[node as usize].is_some() {
+                                kill_all(&mut children);
+                                return Err(NetError::Protocol(format!(
+                                    "duplicate Hello from node {node}"
+                                )));
+                            }
+                            udp_ports[node as usize] = udp_port;
                             conns[node as usize] = Some(s);
                         }
                         Ok(m) => {
@@ -986,6 +1082,30 @@ impl SystemVisitor for CoordLoop {
             if let Err(e) = write_frame(&mut s, &assign) {
                 kill_all(&mut children);
                 return Err(NetError::Io(e));
+            }
+            if udp {
+                let setup = WireMsg::UdpSetup {
+                    node: id as u32,
+                    peers: udp_ports
+                        .iter()
+                        .enumerate()
+                        .map(|(n, &p)| (n as u32, p))
+                        .collect(),
+                    hosts: pi
+                        .iter()
+                        .map(|l| (l, u32::try_from(node_of(l)).unwrap_or(0)))
+                        .collect(),
+                    profiles: afd_dgram::mesh(pi)
+                        .into_iter()
+                        .map(|(from, to)| {
+                            (from, to, WireLinkProfile::from(cfg.links.profile(from, to)))
+                        })
+                        .collect(),
+                };
+                if let Err(e) = write_frame(&mut s, &setup) {
+                    kill_all(&mut children);
+                    return Err(NetError::Io(e));
+                }
             }
             s.set_read_timeout(Some(READ_TICK))?;
             let reader = match s.try_clone() {
@@ -1105,6 +1225,10 @@ impl SystemVisitor for CoordLoop {
             node_telemetry: (0..nodes)
                 .map(|_| Mutex::new(afd_prof::Report::default()))
                 .collect(),
+            dgram_skip,
+            node_dgram: (0..nodes)
+                .map(|_| Mutex::new(DgramStats::default()))
+                .collect(),
         };
 
         let children = Mutex::new(children);
@@ -1142,7 +1266,9 @@ impl SystemVisitor for CoordLoop {
                     afd_prof::flush_local();
                 });
             }
-            {
+            // Under UDP the channels live on the nodes and there is
+            // nothing for the router to run.
+            if !udp {
                 let fabric = &fabric;
                 let chans = &chans;
                 let cfg = &cfg;
@@ -1428,10 +1554,28 @@ impl SystemVisitor for CoordLoop {
                 respawns: respawns[nid],
             })
             .collect();
-        let chaos = std::mem::take(
-            &mut *chaos_slot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        let dgram = udp.then(|| {
+            let mut all = DgramStats::default();
+            for slot in &fabric.node_dgram {
+                all.merge(
+                    &slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+            }
+            all
+        });
+        // UDP runs synthesize the chaos surface from the shapers'
+        // injected decisions; TCP runs take the router's accounting.
+        let chaos = dgram.as_ref().map_or_else(
+            || {
+                std::mem::take(
+                    &mut *chaos_slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                )
+            },
+            DgramStats::to_chaos_report,
         );
         let telemetry = if cfg.profiling {
             // Coordinator threads flushed on scope exit; grab whatever
@@ -1500,8 +1644,30 @@ impl SystemVisitor for CoordLoop {
             elapsed,
             telemetry,
             recovery,
+            dgram,
         })
     }
+}
+
+/// Fold one node's shipped per-channel datagram counters into its
+/// accumulation slot (sender and receiver halves of a channel arrive
+/// from different nodes; the report-time merge sums them).
+fn merge_dgram<P>(
+    fabric: &Fabric<'_, P>,
+    nid: usize,
+    per_channel: Vec<(Loc, Loc, afd_dgram::ChannelDgramStats)>,
+) where
+    P: Automaton<Action = Action>,
+{
+    let mut incoming = DgramStats::default();
+    for (from, to, s) in per_channel {
+        let e = incoming.per_channel.entry((from, to)).or_default();
+        *e = e.merged(s);
+    }
+    fabric.node_dgram[nid]
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .merge(&incoming);
 }
 
 /// Logical post-recovery leader re-election latency: events from
@@ -1692,6 +1858,9 @@ fn node_reader<P>(
                 t.lanes.extend(lanes);
                 t.recs.extend(recs);
             }
+            Ok(Some(WireMsg::DgramStats { per_channel, .. })) => {
+                merge_dgram(fabric, nid, per_channel);
+            }
             Ok(Some(_)) => break true, // protocol violation
             Ok(None) => break true,    // EOF
             Err(e)
@@ -1730,6 +1899,9 @@ fn node_reader<P>(
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     t.lanes.extend(lanes);
                     t.recs.extend(recs);
+                }
+                Ok(Some(WireMsg::DgramStats { per_channel, .. })) => {
+                    merge_dgram(fabric, nid, per_channel);
                 }
                 Ok(Some(_)) => {} // in-flight request racing the stop: drop it
                 Ok(None) => break,

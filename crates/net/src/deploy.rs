@@ -22,6 +22,7 @@ use afd_core::{Action, AfdSpec, Loc, LocSet, Pi, StreamChecker, Val};
 use afd_system::System;
 use ioa::Automaton;
 
+use afd_algorithms::bounded_evp::bounded_evp_system;
 use afd_algorithms::consensus::all_live_decided_stream;
 use afd_algorithms::reliable::reliable_paxos_system;
 use afd_algorithms::self_impl::{check_self_implementation, self_impl_system};
@@ -114,6 +115,15 @@ pub enum DeploymentSpec {
         /// Per-location proposal values (`values[i]` proposed at `i`).
         values: Vec<Val>,
     },
+    /// The bounded-message ◇P of the ADD-channel paper: processes
+    /// exchange bounded heartbeats and adaptively suspect the silent —
+    /// no embedded generator, the processes *are* the detector. The
+    /// natural workload for `Transport::Udp`, whose real loss/dup/
+    /// reorder alphabet is the ADD-channel model.
+    BoundedEvP {
+        /// |Π|.
+        n: u8,
+    },
 }
 
 impl DeploymentSpec {
@@ -124,7 +134,8 @@ impl DeploymentSpec {
             DeploymentSpec::SelfImpl { n, .. }
             | DeploymentSpec::Paxos { n, .. }
             | DeploymentSpec::ReliablePaxos { n, .. }
-            | DeploymentSpec::PaxosVal { n, .. } => Pi::new(usize::from(*n)),
+            | DeploymentSpec::PaxosVal { n, .. }
+            | DeploymentSpec::BoundedEvP { n } => Pi::new(usize::from(*n)),
         }
     }
 
@@ -136,6 +147,7 @@ impl DeploymentSpec {
             DeploymentSpec::Paxos { n, .. } => format!("paxos n={n}"),
             DeploymentSpec::ReliablePaxos { n, .. } => format!("reliable-paxos n={n}"),
             DeploymentSpec::PaxosVal { n, .. } => format!("paxos-val n={n}"),
+            DeploymentSpec::BoundedEvP { n } => format!("bounded-evp n={n}"),
         }
     }
 
@@ -171,6 +183,7 @@ impl DeploymentSpec {
                 n,
                 values: (0..u64::from(n)).map(|i| 10 + i).collect(),
             },
+            "bounded-evp" => DeploymentSpec::BoundedEvP { n },
             _ => return None,
         };
         Some(spec)
@@ -226,7 +239,10 @@ impl DeploymentSpec {
                             .all(|l| crashed.contains(l) || witnessed.contains(l))
                 }))
             }
-            DeploymentSpec::SelfImpl { .. } => None,
+            // Conformance deployments (including bounded ◇P, which
+            // must keep heartbeating past stabilization) run out
+            // their event budget.
+            DeploymentSpec::SelfImpl { .. } | DeploymentSpec::BoundedEvP { .. } => None,
         }
     }
 }
@@ -259,6 +275,7 @@ pub fn visit_system<V: SystemVisitor>(spec: &DeploymentSpec, v: V) -> V::Out {
         DeploymentSpec::PaxosVal { values, .. } => {
             v.visit(&paxos_system_values(pi, values, vec![]))
         }
+        DeploymentSpec::BoundedEvP { .. } => v.visit(&bounded_evp_system(pi, vec![])),
     }
 }
 
@@ -313,6 +330,15 @@ pub fn online_checks(spec: &DeploymentSpec) -> Vec<(String, Box<dyn DynCheck>)> 
                 }),
             };
             vec![(format!("conformance-{}", fd.name()), conformance)]
+        }
+        DeploymentSpec::BoundedEvP { .. } => {
+            // The processes' own Fd outputs must form a T_◇P trace.
+            vec![(
+                "conformance-bounded-evp".into(),
+                Box::new(StreamCheck {
+                    stream: EvPerfect::stream(pi),
+                }) as Box<dyn DynCheck>,
+            )]
         }
         DeploymentSpec::Paxos { .. }
         | DeploymentSpec::ReliablePaxos { .. }
@@ -371,6 +397,7 @@ mod tests {
             "paxos",
             "reliable-paxos",
             "paxos-val",
+            "bounded-evp",
         ] {
             let spec = DeploymentSpec::parse(name, 3).unwrap();
             assert_eq!(spec.pi(), Pi::new(3));

@@ -21,6 +21,12 @@
 //! [`afd_runtime::LinkProfile`] plan replay drop/dup/reorder/partition
 //! decisions byte-identically across same-seed runs.
 //!
+//! Selecting [`Transport::Udp`] moves the node↔node *data* channels
+//! onto real `std::net::UdpSocket`s (`afd-dgram` framing, sender-side
+//! ADD shapers driven by the same seeded chaos stream) while the
+//! control plane — commits, crash injection, stop, telemetry — stays
+//! on TCP. See `DESIGN.md` §14.
+//!
 //! # Commit protocol
 //!
 //! A node worker that finds an enabled task sends `CommitReq` and
@@ -49,10 +55,10 @@ pub mod deploy;
 pub mod netchaos;
 pub mod node;
 
-pub use codec::{CommitStatus, DecodeError, WireMsg};
+pub use codec::{CommitStatus, DecodeError, WireLinkProfile, WireMsg};
 pub use coord::{
     run_distributed, Incarnation, NetCheck, NetConfig, NetFault, NetReport, NodeSummary,
-    RecoveryPolicy, RecoveryReport,
+    RecoveryPolicy, RecoveryReport, Transport,
 };
 pub use deploy::{DeploymentSpec, FdKindSpec};
 pub use node::{maybe_serve_from_env, serve, ADDR_ENV, EPOCH_ENV, NODE_ID_ENV, REPLAY_COMP};

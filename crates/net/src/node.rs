@@ -21,21 +21,26 @@
 //! routed `Crash` inputs (Halt) or as `SIGKILL` (Kill — no code here
 //! runs at all), and the run ends when the coordinator says so.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
-use std::net::TcpStream;
+use std::net::{Ipv4Addr, SocketAddr, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
 
-use afd_core::Action;
+use afd_core::{Action, Loc};
+use afd_dgram::{AddShaper, DgramStats, Reassembly, DEFAULT_MTU};
 use afd_runtime::exec::{Directive, Pool};
+use afd_runtime::LinkProfile;
 use afd_system::{ComponentKind, System};
 use ioa::{Automaton, TaskId};
 
-use crate::codec::{encode_msg, read_frame, write_encoded, write_frame, CommitStatus, WireMsg};
+use crate::codec::{
+    decode_action, encode_action, encode_msg, read_frame, write_encoded, write_frame, CommitStatus,
+    WireMsg,
+};
 use crate::deploy::{visit_system, SystemVisitor};
 use crate::NetError;
 
@@ -53,6 +58,12 @@ pub const PROF_ENV: &str = "AFD_PROF";
 /// instead, then replays the committed schedule prefix before going
 /// live.
 pub const EPOCH_ENV: &str = "AFD_NET_EPOCH";
+/// Environment variable selecting the data-channel transport. The
+/// coordinator sets it to `udp` when [`crate::Transport::Udp`] is
+/// configured; anything else (or unset) keeps the TCP router plane.
+/// A UDP node binds a loopback datagram socket before handshaking and
+/// reports its port in [`WireMsg::HelloUdp`].
+pub const TRANSPORT_ENV: &str = "AFD_NET_TRANSPORT";
 
 /// Component tag on replay [`WireMsg::Deliver`] frames streamed during
 /// a rejoin: not a real component index — the node applies the action
@@ -139,25 +150,41 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let dgram_sock = if std::env::var(TRANSPORT_ENV).is_ok_and(|v| v == "udp") {
+        if epoch != 0 {
+            return Err(NetError::Protocol(
+                "UDP transport does not support rejoin incarnations".into(),
+            ));
+        }
+        Some(UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).map_err(NetError::Io)?)
+    } else {
+        None
+    };
     let mut stream = connect_with_retry(addr)?;
     stream.set_nodelay(true)?;
-    let (node, spec, locations, wire_pacing_us, replay_len) = if epoch == 0 {
-        write_frame(&mut stream, &WireMsg::Hello { node: id })?;
+    let (node, spec, locations, seed, wire_pacing_us, replay_len) = if epoch == 0 {
+        match &dgram_sock {
+            Some(sock) => {
+                let udp_port = sock.local_addr().map_err(NetError::Io)?.port();
+                write_frame(&mut stream, &WireMsg::HelloUdp { node: id, udp_port })?;
+            }
+            None => write_frame(&mut stream, &WireMsg::Hello { node: id })?,
+        }
         let assign = read_frame(&mut stream)?
             .ok_or_else(|| NetError::Protocol("coordinator closed before Assign".into()))?;
         let WireMsg::Assign {
             node,
             spec,
             locations,
+            seed,
             wire_pacing_us,
-            ..
         } = assign
         else {
             return Err(NetError::Protocol(format!(
                 "expected Assign, got {assign:?}"
             )));
         };
-        (node, spec, locations, wire_pacing_us, 0)
+        (node, spec, locations, seed, wire_pacing_us, 0)
     } else {
         write_frame(&mut stream, &WireMsg::Rejoin { node: id, epoch })?;
         let ack = read_frame(&mut stream)?
@@ -167,9 +194,9 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
             epoch: ack_epoch,
             spec,
             locations,
+            seed,
             wire_pacing_us,
             replay_len,
-            ..
         } = ack
         else {
             return Err(NetError::Protocol(format!(
@@ -181,13 +208,38 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
                 "RejoinAck for epoch {ack_epoch}, I am epoch {epoch}"
             )));
         }
-        (node, spec, locations, wire_pacing_us, replay_len)
+        (node, spec, locations, seed, wire_pacing_us, replay_len)
     };
     if node != id {
         return Err(NetError::Protocol(format!(
             "assignment addressed to node {node}, I am {id}"
         )));
     }
+    // UDP deployments: the datagram-plane wiring follows the Assign.
+    let udp = match dgram_sock {
+        Some(socket) => {
+            let setup = read_frame(&mut stream)?
+                .ok_or_else(|| NetError::Protocol("coordinator closed before UdpSetup".into()))?;
+            let WireMsg::UdpSetup {
+                node: setup_node,
+                peers,
+                hosts,
+                profiles,
+            } = setup
+            else {
+                return Err(NetError::Protocol(format!(
+                    "expected UdpSetup, got {setup:?}"
+                )));
+            };
+            if setup_node != id {
+                return Err(NetError::Protocol(format!(
+                    "UdpSetup addressed to node {setup_node}, I am {id}"
+                )));
+            }
+            Some(UdpPlan::new(socket, &peers, &hosts, &profiles, seed)?)
+        }
+        None => None,
+    };
     let hosted: Vec<afd_core::Loc> = locations;
     visit_system(
         &spec,
@@ -197,8 +249,225 @@ pub fn serve(addr: &str, id: u32) -> Result<(), NetError> {
             wire_pacing: Duration::from_micros(wire_pacing_us),
             node: id,
             replay_len,
+            udp,
         },
     )
+}
+
+/// The datagram-plane wiring a UDP node derives from
+/// [`WireMsg::UdpSetup`]: its bound socket, every peer's loopback
+/// endpoint, the location hosting map, and per-channel link profiles.
+struct UdpPlan {
+    socket: UdpSocket,
+    /// Peer UDP endpoints, indexed by node id.
+    peers: Vec<SocketAddr>,
+    /// Hosting node id per location index.
+    host_of: BTreeMap<Loc, u32>,
+    /// Configured shaper profile per directed channel.
+    profiles: BTreeMap<(Loc, Loc), LinkProfile>,
+    /// The run seed — the shapers' chaos streams are a pure function
+    /// of `(seed, from, to)`, exactly like the engines'.
+    seed: u64,
+}
+
+impl UdpPlan {
+    fn new(
+        socket: UdpSocket,
+        peers: &[(u32, u16)],
+        hosts: &[(Loc, u32)],
+        profiles: &[(Loc, Loc, crate::codec::WireLinkProfile)],
+        seed: u64,
+    ) -> Result<Self, NetError> {
+        let n_nodes = peers
+            .iter()
+            .map(|&(id, _)| id as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut addrs = vec![SocketAddr::from((Ipv4Addr::LOCALHOST, 0)); n_nodes];
+        for &(id, port) in peers {
+            if port == 0 {
+                return Err(NetError::Protocol(format!(
+                    "UdpSetup names node {id} with no bound port"
+                )));
+            }
+            addrs[id as usize] = SocketAddr::from((Ipv4Addr::LOCALHOST, port));
+        }
+        Ok(UdpPlan {
+            socket,
+            peers: addrs,
+            host_of: hosts.iter().copied().collect(),
+            profiles: profiles
+                .iter()
+                .map(|&(from, to, w)| ((from, to), LinkProfile::from(w)))
+                .collect(),
+            seed,
+        })
+    }
+}
+
+/// Receive-loop socket tick: how long one `recv_from` blocks before
+/// re-checking the stop flag.
+const DGRAM_RECV_TICK: Duration = Duration::from_millis(20);
+/// Run a reassembly stale-sweep every this many received datagrams.
+const DGRAM_PRUNE_EVERY: u64 = 128;
+/// Seq-distance window handed to [`Reassembly::prune_stale`]: partial
+/// transmissions this far behind the newest seq are declared lost.
+const DGRAM_PRUNE_WINDOW: u32 = 512;
+
+/// The live datagram plane of one UDP node: sender-side ADD shapers
+/// for every channel our processes transmit on, plus the component
+/// index of every channel we host (destination side) so the receive
+/// loop can route completed payloads into the right inbox.
+struct UdpRt {
+    plan: UdpPlan,
+    /// Global component index per hosted (destination-side) channel.
+    chan_comp: BTreeMap<(Loc, Loc), usize>,
+    /// Sender-side shapers, created lazily on the first committed
+    /// `Send` per channel. Per-channel sends are totally ordered by
+    /// the commit protocol and shaped under this lock immediately
+    /// after acceptance, so the k-th send always meets the k-th chaos
+    /// decision — same seed, same plan, regardless of scheduling.
+    shapers: Mutex<BTreeMap<(Loc, Loc), AddShaper>>,
+    /// Receiver-side accounting folded out of the reassembly tables
+    /// when the receive loop exits.
+    rx_stats: Mutex<DgramStats>,
+}
+
+impl UdpRt {
+    /// Shape one committed `Send` through the channel's ADD shaper and
+    /// transmit the surviving datagrams over the real socket. Loss is
+    /// silent by design: a dropped datagram simply means the hosted
+    /// channel automaton never consumes this `Send`.
+    fn transmit_send(&self, a: &Action, from: Loc, to: Loc) {
+        let Some(&host) = self.plan.host_of.get(&to) else {
+            return;
+        };
+        let Some(&dest) = self.plan.peers.get(host as usize) else {
+            return;
+        };
+        let payload = encode_action(a);
+        let mut shapers = lock(&self.shapers);
+        let shaper = shapers.entry((from, to)).or_insert_with(|| {
+            AddShaper::new(
+                self.plan.seed,
+                from,
+                to,
+                self.plan
+                    .profiles
+                    .get(&(from, to))
+                    .copied()
+                    .unwrap_or_default(),
+                0,
+                DEFAULT_MTU,
+            )
+        });
+        if let Ok(dgrams) = shaper.send(&payload) {
+            afd_prof::gauge_sampled(
+                afd_prof::GaugeKind::ChannelBacklog,
+                shaper.held_len() as u64,
+                64,
+            );
+            for d in dgrams {
+                let _ = self.plan.socket.send_to(&d, dest);
+            }
+        }
+    }
+
+    /// Drain the socket until `stop`: reassemble datagrams per hosted
+    /// channel and push each completed `Send` into that channel
+    /// component's inbox (the channel then proposes its `Receive`
+    /// through the ordinary commit pipeline). Malformed or misrouted
+    /// datagrams are counted and dropped — UDP noise must never wedge
+    /// the run.
+    fn recv_loop(&self, inboxes: &[Mutex<VecDeque<Action>>], pool: &Pool, stop: &AtomicBool) {
+        let Ok(sock) = self.plan.socket.try_clone() else {
+            return;
+        };
+        let _ = sock.set_read_timeout(Some(DGRAM_RECV_TICK));
+        let mut asm: BTreeMap<(Loc, Loc), Reassembly> = self
+            .chan_comp
+            .keys()
+            .map(|&(from, to)| ((from, to), Reassembly::new(from, to, 0, DEFAULT_MTU)))
+            .collect();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut seen: u64 = 0;
+        while !stop.load(Ordering::SeqCst) {
+            let n = match sock.recv_from(&mut buf) {
+                Ok((n, _)) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            };
+            let rx = afd_prof::span(afd_prof::Stage::NetDgramRecv);
+            seen += 1;
+            let dgram = &buf[..n];
+            let key = match afd_dgram::parse(dgram) {
+                Ok((h, _)) => (h.from, h.to),
+                Err(_) => {
+                    rx.done();
+                    continue;
+                }
+            };
+            let (Some(r), Some(&comp)) = (asm.get_mut(&key), self.chan_comp.get(&key)) else {
+                rx.done();
+                continue;
+            };
+            if let Ok(Some((_, payload))) = r.offer(dgram) {
+                match decode_action(&payload) {
+                    Ok(a @ (Action::Send { from, to, .. } | Action::WireSend { from, to, .. }))
+                        if (from, to) == key =>
+                    {
+                        lock(&inboxes[comp]).push_back(a);
+                        pool.enqueue(comp);
+                    }
+                    _ => r.stats.decode_errors += 1,
+                }
+            }
+            if seen.is_multiple_of(DGRAM_PRUNE_EVERY) {
+                for r in asm.values_mut() {
+                    let _ = r.prune_stale(DGRAM_PRUNE_WINDOW);
+                }
+            }
+            rx.done();
+        }
+        let mut stats = lock(&self.rx_stats);
+        for ((from, to), r) in asm {
+            let slot = stats.per_channel.entry((from, to)).or_default();
+            *slot = slot.merged(r.stats);
+        }
+    }
+
+    /// Flush shaper reorder buffers (best-effort straggler transmit)
+    /// and fold both halves of the accounting — sender shapers and
+    /// receiver reassembly — into one [`DgramStats`] for the
+    /// coordinator.
+    fn flush_and_stats(&self) -> DgramStats {
+        let mut out = DgramStats::default();
+        {
+            let mut shapers = lock(&self.shapers);
+            for (&(from, to), shaper) in shapers.iter_mut() {
+                let stragglers = shaper.flush();
+                if let Some(&dest) = self
+                    .plan
+                    .host_of
+                    .get(&to)
+                    .and_then(|&host| self.plan.peers.get(host as usize))
+                {
+                    for d in stragglers {
+                        let _ = self.plan.socket.send_to(&d, dest);
+                    }
+                }
+                let slot = out.per_channel.entry((from, to)).or_default();
+                *slot = slot.merged(shaper.stats);
+            }
+        }
+        out.merge(&lock(&self.rx_stats));
+        out
+    }
 }
 
 struct NodeLoop {
@@ -209,6 +478,8 @@ struct NodeLoop {
     /// Committed-prefix replay length promised by `RejoinAck` (0 on a
     /// first incarnation).
     replay_len: u64,
+    /// Datagram-plane wiring (UDP transport only).
+    udp: Option<UdpPlan>,
 }
 
 /// Ship a profiler report to the coordinator as one or more Telemetry
@@ -255,19 +526,47 @@ impl SystemVisitor for NodeLoop {
         P: Automaton<Action = Action> + Sync,
         P::State: Send,
     {
+        let NodeLoop {
+            stream,
+            hosted,
+            wire_pacing,
+            node,
+            replay_len,
+            udp,
+        } = self;
         let kinds = sys.component_kinds();
         let comps = sys.composition.components();
+        // Hosted components: our process automata, plus — under UDP —
+        // every channel whose destination we host (its datagrams land
+        // on our socket; its `Receive` proposals ride our commit
+        // pipeline).
         let mine: Vec<usize> = kinds
             .iter()
             .enumerate()
             .filter_map(|(idx, k)| match k {
-                ComponentKind::Process(l) if self.hosted.contains(l) => Some(idx),
+                ComponentKind::Process(l) if hosted.contains(l) => Some(idx),
+                ComponentKind::Channel(_, to) if udp.is_some() && hosted.contains(to) => Some(idx),
                 _ => None,
             })
             .collect();
         if mine.is_empty() {
             return Err(NetError::Protocol("assigned no hostable locations".into()));
         }
+        let udp_rt = udp.map(|plan| UdpRt {
+            chan_comp: kinds
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, k)| match k {
+                    ComponentKind::Channel(from, to) if hosted.contains(to) => {
+                        Some(((*from, *to), idx))
+                    }
+                    _ => None,
+                })
+                .collect(),
+            shapers: Mutex::new(BTreeMap::new()),
+            rx_stats: Mutex::new(DgramStats::default()),
+            plan,
+        });
 
         // Per-hosted-component plumbing, indexed by global component
         // index (sparse: only `mine` entries are populated). Inputs go
@@ -299,8 +598,8 @@ impl SystemVisitor for NodeLoop {
         for &idx in &mine {
             states[idx] = Some(comps[idx].initial_state());
         }
-        let mut stream = self.stream;
-        for _ in 0..self.replay_len {
+        let mut stream = stream;
+        for _ in 0..replay_len {
             let msg = read_frame(&mut stream)?
                 .ok_or_else(|| NetError::Protocol("coordinator closed during replay".into()))?;
             let WireMsg::Deliver { comp, action } = msg else {
@@ -313,7 +612,7 @@ impl SystemVisitor for NodeLoop {
                     "replay Deliver tagged component {comp}, expected sentinel"
                 )));
             }
-            if action.crash_loc().is_some_and(|l| self.hosted.contains(&l)) {
+            if action.crash_loc().is_some_and(|l| hosted.contains(&l)) {
                 continue;
             }
             for &idx in &mine {
@@ -332,22 +631,19 @@ impl SystemVisitor for NodeLoop {
         // worker threads.
         let cells: Vec<Option<Mutex<NodeCell<P>>>> = (0..comps.len())
             .map(|idx| {
-                states[idx].take().map(|state| {
-                    Mutex::new(NodeCell {
-                        state,
-                        resps: resp_rx[idx]
-                            .take()
-                            .expect("hosted components have a resp channel"),
-                    })
-                })
+                // Both slots are populated exactly for `mine` entries;
+                // pairing them here keeps the construction total — no
+                // panic path if either invariant ever drifts.
+                match (states[idx].take(), resp_rx[idx].take()) {
+                    (Some(state), Some(resps)) => Some(Mutex::new(NodeCell { state, resps })),
+                    _ => None,
+                }
             })
             .collect();
 
         let stop = AtomicBool::new(false);
         let reader_stream = stream.try_clone().map_err(NetError::Io)?;
         let writer = Mutex::new(stream);
-        let wire_pacing = self.wire_pacing;
-        let node = self.node;
         let w_node = thread::available_parallelism()
             .map_or(4, std::num::NonZeroUsize::get)
             .min(mine.len())
@@ -386,9 +682,21 @@ impl SystemVisitor for NodeLoop {
                 pool.shutdown();
             });
 
+            // UDP receive loop: datagrams in, hosted-channel inboxes
+            // out. Exits on the stop flag (20ms socket tick).
+            if let Some(rt) = udp_rt.as_ref() {
+                let (inboxes, pool, stop) = (&inboxes, &pool, &stop);
+                s.spawn(move || {
+                    afd_prof::set_lane("dgram-recv");
+                    rt.recv_loop(inboxes, pool, stop);
+                    afd_prof::flush_local();
+                });
+            }
+
             for k in 0..w_node {
                 let (pool, cells, inboxes, writer, stop) =
                     (&pool, &cells, &inboxes, &writer, &stop);
+                let udp = udp_rt.as_ref();
                 s.spawn(move || {
                     afd_prof::set_lane(&format!("worker-{k}"));
                     pool.run_worker(k, |idx| {
@@ -402,6 +710,7 @@ impl SystemVisitor for NodeLoop {
                             pool,
                             wire_pacing,
                             node,
+                            udp,
                         )
                     });
                     // Flush before the scope sees this thread complete:
@@ -412,6 +721,23 @@ impl SystemVisitor for NodeLoop {
                 });
             }
         });
+        // UDP: flush shaper reorder buffers and ship the datagram-
+        // plane accounting (sender + receiver halves) before the
+        // socket closes; the coordinator's post-stop harvest loop
+        // merges it into the run report.
+        if let Some(rt) = udp_rt.as_ref() {
+            let stats = rt.flush_and_stats();
+            let msg = WireMsg::DgramStats {
+                node,
+                per_channel: stats
+                    .per_channel
+                    .iter()
+                    .map(|(&(from, to), &s)| (from, to, s))
+                    .collect(),
+            };
+            let mut w = lock(&writer);
+            let _ = write_frame(&mut *w, &msg).and_then(|()| w.flush());
+        }
         // Workers flushed their thread-local profiler buffers on exit
         // (scoped threads joined above); ship whatever the run left
         // behind before the socket closes. The coordinator keeps
@@ -449,6 +775,7 @@ fn node_activate<P>(
     pool: &Pool,
     wire_pacing: Duration,
     node: u32,
+    udp: Option<&UdpRt>,
 ) -> Directive
 where
     P: Automaton<Action = Action>,
@@ -458,9 +785,11 @@ where
         return Directive::Done;
     }
     let comp = &comps[idx];
-    let cell = cells[idx]
-        .as_ref()
-        .expect("only hosted components are enqueued");
+    // Only hosted components are ever enqueued; if that invariant
+    // drifts, an empty slot is simply not our work.
+    let Some(cell) = cells[idx].as_ref() else {
+        return Directive::Idle;
+    };
     let mut c = lock(cell);
     // Drain routed inputs (inputs are always enabled; a `None` step
     // would be a signature bug, tolerated as a no-op).
@@ -537,6 +866,18 @@ where
                     c.state = next;
                 }
                 step.done();
+                // UDP data plane: a committed `Send` (or stubborn
+                // `WireSend`) goes out over the real socket, shaped by
+                // the channel's ADD shaper. The coordinator skipped
+                // routing it to the channel — the datagram (if it
+                // survives) is the only copy.
+                if let Some(rt) = udp {
+                    if let Action::Send { from, to, .. } | Action::WireSend { from, to, .. } = a {
+                        let tx = afd_prof::span(afd_prof::Stage::NetDgramSend);
+                        rt.transmit_send(&a, from, to);
+                        tx.done();
+                    }
+                }
                 progressed = true;
             }
             // Our location is dead but the Crash input hasn't reached

@@ -87,10 +87,16 @@ pub enum Stage {
     /// Routing a committed action: fan-out into target inboxes plus
     /// executor enqueue.
     Route = 14,
+    /// Node side (UDP transport): shaping + fragmenting + transmitting
+    /// a committed send as datagrams.
+    NetDgramSend = 15,
+    /// Node side (UDP transport): reassembling + decoding a received
+    /// datagram into a channel input.
+    NetDgramRecv = 16,
 }
 
 /// Number of distinct [`Stage`]s.
-pub const STAGE_COUNT: usize = 15;
+pub const STAGE_COUNT: usize = 17;
 
 impl Stage {
     /// All stages, in discriminant order.
@@ -110,6 +116,8 @@ impl Stage {
         Stage::Pacing,
         Stage::SchedWait,
         Stage::Route,
+        Stage::NetDgramSend,
+        Stage::NetDgramRecv,
     ];
 
     /// Stable, human-readable stage name (used in tables and traces).
@@ -131,6 +139,8 @@ impl Stage {
             Stage::Pacing => "pacing",
             Stage::SchedWait => "sched-wait",
             Stage::Route => "route",
+            Stage::NetDgramSend => "net-dgram-send",
+            Stage::NetDgramRecv => "net-dgram-recv",
         }
     }
 

@@ -4,16 +4,19 @@
 //!
 //! ```text
 //! afd-coord --deployment paxos --n 3 --nodes 3 [--events N] [--seed S]
-//!           [--halt AT:LOC]... [--kill AT:LOC]... [--recover]
+//!           [--halt AT:LOC]... [--kill AT:LOC]... [--recover] [--udp]
 //!           [--drop P] [--dup P] [--reorder W]
 //!           [--node-cmd PATH] [--trace-out FILE.jsonl] [--json]
 //! ```
 //!
 //! Deployments: `self-impl-omega`, `self-impl-perfect`, `self-impl-evp`,
-//! `paxos`, `reliable-paxos`. Without `--node-cmd` the coordinator
-//! looks for `afd-node` next to its own executable. `--recover` arms
-//! the default crash-recovery policy: a killed node is respawned on
-//! deterministic backoff and rejoins with a bumped incarnation epoch.
+//! `paxos`, `reliable-paxos`, `bounded-evp`. Without `--node-cmd` the
+//! coordinator looks for `afd-node` next to its own executable.
+//! `--recover` arms the default crash-recovery policy: a killed node is
+//! respawned on deterministic backoff and rejoins with a bumped
+//! incarnation epoch. `--udp` moves the node↔node data channels onto
+//! real UDP sockets (DESIGN.md §14); `--drop/--dup/--reorder` then
+//! shape real datagrams instead of router deliveries.
 //!
 //! Exits 0 iff the run stopped for a benign reason and every check
 //! passed.
@@ -21,7 +24,7 @@
 use std::time::Duration;
 
 use afd_core::Stamped;
-use afd_net::coord::{NetConfig, NetFault, RecoveryPolicy};
+use afd_net::coord::{NetConfig, NetFault, RecoveryPolicy, Transport};
 use afd_net::{run_distributed, DeploymentSpec};
 use afd_runtime::{LinkFaults, LinkProfile, StopReason};
 
@@ -39,13 +42,14 @@ struct Cli {
     trace_out: Option<String>,
     json: bool,
     recover: bool,
+    udp: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: afd-coord --deployment NAME --n N --nodes K [--events N] [--seed S] \
-         [--halt AT:LOC]... [--kill AT:LOC]... [--recover] [--drop P] [--dup P] \
-         [--reorder W] [--node-cmd PATH] [--trace-out FILE.jsonl] [--json]"
+         [--halt AT:LOC]... [--kill AT:LOC]... [--recover] [--udp] [--drop P] \
+         [--dup P] [--reorder W] [--node-cmd PATH] [--trace-out FILE.jsonl] [--json]"
     );
     std::process::exit(2);
 }
@@ -81,6 +85,7 @@ fn parse_cli() -> Cli {
         trace_out: None,
         json: false,
         recover: false,
+        udp: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -112,6 +117,7 @@ fn parse_cli() -> Cli {
             "--trace-out" => cli.trace_out = Some(val()),
             "--json" => cli.json = true,
             "--recover" => cli.recover = true,
+            "--udp" => cli.udp = true,
             "--help" | "-h" => usage(),
             _ => {
                 eprintln!("afd-coord: unknown flag {flag}");
@@ -165,6 +171,9 @@ fn main() {
     }
     if cli.recover {
         cfg = cfg.with_recovery(RecoveryPolicy::default());
+    }
+    if cli.udp {
+        cfg = cfg.with_transport(Transport::Udp);
     }
 
     let report = match run_distributed(&spec, &cfg) {
@@ -264,6 +273,19 @@ fn main() {
         }
         if report.chaos.arrivals() > 0 {
             println!("  chaos: {}", report.chaos);
+        }
+        if let Some(dgram) = &report.dgram {
+            println!(
+                "  dgram: {} sends, {} tx, {} rx, {} injected drops, {} organic lost{}",
+                dgram.sends(),
+                dgram.datagrams_tx(),
+                dgram.datagrams_rx(),
+                dgram.injected_drops(),
+                dgram.organic_lost(),
+                dgram
+                    .delivery_rate()
+                    .map_or(String::new(), |r| format!(", delivery {r:.3}"))
+            );
         }
         if let Some(rec) = &report.recovery {
             for inc in &rec.incarnations {

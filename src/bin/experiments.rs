@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release --bin experiments [--json] [table...]`
 //! where `table` ∈ {a1, t13, t18, t21, t44, flp, t59, perf, runtime,
-//! t, u, v, w, x, q, s, misc}; with no table arguments, all tables
+//! t, u, v, w, x, y, q, s, misc}; with no table arguments, all tables
 //! are produced.
 //!
 //! Table `t` additionally writes `BENCH_runtime.json` at the working
@@ -22,9 +22,14 @@
 //! is respawned under the `RecoveryPolicy`, rejoins with a bumped
 //! incarnation epoch, and the table reports respawn-to-rejoin
 //! latency, replay length, and post-recovery re-election latency,
-//! failing (nonzero exit) if any rejoin blows the policy budget. For
-//! tables `u`, `v`, `w` and `x` this binary doubles as its own node
-//! executable: the coordinator respawns `current_exe()` and
+//! failing (nonzero exit) if any rejoin blows the policy budget.
+//! Table `y` writes `BENCH_dgram.json`: the UDP datagram plane —
+//! configured drop ∈ {0, 10, 30, 50}% over real sockets, measured
+//! delivery rate gated within ±5pp of the profile's expectation,
+//! bounded-message ◇P conformance and detection latency per point,
+//! and ReliablePaxos deciding at 30% drop. For tables `u`, `v`, `w`,
+//! `x` and `y` this binary doubles as its own node executable: the
+//! coordinator respawns `current_exe()` and
 //! `afd_net::maybe_serve_from_env` diverts those children into node
 //! duty before any table runs.
 //!
@@ -56,9 +61,9 @@ use afd_tree::{
 };
 
 /// Every table this binary can produce, in print order.
-const TABLES: [&str; 17] = [
+const TABLES: [&str; 18] = [
     "a1", "t13", "t18", "t21", "t44", "flp", "t59", "perf", "runtime", "t", "u", "v", "w", "x",
-    "q", "s", "misc",
+    "y", "q", "s", "misc",
 ];
 
 /// One experiment table: a grid of rendered cells plus free-form notes
@@ -70,6 +75,11 @@ struct Table {
     rows: Vec<Vec<String>>,
     notes: Vec<String>,
     failures: Vec<String>,
+    /// Self-describing metadata emitted as the `meta` block of the
+    /// `--json` output (and therefore of every BENCH artifact):
+    /// at minimum the transport the table's runs rode and the
+    /// chaos-plan seed they were keyed by.
+    meta: Vec<(String, Json)>,
 }
 
 impl Table {
@@ -81,7 +91,26 @@ impl Table {
             rows: Vec::new(),
             notes: Vec::new(),
             failures: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Record one metadata entry for the `--json` `meta` block.
+    fn meta(&mut self, key: &str, v: Json) {
+        self.meta.push((key.to_string(), v));
+    }
+
+    /// The standard self-describing pair every table records: which
+    /// transport its runs used (`sim`, `threaded`, `tcp`, `udp`, or
+    /// `mixed` when one table compares several) and the chaos-plan
+    /// seed keying any seeded randomness (`null` when the table is
+    /// pure analysis or derives per-row seeds).
+    fn meta_run(&mut self, transport: &str, seed: Option<u64>) {
+        self.meta("transport", Json::Str(transport.to_string()));
+        self.meta(
+            "chaos_plan_seed",
+            seed.map_or(Json::Null, |s| Json::Num(s as f64)),
+        );
     }
 
     fn columns(&mut self, cols: &[&str]) {
@@ -135,6 +164,7 @@ impl Table {
         Json::Obj(vec![
             ("id".into(), Json::Str(self.id.into())),
             ("title".into(), Json::Str(self.title.clone())),
+            ("meta".into(), Json::Obj(self.meta.clone())),
             ("columns".into(), strs(&self.columns)),
             (
                 "rows".into(),
@@ -194,6 +224,7 @@ fn main() {
             "v" => tables.push(table_v_rsm()),
             "w" => tables.push(table_w_prof()),
             "x" => tables.push(table_x_recovery()),
+            "y" => tables.push(table_y_dgram()),
             "q" => tables.extend(table_q_qos()),
             "s" => tables.push(table_s_chaos()),
             "misc" => tables.push(table_misc()),
@@ -260,6 +291,7 @@ fn table_a1_generators() -> Table {
         "a1",
         "Table A1 — generator automata vs. their trace sets (n = 4)",
     );
+    t.meta_run("sim", Some(5));
     t.columns(&["AFD", "no crash", "1 crash", "2 crashes"]);
     let pi = Pi::new(4);
     for (spec, gen) in catalogue(pi) {
@@ -303,6 +335,7 @@ fn table_t13_self_implementation() -> Table {
         "t13",
         "Table T13 — A_self (Algorithm 3): D ⪰ D for every AFD (n = 4)",
     );
+    t.meta_run("sim", Some(7));
     t.columns(&["AFD", "fault pattern", "t|D ∈ T_D ⇒ t|D′ ∈ T_D′"]);
     let pi = Pi::new(4);
     for (spec, gen) in catalogue(pi) {
@@ -334,6 +367,7 @@ fn table_t18_hierarchy() -> Table {
         "t18",
         "Table T18 — the ⪰ hierarchy (reflexive–transitive closure)",
     );
+    t.meta_run("none", None);
     let lattice = Lattice::standard(2);
     let mut cols = vec![""];
     let names: Vec<&str> = AfdId::all().iter().map(|b| b.name()).collect();
@@ -371,6 +405,7 @@ fn table_t18_hierarchy() -> Table {
 /// T21: bounded problems and the Marabout/D_k refutations.
 fn table_t21_bounded() -> Table {
     let mut t = Table::new("t21", "Table T21 — bounded problems and non-AFDs");
+    t.meta_run("none", None);
     t.columns(&[
         "problem",
         "output bound (n=4)",
@@ -471,6 +506,7 @@ fn table_t21_bounded() -> Table {
 /// T44: E_C well-formedness.
 fn table_t44_environment() -> Table {
     let mut t = Table::new("t44", "Table T44 — E_C (Algorithm 4) is well formed");
+    t.meta_run("sim", None);
     t.columns(&["n", "schedules tried", "all well-formed"]);
     for n in [2usize, 3, 5, 8] {
         let pi = Pi::new(n);
@@ -515,6 +551,7 @@ fn table_flp_valence() -> Table {
         "flp",
         "Table FLP — Proposition 51 and the no-detector contrast",
     );
+    t.meta_run("sim", None);
     t.columns(&["t_D seed", "crashes in t_D", "root valence"]);
     let pi = Pi::new(3);
     for seed in 0..6u64 {
@@ -555,6 +592,7 @@ fn table_t59_hooks() -> Table {
         "t59",
         "Table T59 — hooks: critical locations are live (n = 3, f = 1)",
     );
+    t.meta_run("sim", None);
     t.columns(&[
         "seed",
         "crashes in t_D",
@@ -631,6 +669,7 @@ fn table_perf_consensus() -> Table {
         "perf",
         "Table E1 — events to all-live-decided (10 seeds each)",
     );
+    t.meta_run("sim", None);
     t.columns(&["n", "fault", "paxos-Ω avg", "ct-◇S avg", "winner"]);
     for (n, crash) in [
         (3usize, None),
@@ -703,6 +742,7 @@ fn table_runtime() -> Vec<Table> {
         "runtime",
         "Table R — threaded runtime: consensus on OS threads (afd-runtime)",
     );
+    t.meta_run("threaded", Some(11));
     t.columns(&[
         "system",
         "faults",
@@ -797,6 +837,7 @@ fn table_runtime() -> Vec<Table> {
     }
     // Throughput: same A_self(Ω) system, simulator vs threads.
     let mut tp = Table::new("runtime.throughput", "Table R2 — engine throughput");
+    tp.meta_run("threaded", Some(7));
     tp.columns(&["engine", "system", "events", "events/sec"]);
     let pi = Pi::new(4);
     let budget = 20_000usize;
@@ -860,6 +901,7 @@ fn table_t_throughput() -> Table {
             if smoke { ", SMOKE" } else { "" }
         ),
     );
+    t.meta_run("threaded", None);
     t.columns(&[
         "n",
         "observer",
@@ -1121,6 +1163,7 @@ fn table_u_distributed() -> Table {
             if smoke { " (SMOKE)" } else { "" }
         ),
     );
+    t.meta_run("tcp", Some(21));
     t.columns(&[
         "n",
         "engine",
@@ -1278,6 +1321,7 @@ fn table_x_recovery() -> Table {
             if smoke { " (SMOKE)" } else { "" }
         ),
     );
+    t.meta_run("tcp", None);
     t.columns(&[
         "n",
         "victim",
@@ -1445,6 +1489,219 @@ fn table_x_recovery() -> Table {
     t
 }
 
+/// Table Y: the UDP datagram plane end to end. Sweeps configured drop
+/// rate ∈ {0, 10, 30, 50}% over [`afd_net::coord::Transport::Udp`] —
+/// every heartbeat
+/// a real `UdpSocket` datagram, loss injected by the sender-side ADD
+/// shaper on top of whatever the socket does — running the
+/// bounded-message ◇P of the ADD paper at each point. Gates: the ◇P
+/// streaming conformance checker passes at every drop rate; a crashed
+/// location is detected (suspected) despite the loss; and the
+/// measured delivery rate lands within ±5 percentage points of the
+/// profile's expectation `(1 − drop) · (1 + dup)`. A final
+/// ReliablePaxos run at 30% drop must decide — stubborn
+/// retransmission over genuinely lossy sockets. Emits
+/// `BENCH_dgram.json` (consumed by CI's dgram-smoke job).
+fn table_y_dgram() -> Table {
+    use afd_dgram::expected_delivery_rate;
+    use afd_net::coord::{NetConfig, NetFault, Transport};
+    use afd_net::{run_distributed, DeploymentSpec};
+    use afd_obs::CrashDetection;
+    use afd_runtime::{LinkFaults, LinkProfile, StopReason};
+    use std::time::Duration;
+
+    let smoke = std::env::var("SMOKE").is_ok();
+    let seed = 29u64;
+    let tolerance = 0.05;
+    let mut t = Table::new(
+        "y",
+        format!(
+            "Table Y — bounded-message ◇P over real UDP: drop-rate sweep{}",
+            if smoke { " (SMOKE)" } else { "" }
+        ),
+    );
+    t.meta_run("udp", Some(seed));
+    t.columns(&[
+        "drop (config)",
+        "sends",
+        "delivery (measured)",
+        "delivery (expected)",
+        "within ±5pp",
+        "injected drop",
+        "organic lost",
+        "◇P conformant",
+        "detection (events)",
+    ]);
+    let n = if smoke { 3u8 } else { 5 };
+    let pi = Pi::new(usize::from(n));
+    let budget = if smoke { 1_500usize } else { 4_000 };
+    let crash_at = 40usize;
+    let victim = Loc(n - 1);
+    let node_exe = std::env::current_exe()
+        .map(|p| p.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut rows_json: Vec<Json> = Vec::new();
+    for drop_pct in [0u32, 10, 30, 50] {
+        let profile = LinkProfile::lossy(f64::from(drop_pct) / 100.0);
+        let expected = expected_delivery_rate(&profile);
+        let spec = DeploymentSpec::BoundedEvP { n };
+        let cfg = NetConfig::new(vec![node_exe.clone()], u32::from(n))
+            .with_transport(Transport::Udp)
+            .with_max_events(budget)
+            .with_seed(seed)
+            .with_links(LinkFaults::uniform(profile))
+            .with_fault(NetFault::halt(crash_at, victim))
+            .with_deadlines(Duration::from_secs(10), Duration::from_secs(120));
+        let report = match run_distributed(&spec, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                t.fail(format!("y: drop={drop_pct}% run failed: {e}"));
+                continue;
+            }
+        };
+        let conformant = report.checks.iter().all(|c| c.verdict.is_ok());
+        for c in &report.checks {
+            if let Err(e) = &c.verdict {
+                t.fail(format!("y: drop={drop_pct}% check {} failed: {e}", c.name));
+            }
+        }
+        let Some(dgram) = report.dgram.as_ref() else {
+            t.fail(format!("y: drop={drop_pct}% run lost its dgram report"));
+            continue;
+        };
+        let sends = dgram.sends();
+        let measured = dgram.delivery_rate().unwrap_or(0.0);
+        let within = (measured - expected).abs() <= tolerance;
+        if !within {
+            t.fail(format!(
+                "y: drop={drop_pct}% delivery {measured:.3} not within ±5pp of {expected:.3} \
+                 (sends={sends}, rx={}, injected={}, organic={})",
+                dgram.datagrams_rx(),
+                dgram.injected_drops(),
+                dgram.organic_lost(),
+            ));
+        }
+        let q = afd_obs::detector_qos(pi, &report.schedule);
+        let detection = q.detections.first().and_then(CrashDetection::latency);
+        if detection.is_none() {
+            t.fail(format!(
+                "y: drop={drop_pct}% never detected the crash of {victim:?}"
+            ));
+        }
+        t.row(vec![
+            format!("{drop_pct}%"),
+            sends.to_string(),
+            format!("{measured:.3}"),
+            format!("{expected:.3}"),
+            if within { "✓".into() } else { "✗".into() },
+            dgram.injected_drops().to_string(),
+            dgram.organic_lost().to_string(),
+            if conformant {
+                "✓".into()
+            } else {
+                "✗".into()
+            },
+            detection.map_or("n/a".into(), |l| l.to_string()),
+        ]);
+        rows_json.push(Json::Obj(vec![
+            ("drop_pct".into(), Json::Num(f64::from(drop_pct))),
+            ("sends".into(), Json::Num(sends as f64)),
+            ("delivery_rate".into(), Json::Num(measured)),
+            ("expected_rate".into(), Json::Num(expected)),
+            ("within_tolerance".into(), Json::Bool(within)),
+            (
+                "injected_drop_rate".into(),
+                Json::Num(dgram.injected_drop_rate().unwrap_or(0.0)),
+            ),
+            (
+                "organic_lost".into(),
+                Json::Num(dgram.organic_lost() as f64),
+            ),
+            ("evp_conformant".into(), Json::Bool(conformant)),
+            (
+                "detection_events".into(),
+                detection.map_or(Json::Null, |l| Json::Num(l as f64)),
+            ),
+        ]));
+    }
+
+    // ReliablePaxos at the headline 30% drop: stubborn WireSend
+    // retransmission over the real lossy datagram plane still decides.
+    let values: Vec<u64> = (0..u64::from(n)).map(|i| i % 2).collect();
+    let spec = DeploymentSpec::ReliablePaxos { n, values };
+    let cfg = NetConfig::new(vec![node_exe], u32::from(n))
+        .with_transport(Transport::Udp)
+        .with_max_events(if smoke { 30_000 } else { 60_000 })
+        .with_seed(seed)
+        .with_links(LinkFaults::uniform(LinkProfile::lossy(0.30)))
+        .with_deadlines(Duration::from_secs(10), Duration::from_secs(120));
+    let paxos_json = match run_distributed(&spec, &cfg) {
+        Ok(report) => {
+            let decided = report.stop == Some(StopReason::Predicate);
+            if !decided {
+                t.fail(format!(
+                    "y: ReliablePaxos at 30% drop did not decide (stop={:?}, events={})",
+                    report.stop, report.events
+                ));
+            }
+            for c in &report.checks {
+                if let Err(e) = &c.verdict {
+                    t.fail(format!("y: paxos check {} failed: {e}", c.name));
+                }
+            }
+            t.note(format!(
+                "ReliablePaxos(Ω) n={n} at 30% injected drop over UDP: decided={decided} \
+                 in {} events ({} datagram sends).",
+                report.events,
+                report
+                    .dgram
+                    .as_ref()
+                    .map_or(0, afd_dgram::DgramStats::sends),
+            ));
+            Json::Obj(vec![
+                ("drop_pct".into(), Json::Num(30.0)),
+                ("decided".into(), Json::Bool(decided)),
+                ("events".into(), Json::Num(report.events as f64)),
+            ])
+        }
+        Err(e) => {
+            t.fail(format!("y: ReliablePaxos at 30% drop failed: {e}"));
+            Json::Null
+        }
+    };
+
+    t.note(
+        "Every heartbeat is a real `std::net::UdpSocket` datagram on loopback; drops are \
+         injected by the sender-side ADD shaper (seeded SplitMix64, same stream as the TCP \
+         router) on top of whatever the socket loses organically. Delivery rate is fully \
+         reassembled datagrams over logical sends, compared against the profile's \
+         expectation (1 − drop)·(1 + dup); `organic lost` counts transmissions the real \
+         network ate (including datagrams still in flight at shutdown). Detection latency \
+         is schedule events from the Halt crash to the first suspicion, per \
+         `afd_obs::detector_qos`.",
+    );
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("dgram-transport".into())),
+        (
+            "generated_by".into(),
+            Json::Str("experiments y (afd-repro)".into()),
+        ),
+        ("smoke".into(), Json::Bool(smoke)),
+        ("transport".into(), Json::Str("udp".into())),
+        ("chaos_plan_seed".into(), Json::Num(seed as f64)),
+        ("n".into(), Json::Num(f64::from(n))),
+        ("budget".into(), Json::Num(budget as f64)),
+        ("tolerance".into(), Json::Num(tolerance)),
+        ("rows".into(), Json::Arr(rows_json)),
+        ("paxos".into(), paxos_json),
+        ("pass".into(), Json::Bool(t.failures.is_empty())),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_dgram.json", doc.render() + "\n") {
+        t.fail(format!("y: writing BENCH_dgram.json failed: {e}"));
+    }
+    t
+}
+
 /// One Table V workload: an engine, a fault scenario, and the
 /// open-loop load offered against it.
 struct RsmScenario {
@@ -1474,6 +1731,7 @@ fn table_v_rsm() -> Table {
             if smoke { " (SMOKE)" } else { "" }
         ),
     );
+    t.meta_run("tcp", None);
     t.columns(&[
         "engine", "scenario", "n", "ops", "slots", "clients", "p50 (ms)", "p99 (ms)", "max (ms)",
         "ops/sec", "checks",
@@ -1751,6 +2009,7 @@ fn table_w_prof() -> Table {
             if smoke { ", SMOKE" } else { "" }
         ),
     );
+    t.meta_run("tcp", Some(21));
     t.columns(&[
         "engine",
         "n",
@@ -2094,6 +2353,7 @@ fn table_q_qos() -> Vec<Table> {
         "q",
         "Table Q — detector QoS: Ω leader-detection latency after a mid-run leader crash (threaded paxos-Ω)",
     );
+    t.meta_run("threaded", Some(11));
     t.columns(&[
         "n",
         "crash",
@@ -2184,6 +2444,7 @@ fn table_q_qos() -> Vec<Table> {
         "q.suspicions",
         "Table Q2 — false-suspicion QoS: honest P vs noisy ◇P (simulator, n = 4, crash p3@15)",
     );
+    t2.meta_run("sim", Some(5));
     t2.columns(&[
         "generator",
         "fd outputs",
@@ -2268,6 +2529,7 @@ fn table_s_chaos() -> Table {
         "s",
         "Table S — chaos: reliable paxos-Ω n=3, leader crash @20, dup 10%, reorder 4, drop swept",
     );
+    t.meta_run("threaded", Some(11));
     t.columns(&[
         "drop",
         "stop",
@@ -2344,6 +2606,7 @@ fn table_s_chaos() -> Table {
 /// Remaining demonstrations: URB, k-set, query-based consensus.
 fn table_misc() -> Table {
     let mut t = Table::new("misc", "Table M — remaining systems");
+    t.meta_run("sim", None);
     t.columns(&["system", "scenario", "verdict"]);
     // URB with originator crash.
     {

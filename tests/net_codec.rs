@@ -5,8 +5,15 @@
 //! past `Loc(64)` — and malformed input (truncations, bad tags,
 //! trailing bytes, garbage) always comes back as a typed
 //! [`DecodeError`], never a panic.
+//!
+//! The datagram plane gets the same treatment: encoded actions survive
+//! MTU-bounded fragmentation and reassembly byte-for-byte, duplicate
+//! fragments and duplicate transmissions are idempotent, and truncated
+//! datagrams or mid-fragment loss surface as typed
+//! [`afd_dgram::DgramError`]s.
 
 use afd_core::{Action, Ballot, FdOutput, Frame, Loc, LocSet, Msg};
+use afd_dgram::{fragment, DgramError, Reassembly, HDR_LEN};
 use afd_net::codec::{
     decode_action, decode_msg, encode_action, encode_msg, read_frame, write_frame, DecodeError,
 };
@@ -532,6 +539,165 @@ fn unknown_tag_is_bad_tag() {
         }
         other => panic!("expected BadTag, got {other:?}"),
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fragmentation/reassembly roundtrip: any encoded action, pushed
+    /// through any (small) MTU, comes back byte-for-byte — in-order or
+    /// fully reversed fragment arrival — and decodes to the original
+    /// action. Offering every fragment a second time is masked as
+    /// duplication, never a second delivery.
+    #[test]
+    fn dgram_fragmentation_roundtrip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..16u32 {
+            let a = raction(&mut rng);
+            let bytes = encode_action(&a);
+            let mtu = [HDR_LEN + 1, HDR_LEN + 7, 64, 1200]
+                [rng.gen_range(0usize..4)];
+            let (from, to) = (Loc(1), Loc(2));
+            let frags = fragment(from, to, 0, round, &bytes, mtu).expect("fragment");
+            prop_assert_eq!(
+                frags.len(),
+                bytes.len().div_ceil(mtu - HDR_LEN).max(1),
+                "fragment count for {} bytes at mtu {}", bytes.len(), mtu
+            );
+            let mut r = Reassembly::new(from, to, 0, mtu);
+            let mut order: Vec<usize> = (0..frags.len()).collect();
+            if rng.gen_range(0u32..2) == 0 {
+                order.reverse();
+            }
+            let mut delivered = None;
+            for &i in &order {
+                if let Some((h, payload)) = r.offer(&frags[i]).expect("offer") {
+                    prop_assert_eq!(h.seq, round);
+                    delivered = Some(payload);
+                }
+            }
+            let payload = delivered.expect("all fragments offered");
+            prop_assert_eq!(&payload, &bytes);
+            prop_assert_eq!(decode_action(&payload).expect("decode"), a);
+            // Second full delivery of the same transmission: masked.
+            for f in &frags {
+                prop_assert_eq!(r.offer(f).expect("dup offer"), None);
+            }
+            prop_assert_eq!(r.stats.datagrams_rx, 1);
+            prop_assert_eq!(r.stats.dup_datagrams, frags.len() as u64);
+        }
+    }
+
+    /// Truncated datagrams are typed errors, never panics or silent
+    /// successes: every cut inside the header is `Truncated`, and a
+    /// cut inside a single-fragment payload reassembles to bytes that
+    /// fail action decoding with a typed [`DecodeError`].
+    #[test]
+    fn dgram_truncation_is_typed(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = raction(&mut rng);
+        let bytes = encode_action(&a);
+        let frags = fragment(Loc(0), Loc(1), 0, 9, &bytes, 4096).expect("fragment");
+        prop_assert_eq!(frags.len(), 1, "mtu 4096 must not fragment an action");
+        let d = &frags[0];
+        for cut in 0..HDR_LEN.min(d.len()) {
+            let mut r = Reassembly::new(Loc(0), Loc(1), 0, 4096);
+            match r.offer(&d[..cut]) {
+                Err(DgramError::Truncated { need, have }) => {
+                    prop_assert_eq!(need, HDR_LEN);
+                    prop_assert_eq!(have, cut);
+                }
+                other => panic!("header cut at {cut} gave {other:?}"),
+            }
+            prop_assert_eq!(r.stats.decode_errors, 1);
+        }
+        if d.len() > HDR_LEN + 1 {
+            // Cut mid-payload: the datagram itself parses (cnt = 1, so
+            // no length cross-check exists), but the reassembled bytes
+            // are a strict prefix of an encoding and must fail decode
+            // with a typed error.
+            let mut r = Reassembly::new(Loc(0), Loc(1), 0, 4096);
+            let cut = HDR_LEN + (d.len() - HDR_LEN) / 2;
+            let (_, payload) = r
+                .offer(&d[..cut])
+                .expect("parses")
+                .expect("single fragment completes");
+            match decode_action(&payload) {
+                Err(
+                    DecodeError::Truncated { .. }
+                    | DecodeError::BadTag { .. }
+                    | DecodeError::Trailing { .. },
+                ) => {}
+                other => panic!("truncated payload decoded as {other:?}"),
+            }
+        }
+    }
+}
+
+/// Duplicate fragments within one transmission are idempotent: the
+/// payload is delivered once, repeats are counted, and the stats
+/// separate duplicate *fragments* from duplicate *transmissions*.
+#[test]
+fn dgram_duplicate_fragments_are_idempotent() {
+    let payload: Vec<u8> = (0..100u8).collect();
+    let mtu = HDR_LEN + 16;
+    let frags = fragment(Loc(3), Loc(4), 1, 42, &payload, mtu).expect("fragment");
+    assert_eq!(frags.len(), 7);
+    let mut r = Reassembly::new(Loc(3), Loc(4), 1, mtu);
+    // First fragment twice before the rest: one dup fragment, no
+    // delivery yet.
+    assert_eq!(r.offer(&frags[0]).expect("offer"), None);
+    assert_eq!(r.offer(&frags[0]).expect("re-offer"), None);
+    assert_eq!(r.stats.dup_frags, 1);
+    let mut delivered = 0;
+    for f in &frags[1..] {
+        if let Some((_, p)) = r.offer(f).expect("offer") {
+            assert_eq!(p, payload);
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, 1, "exactly one completed delivery");
+    assert_eq!(r.stats.datagrams_rx, 1);
+    // The whole burst again: masked as duplicate transmissions.
+    for f in &frags {
+        assert_eq!(r.offer(f).expect("offer"), None);
+    }
+    assert_eq!(r.stats.dup_datagrams, frags.len() as u64);
+    assert_eq!(r.stats.datagrams_rx, 1);
+}
+
+/// Mid-fragment loss is a typed error at prune time, not a silent
+/// leak: a transmission that lost one fragment is abandoned once the
+/// window passes and reported as `MissingFragments`.
+#[test]
+fn dgram_mid_fragment_loss_is_typed() {
+    let payload: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(37)).collect();
+    let mtu = HDR_LEN + 16;
+    let frags = fragment(Loc(5), Loc(6), 0, 10, &payload, mtu).expect("fragment");
+    assert_eq!(frags.len(), 4);
+    let mut r = Reassembly::new(Loc(5), Loc(6), 0, mtu);
+    // Fragment 2 is lost on the wire.
+    for (i, f) in frags.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(r.offer(f).expect("offer"), None);
+        }
+    }
+    assert_eq!(r.pending_len(), 1);
+    // Nothing newer seen yet: the transmission could still complete.
+    assert!(r.prune_stale(16).is_empty());
+    // A much newer transmission arrives; seq 10 falls out the window.
+    let newer = fragment(Loc(5), Loc(6), 0, 100, b"x", mtu).expect("fragment");
+    assert!(r.offer(&newer[0]).expect("offer").is_some());
+    let errs = r.prune_stale(16);
+    assert_eq!(
+        errs,
+        vec![DgramError::MissingFragments {
+            seq: 10,
+            have: 3,
+            cnt: 4
+        }]
+    );
+    assert_eq!(r.pending_len(), 0, "abandoned transmission dropped");
 }
 
 /// A frame whose length prefix exceeds the cap is refused before any

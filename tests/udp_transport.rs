@@ -1,0 +1,255 @@
+//! Acceptance grid for [`Transport::Udp`]: the same deployments the
+//! TCP acceptance suite runs, but with every node↔node data channel
+//! riding real `std::net::UdpSocket` datagrams (afd-dgram framing,
+//! sender-side ADD shapers seeded from the run seed):
+//!
+//! * the ◇P/Ω conformance grid stays conformant over real datagrams —
+//!   including the bounded-message ◇P of the ADD paper under 30%
+//!   injected drop;
+//! * ReliablePaxos (Paxos-Ω behind stubborn wire channels) decides at
+//!   30% injected drop + duplication, retransmitting over genuinely
+//!   lossy sockets;
+//! * the datagram-plane accounting separates injected from organic
+//!   loss, and the measured delivery rate tracks the configured
+//!   [`LinkProfile`] within ±5 percentage points;
+//! * `Transport::Tcp` stays the default and byte-for-byte identical
+//!   on the same seed (chaos plan pinned, no dgram report);
+//! * deployments that need the router data plane (partitions,
+//!   recovery) are rejected up front with typed config errors.
+
+use std::time::Duration;
+
+use afd_core::{Action, Loc, Pi};
+use afd_dgram::expected_delivery_rate;
+use afd_net::coord::{NetConfig, NetReport, RecoveryPolicy, Transport};
+use afd_net::{run_distributed, DeploymentSpec, FdKindSpec, NetError};
+use afd_runtime::{LinkFaults, LinkProfile, Partition, StopReason};
+
+fn node_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_afd-node").to_string()]
+}
+
+fn udp_cfg(nodes: u32) -> NetConfig {
+    NetConfig::new(node_cmd(), nodes)
+        .with_deadlines(Duration::from_secs(10), Duration::from_secs(120))
+        .with_transport(Transport::Udp)
+}
+
+fn assert_all_checks(report: &NetReport) {
+    for c in &report.checks {
+        assert!(
+            c.verdict.is_ok(),
+            "check {} failed: {:?}",
+            c.name,
+            c.verdict
+        );
+    }
+}
+
+/// Every live location decided on a single common value.
+fn assert_decided(report: &NetReport, pi: Pi) {
+    let crashed: Vec<Loc> = report
+        .schedule
+        .iter()
+        .filter_map(|a| match a {
+            Action::Crash(l) => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let decisions: Vec<(Loc, u64)> = report
+        .schedule
+        .iter()
+        .filter_map(|a| match a {
+            Action::Decide { at, v } => Some((*at, *v)),
+            _ => None,
+        })
+        .collect();
+    let values: std::collections::BTreeSet<u64> = decisions.iter().map(|&(_, v)| v).collect();
+    assert!(values.len() <= 1, "agreement violated: {values:?}");
+    for l in pi.iter() {
+        if !crashed.contains(&l) {
+            assert!(
+                decisions.iter().any(|&(at, _)| at == l),
+                "live location {l:?} never decided (decisions: {decisions:?})"
+            );
+        }
+    }
+}
+
+/// The ◇P/Ω conformance grid over real UDP sockets, clean links: the
+/// self-implementation deployments stay trace-conformant and pass
+/// Theorem 13 exactly as they do over TCP.
+#[test]
+fn conformance_grid_over_udp() {
+    for fd in [
+        FdKindSpec::Omega,
+        FdKindSpec::EvPerfectNoisy {
+            lie_set: afd_core::LocSet::singleton(Loc(0)),
+            lie_count: 3,
+        },
+    ] {
+        let spec = DeploymentSpec::SelfImpl { n: 3, fd };
+        let cfg = udp_cfg(3).with_max_events(250).with_seed(17);
+        let report = run_distributed(&spec, &cfg).expect("run");
+        assert_eq!(report.stop, Some(StopReason::MaxEvents), "{}", spec.label());
+        assert_all_checks(&report);
+        assert!(report.check("theorem-13").is_some());
+        assert!(report.dgram.is_some(), "UDP runs must carry a dgram report");
+    }
+}
+
+/// The bounded-message ◇P of the ADD paper, over real UDP at 30%
+/// injected drop: heartbeat counters stay bounded, datagrams genuinely
+/// vanish, and the streaming ◇P conformance checker still passes —
+/// the algorithm's repetition tolerates an ADD-style lossy channel.
+#[test]
+fn bounded_evp_conformant_over_udp_at_30pct_drop() {
+    let spec = DeploymentSpec::BoundedEvP { n: 3 };
+    let cfg = udp_cfg(3)
+        .with_max_events(1_500)
+        .with_seed(41)
+        .with_links(LinkFaults::uniform(LinkProfile::lossy(0.30)));
+    let report = run_distributed(&spec, &cfg).expect("run");
+    assert_all_checks(&report);
+    let dgram = report.dgram.as_ref().expect("dgram report");
+    assert!(dgram.sends() > 0, "◇P exchanged no heartbeats");
+    assert!(
+        dgram.injected_drops() > 0,
+        "30% drop injected nothing: {dgram:?}"
+    );
+    // The chaos surface is synthesized from the shaper half, so UDP
+    // runs report injected drops exactly like the TCP router does.
+    assert_eq!(report.chaos.dropped(), dgram.injected_drops());
+}
+
+/// ReliablePaxos n=3 over UDP at 30% drop + 10% duplication: stubborn
+/// `WireSend` retransmission rides the real lossy datagram plane and
+/// the survivors still decide. This is the honest ADD-channel mapping
+/// of "Paxos(Ω) decides under loss" — the algorithm retransmits, the
+/// network genuinely drops.
+#[test]
+fn reliable_paxos_decides_over_udp_at_30pct_drop() {
+    let spec = DeploymentSpec::ReliablePaxos {
+        n: 3,
+        values: vec![0, 1, 1],
+    };
+    let cfg = udp_cfg(3)
+        .with_max_events(30_000)
+        .with_seed(43)
+        .with_links(LinkFaults::uniform(LinkProfile::lossy(0.30).with_dup(0.10)));
+    let report = run_distributed(&spec, &cfg).expect("run");
+    assert_all_checks(&report);
+    assert_eq!(
+        report.stop,
+        Some(StopReason::Predicate),
+        "stopped by all-live-decided, not the budget (events={})",
+        report.events
+    );
+    assert_decided(&report, Pi::new(3));
+    let dgram = report.dgram.as_ref().expect("dgram report");
+    assert!(dgram.injected_drops() > 0, "the shaper dropped nothing");
+}
+
+/// The loss-accounting probe: with enough traffic, the measured
+/// delivery rate (datagrams received / logical sends) lands within
+/// ±5pp of the rate the configured profile predicts, and injected
+/// drops are separated from organic socket loss.
+#[test]
+fn delivery_rate_tracks_configured_profile() {
+    let profile = LinkProfile::lossy(0.30);
+    let spec = DeploymentSpec::BoundedEvP { n: 3 };
+    let cfg = udp_cfg(3)
+        .with_max_events(3_000)
+        .with_seed(47)
+        .with_links(LinkFaults::uniform(profile));
+    let report = run_distributed(&spec, &cfg).expect("run");
+    assert_all_checks(&report);
+    let dgram = report.dgram.as_ref().expect("dgram report");
+    let measured = dgram.delivery_rate().expect("no sends");
+    let expected = expected_delivery_rate(&profile);
+    assert!(
+        (measured - expected).abs() <= 0.05,
+        "delivery rate {measured:.3} not within ±5pp of configured {expected:.3} \
+         (sends={}, rx={}, injected={}, organic={})",
+        dgram.sends(),
+        dgram.datagrams_rx(),
+        dgram.injected_drops(),
+        dgram.organic_lost(),
+    );
+    // Injected loss is the shaper's doing and is counted apart from
+    // whatever the real socket lost on its own.
+    let injected = dgram.injected_drop_rate().expect("no sends");
+    assert!(
+        (injected - 0.30).abs() <= 0.05,
+        "injected drop rate {injected:.3} far from configured 0.30"
+    );
+}
+
+/// Same-seed UDP runs replay the same chaos plan: the shapers consume
+/// the same SplitMix64 decision stream as the TCP router, so the k-th
+/// send on a channel meets the k-th decision in every run.
+#[test]
+fn same_seed_udp_chaos_plans_are_byte_identical() {
+    let spec = DeploymentSpec::BoundedEvP { n: 3 };
+    let links = LinkFaults::uniform(LinkProfile::lossy(0.20).with_dup(0.05));
+    let run = |seed: u64| {
+        let cfg = udp_cfg(3)
+            .with_max_events(800)
+            .with_seed(seed)
+            .with_links(links.clone());
+        run_distributed(&spec, &cfg).expect("run")
+    };
+    let a = run(99);
+    let b = run(99);
+    assert!(!a.chaos_plan.is_empty());
+    assert_eq!(a.chaos_plan, b.chaos_plan, "same seed ⇒ identical plan");
+}
+
+/// `Transport::Tcp` stays the default and its behavior is untouched:
+/// no dgram report, and the same-seed chaos plan is byte-identical to
+/// a run that never heard of UDP (the plan is a pure function of
+/// seed × links × Π, unchanged by this PR).
+#[test]
+fn tcp_default_is_unchanged() {
+    let cfg = NetConfig::new(node_cmd(), 3);
+    assert_eq!(cfg.transport, Transport::Tcp);
+    let spec = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 1, 1],
+    };
+    let links = LinkFaults::uniform(LinkProfile::lossy(0.10));
+    let run = || {
+        let cfg = NetConfig::new(node_cmd(), 3)
+            .with_deadlines(Duration::from_secs(10), Duration::from_secs(120))
+            .with_max_events(4_000)
+            .with_seed(7)
+            .with_links(links.clone());
+        run_distributed(&spec, &cfg).expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert!(a.dgram.is_none(), "TCP runs must not grow a dgram report");
+    assert_eq!(a.chaos_plan, b.chaos_plan);
+    assert_decided(&a, Pi::new(3));
+}
+
+/// UDP rejects the deployments that need the router data plane, with
+/// typed config errors — not mid-run stalls.
+#[test]
+fn udp_rejects_router_only_features() {
+    let spec = DeploymentSpec::Paxos {
+        n: 3,
+        values: vec![0, 1, 1],
+    };
+    let part =
+        udp_cfg(3).with_partition(Partition::cut(10, 20, afd_core::LocSet::singleton(Loc(0))));
+    assert!(
+        matches!(run_distributed(&spec, &part), Err(NetError::Config(_))),
+        "partitions need the router"
+    );
+    let rec = udp_cfg(3).with_recovery(RecoveryPolicy::default());
+    assert!(
+        matches!(run_distributed(&spec, &rec), Err(NetError::Config(_))),
+        "recovery needs the TCP data plane"
+    );
+}
